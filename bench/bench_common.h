@@ -1,0 +1,118 @@
+#ifndef ADCACHE_BENCH_BENCH_COMMON_H_
+#define ADCACHE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "util/clock.h"
+#include "util/env.h"
+#include "workload/runner.h"
+#include "workload/workload_spec.h"
+
+namespace adcache::bench {
+
+/// Shared experiment scaffolding. Every bench binary builds a fresh
+/// simulated environment per (strategy, configuration) cell so runs are
+/// independent and deterministic.
+struct BenchConfig {
+  uint64_t num_keys = 20000;
+  size_t value_size = 1000;  // paper: 1000-byte values, 24-byte keys
+  size_t key_size = 24;
+  /// Cache budget as a fraction of the logical database size.
+  double cache_fraction = 0.25;  // paper default: 25%
+  uint64_t ops = 20000;
+  uint64_t seed = 42;
+  int num_threads = 1;
+
+  size_t DatabaseBytes() const {
+    return static_cast<size_t>(num_keys) * (key_size + value_size);
+  }
+  size_t CacheBytes() const {
+    return static_cast<size_t>(cache_fraction *
+                               static_cast<double>(DatabaseBytes()));
+  }
+};
+
+/// One fully isolated store + simulated environment + runner.
+class BenchInstance {
+ public:
+  BenchInstance(const std::string& strategy, const BenchConfig& config)
+      : config_(config) {
+    env_ = NewMemEnv(&clock_);
+    core::StoreConfig store_config;
+    store_config.lsm.env = env_.get();
+    store_config.lsm.block_size = 4 * 1024;       // paper: 4 KB blocks
+    store_config.lsm.table_file_size = 2 * 1024 * 1024;
+    store_config.lsm.memtable_size = 2 * 1024 * 1024;
+    store_config.lsm.level1_size_base = 8 * 1024 * 1024;
+    store_config.lsm.enable_wal = false;  // pure cache benchmarking
+    store_config.dbname = "/bench_" + strategy;
+    store_config.cache_budget = config.CacheBytes();
+    store_config.seed = config.seed;
+    store_config.adcache.controller.window_size = 1000;
+    Status s;
+    store_ = core::CreateStore(strategy, store_config, &s);
+    if (!s.ok()) {
+      std::fprintf(stderr, "failed to create %s: %s\n", strategy.c_str(),
+                   s.ToString().c_str());
+      std::abort();
+    }
+    keys_.num_keys = config.num_keys;
+    keys_.key_size = config.key_size;
+    keys_.value_size = config.value_size;
+    runner_ = std::make_unique<workload::Runner>(store_.get(), keys_,
+                                                 &clock_);
+  }
+
+  Status Load() { return runner_->LoadDatabase(); }
+
+  workload::PhaseResult Run(const workload::Phase& phase) {
+    workload::Runner::RunnerOptions opts;
+    opts.seed = config_.seed + 1000;
+    opts.num_threads = config_.num_threads;
+    return runner_->RunPhase(phase, opts);
+  }
+
+  core::KvStore* store() { return store_.get(); }
+  workload::Runner* runner() { return runner_.get(); }
+  SimClock* clock() { return &clock_; }
+  const workload::KeySpace& keys() const { return keys_; }
+
+ private:
+  BenchConfig config_;
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<core::KvStore> store_;
+  workload::KeySpace keys_;
+  std::unique_ptr<workload::Runner> runner_;
+};
+
+/// Loads a store and runs `phase`, returning the measured result.
+inline workload::PhaseResult RunCell(const std::string& strategy,
+                                     const BenchConfig& config,
+                                     const workload::Phase& phase) {
+  BenchInstance instance(strategy, config);
+  Status s = instance.Load();
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  return instance.Run(phase);
+}
+
+inline void PrintBanner(const char* experiment, const char* paper_ref,
+                        const char* expectation) {
+  std::printf("\n============================================================"
+              "====================\n");
+  std::printf("%s  (%s)\n", experiment, paper_ref);
+  std::printf("paper: %s\n", expectation);
+  std::printf("=============================================================="
+              "==================\n");
+}
+
+}  // namespace adcache::bench
+
+#endif  // ADCACHE_BENCH_BENCH_COMMON_H_

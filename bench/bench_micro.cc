@@ -1,0 +1,220 @@
+// Component micro-benchmarks (google-benchmark): raw costs of the data
+// structures on AdCache's hot paths. These support the paper's §4.2 claim
+// that the learning machinery is cheap relative to query serving.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cacheus.h"
+#include "cache/lecar.h"
+#include "cache/lru_cache.h"
+#include "cache/range_cache.h"
+#include "core/admission.h"
+#include "lsm/block.h"
+#include "lsm/block_builder.h"
+#include "lsm/dbformat.h"
+#include "rl/actor_critic.h"
+#include "sketch/count_min_sketch.h"
+#include "util/random.h"
+#include "workload/zipfian.h"
+
+namespace adcache {
+namespace {
+
+void BM_LruCacheLookupHit(benchmark::State& state) {
+  auto cache = NewLRUCache(1 << 20, 0);
+  for (int i = 0; i < 1000; i++) {
+    std::string key = "key" + std::to_string(i);
+    cache->Release(cache->Insert(Slice(key), nullptr, 64, nullptr));
+  }
+  Random rng(1);
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(rng.Uniform(1000));
+    Cache::Handle* h = cache->Lookup(Slice(key));
+    if (h != nullptr) cache->Release(h);
+  }
+}
+BENCHMARK(BM_LruCacheLookupHit);
+
+void BM_LruCacheInsertEvict(benchmark::State& state) {
+  auto cache = NewLRUCache(64 * 1024, 0);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(i++);
+    cache->Release(cache->Insert(Slice(key), nullptr, 1024, nullptr));
+  }
+}
+BENCHMARK(BM_LruCacheInsertEvict);
+
+void BM_RangeCachePointGet(benchmark::State& state) {
+  RangeCache cache(1 << 22, NewLruPolicy());
+  for (int i = 0; i < 2000; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    cache.PutPoint(Slice(key), Slice("value"));
+  }
+  Random rng(2);
+  std::string value;
+  for (auto _ : state) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d",
+             static_cast<int>(rng.Uniform(2000)));
+    benchmark::DoNotOptimize(cache.Get(Slice(key), &value));
+  }
+}
+BENCHMARK(BM_RangeCachePointGet);
+
+void BM_RangeCacheScanHit(benchmark::State& state) {
+  RangeCache cache(1 << 22, NewLruPolicy());
+  std::vector<KvPair> run;
+  for (int i = 0; i < 1024; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    run.push_back(KvPair{key, "value"});
+  }
+  cache.PutScan(Slice(run.front().key), run, run.size());
+  Random rng(3);
+  std::vector<KvPair> out;
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d",
+             static_cast<int>(rng.Uniform(1024 - n)));
+    benchmark::DoNotOptimize(cache.GetScan(Slice(key), n, &out));
+  }
+}
+BENCHMARK(BM_RangeCacheScanHit)->Arg(16)->Arg(64);
+
+template <typename PolicyFactory>
+void PolicyChurn(benchmark::State& state, PolicyFactory factory) {
+  auto policy = factory();
+  for (int i = 0; i < 512; i++) policy->OnInsert("k" + std::to_string(i));
+  Random rng(4);
+  uint64_t next = 512;
+  for (auto _ : state) {
+    uint64_t r = rng.Uniform(100);
+    if (r < 60) {
+      policy->OnAccess("k" + std::to_string(rng.Uniform(next)));
+    } else if (r < 80) {
+      std::string victim;
+      if (policy->Victim(&victim)) policy->OnMiss(victim);
+    } else {
+      policy->OnInsert("k" + std::to_string(next++));
+    }
+  }
+}
+
+void BM_PolicyLru(benchmark::State& state) {
+  PolicyChurn(state, [] { return NewLruPolicy(); });
+}
+BENCHMARK(BM_PolicyLru);
+
+void BM_PolicyLeCaR(benchmark::State& state) {
+  PolicyChurn(state, [] { return NewLeCaRPolicy(1); });
+}
+BENCHMARK(BM_PolicyLeCaR);
+
+void BM_PolicyCacheus(benchmark::State& state) {
+  PolicyChurn(state, [] { return NewCacheusPolicy(1); });
+}
+BENCHMARK(BM_PolicyCacheus);
+
+void BM_CountMinIncrement(benchmark::State& state) {
+  CountMinSketch sketch;
+  Random rng(5);
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(rng.Uniform(10000));
+    benchmark::DoNotOptimize(sketch.Increment(Slice(key)));
+  }
+}
+BENCHMARK(BM_CountMinIncrement);
+
+void BM_PointAdmissionDecision(benchmark::State& state) {
+  core::PointAdmissionController ctl;
+  ctl.SetThreshold(0.001);
+  Random rng(6);
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(rng.Uniform(10000));
+    benchmark::DoNotOptimize(ctl.RecordMissAndCheckAdmit(Slice(key)));
+  }
+}
+BENCHMARK(BM_PointAdmissionDecision);
+
+void BM_BlockBuild4K(benchmark::State& state) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < 16; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "user%016d", i);
+    entries.push_back({lsm::MakeInternalKey(key, 1, lsm::kTypeValue),
+                       std::string(240, 'v')});
+  }
+  for (auto _ : state) {
+    lsm::BlockBuilder builder(16);
+    for (const auto& [k, v] : entries) builder.Add(Slice(k), Slice(v));
+    benchmark::DoNotOptimize(builder.Finish());
+  }
+}
+BENCHMARK(BM_BlockBuild4K);
+
+void BM_BlockSeek(benchmark::State& state) {
+  lsm::BlockBuilder builder(16);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 256; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "user%016d", i);
+    keys.push_back(lsm::MakeInternalKey(key, 1, lsm::kTypeValue));
+    builder.Add(Slice(keys.back()), Slice("v"));
+  }
+  lsm::Block block(builder.Finish().ToString());
+  lsm::InternalKeyComparator cmp;
+  std::unique_ptr<lsm::Iterator> it(block.NewIterator(&cmp));
+  Random rng(7);
+  for (auto _ : state) {
+    it->Seek(Slice(keys[rng.Uniform(keys.size())]));
+    benchmark::DoNotOptimize(it->Valid());
+  }
+}
+BENCHMARK(BM_BlockSeek);
+
+void BM_AgentInference(benchmark::State& state) {
+  rl::ActorCriticOptions opts;
+  opts.state_dim = 11;
+  opts.action_dim = 4;
+  opts.hidden_dim = 256;  // paper-size network
+  rl::ActorCriticAgent agent(opts);
+  std::vector<float> s(11, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.Act(s, false));
+  }
+}
+BENCHMARK(BM_AgentInference);
+
+void BM_AgentTrainStep(benchmark::State& state) {
+  rl::ActorCriticOptions opts;
+  opts.state_dim = 11;
+  opts.action_dim = 4;
+  opts.hidden_dim = 256;
+  rl::ActorCriticAgent agent(opts);
+  std::vector<float> s(11, 0.5f);
+  std::vector<float> a(4, 0.5f);
+  for (auto _ : state) {
+    agent.Observe(s, a, 0.01f, s);
+  }
+}
+BENCHMARK(BM_AgentTrainStep);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  workload::ScrambledZipfianGenerator gen(1000000, 0.9, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+}  // namespace
+}  // namespace adcache
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Reproduces Figure 1 of the AdCache paper: the motivating observation that
+// neither block-based nor result-based caching wins across workload
+// patterns — block caching excels under scan-heavy read-mostly traffic,
+// result caching under point/update-heavy traffic — while AdCache tracks
+// the better of the two in each regime.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace adcache::bench {
+namespace {
+
+void Run() {
+  const std::vector<std::string> strategies = {"block", "range", "adcache"};
+
+  BenchConfig config;
+  config.num_keys = 8000;
+  config.value_size = 1000;
+  config.cache_fraction = 0.25;
+  config.ops = 15000;
+
+  PrintBanner("Motivation: no single static strategy wins", "Figure 1",
+              "block cache wins the scan-heavy read-mostly pattern; range "
+              "cache wins the point/update-heavy pattern; AdCache tracks "
+              "the winner in both");
+
+  std::vector<workload::Phase> patterns = {
+      // Scan-heavy, read-mostly: physical block locality pays off.
+      workload::Phase{"scan_read_heavy", workload::OpMix{10, 85, 0, 5},
+                      config.ops, 0.9},
+      // Point + update heavy: compaction invalidation punishes block cache.
+      workload::Phase{"point_update_heavy", workload::OpMix{50, 5, 0, 45},
+                      config.ops, 0.9},
+  };
+
+  std::map<std::string, std::map<std::string, double>> hit;
+  std::printf("%-16s %20s %22s\n", "strategy", "scan_read_heavy",
+              "point_update_heavy");
+  for (const auto& strategy : strategies) {
+    std::printf("%-16s", strategy.c_str());
+    for (const auto& phase : patterns) {
+      workload::PhaseResult r = RunCell(strategy, config, phase);
+      hit[strategy][phase.name] = r.hit_rate;
+      std::printf(" %20.3f", r.hit_rate);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nblock - range hit-rate gap: %+.1f pp (scan-read-heavy), "
+              "%+.1f pp (point-update-heavy)\n",
+              (hit["block"]["scan_read_heavy"] -
+               hit["range"]["scan_read_heavy"]) * 100,
+              (hit["block"]["point_update_heavy"] -
+               hit["range"]["point_update_heavy"]) * 100);
+  std::printf("A positive then negative gap demonstrates the trade-off that "
+              "motivates adaptive partitioning.\n");
+}
+
+}  // namespace
+}  // namespace adcache::bench
+
+int main() {
+  adcache::bench::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Figure 9 of the AdCache paper: hit rate under varying Zipfian
+// skewness for the mixed workload (50% update, 25% point lookup, 25% short
+// scan). Paper expectations: most strategies improve with skew; KV cache is
+// flat and low; range caches overtake block cache at high skew; AdCache
+// leads across the whole spectrum.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace adcache::bench {
+namespace {
+
+void Run() {
+  const std::vector<std::string> strategies = {
+      "block", "kv", "range", "range_lecar", "range_cacheus", "adcache"};
+  const std::vector<double> skews = {0.6, 0.8, 0.9, 1.0, 1.2};
+
+  BenchConfig config;
+  config.num_keys = 8000;
+  config.value_size = 1000;
+  config.cache_fraction = 0.25;
+  config.ops = 15000;
+
+  PrintBanner("Hit rate vs workload skewness", "Figure 9",
+              "hit rate rises with skew; KV cache flat; range caches beat "
+              "block cache at high skew; AdCache best everywhere "
+              "(77% @ 1.0, ~93% @ 1.2 in the paper)");
+
+  std::printf("%-16s", "strategy");
+  for (double skew : skews) std::printf("  s=%4.1f", skew);
+  std::printf("   (hit rate)\n");
+
+  std::map<std::string, std::map<double, workload::PhaseResult>> results;
+  for (const auto& strategy : strategies) {
+    std::printf("%-16s", strategy.c_str());
+    for (double skew : skews) {
+      workload::Phase phase = workload::SkewWorkload(config.ops, skew);
+      workload::PhaseResult r = RunCell(strategy, config, phase);
+      results[strategy][skew] = r;
+      std::printf("  %6.3f", r.hit_rate);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n--- AdCache vs block cache ---\n");
+  std::printf("%6s %14s %18s\n", "skew", "hit_delta(pp)",
+              "sst_read_reduction");
+  for (double skew : skews) {
+    const auto& ad = results["adcache"][skew];
+    const auto& bl = results["block"][skew];
+    double reduction =
+        bl.block_reads == 0
+            ? 0
+            : 1.0 - static_cast<double>(ad.block_reads) /
+                        static_cast<double>(bl.block_reads);
+    std::printf("%6.1f %14.1f %17.1f%%\n", skew,
+                (ad.hit_rate - bl.hit_rate) * 100, reduction * 100);
+  }
+}
+
+}  // namespace
+}  // namespace adcache::bench
+
+int main() {
+  adcache::bench::Run();
+  return 0;
+}

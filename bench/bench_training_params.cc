@@ -1,0 +1,140 @@
+// Reproduces Figure 10 of the AdCache paper: sensitivity of convergence to
+// (1) the tuning window size, (2) the reward-smoothing factor alpha, and
+// (3) the evolution of the learned cache parameters across a workload
+// shift. The system is warmed under a point-lookup-heavy workload and then
+// shifted to a short-scan-heavy workload, mirroring the paper's setup.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace adcache::bench {
+namespace {
+
+constexpr uint64_t kChunkOps = 1000;  // trace resolution
+constexpr int kWarmChunks = 8;
+constexpr int kShiftChunks = 24;
+
+struct TraceConfig {
+  std::string label;
+  uint64_t window_size = 1000;
+  double alpha = 0.9;
+  bool online_learning = true;
+};
+
+struct TracePoint {
+  double hit_rate;
+  double range_ratio;
+  double point_threshold;
+  double scan_a;
+};
+
+std::vector<TracePoint> RunTrace(const TraceConfig& trace_config) {
+  BenchConfig config;
+  config.num_keys = 8000;
+  config.value_size = 1000;
+  config.cache_fraction = 0.25;
+
+  core::StoreConfig store_config;
+  SimClock clock;
+  auto env = NewMemEnv(&clock);
+  store_config.lsm.env = env.get();
+  store_config.lsm.block_size = 4 * 1024;
+  store_config.lsm.table_file_size = 2 * 1024 * 1024;
+  store_config.lsm.memtable_size = 2 * 1024 * 1024;
+  store_config.lsm.level1_size_base = 8 * 1024 * 1024;
+  store_config.lsm.enable_wal = false;
+  store_config.dbname = "/trace";
+  store_config.cache_budget = config.CacheBytes();
+  store_config.adcache.controller.window_size = trace_config.window_size;
+  store_config.adcache.controller.alpha = trace_config.alpha;
+  store_config.adcache.controller.online_learning =
+      trace_config.online_learning;
+  Status s;
+  auto store = core::CreateStore("adcache", store_config, &s);
+  if (!s.ok()) std::abort();
+
+  workload::KeySpace keys;
+  keys.num_keys = config.num_keys;
+  keys.value_size = config.value_size;
+  workload::Runner runner(store.get(), keys, &clock);
+  if (!runner.LoadDatabase().ok()) std::abort();
+
+  std::vector<TracePoint> trace;
+  uint64_t seed = 7;
+  auto run_chunks = [&](const workload::Phase& phase, int chunks) {
+    for (int c = 0; c < chunks; c++) {
+      workload::Phase chunk = phase;
+      chunk.num_ops = kChunkOps;
+      workload::PhaseResult r = runner.RunPhase(chunk, seed++);
+      core::CacheStatsSnapshot snap = store->GetCacheStats();
+      trace.push_back(TracePoint{r.hit_rate, snap.range_ratio,
+                                 snap.point_threshold, snap.scan_a});
+    }
+  };
+  run_chunks(workload::PointLookupWorkload(kChunkOps), kWarmChunks);
+  run_chunks(workload::ShortScanWorkload(kChunkOps), kShiftChunks);
+  return trace;
+}
+
+void PrintHitRateTraces(const std::vector<TraceConfig>& configs) {
+  std::vector<std::vector<TracePoint>> traces;
+  traces.reserve(configs.size());
+  for (const auto& c : configs) traces.push_back(RunTrace(c));
+
+  std::printf("%-8s", "chunk");
+  for (const auto& c : configs) std::printf(" %12s", c.label.c_str());
+  std::printf("   (hit rate per %llu-op chunk; shift at chunk %d)\n",
+              static_cast<unsigned long long>(kChunkOps), kWarmChunks);
+  for (size_t i = 0; i < traces[0].size(); i++) {
+    std::printf("%-8zu", i);
+    for (const auto& t : traces) std::printf(" %12.3f", t[i].hit_rate);
+    std::printf("%s\n", i == static_cast<size_t>(kWarmChunks) ? "  <- shift"
+                                                              : "");
+  }
+}
+
+void Run() {
+  PrintBanner("Training-parameter sensitivity", "Figure 10",
+              "all window sizes re-converge after the shift (10k slowest); "
+              "alpha=0 overreacts; pretrained-frozen dips hardest; the "
+              "range-cache ratio collapses toward 0 and the scan threshold "
+              "settles near the scan length (16)");
+
+  std::printf("\n--- Fig10(1): window size sweep (alpha=0.9) ---\n");
+  PrintHitRateTraces({
+      {"w=100", 100, 0.9, true},
+      {"w=1000", 1000, 0.9, true},
+      {"w=10000", 10000, 0.9, true},
+      {"pretrained", 1000, 0.9, false},
+  });
+
+  std::printf("\n--- Fig10(2): smoothing factor sweep (window=1000) ---\n");
+  PrintHitRateTraces({
+      {"a=0", 1000, 0.0, true},
+      {"a=0.5", 1000, 0.5, true},
+      {"a=0.9", 1000, 0.9, true},
+      {"pretrained", 1000, 0.9, false},
+  });
+
+  std::printf("\n--- Fig10(3): learned parameter evolution "
+              "(window=1000, alpha=0.9) ---\n");
+  std::vector<TracePoint> trace = RunTrace({"params", 1000, 0.9, true});
+  std::printf("%-8s %12s %16s %12s\n", "chunk", "range_ratio",
+              "freq_threshold", "scan_a");
+  for (size_t i = 0; i < trace.size(); i++) {
+    std::printf("%-8zu %12.3f %16.5f %12.1f%s\n", i, trace[i].range_ratio,
+                trace[i].point_threshold, trace[i].scan_a,
+                i == static_cast<size_t>(kWarmChunks) ? "  <- shift" : "");
+  }
+}
+
+}  // namespace
+}  // namespace adcache::bench
+
+int main() {
+  adcache::bench::Run();
+  return 0;
+}

@@ -1,0 +1,212 @@
+// A db_bench-style command-line harness: run any caching strategy against
+// any workload mix with one command.
+//
+// Examples:
+//   adcache_db_bench --strategy=adcache --workload=balanced --ops=20000
+//   adcache_db_bench --strategy=block --workload=dynamic --ops=60000
+//   adcache_db_bench --strategy=range_cacheus --get=25 --short_scan=25 \
+//       --write=50 --skew=1.2 --cache_fraction=0.1
+//
+// Run with --help for the full flag list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "util/clock.h"
+#include "util/env.h"
+#include "workload/runner.h"
+#include "workload/workload_spec.h"
+
+namespace {
+
+struct Flags {
+  std::string strategy = "adcache";
+  std::string workload = "balanced";  // or "custom" via mix flags
+  std::string db_path;                // empty = in-memory simulated disk
+  uint64_t num_keys = 10000;
+  size_t value_size = 1000;
+  double cache_fraction = 0.25;
+  uint64_t ops = 20000;
+  double skew = 0.9;
+  int threads = 1;
+  uint64_t seed = 42;
+  int get_pct = -1;
+  int short_scan_pct = -1;
+  int long_scan_pct = -1;
+  int write_pct = -1;
+};
+
+void PrintHelp() {
+  std::printf(
+      "adcache_db_bench flags:\n"
+      "  --strategy=NAME        one of: block block_leaper kv range\n"
+      "                         range_lecar range_cacheus adcache\n"
+      "                         adcache_admission_only adcache_partition_only\n"
+      "  --workload=NAME        point | short_scan | balanced | long_scan |\n"
+      "                         dynamic (Table-3 phases A-F) | custom\n"
+      "  --get=N --short_scan=N --long_scan=N --write=N   custom mix (%%)\n"
+      "  --num_keys=N           database size in keys (default 10000)\n"
+      "  --value_size=N         value bytes (default 1000)\n"
+      "  --cache_fraction=F     cache budget as fraction of DB (default .25)\n"
+      "  --ops=N                operations (per phase for dynamic)\n"
+      "  --skew=F               Zipfian skew (default 0.9; <=0 uniform)\n"
+      "  --threads=N            client threads (default 1)\n"
+      "  --seed=N               RNG seed (default 42)\n"
+      "  --db=PATH              use a real directory instead of the\n"
+      "                         in-memory simulated disk\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = strlen(name);
+  if (strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; i++) {
+    std::string v;
+    if (strcmp(argv[i], "--help") == 0 || strcmp(argv[i], "-h") == 0) {
+      PrintHelp();
+      return false;
+    } else if (ParseFlag(argv[i], "--strategy", &v)) {
+      flags->strategy = v;
+    } else if (ParseFlag(argv[i], "--workload", &v)) {
+      flags->workload = v;
+    } else if (ParseFlag(argv[i], "--db", &v)) {
+      flags->db_path = v;
+    } else if (ParseFlag(argv[i], "--num_keys", &v)) {
+      flags->num_keys = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--value_size", &v)) {
+      flags->value_size = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--cache_fraction", &v)) {
+      flags->cache_fraction = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--ops", &v)) {
+      flags->ops = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--skew", &v)) {
+      flags->skew = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--threads", &v)) {
+      flags->threads = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      flags->seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--get", &v)) {
+      flags->get_pct = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--short_scan", &v)) {
+      flags->short_scan_pct = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--long_scan", &v)) {
+      flags->long_scan_pct = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--write", &v)) {
+      flags->write_pct = std::atoi(v.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<adcache::workload::Phase> PhasesFor(const Flags& flags) {
+  using namespace adcache::workload;
+  if (flags.get_pct >= 0 || flags.short_scan_pct >= 0 ||
+      flags.long_scan_pct >= 0 || flags.write_pct >= 0) {
+    OpMix mix;
+    mix.get_pct = std::max(0, flags.get_pct);
+    mix.short_scan_pct = std::max(0, flags.short_scan_pct);
+    mix.long_scan_pct = std::max(0, flags.long_scan_pct);
+    mix.write_pct = std::max(0, flags.write_pct);
+    int total = mix.get_pct + mix.short_scan_pct + mix.long_scan_pct +
+                mix.write_pct;
+    if (total != 100) {
+      std::fprintf(stderr, "custom mix must sum to 100 (got %d)\n", total);
+      std::exit(1);
+    }
+    return {Phase{"custom", mix, flags.ops, flags.skew}};
+  }
+  if (flags.workload == "point") {
+    return {PointLookupWorkload(flags.ops)};
+  }
+  if (flags.workload == "short_scan") return {ShortScanWorkload(flags.ops)};
+  if (flags.workload == "balanced") return {BalancedWorkload(flags.ops)};
+  if (flags.workload == "long_scan") return {LongScanWorkload(flags.ops)};
+  if (flags.workload == "dynamic") return Table3Phases(flags.ops);
+  std::fprintf(stderr, "unknown workload %s\n", flags.workload.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 1;
+
+  adcache::SimClock sim_clock;
+  std::unique_ptr<adcache::Env> env;
+  std::string dbname;
+  if (flags.db_path.empty()) {
+    env = adcache::NewMemEnv(&sim_clock);
+    dbname = "/dbbench";
+  } else {
+    env = adcache::NewPosixEnv();
+    dbname = flags.db_path;
+  }
+
+  adcache::core::StoreConfig config;
+  config.lsm.env = env.get();
+  config.lsm.enable_wal = !flags.db_path.empty();
+  config.dbname = dbname;
+  config.cache_budget = static_cast<size_t>(
+      flags.cache_fraction *
+      static_cast<double>(flags.num_keys * (24 + flags.value_size)));
+  config.seed = flags.seed;
+  adcache::Status s;
+  auto store = adcache::core::CreateStore(flags.strategy, config, &s);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  adcache::workload::KeySpace keys;
+  keys.num_keys = flags.num_keys;
+  keys.value_size = flags.value_size;
+  adcache::workload::Runner runner(store.get(), keys, env->clock());
+
+  std::printf("loading %llu keys x %zu bytes (cache budget %.1f MB)...\n",
+              static_cast<unsigned long long>(flags.num_keys),
+              flags.value_size,
+              static_cast<double>(config.cache_budget) / (1 << 20));
+  s = runner.LoadDatabase();
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  adcache::workload::PrintResultHeader();
+  for (auto phase : PhasesFor(flags)) {
+    phase.skew = flags.skew;
+    adcache::workload::Runner::RunnerOptions opts;
+    opts.seed = flags.seed + 17;
+    opts.num_threads = flags.threads;
+    adcache::workload::PhaseResult r = runner.RunPhase(phase, opts);
+    adcache::workload::PrintResult(r);
+  }
+
+  adcache::core::CacheStatsSnapshot snap = store->GetCacheStats();
+  std::printf("\nfinal cache state: usage %.1f/%.1f MB",
+              static_cast<double>(snap.cache_usage) / (1 << 20),
+              static_cast<double>(snap.cache_capacity) / (1 << 20));
+  if (flags.strategy.rfind("adcache", 0) == 0) {
+    std::printf(", range ratio %.2f, point thr %.5f, scan a=%.1f b=%.2f",
+                snap.range_ratio, snap.point_threshold, snap.scan_a,
+                snap.scan_b);
+  }
+  std::printf("\n");
+  return 0;
+}

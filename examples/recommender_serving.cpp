@@ -1,0 +1,108 @@
+// Recommendation-serving scenario (another of the paper's motivating
+// applications): a feature store answers skewed point lookups for user
+// features, while batch jobs periodically sweep long ranges of item
+// embeddings — exactly the "noisy long scan" traffic the paper's admission
+// control is designed to absorb.
+//
+// The example contrasts a plain Range Cache (which lets each sweep evict
+// the hot user features) with AdCache (whose partial admission caps the
+// sweep's footprint), printing the hit statistics of the serving path.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "util/clock.h"
+#include "util/env.h"
+#include "util/random.h"
+#include "workload/zipfian.h"
+
+namespace {
+
+std::string UserKey(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%08llu",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string ItemKey(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "item%08llu",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+struct ServingStats {
+  uint64_t lookups = 0;
+  uint64_t storage_reads = 0;
+};
+
+ServingStats Serve(adcache::core::KvStore* store, uint64_t seed) {
+  constexpr int kUsers = 4000;
+  constexpr int kItems = 4000;
+  adcache::workload::ScrambledZipfianGenerator hot_users(kUsers, 0.99, seed);
+  adcache::Random rng(seed + 1);
+
+  ServingStats stats;
+  uint64_t reads_before = store->GetCacheStats().block_reads;
+  std::string value;
+  std::vector<adcache::KvPair> batch;
+  for (int step = 0; step < 20000; step++) {
+    if (step % 200 == 199) {
+      // Batch job: sweep 64 consecutive item embeddings (cold traffic).
+      uint64_t start = rng.Uniform(kItems - 64);
+      store->Scan(adcache::Slice(ItemKey(start)), 64, &batch);
+    } else {
+      // Serving path: skewed user-feature lookups.
+      store->Get(adcache::Slice(UserKey(hot_users.Next())), &value);
+      stats.lookups++;
+    }
+  }
+  stats.storage_reads = store->GetCacheStats().block_reads - reads_before;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  adcache::SimClock clock;
+  auto env = adcache::NewMemEnv(&clock);
+
+  auto run = [&](const std::string& strategy) {
+    adcache::core::StoreConfig config;
+    config.lsm.env = env.get();
+    config.dbname = "/rec_" + strategy;
+    config.cache_budget = 1 * 1024 * 1024;  // deliberately tight
+    adcache::Status s;
+    auto store = adcache::core::CreateStore(strategy, config, &s);
+    if (!s.ok()) {
+      std::fprintf(stderr, "create failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    for (int i = 0; i < 4000; i++) {
+      store->Put(adcache::Slice(UserKey(static_cast<uint64_t>(i))),
+                 adcache::Slice(std::string(200, 'u')));
+      store->Put(adcache::Slice(ItemKey(static_cast<uint64_t>(i))),
+                 adcache::Slice(std::string(200, 'i')));
+    }
+    store->db()->FlushMemTable();
+    return Serve(store.get(), 7);
+  };
+
+  std::printf("%-16s %12s %16s %22s\n", "strategy", "lookups",
+              "storage reads", "reads per 1k lookups");
+  for (const std::string strategy : {"range", "adcache"}) {
+    ServingStats stats = run(strategy);
+    std::printf("%-16s %12llu %16llu %22.1f\n", strategy.c_str(),
+                static_cast<unsigned long long>(stats.lookups),
+                static_cast<unsigned long long>(stats.storage_reads),
+                1000.0 * static_cast<double>(stats.storage_reads) /
+                    static_cast<double>(stats.lookups));
+  }
+  std::printf("\nPartial scan admission keeps batch sweeps from evicting "
+              "the hot user features that the serving path depends on.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Time-series ingestion scenario (one of the paper's motivating LSM
+// deployments): a metrics pipeline continuously appends samples while a
+// dashboard scans the most recent window and an alerting service re-reads a
+// handful of hot series.
+//
+// The workload shifts phase by phase — ingest-heavy, then scan-heavy, then
+// mixed — and the example prints how AdCache re-partitions its cache and
+// what that does to storage reads, next to a static block cache given the
+// same budget.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "util/clock.h"
+#include "util/env.h"
+#include "util/random.h"
+
+namespace {
+
+constexpr int kNumSeries = 200;
+constexpr int kSamplesPerSeries = 60;
+
+// Keys sort by (series, timestamp) so one series' samples are adjacent.
+std::string SampleKey(int series, int ts) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "metric%04d@%08d", series, ts);
+  return buf;
+}
+
+struct PhaseOutcome {
+  uint64_t storage_reads;
+  double range_ratio;
+};
+
+PhaseOutcome RunScenario(adcache::core::KvStore* store, int phase,
+                         int* clock_ts) {
+  adcache::Random rng(1000 + static_cast<uint64_t>(phase));
+  uint64_t reads_before = store->GetCacheStats().block_reads;
+
+  for (int step = 0; step < 3000; step++) {
+    int roll = static_cast<int>(rng.Uniform(100));
+    // Phase 0: 80% ingest. Phase 1: 80% dashboard scans. Phase 2: mixed.
+    int ingest_pct = phase == 0 ? 80 : (phase == 1 ? 10 : 40);
+    int scan_pct = phase == 0 ? 10 : (phase == 1 ? 70 : 30);
+    if (roll < ingest_pct) {
+      int series = static_cast<int>(rng.Uniform(kNumSeries));
+      store->Put(adcache::Slice(SampleKey(series, (*clock_ts)++)),
+                 adcache::Slice("sample=" + std::to_string(step)));
+    } else if (roll < ingest_pct + scan_pct) {
+      // Dashboard: scan the last 16 samples of a (zipf-ish hot) series.
+      int series = static_cast<int>(rng.Skewed(8)) % kNumSeries;
+      std::vector<adcache::KvPair> window;
+      store->Scan(adcache::Slice(SampleKey(series, 0)), 16, &window);
+    } else {
+      // Alerting: re-read a hot series' first sample.
+      int series = static_cast<int>(rng.Uniform(10));
+      std::string value;
+      store->Get(adcache::Slice(SampleKey(series, 0)), &value);
+    }
+  }
+  return PhaseOutcome{store->GetCacheStats().block_reads - reads_before,
+                      store->GetCacheStats().range_ratio};
+}
+
+}  // namespace
+
+int main() {
+  adcache::SimClock clock;
+  auto env = adcache::NewMemEnv(&clock);
+
+  auto make_store = [&](const std::string& strategy) {
+    adcache::core::StoreConfig config;
+    config.lsm.env = env.get();
+    config.lsm.memtable_size = 512 * 1024;
+    config.lsm.table_file_size = 512 * 1024;
+    config.lsm.level1_size_base = 2 * 1024 * 1024;
+    config.dbname = "/ts_" + strategy;
+    config.cache_budget = 2 * 1024 * 1024;
+    adcache::Status s;
+    auto store = adcache::core::CreateStore(strategy, config, &s);
+    if (!s.ok()) {
+      std::fprintf(stderr, "create failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    // Backfill: historical samples for every series.
+    for (int series = 0; series < kNumSeries; series++) {
+      for (int ts = 0; ts < kSamplesPerSeries; ts++) {
+        store->Put(adcache::Slice(SampleKey(series, ts)),
+                   adcache::Slice("backfill"));
+      }
+    }
+    return store;
+  };
+
+  auto adcache_store = make_store("adcache");
+  auto block_store = make_store("block");
+
+  const char* phase_names[] = {"ingest-heavy", "dashboard-scan-heavy",
+                               "mixed"};
+  std::printf("%-24s %20s %20s %18s\n", "phase", "adcache SST reads",
+              "block-only SST reads", "adcache range%");
+  int ts_a = kSamplesPerSeries;
+  int ts_b = kSamplesPerSeries;
+  for (int phase = 0; phase < 3; phase++) {
+    PhaseOutcome a = RunScenario(adcache_store.get(), phase, &ts_a);
+    PhaseOutcome b = RunScenario(block_store.get(), phase, &ts_b);
+    std::printf("%-24s %20llu %20llu %17.0f%%\n", phase_names[phase],
+                static_cast<unsigned long long>(a.storage_reads),
+                static_cast<unsigned long long>(b.storage_reads),
+                a.range_ratio * 100);
+  }
+  std::printf("\nAdCache shifts its range:block boundary as the pipeline "
+              "moves between ingestion and scanning.\n");
+  return 0;
+}

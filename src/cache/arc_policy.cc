@@ -1,0 +1,95 @@
+#include "cache/arc_policy.h"
+
+#include <algorithm>
+
+namespace adcache {
+
+void ArcPolicy::OnInsert(const std::string& key) {
+  if (t1_.Contains(key) || t2_.Contains(key)) {
+    OnAccess(key);
+    return;
+  }
+  if (b1_.Contains(key)) {
+    // Ghost hit in B1: recency working set is larger than p — grow it.
+    double delta = b1_.entries.size() >= b2_.entries.size()
+                       ? 1.0
+                       : static_cast<double>(b2_.entries.size()) /
+                             static_cast<double>(b1_.entries.size());
+    p_ = std::min(p_ + delta,
+                  static_cast<double>(t1_.entries.size() +
+                                      t2_.entries.size() + 1));
+    b1_.Remove(key);
+    t2_.PushMru(key);  // re-admitted with demonstrated reuse
+  } else if (b2_.Contains(key)) {
+    double delta = b2_.entries.size() >= b1_.entries.size()
+                       ? 1.0
+                       : static_cast<double>(b1_.entries.size()) /
+                             static_cast<double>(b2_.entries.size());
+    p_ = std::max(p_ - delta, 0.0);
+    b2_.Remove(key);
+    t2_.PushMru(key);
+  } else {
+    t1_.PushMru(key);
+  }
+  TrimGhosts();
+}
+
+void ArcPolicy::OnAccess(const std::string& key) {
+  if (t1_.Contains(key)) {
+    t1_.Remove(key);
+    t2_.PushMru(key);
+  } else if (t2_.Contains(key)) {
+    t2_.Remove(key);
+    t2_.PushMru(key);
+  } else {
+    OnInsert(key);
+  }
+}
+
+void ArcPolicy::OnErase(const std::string& key) {
+  t1_.Remove(key);
+  t2_.Remove(key);
+  b1_.Remove(key);
+  b2_.Remove(key);
+}
+
+void ArcPolicy::OnMiss(const std::string& /*key*/) {
+  // Ghost-hit adaptation happens on re-insertion (OnInsert), where ARC's
+  // REQUEST(x) case for B1/B2 membership is handled.
+}
+
+bool ArcPolicy::Victim(std::string* key) {
+  // REPLACE(): evict from T1 if it exceeds the target p, else from T2.
+  bool from_t1 =
+      !t1_.entries.empty() &&
+      (static_cast<double>(t1_.entries.size()) > p_ || t2_.entries.empty());
+  if (from_t1) {
+    if (!t1_.PopLru(key)) return false;
+    b1_.PushMru(*key);
+  } else {
+    if (!t2_.PopLru(key)) {
+      if (!t1_.PopLru(key)) return false;
+      b1_.PushMru(*key);
+      TrimGhosts();
+      return true;
+    }
+    b2_.PushMru(*key);
+  }
+  TrimGhosts();
+  return true;
+}
+
+void ArcPolicy::TrimGhosts() {
+  // Keep each ghost list no larger than the resident population.
+  size_t resident = t1_.entries.size() + t2_.entries.size();
+  size_t cap = std::max<size_t>(resident, 1);
+  std::string dropped;
+  while (b1_.entries.size() > cap) b1_.PopLru(&dropped);
+  while (b2_.entries.size() > cap) b2_.PopLru(&dropped);
+}
+
+std::unique_ptr<EvictionPolicy> NewArcPolicy() {
+  return std::make_unique<ArcPolicy>();
+}
+
+}  // namespace adcache

@@ -1,0 +1,73 @@
+#ifndef ADCACHE_CACHE_ARC_POLICY_H_
+#define ADCACHE_CACHE_ARC_POLICY_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cache/eviction_policy.h"
+
+namespace adcache {
+
+/// Adaptive Replacement Cache (Megiddo & Modha, FAST '03) as an eviction
+/// policy over entry keys. ARC balances a recency list T1 against a
+/// frequency list T2, steered by ghost lists B1/B2; AC-Key (ATC '20, the
+/// paper's §2.2) uses exactly this scheme to arbitrate its caches.
+///
+/// The policy tracks logical entry counts: the target `p` is the desired
+/// size of T1 in entries.
+class ArcPolicy : public EvictionPolicy {
+ public:
+  void OnInsert(const std::string& key) override;
+  void OnAccess(const std::string& key) override;
+  void OnErase(const std::string& key) override;
+  void OnMiss(const std::string& key) override;
+  bool Victim(std::string* key) override;
+  const char* Name() const override { return "arc"; }
+
+  double target_t1() const { return p_; }
+  size_t t1_size() const { return t1_.entries.size(); }
+  size_t t2_size() const { return t2_.entries.size(); }
+
+ private:
+  struct ListState {
+    std::list<std::string> entries;  // front = LRU
+    std::unordered_map<std::string, std::list<std::string>::iterator> index;
+
+    bool Contains(const std::string& key) const {
+      return index.count(key) > 0;
+    }
+    void PushMru(const std::string& key) {
+      entries.push_back(key);
+      index[key] = std::prev(entries.end());
+    }
+    void Remove(const std::string& key) {
+      auto it = index.find(key);
+      if (it == index.end()) return;
+      entries.erase(it->second);
+      index.erase(it);
+    }
+    bool PopLru(std::string* key) {
+      if (entries.empty()) return false;
+      *key = entries.front();
+      index.erase(entries.front());
+      entries.pop_front();
+      return true;
+    }
+  };
+
+  void TrimGhosts();
+
+  ListState t1_;  // resident, seen once
+  ListState t2_;  // resident, seen twice+
+  ListState b1_;  // ghost of t1
+  ListState b2_;  // ghost of t2
+  double p_ = 0;  // adaptive target for |T1|
+};
+
+std::unique_ptr<EvictionPolicy> NewArcPolicy();
+
+}  // namespace adcache
+
+#endif  // ADCACHE_CACHE_ARC_POLICY_H_

@@ -1,0 +1,67 @@
+#ifndef ADCACHE_CACHE_CACHE_H_
+#define ADCACHE_CACHE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+
+namespace adcache {
+
+/// Generic byte-budgeted cache in the style of rocksdb::Cache. Entries are
+/// reference-counted: Lookup/Insert return a Handle that pins the entry until
+/// Release. The block cache is an instance of this interface.
+class Cache {
+ public:
+  /// Opaque pinned-entry token.
+  struct Handle {};
+
+  using Deleter = void (*)(const Slice& key, void* value);
+
+  virtual ~Cache() = default;
+
+  /// Inserts a mapping key->value charged `charge` bytes against the budget.
+  /// Returns a pinned handle (caller must Release), or nullptr if the entry
+  /// is larger than the capacity.
+  virtual Handle* Insert(const Slice& key, void* value, size_t charge,
+                         Deleter deleter) = 0;
+
+  /// Returns a pinned handle for `key` or nullptr.
+  virtual Handle* Lookup(const Slice& key) = 0;
+
+  /// Membership probe that does NOT count as a hit/miss and does not touch
+  /// recency state (used by background machinery such as post-compaction
+  /// prefetching).
+  virtual bool Contains(const Slice& key) const = 0;
+
+  /// Unpins a handle returned by Insert/Lookup.
+  virtual void Release(Handle* handle) = 0;
+
+  virtual void* Value(Handle* handle) = 0;
+
+  /// Drops the entry (it is freed once all handles are released).
+  virtual void Erase(const Slice& key) = 0;
+
+  /// Retargets the byte budget; shrinking evicts immediately.
+  virtual void SetCapacity(size_t capacity) = 0;
+  virtual size_t GetCapacity() const = 0;
+
+  /// Bytes currently charged (including pinned entries).
+  virtual size_t GetUsage() const = 0;
+
+  /// Drops every unpinned entry.
+  virtual void Prune() = 0;
+
+  // Hit/miss telemetry (monotonic).
+  virtual uint64_t hits() const = 0;
+  virtual uint64_t misses() const = 0;
+};
+
+/// Creates a sharded LRU cache. `num_shard_bits < 0` picks a default based on
+/// capacity; 0 gives a single shard.
+std::shared_ptr<Cache> NewLRUCache(size_t capacity, int num_shard_bits = -1);
+
+}  // namespace adcache
+
+#endif  // ADCACHE_CACHE_CACHE_H_

@@ -1,0 +1,225 @@
+#include "cache/cacheus.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adcache {
+
+// ---------------------------------------------------------------------------
+// SrLru
+// ---------------------------------------------------------------------------
+
+void CacheusPolicy::SrLru::Insert(const std::string& key, bool reused) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    Access(key);
+    return;
+  }
+  if (reused) {
+    // History hit: the key demonstrated reuse, so it re-enters R directly.
+    r_.push_back(key);
+    map_[key] = Pos{true, std::prev(r_.end())};
+  } else {
+    s_.push_back(key);
+    map_[key] = Pos{false, std::prev(s_.end())};
+  }
+}
+
+void CacheusPolicy::SrLru::Access(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    Insert(key, /*reused=*/false);
+    return;
+  }
+  if (it->second.in_r) {
+    r_.splice(r_.end(), r_, it->second.it);
+    it->second.it = std::prev(r_.end());
+  } else {
+    // Promotion: demonstrated reuse moves the key from S to R. R is not
+    // size-capped: victims drain S (scan traffic) first, and only an
+    // S-empty cache falls back to R's LRU — the scan-resistance property.
+    s_.erase(it->second.it);
+    r_.push_back(key);
+    it->second = Pos{true, std::prev(r_.end())};
+  }
+}
+
+void CacheusPolicy::SrLru::Erase(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  (it->second.in_r ? r_ : s_).erase(it->second.it);
+  map_.erase(it);
+}
+
+bool CacheusPolicy::SrLru::Victim(std::string* key) {
+  if (!s_.empty()) {
+    *key = s_.front();
+    s_.pop_front();
+  } else if (!r_.empty()) {
+    *key = r_.front();
+    r_.pop_front();
+  } else {
+    return false;
+  }
+  map_.erase(*key);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Ghost
+// ---------------------------------------------------------------------------
+
+void CacheusPolicy::Ghost::Add(const std::string& key, uint64_t time,
+                               uint64_t freq) {
+  Remove(key);
+  while (map_.size() >= std::max<size_t>(1, capacity_)) {
+    map_.erase(fifo_.front());
+    fifo_.pop_front();
+  }
+  fifo_.push_back(key);
+  map_[key] = GhostEntry{time, freq, std::prev(fifo_.end())};
+}
+
+bool CacheusPolicy::Ghost::Take(const std::string& key, uint64_t* time,
+                                uint64_t* freq) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  *time = it->second.time;
+  *freq = it->second.freq;
+  fifo_.erase(it->second.it);
+  map_.erase(it);
+  return true;
+}
+
+void CacheusPolicy::Ghost::Remove(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  fifo_.erase(it->second.it);
+  map_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// CacheusPolicy
+// ---------------------------------------------------------------------------
+
+CacheusPolicy::CacheusPolicy() : CacheusPolicy(Options()) {}
+
+CacheusPolicy::CacheusPolicy(const Options& options)
+    : options_(options),
+      learning_rate_(options.initial_learning_rate),
+      rng_(options.seed) {}
+
+void CacheusPolicy::AdjustWeight(bool srlru_at_fault) {
+  double w_sr = w_srlru_;
+  double w_cr = 1.0 - w_srlru_;
+  if (srlru_at_fault) {
+    w_sr *= std::exp(-learning_rate_);
+  } else {
+    w_cr *= std::exp(-learning_rate_);
+  }
+  w_srlru_ = std::clamp(w_sr / (w_sr + w_cr), 0.01, 0.99);
+}
+
+void CacheusPolicy::MaybeAdaptLearningRate() {
+  window_requests_++;
+  if (window_requests_ < options_.adaptation_window) return;
+  double hit_rate = static_cast<double>(window_hits_) /
+                    static_cast<double>(window_requests_);
+  // Performance degraded -> explore harder; improved/stable -> settle.
+  if (hit_rate < prev_window_hit_rate_) {
+    learning_rate_ = std::min(options_.max_learning_rate,
+                              learning_rate_ * 1.1);
+  } else {
+    learning_rate_ = std::max(options_.min_learning_rate,
+                              learning_rate_ * 0.9);
+  }
+  prev_window_hit_rate_ = hit_rate;
+  window_requests_ = 0;
+  window_hits_ = 0;
+}
+
+void CacheusPolicy::OnInsert(const std::string& key) {
+  time_++;
+  resident_++;
+  h_srlru_.SetCapacity(std::max<size_t>(1, resident_ / 2));
+  h_crlfu_.SetCapacity(std::max<size_t>(1, resident_ / 2));
+
+  uint64_t t = 0;
+  uint64_t freq = 0;
+  bool from_sr = h_srlru_.Take(key, &t, &freq);
+  bool from_cr = false;
+  uint64_t cr_freq = 0;
+  {
+    uint64_t t2 = 0;
+    from_cr = h_crlfu_.Take(key, &t2, &cr_freq);
+  }
+  srlru_.Insert(key, /*reused=*/from_sr || from_cr);
+  // CR-LFU churn resistance: restore the frequency the key had earned.
+  uint64_t restored = std::max<uint64_t>(std::max(freq, cr_freq), 0);
+  if (restored > 0) {
+    crlfu_.InsertWithFrequency(key, restored + 1);
+  } else {
+    crlfu_.OnInsert(key);
+  }
+}
+
+void CacheusPolicy::OnAccess(const std::string& key) {
+  time_++;
+  window_hits_++;
+  MaybeAdaptLearningRate();
+  srlru_.Access(key);
+  crlfu_.OnAccess(key);
+}
+
+void CacheusPolicy::OnErase(const std::string& key) {
+  if (resident_ > 0) resident_--;
+  srlru_.Erase(key);
+  crlfu_.OnErase(key);
+}
+
+void CacheusPolicy::OnMiss(const std::string& key) {
+  time_++;
+  MaybeAdaptLearningRate();
+  uint64_t t = 0;
+  uint64_t freq = 0;
+  // Peek fault attribution without consuming (consumption happens when the
+  // key is actually re-inserted, so frequency restoration still works).
+  // We duplicate minimal state by taking then re-adding.
+  if (h_srlru_.Take(key, &t, &freq)) {
+    AdjustWeight(/*srlru_at_fault=*/true);
+    h_srlru_.Add(key, t, freq);
+  } else if (h_crlfu_.Take(key, &t, &freq)) {
+    AdjustWeight(/*srlru_at_fault=*/false);
+    h_crlfu_.Add(key, t, freq);
+  }
+}
+
+bool CacheusPolicy::Victim(std::string* key) {
+  const bool use_srlru = rng_.NextDouble() < w_srlru_;
+  std::string victim;
+  bool ok = false;
+  if (use_srlru) {
+    ok = srlru_.Victim(&victim);
+    if (!ok) ok = crlfu_.PeekVictimMru(&victim);
+  } else {
+    ok = crlfu_.PeekVictimMru(&victim);
+    if (!ok) ok = srlru_.Victim(&victim);
+  }
+  if (!ok) return false;
+  // Capture the earned frequency before the entry leaves CR-LFU.
+  const uint64_t freq = crlfu_.FrequencyOf(victim);
+  srlru_.Erase(victim);
+  crlfu_.OnErase(victim);
+  if (resident_ > 0) resident_--;
+  (use_srlru ? h_srlru_ : h_crlfu_).Add(victim, time_, freq);
+  *key = victim;
+  return true;
+}
+
+std::unique_ptr<EvictionPolicy> NewCacheusPolicy(uint64_t seed) {
+  CacheusPolicy::Options opts;
+  opts.seed = seed;
+  return std::make_unique<CacheusPolicy>(opts);
+}
+
+}  // namespace adcache

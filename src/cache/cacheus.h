@@ -1,0 +1,111 @@
+#ifndef ADCACHE_CACHE_CACHEUS_H_
+#define ADCACHE_CACHE_CACHEUS_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cache/eviction_policy.h"
+#include "util/random.h"
+
+namespace adcache {
+
+/// Cacheus (Rodriguez et al., FAST '21): successor to LeCaR that replaces the
+/// plain LRU/LFU experts with a scan-resistant LRU (SR-LRU) and a
+/// churn-resistant LFU (CR-LFU), and adapts its learning rate online.
+///
+/// Faithfulness notes (see DESIGN.md): SR-LRU is implemented as an
+/// uncapped two-segment list (new entries probe in S, reuse promotes to R,
+/// victims drain S before R) rather than Cacheus's fully adaptive split,
+/// and the learning rate adapts via a windowed hit-rate gradient.
+class CacheusPolicy : public EvictionPolicy {
+ public:
+  struct Options {
+    double initial_learning_rate = 0.45;
+    double min_learning_rate = 0.001;
+    double max_learning_rate = 1.0;
+    /// Requests per learning-rate adaptation window.
+    size_t adaptation_window = 512;
+    uint64_t seed = 42;
+  };
+
+  CacheusPolicy();
+  explicit CacheusPolicy(const Options& options);
+
+  void OnInsert(const std::string& key) override;
+  void OnAccess(const std::string& key) override;
+  void OnErase(const std::string& key) override;
+  void OnMiss(const std::string& key) override;
+  bool Victim(std::string* key) override;
+  const char* Name() const override { return "cacheus"; }
+
+  double weight_srlru() const { return w_srlru_; }
+  double learning_rate() const { return learning_rate_; }
+
+ private:
+  /// Scan-resistant LRU: new entries start in the probationary "scan"
+  /// segment S; a hit promotes to the "reuse" segment R. Victims come from
+  /// S first, so a one-pass scan can only displace other scan entries.
+  class SrLru {
+   public:
+    void Insert(const std::string& key, bool reused);
+    void Access(const std::string& key);
+    void Erase(const std::string& key);
+    bool Victim(std::string* key);
+    size_t size() const { return map_.size(); }
+
+   private:
+    std::list<std::string> s_;  // front = LRU
+    std::list<std::string> r_;
+    struct Pos {
+      bool in_r;
+      std::list<std::string>::iterator it;
+    };
+    std::unordered_map<std::string, Pos> map_;
+  };
+
+  struct GhostEntry {
+    uint64_t time;
+    uint64_t freq;  // frequency at eviction (CR-LFU restoration)
+    std::list<std::string>::iterator it;
+  };
+
+  class Ghost {
+   public:
+    void SetCapacity(size_t cap) { capacity_ = cap; }
+    void Add(const std::string& key, uint64_t time, uint64_t freq);
+    bool Take(const std::string& key, uint64_t* time, uint64_t* freq);
+    void Remove(const std::string& key);
+
+   private:
+    size_t capacity_ = 1;
+    std::list<std::string> fifo_;
+    std::unordered_map<std::string, GhostEntry> map_;
+  };
+
+  void AdjustWeight(bool srlru_at_fault);
+  void MaybeAdaptLearningRate();
+
+  Options options_;
+  SrLru srlru_;
+  LfuPolicy crlfu_;
+  Ghost h_srlru_;
+  Ghost h_crlfu_;
+  double w_srlru_ = 0.5;
+  double learning_rate_;
+  uint64_t time_ = 0;
+  size_t resident_ = 0;
+  // Learning-rate adaptation state.
+  uint64_t window_requests_ = 0;
+  uint64_t window_hits_ = 0;
+  double prev_window_hit_rate_ = 0.0;
+  Random rng_;
+};
+
+std::unique_ptr<EvictionPolicy> NewCacheusPolicy(uint64_t seed = 42);
+
+}  // namespace adcache
+
+#endif  // ADCACHE_CACHE_CACHEUS_H_

@@ -1,0 +1,65 @@
+#include "cache/clock_policy.h"
+
+namespace adcache {
+
+void ClockPolicy::OnInsert(const std::string& key) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->referenced = true;
+    return;
+  }
+  // Insert just before the hand so the new entry is the last the hand
+  // reaches (a full sweep of second chances ahead of it).
+  Ring::iterator pos =
+      ring_.insert(hand_ == ring_.end() ? ring_.end() : hand_,
+                   Entry{key, false});
+  map_[key] = pos;
+  if (hand_ == ring_.end()) hand_ = pos;
+}
+
+void ClockPolicy::OnAccess(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    OnInsert(key);
+    return;
+  }
+  it->second->referenced = true;
+}
+
+void ClockPolicy::OnErase(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  if (hand_ == it->second) {
+    ++hand_;
+    if (hand_ == ring_.end()) hand_ = ring_.begin();
+  }
+  ring_.erase(it->second);
+  map_.erase(it);
+  if (ring_.empty()) hand_ = ring_.end();
+}
+
+bool ClockPolicy::Victim(std::string* key) {
+  if (ring_.empty()) return false;
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+  // Sweep: clear reference bits until an unreferenced entry is found. At
+  // most two passes terminate because bits only get cleared.
+  while (hand_->referenced) {
+    hand_->referenced = false;
+    ++hand_;
+    if (hand_ == ring_.end()) hand_ = ring_.begin();
+  }
+  *key = hand_->key;
+  Ring::iterator victim = hand_;
+  ++hand_;
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+  map_.erase(victim->key);
+  ring_.erase(victim);
+  if (ring_.empty()) hand_ = ring_.end();
+  return true;
+}
+
+std::unique_ptr<EvictionPolicy> NewClockPolicy() {
+  return std::make_unique<ClockPolicy>();
+}
+
+}  // namespace adcache

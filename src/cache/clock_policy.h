@@ -1,0 +1,43 @@
+#ifndef ADCACHE_CACHE_CLOCK_POLICY_H_
+#define ADCACHE_CACHE_CLOCK_POLICY_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cache/eviction_policy.h"
+
+namespace adcache {
+
+/// Second-chance CLOCK replacement (the paper notes block caches are
+/// "typically managed with LRU or CLOCK-based eviction policies", §2.2).
+/// Entries sit on a circular list with a reference bit; the hand sweeps,
+/// clearing bits, and evicts the first unreferenced entry it meets.
+class ClockPolicy : public EvictionPolicy {
+ public:
+  void OnInsert(const std::string& key) override;
+  void OnAccess(const std::string& key) override;
+  void OnErase(const std::string& key) override;
+  bool Victim(std::string* key) override;
+  const char* Name() const override { return "clock"; }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    bool referenced;
+  };
+  using Ring = std::list<Entry>;
+
+  Ring ring_;
+  Ring::iterator hand_ = ring_.end();
+  std::unordered_map<std::string, Ring::iterator> map_;
+};
+
+std::unique_ptr<EvictionPolicy> NewClockPolicy();
+
+}  // namespace adcache
+
+#endif  // ADCACHE_CACHE_CLOCK_POLICY_H_

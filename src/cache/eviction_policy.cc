@@ -1,0 +1,127 @@
+#include "cache/eviction_policy.h"
+
+#include <cassert>
+
+namespace adcache {
+
+// ---------------------------------------------------------------------------
+// LruPolicy
+// ---------------------------------------------------------------------------
+
+void LruPolicy::Touch(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    list_.push_back(key);
+    map_[key] = std::prev(list_.end());
+  } else {
+    list_.splice(list_.end(), list_, it->second);
+  }
+}
+
+void LruPolicy::OnInsert(const std::string& key) { Touch(key); }
+void LruPolicy::OnAccess(const std::string& key) { Touch(key); }
+
+void LruPolicy::OnErase(const std::string& key) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    list_.erase(it->second);
+    map_.erase(it);
+  }
+}
+
+bool LruPolicy::Victim(std::string* key) {
+  if (list_.empty()) return false;
+  *key = list_.front();
+  map_.erase(list_.front());
+  list_.pop_front();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// LfuPolicy
+// ---------------------------------------------------------------------------
+
+void LfuPolicy::InsertWithFrequency(const std::string& key, uint64_t freq) {
+  assert(entries_.find(key) == entries_.end());
+  auto& bucket = buckets_[freq];
+  bucket.push_back(key);
+  entries_[key] = Entry{freq, std::prev(bucket.end())};
+}
+
+uint64_t LfuPolicy::FrequencyOf(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.freq;
+}
+
+void LfuPolicy::Bump(const std::string& key, Entry& entry) {
+  auto bucket_it = buckets_.find(entry.freq);
+  bucket_it->second.erase(entry.pos);
+  if (bucket_it->second.empty()) buckets_.erase(bucket_it);
+  entry.freq++;
+  auto& bucket = buckets_[entry.freq];
+  bucket.push_back(key);
+  entry.pos = std::prev(bucket.end());
+}
+
+void LfuPolicy::OnInsert(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    InsertWithFrequency(key, 1);
+  } else {
+    Bump(key, it->second);
+  }
+}
+
+void LfuPolicy::OnAccess(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    InsertWithFrequency(key, 1);
+  } else {
+    Bump(key, it->second);
+  }
+}
+
+void LfuPolicy::OnErase(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  auto bucket_it = buckets_.find(it->second.freq);
+  bucket_it->second.erase(it->second.pos);
+  if (bucket_it->second.empty()) buckets_.erase(bucket_it);
+  entries_.erase(it);
+}
+
+bool LfuPolicy::Victim(std::string* key) {
+  if (buckets_.empty()) return false;
+  auto bucket_it = buckets_.begin();  // lowest frequency
+  *key = bucket_it->second.front();
+  bucket_it->second.pop_front();
+  if (bucket_it->second.empty()) buckets_.erase(bucket_it);
+  entries_.erase(*key);
+  return true;
+}
+
+bool LfuPolicy::PeekVictimMru(std::string* key) const {
+  if (buckets_.empty()) return false;
+  *key = buckets_.begin()->second.back();
+  return true;
+}
+
+bool LfuPolicy::VictimMru(std::string* key) {
+  if (buckets_.empty()) return false;
+  auto bucket_it = buckets_.begin();
+  *key = bucket_it->second.back();
+  bucket_it->second.pop_back();
+  if (bucket_it->second.empty()) buckets_.erase(bucket_it);
+  entries_.erase(*key);
+  return true;
+}
+
+std::unique_ptr<EvictionPolicy> NewLruPolicy() {
+  return std::make_unique<LruPolicy>();
+}
+
+std::unique_ptr<EvictionPolicy> NewLfuPolicy() {
+  return std::make_unique<LfuPolicy>();
+}
+
+}  // namespace adcache

@@ -1,0 +1,100 @@
+#ifndef ADCACHE_CACHE_EVICTION_POLICY_H_
+#define ADCACHE_CACHE_EVICTION_POLICY_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace adcache {
+
+/// Pluggable replacement policy for entry-granular caches (the range cache).
+/// The cache informs the policy of every insert/access/erase and asks it for
+/// victims when space is needed. Policies also see misses so that
+/// history-learning policies (LeCaR, Cacheus) can assign regret.
+///
+/// Not thread-safe; the owning cache serialises calls (per shard).
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  /// `key` was inserted into the cache (it was not resident).
+  virtual void OnInsert(const std::string& key) = 0;
+
+  /// `key` (resident) was hit.
+  virtual void OnAccess(const std::string& key) = 0;
+
+  /// `key` was removed by the cache for non-eviction reasons (invalidation).
+  virtual void OnErase(const std::string& key) = 0;
+
+  /// A lookup for `key` missed (the key is not resident). Lets
+  /// history-learning policies update expert weights.
+  virtual void OnMiss(const std::string& /*key*/) {}
+
+  /// Selects an eviction victim, removes it from the policy's resident state
+  /// and stores it in `*key`. Returns false if the policy tracks no entries.
+  virtual bool Victim(std::string* key) = 0;
+
+  virtual const char* Name() const = 0;
+};
+
+/// Classic least-recently-used.
+class LruPolicy : public EvictionPolicy {
+ public:
+  void OnInsert(const std::string& key) override;
+  void OnAccess(const std::string& key) override;
+  void OnErase(const std::string& key) override;
+  bool Victim(std::string* key) override;
+  const char* Name() const override { return "lru"; }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  void Touch(const std::string& key);
+
+  std::list<std::string> list_;  // front = LRU, back = MRU
+  std::unordered_map<std::string, std::list<std::string>::iterator> map_;
+};
+
+/// Least-frequently-used with LRU tie-breaking inside a frequency bucket.
+class LfuPolicy : public EvictionPolicy {
+ public:
+  void OnInsert(const std::string& key) override;
+  void OnAccess(const std::string& key) override;
+  void OnErase(const std::string& key) override;
+  bool Victim(std::string* key) override;
+  const char* Name() const override { return "lfu"; }
+
+  /// Inserts `key` with a pre-seeded frequency (used by CR-LFU churn
+  /// resistance when restoring frequency from history).
+  void InsertWithFrequency(const std::string& key, uint64_t freq);
+  /// Like Victim but breaks ties within the minimum-frequency bucket by
+  /// evicting the most recently inserted key (CR-LFU churn resistance:
+  /// established entries survive a churn of equal-frequency newcomers).
+  bool VictimMru(std::string* key);
+  /// Reports the key VictimMru would pick without removing it.
+  bool PeekVictimMru(std::string* key) const;
+  uint64_t FrequencyOf(const std::string& key) const;
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t freq;
+    std::list<std::string>::iterator pos;  // position in its bucket list
+  };
+
+  void Bump(const std::string& key, Entry& entry);
+
+  // freq -> keys in that bucket, front = oldest.
+  std::map<uint64_t, std::list<std::string>> buckets_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+std::unique_ptr<EvictionPolicy> NewLruPolicy();
+std::unique_ptr<EvictionPolicy> NewLfuPolicy();
+
+}  // namespace adcache
+
+#endif  // ADCACHE_CACHE_EVICTION_POLICY_H_

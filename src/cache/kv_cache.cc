@@ -1,0 +1,40 @@
+#include "cache/kv_cache.h"
+
+namespace adcache {
+
+namespace {
+
+void DeleteString(const Slice& /*key*/, void* value) {
+  delete static_cast<std::string*>(value);
+}
+
+// Fixed per-entry bookkeeping cost charged on top of key/value bytes.
+constexpr size_t kEntryOverhead = 64;
+
+}  // namespace
+
+KvCache::KvCache(size_t capacity_bytes)
+    : cache_(NewLRUCache(capacity_bytes)) {}
+
+bool KvCache::Get(const Slice& key, std::string* value) {
+  Cache::Handle* h = cache_->Lookup(key);
+  if (h == nullptr) return false;
+  *value = *static_cast<std::string*>(cache_->Value(h));
+  cache_->Release(h);
+  return true;
+}
+
+void KvCache::Put(const Slice& key, const Slice& value) {
+  auto* stored = new std::string(value.ToString());
+  size_t charge = key.size() + value.size() + kEntryOverhead;
+  Cache::Handle* h = cache_->Insert(key, stored, charge, &DeleteString);
+  if (h != nullptr) cache_->Release(h);
+}
+
+void KvCache::Erase(const Slice& key) { cache_->Erase(key); }
+
+void KvCache::SetCapacity(size_t capacity_bytes) {
+  cache_->SetCapacity(capacity_bytes);
+}
+
+}  // namespace adcache

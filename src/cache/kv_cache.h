@@ -1,0 +1,39 @@
+#ifndef ADCACHE_CACHE_KV_CACHE_H_
+#define ADCACHE_CACHE_KV_CACHE_H_
+
+#include <memory>
+#include <string>
+
+#include "cache/cache.h"
+
+namespace adcache {
+
+/// Result cache for point lookups only (RocksDB's "row cache" baseline):
+/// user key -> value, LRU-evicted, immune to compaction. Range scans bypass
+/// it entirely.
+class KvCache {
+ public:
+  explicit KvCache(size_t capacity_bytes);
+
+  KvCache(const KvCache&) = delete;
+  KvCache& operator=(const KvCache&) = delete;
+
+  /// Returns true and fills `*value` on hit.
+  bool Get(const Slice& key, std::string* value);
+
+  void Put(const Slice& key, const Slice& value);
+  void Erase(const Slice& key);
+
+  void SetCapacity(size_t capacity_bytes);
+  size_t GetUsage() const { return cache_->GetUsage(); }
+  size_t GetCapacity() const { return cache_->GetCapacity(); }
+  uint64_t hits() const { return cache_->hits(); }
+  uint64_t misses() const { return cache_->misses(); }
+
+ private:
+  std::shared_ptr<Cache> cache_;
+};
+
+}  // namespace adcache
+
+#endif  // ADCACHE_CACHE_KV_CACHE_H_

@@ -1,0 +1,125 @@
+#include "cache/lecar.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adcache {
+
+void LeCaRPolicy::History::Add(const std::string& key, uint64_t time) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    fifo_.erase(it->second.second);
+    map_.erase(it);
+  }
+  while (map_.size() >= std::max<size_t>(1, capacity_)) {
+    map_.erase(fifo_.front());
+    fifo_.pop_front();
+  }
+  fifo_.push_back(key);
+  map_[key] = {time, std::prev(fifo_.end())};
+}
+
+bool LeCaRPolicy::History::Take(const std::string& key, uint64_t* time) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  *time = it->second.first;
+  fifo_.erase(it->second.second);
+  map_.erase(it);
+  return true;
+}
+
+void LeCaRPolicy::History::Remove(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  fifo_.erase(it->second.second);
+  map_.erase(it);
+}
+
+LeCaRPolicy::LeCaRPolicy() : LeCaRPolicy(Options()) {}
+
+LeCaRPolicy::LeCaRPolicy(const Options& options)
+    : options_(options), rng_(options.seed) {}
+
+size_t LeCaRPolicy::HistoryCapacity() const {
+  return options_.history_capacity != 0 ? options_.history_capacity
+                                        : std::max<size_t>(1, resident_);
+}
+
+void LeCaRPolicy::OnInsert(const std::string& key) {
+  time_++;
+  resident_++;
+  h_lru_.SetCapacity(HistoryCapacity());
+  h_lfu_.SetCapacity(HistoryCapacity());
+  // A key re-admitted after eviction must not linger in the ghosts.
+  h_lru_.Remove(key);
+  h_lfu_.Remove(key);
+  lru_.OnInsert(key);
+  lfu_.OnInsert(key);
+}
+
+void LeCaRPolicy::OnAccess(const std::string& key) {
+  time_++;
+  lru_.OnAccess(key);
+  lfu_.OnAccess(key);
+}
+
+void LeCaRPolicy::OnErase(const std::string& key) {
+  if (resident_ > 0) resident_--;
+  lru_.OnErase(key);
+  lfu_.OnErase(key);
+}
+
+void LeCaRPolicy::AdjustWeight(bool lru_at_fault, uint64_t evict_time) {
+  const size_t n = HistoryCapacity();
+  const double d = std::pow(options_.discount_base,
+                            1.0 / static_cast<double>(std::max<size_t>(1, n)));
+  const double age = static_cast<double>(time_ - evict_time);
+  const double regret = std::pow(d, age);
+  double w_lru = w_lru_;
+  double w_lfu = 1.0 - w_lru_;
+  if (lru_at_fault) {
+    w_lru *= std::exp(-options_.learning_rate * regret);
+  } else {
+    w_lfu *= std::exp(-options_.learning_rate * regret);
+  }
+  w_lru_ = w_lru / (w_lru + w_lfu);
+  // Keep both experts alive.
+  w_lru_ = std::clamp(w_lru_, 0.01, 0.99);
+}
+
+void LeCaRPolicy::OnMiss(const std::string& key) {
+  time_++;
+  uint64_t evict_time = 0;
+  if (h_lru_.Take(key, &evict_time)) {
+    AdjustWeight(/*lru_at_fault=*/true, evict_time);
+  } else if (h_lfu_.Take(key, &evict_time)) {
+    AdjustWeight(/*lru_at_fault=*/false, evict_time);
+  }
+}
+
+bool LeCaRPolicy::Victim(std::string* key) {
+  const bool use_lru = rng_.NextDouble() < w_lru_;
+  std::string victim;
+  bool ok = use_lru ? lru_.Victim(&victim) : lfu_.Victim(&victim);
+  if (!ok) {
+    // The chosen expert is empty (shouldn't happen when both track the same
+    // resident set, but be defensive): try the other.
+    ok = use_lru ? lfu_.Victim(&victim) : lru_.Victim(&victim);
+    if (!ok) return false;
+  }
+  // Keep the experts consistent: remove the victim from the other structure.
+  lru_.OnErase(victim);
+  lfu_.OnErase(victim);
+  if (resident_ > 0) resident_--;
+  (use_lru ? h_lru_ : h_lfu_).Add(victim, time_);
+  *key = victim;
+  return true;
+}
+
+std::unique_ptr<EvictionPolicy> NewLeCaRPolicy(uint64_t seed) {
+  LeCaRPolicy::Options opts;
+  opts.seed = seed;
+  return std::make_unique<LeCaRPolicy>(opts);
+}
+
+}  // namespace adcache

@@ -1,0 +1,82 @@
+#ifndef ADCACHE_CACHE_LECAR_H_
+#define ADCACHE_CACHE_LECAR_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cache/eviction_policy.h"
+#include "util/random.h"
+
+namespace adcache {
+
+/// LeCaR (Vietri et al., HotStorage '18): regret-minimising mixture of LRU
+/// and LFU. Two ghost histories remember which expert evicted each departed
+/// key; when a missed key is found in a history, the responsible expert's
+/// weight is multiplicatively decreased with a time-discounted regret, and a
+/// weighted coin picks the expert for each eviction.
+class LeCaRPolicy : public EvictionPolicy {
+ public:
+  struct Options {
+    double learning_rate = 0.45;
+    /// Per-step regret discount base; the effective discount is
+    /// discount_base^(1/history_capacity) per LeCaR's reference code.
+    double discount_base = 0.005;
+    /// Max entries per ghost history. 0 means "track as many as resident".
+    size_t history_capacity = 0;
+    uint64_t seed = 42;
+  };
+
+  LeCaRPolicy();
+  explicit LeCaRPolicy(const Options& options);
+
+  void OnInsert(const std::string& key) override;
+  void OnAccess(const std::string& key) override;
+  void OnErase(const std::string& key) override;
+  void OnMiss(const std::string& key) override;
+  bool Victim(std::string* key) override;
+  const char* Name() const override { return "lecar"; }
+
+  double weight_lru() const { return w_lru_; }
+  double weight_lfu() const { return 1.0 - w_lru_; }
+
+ private:
+  /// Bounded FIFO ghost list with O(1) membership and eviction timestamps.
+  class History {
+   public:
+    void SetCapacity(size_t cap) { capacity_ = cap; }
+    void Add(const std::string& key, uint64_t time);
+    /// Removes `key` and returns its eviction time via `*time`.
+    bool Take(const std::string& key, uint64_t* time);
+    void Remove(const std::string& key);
+    size_t size() const { return map_.size(); }
+
+   private:
+    size_t capacity_ = 1;
+    std::list<std::string> fifo_;
+    std::unordered_map<std::string,
+                       std::pair<uint64_t, std::list<std::string>::iterator>>
+        map_;
+  };
+
+  void AdjustWeight(bool lru_at_fault, uint64_t evict_time);
+  size_t HistoryCapacity() const;
+
+  Options options_;
+  LruPolicy lru_;
+  LfuPolicy lfu_;
+  History h_lru_;
+  History h_lfu_;
+  double w_lru_ = 0.5;
+  uint64_t time_ = 0;
+  size_t resident_ = 0;
+  Random rng_;
+};
+
+std::unique_ptr<EvictionPolicy> NewLeCaRPolicy(uint64_t seed = 42);
+
+}  // namespace adcache
+
+#endif  // ADCACHE_CACHE_LECAR_H_

@@ -1,0 +1,243 @@
+#include "cache/lru_cache.h"
+
+#include <cassert>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace adcache {
+
+namespace cache_internal {
+
+LRUCacheShard::LRUCacheShard() {
+  lru_.next = &lru_;
+  lru_.prev = &lru_;
+}
+
+LRUCacheShard::~LRUCacheShard() {
+  // All handles must be released by now; drop everything resident.
+  for (auto& [key, e] : table_) {
+    assert(e->refs == 1);  // only the cache's own reference
+    e->in_cache = false;
+    if (e->deleter != nullptr) e->deleter(Slice(e->key), e->value);
+    delete e;
+  }
+}
+
+void LRUCacheShard::LRU_Remove(LRUHandle* e) {
+  e->next->prev = e->prev;
+  e->prev->next = e->next;
+  e->next = e->prev = nullptr;
+}
+
+void LRUCacheShard::LRU_Append(LRUHandle* e) {
+  // Insert at MRU position (just before the dummy head).
+  e->next = &lru_;
+  e->prev = lru_.prev;
+  e->prev->next = e;
+  e->next->prev = e;
+}
+
+void LRUCacheShard::Unref(LRUHandle* e) {
+  assert(e->refs > 0);
+  e->refs--;
+  if (e->refs == 0) {
+    if (e->deleter != nullptr) e->deleter(Slice(e->key), e->value);
+    delete e;
+  } else if (e->in_cache && e->refs == 1) {
+    // No external pins remain: entry becomes evictable.
+    LRU_Append(e);
+  }
+}
+
+void LRUCacheShard::FinishErase(LRUHandle* e) {
+  assert(e->in_cache);
+  e->in_cache = false;
+  usage_ -= e->charge;
+  if (e->next != nullptr) LRU_Remove(e);
+  Unref(e);
+}
+
+void LRUCacheShard::EvictToFit() {
+  while (usage_ > capacity_ && lru_.next != &lru_) {
+    LRUHandle* old = lru_.next;
+    table_.erase(old->key);
+    FinishErase(old);
+  }
+}
+
+Cache::Handle* LRUCacheShard::Insert(const Slice& key, void* value,
+                                     size_t charge, Cache::Deleter deleter) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto* e = new LRUHandle();
+  e->value = value;
+  e->deleter = deleter;
+  e->charge = charge;
+  e->key = key.ToString();
+  e->in_cache = true;
+  e->refs = 2;  // cache's reference + returned handle
+  e->next = e->prev = nullptr;
+
+  auto it = table_.find(e->key);
+  if (it != table_.end()) {
+    FinishErase(it->second);
+    it->second = e;
+  } else {
+    table_.emplace(e->key, e);
+  }
+  usage_ += charge;
+  EvictToFit();
+  return reinterpret_cast<Cache::Handle*>(e);
+}
+
+Cache::Handle* LRUCacheShard::Lookup(const Slice& key) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = table_.find(std::string(key.data(), key.size()));
+  if (it == table_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  LRUHandle* e = it->second;
+  if (e->refs == 1) LRU_Remove(e);  // pinned entries leave the LRU list
+  e->refs++;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return reinterpret_cast<Cache::Handle*>(e);
+}
+
+bool LRUCacheShard::Contains(const Slice& key) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return table_.count(std::string(key.data(), key.size())) > 0;
+}
+
+void LRUCacheShard::Release(Cache::Handle* handle) {
+  std::lock_guard<std::mutex> l(mu_);
+  LRUHandle* e = reinterpret_cast<LRUHandle*>(handle);
+  Unref(e);
+  // Releasing a pin can push usage handling: if over capacity, evict.
+  EvictToFit();
+}
+
+void LRUCacheShard::Erase(const Slice& key) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = table_.find(std::string(key.data(), key.size()));
+  if (it != table_.end()) {
+    LRUHandle* e = it->second;
+    table_.erase(it);
+    FinishErase(e);
+  }
+}
+
+void LRUCacheShard::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> l(mu_);
+  capacity_ = capacity;
+  EvictToFit();
+}
+
+size_t LRUCacheShard::GetCapacity() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return capacity_;
+}
+
+size_t LRUCacheShard::GetUsage() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return usage_;
+}
+
+void LRUCacheShard::Prune() {
+  std::lock_guard<std::mutex> l(mu_);
+  while (lru_.next != &lru_) {
+    LRUHandle* old = lru_.next;
+    table_.erase(old->key);
+    FinishErase(old);
+  }
+}
+
+}  // namespace cache_internal
+
+namespace {
+
+int DefaultShardBits(size_t capacity) {
+  // Roughly one shard per 512 KB, capped at 16 shards for test determinism.
+  int bits = 0;
+  size_t per_shard = 512 * 1024;
+  while ((capacity >> bits) > per_shard && bits < 4) bits++;
+  return bits;
+}
+
+}  // namespace
+
+ShardedLRUCache::ShardedLRUCache(size_t capacity, int num_shard_bits) {
+  if (num_shard_bits < 0) num_shard_bits = DefaultShardBits(capacity);
+  size_t num_shards = size_t{1} << num_shard_bits;
+  shards_ = std::vector<cache_internal::LRUCacheShard>(num_shards);
+  shard_mask_ = static_cast<uint32_t>(num_shards - 1);
+  SetCapacity(capacity);
+}
+
+cache_internal::LRUCacheShard& ShardedLRUCache::ShardFor(const Slice& key) {
+  uint32_t h = HashSlice(key);
+  return shards_[h & shard_mask_];
+}
+
+Cache::Handle* ShardedLRUCache::Insert(const Slice& key, void* value,
+                                       size_t charge, Deleter deleter) {
+  return ShardFor(key).Insert(key, value, charge, deleter);
+}
+
+Cache::Handle* ShardedLRUCache::Lookup(const Slice& key) {
+  return ShardFor(key).Lookup(key);
+}
+
+bool ShardedLRUCache::Contains(const Slice& key) const {
+  uint32_t h = HashSlice(key);
+  return shards_[h & shard_mask_].Contains(key);
+}
+
+void ShardedLRUCache::Release(Handle* handle) {
+  auto* e = reinterpret_cast<cache_internal::LRUHandle*>(handle);
+  ShardFor(Slice(e->key)).Release(handle);
+}
+
+void* ShardedLRUCache::Value(Handle* handle) {
+  return reinterpret_cast<cache_internal::LRUHandle*>(handle)->value;
+}
+
+void ShardedLRUCache::Erase(const Slice& key) { ShardFor(key).Erase(key); }
+
+void ShardedLRUCache::SetCapacity(size_t capacity) {
+  capacity_.store(capacity, std::memory_order_relaxed);
+  size_t per_shard = (capacity + shards_.size() - 1) / shards_.size();
+  for (auto& s : shards_) s.SetCapacity(per_shard);
+}
+
+size_t ShardedLRUCache::GetCapacity() const {
+  return capacity_.load(std::memory_order_relaxed);
+}
+
+size_t ShardedLRUCache::GetUsage() const {
+  size_t total = 0;
+  for (const auto& s : shards_) total += s.GetUsage();
+  return total;
+}
+
+void ShardedLRUCache::Prune() {
+  for (auto& s : shards_) s.Prune();
+}
+
+uint64_t ShardedLRUCache::hits() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s.hits();
+  return total;
+}
+
+uint64_t ShardedLRUCache::misses() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s.misses();
+  return total;
+}
+
+std::shared_ptr<Cache> NewLRUCache(size_t capacity, int num_shard_bits) {
+  return std::make_shared<ShardedLRUCache>(capacity, num_shard_bits);
+}
+
+}  // namespace adcache

@@ -1,0 +1,102 @@
+#ifndef ADCACHE_CACHE_LRU_CACHE_H_
+#define ADCACHE_CACHE_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace adcache {
+
+namespace cache_internal {
+
+/// One cache entry. Lives in the hash table and (when unpinned and resident)
+/// in the intrusive LRU list.
+struct LRUHandle {
+  void* value;
+  Cache::Deleter deleter;
+  LRUHandle* next;
+  LRUHandle* prev;
+  size_t charge;
+  uint32_t refs;     // external pins + 1 while in_cache
+  bool in_cache;     // whether the hash table still points at this entry
+  std::string key;
+};
+
+/// Single shard: mutex-protected hash table + LRU list, charge-based budget.
+class LRUCacheShard {
+ public:
+  LRUCacheShard();
+  ~LRUCacheShard();
+
+  LRUCacheShard(const LRUCacheShard&) = delete;
+  LRUCacheShard& operator=(const LRUCacheShard&) = delete;
+
+  Cache::Handle* Insert(const Slice& key, void* value, size_t charge,
+                        Cache::Deleter deleter);
+  Cache::Handle* Lookup(const Slice& key);
+  bool Contains(const Slice& key) const;
+  void Release(Cache::Handle* handle);
+  void Erase(const Slice& key);
+  void SetCapacity(size_t capacity);
+  size_t GetCapacity() const;
+  size_t GetUsage() const;
+  void Prune();
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  void LRU_Remove(LRUHandle* e);
+  void LRU_Append(LRUHandle* e);
+  /// Drops in_cache; frees if refcount hits zero. Caller holds mu_.
+  void FinishErase(LRUHandle* e);
+  void Unref(LRUHandle* e);
+  void EvictToFit();  // evict LRU entries until usage_ <= capacity_
+
+  mutable std::mutex mu_;
+  size_t capacity_ = 0;
+  size_t usage_ = 0;
+  LRUHandle lru_;  // dummy head; lru_.next is oldest
+  std::unordered_map<std::string, LRUHandle*> table_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace cache_internal
+
+/// Cache implementation over 2^num_shard_bits LRUCacheShards, sharded by key
+/// hash (mirrors RocksDB's sharded block cache; paper §4.4).
+class ShardedLRUCache : public Cache {
+ public:
+  ShardedLRUCache(size_t capacity, int num_shard_bits);
+
+  Handle* Insert(const Slice& key, void* value, size_t charge,
+                 Deleter deleter) override;
+  Handle* Lookup(const Slice& key) override;
+  bool Contains(const Slice& key) const override;
+  void Release(Handle* handle) override;
+  void* Value(Handle* handle) override;
+  void Erase(const Slice& key) override;
+  void SetCapacity(size_t capacity) override;
+  size_t GetCapacity() const override;
+  size_t GetUsage() const override;
+  void Prune() override;
+  uint64_t hits() const override;
+  uint64_t misses() const override;
+
+ private:
+  cache_internal::LRUCacheShard& ShardFor(const Slice& key);
+
+  std::vector<cache_internal::LRUCacheShard> shards_;
+  uint32_t shard_mask_;
+  std::atomic<size_t> capacity_;
+};
+
+}  // namespace adcache
+
+#endif  // ADCACHE_CACHE_LRU_CACHE_H_

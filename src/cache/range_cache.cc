@@ -1,0 +1,363 @@
+#include "cache/range_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adcache {
+
+namespace {
+
+// Fixed per-entry bookkeeping cost (map node, policy metadata, flags).
+constexpr size_t kEntryOverhead = 96;
+
+// Smallest string strictly greater than `key`.
+std::string JustAfter(const Slice& key) {
+  std::string s = key.ToString();
+  s.push_back('\0');
+  return s;
+}
+
+}  // namespace
+
+RangeCache::RangeCache(size_t capacity_bytes,
+                       std::unique_ptr<EvictionPolicy> policy)
+    : capacity_(capacity_bytes), policy_(std::move(policy)) {}
+
+size_t RangeCache::ChargeFor(const Slice& key, const Slice& value) const {
+  return key.size() + value.size() + kEntryOverhead;
+}
+
+bool RangeCache::Get(const Slice& key, std::string* value) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = map_.find(std::string(key.data(), key.size()));
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    policy_->OnMiss(key.ToString());
+    return false;
+  }
+  *value = it->second.value;
+  policy_->OnAccess(it->first);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool RangeCache::GetScan(const Slice& start, size_t n,
+                         std::vector<KvPair>* results) {
+  results->clear();
+  if (n == 0) return true;
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = map_.lower_bound(start.ToString());
+  bool full = false;
+  // The first cached entry at/after `start` provably is the first DB result
+  // for the seek if either (a) its recorded coverage reaches back to
+  // `start`, or (b) the preceding cached entry is chained to it (no DB key
+  // exists between them, and `start` falls in that gap).
+  bool covered = false;
+  if (it != map_.end()) {
+    covered = Slice(it->second.covers_from).compare(start) <= 0;
+    if (!covered && it != map_.begin() &&
+        std::prev(it)->second.adjacent_next) {
+      covered = true;
+    }
+  }
+  if (covered) {
+    std::vector<const std::string*> touched;
+    while (true) {
+      results->push_back(KvPair{it->first, it->second.value});
+      touched.push_back(&it->first);
+      if (results->size() == n) {
+        full = true;
+        break;
+      }
+      if (!it->second.adjacent_next) break;
+      auto next = std::next(it);
+      if (next == map_.end()) break;  // defensive: invariant violation
+      it = next;
+    }
+    if (full) {
+      for (const std::string* k : touched) policy_->OnAccess(*k);
+    }
+  }
+  if (!full) {
+    results->clear();
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    policy_->OnMiss(start.ToString());
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void RangeCache::PutPoint(const Slice& key, const Slice& value) {
+  std::lock_guard<std::mutex> l(mu_);
+  std::string k = key.ToString();
+  auto it = map_.find(k);
+  if (it != map_.end()) {
+    usage_ -= it->second.charge;
+    it->second.value = value.ToString();
+    it->second.charge = ChargeFor(key, value);
+    usage_ += it->second.charge;
+    policy_->OnAccess(k);
+  } else {
+    Entry e;
+    e.value = value.ToString();
+    e.covers_from = k;
+    e.adjacent_next = false;
+    e.charge = ChargeFor(key, value);
+    auto [pos, inserted] = map_.emplace(std::move(k), std::move(e));
+    usage_ += pos->second.charge;
+    policy_->OnInsert(pos->first);
+    // Defensive coverage repair (no-op while invariants hold): the successor
+    // cannot claim to be the first result for seeks at or before this key.
+    auto succ = std::next(pos);
+    if (succ != map_.end() &&
+        Slice(succ->second.covers_from).compare(key) <= 0) {
+      succ->second.covers_from = JustAfter(key);
+    }
+  }
+  EvictToFit();
+}
+
+void RangeCache::PutScan(const Slice& start, const std::vector<KvPair>& results,
+                         size_t admit_limit) {
+  if (results.empty()) return;
+  std::lock_guard<std::mutex> l(mu_);
+  size_t inserted = 0;
+  auto prev_it = map_.end();
+  bool first_processed = true;
+  for (const KvPair& r : results) {
+    auto it = map_.find(r.key);
+    if (it == map_.end()) {
+      if (inserted >= admit_limit) break;
+      policy_->OnMiss(r.key);  // ghost-history learning before re-admission
+      Entry e;
+      e.value = r.value;
+      e.covers_from = r.key;
+      e.adjacent_next = false;
+      e.charge = ChargeFor(r.key, r.value);
+      it = map_.emplace(r.key, std::move(e)).first;
+      usage_ += it->second.charge;
+      policy_->OnInsert(r.key);
+      inserted++;
+    } else {
+      usage_ -= it->second.charge;
+      it->second.value = r.value;
+      it->second.charge = ChargeFor(r.key, r.value);
+      usage_ += it->second.charge;
+      policy_->OnAccess(r.key);
+    }
+    if (first_processed) {
+      if (start.compare(Slice(it->second.covers_from)) < 0) {
+        it->second.covers_from = start.ToString();
+      }
+      first_processed = false;
+    }
+    if (prev_it != map_.end()) {
+      // The scan observed prev and this entry back to back.
+      prev_it->second.adjacent_next = true;
+    }
+    prev_it = it;
+  }
+  EvictToFit();
+}
+
+void RangeCache::InvalidateWrite(const Slice& key, const Slice& value) {
+  std::lock_guard<std::mutex> l(mu_);
+  std::string k = key.ToString();
+  auto it = map_.find(k);
+  if (it != map_.end()) {
+    // Write-through refresh; recency/frequency state is left untouched.
+    usage_ -= it->second.charge;
+    it->second.value = value.ToString();
+    it->second.charge = ChargeFor(key, value);
+    usage_ += it->second.charge;
+    EvictToFit();
+    return;
+  }
+  // A brand-new DB key falsifies adjacency across it and any coverage claim
+  // spanning it.
+  auto succ = map_.lower_bound(k);
+  if (succ != map_.end() &&
+      Slice(succ->second.covers_from).compare(key) <= 0) {
+    succ->second.covers_from = JustAfter(key);
+  }
+  if (succ != map_.begin() && !map_.empty()) {
+    auto pred = std::prev(succ);
+    if (pred->second.adjacent_next) pred->second.adjacent_next = false;
+  }
+}
+
+void RangeCache::InvalidateDelete(const Slice& key) {
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = map_.find(key.ToString());
+  if (it == map_.end()) return;
+  // If pred->key->succ were fully chained, pred remains adjacent to succ
+  // once the key is deleted from the database.
+  if (it != map_.begin()) {
+    auto pred = std::prev(it);
+    if (pred->second.adjacent_next) {
+      pred->second.adjacent_next = it->second.adjacent_next;
+    }
+  }
+  usage_ -= it->second.charge;
+  policy_->OnErase(it->first);
+  map_.erase(it);
+}
+
+void RangeCache::Clear() {
+  std::lock_guard<std::mutex> l(mu_);
+  for (auto& [k, e] : map_) policy_->OnErase(k);
+  map_.clear();
+  usage_ = 0;
+}
+
+void RangeCache::RemoveEntry(Map::iterator it) {
+  if (it != map_.begin()) {
+    auto pred = std::prev(it);
+    // Eviction loses the knowledge that pred's successor was cached.
+    pred->second.adjacent_next = false;
+  }
+  usage_ -= it->second.charge;
+  map_.erase(it);
+}
+
+void RangeCache::EvictToFit() {
+  size_t guard = map_.size() + 1;
+  while (usage_ > capacity_ && guard-- > 0) {
+    std::string victim;
+    if (!policy_->Victim(&victim)) break;
+    auto it = map_.find(victim);
+    if (it == map_.end()) continue;  // policy desync; skip
+    RemoveEntry(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RangeCache::SetCapacity(size_t capacity_bytes) {
+  std::lock_guard<std::mutex> l(mu_);
+  capacity_ = capacity_bytes;
+  EvictToFit();
+}
+
+size_t RangeCache::GetCapacity() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return capacity_;
+}
+
+size_t RangeCache::GetUsage() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return usage_;
+}
+
+size_t RangeCache::EntryCount() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return map_.size();
+}
+
+// ---------------------------------------------------------------------------
+// ShardedRangeCache
+// ---------------------------------------------------------------------------
+
+ShardedRangeCache::ShardedRangeCache(size_t capacity_bytes,
+                                     std::vector<std::string> boundaries,
+                                     PolicyFactory policy_factory,
+                                     uint64_t seed)
+    : boundaries_(std::move(boundaries)) {
+  assert(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+  size_t num_shards = boundaries_.size() + 1;
+  size_t per_shard = (capacity_bytes + num_shards - 1) / num_shards;
+  for (size_t i = 0; i < num_shards; i++) {
+    shards_.push_back(
+        std::make_unique<RangeCache>(per_shard, policy_factory(seed + i)));
+  }
+}
+
+size_t ShardedRangeCache::ShardFor(const Slice& key) const {
+  // First boundary strictly greater than key determines the shard.
+  size_t lo = 0;
+  size_t hi = boundaries_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (Slice(boundaries_[mid]).compare(key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool ShardedRangeCache::Get(const Slice& key, std::string* value) {
+  return shards_[ShardFor(key)]->Get(key, value);
+}
+
+bool ShardedRangeCache::GetScan(const Slice& start, size_t n,
+                                std::vector<KvPair>* results) {
+  // Scans are served from the shard owning the seek key; chains never cross
+  // shard boundaries by construction of PutScan below.
+  return shards_[ShardFor(start)]->GetScan(start, n, results);
+}
+
+void ShardedRangeCache::PutPoint(const Slice& key, const Slice& value) {
+  shards_[ShardFor(key)]->PutPoint(key, value);
+}
+
+void ShardedRangeCache::PutScan(const Slice& start,
+                                const std::vector<KvPair>& results,
+                                size_t admit_limit) {
+  if (results.empty()) return;
+  // Split the result run at shard boundaries; each segment becomes an
+  // independent scan insert whose seek key is the segment's first key
+  // (except the first segment, which keeps the caller's seek key).
+  size_t i = 0;
+  bool first_segment = true;
+  while (i < results.size() && admit_limit > 0) {
+    size_t shard = ShardFor(Slice(results[i].key));
+    size_t j = i;
+    while (j < results.size() && ShardFor(Slice(results[j].key)) == shard) {
+      j++;
+    }
+    std::vector<KvPair> segment(results.begin() + static_cast<long>(i),
+                                results.begin() + static_cast<long>(j));
+    Slice seek = first_segment ? start : Slice(segment.front().key);
+    size_t before = shards_[shard]->EntryCount();
+    shards_[shard]->PutScan(seek, segment, admit_limit);
+    size_t after = shards_[shard]->EntryCount();
+    admit_limit -= std::min(admit_limit, after - std::min(after, before));
+    first_segment = false;
+    i = j;
+  }
+}
+
+void ShardedRangeCache::InvalidateWrite(const Slice& key, const Slice& value) {
+  shards_[ShardFor(key)]->InvalidateWrite(key, value);
+}
+
+void ShardedRangeCache::InvalidateDelete(const Slice& key) {
+  shards_[ShardFor(key)]->InvalidateDelete(key);
+}
+
+void ShardedRangeCache::SetCapacity(size_t capacity_bytes) {
+  size_t per_shard = (capacity_bytes + shards_.size() - 1) / shards_.size();
+  for (auto& s : shards_) s->SetCapacity(per_shard);
+}
+
+size_t ShardedRangeCache::GetUsage() const {
+  size_t total = 0;
+  for (const auto& s : shards_) total += s->GetUsage();
+  return total;
+}
+
+uint64_t ShardedRangeCache::hits() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->hits();
+  return total;
+}
+
+uint64_t ShardedRangeCache::misses() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->misses();
+  return total;
+}
+
+}  // namespace adcache

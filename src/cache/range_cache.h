@@ -1,0 +1,151 @@
+#ifndef ADCACHE_CACHE_RANGE_CACHE_H_
+#define ADCACHE_CACHE_RANGE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/eviction_policy.h"
+#include "util/slice.h"
+
+namespace adcache {
+
+/// A key-value pair returned by / fed into scans.
+struct KvPair {
+  std::string key;
+  std::string value;
+};
+
+/// RangeCache is a result-based cache (re-implementation of Range Cache,
+/// ICDE '24, as the AdCache paper itself does): query results are stored as
+/// logically ordered key-value entries, decoupled from the physical SSTable
+/// layout and therefore immune to compaction.
+///
+/// Entries live in an ordered map (the paper's skip list; any ordered
+/// dictionary gives the same semantics). Each entry tracks:
+///   - `adjacent_next`: the next cache entry is known to be this key's direct
+///     DB successor (set when a scan observed them back to back);
+///   - `covers_from`: the smallest seek key for which this entry is known to
+///     be the first DB result — a scan from `start` can only begin at this
+///     entry if `covers_from <= start`.
+/// A scan is served from cache only if the full requested prefix is present
+/// and chained; otherwise it is a miss and falls through to the LSM-tree
+/// (partial hits still pay the full seek, as the paper notes).
+///
+/// Replacement is entry-granular and delegated to an EvictionPolicy
+/// (LRU by default; LeCaR / Cacheus for the learning baselines).
+/// Thread-safe via a single mutex; see ShardedRangeCache for multi-client use.
+class RangeCache {
+ public:
+  RangeCache(size_t capacity_bytes, std::unique_ptr<EvictionPolicy> policy);
+
+  RangeCache(const RangeCache&) = delete;
+  RangeCache& operator=(const RangeCache&) = delete;
+
+  /// Point lookup. Returns true and fills `*value` on an exact hit.
+  bool Get(const Slice& key, std::string* value);
+
+  /// Range lookup: try to serve `n` entries starting from the first DB key
+  /// >= `start`. All-or-nothing: returns true only if the full prefix of `n`
+  /// entries (or a chain that provably reaches end-of-data) is cached.
+  bool GetScan(const Slice& start, size_t n, std::vector<KvPair>* results);
+
+  /// Admits a point-lookup result.
+  void PutPoint(const Slice& key, const Slice& value);
+
+  /// Admits (part of) a scan result. `results` are the consecutive DB
+  /// entries returned by a scan seeded at `start`. At most `admit_limit`
+  /// *new* entries are inserted (already-cached entries are refreshed and
+  /// chained for free, so overlapping scans gradually extend coverage —
+  /// paper §3.4 partial admission).
+  void PutScan(const Slice& start, const std::vector<KvPair>& results,
+               size_t admit_limit);
+
+  /// Write-through for a DB Put: updates the cached value if present;
+  /// otherwise breaks any adjacency / coverage claims the new key falsifies.
+  void InvalidateWrite(const Slice& key, const Slice& value);
+
+  /// Removes a deleted key and conservatively repairs adjacency.
+  void InvalidateDelete(const Slice& key);
+
+  /// Drops every entry.
+  void Clear();
+
+  void SetCapacity(size_t capacity_bytes);
+  size_t GetCapacity() const;
+  size_t GetUsage() const;
+  size_t EntryCount() const;
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  const EvictionPolicy* policy() const { return policy_.get(); }
+
+ private:
+  struct Entry {
+    std::string value;
+    std::string covers_from;
+    bool adjacent_next = false;
+    size_t charge = 0;
+  };
+
+  using Map = std::map<std::string, Entry>;
+
+  size_t ChargeFor(const Slice& key, const Slice& value) const;
+  void EvictToFit();                 // holds mu_
+  void RemoveEntry(Map::iterator it);  // holds mu_; fixes pred adjacency
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  size_t usage_ = 0;
+  Map map_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+/// Key-range partitioned wrapper for multi-client workloads (paper §4.4):
+/// the key space is split into `num_shards` contiguous partitions, each an
+/// independent RangeCache with its own lock. Scans that stay inside one
+/// partition (the common case) take a single lock.
+class ShardedRangeCache {
+ public:
+  using PolicyFactory = std::unique_ptr<EvictionPolicy> (*)(uint64_t seed);
+
+  /// `boundaries` are the (sorted) lower bounds of shards 1..n-1; keys below
+  /// boundaries[0] map to shard 0.
+  ShardedRangeCache(size_t capacity_bytes,
+                    std::vector<std::string> boundaries,
+                    PolicyFactory policy_factory, uint64_t seed = 42);
+
+  bool Get(const Slice& key, std::string* value);
+  bool GetScan(const Slice& start, size_t n, std::vector<KvPair>* results);
+  void PutPoint(const Slice& key, const Slice& value);
+  void PutScan(const Slice& start, const std::vector<KvPair>& results,
+               size_t admit_limit);
+  void InvalidateWrite(const Slice& key, const Slice& value);
+  void InvalidateDelete(const Slice& key);
+  void SetCapacity(size_t capacity_bytes);
+  size_t GetUsage() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  size_t ShardFor(const Slice& key) const;
+
+  std::vector<std::string> boundaries_;
+  std::vector<std::unique_ptr<RangeCache>> shards_;
+};
+
+}  // namespace adcache
+
+#endif  // ADCACHE_CACHE_RANGE_CACHE_H_

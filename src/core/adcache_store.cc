@@ -1,0 +1,196 @@
+#include "core/adcache_store.h"
+
+#include <algorithm>
+
+namespace adcache::core {
+
+// ---------------------------------------------------------------------------
+// Shared helper
+// ---------------------------------------------------------------------------
+
+Status ScanFromDb(lsm::DB* db, const lsm::ReadOptions& read_options,
+                  const Slice& start, size_t n,
+                  std::vector<KvPair>* results) {
+  results->clear();
+  std::unique_ptr<lsm::Iterator> iter(db->NewIterator(read_options));
+  for (iter->Seek(start); iter->Valid() && results->size() < n;
+       iter->Next()) {
+    results->push_back(
+        KvPair{iter->key().ToString(), iter->value().ToString()});
+  }
+  return iter->status();
+}
+
+// ---------------------------------------------------------------------------
+// AdCacheStore
+// ---------------------------------------------------------------------------
+
+AdCacheStore::AdCacheStore(const AdCacheOptions& options)
+    : options_(options),
+      point_admission_(options.point_admission),
+      scan_admission_(options.scan_admission_max_a),
+      next_window_at_(options.controller.window_size) {
+  cache_ = std::make_unique<DynamicCacheComponent>(
+      options.cache_budget, options.initial_range_ratio, NewLruPolicy());
+  controller_ = std::make_unique<PolicyController>(
+      options.controller, cache_.get(), &point_admission_, &scan_admission_);
+}
+
+Status AdCacheStore::Open(const AdCacheOptions& options,
+                          const lsm::Options& lsm_options,
+                          const std::string& dbname,
+                          std::unique_ptr<AdCacheStore>* store) {
+  auto s = std::unique_ptr<AdCacheStore>(new AdCacheStore(options));
+  if (!options.pretrained_model.empty()) {
+    Status st = s->controller_->LoadModel(Slice(options.pretrained_model));
+    if (!st.ok()) return st;
+  } else if (options.controller.pretrain_heuristic) {
+    s->controller_->PretrainHeuristic(options.controller.pretrain_steps,
+                                      options.controller.agent.seed + 77);
+  }
+  lsm::Options db_options = lsm_options;
+  db_options.block_cache = s->cache_->block_cache();
+  Status st = lsm::DB::Open(db_options, dbname, &s->db_);
+  if (!st.ok()) return st;
+  *store = std::move(s);
+  return Status::OK();
+}
+
+LsmShapeParams AdCacheStore::CurrentShape() const {
+  lsm::DB::LsmShape raw = db_->GetLsmShape();
+  LsmShapeParams shape;
+  shape.num_levels = std::max(1, raw.num_levels_nonempty);
+  shape.l0_max_runs = db_->options().l0_stop_trigger;
+  shape.entries_per_block =
+      raw.entries_per_block > 0 ? raw.entries_per_block : 4.0;
+  shape.bloom_fpr =
+      IoEstimator::BloomFprForBitsPerKey(db_->options().bloom_bits_per_key);
+  return shape;
+}
+
+void AdCacheStore::MaybeEndWindow() {
+  uint64_t total = stats_.TotalOps();
+  uint64_t target = next_window_at_.load(std::memory_order_relaxed);
+  if (total < target) return;
+  std::lock_guard<std::mutex> l(window_mu_);
+  target = next_window_at_.load(std::memory_order_relaxed);
+  if (stats_.TotalOps() < target) return;  // another thread handled it
+  next_window_at_.store(target + options_.controller.window_size,
+                        std::memory_order_relaxed);
+  lsm::DB::LsmShape raw = db_->GetLsmShape();
+  WindowStats window =
+      stats_.Harvest(db_->env()->io_stats()->block_reads.load(),
+                     raw.compaction_count, raw.flush_count);
+  controller_->OnWindowEnd(window, CurrentShape());
+}
+
+void AdCacheStore::ForceWindowEnd() {
+  std::lock_guard<std::mutex> l(window_mu_);
+  lsm::DB::LsmShape raw = db_->GetLsmShape();
+  WindowStats window =
+      stats_.Harvest(db_->env()->io_stats()->block_reads.load(),
+                     raw.compaction_count, raw.flush_count);
+  controller_->OnWindowEnd(window, CurrentShape());
+}
+
+Status AdCacheStore::Put(const Slice& key, const Slice& value) {
+  Status s = db_->Put(lsm::WriteOptions(), key, value);
+  if (s.ok()) cache_->range_cache()->InvalidateWrite(key, value);
+  stats_.RecordWrite();
+  MaybeEndWindow();
+  return s;
+}
+
+Status AdCacheStore::Delete(const Slice& key) {
+  Status s = db_->Delete(lsm::WriteOptions(), key);
+  if (s.ok()) cache_->range_cache()->InvalidateDelete(key);
+  stats_.RecordWrite();
+  MaybeEndWindow();
+  return s;
+}
+
+Status AdCacheStore::Get(const Slice& key, std::string* value) {
+  // Query handling path (paper Fig. 5): range cache -> memtable -> block
+  // cache -> disk; the last three live inside lsm::DB::Get.
+  if (cache_->range_cache()->Get(key, value)) {
+    stats_.RecordPointLookup(/*range_cache_hit=*/true);
+    MaybeEndWindow();
+    return Status::OK();
+  }
+  Status s = db_->Get(lsm::ReadOptions(), key, value);
+  if (s.ok()) {
+    // Cache fill path: frequency-gated admission into the range cache.
+    // Admission control exists to prevent evictions of valuable entries;
+    // while the range cache still has headroom there is nothing to evict,
+    // so admission is free (the sketch is still updated for later).
+    bool admit = true;
+    if (options_.controller.enable_admission) {
+      bool frequent = point_admission_.RecordMissAndCheckAdmit(key);
+      bool has_headroom =
+          cache_->RangeUsage() + key.size() + value->size() + 128 <=
+          cache_->range_cache()->GetCapacity();
+      admit = frequent || has_headroom;
+    }
+    if (admit) {
+      cache_->range_cache()->PutPoint(key, *value);
+      stats_.RecordPointAdmit();
+    }
+  }
+  stats_.RecordPointLookup(/*range_cache_hit=*/false);
+  MaybeEndWindow();
+  return s;
+}
+
+Status AdCacheStore::Scan(const Slice& start, size_t n,
+                          std::vector<KvPair>* results) {
+  if (cache_->range_cache()->GetScan(start, n, results)) {
+    stats_.RecordScan(results->size(), /*range_cache_hit=*/true);
+    MaybeEndWindow();
+    return Status::OK();
+  }
+  // Partial admission also throttles block-cache fill for long scans
+  // (paper §3.4): a scan past the threshold may only admit a commensurate
+  // number of blocks, protecting hot blocks from one-off scan traffic.
+  lsm::ReadOptions read_options;
+  uint32_t block_budget = 0;
+  if (options_.controller.enable_admission &&
+      static_cast<double>(n) > scan_admission_.a()) {
+    double epb = std::max(1.0, CurrentShape().entries_per_block);
+    block_budget = static_cast<uint32_t>(
+        static_cast<double>(scan_admission_.AdmitCount(n)) / epb) + 2;
+    read_options.fill_block_budget = &block_budget;
+  }
+  Status s = ScanFromDb(db_.get(), read_options, start, n, results);
+  if (s.ok() && !results->empty()) {
+    uint64_t admit =
+        options_.controller.enable_admission
+            ? scan_admission_.AdmitCount(results->size())
+            : results->size();
+    if (admit > 0) {
+      cache_->range_cache()->PutScan(start, *results, admit);
+      stats_.RecordScanAdmit(admit);
+    }
+  }
+  stats_.RecordScan(results->size(), /*range_cache_hit=*/false);
+  MaybeEndWindow();
+  return s;
+}
+
+CacheStatsSnapshot AdCacheStore::GetCacheStats() const {
+  CacheStatsSnapshot snap;
+  snap.block_reads = db_->env()->io_stats()->block_reads.load();
+  snap.range_hits = cache_->range_cache()->hits();
+  snap.range_misses = cache_->range_cache()->misses();
+  snap.block_cache_hits = cache_->block_cache()->hits();
+  snap.block_cache_misses = cache_->block_cache()->misses();
+  snap.cache_usage = cache_->RangeUsage() + cache_->BlockUsage();
+  snap.cache_capacity = cache_->total_budget();
+  snap.range_ratio = cache_->range_ratio();
+  snap.point_threshold = point_admission_.threshold();
+  snap.scan_a = scan_admission_.a();
+  snap.scan_b = scan_admission_.b();
+  snap.smoothed_hit_rate = controller_->smoothed_hit_rate();
+  return snap;
+}
+
+}  // namespace adcache::core

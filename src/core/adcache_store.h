@@ -1,0 +1,84 @@
+#ifndef ADCACHE_CORE_ADCACHE_STORE_H_
+#define ADCACHE_CORE_ADCACHE_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/dynamic_cache.h"
+#include "core/kv_store.h"
+#include "core/policy_controller.h"
+#include "core/stats_collector.h"
+#include "lsm/db.h"
+
+namespace adcache::core {
+
+/// Configuration for an AdCacheStore.
+struct AdCacheOptions {
+  /// Total memory budget shared by block + range cache.
+  size_t cache_budget = 16 * 1024 * 1024;
+  /// Where the boundary starts before the agent moves it.
+  double initial_range_ratio = 0.5;
+  ControllerOptions controller;
+  PointAdmissionController::Options point_admission;
+  /// Upper bound for the learnable scan-admission `a`.
+  double scan_admission_max_a = 64.0;
+  /// Optional serialised agent (from PolicyController::SaveModel).
+  std::string pretrained_model;
+};
+
+/// AdCache: the paper's full system. An LSM-tree KV store whose cache layer
+/// is a dynamically partitioned block+range cache with learned admission
+/// control, tuned online by an actor-critic agent every `window_size`
+/// operations (query path per paper Fig. 5; tuning loop per §4.2).
+class AdCacheStore : public KvStore {
+ public:
+  /// Opens the underlying DB at `dbname`. `lsm_options.block_cache` is
+  /// overridden with the dynamic component's block cache.
+  static Status Open(const AdCacheOptions& options,
+                     const lsm::Options& lsm_options,
+                     const std::string& dbname,
+                     std::unique_ptr<AdCacheStore>* store);
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Delete(const Slice& key) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Scan(const Slice& start, size_t n,
+              std::vector<KvPair>* results) override;
+
+  CacheStatsSnapshot GetCacheStats() const override;
+  lsm::DB* db() override { return db_.get(); }
+  const char* Name() const override { return "adcache"; }
+
+  PolicyController* controller() { return controller_.get(); }
+  DynamicCacheComponent* dynamic_cache() { return cache_.get(); }
+  ScanAdmissionController* scan_admission() { return &scan_admission_; }
+  PointAdmissionController* point_admission() { return &point_admission_; }
+
+  /// Immediately closes the current window and runs one tuning step
+  /// (used by tests and the pretraining example).
+  void ForceWindowEnd();
+
+ private:
+  explicit AdCacheStore(const AdCacheOptions& options);
+
+  void MaybeEndWindow();
+  LsmShapeParams CurrentShape() const;
+
+  AdCacheOptions options_;
+  std::unique_ptr<DynamicCacheComponent> cache_;
+  PointAdmissionController point_admission_;
+  ScanAdmissionController scan_admission_;
+  std::unique_ptr<PolicyController> controller_;
+  std::unique_ptr<lsm::DB> db_;
+  StatsCollector stats_;
+  std::atomic<uint64_t> next_window_at_;
+  std::mutex window_mu_;
+};
+
+}  // namespace adcache::core
+
+#endif  // ADCACHE_CORE_ADCACHE_STORE_H_

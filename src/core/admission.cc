@@ -1,0 +1,54 @@
+#include "core/admission.h"
+
+namespace adcache::core {
+
+namespace {
+
+CountMinSketch::Options SketchOptions(
+    const PointAdmissionController::Options& o) {
+  CountMinSketch::Options so;
+  so.width = o.sketch_width;
+  so.depth = o.sketch_depth;
+  so.saturation = o.saturation;
+  return so;
+}
+
+}  // namespace
+
+PointAdmissionController::PointAdmissionController()
+    : PointAdmissionController(Options()) {}
+
+PointAdmissionController::PointAdmissionController(const Options& options)
+    : options_(options),
+      sketch_(SketchOptions(options)),
+      doorkeeper_(options.doorkeeper_bits) {}
+
+bool PointAdmissionController::RecordMissAndCheckAdmit(const Slice& key) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (options_.use_doorkeeper) {
+    if (!doorkeeper_.InsertIfAbsent(key)) {
+      // First sighting: remember it in the doorkeeper only.
+      return false;
+    }
+  }
+  sketch_.Increment(key);
+  if (sketch_.decay_count() != last_decay_count_) {
+    // The sketch aged; reset the doorkeeper so it tracks the new epoch.
+    last_decay_count_ = sketch_.decay_count();
+    doorkeeper_.Clear();
+  }
+  double score = sketch_.NormalizedFrequency(key);
+  return score >= threshold_.load(std::memory_order_relaxed);
+}
+
+uint64_t PointAdmissionController::decay_count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return sketch_.decay_count();
+}
+
+size_t PointAdmissionController::MemoryUsage() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return sketch_.MemoryUsage() + doorkeeper_.MemoryUsage();
+}
+
+}  // namespace adcache::core

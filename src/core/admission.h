@@ -1,0 +1,113 @@
+#ifndef ADCACHE_CORE_ADMISSION_H_
+#define ADCACHE_CORE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "sketch/count_min_sketch.h"
+#include "sketch/doorkeeper.h"
+#include "util/slice.h"
+
+namespace adcache::core {
+
+/// Frequency-based admission for point lookups (paper §3.4). On every range
+/// cache miss the key's Count-Min counter is incremented; the key is admitted
+/// only if its normalised frequency (count / decayed total) clears a
+/// threshold set by the RL agent. A TinyLFU-style doorkeeper absorbs the very
+/// first occurrence of each key so one-off keys never pollute the sketch.
+/// Thread-safe.
+class PointAdmissionController {
+ public:
+  struct Options {
+    size_t sketch_width = 1 << 14;
+    size_t sketch_depth = 4;
+    uint8_t saturation = 8;  // paper: halve all counts at 8
+    bool use_doorkeeper = true;
+    size_t doorkeeper_bits = 1 << 16;
+  };
+
+  PointAdmissionController();
+  explicit PointAdmissionController(const Options& options);
+
+  /// Records a miss for `key` and decides admission under the current
+  /// threshold.
+  bool RecordMissAndCheckAdmit(const Slice& key);
+
+  /// Sets the normalised-frequency threshold directly (in [0, 1]).
+  void SetThreshold(double threshold) {
+    threshold_.store(threshold, std::memory_order_relaxed);
+  }
+  double threshold() const {
+    return threshold_.load(std::memory_order_relaxed);
+  }
+
+  /// Maps an RL action in [0,1] to a threshold in [0, 0.5]. Quadratic so
+  /// most of the action range has fine resolution near zero, where
+  /// permissive thresholds live; the upper end still reaches scores only a
+  /// dominating hot key can hold (the decayed total keeps normalised
+  /// frequencies of hot keys roughly in [0.1, 1]).
+  static double ActionToThreshold(double action) {
+    return action * action * 0.5;
+  }
+
+  uint64_t decay_count() const;
+  size_t MemoryUsage() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  CountMinSketch sketch_;
+  Doorkeeper doorkeeper_;
+  std::atomic<double> threshold_{0.0};
+  uint64_t last_decay_count_ = 0;
+};
+
+/// Partial admission for range scans (paper §3.4): a scan of length l admits
+/// all l results if l <= a, else floor(b * (l - a)) results. a and b are set
+/// by the RL agent. Thread-safe (plain atomics).
+class ScanAdmissionController {
+ public:
+  /// Upper bound of the learnable `a` (keys); actions map linearly onto
+  /// [0, max_a].
+  explicit ScanAdmissionController(double max_a = 64.0)
+      : max_a_(max_a), a_(16.0), b_(0.5) {}
+
+  uint64_t AdmitCount(uint64_t scan_length) const {
+    double a = a_.load(std::memory_order_relaxed);
+    double b = b_.load(std::memory_order_relaxed);
+    if (static_cast<double>(scan_length) <= a) return scan_length;
+    double admit = b * (static_cast<double>(scan_length) - a);
+    if (admit < 0) admit = 0;
+    if (admit > static_cast<double>(scan_length)) {
+      admit = static_cast<double>(scan_length);
+    }
+    return static_cast<uint64_t>(admit);
+  }
+
+  void SetFromActions(double action_a, double action_b) {
+    a_.store(action_a * max_a_, std::memory_order_relaxed);
+    b_.store(action_b, std::memory_order_relaxed);
+  }
+  void Set(double a, double b) {
+    a_.store(a, std::memory_order_relaxed);
+    b_.store(b, std::memory_order_relaxed);
+  }
+
+  double a() const { return a_.load(std::memory_order_relaxed); }
+  double b() const { return b_.load(std::memory_order_relaxed); }
+  double max_a() const { return max_a_; }
+
+  /// The effective scan length below which a scan is fully admitted; used
+  /// as telemetry (paper Fig. 10's "scan threshold").
+  double EffectiveThreshold() const { return a(); }
+
+ private:
+  double max_a_;
+  std::atomic<double> a_;
+  std::atomic<double> b_;
+};
+
+}  // namespace adcache::core
+
+#endif  // ADCACHE_CORE_ADMISSION_H_

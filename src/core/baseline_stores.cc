@@ -1,0 +1,160 @@
+#include "core/baseline_stores.h"
+
+namespace adcache::core {
+
+// ---------------------------------------------------------------------------
+// BlockOnlyStore
+// ---------------------------------------------------------------------------
+
+Status BlockOnlyStore::Open(size_t cache_budget,
+                            const lsm::Options& lsm_options,
+                            const std::string& dbname,
+                            std::unique_ptr<BlockOnlyStore>* store,
+                            const char* name) {
+  auto s = std::unique_ptr<BlockOnlyStore>(new BlockOnlyStore(name));
+  s->block_cache_ = NewLRUCache(cache_budget);
+  lsm::Options db_options = lsm_options;
+  db_options.block_cache = s->block_cache_;
+  Status st = lsm::DB::Open(db_options, dbname, &s->db_);
+  if (!st.ok()) return st;
+  *store = std::move(s);
+  return Status::OK();
+}
+
+Status BlockOnlyStore::Put(const Slice& key, const Slice& value) {
+  return db_->Put(lsm::WriteOptions(), key, value);
+}
+
+Status BlockOnlyStore::Delete(const Slice& key) {
+  return db_->Delete(lsm::WriteOptions(), key);
+}
+
+Status BlockOnlyStore::Get(const Slice& key, std::string* value) {
+  return db_->Get(lsm::ReadOptions(), key, value);
+}
+
+Status BlockOnlyStore::Scan(const Slice& start, size_t n,
+                            std::vector<KvPair>* results) {
+  return ScanFromDb(db_.get(), lsm::ReadOptions(), start, n, results);
+}
+
+CacheStatsSnapshot BlockOnlyStore::GetCacheStats() const {
+  CacheStatsSnapshot snap;
+  snap.block_reads = db_->env()->io_stats()->block_reads.load();
+  snap.block_cache_hits = block_cache_->hits();
+  snap.block_cache_misses = block_cache_->misses();
+  snap.cache_usage = block_cache_->GetUsage();
+  snap.cache_capacity = block_cache_->GetCapacity();
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// KvCacheStore
+// ---------------------------------------------------------------------------
+
+Status KvCacheStore::Open(size_t cache_budget, const lsm::Options& lsm_options,
+                          const std::string& dbname,
+                          std::unique_ptr<KvCacheStore>* store) {
+  auto s = std::unique_ptr<KvCacheStore>(new KvCacheStore(cache_budget));
+  lsm::Options db_options = lsm_options;
+  db_options.block_cache = nullptr;  // the whole budget is the row cache
+  Status st = lsm::DB::Open(db_options, dbname, &s->db_);
+  if (!st.ok()) return st;
+  *store = std::move(s);
+  return Status::OK();
+}
+
+Status KvCacheStore::Put(const Slice& key, const Slice& value) {
+  Status s = db_->Put(lsm::WriteOptions(), key, value);
+  if (s.ok()) kv_cache_.Erase(key);  // invalidate stale row
+  return s;
+}
+
+Status KvCacheStore::Delete(const Slice& key) {
+  Status s = db_->Delete(lsm::WriteOptions(), key);
+  if (s.ok()) kv_cache_.Erase(key);
+  return s;
+}
+
+Status KvCacheStore::Get(const Slice& key, std::string* value) {
+  if (kv_cache_.Get(key, value)) return Status::OK();
+  Status s = db_->Get(lsm::ReadOptions(), key, value);
+  if (s.ok()) kv_cache_.Put(key, *value);
+  return s;
+}
+
+Status KvCacheStore::Scan(const Slice& start, size_t n,
+                          std::vector<KvPair>* results) {
+  // Scans bypass the row cache entirely.
+  return ScanFromDb(db_.get(), lsm::ReadOptions(), start, n, results);
+}
+
+CacheStatsSnapshot KvCacheStore::GetCacheStats() const {
+  CacheStatsSnapshot snap;
+  snap.block_reads = db_->env()->io_stats()->block_reads.load();
+  snap.kv_hits = kv_cache_.hits();
+  snap.kv_misses = kv_cache_.misses();
+  snap.cache_usage = kv_cache_.GetUsage();
+  snap.cache_capacity = kv_cache_.GetCapacity();
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// RangeCacheStore
+// ---------------------------------------------------------------------------
+
+Status RangeCacheStore::Open(size_t cache_budget,
+                             std::unique_ptr<EvictionPolicy> policy,
+                             const char* name, const lsm::Options& lsm_options,
+                             const std::string& dbname,
+                             std::unique_ptr<RangeCacheStore>* store) {
+  auto s = std::unique_ptr<RangeCacheStore>(
+      new RangeCacheStore(cache_budget, std::move(policy), name));
+  lsm::Options db_options = lsm_options;
+  db_options.block_cache = nullptr;  // the whole budget is the range cache
+  Status st = lsm::DB::Open(db_options, dbname, &s->db_);
+  if (!st.ok()) return st;
+  *store = std::move(s);
+  return Status::OK();
+}
+
+Status RangeCacheStore::Put(const Slice& key, const Slice& value) {
+  Status s = db_->Put(lsm::WriteOptions(), key, value);
+  if (s.ok()) range_cache_.InvalidateWrite(key, value);
+  return s;
+}
+
+Status RangeCacheStore::Delete(const Slice& key) {
+  Status s = db_->Delete(lsm::WriteOptions(), key);
+  if (s.ok()) range_cache_.InvalidateDelete(key);
+  return s;
+}
+
+Status RangeCacheStore::Get(const Slice& key, std::string* value) {
+  if (range_cache_.Get(key, value)) return Status::OK();
+  Status s = db_->Get(lsm::ReadOptions(), key, value);
+  if (s.ok()) range_cache_.PutPoint(key, *value);  // admit everything
+  return s;
+}
+
+Status RangeCacheStore::Scan(const Slice& start, size_t n,
+                             std::vector<KvPair>* results) {
+  if (range_cache_.GetScan(start, n, results)) return Status::OK();
+  Status s = ScanFromDb(db_.get(), lsm::ReadOptions(), start, n, results);
+  if (s.ok() && !results->empty()) {
+    range_cache_.PutScan(start, *results, results->size());  // all-or-nothing
+  }
+  return s;
+}
+
+CacheStatsSnapshot RangeCacheStore::GetCacheStats() const {
+  CacheStatsSnapshot snap;
+  snap.block_reads = db_->env()->io_stats()->block_reads.load();
+  snap.range_hits = range_cache_.hits();
+  snap.range_misses = range_cache_.misses();
+  snap.cache_usage = range_cache_.GetUsage();
+  snap.cache_capacity = range_cache_.GetCapacity();
+  return snap;
+}
+
+}  // namespace adcache::core

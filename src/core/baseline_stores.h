@@ -1,0 +1,100 @@
+#ifndef ADCACHE_CORE_BASELINE_STORES_H_
+#define ADCACHE_CORE_BASELINE_STORES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/kv_cache.h"
+#include "cache/range_cache.h"
+#include "core/kv_store.h"
+#include "lsm/db.h"
+
+namespace adcache::core {
+
+/// RocksDB's default strategy: the whole budget is a block cache
+/// (paper baseline "RocksDB (Block Cache)").
+class BlockOnlyStore : public KvStore {
+ public:
+  static Status Open(size_t cache_budget, const lsm::Options& lsm_options,
+                     const std::string& dbname,
+                     std::unique_ptr<BlockOnlyStore>* store,
+                     const char* name = "block");
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Delete(const Slice& key) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Scan(const Slice& start, size_t n,
+              std::vector<KvPair>* results) override;
+  CacheStatsSnapshot GetCacheStats() const override;
+  lsm::DB* db() override { return db_.get(); }
+  const char* Name() const override { return name_; }
+
+ private:
+  explicit BlockOnlyStore(const char* name) : name_(name) {}
+
+  const char* name_;
+  std::shared_ptr<Cache> block_cache_;
+  std::unique_ptr<lsm::DB> db_;
+};
+
+/// Row-cache baseline: the budget is a key-value cache serving point
+/// lookups only; scans bypass it and there is no block cache
+/// (paper baseline "KV Cache").
+class KvCacheStore : public KvStore {
+ public:
+  static Status Open(size_t cache_budget, const lsm::Options& lsm_options,
+                     const std::string& dbname,
+                     std::unique_ptr<KvCacheStore>* store);
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Delete(const Slice& key) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Scan(const Slice& start, size_t n,
+              std::vector<KvPair>* results) override;
+  CacheStatsSnapshot GetCacheStats() const override;
+  lsm::DB* db() override { return db_.get(); }
+  const char* Name() const override { return "kv"; }
+
+ private:
+  explicit KvCacheStore(size_t cache_budget) : kv_cache_(cache_budget) {}
+
+  KvCache kv_cache_;
+  std::unique_ptr<lsm::DB> db_;
+};
+
+/// Result-based baseline: the budget is a Range Cache with a pluggable
+/// eviction policy; every point and scan result is admitted in full
+/// (paper baselines "Range Cache", "+LeCaR", "+Cacheus").
+class RangeCacheStore : public KvStore {
+ public:
+  static Status Open(size_t cache_budget,
+                     std::unique_ptr<EvictionPolicy> policy,
+                     const char* name, const lsm::Options& lsm_options,
+                     const std::string& dbname,
+                     std::unique_ptr<RangeCacheStore>* store);
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Status Delete(const Slice& key) override;
+  Status Get(const Slice& key, std::string* value) override;
+  Status Scan(const Slice& start, size_t n,
+              std::vector<KvPair>* results) override;
+  CacheStatsSnapshot GetCacheStats() const override;
+  lsm::DB* db() override { return db_.get(); }
+  const char* Name() const override { return name_; }
+
+  RangeCache* range_cache() { return &range_cache_; }
+
+ private:
+  RangeCacheStore(size_t cache_budget, std::unique_ptr<EvictionPolicy> policy,
+                  const char* name)
+      : range_cache_(cache_budget, std::move(policy)), name_(name) {}
+
+  RangeCache range_cache_;
+  const char* name_;
+  std::unique_ptr<lsm::DB> db_;
+};
+
+}  // namespace adcache::core
+
+#endif  // ADCACHE_CORE_BASELINE_STORES_H_

@@ -1,0 +1,34 @@
+#include "core/dynamic_cache.h"
+
+#include <algorithm>
+
+namespace adcache::core {
+
+DynamicCacheComponent::DynamicCacheComponent(
+    size_t total_budget_bytes, double initial_range_ratio,
+    std::unique_ptr<EvictionPolicy> policy)
+    : total_budget_(total_budget_bytes),
+      range_ratio_(std::clamp(initial_range_ratio, 0.0, 1.0)) {
+  double r = range_ratio_.load();
+  block_cache_ =
+      NewLRUCache(static_cast<size_t>((1.0 - r) * total_budget_bytes));
+  range_cache_ = std::make_unique<RangeCache>(
+      static_cast<size_t>(r * total_budget_bytes), std::move(policy));
+}
+
+void DynamicCacheComponent::SetRangeRatio(double ratio) {
+  ratio = std::clamp(ratio, 0.0, 1.0);
+  range_ratio_.store(ratio, std::memory_order_relaxed);
+  auto range_budget = static_cast<size_t>(ratio * total_budget_);
+  auto block_budget = total_budget_ - range_budget;
+  // Shrink first, then grow, so transient total usage never exceeds budget.
+  if (range_budget < range_cache_->GetCapacity()) {
+    range_cache_->SetCapacity(range_budget);
+    block_cache_->SetCapacity(block_budget);
+  } else {
+    block_cache_->SetCapacity(block_budget);
+    range_cache_->SetCapacity(range_budget);
+  }
+}
+
+}  // namespace adcache::core

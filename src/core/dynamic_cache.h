@@ -1,0 +1,49 @@
+#ifndef ADCACHE_CORE_DYNAMIC_CACHE_H_
+#define ADCACHE_CORE_DYNAMIC_CACHE_H_
+
+#include <atomic>
+#include <memory>
+
+#include "cache/cache.h"
+#include "cache/range_cache.h"
+
+namespace adcache::core {
+
+/// The Dynamic Cache Component (paper §3.3): one memory budget shared by a
+/// physical block cache and a logical range cache, split by a movable
+/// boundary. SetRangeRatio retargets both capacities; each cache evicts
+/// lazily down to its new budget.
+class DynamicCacheComponent {
+ public:
+  /// `policy` seeds the range cache's eviction policy (LRU for AdCache).
+  DynamicCacheComponent(size_t total_budget_bytes, double initial_range_ratio,
+                        std::unique_ptr<EvictionPolicy> policy);
+
+  DynamicCacheComponent(const DynamicCacheComponent&) = delete;
+  DynamicCacheComponent& operator=(const DynamicCacheComponent&) = delete;
+
+  /// Moves the boundary: range cache gets `ratio` of the budget, block cache
+  /// the rest. Clamped to [0, 1].
+  void SetRangeRatio(double ratio);
+  double range_ratio() const {
+    return range_ratio_.load(std::memory_order_relaxed);
+  }
+
+  /// Block cache to hand to lsm::Options::block_cache.
+  const std::shared_ptr<Cache>& block_cache() const { return block_cache_; }
+  RangeCache* range_cache() { return range_cache_.get(); }
+
+  size_t total_budget() const { return total_budget_; }
+  size_t BlockUsage() const { return block_cache_->GetUsage(); }
+  size_t RangeUsage() const { return range_cache_->GetUsage(); }
+
+ private:
+  size_t total_budget_;
+  std::atomic<double> range_ratio_;
+  std::shared_ptr<Cache> block_cache_;
+  std::unique_ptr<RangeCache> range_cache_;
+};
+
+}  // namespace adcache::core
+
+#endif  // ADCACHE_CORE_DYNAMIC_CACHE_H_

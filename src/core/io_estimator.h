@@ -1,0 +1,61 @@
+#ifndef ADCACHE_CORE_IO_ESTIMATOR_H_
+#define ADCACHE_CORE_IO_ESTIMATOR_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/stats_collector.h"
+
+namespace adcache::core {
+
+/// Static LSM-tree shape parameters used by the estimator (paper Table 1).
+struct LsmShapeParams {
+  int num_levels = 1;         // L: non-empty levels
+  int l0_max_runs = 8;        // r0^max (write-stop trigger)
+  double entries_per_block = 4;  // B
+  double bloom_fpr = 0.01;    // FPR
+};
+
+/// Implements the paper's no-cache I/O model (§3.5):
+///
+///   IO_point    = 1 + FPR
+///   IO_scan     = l/B + (L + r0max/2 - 1)
+///   IO_estimate = p * IO_point + s * IO_scan
+///   h_estimate  = 1 - IO_miss / IO_estimate
+///
+/// This makes hit rates comparable between block-based and result-based
+/// caches, since the range cache has no notion of physical block hits.
+class IoEstimator {
+ public:
+  static double BloomFprForBitsPerKey(int bits_per_key) {
+    if (bits_per_key <= 0) return 1.0;
+    // Standard bloom approximation with k = 0.69 * bits/key probes.
+    return std::pow(0.6185, bits_per_key);
+  }
+
+  static double EstimateIo(const WindowStats& w, const LsmShapeParams& shape) {
+    double p = static_cast<double>(w.point_lookups);
+    double s = static_cast<double>(w.scans);
+    double l = w.AvgScanLength();
+    double b = shape.entries_per_block > 0 ? shape.entries_per_block : 1.0;
+    double seek_ios = static_cast<double>(shape.num_levels) +
+                      static_cast<double>(shape.l0_max_runs) / 2.0 - 1.0;
+    if (seek_ios < 1.0) seek_ios = 1.0;
+    return p * (1.0 + shape.bloom_fpr) + s * (l / b) + s * seek_ios;
+  }
+
+  /// Estimated hit rate in [0, 1]. Returns 0 when the window had no reads.
+  static double EstimateHitRate(const WindowStats& w,
+                                const LsmShapeParams& shape) {
+    double io_estimate = EstimateIo(w, shape);
+    if (io_estimate <= 0) return 0.0;
+    double h = 1.0 - static_cast<double>(w.block_reads) / io_estimate;
+    if (h < 0) h = 0;
+    if (h > 1) h = 1;
+    return h;
+  }
+};
+
+}  // namespace adcache::core
+
+#endif  // ADCACHE_CORE_IO_ESTIMATOR_H_

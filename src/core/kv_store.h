@@ -1,0 +1,63 @@
+#ifndef ADCACHE_CORE_KV_STORE_H_
+#define ADCACHE_CORE_KV_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/range_cache.h"
+#include "lsm/db.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace adcache::core {
+
+/// Point-in-time cache/IO telemetry for a store. Counters are cumulative;
+/// benchmark harnesses diff successive snapshots.
+struct CacheStatsSnapshot {
+  uint64_t block_reads = 0;  // SST block reads that hit storage (IO_miss)
+  uint64_t range_hits = 0;
+  uint64_t range_misses = 0;
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+  uint64_t kv_hits = 0;
+  uint64_t kv_misses = 0;
+  size_t cache_usage = 0;
+  size_t cache_capacity = 0;
+  // AdCache control state (identity values for baselines).
+  double range_ratio = 0;
+  double point_threshold = 0;
+  double scan_a = 0;
+  double scan_b = 0;
+  double smoothed_hit_rate = 0;
+};
+
+/// The benchmarkable key-value store interface: an LSM engine fronted by
+/// some caching strategy. One implementation per evaluated scheme (paper
+/// §5.1): RocksDB block cache, KV cache, Range Cache (LRU / LeCaR /
+/// Cacheus) and AdCache.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+  virtual Status Delete(const Slice& key) = 0;
+  /// NotFound if absent.
+  virtual Status Get(const Slice& key, std::string* value) = 0;
+  /// Collects up to `n` consecutive entries starting at the first key
+  /// >= start.
+  virtual Status Scan(const Slice& start, size_t n,
+                      std::vector<KvPair>* results) = 0;
+
+  virtual CacheStatsSnapshot GetCacheStats() const = 0;
+  virtual lsm::DB* db() = 0;
+  virtual const char* Name() const = 0;
+};
+
+/// Reads up to `n` user-visible entries from the DB starting at `start`.
+Status ScanFromDb(lsm::DB* db, const lsm::ReadOptions& read_options,
+                  const Slice& start, size_t n, std::vector<KvPair>* results);
+
+}  // namespace adcache::core
+
+#endif  // ADCACHE_CORE_KV_STORE_H_

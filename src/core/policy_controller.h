@@ -1,0 +1,102 @@
+#ifndef ADCACHE_CORE_POLICY_CONTROLLER_H_
+#define ADCACHE_CORE_POLICY_CONTROLLER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/dynamic_cache.h"
+#include "core/io_estimator.h"
+#include "core/stats_collector.h"
+#include "rl/actor_critic.h"
+
+namespace adcache::core {
+
+/// Configuration of the Policy Decision Controller (paper §3.5, §4.2).
+struct ControllerOptions {
+  /// Operations per tuning window (paper default 10^3).
+  uint64_t window_size = 1000;
+  /// Reward smoothing factor alpha (paper default 0.9).
+  double alpha = 0.9;
+  /// Ablation switches (paper Fig. 11b).
+  bool enable_partitioning = true;
+  bool enable_admission = true;
+  /// When false the (pretrained) policy is applied without online updates.
+  bool online_learning = true;
+  /// Supervised pretraining on synthetic workload states before deployment
+  /// (paper §3.6: "representative workloads ... manually crafted"). Skipped
+  /// when an explicit pretrained model is loaded.
+  bool pretrain_heuristic = true;
+  int pretrain_steps = 3000;
+  rl::ActorCriticOptions agent;
+};
+
+/// The RL glue: at every window boundary it converts window statistics into
+/// a state vector, computes the smoothed estimated-hit-rate reward, performs
+/// one actor-critic update, and applies the new action to the cache boundary
+/// and admission thresholds.
+class PolicyController {
+ public:
+  static constexpr int kStateDim = 11;
+  static constexpr int kActionDim = 4;
+
+  PolicyController(const ControllerOptions& options,
+                   DynamicCacheComponent* cache,
+                   PointAdmissionController* point_admission,
+                   ScanAdmissionController* scan_admission);
+
+  PolicyController(const PolicyController&) = delete;
+  PolicyController& operator=(const PolicyController&) = delete;
+
+  /// Runs one tuning step. Thread-safe (serialised internally).
+  void OnWindowEnd(const WindowStats& window, const LsmShapeParams& shape);
+
+  double smoothed_hit_rate() const { return h_smoothed_; }
+  double last_reward() const { return last_reward_; }
+  uint64_t windows_processed() const { return windows_; }
+  rl::ActorCriticAgent* agent() { return agent_.get(); }
+
+  /// Pretrained-model round trip (paper §3.6).
+  void SaveModel(std::string* dst) const;
+  Status LoadModel(const Slice& input);
+
+  /// Runs `steps` supervised pretraining iterations on synthetic workload
+  /// states labelled by TargetActionFor (paper §3.6's controlled-experiment
+  /// targets). Returns the final mean-squared loss.
+  float PretrainHeuristic(int steps, uint64_t seed = 1234);
+
+  /// The rule table behind heuristic pretraining, exposed for tests: maps a
+  /// state vector to the configuration the paper's static experiments found
+  /// best (e.g. short-scan-heavy -> block cache; write-heavy -> range
+  /// cache; long scans -> partial admission).
+  static std::vector<float> TargetActionFor(const std::vector<float>& state);
+
+  const ControllerOptions& options() const { return options_; }
+
+ private:
+  std::vector<float> BuildState(const WindowStats& w,
+                                const LsmShapeParams& shape,
+                                double h_est) const;
+  void ApplyAction(const std::vector<float>& action);
+
+  ControllerOptions options_;
+  DynamicCacheComponent* cache_;
+  PointAdmissionController* point_admission_;
+  ScanAdmissionController* scan_admission_;
+  std::unique_ptr<rl::ActorCriticAgent> agent_;
+
+  mutable std::mutex mu_;
+  bool have_prev_ = false;
+  std::vector<float> prev_state_;
+  std::vector<float> prev_action_;
+  double h_smoothed_ = 0;
+  bool h_initialised_ = false;
+  double last_reward_ = 0;
+  uint64_t windows_ = 0;
+};
+
+}  // namespace adcache::core
+
+#endif  // ADCACHE_CORE_POLICY_CONTROLLER_H_

@@ -1,0 +1,44 @@
+#include "core/stats_collector.h"
+
+namespace adcache::core {
+
+WindowStats StatsCollector::Harvest(uint64_t block_reads_now,
+                                    uint64_t compactions_now,
+                                    uint64_t flushes_now) {
+  WindowStats cumulative;
+  cumulative.point_lookups = point_lookups_.load(std::memory_order_relaxed);
+  cumulative.scans = scans_.load(std::memory_order_relaxed);
+  cumulative.writes = writes_.load(std::memory_order_relaxed);
+  cumulative.scan_keys = scan_keys_.load(std::memory_order_relaxed);
+  cumulative.range_point_hits =
+      range_point_hits_.load(std::memory_order_relaxed);
+  cumulative.range_scan_hits =
+      range_scan_hits_.load(std::memory_order_relaxed);
+  cumulative.point_admits = point_admits_.load(std::memory_order_relaxed);
+  cumulative.scan_keys_admitted =
+      scan_keys_admitted_.load(std::memory_order_relaxed);
+
+  WindowStats delta;
+  delta.point_lookups = cumulative.point_lookups - last_harvest_.point_lookups;
+  delta.scans = cumulative.scans - last_harvest_.scans;
+  delta.writes = cumulative.writes - last_harvest_.writes;
+  delta.scan_keys = cumulative.scan_keys - last_harvest_.scan_keys;
+  delta.range_point_hits =
+      cumulative.range_point_hits - last_harvest_.range_point_hits;
+  delta.range_scan_hits =
+      cumulative.range_scan_hits - last_harvest_.range_scan_hits;
+  delta.point_admits = cumulative.point_admits - last_harvest_.point_admits;
+  delta.scan_keys_admitted =
+      cumulative.scan_keys_admitted - last_harvest_.scan_keys_admitted;
+  delta.block_reads = block_reads_now - last_block_reads_;
+  delta.compactions = compactions_now - last_compactions_;
+  delta.flushes = flushes_now - last_flushes_;
+
+  last_harvest_ = cumulative;
+  last_block_reads_ = block_reads_now;
+  last_compactions_ = compactions_now;
+  last_flushes_ = flushes_now;
+  return delta;
+}
+
+}  // namespace adcache::core

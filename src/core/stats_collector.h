@@ -1,0 +1,108 @@
+#ifndef ADCACHE_CORE_STATS_COLLECTOR_H_
+#define ADCACHE_CORE_STATS_COLLECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace adcache::core {
+
+/// Aggregated workload + cache statistics for one tuning window
+/// (paper §4.2: the Stats Collector input to the Policy Decision Controller).
+struct WindowStats {
+  uint64_t point_lookups = 0;
+  uint64_t scans = 0;
+  uint64_t writes = 0;
+  uint64_t scan_keys = 0;  // sum of returned scan lengths
+
+  uint64_t range_point_hits = 0;
+  uint64_t range_scan_hits = 0;
+  uint64_t point_admits = 0;
+  uint64_t scan_keys_admitted = 0;
+
+  uint64_t block_reads = 0;  // SST block reads that hit storage (IO_miss)
+  uint64_t compactions = 0;
+  uint64_t flushes = 0;
+
+  uint64_t ops() const { return point_lookups + scans + writes; }
+  double AvgScanLength() const {
+    return scans == 0 ? 0.0
+                      : static_cast<double>(scan_keys) /
+                            static_cast<double>(scans);
+  }
+  double PointRatio() const {
+    uint64_t n = ops();
+    return n == 0 ? 0.0
+                  : static_cast<double>(point_lookups) /
+                        static_cast<double>(n);
+  }
+  double ScanRatio() const {
+    uint64_t n = ops();
+    return n == 0 ? 0.0
+                  : static_cast<double>(scans) / static_cast<double>(n);
+  }
+  double WriteRatio() const {
+    uint64_t n = ops();
+    return n == 0 ? 0.0
+                  : static_cast<double>(writes) / static_cast<double>(n);
+  }
+};
+
+/// Thread-safe accumulator. Queries record their type and outcomes; the
+/// controller harvests a consistent snapshot (relative to the harvest
+/// counters) at each window boundary.
+class StatsCollector {
+ public:
+  void RecordPointLookup(bool range_cache_hit) {
+    point_lookups_.fetch_add(1, std::memory_order_relaxed);
+    if (range_cache_hit) {
+      range_point_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void RecordScan(uint64_t returned_keys, bool range_cache_hit) {
+    scans_.fetch_add(1, std::memory_order_relaxed);
+    scan_keys_.fetch_add(returned_keys, std::memory_order_relaxed);
+    if (range_cache_hit) {
+      range_scan_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void RecordWrite() { writes_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordPointAdmit() {
+    point_admits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordScanAdmit(uint64_t keys) {
+    scan_keys_admitted_.fetch_add(keys, std::memory_order_relaxed);
+  }
+
+  /// Total operations recorded so far (drives window boundaries).
+  uint64_t TotalOps() const {
+    return point_lookups_.load(std::memory_order_relaxed) +
+           scans_.load(std::memory_order_relaxed) +
+           writes_.load(std::memory_order_relaxed);
+  }
+
+  /// Returns the delta since the previous Harvest. `block_reads`,
+  /// `compactions` and `flushes` are externally sampled monotonic counters.
+  WindowStats Harvest(uint64_t block_reads_now, uint64_t compactions_now,
+                      uint64_t flushes_now);
+
+ private:
+  std::atomic<uint64_t> point_lookups_{0};
+  std::atomic<uint64_t> scans_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> scan_keys_{0};
+  std::atomic<uint64_t> range_point_hits_{0};
+  std::atomic<uint64_t> range_scan_hits_{0};
+  std::atomic<uint64_t> point_admits_{0};
+  std::atomic<uint64_t> scan_keys_admitted_{0};
+
+  WindowStats last_harvest_;
+  uint64_t last_block_reads_ = 0;
+  uint64_t last_compactions_ = 0;
+  uint64_t last_flushes_ = 0;
+};
+
+}  // namespace adcache::core
+
+#endif  // ADCACHE_CORE_STATS_COLLECTOR_H_

@@ -1,0 +1,80 @@
+#include "core/strategy.h"
+
+#include "cache/cacheus.h"
+#include "cache/lecar.h"
+#include "core/baseline_stores.h"
+
+namespace adcache::core {
+
+const std::vector<std::string>& AllStrategyNames() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "block",   "block_leaper", "kv",      "range",
+      "range_lecar", "range_cacheus", "adcache",
+      "adcache_admission_only", "adcache_partition_only"};
+  return names;
+}
+
+std::unique_ptr<KvStore> CreateStore(const std::string& strategy,
+                                     const StoreConfig& config,
+                                     Status* status) {
+  *status = Status::OK();
+  if (strategy == "block") {
+    std::unique_ptr<BlockOnlyStore> store;
+    *status = BlockOnlyStore::Open(config.cache_budget, config.lsm,
+                                   config.dbname, &store);
+    return store;
+  }
+  if (strategy == "block_leaper") {
+    lsm::Options lsm_options = config.lsm;
+    lsm_options.leaper_prefetch = true;
+    std::unique_ptr<BlockOnlyStore> store;
+    *status = BlockOnlyStore::Open(config.cache_budget, lsm_options,
+                                   config.dbname, &store, "block_leaper");
+    return store;
+  }
+  if (strategy == "kv") {
+    std::unique_ptr<KvCacheStore> store;
+    *status = KvCacheStore::Open(config.cache_budget, config.lsm,
+                                 config.dbname, &store);
+    return store;
+  }
+  if (strategy == "range" || strategy == "range_lecar" ||
+      strategy == "range_cacheus") {
+    std::unique_ptr<EvictionPolicy> policy;
+    const char* name;
+    if (strategy == "range") {
+      policy = NewLruPolicy();
+      name = "range";
+    } else if (strategy == "range_lecar") {
+      policy = NewLeCaRPolicy(config.seed);
+      name = "range_lecar";
+    } else {
+      policy = NewCacheusPolicy(config.seed);
+      name = "range_cacheus";
+    }
+    std::unique_ptr<RangeCacheStore> store;
+    *status = RangeCacheStore::Open(config.cache_budget, std::move(policy),
+                                    name, config.lsm, config.dbname, &store);
+    return store;
+  }
+  if (strategy == "adcache" || strategy == "adcache_admission_only" ||
+      strategy == "adcache_partition_only") {
+    AdCacheOptions options = config.adcache;
+    options.cache_budget = config.cache_budget;
+    options.controller.agent.seed = config.seed;
+    if (strategy == "adcache_admission_only") {
+      options.controller.enable_partitioning = false;
+      // The paper's admission-only ablation runs over a pure range cache.
+      options.initial_range_ratio = 1.0;
+    } else if (strategy == "adcache_partition_only") {
+      options.controller.enable_admission = false;
+    }
+    std::unique_ptr<AdCacheStore> store;
+    *status = AdCacheStore::Open(options, config.lsm, config.dbname, &store);
+    return store;
+  }
+  *status = Status::InvalidArgument("unknown strategy: " + strategy);
+  return nullptr;
+}
+
+}  // namespace adcache::core

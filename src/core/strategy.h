@@ -1,0 +1,44 @@
+#ifndef ADCACHE_CORE_STRATEGY_H_
+#define ADCACHE_CORE_STRATEGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adcache_store.h"
+#include "core/kv_store.h"
+#include "lsm/options.h"
+
+namespace adcache::core {
+
+/// Everything needed to instantiate one caching strategy over a fresh DB.
+struct StoreConfig {
+  lsm::Options lsm;
+  std::string dbname = "/tmp/adcache_db";
+  size_t cache_budget = 16 * 1024 * 1024;
+  uint64_t seed = 42;
+  /// AdCache-specific knobs (ignored by baselines).
+  AdCacheOptions adcache;
+};
+
+/// Strategy names understood by CreateStore, matching the paper's §5.1
+/// evaluation lineup plus the §5.4 ablations:
+///   "block"                    RocksDB default block cache
+///   "kv"                       KV (row) cache
+///   "range"                    Range Cache with LRU
+///   "range_lecar"              Range Cache with LeCaR
+///   "range_cacheus"            Range Cache with Cacheus
+///   "adcache"                  full AdCache
+///   "adcache_admission_only"   ablation: admission control only
+///   "adcache_partition_only"   ablation: adaptive partitioning only
+const std::vector<std::string>& AllStrategyNames();
+
+/// Instantiates the named strategy. Returns nullptr and sets *status on
+/// failure (including unknown names).
+std::unique_ptr<KvStore> CreateStore(const std::string& strategy,
+                                     const StoreConfig& config,
+                                     Status* status);
+
+}  // namespace adcache::core
+
+#endif  // ADCACHE_CORE_STRATEGY_H_

@@ -1,0 +1,195 @@
+#include "lsm/block.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+
+namespace adcache::lsm {
+
+Block::Block(std::string contents) : contents_(std::move(contents)) {
+  if (contents_.size() < sizeof(uint32_t)) {
+    malformed_ = true;
+    return;
+  }
+  num_restarts_ =
+      DecodeFixed32(contents_.data() + contents_.size() - sizeof(uint32_t));
+  uint64_t trailer =
+      (static_cast<uint64_t>(num_restarts_) + 1) * sizeof(uint32_t);
+  if (trailer > contents_.size() || num_restarts_ == 0) {
+    malformed_ = true;
+    return;
+  }
+  restarts_offset_ = static_cast<uint32_t>(contents_.size() - trailer);
+}
+
+class Block::Iter : public Iterator {
+ public:
+  Iter(const Block* block, const InternalKeyComparator* cmp)
+      : block_(block), cmp_(cmp) {}
+
+  bool Valid() const override { return current_ < block_->restarts_offset_; }
+
+  void SeekToFirst() override {
+    SeekToRestartPoint(0);
+    ParseNextKey();
+  }
+
+  void SeekToLast() override {
+    SeekToRestartPoint(block_->num_restarts_ - 1);
+    while (ParseNextKey() && NextEntryOffset() < block_->restarts_offset_) {
+    }
+  }
+
+  void Seek(const Slice& target) override {
+    // Binary search over restart points for the last restart with a key
+    // < target, then scan linearly.
+    uint32_t left = 0;
+    uint32_t right = block_->num_restarts_ - 1;
+    while (left < right) {
+      uint32_t mid = (left + right + 1) / 2;
+      Slice mid_key = KeyAtRestart(mid);
+      if (corrupted_) return;
+      if (cmp_->Compare(mid_key, target) < 0) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+    SeekToRestartPoint(left);
+    while (ParseNextKey()) {
+      if (cmp_->Compare(Slice(key_), target) >= 0) return;
+    }
+  }
+
+  void Next() override { ParseNextKey(); }
+
+  void Prev() override {
+    // Scan from the restart point preceding the current entry.
+    const uint32_t original = current_;
+    uint32_t restart = restart_index_;
+    while (RestartOffset(restart) >= original) {
+      if (restart == 0) {
+        current_ = block_->restarts_offset_;  // invalid
+        return;
+      }
+      restart--;
+    }
+    SeekToRestartPoint(restart);
+    while (ParseNextKey() && NextEntryOffset() < original) {
+    }
+  }
+
+  Slice key() const override { return Slice(key_); }
+  Slice value() const override { return value_; }
+  Status status() const override {
+    return corrupted_ ? Status::Corruption("bad block entry") : Status::OK();
+  }
+
+ private:
+  uint32_t RestartOffset(uint32_t index) const {
+    return DecodeFixed32(block_->contents_.data() + block_->restarts_offset_ +
+                         index * sizeof(uint32_t));
+  }
+
+  void SeekToRestartPoint(uint32_t index) {
+    restart_index_ = index;
+    key_.clear();
+    value_ = Slice();
+    next_offset_ = RestartOffset(index);
+  }
+
+  /// Offset of the entry after the current one.
+  uint32_t NextEntryOffset() const { return next_offset_; }
+
+  Slice KeyAtRestart(uint32_t index) {
+    uint32_t offset = RestartOffset(index);
+    const char* p = block_->contents_.data() + offset;
+    const char* limit = block_->contents_.data() + block_->restarts_offset_;
+    uint32_t shared = 0, non_shared = 0, value_len = 0;
+    p = GetVarint32Ptr(p, limit, &shared);
+    if (p != nullptr) p = GetVarint32Ptr(p, limit, &non_shared);
+    if (p != nullptr) p = GetVarint32Ptr(p, limit, &value_len);
+    if (p == nullptr || shared != 0) {
+      corrupted_ = true;
+      return Slice();
+    }
+    return Slice(p, non_shared);
+  }
+
+  /// Decodes the entry at next_offset_ into key_/value_. Returns false at
+  /// block end or corruption.
+  bool ParseNextKey() {
+    current_ = next_offset_;
+    if (current_ >= block_->restarts_offset_) {
+      current_ = block_->restarts_offset_;
+      return false;
+    }
+    const char* p = block_->contents_.data() + current_;
+    const char* limit = block_->contents_.data() + block_->restarts_offset_;
+    uint32_t shared = 0, non_shared = 0, value_len = 0;
+    p = GetVarint32Ptr(p, limit, &shared);
+    if (p != nullptr) p = GetVarint32Ptr(p, limit, &non_shared);
+    if (p != nullptr) p = GetVarint32Ptr(p, limit, &value_len);
+    if (p == nullptr || shared > key_.size() ||
+        p + non_shared + value_len > limit) {
+      corrupted_ = true;
+      current_ = block_->restarts_offset_;
+      return false;
+    }
+    key_.resize(shared);
+    key_.append(p, non_shared);
+    value_ = Slice(p + non_shared, value_len);
+    next_offset_ =
+        static_cast<uint32_t>((p + non_shared + value_len) -
+                              block_->contents_.data());
+    // Track the restart region we're in (needed by Prev).
+    while (restart_index_ + 1 < block_->num_restarts_ &&
+           RestartOffset(restart_index_ + 1) <= current_) {
+      restart_index_++;
+    }
+    return true;
+  }
+
+  const Block* block_;
+  const InternalKeyComparator* cmp_;
+  uint32_t current_ = 0;      // offset of current entry
+  uint32_t next_offset_ = 0;  // offset of next entry
+  uint32_t restart_index_ = 0;
+  std::string key_;
+  Slice value_;
+  bool corrupted_ = false;
+};
+
+namespace {
+
+class EmptyIterator : public Iterator {
+ public:
+  explicit EmptyIterator(Status s) : status_(std::move(s)) {}
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void SeekToLast() override {}
+  void Seek(const Slice&) override {}
+  void Next() override {}
+  void Prev() override {}
+  Slice key() const override { return Slice(); }
+  Slice value() const override { return Slice(); }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* NewEmptyIterator(const Status& status) {
+  return new EmptyIterator(status);
+}
+
+Iterator* Block::NewIterator(const InternalKeyComparator* cmp) const {
+  if (malformed_) {
+    return NewEmptyIterator(Status::Corruption("malformed block"));
+  }
+  return new Iter(this, cmp);
+}
+
+}  // namespace adcache::lsm

@@ -1,0 +1,38 @@
+#ifndef ADCACHE_LSM_BLOCK_H_
+#define ADCACHE_LSM_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "util/slice.h"
+
+namespace adcache::lsm {
+
+/// Immutable, parsed block (owns its bytes). Created from BlockBuilder
+/// output read back from an SSTable.
+class Block {
+ public:
+  explicit Block(std::string contents);
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  size_t size() const { return contents_.size(); }
+
+  /// Iterator comparing internal keys. Caller deletes.
+  Iterator* NewIterator(const InternalKeyComparator* cmp) const;
+
+ private:
+  class Iter;
+
+  std::string contents_;
+  uint32_t restarts_offset_ = 0;  // offset of the restart array
+  uint32_t num_restarts_ = 0;
+  bool malformed_ = false;
+};
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_BLOCK_H_

@@ -1,0 +1,51 @@
+#ifndef ADCACHE_LSM_BLOCK_BUILDER_H_
+#define ADCACHE_LSM_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace adcache::lsm {
+
+/// Builds a prefix-compressed block (leveldb format):
+///   entry   := varint32 shared | varint32 non_shared | varint32 value_len
+///              | key_delta | value
+///   trailer := fixed32 restart_offset * num_restarts | fixed32 num_restarts
+/// Keys must be added in sorted order. Every `restart_interval` entries a
+/// full key is stored so readers can binary-search restart points.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  void Add(const Slice& key, const Slice& value);
+
+  /// Appends the restart trailer and returns the finished block contents
+  /// (valid until Reset).
+  Slice Finish();
+
+  void Reset();
+
+  /// Bytes the block would occupy if finished now.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+  int num_entries() const { return counter_total_; }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;        // entries since last restart
+  int counter_total_ = 0;  // entries in block
+  bool finished_ = false;
+  std::string last_key_;
+};
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_BLOCK_BUILDER_H_

@@ -1,0 +1,63 @@
+#include "lsm/bloom.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace adcache::lsm {
+
+namespace {
+uint32_t BloomHash(const Slice& key) {
+  return Hash(key.data(), key.size(), 0xbc9f1d34);
+}
+}  // namespace
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(bits_per_key) {
+  // k = ln(2) * bits/key rounded, clamped to [1, 30].
+  num_probes_ = static_cast<int>(bits_per_key * 0.69);
+  num_probes_ = std::clamp(num_probes_, 1, 30);
+}
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  key_hashes_.push_back(BloomHash(key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  size_t n = key_hashes_.size();
+  size_t bits = std::max<size_t>(64, n * static_cast<size_t>(bits_per_key_));
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string result(bytes, '\0');
+  result.push_back(static_cast<char>(num_probes_));
+  char* array = result.data();
+  for (uint32_t h : key_hashes_) {
+    const uint32_t delta = (h >> 17) | (h << 15);  // double hashing
+    for (int j = 0; j < num_probes_; j++) {
+      const uint32_t bitpos = h % static_cast<uint32_t>(bits);
+      array[bitpos / 8] |= static_cast<char>(1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+  key_hashes_.clear();
+  return result;
+}
+
+bool BloomFilterReader::KeyMayMatch(const Slice& key) const {
+  if (data_.size() < 2) return true;  // malformed: err on the safe side
+  const size_t bits = (data_.size() - 1) * 8;
+  const int k = data_[data_.size() - 1];
+  if (k > 30 || k < 1) return true;
+
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; j++) {
+    const uint32_t bitpos = h % static_cast<uint32_t>(bits);
+    if ((data_[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace adcache::lsm

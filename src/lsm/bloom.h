@@ -1,0 +1,40 @@
+#ifndef ADCACHE_LSM_BLOOM_H_
+#define ADCACHE_LSM_BLOOM_H_
+
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace adcache::lsm {
+
+/// Double-hashing bloom filter over user keys, one filter per SSTable.
+/// With 10 bits/key (the paper's setting) the false-positive rate is ~1%.
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key);
+
+  void AddKey(const Slice& key);
+  /// Serialises the filter for `keys added so far` and resets the builder.
+  std::string Finish();
+
+ private:
+  int bits_per_key_;
+  int num_probes_;
+  std::vector<uint32_t> key_hashes_;
+};
+
+/// Reader over a serialised filter (zero-copy; `data` must outlive it).
+class BloomFilterReader {
+ public:
+  explicit BloomFilterReader(const Slice& data) : data_(data) {}
+
+  bool KeyMayMatch(const Slice& key) const;
+
+ private:
+  Slice data_;
+};
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_BLOOM_H_

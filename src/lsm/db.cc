@@ -1,0 +1,964 @@
+#include "lsm/db.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lsm/table_builder.h"
+#include "util/coding.h"
+
+namespace adcache::lsm {
+
+namespace {
+
+Env* DefaultEnv() {
+  static Env* env = NewPosixEnv().release();
+  return env;
+}
+
+// WAL record = one atomic batch:
+//   fixed64 first_sequence | fixed32 count |
+//   count x (type byte | varint key | varint value)
+// Operation i commits at sequence first_sequence + i.
+void EncodeWalBatch(std::string* dst, SequenceNumber first_seq,
+                    const WriteBatch& batch) {
+  PutFixed64(dst, first_seq);
+  PutFixed32(dst, static_cast<uint32_t>(batch.Count()));
+  for (const auto& op : batch.ops()) {
+    dst->push_back(static_cast<char>(op.type));
+    PutLengthPrefixedSlice(dst, Slice(op.key));
+    PutLengthPrefixedSlice(dst, Slice(op.value));
+  }
+}
+
+bool DecodeWalBatch(Slice record, SequenceNumber* first_seq,
+                    WriteBatch* batch) {
+  batch->Clear();
+  if (record.size() < 12) return false;
+  *first_seq = DecodeFixed64(record.data());
+  uint32_t count = DecodeFixed32(record.data() + 8);
+  record.remove_prefix(12);
+  for (uint32_t i = 0; i < count; i++) {
+    if (record.empty()) return false;
+    uint8_t t = static_cast<uint8_t>(record[0]);
+    if (t > kTypeValue) return false;
+    record.remove_prefix(1);
+    Slice key, value;
+    if (!GetLengthPrefixedSlice(&record, &key) ||
+        !GetLengthPrefixedSlice(&record, &value)) {
+      return false;
+    }
+    if (t == kTypeDeletion) {
+      batch->Delete(key);
+    } else {
+      batch->Put(key, value);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Open / recovery
+// ---------------------------------------------------------------------------
+
+DB::DB(const Options& options, std::string dbname, Env* env)
+    : options_(options), dbname_(std::move(dbname)), env_(env) {
+  compact_pointer_.assign(static_cast<size_t>(options_.num_levels), 0);
+}
+
+DB::~DB() {
+  if (mem_ != nullptr) mem_->Unref();
+}
+
+Status DB::Open(const Options& options, const std::string& dbname,
+                std::unique_ptr<DB>* dbptr) {
+  Env* env = options.env != nullptr ? options.env : DefaultEnv();
+  Status s = env->CreateDirIfMissing(dbname);
+  if (!s.ok()) return s;
+
+  auto db = std::unique_ptr<DB>(new DB(options, dbname, env));
+  db->mem_ = new MemTable();
+  db->mem_->Ref();
+  db->current_ = std::make_shared<Version>(options.num_levels);
+
+  s = db->Recover();
+  if (!s.ok()) return s;
+  *dbptr = std::move(db);
+  return Status::OK();
+}
+
+Status DB::OpenTable(uint64_t number, uint64_t* file_size,
+                     std::shared_ptr<Table>* table) {
+  std::string fname = TableFileName(dbname_, number);
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = env_->NewRandomAccessFile(fname, &file);
+  if (!s.ok()) return s;
+  *file_size = file->Size();
+  std::unique_ptr<Table> t;
+  s = Table::Open(options_, std::move(file), number, env_, &t);
+  if (!s.ok()) return s;
+  total_table_entries_ += t->num_entries();
+  total_table_blocks_ +=
+      std::max<uint64_t>(1, *file_size / options_.block_size);
+  *table = std::shared_ptr<Table>(t.release());
+  return Status::OK();
+}
+
+Status DB::Recover() {
+  std::string manifest = ManifestFileName(dbname_);
+  uint64_t recovered_wal = 0;
+  if (env_->FileExists(manifest)) {
+    std::unique_ptr<SequentialFile> file;
+    Status s = env_->NewSequentialFile(manifest, &file);
+    if (!s.ok()) return s;
+    LogReader reader(std::move(file));
+    // The manifest holds full snapshots; the last readable one wins.
+    Slice record;
+    std::string scratch;
+    std::string last_snapshot;
+    while (reader.ReadRecord(&record, &scratch)) {
+      last_snapshot = record.ToString();
+    }
+    if (!last_snapshot.empty()) {
+      Slice input(last_snapshot);
+      if (input.size() < 28) return Status::Corruption("short manifest");
+      next_file_number_ = DecodeFixed64(input.data());
+      last_sequence_ = DecodeFixed64(input.data() + 8);
+      recovered_wal = DecodeFixed64(input.data() + 16);
+      uint32_t num_files = DecodeFixed32(input.data() + 24);
+      input.remove_prefix(28);
+      auto version = std::make_shared<Version>(options_.num_levels);
+      for (uint32_t i = 0; i < num_files; i++) {
+        if (input.size() < 20) return Status::Corruption("short manifest");
+        uint32_t level = DecodeFixed32(input.data());
+        uint64_t number = DecodeFixed64(input.data() + 4);
+        uint64_t size = DecodeFixed64(input.data() + 12);
+        input.remove_prefix(20);
+        Slice smallest, largest;
+        if (!GetLengthPrefixedSlice(&input, &smallest) ||
+            !GetLengthPrefixedSlice(&input, &largest)) {
+          return Status::Corruption("short manifest");
+        }
+        auto meta = std::make_shared<FileMetaData>();
+        meta->number = number;
+        meta->file_size = size;
+        meta->smallest = smallest.ToString();
+        meta->largest = largest.ToString();
+        uint64_t actual_size = 0;
+        s = OpenTable(number, &actual_size, &meta->table);
+        if (!s.ok()) return s;
+        if (level >= static_cast<uint32_t>(options_.num_levels)) {
+          return Status::Corruption("bad level in manifest");
+        }
+        version->files_[level].push_back(std::move(meta));
+      }
+      // L0 newest first; deeper levels by smallest key.
+      std::sort(version->files_[0].begin(), version->files_[0].end(),
+                [](const auto& a, const auto& b) {
+                  return a->number > b->number;
+                });
+      InternalKeyComparator icmp;
+      for (int lvl = 1; lvl < options_.num_levels; lvl++) {
+        auto& files = version->files_[static_cast<size_t>(lvl)];
+        std::sort(files.begin(), files.end(),
+                  [&icmp](const auto& a, const auto& b) {
+                    return icmp.Compare(Slice(a->smallest),
+                                        Slice(b->smallest)) < 0;
+                  });
+      }
+      current_ = version;
+    }
+  }
+
+  if (options_.enable_wal && recovered_wal != 0 &&
+      env_->FileExists(WalFileName(dbname_, recovered_wal))) {
+    Status s = ReplayWal(recovered_wal);
+    if (!s.ok()) return s;
+  }
+
+  Status s = NewWal();
+  if (!s.ok()) return s;
+  return WriteManifestSnapshot();
+}
+
+Status DB::ReplayWal(uint64_t wal_number) {
+  std::unique_ptr<SequentialFile> file;
+  Status s = env_->NewSequentialFile(WalFileName(dbname_, wal_number), &file);
+  if (!s.ok()) return s;
+  LogReader reader(std::move(file));
+  Slice record;
+  std::string scratch;
+  WriteBatch batch;
+  while (reader.ReadRecord(&record, &scratch)) {
+    SequenceNumber seq;
+    if (!DecodeWalBatch(record, &seq, &batch)) break;
+    for (const auto& op : batch.ops()) {
+      mem_->Add(seq++, op.type, Slice(op.key), Slice(op.value));
+    }
+    if (seq - 1 > last_sequence_) last_sequence_ = seq - 1;
+  }
+  return Status::OK();
+}
+
+const Snapshot* DB::GetSnapshot() {
+  std::lock_guard<std::mutex> l(mutex_);
+  SequenceNumber seq = last_sequence_.load(std::memory_order_acquire);
+  snapshots_.insert(seq);
+  return new Snapshot(seq);
+}
+
+void DB::ReleaseSnapshot(const Snapshot* snapshot) {
+  if (snapshot == nullptr) return;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    auto it = snapshots_.find(snapshot->sequence());
+    if (it != snapshots_.end()) snapshots_.erase(it);
+  }
+  delete snapshot;
+}
+
+SequenceNumber DB::SmallestLiveSnapshot() const {
+  std::lock_guard<std::mutex> l(mutex_);
+  if (snapshots_.empty()) {
+    return last_sequence_.load(std::memory_order_acquire);
+  }
+  return *snapshots_.begin();
+}
+
+Status DB::NewWal() {
+  if (!options_.enable_wal) return Status::OK();
+  uint64_t old_wal = wal_number_;
+  wal_number_ = next_file_number_++;
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(WalFileName(dbname_, wal_number_), &file);
+  if (!s.ok()) return s;
+  wal_ = std::make_unique<LogWriter>(std::move(file));
+  if (old_wal != 0) {
+    env_->RemoveFile(WalFileName(dbname_, old_wal));  // best effort
+  }
+  return Status::OK();
+}
+
+Status DB::WriteManifestSnapshot() {
+  std::shared_ptr<const Version> version;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    version = current_;
+  }
+  std::string record;
+  PutFixed64(&record, next_file_number_);
+  PutFixed64(&record, last_sequence_.load());
+  PutFixed64(&record, wal_number_);
+  uint32_t num_files = 0;
+  for (int lvl = 0; lvl < version->num_levels(); lvl++) {
+    num_files += static_cast<uint32_t>(version->files(lvl).size());
+  }
+  PutFixed32(&record, num_files);
+  for (int lvl = 0; lvl < version->num_levels(); lvl++) {
+    for (const auto& f : version->files(lvl)) {
+      PutFixed32(&record, static_cast<uint32_t>(lvl));
+      PutFixed64(&record, f->number);
+      PutFixed64(&record, f->file_size);
+      PutLengthPrefixedSlice(&record, Slice(f->smallest));
+      PutLengthPrefixedSlice(&record, Slice(f->largest));
+    }
+  }
+  // Rewrite the manifest from scratch: snapshots are self-contained.
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(ManifestFileName(dbname_), &file);
+  if (!s.ok()) return s;
+  LogWriter writer(std::move(file));
+  s = writer.AddRecord(Slice(record));
+  if (s.ok()) s = writer.Sync();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+Status DB::Put(const WriteOptions& write_options, const Slice& key,
+               const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(write_options, batch);
+}
+
+Status DB::Delete(const WriteOptions& write_options, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(write_options, batch);
+}
+
+Status DB::Write(const WriteOptions& write_options, const WriteBatch& batch) {
+  if (batch.Count() == 0) return Status::OK();
+  std::lock_guard<std::mutex> wl(write_mutex_);
+  SequenceNumber first_seq =
+      last_sequence_.load(std::memory_order_relaxed) + 1;
+
+  if (options_.enable_wal) {
+    std::string record;
+    EncodeWalBatch(&record, first_seq, batch);
+    Status s = wal_->AddRecord(Slice(record));
+    if (s.ok() && write_options.sync) s = wal_->Sync();
+    if (!s.ok()) return s;
+  }
+
+  SequenceNumber seq = first_seq;
+  for (const auto& op : batch.ops()) {
+    mem_->Add(seq++, op.type, Slice(op.key), Slice(op.value));
+  }
+  // Publish only after every entry is reachable in the memtable, so readers
+  // never observe a half-applied batch.
+  last_sequence_.store(seq - 1, std::memory_order_release);
+
+  if (mem_->ApproximateMemoryUsage() >= options_.memtable_size) {
+    Status s = FlushMemTableLocked();
+    if (!s.ok()) return s;
+    Status cs;
+    while (MaybeCompactOnce(&cs)) {
+      if (!cs.ok()) return cs;
+    }
+  }
+  return Status::OK();
+}
+
+Status DB::FlushMemTable() {
+  std::lock_guard<std::mutex> wl(write_mutex_);
+  Status s = FlushMemTableLocked();
+  if (!s.ok()) return s;
+  Status cs;
+  while (MaybeCompactOnce(&cs)) {
+    if (!cs.ok()) return cs;
+  }
+  return Status::OK();
+}
+
+Status DB::FlushMemTableLocked() {
+  if (mem_->num_entries() == 0) return Status::OK();
+
+  uint64_t file_number = next_file_number_++;
+  std::unique_ptr<WritableFile> file;
+  Status s =
+      env_->NewWritableFile(TableFileName(dbname_, file_number), &file);
+  if (!s.ok()) return s;
+
+  TableBuilder builder(options_, std::move(file));
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  auto meta = std::make_shared<FileMetaData>();
+  meta->number = file_number;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    if (meta->smallest.empty()) meta->smallest = iter->key().ToString();
+    meta->largest = iter->key().ToString();
+    builder.Add(iter->key(), iter->value());
+  }
+  s = builder.Finish();
+  if (!s.ok()) return s;
+
+  s = OpenTable(file_number, &meta->file_size, &meta->table);
+  if (!s.ok()) return s;
+
+  // Install: new version with the file prepended to L0, fresh memtable.
+  auto new_version = std::make_shared<Version>(options_.num_levels);
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    new_version->files_ = current_->files_;
+    new_version->files_[0].insert(new_version->files_[0].begin(),
+                                  std::move(meta));
+    current_ = new_version;
+    MemTable* old_mem = mem_;
+    mem_ = new MemTable();
+    mem_->Ref();
+    old_mem->Unref();
+  }
+  flush_count_++;
+
+  s = NewWal();
+  if (s.ok()) s = WriteManifestSnapshot();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Compaction
+// ---------------------------------------------------------------------------
+
+uint64_t DB::MaxBytesForLevel(int level) const {
+  uint64_t result = options_.level1_size_base;
+  for (int i = 1; i < level; i++) {
+    result *= static_cast<uint64_t>(options_.level_size_ratio);
+  }
+  return result;
+}
+
+bool DB::IsBaseLevelForKey(const Version& v, int output_level,
+                           const Slice& user_key) const {
+  for (int lvl = output_level + 1; lvl < v.num_levels(); lvl++) {
+    for (const auto& f : v.files(lvl)) {
+      if (user_key.compare(ExtractUserKey(Slice(f->smallest))) >= 0 &&
+          user_key.compare(ExtractUserKey(Slice(f->largest))) <= 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool DB::MaybeCompactOnce(Status* s) {
+  if (options_.compaction_style == CompactionStyle::kUniversal) {
+    return UniversalCompactOnce(s);
+  }
+  *s = Status::OK();
+  std::shared_ptr<const Version> base;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    base = current_;
+  }
+
+  int input_level = -1;
+  FileList inputs0;
+  if (base->NumFiles(0) >= options_.l0_compaction_trigger) {
+    input_level = 0;
+    inputs0 = base->files(0);
+  } else {
+    for (int lvl = 1; lvl < options_.num_levels - 1; lvl++) {
+      if (base->LevelBytes(lvl) > MaxBytesForLevel(lvl)) {
+        input_level = lvl;
+        const FileList& files = base->files(lvl);
+        size_t pick = compact_pointer_[static_cast<size_t>(lvl)] %
+                      files.size();
+        compact_pointer_[static_cast<size_t>(lvl)] = pick + 1;
+        inputs0.push_back(files[pick]);
+        break;
+      }
+    }
+  }
+  if (input_level < 0) return false;
+  int output_level = input_level + 1;
+
+  // Key range of the inputs (user keys).
+  std::string smallest_user, largest_user;
+  for (const auto& f : inputs0) {
+    std::string s_user = ExtractUserKey(Slice(f->smallest)).ToString();
+    std::string l_user = ExtractUserKey(Slice(f->largest)).ToString();
+    if (smallest_user.empty() || s_user < smallest_user) {
+      smallest_user = s_user;
+    }
+    if (largest_user.empty() || l_user > largest_user) largest_user = l_user;
+  }
+
+  FileList inputs1;
+  base->GetOverlappingInputs(output_level, Slice(smallest_user),
+                             Slice(largest_user), &inputs1);
+
+  // Merge the inputs into new output-level files. Compaction reads bypass
+  // the block cache and are excluded from the SST-read metric.
+  ReadOptions compaction_reads;
+  compaction_reads.fill_block_cache = false;
+  compaction_reads.count_block_reads = false;
+  std::vector<Iterator*> children;
+  for (const auto& f : inputs0) {
+    children.push_back(f->table->NewIterator(compaction_reads));
+  }
+  for (const auto& f : inputs1) {
+    children.push_back(f->table->NewIterator(compaction_reads));
+  }
+  InternalKeyComparator icmp;
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(&icmp, std::move(children)));
+
+  FileList outputs;
+  std::unique_ptr<TableBuilder> builder;
+  std::shared_ptr<FileMetaData> out_meta;
+  uint64_t out_number = 0;
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  const SequenceNumber smallest_snapshot = SmallestLiveSnapshot();
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+
+  auto finish_output = [&]() -> Status {
+    if (builder == nullptr) return Status::OK();
+    Status fs = builder->Finish();
+    if (!fs.ok()) return fs;
+    fs = OpenTable(out_number, &out_meta->file_size, &out_meta->table);
+    if (!fs.ok()) return fs;
+    outputs.push_back(out_meta);
+    builder.reset();
+    out_meta.reset();
+    return Status::OK();
+  };
+
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    Slice internal_key = merged->key();
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(internal_key, &parsed)) {
+      *s = Status::Corruption("bad key during compaction");
+      return false;
+    }
+    if (!has_current_user_key ||
+        parsed.user_key != Slice(current_user_key)) {
+      current_user_key = parsed.user_key.ToString();
+      has_current_user_key = true;
+      last_sequence_for_key = kMaxSequenceNumber;
+    }
+    bool drop = false;
+    if (last_sequence_for_key <= smallest_snapshot) {
+      // A newer entry for this key is itself visible to every live
+      // snapshot, so this one can never be read again.
+      drop = true;
+    } else if (parsed.type == kTypeDeletion &&
+               parsed.sequence <= smallest_snapshot &&
+               IsBaseLevelForKey(*base, output_level, parsed.user_key)) {
+      drop = true;  // tombstone with nothing underneath
+    }
+    last_sequence_for_key = parsed.sequence;
+    if (drop) continue;
+
+    if (builder == nullptr) {
+      out_number = next_file_number_++;
+      std::unique_ptr<WritableFile> file;
+      *s = env_->NewWritableFile(TableFileName(dbname_, out_number), &file);
+      if (!s->ok()) return false;
+      builder = std::make_unique<TableBuilder>(options_, std::move(file));
+      out_meta = std::make_shared<FileMetaData>();
+      out_meta->number = out_number;
+      out_meta->smallest = internal_key.ToString();
+    }
+    out_meta->largest = internal_key.ToString();
+    builder->Add(internal_key, merged->value());
+    if (builder->FileSize() >= options_.table_file_size) {
+      *s = finish_output();
+      if (!s->ok()) return false;
+    }
+  }
+  *s = finish_output();
+  if (!s->ok()) return false;
+
+  // Leaper-style prefetch, step 1: note which key ranges of the retiring
+  // input files were hot (their blocks resident in the block cache), and
+  // evict those now-dead blocks.
+  std::vector<std::pair<std::string, std::string>> hot_ranges;
+  if (options_.leaper_prefetch && options_.block_cache != nullptr) {
+    auto scan_inputs = [&](const FileList& inputs) {
+      for (const auto& f : inputs) {
+        std::string prev_last = f->smallest;
+        for (const Table::BlockInfo& info : f->table->GetBlockInfos()) {
+          if (f->table->IsBlockCached(info.handle)) {
+            hot_ranges.emplace_back(prev_last, info.last_internal_key);
+            options_.block_cache->Erase(
+                Slice(Table::CacheKey(f->number, info.handle.offset)));
+          }
+          prev_last = info.last_internal_key;
+        }
+      }
+    };
+    scan_inputs(inputs0);
+    scan_inputs(inputs1);
+  }
+
+  // Install the result.
+  auto new_version = std::make_shared<Version>(options_.num_levels);
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    new_version->files_ = current_->files_;
+    auto remove_inputs = [](FileList* files, const FileList& inputs) {
+      for (const auto& in : inputs) {
+        files->erase(std::remove_if(files->begin(), files->end(),
+                                    [&](const auto& f) {
+                                      return f->number == in->number;
+                                    }),
+                     files->end());
+      }
+    };
+    remove_inputs(&new_version->files_[static_cast<size_t>(input_level)],
+                  inputs0);
+    remove_inputs(&new_version->files_[static_cast<size_t>(output_level)],
+                  inputs1);
+    auto& out_files =
+        new_version->files_[static_cast<size_t>(output_level)];
+    for (const auto& f : outputs) out_files.push_back(f);
+    std::sort(out_files.begin(), out_files.end(),
+              [&icmp](const auto& a, const auto& b) {
+                return icmp.Compare(Slice(a->smallest), Slice(b->smallest)) <
+                       0;
+              });
+    current_ = new_version;
+  }
+  compaction_count_++;
+
+  // Leaper-style prefetch, step 2: warm the block cache with the output
+  // blocks that cover the previously-hot key ranges.
+  if (!hot_ranges.empty()) {
+    size_t budget = hot_ranges.size() * 2;  // cap background read volume
+    for (const auto& f : outputs) {
+      if (budget == 0) break;
+      std::string prev_last = f->smallest;
+      for (const Table::BlockInfo& info : f->table->GetBlockInfos()) {
+        bool overlaps = false;
+        for (const auto& [lo, hi] : hot_ranges) {
+          if (icmp.Compare(Slice(prev_last), Slice(hi)) <= 0 &&
+              icmp.Compare(Slice(lo), Slice(info.last_internal_key)) <= 0) {
+            overlaps = true;
+            break;
+          }
+        }
+        if (overlaps && budget > 0) {
+          if (f->table->PrefetchBlock(info.handle).ok()) {
+            prefetched_blocks_++;
+            budget--;
+          }
+        }
+        prev_last = info.last_internal_key;
+      }
+    }
+  }
+
+  // Delete obsolete input files (readers holding the old version keep the
+  // underlying bytes alive through the Table's file handle).
+  for (const auto& f : inputs0) {
+    env_->RemoveFile(TableFileName(dbname_, f->number));
+  }
+  for (const auto& f : inputs1) {
+    env_->RemoveFile(TableFileName(dbname_, f->number));
+  }
+
+  *s = WriteManifestSnapshot();
+  return s->ok();
+}
+
+bool DB::UniversalCompactOnce(Status* s) {
+  *s = Status::OK();
+  std::shared_ptr<const Version> base;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    base = current_;
+  }
+  const FileList& runs = base->files(0);
+  if (static_cast<int>(runs.size()) < options_.universal_run_trigger) {
+    return false;
+  }
+
+  // Accumulate adjacent runs from the newest while sizes stay within the
+  // configured ratio of the accumulated total.
+  size_t pick = 1;
+  uint64_t accumulated = runs[0]->file_size;
+  while (pick < runs.size()) {
+    uint64_t next = runs[pick]->file_size;
+    if (next <= accumulated *
+                    static_cast<uint64_t>(options_.universal_size_ratio) /
+                    100) {
+      accumulated += next;
+      pick++;
+    } else {
+      break;
+    }
+  }
+  if (pick < 2) pick = runs.size();  // no ratio pick: merge everything
+  FileList inputs(runs.begin(),
+                  runs.begin() + static_cast<long>(pick));
+  const bool full_merge = pick == runs.size();
+
+  ReadOptions compaction_reads;
+  compaction_reads.fill_block_cache = false;
+  compaction_reads.count_block_reads = false;
+  std::vector<Iterator*> children;
+  for (const auto& f : inputs) {
+    children.push_back(f->table->NewIterator(compaction_reads));
+  }
+  InternalKeyComparator icmp;
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(&icmp, std::move(children)));
+
+  // One output run (universal compaction never splits a run).
+  std::unique_ptr<TableBuilder> builder;
+  std::shared_ptr<FileMetaData> out_meta;
+  uint64_t out_number = 0;
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  const SequenceNumber smallest_snapshot = SmallestLiveSnapshot();
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    Slice internal_key = merged->key();
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(internal_key, &parsed)) {
+      *s = Status::Corruption("bad key during universal compaction");
+      return false;
+    }
+    if (!has_current_user_key ||
+        parsed.user_key != Slice(current_user_key)) {
+      current_user_key = parsed.user_key.ToString();
+      has_current_user_key = true;
+      last_sequence_for_key = kMaxSequenceNumber;
+    }
+    bool drop = false;
+    if (last_sequence_for_key <= smallest_snapshot) {
+      drop = true;
+    } else if (parsed.type == kTypeDeletion &&
+               parsed.sequence <= smallest_snapshot && full_merge &&
+               IsBaseLevelForKey(*base, 0, parsed.user_key)) {
+      // A tombstone may only disappear when no older run can still hold
+      // the key: with a full merge the only candidates are deeper levels.
+      drop = true;
+    }
+    last_sequence_for_key = parsed.sequence;
+    if (drop) continue;
+
+    if (builder == nullptr) {
+      out_number = next_file_number_++;
+      std::unique_ptr<WritableFile> file;
+      *s = env_->NewWritableFile(TableFileName(dbname_, out_number), &file);
+      if (!s->ok()) return false;
+      builder = std::make_unique<TableBuilder>(options_, std::move(file));
+      out_meta = std::make_shared<FileMetaData>();
+      out_meta->number = out_number;
+      out_meta->smallest = internal_key.ToString();
+    }
+    out_meta->largest = internal_key.ToString();
+    builder->Add(internal_key, merged->value());
+  }
+  if (builder != nullptr) {
+    *s = builder->Finish();
+    if (!s->ok()) return false;
+    *s = OpenTable(out_number, &out_meta->file_size, &out_meta->table);
+    if (!s->ok()) return false;
+  }
+
+  // Install: the merged run replaces the picked (newest) runs at the front.
+  auto new_version = std::make_shared<Version>(options_.num_levels);
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    new_version->files_ = current_->files_;
+    auto& l0 = new_version->files_[0];
+    l0.erase(l0.begin(), l0.begin() + static_cast<long>(pick));
+    if (out_meta != nullptr) l0.insert(l0.begin(), out_meta);
+    current_ = new_version;
+  }
+  compaction_count_++;
+
+  for (const auto& f : inputs) {
+    env_->RemoveFile(TableFileName(dbname_, f->number));
+  }
+  *s = WriteManifestSnapshot();
+  return s->ok();
+}
+
+Status DB::CompactAll() {
+  std::lock_guard<std::mutex> wl(write_mutex_);
+  Status s;
+  while (MaybeCompactOnce(&s)) {
+    if (!s.ok()) return s;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+Status DB::Get(const ReadOptions& read_options, const Slice& key,
+               std::string* value) {
+  MemTable* mem;
+  std::shared_ptr<const Version> version;
+  SequenceNumber snapshot;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    snapshot = read_options.snapshot != nullptr
+                   ? read_options.snapshot->sequence()
+                   : last_sequence_.load(std::memory_order_acquire);
+    mem = mem_;
+    mem->Ref();
+    version = current_;
+  }
+
+  Status result;
+  bool deleted = false;
+  if (mem->Get(key, snapshot, value, &deleted)) {
+    result = deleted ? Status::NotFound() : Status::OK();
+  } else {
+    auto r = const_cast<Version*>(version.get())
+                 ->Get(read_options, key, snapshot, value);
+    switch (r) {
+      case Table::LookupResult::kFound:
+        result = Status::OK();
+        break;
+      case Table::LookupResult::kDeleted:
+      case Table::LookupResult::kNotFound:
+        result = Status::NotFound();
+        break;
+    }
+  }
+  mem->Unref();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// DB iterator (user keys, snapshot-consistent, forward + backward-free)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Wraps a merged internal-key iterator: deduplicates user keys (newest
+/// visible entry wins), hides tombstones and sequence trailers. Forward
+/// iteration only (scans in LSM benchmarks are forward); Prev/SeekToLast
+/// report NotSupported.
+class DBIter : public Iterator {
+ public:
+  DBIter(Iterator* internal, SequenceNumber snapshot, MemTable* mem,
+         std::shared_ptr<const Version> version)
+      : internal_(internal),
+        snapshot_(snapshot),
+        mem_(mem),
+        version_(std::move(version)) {
+    mem_->Ref();
+  }
+
+  ~DBIter() override { mem_->Unref(); }
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    internal_->SeekToFirst();
+    FindNextUserEntry();
+  }
+
+  void Seek(const Slice& target) override {
+    internal_->Seek(Slice(MakeLookupKey(target, snapshot_)));
+    FindNextUserEntry();
+  }
+
+  void Next() override {
+    assert(valid_);
+    // Skip the remaining (older) entries of the current user key.
+    std::string current = key_;
+    while (internal_->Valid()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(internal_->key(), &parsed)) break;
+      if (parsed.user_key != Slice(current)) break;
+      internal_->Next();
+    }
+    FindNextUserEntry();
+  }
+
+  void SeekToLast() override {
+    valid_ = false;
+    status_ = Status::NotSupported("backward iteration");
+  }
+  void Prev() override {
+    valid_ = false;
+    status_ = Status::NotSupported("backward iteration");
+  }
+
+  Slice key() const override { return Slice(key_); }
+  Slice value() const override { return Slice(value_); }
+  Status status() const override {
+    return status_.ok() ? internal_->status() : status_;
+  }
+
+ private:
+  /// Advances to the newest visible, non-deleted entry of the next user key
+  /// at or after the internal iterator's position.
+  void FindNextUserEntry() {
+    valid_ = false;
+    std::string skip_user_key;
+    bool skipping = false;
+    while (internal_->Valid()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(internal_->key(), &parsed)) {
+        internal_->Next();
+        continue;
+      }
+      if (parsed.sequence > snapshot_) {
+        internal_->Next();
+        continue;
+      }
+      if (skipping && parsed.user_key == Slice(skip_user_key)) {
+        internal_->Next();
+        continue;
+      }
+      if (parsed.type == kTypeDeletion) {
+        skip_user_key = parsed.user_key.ToString();
+        skipping = true;
+        internal_->Next();
+        continue;
+      }
+      key_ = parsed.user_key.ToString();
+      value_ = internal_->value().ToString();
+      valid_ = true;
+      // Position internal_ after this entry for the next call.
+      internal_->Next();
+      // Skip older entries of the same user key now so Next() is simple.
+      while (internal_->Valid()) {
+        ParsedInternalKey p2;
+        if (!ParseInternalKey(internal_->key(), &p2)) break;
+        if (p2.user_key != Slice(key_)) break;
+        internal_->Next();
+      }
+      return;
+    }
+  }
+
+  std::unique_ptr<Iterator> internal_;
+  SequenceNumber snapshot_;
+  MemTable* mem_;
+  std::shared_ptr<const Version> version_;
+  bool valid_ = false;
+  std::string key_;
+  std::string value_;
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* DB::NewIterator(const ReadOptions& read_options) {
+  MemTable* mem;
+  std::shared_ptr<const Version> version;
+  SequenceNumber snapshot;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    snapshot = read_options.snapshot != nullptr
+                   ? read_options.snapshot->sequence()
+                   : last_sequence_.load(std::memory_order_acquire);
+    mem = mem_;
+    mem->Ref();
+    version = current_;
+  }
+  std::vector<Iterator*> children;
+  children.push_back(mem->NewIterator());
+  version->AddIterators(read_options, &children);
+  static InternalKeyComparator icmp;
+  Iterator* merged = NewMergingIterator(&icmp, std::move(children));
+  auto* iter = new DBIter(merged, snapshot, mem, version);
+  mem->Unref();  // DBIter holds its own reference
+  return iter;
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+DB::LsmShape DB::GetLsmShape() const {
+  std::shared_ptr<const Version> version;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    version = current_;
+  }
+  LsmShape shape;
+  shape.num_levels_nonempty = version->NumNonEmptyLevels();
+  shape.l0_files = version->NumFiles(0);
+  shape.sorted_runs = version->NumSortedRuns();
+  shape.compaction_count = compaction_count_.load();
+  shape.flush_count = flush_count_.load();
+  shape.prefetched_blocks = prefetched_blocks_.load();
+  for (int lvl = 0; lvl < version->num_levels(); lvl++) {
+    shape.files_per_level.push_back(version->NumFiles(lvl));
+  }
+  uint64_t blocks = total_table_blocks_.load();
+  shape.entries_per_block =
+      blocks == 0 ? 0
+                  : static_cast<double>(total_table_entries_.load()) /
+                        static_cast<double>(blocks);
+  return shape;
+}
+
+}  // namespace adcache::lsm

@@ -1,0 +1,138 @@
+#ifndef ADCACHE_LSM_DB_H_
+#define ADCACHE_LSM_DB_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "lsm/log_writer.h"
+#include "lsm/memtable.h"
+#include "lsm/options.h"
+#include "lsm/version.h"
+#include "lsm/write_batch.h"
+#include "util/env.h"
+
+namespace adcache::lsm {
+
+/// An opaque read snapshot: reads through it see exactly the writes that
+/// were committed when it was taken. Obtain via DB::GetSnapshot.
+class Snapshot {
+ public:
+  SequenceNumber sequence() const { return sequence_; }
+
+ private:
+  friend class DB;
+  explicit Snapshot(SequenceNumber sequence) : sequence_(sequence) {}
+  SequenceNumber sequence_;
+};
+
+/// A leveled LSM-tree key-value store: memtable + WAL + leveled SSTables
+/// with synchronous flush/compaction in the writer's thread. Reads (Get and
+/// iterators) are safe from any number of threads concurrently with a
+/// writer; writers serialise among themselves internally.
+///
+/// Iterators returned by NewIterator expose *user* keys, deduplicated and
+/// tombstone-free, at the snapshot taken when the iterator was created.
+class DB {
+ public:
+  /// Shape statistics consumed by AdCache's I/O estimator (paper Table 1).
+  struct LsmShape {
+    int num_levels_nonempty = 0;  // L
+    int l0_files = 0;             // current r0
+    int sorted_runs = 0;          // r
+    uint64_t compaction_count = 0;
+    uint64_t flush_count = 0;
+    /// Blocks re-read into the block cache by Leaper-style prefetching.
+    uint64_t prefetched_blocks = 0;
+    std::vector<int> files_per_level;
+    /// Average entries per data block (paper's B), from table metadata.
+    double entries_per_block = 0;
+  };
+
+  static Status Open(const Options& options, const std::string& dbname,
+                     std::unique_ptr<DB>* dbptr);
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+  ~DB();
+
+  Status Put(const WriteOptions& write_options, const Slice& key,
+             const Slice& value);
+  Status Delete(const WriteOptions& write_options, const Slice& key);
+  /// Applies all updates in `batch` atomically (one WAL record).
+  Status Write(const WriteOptions& write_options, const WriteBatch& batch);
+  Status Get(const ReadOptions& read_options, const Slice& key,
+             std::string* value);
+
+  /// Pins the current state for repeatable reads; release when done.
+  /// Compactions preserve entries visible to any live snapshot.
+  const Snapshot* GetSnapshot();
+  void ReleaseSnapshot(const Snapshot* snapshot);
+
+  /// Caller deletes. See class comment for semantics.
+  Iterator* NewIterator(const ReadOptions& read_options);
+
+  LsmShape GetLsmShape() const;
+  Env* env() const { return env_; }
+  const Options& options() const { return options_; }
+
+  /// Forces a memtable flush (testing / benchmarks).
+  Status FlushMemTable();
+  /// Runs compactions until no level is over threshold (testing).
+  Status CompactAll();
+
+ private:
+  DB(const Options& options, std::string dbname, Env* env);
+
+  Status Recover();
+  Status WriteManifestSnapshot();
+  Status ReplayWal(uint64_t wal_number);
+  Status NewWal();
+  /// Oldest sequence any live snapshot can see (last_sequence_ if none).
+  SequenceNumber SmallestLiveSnapshot() const;
+  Status FlushMemTableLocked();  // requires write_mutex_
+  Status OpenTable(uint64_t number, uint64_t* file_size,
+                   std::shared_ptr<Table>* table);
+  /// Runs one compaction if any level is over threshold; true if ran.
+  bool MaybeCompactOnce(Status* s);
+  /// Universal-style merge of similar-sized L0 runs; true if ran.
+  bool UniversalCompactOnce(Status* s);
+  uint64_t MaxBytesForLevel(int level) const;
+  bool IsBaseLevelForKey(const Version& v, int output_level,
+                         const Slice& user_key) const;
+
+  Options options_;
+  std::string dbname_;
+  Env* env_;
+
+  /// Serialises writers (Put/Delete/flush/compaction).
+  std::mutex write_mutex_;
+  /// Protects the fields below (held briefly).
+  mutable std::mutex mutex_;
+  MemTable* mem_ = nullptr;  // guarded by mutex_ for pointer swap
+  std::shared_ptr<const Version> current_;
+  std::atomic<SequenceNumber> last_sequence_{0};
+  uint64_t next_file_number_ = 1;
+  uint64_t wal_number_ = 0;
+
+  std::multiset<SequenceNumber> snapshots_;  // guarded by mutex_
+
+  std::unique_ptr<LogWriter> wal_;
+  std::atomic<uint64_t> compaction_count_{0};
+  std::atomic<uint64_t> flush_count_{0};
+  std::atomic<uint64_t> prefetched_blocks_{0};
+  std::vector<size_t> compact_pointer_;  // round-robin pick per level
+
+  // Aggregate table-format telemetry for entries_per_block.
+  std::atomic<uint64_t> total_table_entries_{0};
+  std::atomic<uint64_t> total_table_blocks_{0};
+};
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_DB_H_

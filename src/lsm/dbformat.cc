@@ -1,0 +1,29 @@
+#include "lsm/dbformat.h"
+
+#include <cstdio>
+
+namespace adcache::lsm {
+
+namespace {
+std::string NumberedFileName(const std::string& dbname, uint64_t number,
+                             const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/%06llu.%s",
+                static_cast<unsigned long long>(number), suffix);
+  return dbname + buf;
+}
+}  // namespace
+
+std::string TableFileName(const std::string& dbname, uint64_t number) {
+  return NumberedFileName(dbname, number, "sst");
+}
+
+std::string WalFileName(const std::string& dbname, uint64_t number) {
+  return NumberedFileName(dbname, number, "wal");
+}
+
+std::string ManifestFileName(const std::string& dbname) {
+  return dbname + "/MANIFEST";
+}
+
+}  // namespace adcache::lsm

@@ -1,0 +1,92 @@
+#ifndef ADCACHE_LSM_DBFORMAT_H_
+#define ADCACHE_LSM_DBFORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace adcache::lsm {
+
+using SequenceNumber = uint64_t;
+
+constexpr SequenceNumber kMaxSequenceNumber = (uint64_t{1} << 56) - 1;
+
+enum ValueType : uint8_t {
+  kTypeDeletion = 0x0,
+  kTypeValue = 0x1,
+};
+
+/// Internal keys append an 8-byte trailer to the user key:
+/// (sequence << 8) | type. Ordering is user key ascending, then sequence
+/// descending (newer entries first), then type descending.
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber sequence;
+  ValueType type;
+};
+
+inline uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  return (seq << 8) | t;
+}
+
+inline void AppendInternalKey(std::string* result,
+                              const ParsedInternalKey& key) {
+  result->append(key.user_key.data(), key.user_key.size());
+  PutFixed64(result, PackSequenceAndType(key.sequence, key.type));
+}
+
+inline std::string MakeInternalKey(const Slice& user_key, SequenceNumber seq,
+                                   ValueType t) {
+  std::string result;
+  result.reserve(user_key.size() + 8);
+  ParsedInternalKey pkey{user_key, seq, t};
+  AppendInternalKey(&result, pkey);
+  return result;
+}
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+inline bool ParseInternalKey(const Slice& internal_key,
+                             ParsedInternalKey* result) {
+  if (internal_key.size() < 8) return false;
+  uint64_t num = DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  uint8_t t = static_cast<uint8_t>(num & 0xff);
+  if (t > kTypeValue) return false;
+  result->sequence = num >> 8;
+  result->type = static_cast<ValueType>(t);
+  result->user_key = ExtractUserKey(internal_key);
+  return true;
+}
+
+/// Orders internal keys: user key ascending, sequence/type descending.
+class InternalKeyComparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const {
+    int r = ExtractUserKey(a).compare(ExtractUserKey(b));
+    if (r != 0) return r;
+    uint64_t anum = DecodeFixed64(a.data() + a.size() - 8);
+    uint64_t bnum = DecodeFixed64(b.data() + b.size() - 8);
+    if (anum > bnum) return -1;
+    if (anum < bnum) return +1;
+    return 0;
+  }
+};
+
+/// A seek target: internal key with max sequence so the first entry at or
+/// after `user_key` visible at `seq` is found.
+inline std::string MakeLookupKey(const Slice& user_key, SequenceNumber seq) {
+  return MakeInternalKey(user_key, seq, kTypeValue);
+}
+
+// File naming helpers.
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string WalFileName(const std::string& dbname, uint64_t number);
+std::string ManifestFileName(const std::string& dbname);
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_DBFORMAT_H_

@@ -1,0 +1,39 @@
+#ifndef ADCACHE_LSM_ITERATOR_H_
+#define ADCACHE_LSM_ITERATOR_H_
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace adcache::lsm {
+
+/// Forward/backward iterator over a sorted key-value sequence (block, table,
+/// memtable or a merged view). Keys at this layer are *internal* keys unless
+/// documented otherwise (the DB-level iterator exposes user keys).
+class Iterator {
+ public:
+  Iterator() = default;
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+  virtual ~Iterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  /// Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+
+  /// REQUIRES: Valid().
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const = 0;
+};
+
+/// An iterator over an empty sequence, optionally carrying an error.
+Iterator* NewEmptyIterator(const Status& status = Status::OK());
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_ITERATOR_H_

@@ -1,0 +1,41 @@
+#include "lsm/log_writer.h"
+
+#include "util/coding.h"
+#include "util/hash.h"
+
+namespace adcache::lsm {
+
+namespace {
+constexpr uint32_t kChecksumSeed = 0x8f1bbcdc;
+}  // namespace
+
+Status LogWriter::AddRecord(const Slice& record) {
+  std::string header;
+  PutFixed32(&header, Hash(record.data(), record.size(), kChecksumSeed));
+  PutFixed32(&header, static_cast<uint32_t>(record.size()));
+  Status s = dest_->Append(header);
+  if (s.ok()) s = dest_->Append(record);
+  if (s.ok()) s = dest_->Flush();
+  return s;
+}
+
+bool LogReader::ReadRecord(Slice* record, std::string* scratch) {
+  char header[8];
+  Slice header_slice;
+  Status s = src_->Read(sizeof(header), &header_slice, header);
+  if (!s.ok() || header_slice.size() < sizeof(header)) return false;
+  uint32_t expected_crc = DecodeFixed32(header_slice.data());
+  uint32_t length = DecodeFixed32(header_slice.data() + 4);
+
+  scratch->resize(length);
+  Slice payload;
+  s = src_->Read(length, &payload, scratch->data());
+  if (!s.ok() || payload.size() < length) return false;
+  if (Hash(payload.data(), payload.size(), kChecksumSeed) != expected_crc) {
+    return false;
+  }
+  *record = payload;
+  return true;
+}
+
+}  // namespace adcache::lsm

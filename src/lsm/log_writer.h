@@ -1,0 +1,50 @@
+#ifndef ADCACHE_LSM_LOG_WRITER_H_
+#define ADCACHE_LSM_LOG_WRITER_H_
+
+#include <memory>
+
+#include "util/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace adcache::lsm {
+
+/// Append-only record log used for the WAL and the manifest. Each record is
+/// framed as: fixed32 checksum | fixed32 payload length | payload.
+class LogWriter {
+ public:
+  explicit LogWriter(std::unique_ptr<WritableFile> dest)
+      : dest_(std::move(dest)) {}
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  Status AddRecord(const Slice& record);
+  Status Sync() { return dest_->Sync(); }
+  uint64_t FileSize() const { return dest_->Size(); }
+
+ private:
+  std::unique_ptr<WritableFile> dest_;
+};
+
+/// Sequential reader for LogWriter output. Tolerates a truncated final
+/// record (crash mid-append) by reporting end-of-log.
+class LogReader {
+ public:
+  explicit LogReader(std::unique_ptr<SequentialFile> src)
+      : src_(std::move(src)) {}
+
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  /// Reads the next record into *scratch and points *record at it. Returns
+  /// false at end of log. Corrupt (bad checksum) records end the log.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+ private:
+  std::unique_ptr<SequentialFile> src_;
+};
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_LOG_WRITER_H_

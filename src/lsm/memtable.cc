@@ -1,0 +1,109 @@
+#include "lsm/memtable.h"
+
+#include "util/coding.h"
+
+namespace adcache::lsm {
+
+namespace {
+
+/// Decodes a length-prefixed slice starting at `p`.
+Slice GetLengthPrefixed(const char* p) {
+  uint32_t len = 0;
+  const char* q = GetVarint32Ptr(p, p + 5, &len);
+  return Slice(q, len);
+}
+
+}  // namespace
+
+int MemTable::KeyComparator::operator()(const char* a, const char* b) const {
+  return comparator.Compare(GetLengthPrefixed(a), GetLengthPrefixed(b));
+}
+
+MemTable::MemTable() : table_(comparator_, &arena_) {}
+
+void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+                   const Slice& value) {
+  // Record layout: varint32 internal_key_len | internal_key | varint32
+  // value_len | value.
+  size_t internal_key_size = user_key.size() + 8;
+  size_t encoded_len = static_cast<size_t>(VarintLength(internal_key_size)) +
+                       internal_key_size +
+                       static_cast<size_t>(VarintLength(value.size())) +
+                       value.size();
+  char* buf = arena_.Allocate(encoded_len);
+  std::string scratch;
+  scratch.reserve(encoded_len);
+  PutVarint32(&scratch, static_cast<uint32_t>(internal_key_size));
+  scratch.append(user_key.data(), user_key.size());
+  PutFixed64(&scratch, PackSequenceAndType(seq, type));
+  PutVarint32(&scratch, static_cast<uint32_t>(value.size()));
+  scratch.append(value.data(), value.size());
+  memcpy(buf, scratch.data(), encoded_len);
+  table_.Insert(buf);
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool MemTable::Get(const Slice& user_key, SequenceNumber seq,
+                   std::string* value, bool* is_deleted) {
+  std::string lookup = MakeInternalKey(user_key, seq, kTypeValue);
+  std::string seek_entry;
+  PutVarint32(&seek_entry, static_cast<uint32_t>(lookup.size()));
+  seek_entry.append(lookup);
+
+  Table::Iterator iter(&table_);
+  iter.Seek(seek_entry.data());
+  if (!iter.Valid()) return false;
+
+  const char* entry = iter.key();
+  Slice internal_key = GetLengthPrefixed(entry);
+  if (ExtractUserKey(internal_key) != user_key) return false;
+
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(internal_key, &parsed)) return false;
+  if (parsed.type == kTypeDeletion) {
+    *is_deleted = true;
+    return true;
+  }
+  const char* value_pos = internal_key.data() + internal_key.size();
+  Slice v = GetLengthPrefixed(value_pos);
+  value->assign(v.data(), v.size());
+  *is_deleted = false;
+  return true;
+}
+
+// Named at namespace scope so MemTable's friend declaration applies.
+class MemTableIterator : public Iterator {
+ public:
+  explicit MemTableIterator(MemTable::Table* table, MemTable* mem)
+      : iter_(table), mem_(mem) {
+    mem_->Ref();
+  }
+  ~MemTableIterator() override { mem_->Unref(); }
+
+  bool Valid() const override { return iter_.Valid(); }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void SeekToLast() override { iter_.SeekToLast(); }
+  void Seek(const Slice& target) override {
+    scratch_.clear();
+    PutVarint32(&scratch_, static_cast<uint32_t>(target.size()));
+    scratch_.append(target.data(), target.size());
+    iter_.Seek(scratch_.data());
+  }
+  void Next() override { iter_.Next(); }
+  void Prev() override { iter_.Prev(); }
+  Slice key() const override { return GetLengthPrefixed(iter_.key()); }
+  Slice value() const override {
+    Slice k = GetLengthPrefixed(iter_.key());
+    return GetLengthPrefixed(k.data() + k.size());
+  }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  MemTable::Table::Iterator iter_;
+  MemTable* mem_;
+  std::string scratch_;
+};
+
+Iterator* MemTable::NewIterator() { return new MemTableIterator(&table_, this); }
+
+}  // namespace adcache::lsm

@@ -1,0 +1,70 @@
+#ifndef ADCACHE_LSM_MEMTABLE_H_
+#define ADCACHE_LSM_MEMTABLE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "lsm/skiplist.h"
+#include "util/arena.h"
+
+namespace adcache::lsm {
+
+/// In-memory write buffer: a skip list of length-prefixed
+/// (internal key, value) records. Reference counted because readers pin a
+/// snapshot of the memtable while it may be retired by a flush.
+class MemTable {
+ public:
+  MemTable();
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void Unref() {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+
+  /// Adds an entry. External synchronisation required (single writer).
+  void Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+           const Slice& value);
+
+  /// Point lookup: if the memtable holds a value or tombstone for
+  /// `user_key` visible at `seq`, sets *found accordingly and returns true.
+  /// Returns false if the memtable says nothing about the key.
+  bool Get(const Slice& user_key, SequenceNumber seq, std::string* value,
+           bool* is_deleted);
+
+  /// Iterator over internal keys (caller deletes).
+  Iterator* NewIterator();
+
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MemTableIterator;
+
+  struct KeyComparator {
+    InternalKeyComparator comparator;
+    /// Keys are length-prefixed internal keys stored in the arena.
+    int operator()(const char* a, const char* b) const;
+  };
+
+  using Table = SkipList<const char*, KeyComparator>;
+
+  ~MemTable() = default;  // only via Unref
+
+  KeyComparator comparator_;
+  Arena arena_;
+  Table table_;
+  std::atomic<int> refs_{0};
+  std::atomic<uint64_t> num_entries_{0};
+};
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_MEMTABLE_H_

@@ -1,0 +1,104 @@
+#ifndef ADCACHE_LSM_OPTIONS_H_
+#define ADCACHE_LSM_OPTIONS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/cache.h"
+#include "util/env.h"
+
+namespace adcache::lsm {
+
+/// How the LSM-tree reorganises data.
+enum class CompactionStyle {
+  /// RocksDB-style leveled ("1-leveling") compaction: one sorted run per
+  /// level below L0, levels growing by `level_size_ratio`. The paper's
+  /// configuration (§5.1).
+  kLeveled,
+  /// Universal (tiered) compaction: all runs live in level 0; similar-sized
+  /// adjacent runs are merged when the run count exceeds the L0 trigger.
+  /// Fewer write-amplifying rewrites, more runs for reads to merge.
+  kUniversal,
+};
+
+/// Database-wide configuration. Defaults mirror the paper's experimental
+/// setup (§5.1) scaled to block granularity: 4 KB data blocks, 4 MB
+/// SSTables, leveled ("1-leveling") compaction with size ratio 10, bloom
+/// filters at 10 bits/key, L0 slowdown at 4 files and stop at 8.
+struct Options {
+  CompactionStyle compaction_style = CompactionStyle::kLeveled;
+  /// Universal only: merge adjacent runs whose accumulated size is at least
+  /// `universal_size_ratio` percent of the next run's size.
+  int universal_size_ratio = 100;
+  /// Universal only: start merging when this many runs accumulate.
+  int universal_run_trigger = 6;
+  /// Environment for all file I/O. Must outlive the DB. If null, a process
+  /// wide POSIX env is used.
+  Env* env = nullptr;
+
+  /// Block cache for data blocks; may be null to disable block caching.
+  std::shared_ptr<Cache> block_cache;
+
+  size_t block_size = 4 * 1024;
+  size_t table_file_size = 4 * 1024 * 1024;
+  size_t memtable_size = 4 * 1024 * 1024;
+
+  /// Leveled compaction: level i target = base * ratio^(i-1).
+  uint64_t level1_size_base = 8 * 1024 * 1024;
+  int level_size_ratio = 10;
+  int num_levels = 7;
+
+  /// L0 file-count triggers.
+  int l0_compaction_trigger = 4;
+  int l0_slowdown_trigger = 4;
+  int l0_stop_trigger = 8;
+
+  /// Bloom filter bits per key; 0 disables filters.
+  int bloom_bits_per_key = 10;
+
+  /// Restart interval for prefix-compressed blocks.
+  int block_restart_interval = 16;
+
+  /// Write-ahead logging (turn off for pure cache benchmarks).
+  bool enable_wal = true;
+
+  /// Leaper-style post-compaction prefetching (Yang et al., VLDB '20 — the
+  /// block-cache mitigation the paper discusses in §2.2): when a compaction
+  /// retires input files whose blocks were cached, the replacement blocks
+  /// covering the same key ranges are read back into the block cache, and
+  /// the dead input blocks are evicted immediately.
+  bool leaper_prefetch = false;
+
+  /// Charge this many CPU microseconds per key comparison batch in scans to
+  /// the simulated clock (0 disables; only meaningful with a SimClock env).
+  uint64_t cpu_charge_per_op_micros = 1;
+};
+
+class Snapshot;
+
+struct ReadOptions {
+  /// If non-null, read as of this snapshot (from DB::GetSnapshot) instead
+  /// of the latest committed state.
+  const Snapshot* snapshot = nullptr;
+  /// If true, data blocks fetched by this read are admitted to the block
+  /// cache (AdCache's block-admission control can turn this off per query).
+  bool fill_block_cache = true;
+  /// If true, storage fetches of data blocks count towards
+  /// IoStats::block_reads (the paper's "SST reads"). Compactions pass false
+  /// so background I/O does not pollute the cache-efficiency metric.
+  bool count_block_reads = true;
+  /// Optional per-query block-admission budget (paper §3.4: partial
+  /// admission "can also be applied to the block cache, where the number of
+  /// blocks ... is controlled"). When non-null, each block inserted into
+  /// the block cache decrements the counter; at zero, further blocks are
+  /// read without being admitted. The pointee must outlive the query.
+  uint32_t* fill_block_budget = nullptr;
+};
+
+struct WriteOptions {
+  bool sync = false;
+};
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_OPTIONS_H_

@@ -1,0 +1,344 @@
+#include "lsm/table.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+
+namespace adcache::lsm {
+
+namespace {
+
+void DeleteCachedBlock(const Slice& /*key*/, void* value) {
+  delete static_cast<Block*>(value);
+}
+
+// Approximate per-entry block cache bookkeeping cost.
+constexpr size_t kBlockCacheEntryOverhead = 64;
+
+}  // namespace
+
+Table::BlockRef& Table::BlockRef::operator=(BlockRef&& o) noexcept {
+  if (this != &o) {
+    Reset();
+    block = o.block;
+    cache = o.cache;
+    handle = o.handle;
+    owned = std::move(o.owned);
+    status = o.status;
+    o.block = nullptr;
+    o.cache = nullptr;
+    o.handle = nullptr;
+  }
+  return *this;
+}
+
+void Table::BlockRef::Reset() {
+  if (cache != nullptr && handle != nullptr) {
+    cache->Release(handle);
+  }
+  cache = nullptr;
+  handle = nullptr;
+  block = nullptr;
+  owned.reset();
+}
+
+std::string Table::CacheKey(uint64_t file_number, uint64_t offset) {
+  std::string key;
+  key.reserve(16);
+  PutFixed64(&key, file_number);
+  PutFixed64(&key, offset);
+  return key;
+}
+
+Table::Table(const Options& options, std::unique_ptr<RandomAccessFile> file,
+             uint64_t file_number, Env* env)
+    : options_(options),
+      file_(std::move(file)),
+      file_number_(file_number),
+      env_(env) {}
+
+Status Table::Open(const Options& options,
+                   std::unique_ptr<RandomAccessFile> file,
+                   uint64_t file_number, Env* env,
+                   std::unique_ptr<Table>* table) {
+  uint64_t size = file->Size();
+  if (size < Footer::kEncodedLength) {
+    return Status::Corruption("file too short to be an sstable");
+  }
+  std::string footer_space(Footer::kEncodedLength, '\0');
+  Slice footer_input;
+  Status s = file->Read(size - Footer::kEncodedLength, Footer::kEncodedLength,
+                        &footer_input, footer_space.data());
+  if (!s.ok()) return s;
+  env->io_stats()->meta_block_reads++;
+
+  Footer footer;
+  s = footer.DecodeFrom(footer_input);
+  if (!s.ok()) return s;
+
+  auto t = std::unique_ptr<Table>(
+      new Table(options, std::move(file), file_number, env));
+  t->footer_ = footer;
+
+  // Pin the index block.
+  std::string index_space(footer.index_handle.size, '\0');
+  Slice index_input;
+  s = t->file_->Read(footer.index_handle.offset, footer.index_handle.size,
+                     &index_input, index_space.data());
+  if (!s.ok()) return s;
+  if (index_input.size() != footer.index_handle.size) {
+    return Status::Corruption("truncated index block");
+  }
+  env->io_stats()->meta_block_reads++;
+  t->index_block_ = std::make_unique<Block>(index_input.ToString());
+
+  // Pin the bloom filter.
+  if (footer.filter_handle.size > 0) {
+    std::string filter_space(footer.filter_handle.size, '\0');
+    Slice filter_input;
+    s = t->file_->Read(footer.filter_handle.offset, footer.filter_handle.size,
+                       &filter_input, filter_space.data());
+    if (!s.ok()) return s;
+    env->io_stats()->meta_block_reads++;
+    t->filter_data_ = filter_input.ToString();
+    t->filter_ = std::make_unique<BloomFilterReader>(Slice(t->filter_data_));
+  }
+
+  *table = std::move(t);
+  return Status::OK();
+}
+
+Table::BlockRef Table::ReadBlock(const ReadOptions& read_options,
+                                 const BlockHandle& handle) const {
+  BlockRef ref;
+  Cache* cache = options_.block_cache.get();
+  std::string cache_key;
+  if (cache != nullptr) {
+    cache_key = CacheKey(file_number_, handle.offset);
+    Cache::Handle* h = cache->Lookup(Slice(cache_key));
+    if (h != nullptr) {
+      ref.cache = cache;
+      ref.handle = h;
+      ref.block = static_cast<const Block*>(cache->Value(h));
+      return ref;
+    }
+  }
+
+  // Cache miss: read from storage. This is the paper's "SST read".
+  std::string contents(handle.size, '\0');
+  Slice input;
+  Status s = file_->Read(handle.offset, handle.size, &input, contents.data());
+  if (read_options.count_block_reads) env_->io_stats()->block_reads++;
+  if (!s.ok()) {
+    ref.status = s;
+    return ref;
+  }
+  if (input.size() != handle.size) {
+    ref.status = Status::Corruption("truncated data block");
+    return ref;
+  }
+  auto* block = new Block(input.ToString());
+  bool may_fill = read_options.fill_block_cache;
+  if (may_fill && read_options.fill_block_budget != nullptr) {
+    if (*read_options.fill_block_budget == 0) {
+      may_fill = false;
+    } else {
+      (*read_options.fill_block_budget)--;
+    }
+  }
+  if (cache != nullptr && may_fill) {
+    Cache::Handle* h =
+        cache->Insert(Slice(cache_key), block,
+                      block->size() + kBlockCacheEntryOverhead,
+                      &DeleteCachedBlock);
+    if (h != nullptr) {
+      ref.cache = cache;
+      ref.handle = h;
+      ref.block = block;
+      return ref;
+    }
+  }
+  ref.owned.reset(block);
+  ref.block = block;
+  return ref;
+}
+
+Table::LookupResult Table::Get(const ReadOptions& read_options,
+                               const Slice& user_key, SequenceNumber snapshot,
+                               std::string* value, SequenceNumber* entry_seq) {
+  if (filter_ != nullptr && !filter_->KeyMayMatch(user_key)) {
+    return LookupResult::kNotFound;
+  }
+
+  std::string lookup_key = MakeLookupKey(user_key, snapshot);
+  std::unique_ptr<Iterator> index_iter(index_block_->NewIterator(&icmp_));
+  index_iter->Seek(Slice(lookup_key));
+  if (!index_iter->Valid()) return LookupResult::kNotFound;
+
+  Slice handle_value = index_iter->value();
+  BlockHandle handle;
+  if (!handle.DecodeFrom(&handle_value).ok()) return LookupResult::kNotFound;
+
+  BlockRef ref = ReadBlock(read_options, handle);
+  if (ref.block == nullptr) return LookupResult::kNotFound;
+
+  std::unique_ptr<Iterator> block_iter(ref.block->NewIterator(&icmp_));
+  block_iter->Seek(Slice(lookup_key));
+  while (block_iter->Valid()) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(block_iter->key(), &parsed)) {
+      return LookupResult::kNotFound;
+    }
+    if (parsed.user_key != user_key) return LookupResult::kNotFound;
+    if (parsed.sequence <= snapshot) {
+      if (entry_seq != nullptr) *entry_seq = parsed.sequence;
+      if (parsed.type == kTypeDeletion) return LookupResult::kDeleted;
+      value->assign(block_iter->value().data(), block_iter->value().size());
+      return LookupResult::kFound;
+    }
+    block_iter->Next();  // entry too new for this snapshot; keep looking
+  }
+  return LookupResult::kNotFound;
+}
+
+// ---------------------------------------------------------------------------
+// Two-level iterator: index block -> data blocks.
+// ---------------------------------------------------------------------------
+
+class Table::Iter : public Iterator {
+ public:
+  Iter(const Table* table, const ReadOptions& read_options)
+      : table_(table),
+        read_options_(read_options),
+        index_iter_(table->index_block_->NewIterator(&table->icmp_)) {}
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    SkipEmptyBlocksForward();
+  }
+
+  void SeekToLast() override {
+    index_iter_->SeekToLast();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToLast();
+    SkipEmptyBlocksBackward();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->Seek(target);
+    SkipEmptyBlocksForward();
+  }
+
+  void Next() override {
+    assert(Valid());
+    data_iter_->Next();
+    SkipEmptyBlocksForward();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    data_iter_->Prev();
+    SkipEmptyBlocksBackward();
+  }
+
+  Slice key() const override { return data_iter_->key(); }
+  Slice value() const override { return data_iter_->value(); }
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    }
+    return index_iter_->status();
+  }
+
+ private:
+  void InitDataBlock() {
+    data_iter_.reset();
+    block_ref_.Reset();
+    if (!index_iter_->Valid()) return;
+    Slice handle_value = index_iter_->value();
+    BlockHandle handle;
+    Status s = handle.DecodeFrom(&handle_value);
+    if (!s.ok()) {
+      status_ = s;
+      return;
+    }
+    block_ref_ = table_->ReadBlock(read_options_, handle);
+    if (block_ref_.block == nullptr) {
+      status_ = block_ref_.status;
+      return;
+    }
+    data_iter_.reset(block_ref_.block->NewIterator(&table_->icmp_));
+  }
+
+  void SkipEmptyBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        data_iter_.reset();
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    }
+  }
+
+  void SkipEmptyBlocksBackward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        data_iter_.reset();
+        return;
+      }
+      index_iter_->Prev();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToLast();
+    }
+  }
+
+  const Table* table_;
+  ReadOptions read_options_;
+  std::unique_ptr<Iterator> index_iter_;
+  std::unique_ptr<Iterator> data_iter_;
+  BlockRef block_ref_;
+  Status status_;
+};
+
+Iterator* Table::NewIterator(const ReadOptions& read_options) const {
+  return new Iter(this, read_options);
+}
+
+std::vector<Table::BlockInfo> Table::GetBlockInfos() const {
+  std::vector<BlockInfo> infos;
+  std::unique_ptr<Iterator> index_iter(index_block_->NewIterator(&icmp_));
+  for (index_iter->SeekToFirst(); index_iter->Valid(); index_iter->Next()) {
+    Slice handle_value = index_iter->value();
+    BlockHandle handle;
+    if (!handle.DecodeFrom(&handle_value).ok()) continue;
+    infos.push_back(BlockInfo{index_iter->key().ToString(), handle});
+  }
+  return infos;
+}
+
+bool Table::IsBlockCached(const BlockHandle& handle) const {
+  Cache* cache = options_.block_cache.get();
+  if (cache == nullptr) return false;
+  return cache->Contains(Slice(CacheKey(file_number_, handle.offset)));
+}
+
+Status Table::PrefetchBlock(const BlockHandle& handle) {
+  ReadOptions prefetch_options;
+  prefetch_options.fill_block_cache = true;
+  prefetch_options.count_block_reads = false;  // background I/O
+  BlockRef ref = ReadBlock(prefetch_options, handle);
+  return ref.block != nullptr ? Status::OK() : ref.status;
+}
+
+}  // namespace adcache::lsm

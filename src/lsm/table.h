@@ -1,0 +1,109 @@
+#ifndef ADCACHE_LSM_TABLE_H_
+#define ADCACHE_LSM_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/block.h"
+#include "lsm/bloom.h"
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "lsm/options.h"
+#include "lsm/table_format.h"
+#include "util/env.h"
+
+namespace adcache::lsm {
+
+/// Immutable SSTable reader. The index and bloom filter are pinned in memory
+/// at open (as RocksDB does for L0/L1 by default); data blocks go through
+/// the shared block cache, keyed by (file number, block offset) — which is
+/// exactly why compaction invalidates them (paper §2.2).
+class Table {
+ public:
+  /// Outcome of a point lookup inside one table.
+  enum class LookupResult {
+    kNotFound,   // table says nothing about the key
+    kFound,      // value retrieved
+    kDeleted,    // tombstone: key is deleted, stop searching older tables
+  };
+
+  static Status Open(const Options& options,
+                     std::unique_ptr<RandomAccessFile> file,
+                     uint64_t file_number, Env* env,
+                     std::unique_ptr<Table>* table);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  /// Point lookup visible at `snapshot`.
+  LookupResult Get(const ReadOptions& read_options, const Slice& user_key,
+                   SequenceNumber snapshot, std::string* value,
+                   SequenceNumber* entry_seq);
+
+  /// Iterator over the table's internal keys. Caller deletes.
+  Iterator* NewIterator(const ReadOptions& read_options) const;
+
+  /// One data block as described by the pinned index.
+  struct BlockInfo {
+    std::string last_internal_key;  // keys in the block are <= this
+    BlockHandle handle;
+  };
+
+  /// Enumerates the table's data blocks in key order.
+  std::vector<BlockInfo> GetBlockInfos() const;
+
+  /// True if the block at `handle` currently resides in the block cache.
+  bool IsBlockCached(const BlockHandle& handle) const;
+
+  /// Reads the block at `handle` into the block cache (Leaper-style
+  /// post-compaction warm-up). The read is background I/O: it does not
+  /// count toward the SST-read metric.
+  Status PrefetchBlock(const BlockHandle& handle);
+
+  uint64_t num_entries() const { return footer_.num_entries; }
+  uint64_t file_number() const { return file_number_; }
+
+  /// Encodes the block-cache key for (file_number, offset).
+  static std::string CacheKey(uint64_t file_number, uint64_t offset);
+
+ private:
+  class Iter;
+
+  /// Pins a data block: via the block cache when enabled, else privately.
+  struct BlockRef {
+    const Block* block = nullptr;
+    Cache* cache = nullptr;
+    Cache::Handle* handle = nullptr;
+    std::shared_ptr<Block> owned;
+    Status status;
+
+    BlockRef() = default;
+    BlockRef(BlockRef&& o) noexcept { *this = std::move(o); }
+    BlockRef& operator=(BlockRef&& o) noexcept;
+    BlockRef(const BlockRef&) = delete;
+    BlockRef& operator=(const BlockRef&) = delete;
+    ~BlockRef() { Reset(); }
+    void Reset();
+  };
+
+  Table(const Options& options, std::unique_ptr<RandomAccessFile> file,
+        uint64_t file_number, Env* env);
+
+  BlockRef ReadBlock(const ReadOptions& read_options,
+                     const BlockHandle& handle) const;
+
+  Options options_;
+  std::unique_ptr<RandomAccessFile> file_;
+  uint64_t file_number_;
+  Env* env_;
+  Footer footer_;
+  std::unique_ptr<Block> index_block_;
+  std::string filter_data_;
+  std::unique_ptr<BloomFilterReader> filter_;
+  InternalKeyComparator icmp_;
+};
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_TABLE_H_

@@ -1,0 +1,92 @@
+#include "lsm/table_builder.h"
+
+#include <cassert>
+
+#include "lsm/dbformat.h"
+
+namespace adcache::lsm {
+
+TableBuilder::TableBuilder(const Options& options,
+                           std::unique_ptr<WritableFile> file)
+    : options_(options),
+      file_(std::move(file)),
+      data_block_(options.block_restart_interval),
+      index_block_(1),
+      filter_(options.bloom_bits_per_key > 0 ? options.bloom_bits_per_key
+                                             : 10) {}
+
+void TableBuilder::Add(const Slice& internal_key, const Slice& value) {
+  if (!status_.ok()) return;
+  assert(last_key_.empty() ||
+         InternalKeyComparator().Compare(Slice(last_key_), internal_key) < 0);
+
+  if (pending_index_entry_) {
+    // First key of a new block: index the previous block by its last key.
+    std::string handle_encoding;
+    pending_handle_.EncodeTo(&handle_encoding);
+    index_block_.Add(Slice(last_key_), Slice(handle_encoding));
+    pending_index_entry_ = false;
+  }
+
+  if (options_.bloom_bits_per_key > 0) {
+    filter_.AddKey(ExtractUserKey(internal_key));
+  }
+  data_block_.Add(internal_key, value);
+  last_key_.assign(internal_key.data(), internal_key.size());
+  num_entries_++;
+
+  if (data_block_.CurrentSizeEstimate() >= options_.block_size) {
+    FlushDataBlock();
+  }
+}
+
+void TableBuilder::FlushDataBlock() {
+  if (data_block_.empty()) return;
+  Slice contents = data_block_.Finish();
+  status_ = WriteBlock(contents, &pending_handle_);
+  data_block_.Reset();
+  pending_index_entry_ = true;
+}
+
+Status TableBuilder::WriteBlock(const Slice& contents, BlockHandle* handle) {
+  handle->offset = offset_;
+  handle->size = contents.size();
+  Status s = file_->Append(contents);
+  if (s.ok()) offset_ += contents.size();
+  return s;
+}
+
+Status TableBuilder::Finish() {
+  FlushDataBlock();
+  if (!status_.ok()) return status_;
+
+  if (pending_index_entry_) {
+    std::string handle_encoding;
+    pending_handle_.EncodeTo(&handle_encoding);
+    index_block_.Add(Slice(last_key_), Slice(handle_encoding));
+    pending_index_entry_ = false;
+  }
+
+  Footer footer;
+  footer.num_entries = num_entries_;
+
+  if (options_.bloom_bits_per_key > 0) {
+    std::string filter_contents = filter_.Finish();
+    status_ = WriteBlock(Slice(filter_contents), &footer.filter_handle);
+    if (!status_.ok()) return status_;
+  }
+
+  Slice index_contents = index_block_.Finish();
+  status_ = WriteBlock(index_contents, &footer.index_handle);
+  if (!status_.ok()) return status_;
+
+  std::string footer_encoding;
+  footer.EncodeTo(&footer_encoding);
+  status_ = file_->Append(footer_encoding);
+  if (status_.ok()) offset_ += footer_encoding.size();
+  if (status_.ok()) status_ = file_->Sync();
+  if (status_.ok()) status_ = file_->Close();
+  return status_;
+}
+
+}  // namespace adcache::lsm

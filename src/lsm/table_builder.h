@@ -1,0 +1,54 @@
+#ifndef ADCACHE_LSM_TABLE_BUILDER_H_
+#define ADCACHE_LSM_TABLE_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "lsm/block_builder.h"
+#include "lsm/bloom.h"
+#include "lsm/options.h"
+#include "lsm/table_format.h"
+#include "util/env.h"
+
+namespace adcache::lsm {
+
+/// Writes an SSTable: prefix-compressed 4 KB data blocks, a per-file bloom
+/// filter over user keys, an index block mapping last-key -> block handle,
+/// and a fixed footer. Keys (internal) must be added in sorted order.
+class TableBuilder {
+ public:
+  TableBuilder(const Options& options, std::unique_ptr<WritableFile> file);
+
+  TableBuilder(const TableBuilder&) = delete;
+  TableBuilder& operator=(const TableBuilder&) = delete;
+
+  void Add(const Slice& internal_key, const Slice& value);
+
+  /// Flushes remaining data, writes filter/index/footer.
+  Status Finish();
+
+  uint64_t NumEntries() const { return num_entries_; }
+  /// Bytes written so far (approximate file size while building).
+  uint64_t FileSize() const { return offset_ + data_block_.CurrentSizeEstimate(); }
+  Status status() const { return status_; }
+
+ private:
+  void FlushDataBlock();
+  Status WriteBlock(const Slice& contents, BlockHandle* handle);
+
+  Options options_;
+  std::unique_ptr<WritableFile> file_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  BloomFilterBuilder filter_;
+  uint64_t offset_ = 0;
+  uint64_t num_entries_ = 0;
+  std::string last_key_;
+  bool pending_index_entry_ = false;
+  BlockHandle pending_handle_;
+  Status status_;
+};
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_TABLE_BUILDER_H_

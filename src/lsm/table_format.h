@@ -1,0 +1,70 @@
+#ifndef ADCACHE_LSM_TABLE_FORMAT_H_
+#define ADCACHE_LSM_TABLE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace adcache::lsm {
+
+/// Location of a block inside an SSTable file.
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint64(dst, offset);
+    PutVarint64(dst, size);
+  }
+
+  Status DecodeFrom(Slice* input) {
+    if (GetVarint64(input, &offset) && GetVarint64(input, &size)) {
+      return Status::OK();
+    }
+    return Status::Corruption("bad block handle");
+  }
+};
+
+/// Fixed-size footer at the end of every SSTable:
+///   filter handle offset/size (fixed64 x2), index handle offset/size
+///   (fixed64 x2), entry count (fixed64), magic (fixed64).
+struct Footer {
+  BlockHandle filter_handle;
+  BlockHandle index_handle;
+  uint64_t num_entries = 0;
+
+  static constexpr size_t kEncodedLength = 6 * 8;
+  static constexpr uint64_t kMagic = 0xadcac4e5517ab1e5ULL;
+
+  void EncodeTo(std::string* dst) const {
+    PutFixed64(dst, filter_handle.offset);
+    PutFixed64(dst, filter_handle.size);
+    PutFixed64(dst, index_handle.offset);
+    PutFixed64(dst, index_handle.size);
+    PutFixed64(dst, num_entries);
+    PutFixed64(dst, kMagic);
+  }
+
+  Status DecodeFrom(const Slice& input) {
+    if (input.size() < kEncodedLength) {
+      return Status::Corruption("footer too short");
+    }
+    const char* p = input.data();
+    filter_handle.offset = DecodeFixed64(p);
+    filter_handle.size = DecodeFixed64(p + 8);
+    index_handle.offset = DecodeFixed64(p + 16);
+    index_handle.size = DecodeFixed64(p + 24);
+    num_entries = DecodeFixed64(p + 32);
+    if (DecodeFixed64(p + 40) != kMagic) {
+      return Status::Corruption("bad table magic");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_TABLE_FORMAT_H_

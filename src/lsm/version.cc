@@ -1,0 +1,366 @@
+#include "lsm/version.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adcache::lsm {
+
+namespace {
+
+bool AfterFile(const Slice& user_key, const FileMetaData& f) {
+  return !user_key.empty() &&
+         user_key.compare(ExtractUserKey(Slice(f.largest))) > 0;
+}
+
+bool BeforeFile(const Slice& user_key, const FileMetaData& f) {
+  return !user_key.empty() &&
+         user_key.compare(ExtractUserKey(Slice(f.smallest))) < 0;
+}
+
+/// Binary search for the first file whose largest key is >= the lookup key
+/// (files sorted by smallest key, non-overlapping).
+int FindFile(const FileList& files, const Slice& internal_key) {
+  InternalKeyComparator icmp;
+  int lo = 0;
+  int hi = static_cast<int>(files.size());
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (icmp.Compare(Slice(files[static_cast<size_t>(mid)]->largest),
+                     internal_key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Table::LookupResult Version::Get(const ReadOptions& read_options,
+                                 const Slice& user_key,
+                                 SequenceNumber snapshot, std::string* value) {
+  std::string lookup_key = MakeLookupKey(user_key, snapshot);
+
+  // Level 0: files may overlap; search newest first (files_[0] is stored
+  // newest-first).
+  for (const auto& f : files_[0]) {
+    if (AfterFile(user_key, *f) || BeforeFile(user_key, *f)) continue;
+    SequenceNumber seq = 0;
+    Table::LookupResult r =
+        f->table->Get(read_options, user_key, snapshot, value, &seq);
+    if (r != Table::LookupResult::kNotFound) return r;
+  }
+
+  // Deeper levels: at most one candidate file per level.
+  for (int level = 1; level < num_levels(); level++) {
+    const FileList& files = files_[static_cast<size_t>(level)];
+    if (files.empty()) continue;
+    int index = FindFile(files, Slice(lookup_key));
+    if (index >= static_cast<int>(files.size())) continue;
+    const auto& f = files[static_cast<size_t>(index)];
+    if (BeforeFile(user_key, *f)) continue;
+    Table::LookupResult r =
+        f->table->Get(read_options, user_key, snapshot, value, nullptr);
+    if (r != Table::LookupResult::kNotFound) return r;
+  }
+  return Table::LookupResult::kNotFound;
+}
+
+void Version::AddIterators(const ReadOptions& read_options,
+                           std::vector<Iterator*>* iters) const {
+  for (const auto& f : files_[0]) {
+    iters->push_back(f->table->NewIterator(read_options));
+  }
+  for (int level = 1; level < num_levels(); level++) {
+    if (!files_[static_cast<size_t>(level)].empty()) {
+      iters->push_back(NewLevelIterator(
+          read_options, &files_[static_cast<size_t>(level)]));
+    }
+  }
+}
+
+void Version::GetOverlappingInputs(int level, const Slice& begin,
+                                   const Slice& end, FileList* inputs) const {
+  inputs->clear();
+  for (const auto& f : files_[static_cast<size_t>(level)]) {
+    Slice file_start = ExtractUserKey(Slice(f->smallest));
+    Slice file_limit = ExtractUserKey(Slice(f->largest));
+    bool before = !end.empty() && file_start.compare(end) > 0;
+    bool after = !begin.empty() && file_limit.compare(begin) < 0;
+    if (!before && !after) inputs->push_back(f);
+  }
+}
+
+uint64_t Version::LevelBytes(int level) const {
+  uint64_t total = 0;
+  for (const auto& f : files_[static_cast<size_t>(level)]) {
+    total += f->file_size;
+  }
+  return total;
+}
+
+int Version::NumSortedRuns() const {
+  int runs = NumFiles(0);
+  for (int level = 1; level < num_levels(); level++) {
+    if (!files_[static_cast<size_t>(level)].empty()) runs++;
+  }
+  return runs;
+}
+
+int Version::NumNonEmptyLevels() const {
+  int deepest = 0;
+  for (int level = 0; level < num_levels(); level++) {
+    if (!files_[static_cast<size_t>(level)].empty()) deepest = level + 1;
+  }
+  return deepest;
+}
+
+// ---------------------------------------------------------------------------
+// Level (concatenating) iterator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class LevelIterator : public Iterator {
+ public:
+  LevelIterator(const ReadOptions& read_options, const FileList* files)
+      : read_options_(read_options), files_(files) {}
+
+  bool Valid() const override {
+    return table_iter_ != nullptr && table_iter_->Valid();
+  }
+
+  void SeekToFirst() override {
+    index_ = 0;
+    InitTableIterator();
+    if (table_iter_ != nullptr) table_iter_->SeekToFirst();
+    SkipForward();
+  }
+
+  void SeekToLast() override {
+    index_ = files_->empty() ? 0 : files_->size() - 1;
+    InitTableIterator();
+    if (table_iter_ != nullptr) table_iter_->SeekToLast();
+    SkipBackward();
+  }
+
+  void Seek(const Slice& target) override {
+    // Binary search for the file that may contain target.
+    InternalKeyComparator icmp;
+    size_t lo = 0;
+    size_t hi = files_->size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (icmp.Compare(Slice((*files_)[mid]->largest), target) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    index_ = lo;
+    InitTableIterator();
+    if (table_iter_ != nullptr) table_iter_->Seek(target);
+    SkipForward();
+  }
+
+  void Next() override {
+    assert(Valid());
+    table_iter_->Next();
+    SkipForward();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    table_iter_->Prev();
+    SkipBackward();
+  }
+
+  Slice key() const override { return table_iter_->key(); }
+  Slice value() const override { return table_iter_->value(); }
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    return table_iter_ != nullptr ? table_iter_->status() : Status::OK();
+  }
+
+ private:
+  void InitTableIterator() {
+    CaptureStatus();
+    if (index_ < files_->size()) {
+      table_iter_.reset(
+          (*files_)[index_]->table->NewIterator(read_options_));
+    } else {
+      table_iter_.reset();
+    }
+  }
+
+  /// Errors must outlive the table iterator that produced them.
+  void CaptureStatus() {
+    if (status_.ok() && table_iter_ != nullptr &&
+        !table_iter_->status().ok()) {
+      status_ = table_iter_->status();
+    }
+  }
+
+  void SkipForward() {
+    while (table_iter_ == nullptr || !table_iter_->Valid()) {
+      if (index_ + 1 >= files_->size()) {
+        CaptureStatus();
+        table_iter_.reset();
+        return;
+      }
+      index_++;
+      InitTableIterator();
+      table_iter_->SeekToFirst();
+    }
+  }
+
+  void SkipBackward() {
+    while (table_iter_ == nullptr || !table_iter_->Valid()) {
+      if (index_ == 0) {
+        CaptureStatus();
+        table_iter_.reset();
+        return;
+      }
+      index_--;
+      InitTableIterator();
+      table_iter_->SeekToLast();
+    }
+  }
+
+  ReadOptions read_options_;
+  const FileList* files_;
+  size_t index_ = 0;
+  std::unique_ptr<Iterator> table_iter_;
+  Status status_;
+};
+
+// ---------------------------------------------------------------------------
+// Merging iterator (linear k-way merge; k is the number of sorted runs)
+// ---------------------------------------------------------------------------
+
+class MergingIterator : public Iterator {
+ public:
+  MergingIterator(const InternalKeyComparator* cmp,
+                  std::vector<Iterator*> children)
+      : cmp_(cmp) {
+    for (Iterator* child : children) {
+      children_.emplace_back(child);
+    }
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (auto& child : children_) child->SeekToLast();
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    assert(Valid());
+    if (direction_ != kForward) {
+      // Re-align all children to point past the current key.
+      std::string current_key = key().ToString();
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(Slice(current_key));
+          if (child->Valid() &&
+              cmp_->Compare(child->key(), Slice(current_key)) == 0) {
+            child->Next();
+          }
+        }
+      }
+      direction_ = kForward;
+    }
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    if (direction_ != kReverse) {
+      std::string current_key = key().ToString();
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(Slice(current_key));
+          if (child->Valid()) {
+            child->Prev();
+          } else {
+            child->SeekToLast();
+          }
+        }
+      }
+      direction_ = kReverse;
+    }
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override { return current_->key(); }
+  Slice value() const override { return current_->value(); }
+  Status status() const override {
+    for (const auto& child : children_) {
+      if (!child->status().ok()) return child->status();
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) continue;
+      if (smallest == nullptr ||
+          cmp_->Compare(child->key(), smallest->key()) < 0) {
+        smallest = child.get();
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) continue;
+      if (largest == nullptr ||
+          cmp_->Compare(child->key(), largest->key()) > 0) {
+        largest = child.get();
+      }
+    }
+    current_ = largest;
+  }
+
+  const InternalKeyComparator* cmp_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_ = nullptr;
+  Direction direction_ = kForward;
+};
+
+}  // namespace
+
+Iterator* NewLevelIterator(const ReadOptions& read_options,
+                           const FileList* files) {
+  return new LevelIterator(read_options, files);
+}
+
+Iterator* NewMergingIterator(const InternalKeyComparator* cmp,
+                             std::vector<Iterator*> children) {
+  return new MergingIterator(cmp, std::move(children));
+}
+
+}  // namespace adcache::lsm

@@ -1,0 +1,79 @@
+#ifndef ADCACHE_LSM_VERSION_H_
+#define ADCACHE_LSM_VERSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "lsm/iterator.h"
+#include "lsm/options.h"
+#include "lsm/table.h"
+
+namespace adcache::lsm {
+
+/// Metadata for one on-disk SSTable. Holds the open Table reader so a
+/// version pins every file it references.
+struct FileMetaData {
+  uint64_t number = 0;
+  uint64_t file_size = 0;
+  std::string smallest;  // internal key
+  std::string largest;   // internal key
+  std::shared_ptr<Table> table;
+};
+
+using FileList = std::vector<std::shared_ptr<FileMetaData>>;
+
+/// An immutable snapshot of the LSM-tree's file layout: level 0 holds
+/// overlapping sorted runs (newest first); levels >= 1 are each one sorted
+/// run of non-overlapping files.
+class Version {
+ public:
+  explicit Version(int num_levels) : files_(num_levels) {}
+
+  /// Point lookup through the levels, newest data first.
+  Table::LookupResult Get(const ReadOptions& read_options,
+                          const Slice& user_key, SequenceNumber snapshot,
+                          std::string* value);
+
+  /// Appends iterators covering every sorted run to `*iters` (one per L0
+  /// file plus one concatenating iterator per deeper level).
+  void AddIterators(const ReadOptions& read_options,
+                    std::vector<Iterator*>* iters) const;
+
+  /// Files at `level` overlapping [begin, end] (user-key bounds; empty
+  /// slices mean unbounded).
+  void GetOverlappingInputs(int level, const Slice& begin, const Slice& end,
+                            FileList* inputs) const;
+
+  int num_levels() const { return static_cast<int>(files_.size()); }
+  const FileList& files(int level) const { return files_[level]; }
+  uint64_t LevelBytes(int level) const;
+  int NumFiles(int level) const {
+    return static_cast<int>(files_[level].size());
+  }
+  /// Total sorted runs: L0 files count individually; each non-empty deeper
+  /// level is one run.
+  int NumSortedRuns() const;
+  /// Deepest non-empty level + 1 (the paper's L).
+  int NumNonEmptyLevels() const;
+
+ private:
+  friend class DB;  // builds new versions during flush/compaction/recovery
+
+  /// files_[0] ordered newest-first by file number; deeper levels ordered by
+  /// smallest key.
+  std::vector<FileList> files_;
+};
+
+/// Concatenating iterator over the non-overlapping files of one level.
+Iterator* NewLevelIterator(const ReadOptions& read_options,
+                           const FileList* files);
+
+/// Merging iterator over `children` (takes ownership of each child).
+Iterator* NewMergingIterator(const InternalKeyComparator* cmp,
+                             std::vector<Iterator*> children);
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_VERSION_H_

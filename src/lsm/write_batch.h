@@ -1,0 +1,48 @@
+#ifndef ADCACHE_LSM_WRITE_BATCH_H_
+#define ADCACHE_LSM_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "util/slice.h"
+
+namespace adcache::lsm {
+
+/// A group of updates applied atomically (one WAL record, consecutive
+/// sequence numbers). Mirrors rocksdb::WriteBatch at the API level.
+class WriteBatch {
+ public:
+  void Put(const Slice& key, const Slice& value) {
+    ops_.push_back(Op{kTypeValue, key.ToString(), value.ToString()});
+  }
+
+  void Delete(const Slice& key) {
+    ops_.push_back(Op{kTypeDeletion, key.ToString(), std::string()});
+  }
+
+  void Clear() { ops_.clear(); }
+  size_t Count() const { return ops_.size(); }
+
+  /// Approximate payload bytes (for group-commit sizing).
+  size_t ApproximateSize() const {
+    size_t total = 0;
+    for (const auto& op : ops_) total += op.key.size() + op.value.size() + 2;
+    return total;
+  }
+
+  struct Op {
+    ValueType type;
+    std::string key;
+    std::string value;
+  };
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_WRITE_BATCH_H_

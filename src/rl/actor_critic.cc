@@ -1,0 +1,146 @@
+#include "rl/actor_critic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/coding.h"
+
+namespace adcache::rl {
+
+namespace {
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+float Clip01(float x) { return std::clamp(x, 0.0f, 1.0f); }
+
+}  // namespace
+
+ActorCriticAgent::ActorCriticAgent()
+    : ActorCriticAgent(ActorCriticOptions()) {}
+
+ActorCriticAgent::ActorCriticAgent(const ActorCriticOptions& options)
+    : options_(options), actor_lr_(options.actor_lr), rng_(options.seed) {
+  std::vector<int> actor_sizes = {options.state_dim, options.hidden_dim,
+                                  options.hidden_dim, options.action_dim};
+  std::vector<int> critic_sizes = {options.state_dim, options.hidden_dim,
+                                   options.hidden_dim, 1};
+  actor_ = std::make_unique<Mlp>(actor_sizes, options.seed * 2 + 1);
+  critic_ = std::make_unique<Mlp>(critic_sizes, options.seed * 3 + 2);
+}
+
+std::vector<float> ActorCriticAgent::PolicyMean(
+    const std::vector<float>& state) {
+  std::vector<float> out = actor_->Forward(state);
+  for (auto& v : out) v = Sigmoid(v);
+  return out;
+}
+
+std::vector<float> ActorCriticAgent::Act(const std::vector<float>& state,
+                                         bool explore) {
+  std::vector<float> mean = PolicyMean(state);
+  if (explore) {
+    for (auto& v : mean) {
+      // Box-Muller Gaussian noise.
+      double u1 = std::max(1e-12, rng_.NextDouble());
+      double u2 = rng_.NextDouble();
+      float n = static_cast<float>(std::sqrt(-2.0 * std::log(u1)) *
+                                   std::cos(2.0 * M_PI * u2));
+      v = Clip01(v + options_.exploration_sigma * n);
+    }
+  }
+  return mean;
+}
+
+float ActorCriticAgent::EstimateValue(const std::vector<float>& state) {
+  return critic_->Forward(state)[0];
+}
+
+void ActorCriticAgent::Observe(const std::vector<float>& state,
+                               const std::vector<float>& action, float reward,
+                               const std::vector<float>& next_state) {
+  // One-step TD error: delta = r + gamma * V(s') - V(s).
+  float v_next = critic_->Forward(next_state)[0];
+  float v = critic_->Forward(state)[0];  // also caches activations for bwd
+  float delta = reward + options_.gamma * v_next - v;
+
+  // Critic: minimise 0.5 * delta^2 w.r.t. V(s) -> dL/dV = -delta.
+  critic_->Backward({-delta});
+  critic_->AdamStep(options_.critic_lr);
+
+  // Actor: Gaussian policy with mean sigmoid(f(s)) and fixed sigma.
+  // grad log pi w.r.t. mean = (a - mean) / sigma^2; scale by the TD error
+  // (advantage estimate) and backprop through the sigmoid.
+  std::vector<float> pre = actor_->Forward(state);
+  const float sigma2 =
+      options_.exploration_sigma * options_.exploration_sigma + 1e-6f;
+  std::vector<float> grad(pre.size());
+  for (size_t i = 0; i < pre.size(); i++) {
+    float mean = Sigmoid(pre[i]);
+    float dmean = (action[i] - mean) / sigma2 * delta;
+    // Gradient ascent on expected return == descent on -J.
+    grad[i] = -dmean * mean * (1 - mean);
+  }
+  actor_->Backward(grad);
+  actor_->AdamStep(actor_lr_);
+}
+
+void ActorCriticAgent::AdaptLearningRate(float reward) {
+  if (!options_.adaptive_lr) return;
+  actor_lr_ *= (1.0f - reward);
+  actor_lr_ =
+      std::clamp(actor_lr_, options_.min_actor_lr, options_.max_actor_lr);
+}
+
+float ActorCriticAgent::PretrainStep(const std::vector<float>& state,
+                                     const std::vector<float>& target_action) {
+  std::vector<float> pre = actor_->Forward(state);
+  std::vector<float> grad(pre.size());
+  float loss = 0;
+  for (size_t i = 0; i < pre.size(); i++) {
+    float mean = Sigmoid(pre[i]);
+    float err = mean - target_action[i];
+    loss += err * err;
+    grad[i] = 2 * err * mean * (1 - mean);
+  }
+  actor_->Backward(grad);
+  actor_->AdamStep(options_.actor_lr);
+  return loss / static_cast<float>(pre.size());
+}
+
+ActorCriticAgent::MemoryFootprint ActorCriticAgent::GetMemoryFootprint()
+    const {
+  MemoryFootprint fp;
+  fp.parameter_count = actor_->ParameterCount() + critic_->ParameterCount();
+  fp.parameter_bytes = actor_->ParameterBytes() + critic_->ParameterBytes();
+  fp.optimizer_bytes = actor_->OptimizerBytes() + critic_->OptimizerBytes();
+  fp.total_bytes = fp.parameter_bytes + fp.optimizer_bytes;
+  return fp;
+}
+
+void ActorCriticAgent::Save(std::string* dst) const {
+  std::string actor_blob, critic_blob;
+  actor_->Save(&actor_blob);
+  critic_->Save(&critic_blob);
+  PutFixed32(dst, static_cast<uint32_t>(actor_blob.size()));
+  dst->append(actor_blob);
+  PutFixed32(dst, static_cast<uint32_t>(critic_blob.size()));
+  dst->append(critic_blob);
+}
+
+Status ActorCriticAgent::Load(const Slice& input) {
+  Slice in = input;
+  if (in.size() < 4) return Status::Corruption("agent: short blob");
+  uint32_t actor_len = DecodeFixed32(in.data());
+  in.remove_prefix(4);
+  if (in.size() < actor_len) return Status::Corruption("agent: short actor");
+  Status s = actor_->Load(Slice(in.data(), actor_len));
+  if (!s.ok()) return s;
+  in.remove_prefix(actor_len);
+  if (in.size() < 4) return Status::Corruption("agent: short blob");
+  uint32_t critic_len = DecodeFixed32(in.data());
+  in.remove_prefix(4);
+  if (in.size() < critic_len) return Status::Corruption("agent: short critic");
+  return critic_->Load(Slice(in.data(), critic_len));
+}
+
+}  // namespace adcache::rl

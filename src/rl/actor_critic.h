@@ -1,0 +1,97 @@
+#ifndef ADCACHE_RL_ACTOR_CRITIC_H_
+#define ADCACHE_RL_ACTOR_CRITIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rl/mlp.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace adcache::rl {
+
+/// Configuration for the actor-critic controller. Defaults follow the paper
+/// (§4.3, §5.1): two hidden layers of 256 units per network, Adam,
+/// actor/critic learning rates of 1e-3.
+struct ActorCriticOptions {
+  int state_dim = 8;
+  int action_dim = 3;
+  int hidden_dim = 256;
+  float actor_lr = 1e-3f;
+  float critic_lr = 1e-3f;
+  /// One-step TD discount.
+  float gamma = 0.9f;
+  /// Std-dev of Gaussian exploration noise around the actor mean (in the
+  /// squashed [0,1] action space).
+  float exploration_sigma = 0.05f;
+  /// Adaptive actor learning rate (paper §3.5): lr *= (1 - reward) each
+  /// window, clamped to [min_actor_lr, max_actor_lr].
+  bool adaptive_lr = true;
+  float min_actor_lr = 1e-5f;
+  float max_actor_lr = 1e-2f;
+  uint64_t seed = 7;
+};
+
+/// Online one-step actor-critic with continuous actions in [0,1]^d.
+/// The actor outputs pre-squash means; actions are sigmoid(mean) + Gaussian
+/// exploration noise, clipped. The critic estimates V(s); the TD error
+/// drives both updates. All compute is plain CPU float32 (paper §4.1).
+class ActorCriticAgent {
+ public:
+  ActorCriticAgent();
+  explicit ActorCriticAgent(const ActorCriticOptions& options);
+
+  ActorCriticAgent(const ActorCriticAgent&) = delete;
+  ActorCriticAgent& operator=(const ActorCriticAgent&) = delete;
+
+  /// Returns an action in [0,1]^action_dim. With `explore`, Gaussian noise
+  /// is added around the policy mean.
+  std::vector<float> Act(const std::vector<float>& state, bool explore);
+
+  /// One-step TD update for transition (state, action, reward, next_state).
+  /// `action` must be the (possibly noisy) action actually applied.
+  void Observe(const std::vector<float>& state,
+               const std::vector<float>& action, float reward,
+               const std::vector<float>& next_state);
+
+  /// Applies the paper's adaptive learning-rate rule at a window boundary:
+  /// lr <- lr * (1 - reward).
+  void AdaptLearningRate(float reward);
+
+  /// Supervised pretraining step: regresses the policy mean towards
+  /// `target_action` (in [0,1]) for `state`. Returns the MSE loss.
+  float PretrainStep(const std::vector<float>& state,
+                     const std::vector<float>& target_action);
+
+  float actor_lr() const { return actor_lr_; }
+  float EstimateValue(const std::vector<float>& state);
+
+  /// Memory accounting for the paper's Table 2.
+  struct MemoryFootprint {
+    size_t parameter_count;
+    size_t parameter_bytes;
+    size_t optimizer_bytes;  // Adam moments + gradient buffers
+    size_t total_bytes;
+  };
+  MemoryFootprint GetMemoryFootprint() const;
+
+  void Save(std::string* dst) const;
+  Status Load(const Slice& input);
+
+  const ActorCriticOptions& options() const { return options_; }
+
+ private:
+  std::vector<float> PolicyMean(const std::vector<float>& state);
+
+  ActorCriticOptions options_;
+  std::unique_ptr<Mlp> actor_;
+  std::unique_ptr<Mlp> critic_;
+  float actor_lr_;
+  Random rng_;
+};
+
+}  // namespace adcache::rl
+
+#endif  // ADCACHE_RL_ACTOR_CRITIC_H_

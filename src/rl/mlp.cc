@@ -1,0 +1,176 @@
+#include "rl/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/coding.h"
+
+namespace adcache::rl {
+
+Mlp::Mlp(const std::vector<int>& layer_sizes, uint64_t seed)
+    : layer_sizes_(layer_sizes), rng_(seed) {
+  assert(layer_sizes.size() >= 2);
+  for (size_t i = 0; i + 1 < layer_sizes.size(); i++) {
+    Layer layer;
+    layer.in = layer_sizes[i];
+    layer.out = layer_sizes[i + 1];
+    size_t n = static_cast<size_t>(layer.in) * static_cast<size_t>(layer.out);
+    layer.w.resize(n);
+    // He initialisation for the ReLU stack.
+    float scale = std::sqrt(2.0f / static_cast<float>(layer.in));
+    for (auto& w : layer.w) {
+      // Approximate normal via sum of uniforms (Irwin-Hall, k=4).
+      float u = 0;
+      for (int k = 0; k < 4; k++) {
+        u += static_cast<float>(rng_.NextDouble()) - 0.5f;
+      }
+      w = u * scale;
+    }
+    layer.b.assign(static_cast<size_t>(layer.out), 0.0f);
+    layer.gw.assign(n, 0.0f);
+    layer.gb.assign(static_cast<size_t>(layer.out), 0.0f);
+    layer.mw.assign(n, 0.0f);
+    layer.vw.assign(n, 0.0f);
+    layer.mb.assign(static_cast<size_t>(layer.out), 0.0f);
+    layer.vb.assign(static_cast<size_t>(layer.out), 0.0f);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::vector<float> Mlp::Forward(const std::vector<float>& input) {
+  assert(static_cast<int>(input.size()) == layer_sizes_.front());
+  std::vector<float> x = input;
+  for (size_t li = 0; li < layers_.size(); li++) {
+    Layer& layer = layers_[li];
+    layer.input = x;
+    std::vector<float> z(static_cast<size_t>(layer.out));
+    for (int o = 0; o < layer.out; o++) {
+      float acc = layer.b[static_cast<size_t>(o)];
+      const float* wrow =
+          layer.w.data() + static_cast<size_t>(o) * layer.in;
+      for (int i = 0; i < layer.in; i++) {
+        acc += wrow[i] * x[static_cast<size_t>(i)];
+      }
+      z[static_cast<size_t>(o)] = acc;
+    }
+    layer.pre_activation = z;
+    const bool last = (li + 1 == layers_.size());
+    if (!last) {
+      for (auto& v : z) v = v > 0 ? v : 0;  // ReLU
+    }
+    x = std::move(z);
+  }
+  return x;
+}
+
+std::vector<float> Mlp::Backward(const std::vector<float>& grad_output) {
+  std::vector<float> grad = grad_output;
+  for (size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    const bool last = (li + 1 == layers_.size());
+    if (!last) {
+      // ReLU derivative on the pre-activation.
+      for (int o = 0; o < layer.out; o++) {
+        if (layer.pre_activation[static_cast<size_t>(o)] <= 0) {
+          grad[static_cast<size_t>(o)] = 0;
+        }
+      }
+    }
+    std::vector<float> grad_in(static_cast<size_t>(layer.in), 0.0f);
+    for (int o = 0; o < layer.out; o++) {
+      float g = grad[static_cast<size_t>(o)];
+      layer.gb[static_cast<size_t>(o)] += g;
+      float* gw_row = layer.gw.data() + static_cast<size_t>(o) * layer.in;
+      const float* w_row = layer.w.data() + static_cast<size_t>(o) * layer.in;
+      for (int i = 0; i < layer.in; i++) {
+        gw_row[i] += g * layer.input[static_cast<size_t>(i)];
+        grad_in[static_cast<size_t>(i)] += g * w_row[i];
+      }
+    }
+    grad = std::move(grad_in);
+  }
+  return grad;
+}
+
+void Mlp::AdamStep(float lr) {
+  constexpr float kBeta1 = 0.9f;
+  constexpr float kBeta2 = 0.999f;
+  constexpr float kEps = 1e-8f;
+  adam_t_++;
+  float t = static_cast<float>(adam_t_);
+  float bias1 = 1.0f - std::pow(kBeta1, t);
+  float bias2 = 1.0f - std::pow(kBeta2, t);
+  auto update = [&](std::vector<float>& p, std::vector<float>& g,
+                    std::vector<float>& m, std::vector<float>& v) {
+    for (size_t i = 0; i < p.size(); i++) {
+      m[i] = kBeta1 * m[i] + (1 - kBeta1) * g[i];
+      v[i] = kBeta2 * v[i] + (1 - kBeta2) * g[i] * g[i];
+      float mhat = m[i] / bias1;
+      float vhat = v[i] / bias2;
+      p[i] -= lr * mhat / (std::sqrt(vhat) + kEps);
+      g[i] = 0;
+    }
+  };
+  for (auto& layer : layers_) {
+    update(layer.w, layer.gw, layer.mw, layer.vw);
+    update(layer.b, layer.gb, layer.mb, layer.vb);
+  }
+}
+
+size_t Mlp::ParameterCount() const {
+  size_t total = 0;
+  for (const auto& layer : layers_) {
+    total += layer.w.size() + layer.b.size();
+  }
+  return total;
+}
+
+void Mlp::Save(std::string* dst) const {
+  PutFixed32(dst, static_cast<uint32_t>(layer_sizes_.size()));
+  for (int s : layer_sizes_) PutFixed32(dst, static_cast<uint32_t>(s));
+  for (const auto& layer : layers_) {
+    for (float w : layer.w) {
+      uint32_t bits;
+      memcpy(&bits, &w, sizeof(bits));
+      PutFixed32(dst, bits);
+    }
+    for (float b : layer.b) {
+      uint32_t bits;
+      memcpy(&bits, &b, sizeof(bits));
+      PutFixed32(dst, bits);
+    }
+  }
+}
+
+Status Mlp::Load(Slice input) {
+  if (input.size() < 4) return Status::Corruption("mlp: short header");
+  uint32_t n = DecodeFixed32(input.data());
+  input.remove_prefix(4);
+  if (n != layer_sizes_.size() || input.size() < 4 * n) {
+    return Status::InvalidArgument("mlp: architecture mismatch");
+  }
+  for (size_t i = 0; i < n; i++) {
+    if (DecodeFixed32(input.data()) !=
+        static_cast<uint32_t>(layer_sizes_[i])) {
+      return Status::InvalidArgument("mlp: layer size mismatch");
+    }
+    input.remove_prefix(4);
+  }
+  for (auto& layer : layers_) {
+    size_t need = (layer.w.size() + layer.b.size()) * 4;
+    if (input.size() < need) return Status::Corruption("mlp: short weights");
+    for (float& w : layer.w) {
+      uint32_t bits = DecodeFixed32(input.data());
+      memcpy(&w, &bits, sizeof(w));
+      input.remove_prefix(4);
+    }
+    for (float& b : layer.b) {
+      uint32_t bits = DecodeFixed32(input.data());
+      memcpy(&b, &bits, sizeof(b));
+      input.remove_prefix(4);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace adcache::rl

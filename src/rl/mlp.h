@@ -1,0 +1,70 @@
+#ifndef ADCACHE_RL_MLP_H_
+#define ADCACHE_RL_MLP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace adcache::rl {
+
+/// A small fully connected network with ReLU hidden activations and a linear
+/// output, trained one sample at a time with Adam — deliberately
+/// dependency-free so it can live inside a storage engine (paper §4.1).
+class Mlp {
+ public:
+  /// `layer_sizes` = {input, hidden..., output}; must have >= 2 entries.
+  Mlp(const std::vector<int>& layer_sizes, uint64_t seed);
+
+  Mlp(const Mlp&) = delete;
+  Mlp& operator=(const Mlp&) = delete;
+
+  /// Forward pass; caches activations for a subsequent Backward.
+  std::vector<float> Forward(const std::vector<float>& input);
+
+  /// Backpropagates dL/d(output), accumulating parameter gradients.
+  /// Requires a preceding Forward. Returns dL/d(input).
+  std::vector<float> Backward(const std::vector<float>& grad_output);
+
+  /// Applies one Adam update with the accumulated gradients, then clears
+  /// them.
+  void AdamStep(float lr);
+
+  /// Total number of scalar parameters (weights + biases).
+  size_t ParameterCount() const;
+  /// Bytes for parameters only (float32).
+  size_t ParameterBytes() const { return ParameterCount() * sizeof(float); }
+  /// Bytes for Adam moments + gradient buffers (training-time extra).
+  size_t OptimizerBytes() const { return 3 * ParameterBytes(); }
+
+  /// Binary serialisation of architecture + weights.
+  void Save(std::string* dst) const;
+  Status Load(Slice input);
+
+  const std::vector<int>& layer_sizes() const { return layer_sizes_; }
+
+ private:
+  struct Layer {
+    int in = 0;
+    int out = 0;
+    std::vector<float> w;       // out x in, row-major
+    std::vector<float> b;       // out
+    std::vector<float> gw, gb;  // gradients
+    std::vector<float> mw, vw, mb, vb;  // Adam moments
+    // Cached forward state.
+    std::vector<float> input;
+    std::vector<float> pre_activation;
+  };
+
+  std::vector<int> layer_sizes_;
+  std::vector<Layer> layers_;
+  uint64_t adam_t_ = 0;
+  Random rng_;
+};
+
+}  // namespace adcache::rl
+
+#endif  // ADCACHE_RL_MLP_H_

@@ -1,0 +1,75 @@
+#include "sketch/count_min_sketch.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace adcache {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch() : CountMinSketch(Options()) {}
+
+CountMinSketch::CountMinSketch(const Options& options)
+    : depth_(std::max<size_t>(1, options.depth)),
+      mask_(RoundUpPow2(std::max<size_t>(16, options.width)) - 1),
+      saturation_(options.saturation) {
+  rows_.resize(depth_);
+  for (size_t i = 0; i < depth_; i++) {
+    rows_[i].assign(mask_ + 1, 0);
+    seeds_.push_back(0x9e3779b97f4a7c15ULL * (i + 1) + 0x1234567);
+  }
+}
+
+size_t CountMinSketch::Index(size_t row, const Slice& key) const {
+  return static_cast<size_t>(Hash64(key.data(), key.size(), seeds_[row])) &
+         mask_;
+}
+
+uint32_t CountMinSketch::Increment(const Slice& key) {
+  uint8_t min_after = saturation_;
+  bool saturated = false;
+  for (size_t row = 0; row < depth_; row++) {
+    uint8_t& c = rows_[row][Index(row, key)];
+    if (c < saturation_) c++;
+    if (c >= saturation_) saturated = true;
+    min_after = std::min(min_after, c);
+  }
+  total_++;
+  if (saturated && min_after >= saturation_) {
+    Halve();
+    return Estimate(key);
+  }
+  return min_after;
+}
+
+uint32_t CountMinSketch::Estimate(const Slice& key) const {
+  uint32_t est = UINT32_MAX;
+  for (size_t row = 0; row < depth_; row++) {
+    est = std::min<uint32_t>(est, rows_[row][Index(row, key)]);
+  }
+  return est == UINT32_MAX ? 0 : est;
+}
+
+double CountMinSketch::NormalizedFrequency(const Slice& key) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(Estimate(key)) / static_cast<double>(total_);
+}
+
+void CountMinSketch::Halve() {
+  for (auto& row : rows_) {
+    for (auto& c : row) c = static_cast<uint8_t>(c >> 1);
+  }
+  total_ /= 2;
+  decay_count_++;
+}
+
+}  // namespace adcache

@@ -1,0 +1,69 @@
+#ifndef ADCACHE_SKETCH_COUNT_MIN_SKETCH_H_
+#define ADCACHE_SKETCH_COUNT_MIN_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace adcache {
+
+/// Count-Min sketch with TinyLFU-style saturation decay, used by AdCache's
+/// frequency-based point-lookup admission (paper §3.4).
+///
+/// Counters are 8-bit and saturate at `saturation`. When any counter for a key
+/// reaches saturation on Increment, *all* counters and the global sum are
+/// halved ("aging"), so consistently hot keys dominate and bursty keys fade.
+class CountMinSketch {
+ public:
+  struct Options {
+    /// Number of counters per row. Rounded up to a power of two.
+    size_t width = 1 << 14;
+    /// Number of hash rows.
+    size_t depth = 4;
+    /// Counter value that triggers a global halving (paper uses 8).
+    uint8_t saturation = 8;
+  };
+
+  CountMinSketch();
+  explicit CountMinSketch(const Options& options);
+
+  CountMinSketch(const CountMinSketch&) = delete;
+  CountMinSketch& operator=(const CountMinSketch&) = delete;
+
+  /// Records one occurrence of `key`. Returns the new estimate.
+  uint32_t Increment(const Slice& key);
+
+  /// Point estimate of the key's frequency (min over rows).
+  uint32_t Estimate(const Slice& key) const;
+
+  /// Sum of all increments since construction, decayed alongside the
+  /// counters. Used to normalise a key's frequency into a score in [0, 1].
+  uint64_t total() const { return total_; }
+
+  /// `Estimate(key) / total()`, the normalised importance score compared
+  /// against the admission threshold. Returns 0 when the sketch is empty.
+  double NormalizedFrequency(const Slice& key) const;
+
+  /// Number of halving events so far (exposed for tests/telemetry).
+  uint64_t decay_count() const { return decay_count_; }
+
+  /// Approximate heap memory used by the sketch in bytes.
+  size_t MemoryUsage() const { return depth_ * (mask_ + 1) * sizeof(uint8_t); }
+
+ private:
+  void Halve();
+  size_t Index(size_t row, const Slice& key) const;
+
+  size_t depth_;
+  size_t mask_;  // width - 1
+  uint8_t saturation_;
+  std::vector<std::vector<uint8_t>> rows_;
+  std::vector<uint64_t> seeds_;
+  uint64_t total_ = 0;
+  uint64_t decay_count_ = 0;
+};
+
+}  // namespace adcache
+
+#endif  // ADCACHE_SKETCH_COUNT_MIN_SKETCH_H_

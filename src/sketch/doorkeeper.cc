@@ -1,0 +1,49 @@
+#include "sketch/doorkeeper.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace adcache {
+
+namespace {
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+Doorkeeper::Doorkeeper(size_t bits, int num_probes)
+    : mask_(RoundUpPow2(std::max<size_t>(64, bits)) - 1),
+      num_probes_(std::max(1, num_probes)),
+      bits_(mask_ + 1, false) {}
+
+uint64_t Doorkeeper::BitFor(int probe, const Slice& key) const {
+  return Hash64(key.data(), key.size(),
+                0x51ed270b * static_cast<uint64_t>(probe + 1)) &
+         mask_;
+}
+
+bool Doorkeeper::InsertIfAbsent(const Slice& key) {
+  bool present = true;
+  for (int i = 0; i < num_probes_; i++) {
+    uint64_t b = BitFor(i, key);
+    if (!bits_[b]) {
+      present = false;
+      bits_[b] = true;
+    }
+  }
+  return present;
+}
+
+bool Doorkeeper::Contains(const Slice& key) const {
+  for (int i = 0; i < num_probes_; i++) {
+    if (!bits_[BitFor(i, key)]) return false;
+  }
+  return true;
+}
+
+void Doorkeeper::Clear() { std::fill(bits_.begin(), bits_.end(), false); }
+
+}  // namespace adcache

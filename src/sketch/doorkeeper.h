@@ -1,0 +1,38 @@
+#ifndef ADCACHE_SKETCH_DOORKEEPER_H_
+#define ADCACHE_SKETCH_DOORKEEPER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace adcache {
+
+/// A small bloom filter placed in front of the Count-Min sketch (TinyLFU's
+/// "doorkeeper"): the very first occurrence of a key only sets bits here, so
+/// one-off keys never consume sketch counters. Cleared on every sketch decay.
+class Doorkeeper {
+ public:
+  /// `bits` is rounded up to a power of two; `num_probes` hash functions.
+  explicit Doorkeeper(size_t bits = 1 << 16, int num_probes = 3);
+
+  /// Returns true if the key was already present (i.e. this is at least its
+  /// second appearance); otherwise inserts it and returns false.
+  bool InsertIfAbsent(const Slice& key);
+
+  bool Contains(const Slice& key) const;
+  void Clear();
+
+  size_t MemoryUsage() const { return bits_.capacity() / 8; }
+
+ private:
+  uint64_t BitFor(int probe, const Slice& key) const;
+
+  size_t mask_;
+  int num_probes_;
+  std::vector<bool> bits_;
+};
+
+}  // namespace adcache
+
+#endif  // ADCACHE_SKETCH_DOORKEEPER_H_

@@ -1,0 +1,55 @@
+#include "util/arena.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace adcache {
+
+Arena::Arena() = default;
+
+char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateAligned(size_t bytes) {
+  const size_t align = sizeof(void*);
+  size_t current_mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (align - 1);
+  size_t slop = (current_mod == 0 ? 0 : align - current_mod);
+  size_t needed = bytes + slop;
+  if (needed <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_ + slop;
+    alloc_ptr_ += needed;
+    alloc_bytes_remaining_ -= needed;
+    return result;
+  }
+  // AllocateFallback always returns pointer-aligned memory.
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateFallback(size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large allocations get their own block so we don't waste the remainder
+    // of the current block.
+    return AllocateNewBlock(bytes);
+  }
+  char* block = AllocateNewBlock(kBlockSize);
+  alloc_ptr_ = block + bytes;
+  alloc_bytes_remaining_ = kBlockSize - bytes;
+  return block;
+}
+
+char* Arena::AllocateNewBlock(size_t block_bytes) {
+  blocks_.push_back(std::make_unique<char[]>(block_bytes));
+  memory_usage_.fetch_add(block_bytes + sizeof(char*),
+                          std::memory_order_relaxed);
+  return blocks_.back().get();
+}
+
+}  // namespace adcache

@@ -1,0 +1,46 @@
+#ifndef ADCACHE_UTIL_ARENA_H_
+#define ADCACHE_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace adcache {
+
+/// Arena provides fast bump allocation for memtable nodes. Memory is released
+/// only when the arena is destroyed. Not thread-safe for allocation; the
+/// memtable serialises writers.
+class Arena {
+ public:
+  Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena() = default;
+
+  /// Returns a pointer to `bytes` bytes of uninitialised memory.
+  char* Allocate(size_t bytes);
+
+  /// Like Allocate but the result is aligned to pointer size.
+  char* AllocateAligned(size_t bytes);
+
+  /// Total memory footprint of the arena (for memtable size accounting).
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  static constexpr size_t kBlockSize = 4096;
+
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_bytes_remaining_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_{0};
+};
+
+}  // namespace adcache
+
+#endif  // ADCACHE_UTIL_ARENA_H_

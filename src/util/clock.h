@@ -1,0 +1,52 @@
+#ifndef ADCACHE_UTIL_CLOCK_H_
+#define ADCACHE_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace adcache {
+
+/// Abstract time source. The storage engine charges all I/O and CPU costs to
+/// a Clock so that benchmarks can run against deterministic simulated time
+/// (see DESIGN.md: substitution for the paper's NVMe testbed).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds (monotonic).
+  virtual uint64_t NowMicros() const = 0;
+
+  /// Charges `micros` of elapsed cost. Real clocks ignore this (the wall
+  /// clock advances by itself); the simulated clock advances its counter.
+  virtual void Charge(uint64_t micros) = 0;
+};
+
+/// Wall-clock backed implementation; Charge is a no-op.
+class SystemClock : public Clock {
+ public:
+  uint64_t NowMicros() const override;
+  void Charge(uint64_t /*micros*/) override {}
+
+  /// Process-wide default instance.
+  static SystemClock* Default();
+};
+
+/// Deterministic virtual clock: time advances only via Charge (thread-safe).
+class SimClock : public Clock {
+ public:
+  uint64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void Charge(uint64_t micros) override {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void Reset() { now_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> now_{0};
+};
+
+}  // namespace adcache
+
+#endif  // ADCACHE_UTIL_CLOCK_H_

@@ -1,0 +1,49 @@
+#ifndef ADCACHE_UTIL_CODING_H_
+#define ADCACHE_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace adcache {
+
+// Little-endian fixed-width and varint encodings used throughout the storage
+// layer (block format, WAL records, manifest). Matches the leveldb wire idiom.
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+/// Appends varint32 length followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+uint32_t DecodeFixed32(const char* ptr);
+uint64_t DecodeFixed64(const char* ptr);
+
+/// Parses a varint32 from [p, limit); returns pointer past the value or
+/// nullptr on malformed input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Consuming variants: advance `input` past the parsed value. Return false on
+/// malformed / truncated input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Number of bytes VarintLength64 encoding of `v` occupies.
+int VarintLength(uint64_t v);
+
+inline void EncodeFixed32(char* buf, uint32_t value) {
+  memcpy(buf, &value, sizeof(value));  // little-endian hosts only
+}
+
+inline void EncodeFixed64(char* buf, uint64_t value) {
+  memcpy(buf, &value, sizeof(value));
+}
+
+}  // namespace adcache
+
+#endif  // ADCACHE_UTIL_CODING_H_

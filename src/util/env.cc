@@ -1,0 +1,422 @@
+#include "util/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+
+namespace adcache {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// POSIX backend
+// ---------------------------------------------------------------------------
+
+Status PosixError(const std::string& context, int err) {
+  return Status::IOError(context + ": " + std::strerror(err));
+}
+
+class PosixSequentialFile : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string fname, int fd, IoStats* stats)
+      : fname_(std::move(fname)), fd_(fd), stats_(stats) {}
+  ~PosixSequentialFile() override { ::close(fd_); }
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    ssize_t r = ::read(fd_, scratch, n);
+    if (r < 0) return PosixError(fname_, errno);
+    stats_->bytes_read += static_cast<uint64_t>(r);
+    stats_->read_ops++;
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    if (::lseek(fd_, static_cast<off_t>(n), SEEK_CUR) < 0) {
+      return PosixError(fname_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string fname_;
+  int fd_;
+  IoStats* stats_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string fname, int fd, uint64_t size,
+                        IoStats* stats)
+      : fname_(std::move(fname)), fd_(fd), size_(size), stats_(stats) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) return PosixError(fname_, errno);
+    stats_->bytes_read += static_cast<uint64_t>(r);
+    stats_->read_ops++;
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::string fname_;
+  int fd_;
+  uint64_t size_;
+  IoStats* stats_;
+};
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string fname, int fd, IoStats* stats)
+      : fname_(std::move(fname)), fd_(fd), stats_(stats) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const Slice& data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t w = ::write(fd_, p, left);
+      if (w < 0) return PosixError(fname_, errno);
+      p += w;
+      left -= static_cast<size_t>(w);
+    }
+    size_ += data.size();
+    stats_->bytes_written += data.size();
+    stats_->write_ops++;
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) < 0) return PosixError(fname_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) < 0) return PosixError(fname_, errno);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::string fname_;
+  int fd_;
+  uint64_t size_ = 0;
+  IoStats* stats_;
+};
+
+class PosixEnv : public Env {
+ public:
+  PosixEnv() : Env(SystemClock::Default()) {}
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError(fname, errno);
+    *result = std::make_unique<PosixSequentialFile>(fname, fd, &io_stats_);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    int fd = ::open(fname.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError(fname, errno);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      int err = errno;
+      ::close(fd);
+      return PosixError(fname, err);
+    }
+    *result = std::make_unique<PosixRandomAccessFile>(
+        fname, fd, static_cast<uint64_t>(st.st_size), &io_stats_);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    int fd = ::open(fname.c_str(), O_TRUNC | O_WRONLY | O_CREAT, 0644);
+    if (fd < 0) return PosixError(fname, errno);
+    *result = std::make_unique<PosixWritableFile>(fname, fd, &io_stats_);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    if (::unlink(fname.c_str()) != 0) return PosixError(fname, errno);
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& dirname) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dirname, ec);
+    if (ec) return Status::IOError(dirname + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Status GetChildren(const std::string& dirname,
+                     std::vector<std::string>* result) override {
+    result->clear();
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dirname, ec)) {
+      result->push_back(entry.path().filename().string());
+    }
+    if (ec) return Status::IOError(dirname + ": " + ec.message());
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    return ::access(fname.c_str(), F_OK) == 0;
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    struct stat st;
+    if (::stat(fname.c_str(), &st) != 0) return PosixError(fname, errno);
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// In-memory backend with simulated I/O latency
+// ---------------------------------------------------------------------------
+
+struct MemFile {
+  std::string contents;
+  mutable std::shared_mutex mu;
+};
+
+class MemFileTable {
+ public:
+  std::shared_ptr<MemFile> Find(const std::string& fname) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(fname);
+    return it == files_.end() ? nullptr : it->second;
+  }
+
+  std::shared_ptr<MemFile> Create(const std::string& fname) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto file = std::make_shared<MemFile>();
+    files_[fname] = file;
+    return file;
+  }
+
+  bool Remove(const std::string& fname) {
+    std::lock_guard<std::mutex> l(mu_);
+    return files_.erase(fname) > 0;
+  }
+
+  bool Exists(const std::string& fname) {
+    std::lock_guard<std::mutex> l(mu_);
+    return files_.count(fname) > 0;
+  }
+
+  std::vector<std::string> List(const std::string& dirname) {
+    std::lock_guard<std::mutex> l(mu_);
+    std::string prefix = dirname;
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    std::vector<std::string> out;
+    for (const auto& [name, file] : files_) {
+      if (name.size() > prefix.size() && name.compare(0, prefix.size(),
+                                                      prefix) == 0) {
+        std::string rest = name.substr(prefix.size());
+        if (rest.find('/') == std::string::npos) out.push_back(rest);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFile>> files_;
+};
+
+class MemSequentialFile : public SequentialFile {
+ public:
+  MemSequentialFile(std::shared_ptr<MemFile> file, Clock* clock,
+                    const MemEnvOptions& opts, IoStats* stats)
+      : file_(std::move(file)), clock_(clock), opts_(opts), stats_(stats) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    std::shared_lock<std::shared_mutex> l(file_->mu);
+    size_t avail = file_->contents.size() - std::min(pos_,
+                                                     file_->contents.size());
+    size_t r = std::min(n, avail);
+    memcpy(scratch, file_->contents.data() + pos_, r);
+    pos_ += r;
+    stats_->bytes_read += r;
+    stats_->read_ops++;
+    clock_->Charge(opts_.read_latency_micros);
+    *result = Slice(scratch, r);
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemFile> file_;
+  Clock* clock_;
+  MemEnvOptions opts_;
+  IoStats* stats_;
+  size_t pos_ = 0;
+};
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  MemRandomAccessFile(std::shared_ptr<MemFile> file, Clock* clock,
+                      const MemEnvOptions& opts, IoStats* stats)
+      : file_(std::move(file)), clock_(clock), opts_(opts), stats_(stats) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    std::shared_lock<std::shared_mutex> l(file_->mu);
+    if (offset > file_->contents.size()) {
+      return Status::IOError("read past end of file");
+    }
+    size_t r = std::min(n, file_->contents.size() -
+                               static_cast<size_t>(offset));
+    memcpy(scratch, file_->contents.data() + offset, r);
+    stats_->bytes_read += r;
+    stats_->read_ops++;
+    clock_->Charge(opts_.read_latency_micros);
+    *result = Slice(scratch, r);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    std::shared_lock<std::shared_mutex> l(file_->mu);
+    return file_->contents.size();
+  }
+
+ private:
+  std::shared_ptr<MemFile> file_;
+  Clock* clock_;
+  MemEnvOptions opts_;
+  IoStats* stats_;
+};
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(std::shared_ptr<MemFile> file, Clock* clock,
+                  const MemEnvOptions& opts, IoStats* stats)
+      : file_(std::move(file)), clock_(clock), opts_(opts), stats_(stats) {}
+
+  Status Append(const Slice& data) override {
+    std::unique_lock<std::shared_mutex> l(file_->mu);
+    file_->contents.append(data.data(), data.size());
+    stats_->bytes_written += data.size();
+    stats_->write_ops++;
+    clock_->Charge(opts_.write_latency_micros);
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+  uint64_t Size() const override {
+    std::shared_lock<std::shared_mutex> l(file_->mu);
+    return file_->contents.size();
+  }
+
+ private:
+  std::shared_ptr<MemFile> file_;
+  Clock* clock_;
+  MemEnvOptions opts_;
+  IoStats* stats_;
+};
+
+class MemEnv : public Env {
+ public:
+  MemEnv(Clock* clock, const MemEnvOptions& opts) : Env(clock), opts_(opts) {}
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    auto file = table_.Find(fname);
+    if (file == nullptr) return Status::NotFound(fname);
+    *result =
+        std::make_unique<MemSequentialFile>(file, clock_, opts_, &io_stats_);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    auto file = table_.Find(fname);
+    if (file == nullptr) return Status::NotFound(fname);
+    *result =
+        std::make_unique<MemRandomAccessFile>(file, clock_, opts_, &io_stats_);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    auto file = table_.Create(fname);
+    *result =
+        std::make_unique<MemWritableFile>(file, clock_, opts_, &io_stats_);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    if (!table_.Remove(fname)) return Status::NotFound(fname);
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& /*dirname*/) override {
+    return Status::OK();
+  }
+
+  Status GetChildren(const std::string& dirname,
+                     std::vector<std::string>* result) override {
+    *result = table_.List(dirname);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    return table_.Exists(fname);
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    auto file = table_.Find(fname);
+    if (file == nullptr) return Status::NotFound(fname);
+    std::shared_lock<std::shared_mutex> l(file->mu);
+    *size = file->contents.size();
+    return Status::OK();
+  }
+
+ private:
+  MemEnvOptions opts_;
+  MemFileTable table_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewPosixEnv() { return std::make_unique<PosixEnv>(); }
+
+std::unique_ptr<Env> NewMemEnv(Clock* clock, const MemEnvOptions& options) {
+  return std::make_unique<MemEnv>(clock, options);
+}
+
+}  // namespace adcache

@@ -1,0 +1,117 @@
+#ifndef ADCACHE_UTIL_ENV_H_
+#define ADCACHE_UTIL_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace adcache {
+
+/// Counters describing storage-level activity. Shared by the Env, the table
+/// readers and the caches; all fields are safe for concurrent update.
+struct IoStats {
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> read_ops{0};
+  std::atomic<uint64_t> write_ops{0};
+  /// SST data-block reads that reached storage (i.e. block cache misses that
+  /// were actually served from disk). This is the paper's "SST reads" metric.
+  std::atomic<uint64_t> block_reads{0};
+  /// Index/filter block reads that reached storage.
+  std::atomic<uint64_t> meta_block_reads{0};
+
+  void Reset() {
+    bytes_read = 0;
+    bytes_written = 0;
+    read_ops = 0;
+    write_ops = 0;
+    block_reads = 0;
+    meta_block_reads = 0;
+  }
+};
+
+/// Sequential read-only file (WAL/manifest replay).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+  /// Reads up to `n` bytes into `scratch`; `*result` views the bytes read.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// Positional read-only file (SSTables).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Append-only writable file (WAL, SSTable under construction).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// Filesystem + time abstraction in the style of rocksdb::Env. Two concrete
+/// backends exist: a POSIX one and an in-memory one whose reads charge
+/// configurable latency to a simulated clock (see DESIGN.md).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname, std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dirname) = 0;
+  virtual Status GetChildren(const std::string& dirname,
+                             std::vector<std::string>* result) = 0;
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+
+  Clock* clock() const { return clock_; }
+  IoStats* io_stats() { return &io_stats_; }
+
+ protected:
+  explicit Env(Clock* clock) : clock_(clock) {}
+
+  Clock* clock_;
+  IoStats io_stats_;
+};
+
+/// POSIX filesystem, wall-clock time.
+std::unique_ptr<Env> NewPosixEnv();
+
+/// Options for the in-memory simulated environment.
+struct MemEnvOptions {
+  /// Latency charged to the clock per positional read call (models one
+  /// 4 KB NVMe read, direct I/O). 0 disables time charging.
+  uint64_t read_latency_micros = 80;
+  /// Latency charged per write/sync of up to 1 MB.
+  uint64_t write_latency_micros = 20;
+};
+
+/// In-memory filesystem over the given clock (pass a SimClock for
+/// deterministic benchmarking). The Env does not own the clock.
+std::unique_ptr<Env> NewMemEnv(Clock* clock,
+                               const MemEnvOptions& options = MemEnvOptions());
+
+}  // namespace adcache
+
+#endif  // ADCACHE_UTIL_ENV_H_

@@ -1,0 +1,164 @@
+#include "util/fault_injection_env.h"
+
+namespace adcache {
+
+namespace {
+constexpr char kInjectedMsg[] = "injected fault";
+}  // namespace
+
+class FaultSequentialFile : public SequentialFile {
+ public:
+  FaultSequentialFile(std::unique_ptr<SequentialFile> base,
+                      FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    Status s = env_->MaybeReadFault();
+    if (!s.ok()) return s;
+    return base_->Read(n, result, scratch);
+  }
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                        FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    Status s = env_->MaybeReadFault();
+    if (!s.ok()) return s;
+    return base_->Read(offset, n, result, scratch);
+  }
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base,
+                    FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(const Slice& data) override {
+    Status s = env_->MaybeWriteFault();
+    if (!s.ok()) return s;
+    return base_->Append(data);
+  }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    Status s = env_->MaybeWriteFault();
+    if (!s.ok()) return s;
+    return base_->Sync();
+  }
+  Status Close() override { return base_->Close(); }
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base)
+    : Env(base->clock()), base_(base) {}
+
+Status FaultInjectionEnv::MaybeReadFault() {
+  if (fail_all_.load(std::memory_order_relaxed)) {
+    injected_failures_++;
+    return Status::IOError(kInjectedMsg);
+  }
+  uint64_t n = reads_until_failure_.load(std::memory_order_relaxed);
+  while (n > 0) {
+    if (reads_until_failure_.compare_exchange_weak(n, n - 1)) {
+      if (n == 1) {
+        injected_failures_++;
+        return Status::IOError(kInjectedMsg);
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::MaybeWriteFault() {
+  if (fail_all_.load(std::memory_order_relaxed)) {
+    injected_failures_++;
+    return Status::IOError(kInjectedMsg);
+  }
+  uint64_t n = writes_until_failure_.load(std::memory_order_relaxed);
+  while (n > 0) {
+    if (writes_until_failure_.compare_exchange_weak(n, n - 1)) {
+      if (n == 1) {
+        injected_failures_++;
+        return Status::IOError(kInjectedMsg);
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* result) {
+  std::unique_ptr<SequentialFile> base_file;
+  Status s = base_->NewSequentialFile(fname, &base_file);
+  if (!s.ok()) return s;
+  *result = std::make_unique<FaultSequentialFile>(std::move(base_file), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> base_file;
+  Status s = base_->NewRandomAccessFile(fname, &base_file);
+  if (!s.ok()) return s;
+  *result =
+      std::make_unique<FaultRandomAccessFile>(std::move(base_file), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  if (fail_creation_.load(std::memory_order_relaxed)) {
+    injected_failures_++;
+    return Status::IOError(kInjectedMsg);
+  }
+  std::unique_ptr<WritableFile> base_file;
+  Status s = base_->NewWritableFile(fname, &base_file);
+  if (!s.ok()) return s;
+  *result = std::make_unique<FaultWritableFile>(std::move(base_file), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& fname) {
+  return base_->RemoveFile(fname);
+}
+
+Status FaultInjectionEnv::CreateDirIfMissing(const std::string& dirname) {
+  return base_->CreateDirIfMissing(dirname);
+}
+
+Status FaultInjectionEnv::GetChildren(const std::string& dirname,
+                                      std::vector<std::string>* result) {
+  return base_->GetChildren(dirname, result);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& fname) {
+  return base_->FileExists(fname);
+}
+
+Status FaultInjectionEnv::GetFileSize(const std::string& fname,
+                                      uint64_t* size) {
+  return base_->GetFileSize(fname, size);
+}
+
+}  // namespace adcache

@@ -1,0 +1,69 @@
+#ifndef ADCACHE_UTIL_FAULT_INJECTION_ENV_H_
+#define ADCACHE_UTIL_FAULT_INJECTION_ENV_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+
+namespace adcache {
+
+/// An Env decorator that injects I/O failures on demand, for testing error
+/// propagation through the storage stack. Failures are counted-down: arm N
+/// successes before the next failure, or set an error rate.
+class FaultInjectionEnv : public Env {
+ public:
+  /// Wraps `base` (not owned; must outlive this Env).
+  explicit FaultInjectionEnv(Env* base);
+
+  // --- fault controls -----------------------------------------------------
+
+  /// Every read/write fails while set.
+  void SetFailAll(bool fail) { fail_all_.store(fail); }
+  /// The next `n`-th read operation fails (1 = the very next one).
+  void FailNthRead(uint64_t n) { reads_until_failure_.store(n); }
+  /// The next `n`-th write/append fails.
+  void FailNthWrite(uint64_t n) { writes_until_failure_.store(n); }
+  /// Fail attempts to create new files while set.
+  void SetFailFileCreation(bool fail) { fail_creation_.store(fail); }
+
+  uint64_t injected_failures() const { return injected_failures_.load(); }
+
+  // --- Env ----------------------------------------------------------------
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDirIfMissing(const std::string& dirname) override;
+  Status GetChildren(const std::string& dirname,
+                     std::vector<std::string>* result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+
+ private:
+  friend class FaultSequentialFile;
+  friend class FaultRandomAccessFile;
+  friend class FaultWritableFile;
+
+  /// Returns a non-OK status if a read fault fires now.
+  Status MaybeReadFault();
+  Status MaybeWriteFault();
+
+  Env* base_;
+  std::atomic<bool> fail_all_{false};
+  std::atomic<bool> fail_creation_{false};
+  std::atomic<uint64_t> reads_until_failure_{0};   // 0 = disarmed
+  std::atomic<uint64_t> writes_until_failure_{0};  // 0 = disarmed
+  std::atomic<uint64_t> injected_failures_{0};
+};
+
+}  // namespace adcache
+
+#endif  // ADCACHE_UTIL_FAULT_INJECTION_ENV_H_

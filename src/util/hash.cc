@@ -1,0 +1,54 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace adcache {
+
+uint32_t Hash(const char* data, size_t n, uint32_t seed) {
+  // MurmurHash-like scheme from leveldb.
+  const uint32_t m = 0xc6a4a793;
+  const uint32_t r = 24;
+  const char* limit = data + n;
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+
+  while (limit - data >= 4) {
+    uint32_t w;
+    memcpy(&w, data, sizeof(w));
+    data += 4;
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+
+  switch (limit - data) {
+    case 3:
+      h += static_cast<uint32_t>(static_cast<unsigned char>(data[2])) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<uint32_t>(static_cast<unsigned char>(data[1])) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<uint32_t>(static_cast<unsigned char>(data[0]));
+      h *= m;
+      h ^= (h >> r);
+      break;
+  }
+  return h;
+}
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) {
+  // FNV-1a accumulation followed by an xxhash64-style avalanche.
+  uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; i++) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace adcache

@@ -1,0 +1,24 @@
+#ifndef ADCACHE_UTIL_HASH_H_
+#define ADCACHE_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace adcache {
+
+/// Murmur-style 32-bit hash over `[data, data+n)` with the given seed. Used by
+/// bloom filters, the Count-Min sketch and cache sharding.
+uint32_t Hash(const char* data, size_t n, uint32_t seed);
+
+/// 64-bit mixing hash (xxhash-inspired finaliser) for sketch row seeds.
+uint64_t Hash64(const char* data, size_t n, uint64_t seed);
+
+inline uint32_t HashSlice(const Slice& s, uint32_t seed = 0xbc9f1d34) {
+  return Hash(s.data(), s.size(), seed);
+}
+
+}  // namespace adcache
+
+#endif  // ADCACHE_UTIL_HASH_H_

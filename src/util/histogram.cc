@@ -1,0 +1,97 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace adcache {
+
+const std::vector<uint64_t>& Histogram::BucketLimits() {
+  // Geometric-ish bucket upper bounds: 1, 2, 3, 4, 6, 8, 12, 16, ...
+  static const std::vector<uint64_t>& limits = *new std::vector<uint64_t>([] {
+    std::vector<uint64_t> v;
+    uint64_t x = 1;
+    while (x < std::numeric_limits<uint64_t>::max() / 3) {
+      v.push_back(x);
+      v.push_back(x + x / 2 == x ? x + 1 : x + x / 2);
+      x *= 2;
+    }
+    v.push_back(std::numeric_limits<uint64_t>::max());
+    return v;
+  }());
+  return limits;
+}
+
+Histogram::Histogram() : buckets_(BucketLimits().size(), 0) { Clear(); }
+
+void Histogram::Clear() {
+  num_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+  sum_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+size_t Histogram::BucketIndexFor(uint64_t value) const {
+  const auto& limits = BucketLimits();
+  auto it = std::lower_bound(limits.begin(), limits.end(), value);
+  return static_cast<size_t>(it - limits.begin());
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketIndexFor(value)]++;
+  num_++;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  num_ += other.num_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); i++) buckets_[i] += other.buckets_[i];
+}
+
+double Histogram::Average() const {
+  if (num_ == 0) return 0;
+  return sum_ / static_cast<double>(num_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (num_ == 0) return 0;
+  const auto& limits = BucketLimits();
+  double threshold = static_cast<double>(num_) * (p / 100.0);
+  double cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    cumulative += static_cast<double>(buckets_[i]);
+    if (cumulative >= threshold) {
+      // Linear interpolation within the bucket.
+      double left = (i == 0) ? 0 : static_cast<double>(limits[i - 1]);
+      double right = static_cast<double>(limits[i]);
+      double bucket_count = static_cast<double>(buckets_[i]);
+      double pos =
+          bucket_count == 0
+              ? 0
+              : (threshold - (cumulative - bucket_count)) / bucket_count;
+      double r = left + (right - left) * pos;
+      return std::clamp(r, static_cast<double>(min()),
+                        static_cast<double>(max()));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu avg=%.2f min=%llu max=%llu p50=%.1f p99=%.1f",
+                static_cast<unsigned long long>(num_), Average(),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(max_), Percentile(50),
+                Percentile(99));
+  return buf;
+}
+
+}  // namespace adcache

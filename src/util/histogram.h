@@ -1,0 +1,43 @@
+#ifndef ADCACHE_UTIL_HISTOGRAM_H_
+#define ADCACHE_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adcache {
+
+/// A log-bucketed histogram for latency/size distributions. Buckets grow
+/// roughly geometrically so the structure is O(1) per Add and fixed size.
+class Histogram {
+ public:
+  Histogram();
+
+  void Clear();
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+
+  uint64_t num() const { return num_; }
+  uint64_t min() const { return num_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Average() const;
+  /// Value below which `p` (in [0,100]) percent of samples fall,
+  /// interpolated within the bucket.
+  double Percentile(double p) const;
+
+  std::string ToString() const;
+
+ private:
+  static const std::vector<uint64_t>& BucketLimits();
+  size_t BucketIndexFor(uint64_t value) const;
+
+  uint64_t num_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace adcache
+
+#endif  // ADCACHE_UTIL_HISTOGRAM_H_

@@ -1,0 +1,49 @@
+#ifndef ADCACHE_UTIL_RANDOM_H_
+#define ADCACHE_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace adcache {
+
+/// A deterministic xorshift64* pseudo-random generator. Deliberately not
+/// std::mt19937 so that every platform reproduces identical workload streams.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ULL
+                                                    : seed) {}
+
+  uint64_t Next64() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dULL;
+  }
+
+  uint32_t Next() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  /// Uniform integer in [0, n). `n` must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Skewed: picks base-2 order of magnitude first, i.e. small values are
+  /// exponentially more likely. Result in [0, 2^max_log).
+  uint64_t Skewed(int max_log) {
+    return Uniform(uint64_t{1} << Uniform(static_cast<uint64_t>(max_log + 1)));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace adcache
+
+#endif  // ADCACHE_UTIL_RANDOM_H_

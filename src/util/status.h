@@ -1,0 +1,68 @@
+#ifndef ADCACHE_UTIL_STATUS_H_
+#define ADCACHE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace adcache {
+
+/// Status encodes the outcome of an operation. It is cheaply copyable; an OK
+/// status carries no allocation. Mirrors the rocksdb/leveldb idiom so the code
+/// base never needs exceptions.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg = Slice()) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(const Slice& msg = Slice()) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(const Slice& msg = Slice()) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status InvalidArgument(const Slice& msg = Slice()) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(const Slice& msg = Slice()) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Busy(const Slice& msg = Slice()) {
+    return Status(Code::kBusy, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+
+  /// Human-readable representation, e.g. "NotFound: key missing".
+  std::string ToString() const;
+
+ private:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kInvalidArgument,
+    kIOError,
+    kBusy,
+  };
+
+  Status(Code code, const Slice& msg) : code_(code), msg_(msg.ToString()) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace adcache
+
+#endif  // ADCACHE_UTIL_STATUS_H_

@@ -1,0 +1,68 @@
+#include "workload/generator.h"
+
+#include <cstdio>
+
+namespace adcache::workload {
+
+std::string KeySpace::KeyAt(uint64_t index) const {
+  char buf[64];
+  int digits = static_cast<int>(key_size) - 4;
+  if (digits < 1) digits = 1;
+  std::snprintf(buf, sizeof(buf), "user%0*llu", digits,
+                static_cast<unsigned long long>(index));
+  return std::string(buf);
+}
+
+std::string KeySpace::ValueFor(uint64_t index) const {
+  std::string value(value_size, 'x');
+  // Stamp the index so correctness tests can verify round trips.
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), "v%llu|",
+                        static_cast<unsigned long long>(index));
+  for (int i = 0; i < n && i < static_cast<int>(value.size()); i++) {
+    value[static_cast<size_t>(i)] = buf[i];
+  }
+  return value;
+}
+
+OperationGenerator::OperationGenerator(const Phase& phase,
+                                       const KeySpace& keys, uint64_t seed)
+    : phase_(phase), keys_(keys), op_rng_(seed) {
+  if (phase.skew > 0) {
+    zipf_ = std::make_unique<ScrambledZipfianGenerator>(keys.num_keys,
+                                                        phase.skew, seed + 1);
+  } else {
+    uniform_ = std::make_unique<UniformGenerator>(keys.num_keys, seed + 1);
+  }
+}
+
+uint64_t OperationGenerator::NextKeyIndex() {
+  return zipf_ != nullptr ? zipf_->Next() : uniform_->Next();
+}
+
+Operation OperationGenerator::Next() {
+  uint64_t roll = op_rng_.Uniform(100);
+  Operation op;
+  op.key_index = NextKeyIndex();
+  int64_t threshold = phase_.mix.get_pct;
+  if (static_cast<int64_t>(roll) < threshold) {
+    op.type = Operation::Type::kGet;
+    return op;
+  }
+  threshold += phase_.mix.short_scan_pct;
+  if (static_cast<int64_t>(roll) < threshold) {
+    op.type = Operation::Type::kScan;
+    op.scan_length = kShortScanLength;
+    return op;
+  }
+  threshold += phase_.mix.long_scan_pct;
+  if (static_cast<int64_t>(roll) < threshold) {
+    op.type = Operation::Type::kScan;
+    op.scan_length = kLongScanLength;
+    return op;
+  }
+  op.type = Operation::Type::kWrite;
+  return op;
+}
+
+}  // namespace adcache::workload

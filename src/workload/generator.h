@@ -1,0 +1,57 @@
+#ifndef ADCACHE_WORKLOAD_GENERATOR_H_
+#define ADCACHE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+#include "workload/workload_spec.h"
+#include "workload/zipfian.h"
+
+namespace adcache::workload {
+
+/// Key/value shaping for the synthetic database. Defaults follow the paper
+/// (24-byte keys, 1000-byte values) at a laptop-scale key count.
+struct KeySpace {
+  uint64_t num_keys = 50000;
+  size_t key_size = 24;
+  size_t value_size = 1000;
+
+  /// Zero-padded ordered key for index i ("user00000000000000000042").
+  std::string KeyAt(uint64_t index) const;
+  /// Deterministic value filler for index i.
+  std::string ValueFor(uint64_t index) const;
+};
+
+/// One operation drawn from a phase's mix.
+struct Operation {
+  enum class Type { kGet, kScan, kWrite };
+  Type type;
+  uint64_t key_index;
+  uint64_t scan_length = 0;  // for kScan
+};
+
+/// Draws operations for one phase: op type by mix percentage, key by
+/// (scrambled) Zipfian or uniform. Deterministic given a seed.
+class OperationGenerator {
+ public:
+  OperationGenerator(const Phase& phase, const KeySpace& keys, uint64_t seed);
+
+  Operation Next();
+
+  const Phase& phase() const { return phase_; }
+
+ private:
+  uint64_t NextKeyIndex();
+
+  Phase phase_;
+  KeySpace keys_;
+  Random op_rng_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipf_;
+  std::unique_ptr<UniformGenerator> uniform_;
+};
+
+}  // namespace adcache::workload
+
+#endif  // ADCACHE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,75 @@
+#ifndef ADCACHE_WORKLOAD_RUNNER_H_
+#define ADCACHE_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/kv_store.h"
+#include "util/clock.h"
+#include "workload/generator.h"
+#include "workload/workload_spec.h"
+
+namespace adcache::workload {
+
+/// Measured outcome of one phase against one store.
+struct PhaseResult {
+  std::string phase;
+  std::string strategy;
+  uint64_t ops = 0;
+  uint64_t point_ops = 0;
+  uint64_t scan_ops = 0;
+  uint64_t write_ops = 0;
+  uint64_t scan_keys = 0;
+  /// SST block reads performed during the phase (paper's SST-read metric).
+  uint64_t block_reads = 0;
+  /// Estimated hit rate h_est = 1 - IO_miss / IO_estimate (paper §3.5),
+  /// computed uniformly for every strategy so block- and result-based
+  /// caches are comparable.
+  double hit_rate = 0;
+  double qps = 0;
+  uint64_t elapsed_sim_micros = 0;
+  uint64_t elapsed_wall_micros = 0;
+  core::CacheStatsSnapshot end_stats;
+};
+
+/// Drives phases against a store, measuring I/O and (simulated or wall)
+/// time. Deterministic for a given seed and SimClock environment.
+class Runner {
+ public:
+  struct RunnerOptions {
+    /// CPU cost charged to the simulated clock per operation (µs). Keeps
+    /// cache-hit-only phases from reporting infinite throughput.
+    uint64_t cpu_micros_per_op = 2;
+    /// Additional CPU cost per scanned key (µs).
+    uint64_t cpu_micros_per_scan_key = 0;
+    int num_threads = 1;
+    uint64_t seed = 42;
+  };
+
+  Runner(core::KvStore* store, const KeySpace& keys, Clock* clock);
+
+  /// Sequentially inserts every key (the paper's database build), then
+  /// flushes so reads start from a settled LSM shape.
+  Status LoadDatabase();
+
+  /// Executes `phase.num_ops` operations (split across threads) and
+  /// returns the measurements.
+  PhaseResult RunPhase(const Phase& phase, const RunnerOptions& options);
+
+  /// Convenience single-threaded run with default options.
+  PhaseResult RunPhase(const Phase& phase, uint64_t seed);
+
+ private:
+  core::KvStore* store_;
+  KeySpace keys_;
+  Clock* clock_;
+};
+
+/// Prints a fixed-width result row (used by every bench binary).
+void PrintResultHeader();
+void PrintResult(const PhaseResult& r);
+
+}  // namespace adcache::workload
+
+#endif  // ADCACHE_WORKLOAD_RUNNER_H_

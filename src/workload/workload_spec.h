@@ -1,0 +1,65 @@
+#ifndef ADCACHE_WORKLOAD_WORKLOAD_SPEC_H_
+#define ADCACHE_WORKLOAD_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adcache::workload {
+
+/// Operation mix for one workload phase, in percent (must sum to 100).
+/// Mirrors the paper's Table 3 columns.
+struct OpMix {
+  int get_pct = 0;
+  int short_scan_pct = 0;
+  int long_scan_pct = 0;
+  int write_pct = 0;
+};
+
+/// One phase of a (possibly dynamic) workload.
+struct Phase {
+  std::string name;
+  OpMix mix;
+  uint64_t num_ops = 10000;
+  double skew = 0.9;  // Zipfian theta; <= 0 means uniform
+};
+
+/// Scan lengths used throughout the paper's evaluation (§5.2).
+constexpr uint64_t kShortScanLength = 16;
+constexpr uint64_t kLongScanLength = 64;
+
+/// The four static workloads of Figure 7.
+inline Phase PointLookupWorkload(uint64_t ops) {
+  return Phase{"point_lookup", OpMix{100, 0, 0, 0}, ops, 0.9};
+}
+inline Phase ShortScanWorkload(uint64_t ops) {
+  return Phase{"short_scan", OpMix{0, 100, 0, 0}, ops, 0.9};
+}
+inline Phase BalancedWorkload(uint64_t ops) {
+  // 33% point lookups, 33% short scans, 33% writes (paper §5.2).
+  return Phase{"balanced", OpMix{34, 33, 0, 33}, ops, 0.9};
+}
+inline Phase LongScanWorkload(uint64_t ops) {
+  return Phase{"long_scan", OpMix{0, 0, 100, 0}, ops, 0.9};
+}
+
+/// The six dynamic phases A-F of Table 3, executed in order.
+inline std::vector<Phase> Table3Phases(uint64_t ops_per_phase) {
+  return {
+      Phase{"A", OpMix{1, 1, 97, 1}, ops_per_phase, 0.9},
+      Phase{"B", OpMix{1, 49, 49, 1}, ops_per_phase, 0.9},
+      Phase{"C", OpMix{49, 49, 1, 1}, ops_per_phase, 0.9},
+      Phase{"D", OpMix{25, 25, 1, 49}, ops_per_phase, 0.9},
+      Phase{"E", OpMix{1, 49, 1, 49}, ops_per_phase, 0.9},
+      Phase{"F", OpMix{1, 12, 12, 75}, ops_per_phase, 0.9},
+  };
+}
+
+/// Figure 9's skewness micro-benchmark: 50% update, 25% get, 25% short scan.
+inline Phase SkewWorkload(uint64_t ops, double skew) {
+  return Phase{"skew", OpMix{25, 25, 0, 50}, ops, skew};
+}
+
+}  // namespace adcache::workload
+
+#endif  // ADCACHE_WORKLOAD_WORKLOAD_SPEC_H_

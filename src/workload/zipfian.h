@@ -1,0 +1,64 @@
+#ifndef ADCACHE_WORKLOAD_ZIPFIAN_H_
+#define ADCACHE_WORKLOAD_ZIPFIAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace adcache::workload {
+
+/// Zipfian generator over [0, n): item 0 is the most popular. `theta` is
+/// the skew (paper default 0.9; the evaluation sweeps 0.6-1.2). Sampling is
+/// exact inverse-CDF, valid for any theta > 0 including theta >= 1.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  /// Next rank in [0, n), rank 0 most frequent.
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+  Random rng_;
+};
+
+/// Scrambled Zipfian: Zipfian ranks hashed uniformly over the key space so
+/// hot keys are scattered (YCSB semantics) rather than clustered at the low
+/// end — this is what makes block-level caching carry cold keys alongside
+/// hot ones (paper §5.4, skewness discussion).
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+      : n_(n), zipf_(n, theta, seed) {}
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+/// Uniform generator over [0, n) with the same interface.
+class UniformGenerator {
+ public:
+  UniformGenerator(uint64_t n, uint64_t seed) : n_(n), rng_(seed) {}
+  uint64_t Next() { return rng_.Uniform(n_); }
+
+ private:
+  uint64_t n_;
+  Random rng_;
+};
+
+}  // namespace adcache::workload
+
+#endif  // ADCACHE_WORKLOAD_ZIPFIAN_H_

@@ -1,0 +1,217 @@
+#include "core/adcache_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/dynamic_cache.h"
+#include "core/strategy.h"
+#include "util/clock.h"
+#include "util/env.h"
+
+namespace adcache::core {
+namespace {
+
+class AdCacheStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    lsm_options_.env = env_.get();
+    lsm_options_.block_size = 512;
+    lsm_options_.table_file_size = 16 * 1024;
+    lsm_options_.memtable_size = 32 * 1024;
+    lsm_options_.level1_size_base = 64 * 1024;
+
+    AdCacheOptions options;
+    options.cache_budget = 256 * 1024;
+    options.controller.window_size = 100;
+    options.controller.agent.hidden_dim = 32;  // fast tests
+    ASSERT_TRUE(
+        AdCacheStore::Open(options, lsm_options_, "/adc", &store_).ok());
+  }
+
+  static std::string Key(int i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%06d", i);
+    return buf;
+  }
+
+  void Fill(int n) {
+    for (int i = 0; i < n; i++) {
+      ASSERT_TRUE(store_->Put(Slice(Key(i)), Slice("value" +
+                                                   std::to_string(i)))
+                      .ok());
+    }
+    ASSERT_TRUE(store_->db()->FlushMemTable().ok());
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  lsm::Options lsm_options_;
+  std::unique_ptr<AdCacheStore> store_;
+};
+
+TEST_F(AdCacheStoreTest, GetRoundTrip) {
+  Fill(100);
+  std::string value;
+  ASSERT_TRUE(store_->Get(Slice(Key(7)), &value).ok());
+  EXPECT_EQ(value, "value7");
+  EXPECT_TRUE(store_->Get(Slice("missing"), &value).IsNotFound());
+}
+
+TEST_F(AdCacheStoreTest, RepeatedGetServedFromRangeCache) {
+  Fill(100);
+  std::string value;
+  // Two misses feed the frequency sketch (doorkeeper absorbs the first);
+  // the second admits, the third must be a range-cache hit.
+  ASSERT_TRUE(store_->Get(Slice(Key(5)), &value).ok());
+  ASSERT_TRUE(store_->Get(Slice(Key(5)), &value).ok());
+  uint64_t hits_before = store_->GetCacheStats().range_hits;
+  ASSERT_TRUE(store_->Get(Slice(Key(5)), &value).ok());
+  EXPECT_EQ(value, "value5");
+  EXPECT_EQ(store_->GetCacheStats().range_hits, hits_before + 1);
+}
+
+TEST_F(AdCacheStoreTest, ScanReturnsOrderedResults) {
+  Fill(100);
+  std::vector<KvPair> results;
+  ASSERT_TRUE(store_->Scan(Slice(Key(10)), 16, &results).ok());
+  ASSERT_EQ(results.size(), 16u);
+  for (int i = 0; i < 16; i++) {
+    EXPECT_EQ(results[static_cast<size_t>(i)].key, Key(10 + i));
+  }
+}
+
+TEST_F(AdCacheStoreTest, RepeatedScanEventuallyServedFromCache) {
+  Fill(200);
+  std::vector<KvPair> results;
+  // Default a=16: a 16-entry scan is fully admitted on the first pass.
+  ASSERT_TRUE(store_->Scan(Slice(Key(20)), 16, &results).ok());
+  uint64_t hits_before = store_->GetCacheStats().range_hits;
+  ASSERT_TRUE(store_->Scan(Slice(Key(20)), 16, &results).ok());
+  EXPECT_EQ(results.size(), 16u);
+  EXPECT_GT(store_->GetCacheStats().range_hits, hits_before);
+}
+
+TEST_F(AdCacheStoreTest, LongScanOnlyPartiallyAdmitted) {
+  Fill(200);
+  store_->scan_admission()->Set(16.0, 0.5);
+  std::vector<KvPair> results;
+  ASSERT_TRUE(store_->Scan(Slice(Key(0)), 64, &results).ok());
+  EXPECT_EQ(results.size(), 64u);
+  // 0.5 * (64 - 16) = 24 entries admitted, so an immediate repeat of the
+  // full 64 cannot be served from cache.
+  uint64_t hits_before = store_->GetCacheStats().range_hits;
+  ASSERT_TRUE(store_->Scan(Slice(Key(0)), 64, &results).ok());
+  EXPECT_EQ(store_->GetCacheStats().range_hits, hits_before);
+}
+
+TEST_F(AdCacheStoreTest, WriteInvalidatesStaleCachedValue) {
+  Fill(100);
+  std::string value;
+  ASSERT_TRUE(store_->Get(Slice(Key(3)), &value).ok());
+  ASSERT_TRUE(store_->Get(Slice(Key(3)), &value).ok());  // now cached
+  ASSERT_TRUE(store_->Put(Slice(Key(3)), Slice("updated")).ok());
+  ASSERT_TRUE(store_->Get(Slice(Key(3)), &value).ok());
+  EXPECT_EQ(value, "updated");
+}
+
+TEST_F(AdCacheStoreTest, DeleteInvalidatesCachedValue) {
+  Fill(100);
+  std::string value;
+  ASSERT_TRUE(store_->Get(Slice(Key(4)), &value).ok());
+  ASSERT_TRUE(store_->Get(Slice(Key(4)), &value).ok());
+  ASSERT_TRUE(store_->Delete(Slice(Key(4))).ok());
+  EXPECT_TRUE(store_->Get(Slice(Key(4)), &value).IsNotFound());
+}
+
+TEST_F(AdCacheStoreTest, ScanAfterInsertSeesNewKey) {
+  Fill(100);
+  std::vector<KvPair> results;
+  ASSERT_TRUE(store_->Scan(Slice(Key(10)), 4, &results).ok());
+  // Insert a key inside the cached range; the next scan must include it.
+  ASSERT_TRUE(store_->Put(Slice(Key(10) + "a"), Slice("wedge")).ok());
+  ASSERT_TRUE(store_->Scan(Slice(Key(10)), 4, &results).ok());
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].key, Key(10));
+  EXPECT_EQ(results[1].key, Key(10) + "a");
+  EXPECT_EQ(results[1].value, "wedge");
+}
+
+TEST_F(AdCacheStoreTest, WindowTuningRunsEveryWindowSizeOps) {
+  Fill(50);
+  std::string value;
+  EXPECT_EQ(store_->controller()->windows_processed(), 0u);
+  for (int i = 0; i < 250; i++) {
+    store_->Get(Slice(Key(i % 50)), &value);
+  }
+  // Fill(50) contributed 50 writes; 300 total ops / window 100 => >= 2.
+  EXPECT_GE(store_->controller()->windows_processed(), 2u);
+}
+
+TEST_F(AdCacheStoreTest, TuningMovesCacheBoundaryWithinBudget) {
+  Fill(100);
+  std::string value;
+  std::vector<KvPair> results;
+  for (int i = 0; i < 1000; i++) {
+    if (i % 3 == 0) {
+      store_->Scan(Slice(Key(i % 80)), 16, &results);
+    } else {
+      store_->Get(Slice(Key(i % 80)), &value);
+    }
+  }
+  CacheStatsSnapshot snap = store_->GetCacheStats();
+  EXPECT_GE(snap.range_ratio, 0.0);
+  EXPECT_LE(snap.range_ratio, 1.0);
+  EXPECT_LE(snap.cache_usage,
+            snap.cache_capacity + lsm_options_.block_size * 2);
+}
+
+TEST_F(AdCacheStoreTest, ForceWindowEndUpdatesController) {
+  Fill(20);
+  std::string value;
+  store_->Get(Slice(Key(1)), &value);
+  uint64_t before = store_->controller()->windows_processed();
+  store_->ForceWindowEnd();
+  EXPECT_EQ(store_->controller()->windows_processed(), before + 1);
+}
+
+TEST_F(AdCacheStoreTest, StatsSnapshotExposesControlState) {
+  Fill(10);
+  CacheStatsSnapshot snap = store_->GetCacheStats();
+  EXPECT_EQ(snap.cache_capacity, 256u * 1024);
+  EXPECT_GE(snap.scan_a, 0.0);
+  EXPECT_LE(snap.scan_b, 1.0);
+}
+
+TEST(DynamicCacheTest, RatioSplitsBudget) {
+  DynamicCacheComponent cache(1000, 0.3, NewLruPolicy());
+  EXPECT_EQ(cache.block_cache()->GetCapacity(), 700u);
+  EXPECT_EQ(cache.range_cache()->GetCapacity(), 300u);
+  cache.SetRangeRatio(0.9);
+  EXPECT_EQ(cache.block_cache()->GetCapacity(), 100u);
+  EXPECT_EQ(cache.range_cache()->GetCapacity(), 900u);
+}
+
+TEST(DynamicCacheTest, RatioClamped) {
+  DynamicCacheComponent cache(1000, 0.5, NewLruPolicy());
+  cache.SetRangeRatio(-1.0);
+  EXPECT_EQ(cache.range_ratio(), 0.0);
+  cache.SetRangeRatio(2.0);
+  EXPECT_EQ(cache.range_ratio(), 1.0);
+}
+
+TEST(DynamicCacheTest, ShrinkEvictsExcess) {
+  DynamicCacheComponent cache(10000, 1.0, NewLruPolicy());
+  std::vector<KvPair> run;
+  for (int i = 0; i < 50; i++) {
+    run.push_back(KvPair{"key" + std::to_string(100 + i), "v"});
+  }
+  cache.range_cache()->PutScan(Slice(run.front().key), run, run.size());
+  EXPECT_GT(cache.RangeUsage(), 0u);
+  cache.SetRangeRatio(0.0);
+  EXPECT_EQ(cache.RangeUsage(), 0u);
+}
+
+}  // namespace
+}  // namespace adcache::core

@@ -1,0 +1,118 @@
+#include "core/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace adcache::core {
+namespace {
+
+TEST(PointAdmissionTest, DoorkeeperBlocksOneOffKeys) {
+  PointAdmissionController ctl;
+  ctl.SetThreshold(0.0);
+  // First sighting is absorbed by the doorkeeper.
+  EXPECT_FALSE(ctl.RecordMissAndCheckAdmit(Slice("once")));
+  // Second sighting passes with threshold 0.
+  EXPECT_TRUE(ctl.RecordMissAndCheckAdmit(Slice("once")));
+}
+
+TEST(PointAdmissionTest, WithoutDoorkeeperThresholdZeroAdmitsAll) {
+  PointAdmissionController::Options opts;
+  opts.use_doorkeeper = false;
+  PointAdmissionController ctl(opts);
+  ctl.SetThreshold(0.0);
+  EXPECT_TRUE(ctl.RecordMissAndCheckAdmit(Slice("anything")));
+}
+
+TEST(PointAdmissionTest, HighThresholdRejectsColdAdmitsHot) {
+  PointAdmissionController::Options opts;
+  opts.use_doorkeeper = false;
+  PointAdmissionController ctl(opts);
+  // Deterministic stream below the saturation point: hot seen 3x, 20 cold
+  // keys once each -> total 23, hot score ~0.13, cold score ~0.04.
+  for (int i = 0; i < 3; i++) ctl.RecordMissAndCheckAdmit(Slice("hot"));
+  for (int i = 0; i < 20; i++) {
+    ctl.RecordMissAndCheckAdmit(Slice("cold" + std::to_string(i)));
+  }
+  ctl.SetThreshold(0.1);
+  EXPECT_TRUE(ctl.RecordMissAndCheckAdmit(Slice("hot")));
+  EXPECT_FALSE(ctl.RecordMissAndCheckAdmit(Slice("coldNew")));
+}
+
+TEST(PointAdmissionTest, ThresholdAboveOneRejectsEverything) {
+  // Normalised scores cannot exceed 1 (a lone key's score IS 1, so a
+  // threshold of exactly 1 still admits a total monopolist).
+  PointAdmissionController::Options opts;
+  opts.use_doorkeeper = false;
+  PointAdmissionController ctl(opts);
+  ctl.SetThreshold(1.01);
+  for (int i = 0; i < 20; i++) {
+    EXPECT_FALSE(ctl.RecordMissAndCheckAdmit(Slice("k")));
+  }
+}
+
+TEST(PointAdmissionTest, ActionMappingIsMonotoneAndFineNearZero) {
+  EXPECT_DOUBLE_EQ(PointAdmissionController::ActionToThreshold(0.0), 0.0);
+  double prev = -1;
+  for (double a = 0; a <= 1.0; a += 0.1) {
+    double t = PointAdmissionController::ActionToThreshold(a);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  EXPECT_LE(PointAdmissionController::ActionToThreshold(1.0), 0.51);
+}
+
+TEST(PointAdmissionTest, DecayKeepsRespondingToShiftingKeys) {
+  PointAdmissionController::Options opts;
+  opts.use_doorkeeper = false;
+  opts.saturation = 8;
+  PointAdmissionController ctl(opts);
+  for (int i = 0; i < 100; i++) ctl.RecordMissAndCheckAdmit(Slice("old_hot"));
+  EXPECT_GT(ctl.decay_count(), 0u);
+  // A new hot key must be admittable after the shift.
+  ctl.SetThreshold(0.002);
+  bool admitted = false;
+  for (int i = 0; i < 50; i++) {
+    if (ctl.RecordMissAndCheckAdmit(Slice("new_hot"))) admitted = true;
+  }
+  EXPECT_TRUE(admitted);
+}
+
+TEST(ScanAdmissionTest, ShortScansFullyAdmitted) {
+  ScanAdmissionController ctl;
+  ctl.Set(16.0, 0.5);
+  EXPECT_EQ(ctl.AdmitCount(10), 10u);
+  EXPECT_EQ(ctl.AdmitCount(16), 16u);
+}
+
+TEST(ScanAdmissionTest, LongScansPartiallyAdmittedPerFormula) {
+  ScanAdmissionController ctl;
+  ctl.Set(16.0, 0.5);
+  // b * (l - a) = 0.5 * (64 - 16) = 24.
+  EXPECT_EQ(ctl.AdmitCount(64), 24u);
+  ctl.Set(16.0, 0.25);
+  EXPECT_EQ(ctl.AdmitCount(64), 12u);
+}
+
+TEST(ScanAdmissionTest, BZeroAdmitsNothingBeyondA) {
+  ScanAdmissionController ctl;
+  ctl.Set(16.0, 0.0);
+  EXPECT_EQ(ctl.AdmitCount(64), 0u);
+  EXPECT_EQ(ctl.AdmitCount(16), 16u);
+}
+
+TEST(ScanAdmissionTest, AdmitNeverExceedsScanLength) {
+  ScanAdmissionController ctl;
+  ctl.Set(0.0, 1.0);
+  EXPECT_EQ(ctl.AdmitCount(64), 64u);
+}
+
+TEST(ScanAdmissionTest, ActionMappingScalesToMaxA) {
+  ScanAdmissionController ctl(64.0);
+  ctl.SetFromActions(0.25, 0.75);
+  EXPECT_DOUBLE_EQ(ctl.a(), 16.0);
+  EXPECT_DOUBLE_EQ(ctl.b(), 0.75);
+}
+
+}  // namespace
+}  // namespace adcache::core

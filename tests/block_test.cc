@@ -1,0 +1,184 @@
+#include "lsm/block.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "lsm/block_builder.h"
+#include "lsm/dbformat.h"
+#include "util/random.h"
+
+namespace adcache::lsm {
+namespace {
+
+std::string IKey(const std::string& user_key, SequenceNumber seq = 1,
+                 ValueType t = kTypeValue) {
+  return MakeInternalKey(user_key, seq, t);
+}
+
+class BlockTest : public ::testing::TestWithParam<int> {
+ protected:
+  // Builds a block with `n` keys k000000..k(n-1) using the restart interval
+  // from the test parameter.
+  std::unique_ptr<Block> BuildBlock(int n) {
+    BlockBuilder builder(GetParam());
+    for (int i = 0; i < n; i++) {
+      char key[16], value[16];
+      snprintf(key, sizeof(key), "k%06d", i);
+      snprintf(value, sizeof(value), "v%d", i);
+      builder.Add(Slice(IKey(key)), Slice(value));
+    }
+    return std::make_unique<Block>(builder.Finish().ToString());
+  }
+
+  InternalKeyComparator cmp_;
+};
+
+TEST_P(BlockTest, IterateForward) {
+  auto block = BuildBlock(100);
+  std::unique_ptr<Iterator> it(block->NewIterator(&cmp_));
+  int count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    char expected[16];
+    snprintf(expected, sizeof(expected), "k%06d", count);
+    EXPECT_EQ(ExtractUserKey(it->key()).ToString(), expected);
+    count++;
+  }
+  EXPECT_EQ(count, 100);
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST_P(BlockTest, SeekFindsExactAndSuccessor) {
+  auto block = BuildBlock(50);
+  std::unique_ptr<Iterator> it(block->NewIterator(&cmp_));
+
+  it->Seek(Slice(IKey("k000017", kMaxSequenceNumber)));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "k000017");
+
+  // A key between k000017 and k000018 lands on k000018.
+  it->Seek(Slice(IKey("k0000170", kMaxSequenceNumber)));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "k000018");
+
+  // Before the first key.
+  it->Seek(Slice(IKey("a", kMaxSequenceNumber)));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "k000000");
+
+  // Past the last key.
+  it->Seek(Slice(IKey("z", kMaxSequenceNumber)));
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_P(BlockTest, SeekToLastAndPrev) {
+  auto block = BuildBlock(37);
+  std::unique_ptr<Iterator> it(block->NewIterator(&cmp_));
+  it->SeekToLast();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "k000036");
+  int count = 36;
+  while (it->Valid()) {
+    char expected[16];
+    snprintf(expected, sizeof(expected), "k%06d", count);
+    EXPECT_EQ(ExtractUserKey(it->key()).ToString(), expected);
+    it->Prev();
+    count--;
+  }
+  EXPECT_EQ(count, -1);
+}
+
+TEST_P(BlockTest, ValuesRoundTrip) {
+  auto block = BuildBlock(64);
+  std::unique_ptr<Iterator> it(block->NewIterator(&cmp_));
+  it->Seek(Slice(IKey("k000042", kMaxSequenceNumber)));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->value().ToString(), "v42");
+}
+
+TEST_P(BlockTest, EmptyBlock) {
+  BlockBuilder builder(GetParam());
+  Block block(builder.Finish().ToString());
+  std::unique_ptr<Iterator> it(block.NewIterator(&cmp_));
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+  it->Seek(Slice(IKey("a")));
+  EXPECT_FALSE(it->Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(RestartIntervals, BlockTest,
+                         ::testing::Values(1, 2, 16, 128));
+
+TEST(BlockBuilderTest, SizeEstimateGrows) {
+  BlockBuilder builder(16);
+  size_t prev = builder.CurrentSizeEstimate();
+  for (int i = 0; i < 20; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    builder.Add(Slice(IKey(key)), Slice("value"));
+    EXPECT_GT(builder.CurrentSizeEstimate(), prev);
+    prev = builder.CurrentSizeEstimate();
+  }
+  Slice finished = builder.Finish();
+  EXPECT_EQ(finished.size(), prev);
+}
+
+TEST(BlockBuilderTest, ResetClears) {
+  BlockBuilder builder(16);
+  builder.Add(Slice(IKey("a")), Slice("1"));
+  builder.Reset();
+  EXPECT_TRUE(builder.empty());
+  builder.Add(Slice(IKey("b")), Slice("2"));
+  Block block(builder.Finish().ToString());
+  InternalKeyComparator cmp;
+  std::unique_ptr<Iterator> it(block.NewIterator(&cmp));
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(ExtractUserKey(it->key()).ToString(), "b");
+}
+
+TEST(BlockTest, MalformedBlockYieldsErrorIterator) {
+  Block block("xy");  // too short for a restart trailer
+  InternalKeyComparator cmp;
+  std::unique_ptr<Iterator> it(block.NewIterator(&cmp));
+  EXPECT_FALSE(it->Valid());
+  EXPECT_FALSE(it->status().ok());
+}
+
+TEST(BlockTest, RandomizedSeekMatchesStdMap) {
+  BlockBuilder builder(8);
+  std::map<std::string, std::string> model;
+  Random rng(301);
+  std::string prev;
+  for (int i = 0; i < 500; i++) {
+    char key[24];
+    snprintf(key, sizeof(key), "key%08llu",
+             static_cast<unsigned long long>(i * 7 + rng.Uniform(3)));
+    if (std::string(key) <= prev) continue;
+    prev = key;
+    std::string value = "v" + std::to_string(i);
+    builder.Add(Slice(IKey(key)), Slice(value));
+    model[key] = value;
+  }
+  Block block(builder.Finish().ToString());
+  InternalKeyComparator cmp;
+  std::unique_ptr<Iterator> it(block.NewIterator(&cmp));
+  for (int trial = 0; trial < 200; trial++) {
+    char target[24];
+    snprintf(target, sizeof(target), "key%08llu",
+             static_cast<unsigned long long>(rng.Uniform(4000)));
+    it->Seek(Slice(IKey(target, kMaxSequenceNumber)));
+    auto expected = model.lower_bound(target);
+    if (expected == model.end()) {
+      EXPECT_FALSE(it->Valid());
+    } else {
+      ASSERT_TRUE(it->Valid());
+      EXPECT_EQ(ExtractUserKey(it->key()).ToString(), expected->first);
+      EXPECT_EQ(it->value().ToString(), expected->second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adcache::lsm

@@ -1,0 +1,78 @@
+#include "lsm/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace adcache::lsm {
+namespace {
+
+std::string Key(int i) { return "key" + std::to_string(i); }
+
+TEST(BloomTest, EmptyFilterRejectsNothingButIsTiny) {
+  BloomFilterBuilder builder(10);
+  std::string filter = builder.Finish();
+  EXPECT_LT(filter.size(), 16u);
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 5000; i++) builder.AddKey(Slice(Key(i)));
+  std::string filter = builder.Finish();
+  BloomFilterReader reader((Slice(filter)));
+  for (int i = 0; i < 5000; i++) {
+    EXPECT_TRUE(reader.KeyMayMatch(Slice(Key(i)))) << i;
+  }
+}
+
+TEST(BloomTest, MalformedFilterFailsOpen) {
+  BloomFilterReader empty((Slice("")));
+  EXPECT_TRUE(empty.KeyMayMatch(Slice("anything")));
+  BloomFilterReader one_byte((Slice("x")));
+  EXPECT_TRUE(one_byte.KeyMayMatch(Slice("anything")));
+}
+
+class BloomFprTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BloomFprTest, FalsePositiveRateWithinTheory) {
+  const int bits_per_key = GetParam();
+  BloomFilterBuilder builder(bits_per_key);
+  const int n = 4000;
+  for (int i = 0; i < n; i++) builder.AddKey(Slice(Key(i)));
+  std::string filter = builder.Finish();
+  BloomFilterReader reader((Slice(filter)));
+
+  int false_positives = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; i++) {
+    if (reader.KeyMayMatch(Slice("absent" + std::to_string(i)))) {
+      false_positives++;
+    }
+  }
+  double fpr = static_cast<double>(false_positives) / probes;
+  // Theoretical ~0.6185^bits; allow 3x slack for hash imperfection.
+  double theory = std::pow(0.6185, bits_per_key);
+  EXPECT_LT(fpr, theory * 3 + 0.005)
+      << "bits=" << bits_per_key << " fpr=" << fpr;
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsPerKey, BloomFprTest,
+                         ::testing::Values(4, 8, 10, 16));
+
+TEST(BloomTest, TenBitsPerKeyIsBelowTwoPercent) {
+  // The paper's setting: 10 bits/key -> FPR ~1%.
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 20000; i++) builder.AddKey(Slice(Key(i)));
+  std::string filter = builder.Finish();
+  BloomFilterReader reader((Slice(filter)));
+  int fp = 0;
+  for (int i = 0; i < 20000; i++) {
+    if (reader.KeyMayMatch(Slice("no" + std::to_string(i)))) fp++;
+  }
+  EXPECT_LT(fp, 400);  // < 2%
+}
+
+}  // namespace
+}  // namespace adcache::lsm

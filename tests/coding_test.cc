@@ -1,0 +1,108 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace adcache {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string s;
+  for (uint32_t v : {0u, 1u, 255u, 256u, 0xdeadbeefu,
+                     std::numeric_limits<uint32_t>::max()}) {
+    s.clear();
+    PutFixed32(&s, v);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(DecodeFixed32(s.data()), v);
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string s;
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 40,
+                     std::numeric_limits<uint64_t>::max()}) {
+    s.clear();
+    PutFixed64(&s, v);
+    ASSERT_EQ(s.size(), 8u);
+    EXPECT_EQ(DecodeFixed64(s.data()), v);
+  }
+}
+
+TEST(CodingTest, Varint32RoundTrip) {
+  std::string s;
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < 32; i++) {
+    values.push_back(i);
+    values.push_back((1u << i) - 1);
+    values.push_back(1u << i);
+  }
+  for (uint32_t v : values) PutVarint32(&s, v);
+  Slice input(s);
+  for (uint32_t expected : values) {
+    uint32_t actual = 0;
+    ASSERT_TRUE(GetVarint32(&input, &actual));
+    EXPECT_EQ(actual, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, Varint64RoundTrip) {
+  std::string s;
+  std::vector<uint64_t> values = {0, 127, 128, 16383, 16384,
+                                  std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) PutVarint64(&s, v);
+  Slice input(s);
+  for (uint64_t expected : values) {
+    uint64_t actual = 0;
+    ASSERT_TRUE(GetVarint64(&input, &actual));
+    EXPECT_EQ(actual, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                     uint64_t{1} << 35, std::numeric_limits<uint64_t>::max()}) {
+    std::string s;
+    PutVarint64(&s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), VarintLength(v));
+  }
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::string s;
+  PutVarint32(&s, 1u << 30);
+  Slice truncated(s.data(), s.size() - 1);
+  uint32_t v = 0;
+  EXPECT_FALSE(GetVarint32(&truncated, &v));
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice("hello"));
+  PutLengthPrefixedSlice(&s, Slice(""));
+  PutLengthPrefixedSlice(&s, Slice(std::string(1000, 'z')));
+  Slice input(s);
+  Slice out;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &out));
+  EXPECT_EQ(out.ToString(), "hello");
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &out));
+  EXPECT_EQ(out.size(), 0u);
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &out));
+  EXPECT_EQ(out.ToString(), std::string(1000, 'z'));
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &out));
+}
+
+TEST(SliceTest, CompareOrdersLexicographically) {
+  EXPECT_LT(Slice("a").compare(Slice("b")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("a")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("abc").starts_with(Slice("ab")));
+  EXPECT_FALSE(Slice("abc").starts_with(Slice("b")));
+}
+
+}  // namespace
+}  // namespace adcache

@@ -1,0 +1,128 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include "util/clock.h"
+
+namespace adcache {
+namespace {
+
+class MemEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_ = NewMemEnv(&clock_); }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(MemEnvTest, WriteThenReadBack) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_->NewWritableFile("/db/f1", &wf).ok());
+  ASSERT_TRUE(wf->Append(Slice("hello ")).ok());
+  ASSERT_TRUE(wf->Append(Slice("world")).ok());
+  ASSERT_TRUE(wf->Close().ok());
+
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env_->NewRandomAccessFile("/db/f1", &rf).ok());
+  EXPECT_EQ(rf->Size(), 11u);
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(rf->Read(6, 5, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "world");
+}
+
+TEST_F(MemEnvTest, SequentialReadAndSkip) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_->NewWritableFile("/db/f2", &wf).ok());
+  ASSERT_TRUE(wf->Append(Slice("0123456789")).ok());
+
+  std::unique_ptr<SequentialFile> sf;
+  ASSERT_TRUE(env_->NewSequentialFile("/db/f2", &sf).ok());
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(sf->Read(3, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "012");
+  ASSERT_TRUE(sf->Skip(2).ok());
+  ASSERT_TRUE(sf->Read(3, &result, scratch).ok());
+  EXPECT_EQ(result.ToString(), "567");
+}
+
+TEST_F(MemEnvTest, MissingFileReturnsNotFound) {
+  std::unique_ptr<RandomAccessFile> rf;
+  EXPECT_TRUE(env_->NewRandomAccessFile("/db/nope", &rf).IsNotFound());
+  EXPECT_FALSE(env_->FileExists("/db/nope"));
+}
+
+TEST_F(MemEnvTest, RemoveFile) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_->NewWritableFile("/db/f3", &wf).ok());
+  EXPECT_TRUE(env_->FileExists("/db/f3"));
+  ASSERT_TRUE(env_->RemoveFile("/db/f3").ok());
+  EXPECT_FALSE(env_->FileExists("/db/f3"));
+  EXPECT_TRUE(env_->RemoveFile("/db/f3").IsNotFound());
+}
+
+TEST_F(MemEnvTest, GetChildrenListsDirectoryEntriesOnly) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_->NewWritableFile("/db/a", &wf).ok());
+  ASSERT_TRUE(env_->NewWritableFile("/db/b", &wf).ok());
+  ASSERT_TRUE(env_->NewWritableFile("/db/sub/c", &wf).ok());
+  ASSERT_TRUE(env_->NewWritableFile("/other/d", &wf).ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren("/db", &children).ok());
+  EXPECT_EQ(children.size(), 2u);
+}
+
+TEST_F(MemEnvTest, ReadChargesSimulatedLatency) {
+  MemEnvOptions opts;
+  opts.read_latency_micros = 100;
+  opts.write_latency_micros = 0;
+  auto env = NewMemEnv(&clock_, opts);
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env->NewWritableFile("/db/f", &wf).ok());
+  ASSERT_TRUE(wf->Append(Slice("data")).ok());
+
+  uint64_t before = clock_.NowMicros();
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env->NewRandomAccessFile("/db/f", &rf).ok());
+  char scratch[8];
+  Slice result;
+  ASSERT_TRUE(rf->Read(0, 4, &result, scratch).ok());
+  ASSERT_TRUE(rf->Read(0, 4, &result, scratch).ok());
+  EXPECT_EQ(clock_.NowMicros() - before, 200u);
+}
+
+TEST_F(MemEnvTest, IoStatsCountReadsAndWrites) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_->NewWritableFile("/db/f", &wf).ok());
+  ASSERT_TRUE(wf->Append(Slice("abcdef")).ok());
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env_->NewRandomAccessFile("/db/f", &rf).ok());
+  char scratch[8];
+  Slice result;
+  ASSERT_TRUE(rf->Read(0, 6, &result, scratch).ok());
+  EXPECT_EQ(env_->io_stats()->bytes_written.load(), 6u);
+  EXPECT_EQ(env_->io_stats()->bytes_read.load(), 6u);
+  EXPECT_EQ(env_->io_stats()->read_ops.load(), 1u);
+  EXPECT_EQ(env_->io_stats()->write_ops.load(), 1u);
+}
+
+TEST(SimClockTest, ChargeAdvances) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0u);
+  clock.Charge(50);
+  clock.Charge(25);
+  EXPECT_EQ(clock.NowMicros(), 75u);
+  clock.Reset();
+  EXPECT_EQ(clock.NowMicros(), 0u);
+}
+
+TEST(SystemClockTest, MonotonicallyAdvances) {
+  auto* clock = SystemClock::Default();
+  uint64_t a = clock->NowMicros();
+  uint64_t b = clock->NowMicros();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace adcache

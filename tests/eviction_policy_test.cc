@@ -1,0 +1,213 @@
+#include "cache/eviction_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cache/cacheus.h"
+#include "cache/lecar.h"
+
+namespace adcache {
+namespace {
+
+TEST(LruPolicyTest, VictimIsLeastRecentlyUsed) {
+  LruPolicy lru;
+  lru.OnInsert("a");
+  lru.OnInsert("b");
+  lru.OnInsert("c");
+  lru.OnAccess("a");  // a becomes MRU
+  std::string victim;
+  ASSERT_TRUE(lru.Victim(&victim));
+  EXPECT_EQ(victim, "b");
+  ASSERT_TRUE(lru.Victim(&victim));
+  EXPECT_EQ(victim, "c");
+  ASSERT_TRUE(lru.Victim(&victim));
+  EXPECT_EQ(victim, "a");
+  EXPECT_FALSE(lru.Victim(&victim));
+}
+
+TEST(LruPolicyTest, EraseRemovesFromOrder) {
+  LruPolicy lru;
+  lru.OnInsert("a");
+  lru.OnInsert("b");
+  lru.OnErase("a");
+  std::string victim;
+  ASSERT_TRUE(lru.Victim(&victim));
+  EXPECT_EQ(victim, "b");
+  EXPECT_FALSE(lru.Victim(&victim));
+}
+
+TEST(LfuPolicyTest, VictimIsLeastFrequent) {
+  LfuPolicy lfu;
+  lfu.OnInsert("cold");
+  lfu.OnInsert("hot");
+  for (int i = 0; i < 5; i++) lfu.OnAccess("hot");
+  std::string victim;
+  ASSERT_TRUE(lfu.Victim(&victim));
+  EXPECT_EQ(victim, "cold");
+}
+
+TEST(LfuPolicyTest, TieBrokenByInsertionOrder) {
+  LfuPolicy lfu;
+  lfu.OnInsert("first");
+  lfu.OnInsert("second");
+  std::string victim;
+  ASSERT_TRUE(lfu.Victim(&victim));
+  EXPECT_EQ(victim, "first");  // oldest within the min-freq bucket
+}
+
+TEST(LfuPolicyTest, VictimMruBreaksTiesNewestFirst) {
+  LfuPolicy lfu;
+  lfu.OnInsert("old");
+  lfu.OnInsert("new");
+  std::string victim;
+  ASSERT_TRUE(lfu.PeekVictimMru(&victim));
+  EXPECT_EQ(victim, "new");
+  ASSERT_TRUE(lfu.VictimMru(&victim));
+  EXPECT_EQ(victim, "new");
+}
+
+TEST(LfuPolicyTest, FrequencyRestoration) {
+  LfuPolicy lfu;
+  lfu.InsertWithFrequency("veteran", 10);
+  lfu.OnInsert("rookie");
+  EXPECT_EQ(lfu.FrequencyOf("veteran"), 10u);
+  EXPECT_EQ(lfu.FrequencyOf("rookie"), 1u);
+  std::string victim;
+  ASSERT_TRUE(lfu.Victim(&victim));
+  EXPECT_EQ(victim, "rookie");
+}
+
+TEST(LeCaRTest, StartsBalanced) {
+  LeCaRPolicy lecar;
+  EXPECT_DOUBLE_EQ(lecar.weight_lru(), 0.5);
+  EXPECT_DOUBLE_EQ(lecar.weight_lfu(), 0.5);
+}
+
+TEST(LeCaRTest, GhostHitShiftsWeightAwayFromFaultyExpert) {
+  LeCaRPolicy::Options opts;
+  opts.seed = 1;
+  LeCaRPolicy lecar(opts);
+  // Make LRU and LFU victims diverge: "hot" is frequent, "cold" is not.
+  lecar.OnInsert("hot");
+  for (int i = 0; i < 8; i++) lecar.OnAccess("hot");
+  lecar.OnInsert("cold");
+
+  // Evict until an LRU-attributed eviction lands in the LRU ghost, then
+  // request the evicted key: the LRU weight must drop.
+  double before = lecar.weight_lru();
+  std::string victim;
+  ASSERT_TRUE(lecar.Victim(&victim));
+  lecar.OnMiss(victim);
+  double after = lecar.weight_lru();
+  EXPECT_NE(before, after);  // some expert was penalised
+}
+
+TEST(LeCaRTest, VictimsCoverAllResidents) {
+  LeCaRPolicy lecar;
+  std::set<std::string> inserted;
+  for (int i = 0; i < 20; i++) {
+    std::string k = "k" + std::to_string(i);
+    lecar.OnInsert(k);
+    inserted.insert(k);
+  }
+  std::set<std::string> evicted;
+  std::string victim;
+  while (lecar.Victim(&victim)) {
+    EXPECT_TRUE(inserted.count(victim)) << victim;
+    EXPECT_FALSE(evicted.count(victim)) << "double eviction of " << victim;
+    evicted.insert(victim);
+  }
+  EXPECT_EQ(evicted.size(), inserted.size());
+}
+
+TEST(LeCaRTest, EraseKeepsExpertsConsistent) {
+  LeCaRPolicy lecar;
+  lecar.OnInsert("a");
+  lecar.OnInsert("b");
+  lecar.OnErase("a");
+  std::string victim;
+  ASSERT_TRUE(lecar.Victim(&victim));
+  EXPECT_EQ(victim, "b");
+  EXPECT_FALSE(lecar.Victim(&victim));
+}
+
+TEST(CacheusTest, StartsBalancedWithConfiguredLr) {
+  CacheusPolicy cacheus;
+  EXPECT_DOUBLE_EQ(cacheus.weight_srlru(), 0.5);
+  EXPECT_GT(cacheus.learning_rate(), 0.0);
+}
+
+TEST(CacheusTest, ScanResistance) {
+  // A reused working set followed by a one-pass scan: victims should be
+  // dominated by scan keys, not the working set.
+  CacheusPolicy::Options opts;
+  opts.seed = 3;
+  CacheusPolicy cacheus(opts);
+  for (int i = 0; i < 8; i++) {
+    std::string k = "work" + std::to_string(i);
+    cacheus.OnInsert(k);
+    cacheus.OnAccess(k);
+    cacheus.OnAccess(k);
+  }
+  for (int i = 0; i < 8; i++) {
+    cacheus.OnInsert("scan" + std::to_string(i));
+  }
+  int working_set_evicted = 0;
+  std::string victim;
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(cacheus.Victim(&victim));
+    if (victim.rfind("work", 0) == 0) working_set_evicted++;
+  }
+  EXPECT_LE(working_set_evicted, 2);
+}
+
+TEST(CacheusTest, ChurnResistanceRestoresFrequency) {
+  CacheusPolicy::Options opts;
+  opts.seed = 5;
+  CacheusPolicy cacheus(opts);
+  cacheus.OnInsert("vip");
+  for (int i = 0; i < 10; i++) cacheus.OnAccess("vip");
+  // Force vip out.
+  cacheus.OnInsert("filler");
+  std::string victim;
+  std::set<std::string> evicted;
+  while (cacheus.Victim(&victim)) evicted.insert(victim);
+  ASSERT_TRUE(evicted.count("vip"));
+  // Re-admission must restore vip's earned frequency so a fresh filler is
+  // preferred as the next CR-LFU victim.
+  cacheus.OnInsert("vip");
+  cacheus.OnInsert("newbie");
+  // Evict twice; vip should not be the first to go via CR-LFU.
+  int vip_first = 0;
+  ASSERT_TRUE(cacheus.Victim(&victim));
+  if (victim == "vip") vip_first = 1;
+  EXPECT_EQ(vip_first, 0);
+}
+
+TEST(CacheusTest, VictimsExhaustResidents) {
+  CacheusPolicy cacheus;
+  for (int i = 0; i < 30; i++) {
+    cacheus.OnInsert("k" + std::to_string(i));
+  }
+  std::string victim;
+  int count = 0;
+  while (cacheus.Victim(&victim)) count++;
+  EXPECT_EQ(count, 30);
+}
+
+TEST(CacheusTest, LearningRateAdapts) {
+  CacheusPolicy::Options opts;
+  opts.adaptation_window = 10;
+  CacheusPolicy cacheus(opts);
+  double initial = cacheus.learning_rate();
+  // A stream of misses: hit rate 0 -> stable -> lr decays.
+  for (int i = 0; i < 100; i++) {
+    cacheus.OnMiss("m" + std::to_string(i));
+  }
+  EXPECT_LT(cacheus.learning_rate(), initial);
+}
+
+}  // namespace
+}  // namespace adcache

@@ -1,0 +1,116 @@
+#include "util/fault_injection_env.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/cache.h"
+#include "lsm/db.h"
+#include "util/clock.h"
+
+namespace adcache {
+namespace {
+
+using lsm::DB;
+using lsm::Options;
+using lsm::ReadOptions;
+using lsm::WriteOptions;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_env_ = NewMemEnv(&clock_);
+    env_ = std::make_unique<FaultInjectionEnv>(base_env_.get());
+    options_.env = env_.get();
+    options_.block_size = 512;
+    options_.table_file_size = 8 * 1024;
+    options_.memtable_size = 8 * 1024;
+    options_.block_cache = nullptr;  // force every read to storage
+    ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> base_env_;
+  std::unique_ptr<FaultInjectionEnv> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(FaultInjectionTest, EnvInjectsReadFaults) {
+  std::unique_ptr<WritableFile> wf;
+  ASSERT_TRUE(env_->NewWritableFile("/f", &wf).ok());
+  ASSERT_TRUE(wf->Append(Slice("data")).ok());
+
+  env_->FailNthRead(2);
+  std::unique_ptr<RandomAccessFile> rf;
+  ASSERT_TRUE(env_->NewRandomAccessFile("/f", &rf).ok());
+  char scratch[8];
+  Slice result;
+  EXPECT_TRUE(rf->Read(0, 4, &result, scratch).ok());     // 1st read ok
+  EXPECT_TRUE(rf->Read(0, 4, &result, scratch).IsIOError());  // 2nd fails
+  EXPECT_TRUE(rf->Read(0, 4, &result, scratch).ok());     // disarmed again
+  EXPECT_EQ(env_->injected_failures(), 1u);
+}
+
+TEST_F(FaultInjectionTest, WalAppendFailureSurfacesToPut) {
+  env_->FailNthWrite(1);
+  Status s = db_->Put(WriteOptions(), Slice("k"), Slice("v"));
+  EXPECT_TRUE(s.IsIOError());
+  // The DB remains usable afterwards.
+  EXPECT_TRUE(db_->Put(WriteOptions(), Slice("k"), Slice("v2")).ok());
+  std::string value;
+  EXPECT_TRUE(db_->Get(ReadOptions(), Slice("k"), &value).ok());
+  EXPECT_EQ(value, "v2");
+}
+
+TEST_F(FaultInjectionTest, SstReadFailureSurfacesToGetWithoutCrashing) {
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice("key" + std::to_string(i)),
+                         Slice(std::string(64, 'v'))).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+
+  env_->SetFailAll(true);
+  std::string value;
+  Status s = db_->Get(ReadOptions(), Slice("key50"), &value);
+  // The lookup cannot succeed; it must degrade to a clean non-OK outcome
+  // (NotFound via an aborted search or an explicit error), never a crash.
+  EXPECT_FALSE(s.ok());
+  env_->SetFailAll(false);
+  EXPECT_TRUE(db_->Get(ReadOptions(), Slice("key50"), &value).ok());
+}
+
+TEST_F(FaultInjectionTest, FlushFailurePropagatesAndDbSurvives) {
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice("k" + std::to_string(i)),
+                         Slice("v")).ok());
+  }
+  env_->SetFailFileCreation(true);
+  Status s = db_->FlushMemTable();
+  EXPECT_TRUE(s.IsIOError());
+  env_->SetFailFileCreation(false);
+  // Data is still in the memtable; flush succeeds when storage recovers.
+  EXPECT_TRUE(db_->FlushMemTable().ok());
+  std::string value;
+  EXPECT_TRUE(db_->Get(ReadOptions(), Slice("k1"), &value).ok());
+}
+
+TEST_F(FaultInjectionTest, IteratorReportsErrorStatus) {
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice("key" + std::to_string(i)),
+                         Slice(std::string(32, 'v'))).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  env_->FailNthRead(3);
+  std::unique_ptr<lsm::Iterator> it(db_->NewIterator(ReadOptions()));
+  int visited = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) visited++;
+  // Either the iterator stopped early with an error, or the fault landed on
+  // a non-critical path; in all cases no crash and status is reported.
+  if (visited < 200) {
+    EXPECT_FALSE(it->status().ok());
+  }
+}
+
+}  // namespace
+}  // namespace adcache

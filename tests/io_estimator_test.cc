@@ -1,0 +1,113 @@
+#include "core/io_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/stats_collector.h"
+
+namespace adcache::core {
+namespace {
+
+TEST(IoEstimatorTest, BloomFprDropsWithBits) {
+  EXPECT_DOUBLE_EQ(IoEstimator::BloomFprForBitsPerKey(0), 1.0);
+  double fpr10 = IoEstimator::BloomFprForBitsPerKey(10);
+  EXPECT_GT(fpr10, 0.0);
+  EXPECT_LT(fpr10, 0.02);  // paper: ~1% at 10 bits/key
+  EXPECT_LT(IoEstimator::BloomFprForBitsPerKey(20), fpr10);
+}
+
+TEST(IoEstimatorTest, PointOnlyMatchesPaperFormula) {
+  WindowStats w;
+  w.point_lookups = 1000;
+  LsmShapeParams shape;
+  shape.bloom_fpr = 0.01;
+  // IO_estimate = p * (1 + FPR).
+  EXPECT_NEAR(IoEstimator::EstimateIo(w, shape), 1000 * 1.01, 1e-9);
+}
+
+TEST(IoEstimatorTest, ScanCostIncludesSeekAndDataBlocks) {
+  WindowStats w;
+  w.scans = 100;
+  w.scan_keys = 100 * 16;  // l = 16
+  LsmShapeParams shape;
+  shape.num_levels = 4;
+  shape.l0_max_runs = 8;
+  shape.entries_per_block = 4;
+  shape.bloom_fpr = 0;
+  // Per scan: l/B + (L + r0max/2 - 1) = 4 + (4 + 4 - 1) = 11.
+  EXPECT_NEAR(IoEstimator::EstimateIo(w, shape), 100 * 11.0, 1e-9);
+}
+
+TEST(IoEstimatorTest, HitRateZeroWhenMissesMatchEstimate) {
+  WindowStats w;
+  w.point_lookups = 100;
+  LsmShapeParams shape;
+  shape.bloom_fpr = 0;
+  w.block_reads = 100;
+  EXPECT_NEAR(IoEstimator::EstimateHitRate(w, shape), 0.0, 1e-9);
+}
+
+TEST(IoEstimatorTest, HitRateOneWithNoMisses) {
+  WindowStats w;
+  w.point_lookups = 100;
+  w.block_reads = 0;
+  LsmShapeParams shape;
+  EXPECT_NEAR(IoEstimator::EstimateHitRate(w, shape), 1.0, 0.02);
+}
+
+TEST(IoEstimatorTest, HitRateClampedToUnitInterval) {
+  WindowStats w;
+  w.point_lookups = 10;
+  w.block_reads = 10000;  // more misses than the estimate (e.g. L0 pileup)
+  LsmShapeParams shape;
+  EXPECT_EQ(IoEstimator::EstimateHitRate(w, shape), 0.0);
+}
+
+TEST(IoEstimatorTest, EmptyWindowYieldsZero) {
+  WindowStats w;
+  LsmShapeParams shape;
+  EXPECT_EQ(IoEstimator::EstimateHitRate(w, shape), 0.0);
+}
+
+TEST(StatsCollectorTest, HarvestReturnsWindowDeltas) {
+  StatsCollector stats;
+  stats.RecordPointLookup(true);
+  stats.RecordPointLookup(false);
+  stats.RecordScan(16, false);
+  stats.RecordWrite();
+  WindowStats w1 = stats.Harvest(50, 2, 3);
+  EXPECT_EQ(w1.point_lookups, 2u);
+  EXPECT_EQ(w1.scans, 1u);
+  EXPECT_EQ(w1.writes, 1u);
+  EXPECT_EQ(w1.scan_keys, 16u);
+  EXPECT_EQ(w1.range_point_hits, 1u);
+  EXPECT_EQ(w1.block_reads, 50u);
+  EXPECT_EQ(w1.compactions, 2u);
+  EXPECT_EQ(w1.flushes, 3u);
+
+  stats.RecordScan(8, true);
+  WindowStats w2 = stats.Harvest(70, 2, 4);
+  EXPECT_EQ(w2.point_lookups, 0u);
+  EXPECT_EQ(w2.scans, 1u);
+  EXPECT_EQ(w2.range_scan_hits, 1u);
+  EXPECT_EQ(w2.block_reads, 20u);
+  EXPECT_EQ(w2.compactions, 0u);
+  EXPECT_EQ(w2.flushes, 1u);
+}
+
+TEST(StatsCollectorTest, RatiosAndAverages) {
+  WindowStats w;
+  w.point_lookups = 50;
+  w.scans = 25;
+  w.writes = 25;
+  w.scan_keys = 400;
+  EXPECT_DOUBLE_EQ(w.PointRatio(), 0.5);
+  EXPECT_DOUBLE_EQ(w.ScanRatio(), 0.25);
+  EXPECT_DOUBLE_EQ(w.WriteRatio(), 0.25);
+  EXPECT_DOUBLE_EQ(w.AvgScanLength(), 16.0);
+  WindowStats empty;
+  EXPECT_DOUBLE_EQ(empty.PointRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.AvgScanLength(), 0.0);
+}
+
+}  // namespace
+}  // namespace adcache::core

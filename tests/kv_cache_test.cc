@@ -1,0 +1,68 @@
+#include "cache/kv_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace adcache {
+namespace {
+
+TEST(KvCacheTest, PutGetRoundTrip) {
+  KvCache cache(1 << 16);
+  cache.Put(Slice("k"), Slice("v"));
+  std::string value;
+  EXPECT_TRUE(cache.Get(Slice("k"), &value));
+  EXPECT_EQ(value, "v");
+  EXPECT_FALSE(cache.Get(Slice("missing"), &value));
+}
+
+TEST(KvCacheTest, OverwriteReplaces) {
+  KvCache cache(1 << 16);
+  cache.Put(Slice("k"), Slice("v1"));
+  cache.Put(Slice("k"), Slice("v2"));
+  std::string value;
+  EXPECT_TRUE(cache.Get(Slice("k"), &value));
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(KvCacheTest, EraseInvalidates) {
+  KvCache cache(1 << 16);
+  cache.Put(Slice("k"), Slice("v"));
+  cache.Erase(Slice("k"));
+  std::string value;
+  EXPECT_FALSE(cache.Get(Slice("k"), &value));
+}
+
+TEST(KvCacheTest, CapacityBoundsUsage) {
+  KvCache cache(4096);
+  for (int i = 0; i < 200; i++) {
+    cache.Put(Slice("key" + std::to_string(i)), Slice(std::string(100, 'v')));
+  }
+  EXPECT_LE(cache.GetUsage(), 4096u);
+  // Recent entries survive, oldest are gone.
+  std::string value;
+  EXPECT_TRUE(cache.Get(Slice("key199"), &value));
+  EXPECT_FALSE(cache.Get(Slice("key0"), &value));
+}
+
+TEST(KvCacheTest, HitMissCountersTrack) {
+  KvCache cache(1 << 16);
+  cache.Put(Slice("k"), Slice("v"));
+  std::string value;
+  cache.Get(Slice("k"), &value);
+  cache.Get(Slice("nope"), &value);
+  EXPECT_GE(cache.hits(), 1u);
+  EXPECT_GE(cache.misses(), 1u);
+}
+
+TEST(KvCacheTest, SetCapacityShrinks) {
+  KvCache cache(1 << 16);
+  for (int i = 0; i < 50; i++) {
+    cache.Put(Slice("key" + std::to_string(i)), Slice(std::string(100, 'v')));
+  }
+  cache.SetCapacity(1024);
+  EXPECT_LE(cache.GetUsage(), 1024u);
+}
+
+}  // namespace
+}  // namespace adcache

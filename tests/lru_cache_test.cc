@@ -1,0 +1,189 @@
+#include "cache/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace adcache {
+namespace {
+
+int g_deleted_count = 0;
+
+void CountingDeleter(const Slice& /*key*/, void* value) {
+  g_deleted_count++;
+  delete static_cast<int*>(value);
+}
+
+class LruCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_deleted_count = 0;
+    cache_ = NewLRUCache(1000, 0);  // single shard for determinism
+  }
+
+  // Inserts key -> value with charge `charge`.
+  void Insert(const std::string& key, int value, size_t charge = 1) {
+    Cache::Handle* h =
+        cache_->Insert(Slice(key), new int(value), charge, &CountingDeleter);
+    cache_->Release(h);
+  }
+
+  // Returns -1 on miss.
+  int Lookup(const std::string& key) {
+    Cache::Handle* h = cache_->Lookup(Slice(key));
+    if (h == nullptr) return -1;
+    int r = *static_cast<int*>(cache_->Value(h));
+    cache_->Release(h);
+    return r;
+  }
+
+  std::shared_ptr<Cache> cache_;
+};
+
+TEST_F(LruCacheTest, InsertAndLookup) {
+  Insert("a", 1);
+  Insert("b", 2);
+  EXPECT_EQ(Lookup("a"), 1);
+  EXPECT_EQ(Lookup("b"), 2);
+  EXPECT_EQ(Lookup("c"), -1);
+}
+
+TEST_F(LruCacheTest, HitMissCounters) {
+  Insert("a", 1);
+  Lookup("a");
+  Lookup("a");
+  Lookup("missing");
+  EXPECT_EQ(cache_->hits(), 2u);
+  EXPECT_EQ(cache_->misses(), 1u);
+}
+
+TEST_F(LruCacheTest, OverwriteReplacesValue) {
+  Insert("k", 1);
+  Insert("k", 2);
+  EXPECT_EQ(Lookup("k"), 2);
+  EXPECT_EQ(g_deleted_count, 1);  // first value freed
+}
+
+TEST_F(LruCacheTest, EvictsLeastRecentlyUsed) {
+  for (int i = 0; i < 10; i++) {
+    Insert("k" + std::to_string(i), i, 100);  // fills capacity exactly
+  }
+  // Touch k0 so k1 becomes the LRU victim.
+  EXPECT_EQ(Lookup("k0"), 0);
+  Insert("new", 99, 100);
+  EXPECT_EQ(Lookup("k0"), 0);
+  EXPECT_EQ(Lookup("k1"), -1);
+  EXPECT_EQ(Lookup("new"), 99);
+}
+
+TEST_F(LruCacheTest, UsageTracksCharges) {
+  Insert("a", 1, 300);
+  Insert("b", 2, 400);
+  EXPECT_EQ(cache_->GetUsage(), 700u);
+  cache_->Erase(Slice("a"));
+  EXPECT_EQ(cache_->GetUsage(), 400u);
+}
+
+TEST_F(LruCacheTest, PinnedEntriesSurviveEviction) {
+  Cache::Handle* pinned =
+      cache_->Insert(Slice("pinned"), new int(7), 600, &CountingDeleter);
+  // This would evict "pinned" if it were unpinned; it must survive.
+  Insert("big", 8, 600);
+  EXPECT_EQ(*static_cast<int*>(cache_->Value(pinned)), 7);
+  // Usage can exceed capacity while entries are pinned.
+  EXPECT_GE(cache_->GetUsage(), 600u);
+  cache_->Release(pinned);
+  // After release, inserting more evicts it normally.
+  Insert("more", 9, 600);
+  EXPECT_EQ(Lookup("pinned"), -1);
+}
+
+TEST_F(LruCacheTest, EraseRemovesEntry) {
+  Insert("a", 1);
+  cache_->Erase(Slice("a"));
+  EXPECT_EQ(Lookup("a"), -1);
+  EXPECT_EQ(g_deleted_count, 1);
+  cache_->Erase(Slice("a"));  // idempotent
+}
+
+TEST_F(LruCacheTest, PruneDropsEverythingUnpinned) {
+  Insert("a", 1);
+  Insert("b", 2);
+  Cache::Handle* pinned =
+      cache_->Insert(Slice("c"), new int(3), 1, &CountingDeleter);
+  cache_->Prune();
+  EXPECT_EQ(Lookup("a"), -1);
+  EXPECT_EQ(Lookup("b"), -1);
+  EXPECT_EQ(*static_cast<int*>(cache_->Value(pinned)), 3);
+  cache_->Release(pinned);
+}
+
+TEST_F(LruCacheTest, SetCapacityShrinkEvicts) {
+  for (int i = 0; i < 5; i++) Insert("k" + std::to_string(i), i, 200);
+  cache_->SetCapacity(400);
+  EXPECT_LE(cache_->GetUsage(), 400u);
+  EXPECT_EQ(Lookup("k4"), 4);  // most recent survives
+}
+
+TEST_F(LruCacheTest, ZeroCapacityHoldsNothing) {
+  cache_->SetCapacity(0);
+  Insert("a", 1, 10);
+  EXPECT_EQ(Lookup("a"), -1);
+}
+
+TEST_F(LruCacheTest, EntryLargerThanCapacityEvictedImmediately) {
+  Insert("huge", 1, 5000);
+  EXPECT_EQ(Lookup("huge"), -1);
+  EXPECT_EQ(cache_->GetUsage(), 0u);
+}
+
+TEST(ShardedLruCacheTest, WorksAcrossShards) {
+  auto cache = NewLRUCache(1 << 16, 4);  // 16 shards
+  for (int i = 0; i < 1000; i++) {
+    std::string key = "key" + std::to_string(i);
+    Cache::Handle* h = cache->Insert(
+        Slice(key), new int(i), 16,
+        [](const Slice&, void* v) { delete static_cast<int*>(v); });
+    cache->Release(h);
+  }
+  int found = 0;
+  for (int i = 0; i < 1000; i++) {
+    std::string key = "key" + std::to_string(i);
+    Cache::Handle* h = cache->Lookup(Slice(key));
+    if (h != nullptr) {
+      EXPECT_EQ(*static_cast<int*>(cache->Value(h)), i);
+      cache->Release(h);
+      found++;
+    }
+  }
+  EXPECT_EQ(found, 1000);
+}
+
+TEST(ShardedLruCacheTest, ConcurrentMixedOperations) {
+  auto cache = NewLRUCache(64 * 1024, 3);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; t++) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 2000; i++) {
+        std::string key = "key" + std::to_string((t * 31 + i) % 500);
+        Cache::Handle* h = cache->Lookup(Slice(key));
+        if (h != nullptr) {
+          cache->Release(h);
+        } else {
+          h = cache->Insert(
+              Slice(key), new int(i), 64,
+              [](const Slice&, void* v) { delete static_cast<int*>(v); });
+          cache->Release(h);
+        }
+        if (i % 97 == 0) cache->Erase(Slice(key));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache->GetUsage(), cache->GetCapacity() + 8 * 64);
+}
+
+}  // namespace
+}  // namespace adcache

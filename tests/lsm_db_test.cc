@@ -1,0 +1,273 @@
+#include "lsm/db.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "cache/cache.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace adcache::lsm {
+namespace {
+
+class LsmDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    options_.env = env_.get();
+    // Small sizes force flushes and compactions quickly.
+    options_.block_size = 512;
+    options_.table_file_size = 8 * 1024;
+    options_.memtable_size = 16 * 1024;
+    options_.level1_size_base = 32 * 1024;
+    options_.block_cache = NewLRUCache(1 << 20, 0);
+    Reopen();
+  }
+
+  void Reopen() {
+    db_.reset();
+    ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  }
+
+  Status Put(const std::string& k, const std::string& v) {
+    return db_->Put(WriteOptions(), Slice(k), Slice(v));
+  }
+  Status Del(const std::string& k) {
+    return db_->Delete(WriteOptions(), Slice(k));
+  }
+  std::string Get(const std::string& k) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), Slice(k), &value);
+    return s.ok() ? value : "NOT_FOUND";
+  }
+
+  static std::string Key(int i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%06d", i);
+    return buf;
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(LsmDbTest, PutGetFromMemtable) {
+  ASSERT_TRUE(Put("a", "1").ok());
+  EXPECT_EQ(Get("a"), "1");
+  EXPECT_EQ(Get("b"), "NOT_FOUND");
+}
+
+TEST_F(LsmDbTest, OverwriteReturnsLatest) {
+  ASSERT_TRUE(Put("k", "v1").ok());
+  ASSERT_TRUE(Put("k", "v2").ok());
+  EXPECT_EQ(Get("k"), "v2");
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  EXPECT_EQ(Get("k"), "v2");
+  ASSERT_TRUE(Put("k", "v3").ok());
+  EXPECT_EQ(Get("k"), "v3");
+}
+
+TEST_F(LsmDbTest, DeleteHidesKeyAcrossFlush) {
+  ASSERT_TRUE(Put("k", "v").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(Del("k").ok());
+  EXPECT_EQ(Get("k"), "NOT_FOUND");
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  EXPECT_EQ(Get("k"), "NOT_FOUND");
+}
+
+TEST_F(LsmDbTest, GetAfterFlushReadsFromSstables) {
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(Put(Key(i), "value" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  EXPECT_GE(db_->GetLsmShape().files_per_level[0] +
+                db_->GetLsmShape().files_per_level[1],
+            1);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(Get(Key(i)), "value" + std::to_string(i));
+  }
+}
+
+TEST_F(LsmDbTest, ManyWritesTriggerCompactionAndStayReadable) {
+  std::map<std::string, std::string> model;
+  Random rng(42);
+  for (int i = 0; i < 5000; i++) {
+    std::string k = Key(static_cast<int>(rng.Uniform(800)));
+    std::string v = "v" + std::to_string(i);
+    ASSERT_TRUE(Put(k, v).ok());
+    model[k] = v;
+  }
+  DB::LsmShape shape = db_->GetLsmShape();
+  EXPECT_GT(shape.flush_count, 0u);
+  EXPECT_GT(shape.compaction_count, 0u);
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ(Get(k), v) << k;
+  }
+}
+
+TEST_F(LsmDbTest, IteratorSeesLatestValuesOnly) {
+  for (int i = 0; i < 50; i++) ASSERT_TRUE(Put(Key(i), "old").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  for (int i = 0; i < 50; i += 2) ASSERT_TRUE(Put(Key(i), "new").ok());
+  ASSERT_TRUE(Del(Key(49)).ok());
+
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  int count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    int i = count;
+    EXPECT_EQ(it->key().ToString(), Key(i));
+    EXPECT_EQ(it->value().ToString(), (i % 2 == 0) ? "new" : "old");
+    count++;
+  }
+  EXPECT_EQ(count, 49);  // key 49 deleted
+}
+
+TEST_F(LsmDbTest, IteratorSeekStartsMidRange) {
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(Put(Key(i), std::to_string(i)).ok());
+  }
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  it->Seek(Slice(Key(42)));
+  for (int i = 42; i < 52; i++) {
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(it->key().ToString(), Key(i));
+    it->Next();
+  }
+}
+
+TEST_F(LsmDbTest, IteratorIsSnapshotConsistent) {
+  ASSERT_TRUE(Put("a", "1").ok());
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  ASSERT_TRUE(Put("b", "2").ok());
+  ASSERT_TRUE(Put("a", "1b").ok());
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), "a");
+  EXPECT_EQ(it->value().ToString(), "1");  // pre-snapshot value
+  it->Next();
+  EXPECT_FALSE(it->Valid());  // "b" written after the snapshot
+}
+
+TEST_F(LsmDbTest, ScanSpansMemtableAndLevels) {
+  // Interleave keys so the merged view must weave memtable + L0 + L1.
+  for (int i = 0; i < 100; i += 3) ASSERT_TRUE(Put(Key(i), "a").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->CompactAll().ok());
+  for (int i = 1; i < 100; i += 3) ASSERT_TRUE(Put(Key(i), "b").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  for (int i = 2; i < 100; i += 3) ASSERT_TRUE(Put(Key(i), "c").ok());
+
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  int count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_EQ(it->key().ToString(), Key(count));
+    count++;
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST_F(LsmDbTest, RecoveryFromWalRestoresUnflushedWrites) {
+  ASSERT_TRUE(Put("persist1", "v1").ok());
+  ASSERT_TRUE(Put("persist2", "v2").ok());
+  Reopen();  // nothing flushed; WAL replay must recover both
+  EXPECT_EQ(Get("persist1"), "v1");
+  EXPECT_EQ(Get("persist2"), "v2");
+}
+
+TEST_F(LsmDbTest, RecoveryFromManifestRestoresSstables) {
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(Put(Key(i), "stable" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(Put("after_flush", "wal_only").ok());
+  Reopen();
+  for (int i = 0; i < 200; i++) {
+    EXPECT_EQ(Get(Key(i)), "stable" + std::to_string(i));
+  }
+  EXPECT_EQ(Get("after_flush"), "wal_only");
+}
+
+TEST_F(LsmDbTest, SequenceOrderSurvivesRecovery) {
+  ASSERT_TRUE(Put("k", "first").ok());
+  ASSERT_TRUE(Put("k", "second").ok());
+  Reopen();
+  EXPECT_EQ(Get("k"), "second");
+  ASSERT_TRUE(Put("k", "third").ok());
+  EXPECT_EQ(Get("k"), "third");
+}
+
+TEST_F(LsmDbTest, CompactionRemovesObsoleteFiles) {
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(Put(Key(i % 100), std::string(100, 'x')).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->CompactAll().ok());
+  DB::LsmShape shape = db_->GetLsmShape();
+  // After full compaction, L0 must be small (below trigger).
+  EXPECT_LT(shape.l0_files, options_.l0_compaction_trigger);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(Get(Key(i)), std::string(100, 'x'));
+  }
+}
+
+TEST_F(LsmDbTest, ShapeStatsReflectTreeStructure) {
+  DB::LsmShape empty = db_->GetLsmShape();
+  EXPECT_EQ(empty.sorted_runs, 0);
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(Put(Key(i), std::string(64, 'v')).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  DB::LsmShape shape = db_->GetLsmShape();
+  EXPECT_GE(shape.sorted_runs, 1);
+  EXPECT_GE(shape.num_levels_nonempty, 1);
+  EXPECT_GT(shape.entries_per_block, 0);
+}
+
+TEST_F(LsmDbTest, ConcurrentReadersDuringWrites) {
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(Put(Key(i), "base").ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> read_errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; t++) {
+    readers.emplace_back([&, t] {
+      Random rng(static_cast<uint64_t>(t) + 1);
+      std::string value;
+      while (!stop.load()) {
+        int i = static_cast<int>(rng.Uniform(500));
+        Status s = db_->Get(ReadOptions(), Slice(Key(i)), &value);
+        if (!s.ok()) read_errors.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(Put(Key(i % 500), "updated" + std::to_string(i)).ok());
+  }
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(read_errors.load(), 0);
+}
+
+TEST_F(LsmDbTest, WalDisabledStillWorksInProcess) {
+  options_.enable_wal = false;
+  Reopen();
+  ASSERT_TRUE(Put("x", "1").ok());
+  EXPECT_EQ(Get("x"), "1");
+}
+
+TEST_F(LsmDbTest, EmptyKeyAndValueSupported) {
+  ASSERT_TRUE(Put("k", "").ok());
+  EXPECT_EQ(Get("k"), "");
+}
+
+}  // namespace
+}  // namespace adcache::lsm

@@ -1,0 +1,146 @@
+#include "lsm/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace adcache::lsm {
+namespace {
+
+class MemTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mem_ = new MemTable();
+    mem_->Ref();
+  }
+  void TearDown() override { mem_->Unref(); }
+
+  MemTable* mem_;
+};
+
+TEST_F(MemTableTest, AddThenGet) {
+  mem_->Add(1, kTypeValue, Slice("key"), Slice("value"));
+  std::string value;
+  bool deleted = false;
+  ASSERT_TRUE(mem_->Get(Slice("key"), 10, &value, &deleted));
+  EXPECT_FALSE(deleted);
+  EXPECT_EQ(value, "value");
+}
+
+TEST_F(MemTableTest, MissingKeyNotFound) {
+  mem_->Add(1, kTypeValue, Slice("key"), Slice("value"));
+  std::string value;
+  bool deleted = false;
+  EXPECT_FALSE(mem_->Get(Slice("other"), 10, &value, &deleted));
+  // Prefix of an existing key must not match.
+  EXPECT_FALSE(mem_->Get(Slice("ke"), 10, &value, &deleted));
+  // Extension of an existing key must not match.
+  EXPECT_FALSE(mem_->Get(Slice("keyy"), 10, &value, &deleted));
+}
+
+TEST_F(MemTableTest, NewestVisibleVersionWins) {
+  mem_->Add(1, kTypeValue, Slice("k"), Slice("v1"));
+  mem_->Add(5, kTypeValue, Slice("k"), Slice("v5"));
+  mem_->Add(9, kTypeValue, Slice("k"), Slice("v9"));
+  std::string value;
+  bool deleted = false;
+  ASSERT_TRUE(mem_->Get(Slice("k"), 100, &value, &deleted));
+  EXPECT_EQ(value, "v9");
+  // A snapshot between versions sees the right one.
+  ASSERT_TRUE(mem_->Get(Slice("k"), 6, &value, &deleted));
+  EXPECT_EQ(value, "v5");
+  ASSERT_TRUE(mem_->Get(Slice("k"), 1, &value, &deleted));
+  EXPECT_EQ(value, "v1");
+  // Before the first version: nothing visible.
+  EXPECT_FALSE(mem_->Get(Slice("k"), 0, &value, &deleted));
+}
+
+TEST_F(MemTableTest, TombstoneReported) {
+  mem_->Add(1, kTypeValue, Slice("k"), Slice("v"));
+  mem_->Add(2, kTypeDeletion, Slice("k"), Slice(""));
+  std::string value;
+  bool deleted = false;
+  ASSERT_TRUE(mem_->Get(Slice("k"), 10, &value, &deleted));
+  EXPECT_TRUE(deleted);
+  // The old version is still visible at the old snapshot.
+  ASSERT_TRUE(mem_->Get(Slice("k"), 1, &value, &deleted));
+  EXPECT_FALSE(deleted);
+  EXPECT_EQ(value, "v");
+}
+
+TEST_F(MemTableTest, IteratorYieldsInternalKeyOrder) {
+  mem_->Add(3, kTypeValue, Slice("b"), Slice("vb"));
+  mem_->Add(1, kTypeValue, Slice("a"), Slice("va"));
+  mem_->Add(2, kTypeValue, Slice("c"), Slice("vc"));
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  std::vector<std::string> user_keys;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    user_keys.push_back(ExtractUserKey(iter->key()).ToString());
+  }
+  EXPECT_EQ(user_keys, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(MemTableTest, IteratorSeek) {
+  for (int i = 0; i < 100; i++) {
+    char key[8];
+    snprintf(key, sizeof(key), "k%03d", i);
+    mem_->Add(static_cast<SequenceNumber>(i + 1), kTypeValue, Slice(key),
+              Slice("v"));
+  }
+  std::unique_ptr<Iterator> iter(mem_->NewIterator());
+  iter->Seek(Slice(MakeLookupKey("k050", kMaxSequenceNumber)));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), "k050");
+}
+
+TEST_F(MemTableTest, IteratorPinsMemtable) {
+  mem_->Add(1, kTypeValue, Slice("k"), Slice("v"));
+  Iterator* iter = mem_->NewIterator();
+  // Drop our reference; the iterator's reference must keep it alive.
+  mem_->Ref();  // balance TearDown
+  mem_->Unref();
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), "k");
+  delete iter;
+}
+
+TEST_F(MemTableTest, MemoryUsageGrows) {
+  size_t before = mem_->ApproximateMemoryUsage();
+  for (int i = 0; i < 100; i++) {
+    mem_->Add(static_cast<SequenceNumber>(i), kTypeValue,
+              Slice("key" + std::to_string(i)), Slice(std::string(100, 'v')));
+  }
+  EXPECT_GT(mem_->ApproximateMemoryUsage(), before + 100 * 100);
+  EXPECT_EQ(mem_->num_entries(), 100u);
+}
+
+TEST(InternalKeyTest, ComparatorOrdersUserKeyAscSeqDesc) {
+  InternalKeyComparator cmp;
+  std::string a1 = MakeInternalKey("a", 1, kTypeValue);
+  std::string a9 = MakeInternalKey("a", 9, kTypeValue);
+  std::string b1 = MakeInternalKey("b", 1, kTypeValue);
+  EXPECT_LT(cmp.Compare(Slice(a9), Slice(a1)), 0);  // higher seq first
+  EXPECT_LT(cmp.Compare(Slice(a1), Slice(b1)), 0);  // user key asc
+  EXPECT_EQ(cmp.Compare(Slice(a1), Slice(a1)), 0);
+}
+
+TEST(InternalKeyTest, ParseRoundTrip) {
+  std::string ik = MakeInternalKey("user_key", 12345, kTypeDeletion);
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(Slice(ik), &parsed));
+  EXPECT_EQ(parsed.user_key.ToString(), "user_key");
+  EXPECT_EQ(parsed.sequence, 12345u);
+  EXPECT_EQ(parsed.type, kTypeDeletion);
+}
+
+TEST(InternalKeyTest, MalformedRejected) {
+  ParsedInternalKey parsed;
+  EXPECT_FALSE(ParseInternalKey(Slice("short"), &parsed));
+  std::string bad_type = MakeInternalKey("k", 1, kTypeValue);
+  bad_type[bad_type.size() - 8] = 0x7f;  // invalid type byte
+  EXPECT_FALSE(ParseInternalKey(Slice(bad_type), &parsed));
+}
+
+}  // namespace
+}  // namespace adcache::lsm

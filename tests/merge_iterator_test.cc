@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "lsm/block.h"
+#include "lsm/block_builder.h"
+#include "lsm/dbformat.h"
+#include "lsm/version.h"
+#include "util/random.h"
+
+namespace adcache::lsm {
+namespace {
+
+// Builds a Block-backed iterator over the given (user_key -> value) pairs.
+class RunFixture {
+ public:
+  explicit RunFixture(const std::map<std::string, std::string>& entries,
+                      SequenceNumber seq) {
+    BlockBuilder builder(4);
+    for (const auto& [k, v] : entries) {
+      builder.Add(Slice(MakeInternalKey(k, seq, kTypeValue)), Slice(v));
+    }
+    block_ = std::make_unique<Block>(builder.Finish().ToString());
+  }
+
+  Iterator* NewIterator() const { return block_->NewIterator(&cmp_); }
+
+ private:
+  std::unique_ptr<Block> block_;
+  InternalKeyComparator cmp_;
+};
+
+TEST(MergeIteratorTest, InterleavesSortedRuns) {
+  std::map<std::string, std::string> run1, run2, run3;
+  for (int i = 0; i < 30; i += 3) run1["k" + std::to_string(100 + i)] = "a";
+  for (int i = 1; i < 30; i += 3) run2["k" + std::to_string(100 + i)] = "b";
+  for (int i = 2; i < 30; i += 3) run3["k" + std::to_string(100 + i)] = "c";
+  RunFixture f1(run1, 1), f2(run2, 2), f3(run3, 3);
+
+  InternalKeyComparator cmp;
+  std::unique_ptr<Iterator> merged(NewMergingIterator(
+      &cmp, {f1.NewIterator(), f2.NewIterator(), f3.NewIterator()}));
+
+  int count = 0;
+  std::string prev;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    std::string user_key = ExtractUserKey(merged->key()).ToString();
+    EXPECT_LT(prev, user_key);
+    prev = user_key;
+    count++;
+  }
+  EXPECT_EQ(count, 30);
+}
+
+TEST(MergeIteratorTest, DuplicateUserKeysOrderedBySeqDesc) {
+  std::map<std::string, std::string> old_run{{"k", "old"}};
+  std::map<std::string, std::string> new_run{{"k", "new"}};
+  RunFixture older(old_run, 5), newer(new_run, 9);
+
+  InternalKeyComparator cmp;
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(&cmp, {older.NewIterator(), newer.NewIterator()}));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->value().ToString(), "new");  // higher sequence first
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->value().ToString(), "old");
+}
+
+TEST(MergeIteratorTest, SeekPositionsAllChildren) {
+  std::map<std::string, std::string> run1, run2;
+  for (int i = 0; i < 20; i++) run1["a" + std::to_string(i)] = "1";
+  for (int i = 0; i < 20; i++) run2["b" + std::to_string(i)] = "2";
+  RunFixture f1(run1, 1), f2(run2, 2);
+
+  InternalKeyComparator cmp;
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(&cmp, {f1.NewIterator(), f2.NewIterator()}));
+  merged->Seek(Slice(MakeLookupKey("b", kMaxSequenceNumber)));
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(ExtractUserKey(merged->key()).ToString(), "b0");
+}
+
+TEST(MergeIteratorTest, EmptyChildrenHandled) {
+  InternalKeyComparator cmp;
+  std::unique_ptr<Iterator> merged(NewMergingIterator(
+      &cmp, {NewEmptyIterator(), NewEmptyIterator()}));
+  merged->SeekToFirst();
+  EXPECT_FALSE(merged->Valid());
+  merged->Seek(Slice(MakeLookupKey("x", 1)));
+  EXPECT_FALSE(merged->Valid());
+}
+
+TEST(MergeIteratorTest, RandomizedMatchesReferenceMerge) {
+  Random rng(404);
+  std::vector<std::map<std::string, std::string>> runs(5);
+  std::map<std::string, std::string> reference;  // newest-wins
+  // Assign ascending sequence per run; later runs shadow earlier ones.
+  for (int r = 0; r < 5; r++) {
+    for (int i = 0; i < 200; i++) {
+      std::string key = "key" + std::to_string(rng.Uniform(500));
+      std::string value = "r" + std::to_string(r) + "_" + std::to_string(i);
+      runs[static_cast<size_t>(r)][key] = value;
+    }
+  }
+  for (int r = 0; r < 5; r++) {
+    for (const auto& [k, v] : runs[static_cast<size_t>(r)]) {
+      reference[k] = v;  // higher r wins below via seq
+    }
+  }
+  // Rebuild reference honouring "higher run index = newer".
+  reference.clear();
+  for (int r = 4; r >= 0; r--) {
+    for (const auto& [k, v] : runs[static_cast<size_t>(r)]) {
+      reference.emplace(k, v);  // emplace keeps the newest (first inserted)
+    }
+  }
+
+  std::vector<std::unique_ptr<RunFixture>> fixtures;
+  std::vector<Iterator*> children;
+  for (int r = 0; r < 5; r++) {
+    fixtures.push_back(std::make_unique<RunFixture>(
+        runs[static_cast<size_t>(r)], static_cast<SequenceNumber>(r + 1)));
+    children.push_back(fixtures.back()->NewIterator());
+  }
+  InternalKeyComparator cmp;
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(&cmp, std::move(children)));
+
+  // Walk the merge keeping only the first (newest) entry per user key.
+  std::map<std::string, std::string> walked;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    std::string user_key = ExtractUserKey(merged->key()).ToString();
+    walked.emplace(user_key, merged->value().ToString());
+  }
+  EXPECT_EQ(walked, reference);
+}
+
+}  // namespace
+}  // namespace adcache::lsm

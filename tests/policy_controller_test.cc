@@ -1,0 +1,184 @@
+#include "core/policy_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/eviction_policy.h"
+
+namespace adcache::core {
+namespace {
+
+class PolicyControllerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_ = std::make_unique<DynamicCacheComponent>(1 << 20, 0.5,
+                                                     NewLruPolicy());
+    options_.agent.hidden_dim = 32;  // fast tests
+    options_.agent.seed = 3;
+    Rebuild();
+  }
+
+  void Rebuild() {
+    controller_ = std::make_unique<PolicyController>(
+        options_, cache_.get(), &point_admission_, &scan_admission_);
+  }
+
+  WindowStats ReadHeavyWindow(uint64_t block_reads) {
+    WindowStats w;
+    w.point_lookups = 900;
+    w.scans = 50;
+    w.scan_keys = 800;
+    w.writes = 50;
+    w.block_reads = block_reads;
+    return w;
+  }
+
+  LsmShapeParams shape_;
+  std::unique_ptr<DynamicCacheComponent> cache_;
+  PointAdmissionController point_admission_;
+  ScanAdmissionController scan_admission_;
+  ControllerOptions options_;
+  std::unique_ptr<PolicyController> controller_;
+};
+
+TEST_F(PolicyControllerTest, WindowEndAppliesActionWithinBounds) {
+  controller_->OnWindowEnd(ReadHeavyWindow(100), shape_);
+  EXPECT_EQ(controller_->windows_processed(), 1u);
+  EXPECT_GE(cache_->range_ratio(), 0.0);
+  EXPECT_LE(cache_->range_ratio(), 1.0);
+  EXPECT_GE(scan_admission_.b(), 0.0);
+  EXPECT_LE(scan_admission_.b(), 1.0);
+  EXPECT_LE(scan_admission_.a(), scan_admission_.max_a());
+}
+
+TEST_F(PolicyControllerTest, RewardIsSmoothedDelta) {
+  controller_->OnWindowEnd(ReadHeavyWindow(500), shape_);
+  double h1 = controller_->smoothed_hit_rate();
+  // A much better window: smoothed hit rate must rise, reward positive.
+  controller_->OnWindowEnd(ReadHeavyWindow(10), shape_);
+  EXPECT_GT(controller_->smoothed_hit_rate(), h1);
+  EXPECT_GT(controller_->last_reward(), 0.0);
+  // A much worse window: negative reward.
+  controller_->OnWindowEnd(ReadHeavyWindow(2000), shape_);
+  EXPECT_LT(controller_->last_reward(), 0.0);
+}
+
+TEST_F(PolicyControllerTest, AlphaControlsSmoothingSpeed) {
+  options_.alpha = 0.9;
+  Rebuild();
+  controller_->OnWindowEnd(ReadHeavyWindow(900), shape_);
+  controller_->OnWindowEnd(ReadHeavyWindow(0), shape_);
+  double slow = controller_->smoothed_hit_rate();
+
+  options_.alpha = 0.0;
+  Rebuild();
+  controller_->OnWindowEnd(ReadHeavyWindow(900), shape_);
+  controller_->OnWindowEnd(ReadHeavyWindow(0), shape_);
+  double fast = controller_->smoothed_hit_rate();
+  // alpha=0 tracks the latest window exactly; alpha=0.9 lags behind.
+  EXPECT_GT(fast, slow);
+  EXPECT_NEAR(fast, 1.0, 0.05);
+}
+
+TEST_F(PolicyControllerTest, AblationFlagsFreezeControls) {
+  options_.enable_partitioning = false;
+  options_.enable_admission = false;
+  Rebuild();
+  double ratio_before = cache_->range_ratio();
+  double a_before = scan_admission_.a();
+  double thr_before = point_admission_.threshold();
+  for (int i = 0; i < 5; i++) {
+    controller_->OnWindowEnd(ReadHeavyWindow(100 + i * 50), shape_);
+  }
+  EXPECT_EQ(cache_->range_ratio(), ratio_before);
+  EXPECT_EQ(scan_admission_.a(), a_before);
+  EXPECT_EQ(point_admission_.threshold(), thr_before);
+}
+
+TEST_F(PolicyControllerTest, OfflineModeAppliesPolicyWithoutLearning) {
+  options_.online_learning = false;
+  Rebuild();
+  controller_->PretrainHeuristic(500, 9);
+  // With learning disabled the policy is a fixed function of the state;
+  // repeated near-identical windows keep the configuration stable (the
+  // state still evolves slightly through h_smoothed and the applied ratio,
+  // so allow small drift but no policy-gradient wander).
+  controller_->OnWindowEnd(ReadHeavyWindow(100), shape_);
+  double r1 = cache_->range_ratio();
+  for (int i = 0; i < 10; i++) {
+    controller_->OnWindowEnd(ReadHeavyWindow(100), shape_);
+  }
+  double r2 = cache_->range_ratio();
+  EXPECT_NEAR(r1, r2, 0.05);
+}
+
+TEST_F(PolicyControllerTest, SaveLoadRoundTripPreservesPolicy) {
+  controller_->PretrainHeuristic(300, 4);
+  std::string blob;
+  controller_->SaveModel(&blob);
+  EXPECT_GT(blob.size(), 1000u);
+
+  options_.agent.seed = 999;
+  Rebuild();
+  ASSERT_TRUE(controller_->LoadModel(Slice(blob)).ok());
+  // Deterministic behaviour after reload is covered by the agent test; here
+  // we check the blob is architecture-validated.
+  std::string corrupt = blob.substr(0, blob.size() / 2);
+  EXPECT_FALSE(controller_->LoadModel(Slice(corrupt)).ok());
+}
+
+TEST(TargetActionTest, PointHeavyPrefersRangeCache) {
+  //                     point scan write len  ...
+  std::vector<float> s = {0.95f, 0.02f, 0.03f, 0.25f, 0.5f, 0.5f,
+                          0.5f,  0.5f,  0.5f,  0.1f,  0.3f};
+  auto target = PolicyController::TargetActionFor(s);
+  EXPECT_GT(target[0], 0.9f);
+}
+
+TEST(TargetActionTest, ShortScanReadMostlyPrefersBlockCache) {
+  std::vector<float> s = {0.05f, 0.9f, 0.05f, 0.25f, 0.5f, 0.5f,
+                          0.5f,  0.5f, 0.5f,  0.1f,  0.3f};
+  auto target = PolicyController::TargetActionFor(s);
+  EXPECT_LT(target[0], 0.1f);
+}
+
+TEST(TargetActionTest, WriteHeavyPrefersRangeCache) {
+  std::vector<float> s = {0.25f, 0.25f, 0.5f, 0.25f, 0.5f, 0.5f,
+                          0.5f,  0.5f,  0.5f, 0.4f,  0.3f};
+  auto target = PolicyController::TargetActionFor(s);
+  EXPECT_GT(target[0], 0.9f);
+}
+
+TEST(TargetActionTest, LongScanHeavyLeansBlockWithConservativeB) {
+  std::vector<float> s = {0.02f, 0.96f, 0.02f, 1.0f, 0.5f, 0.5f,
+                          0.5f,  0.5f,  0.5f,  0.1f, 0.3f};
+  auto target = PolicyController::TargetActionFor(s);
+  EXPECT_LT(target[0], 0.3f);
+  EXPECT_LT(target[3], 0.5f);  // smaller b for long scans
+}
+
+TEST(TargetActionTest, PretrainedAgentReproducesRuleTable) {
+  DynamicCacheComponent cache(1 << 20, 0.5, NewLruPolicy());
+  PointAdmissionController point;
+  ScanAdmissionController scan;
+  ControllerOptions options;
+  options.agent.hidden_dim = 64;
+  PolicyController controller(options, &cache, &point, &scan);
+  controller.PretrainHeuristic(4000, 8);
+
+  // The learned policy must map representative states near their targets.
+  std::vector<std::vector<float>> states = {
+      {0.95f, 0.02f, 0.03f, 0.25f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.1f, 0.3f},
+      {0.05f, 0.9f, 0.05f, 0.25f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.1f, 0.3f},
+      {0.25f, 0.25f, 0.5f, 0.25f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.4f, 0.3f},
+  };
+  for (const auto& s : states) {
+    auto action = controller.agent()->Act(s, false);
+    auto target = PolicyController::TargetActionFor(s);
+    EXPECT_NEAR(action[0], target[0], 0.25f);
+  }
+}
+
+}  // namespace
+}  // namespace adcache::core

@@ -1,0 +1,152 @@
+// Property-based test: RangeCache must never serve a scan result that
+// disagrees with the ground-truth database, no matter what interleaving of
+// scans, point caches, writes, deletes and capacity changes occurs. The
+// cache is exercised against a std::map model of the DB; every full scan
+// hit is checked entry-by-entry against the model's answer.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cacheus.h"
+#include "cache/lecar.h"
+#include "cache/range_cache.h"
+#include "util/random.h"
+
+namespace adcache {
+namespace {
+
+class Model {
+ public:
+  explicit Model(uint64_t seed) : rng_(seed) {
+    // Seed the "database" with a sparse keyspace so inserts can land
+    // between existing keys.
+    for (int i = 0; i < 400; i++) {
+      db_[KeyOf(i * 5)] = "v" + std::to_string(i);
+    }
+  }
+
+  std::string KeyOf(int i) const {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "k%06d", i);
+    return buf;
+  }
+
+  std::string RandomKey() { return KeyOf(static_cast<int>(rng_.Uniform(2100))); }
+
+  /// Ground-truth scan.
+  std::vector<KvPair> Scan(const std::string& start, size_t n) const {
+    std::vector<KvPair> out;
+    for (auto it = db_.lower_bound(start); it != db_.end() && out.size() < n;
+         ++it) {
+      out.push_back(KvPair{it->first, it->second});
+    }
+    return out;
+  }
+
+  std::map<std::string, std::string> db_;
+  Random rng_;
+};
+
+class RangeCachePropertyTest
+    : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<EvictionPolicy> MakePolicy() {
+    if (GetParam() == "lru") return NewLruPolicy();
+    if (GetParam() == "lfu") return NewLfuPolicy();
+    if (GetParam() == "lecar") return NewLeCaRPolicy(5);
+    return NewCacheusPolicy(5);
+  }
+};
+
+TEST_P(RangeCachePropertyTest, ScanHitsAlwaysMatchGroundTruth) {
+  Model model(101);
+  RangeCache cache(20000, MakePolicy());  // small: constant eviction churn
+  Random rng(202);
+  uint64_t version = 0;
+
+  int hits = 0;
+  for (int step = 0; step < 20000; step++) {
+    int op = static_cast<int>(rng.Uniform(100));
+    if (op < 40) {
+      // Scan: check-then-fill.
+      std::string start = model.RandomKey();
+      size_t n = 1 + rng.Uniform(24);
+      std::vector<KvPair> got;
+      std::vector<KvPair> truth = model.Scan(start, n);
+      if (cache.GetScan(Slice(start), n, &got)) {
+        hits++;
+        ASSERT_EQ(got.size(), truth.size()) << "step " << step;
+        for (size_t i = 0; i < truth.size(); i++) {
+          ASSERT_EQ(got[i].key, truth[i].key) << "step " << step;
+          ASSERT_EQ(got[i].value, truth[i].value) << "step " << step;
+        }
+      } else if (!truth.empty()) {
+        size_t admit = 1 + rng.Uniform(truth.size());
+        cache.PutScan(Slice(start), truth, admit);
+      }
+    } else if (op < 60) {
+      // Point lookup: check-then-fill.
+      std::string key = model.RandomKey();
+      std::string value;
+      auto it = model.db_.find(key);
+      if (cache.Get(Slice(key), &value)) {
+        ASSERT_NE(it, model.db_.end()) << "phantom key " << key;
+        ASSERT_EQ(value, it->second) << "step " << step;
+      } else if (it != model.db_.end()) {
+        cache.PutPoint(Slice(key), Slice(it->second));
+      }
+    } else if (op < 85) {
+      // Write (insert or update).
+      std::string key = model.RandomKey();
+      std::string value = "w" + std::to_string(version++);
+      model.db_[key] = value;
+      cache.InvalidateWrite(Slice(key), Slice(value));
+    } else if (op < 95) {
+      // Delete.
+      std::string key = model.RandomKey();
+      model.db_.erase(key);
+      cache.InvalidateDelete(Slice(key));
+    } else {
+      // Capacity churn.
+      cache.SetCapacity(5000 + rng.Uniform(40000));
+    }
+  }
+  // The test is only meaningful if the cache actually served scans.
+  EXPECT_GT(hits, 50) << "cache never warmed up; property untested";
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, RangeCachePropertyTest,
+                         ::testing::Values("lru", "lfu", "lecar", "cacheus"));
+
+TEST(RangeCacheUsageInvariantTest, UsageNeverExceedsCapacityAfterOps) {
+  RangeCache cache(8192, NewLruPolicy());
+  Random rng(5);
+  for (int step = 0; step < 5000; step++) {
+    std::string key = "key" + std::to_string(rng.Uniform(500));
+    if (rng.OneIn(3)) {
+      std::vector<KvPair> run;
+      for (int j = 0; j < 8; j++) {
+        run.push_back(KvPair{"key" + std::to_string(rng.Uniform(500) + j),
+                             std::string(32, 'v')});
+      }
+      std::sort(run.begin(), run.end(),
+                [](const KvPair& a, const KvPair& b) { return a.key < b.key; });
+      run.erase(std::unique(run.begin(), run.end(),
+                            [](const KvPair& a, const KvPair& b) {
+                              return a.key == b.key;
+                            }),
+                run.end());
+      cache.PutScan(Slice(run.front().key), run, run.size());
+    } else {
+      cache.PutPoint(Slice(key), Slice(std::string(64, 'p')));
+    }
+    ASSERT_LE(cache.GetUsage(), 8192u);
+  }
+}
+
+}  // namespace
+}  // namespace adcache

@@ -1,0 +1,303 @@
+#include "cache/range_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace adcache {
+namespace {
+
+std::vector<KvPair> MakeRun(int start, int count) {
+  std::vector<KvPair> run;
+  for (int i = 0; i < count; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%04d", start + i);
+    run.push_back(KvPair{key, "v" + std::to_string(start + i)});
+  }
+  return run;
+}
+
+std::string K(int i) {
+  char key[16];
+  snprintf(key, sizeof(key), "k%04d", i);
+  return key;
+}
+
+class RangeCacheTest : public ::testing::Test {
+ protected:
+  RangeCacheTest() : cache_(1 << 20, NewLruPolicy()) {}
+
+  RangeCache cache_;
+};
+
+TEST_F(RangeCacheTest, PointRoundTrip) {
+  cache_.PutPoint(Slice("a"), Slice("1"));
+  std::string value;
+  EXPECT_TRUE(cache_.Get(Slice("a"), &value));
+  EXPECT_EQ(value, "1");
+  EXPECT_FALSE(cache_.Get(Slice("b"), &value));
+  EXPECT_EQ(cache_.hits(), 1u);
+  EXPECT_EQ(cache_.misses(), 1u);
+}
+
+TEST_F(RangeCacheTest, FullScanHitAfterPutScan) {
+  auto run = MakeRun(10, 8);
+  cache_.PutScan(Slice(K(10)), run, run.size());
+  std::vector<KvPair> out;
+  EXPECT_TRUE(cache_.GetScan(Slice(K(10)), 8, &out));
+  ASSERT_EQ(out.size(), 8u);
+  for (int i = 0; i < 8; i++) {
+    EXPECT_EQ(out[static_cast<size_t>(i)].key, K(10 + i));
+    EXPECT_EQ(out[static_cast<size_t>(i)].value,
+              "v" + std::to_string(10 + i));
+  }
+}
+
+TEST_F(RangeCacheTest, PrefixOfCachedScanHits) {
+  cache_.PutScan(Slice(K(10)), MakeRun(10, 8), 8);
+  std::vector<KvPair> out;
+  EXPECT_TRUE(cache_.GetScan(Slice(K(10)), 4, &out));
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST_F(RangeCacheTest, LongerThanCachedScanMisses) {
+  cache_.PutScan(Slice(K(10)), MakeRun(10, 8), 8);
+  std::vector<KvPair> out;
+  EXPECT_FALSE(cache_.GetScan(Slice(K(10)), 9, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(RangeCacheTest, SeekBeforeCoveredRangeMisses) {
+  // Scan was seeded at k0010; a seek at k0005 cannot assume k0010 is the
+  // first DB result.
+  cache_.PutScan(Slice(K(10)), MakeRun(10, 8), 8);
+  std::vector<KvPair> out;
+  EXPECT_FALSE(cache_.GetScan(Slice(K(5)), 4, &out));
+}
+
+TEST_F(RangeCacheTest, SeekInsideCoveredRangeHits) {
+  cache_.PutScan(Slice(K(10)), MakeRun(10, 8), 8);
+  std::vector<KvPair> out;
+  // k0013 is itself cached and chained: a scan from it is covered.
+  EXPECT_TRUE(cache_.GetScan(Slice(K(13)), 5, &out));
+  EXPECT_EQ(out.front().key, K(13));
+}
+
+TEST_F(RangeCacheTest, SeekBetweenKeysCoveredByCoversFrom) {
+  cache_.PutScan(Slice(K(10)), MakeRun(10, 8), 8);
+  std::vector<KvPair> out;
+  // The insert recorded coverage from exactly K(10); a seek at K(10)+"x"
+  // lands on k0011 which only covers from its own key, so: covered.
+  EXPECT_TRUE(cache_.GetScan(Slice(K(10) + "x"), 3, &out));
+  EXPECT_EQ(out.front().key, K(11));
+}
+
+TEST_F(RangeCacheTest, PointLookupsDoNotFormChains) {
+  cache_.PutPoint(Slice(K(1)), Slice("a"));
+  cache_.PutPoint(Slice(K(2)), Slice("b"));
+  std::vector<KvPair> out;
+  // Both keys cached but never observed adjacent: a scan of 2 must miss.
+  EXPECT_FALSE(cache_.GetScan(Slice(K(1)), 2, &out));
+  EXPECT_TRUE(cache_.GetScan(Slice(K(1)), 1, &out));
+}
+
+TEST_F(RangeCacheTest, PartialAdmissionLimitsNewEntries) {
+  cache_.PutScan(Slice(K(0)), MakeRun(0, 64), 10);
+  EXPECT_EQ(cache_.EntryCount(), 10u);
+  std::vector<KvPair> out;
+  EXPECT_TRUE(cache_.GetScan(Slice(K(0)), 10, &out));
+  EXPECT_FALSE(cache_.GetScan(Slice(K(0)), 11, &out));
+}
+
+TEST_F(RangeCacheTest, OverlappingScansExtendCoverage) {
+  // Two partial admissions of the same scan gradually cache the range
+  // (paper: "overlapping scans naturally accelerate this process").
+  auto run = MakeRun(0, 20);
+  cache_.PutScan(Slice(K(0)), run, 10);
+  EXPECT_EQ(cache_.EntryCount(), 10u);
+  cache_.PutScan(Slice(K(0)), run, 10);
+  EXPECT_EQ(cache_.EntryCount(), 20u);
+  std::vector<KvPair> out;
+  EXPECT_TRUE(cache_.GetScan(Slice(K(0)), 20, &out));
+}
+
+TEST_F(RangeCacheTest, WriteToCachedKeyRefreshesValue) {
+  cache_.PutScan(Slice(K(0)), MakeRun(0, 4), 4);
+  cache_.InvalidateWrite(Slice(K(2)), Slice("fresh"));
+  std::vector<KvPair> out;
+  ASSERT_TRUE(cache_.GetScan(Slice(K(0)), 4, &out));
+  EXPECT_EQ(out[2].value, "fresh");
+}
+
+TEST_F(RangeCacheTest, NewKeyBreaksAdjacency) {
+  cache_.PutScan(Slice(K(0)), MakeRun(0, 4), 4);  // k0000..k0003 chained
+  // A brand-new DB key between k0001 and k0002 falsifies the chain.
+  cache_.InvalidateWrite(Slice(K(1) + "x"), Slice("new"));
+  std::vector<KvPair> out;
+  EXPECT_FALSE(cache_.GetScan(Slice(K(0)), 4, &out));
+  // The prefix before the break still serves.
+  EXPECT_TRUE(cache_.GetScan(Slice(K(0)), 2, &out));
+}
+
+TEST_F(RangeCacheTest, NewKeyTightensCoverage) {
+  cache_.PutScan(Slice(K(10)), MakeRun(10, 4), 4);
+  cache_.InvalidateWrite(Slice(K(9) + "zz"), Slice("new"));
+  std::vector<KvPair> out;
+  // A seek at the exact old coverage start must now miss (the new key
+  // should be the first result).
+  EXPECT_FALSE(cache_.GetScan(Slice(K(9) + "z"), 2, &out));
+  // Seeks at the first cached key itself still hit.
+  EXPECT_TRUE(cache_.GetScan(Slice(K(10)), 2, &out));
+}
+
+TEST_F(RangeCacheTest, DeleteOfChainedKeyPreservesOuterChain) {
+  cache_.PutScan(Slice(K(0)), MakeRun(0, 4), 4);
+  cache_.InvalidateDelete(Slice(K(1)));
+  std::vector<KvPair> out;
+  // After deleting k0001 from the DB, k0000's successor is k0002, and both
+  // remain cached and chained: a 3-entry scan hits.
+  ASSERT_TRUE(cache_.GetScan(Slice(K(0)), 3, &out));
+  EXPECT_EQ(out[0].key, K(0));
+  EXPECT_EQ(out[1].key, K(2));
+  EXPECT_EQ(out[2].key, K(3));
+}
+
+TEST_F(RangeCacheTest, DeleteRemovesPointEntry) {
+  cache_.PutPoint(Slice("a"), Slice("1"));
+  cache_.InvalidateDelete(Slice("a"));
+  std::string value;
+  EXPECT_FALSE(cache_.Get(Slice("a"), &value));
+}
+
+TEST_F(RangeCacheTest, EvictionBreaksChainsSafely) {
+  RangeCache small(600, NewLruPolicy());  // fits ~6 small entries
+  small.PutScan(Slice(K(0)), MakeRun(0, 16), 16);
+  EXPECT_LE(small.GetUsage(), 600u);
+  EXPECT_LT(small.EntryCount(), 16u);
+  // Whatever survived must never produce an inconsistent scan result.
+  std::vector<KvPair> out;
+  if (small.GetScan(Slice(K(0)), 2, &out)) {
+    EXPECT_EQ(out[0].key, K(0));
+    EXPECT_EQ(out[1].key, K(1));
+  }
+}
+
+TEST_F(RangeCacheTest, SetCapacityShrinksUsage) {
+  cache_.PutScan(Slice(K(0)), MakeRun(0, 100), 100);
+  size_t before = cache_.EntryCount();
+  cache_.SetCapacity(1024);
+  EXPECT_LE(cache_.GetUsage(), 1024u);
+  EXPECT_LT(cache_.EntryCount(), before);
+}
+
+TEST_F(RangeCacheTest, ZeroCapacityHoldsNothing) {
+  RangeCache zero(0, NewLruPolicy());
+  zero.PutPoint(Slice("a"), Slice("1"));
+  EXPECT_EQ(zero.EntryCount(), 0u);
+  std::string value;
+  EXPECT_FALSE(zero.Get(Slice("a"), &value));
+}
+
+TEST_F(RangeCacheTest, ClearEmptiesEverything) {
+  cache_.PutScan(Slice(K(0)), MakeRun(0, 10), 10);
+  cache_.Clear();
+  EXPECT_EQ(cache_.EntryCount(), 0u);
+  EXPECT_EQ(cache_.GetUsage(), 0u);
+  std::vector<KvPair> out;
+  EXPECT_FALSE(cache_.GetScan(Slice(K(0)), 1, &out));
+}
+
+TEST_F(RangeCacheTest, GetScanZeroLengthTriviallyHits) {
+  std::vector<KvPair> out;
+  EXPECT_TRUE(cache_.GetScan(Slice("anything"), 0, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(RangeCacheTest, ConcurrentMixedAccess) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([this, t] {
+      std::string value;
+      std::vector<KvPair> out;
+      for (int i = 0; i < 500; i++) {
+        int base = (t * 13 + i) % 100;
+        cache_.PutScan(Slice(K(base)), MakeRun(base, 8), 8);
+        cache_.GetScan(Slice(K(base)), 4, &out);
+        cache_.Get(Slice(K(base)), &value);
+        if (i % 10 == 0) cache_.InvalidateWrite(Slice(K(base)), Slice("w"));
+        if (i % 23 == 0) cache_.InvalidateDelete(Slice(K(base + 1)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  SUCCEED();
+}
+
+TEST(ShardedRangeCacheTest, RoutesByKeyRange) {
+  std::vector<std::string> boundaries = {K(100), K(200)};
+  ShardedRangeCache cache(3 << 20, boundaries,
+                          [](uint64_t) { return NewLruPolicy(); });
+  EXPECT_EQ(cache.num_shards(), 3u);
+  cache.PutPoint(Slice(K(50)), Slice("s0"));
+  cache.PutPoint(Slice(K(150)), Slice("s1"));
+  cache.PutPoint(Slice(K(250)), Slice("s2"));
+  std::string value;
+  EXPECT_TRUE(cache.Get(Slice(K(50)), &value));
+  EXPECT_EQ(value, "s0");
+  EXPECT_TRUE(cache.Get(Slice(K(150)), &value));
+  EXPECT_EQ(value, "s1");
+  EXPECT_TRUE(cache.Get(Slice(K(250)), &value));
+  EXPECT_EQ(value, "s2");
+}
+
+TEST(ShardedRangeCacheTest, ScanWithinOneShardHits) {
+  std::vector<std::string> boundaries = {K(100)};
+  ShardedRangeCache cache(2 << 20, boundaries,
+                          [](uint64_t) { return NewLruPolicy(); });
+  cache.PutScan(Slice(K(10)), MakeRun(10, 8), 8);
+  std::vector<KvPair> out;
+  EXPECT_TRUE(cache.GetScan(Slice(K(10)), 8, &out));
+  EXPECT_EQ(out.size(), 8u);
+}
+
+TEST(ShardedRangeCacheTest, ScanCrossingBoundarySplitsChains) {
+  std::vector<std::string> boundaries = {K(100)};
+  ShardedRangeCache cache(2 << 20, boundaries,
+                          [](uint64_t) { return NewLruPolicy(); });
+  // Run spans the boundary: k0096..k0103.
+  cache.PutScan(Slice(K(96)), MakeRun(96, 8), 8);
+  std::vector<KvPair> out;
+  // Within the first shard: fine.
+  EXPECT_TRUE(cache.GetScan(Slice(K(96)), 4, &out));
+  // Crossing the boundary: conservatively a miss.
+  EXPECT_FALSE(cache.GetScan(Slice(K(96)), 8, &out));
+  // The second shard serves its own segment.
+  EXPECT_TRUE(cache.GetScan(Slice(K(100)), 4, &out));
+}
+
+TEST(ShardedRangeCacheTest, ConcurrentClients) {
+  std::vector<std::string> boundaries = {K(250), K(500), K(750)};
+  ShardedRangeCache cache(4 << 20, boundaries,
+                          [](uint64_t) { return NewLruPolicy(); });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; t++) {
+    threads.emplace_back([&cache, t] {
+      std::vector<KvPair> out;
+      std::string value;
+      for (int i = 0; i < 300; i++) {
+        int base = (t * 137 + i * 7) % 900;
+        cache.PutScan(Slice(K(base)), MakeRun(base, 8), 8);
+        cache.GetScan(Slice(K(base)), 8, &out);
+        cache.Get(Slice(K(base + 3)), &value);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+}
+
+}  // namespace
+}  // namespace adcache

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "rl/actor_critic.h"
+#include "rl/mlp.h"
+
+namespace adcache::rl {
+namespace {
+
+TEST(MlpTest, ParameterCountMatchesArchitecture) {
+  Mlp mlp({4, 8, 2}, 1);
+  // (4*8 + 8) + (8*2 + 2) = 58.
+  EXPECT_EQ(mlp.ParameterCount(), 58u);
+  EXPECT_EQ(mlp.ParameterBytes(), 58u * 4);
+  EXPECT_EQ(mlp.OptimizerBytes(), 3u * 58u * 4);
+}
+
+TEST(MlpTest, PaperScaleModelIsRoughly550Kb) {
+  // Paper §4.3: actor+critic, 2 hidden layers of 256, ~140k params, ~550 KB.
+  Mlp actor({11, 256, 256, 4}, 1);
+  Mlp critic({11, 256, 256, 1}, 2);
+  size_t params = actor.ParameterCount() + critic.ParameterCount();
+  EXPECT_GT(params, 130000u);
+  EXPECT_LT(params, 160000u);
+  size_t bytes = actor.ParameterBytes() + critic.ParameterBytes();
+  EXPECT_GT(bytes, 500u * 1024);
+  EXPECT_LT(bytes, 650u * 1024);
+}
+
+TEST(MlpTest, ForwardIsDeterministic) {
+  Mlp mlp({3, 16, 2}, 99);
+  std::vector<float> x = {0.1f, -0.5f, 0.9f};
+  auto out1 = mlp.Forward(x);
+  auto out2 = mlp.Forward(x);
+  ASSERT_EQ(out1.size(), 2u);
+  EXPECT_EQ(out1, out2);
+}
+
+TEST(MlpTest, GradientMatchesFiniteDifference) {
+  // Numerically check dL/d(input) for L = sum(outputs).
+  Mlp mlp({3, 8, 1}, 7);
+  std::vector<float> x = {0.3f, -0.2f, 0.7f};
+  float base = mlp.Forward(x)[0];
+  auto grad_in = mlp.Backward({1.0f});
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < x.size(); i++) {
+    std::vector<float> xp = x;
+    xp[i] += eps;
+    float bumped = mlp.Forward(xp)[0];
+    float numeric = (bumped - base) / eps;
+    EXPECT_NEAR(grad_in[i], numeric, 0.05f) << "input " << i;
+  }
+}
+
+TEST(MlpTest, LearnsLinearFunction) {
+  // y = 2*x0 - x1; online SGD-with-Adam regression must cut the loss.
+  Mlp mlp({2, 16, 1}, 3);
+  Random rng(5);
+  auto run_epoch = [&](bool train) {
+    double loss = 0;
+    Random data_rng(17);
+    for (int i = 0; i < 200; i++) {
+      float x0 = static_cast<float>(data_rng.NextDouble()) - 0.5f;
+      float x1 = static_cast<float>(data_rng.NextDouble()) - 0.5f;
+      float target = 2 * x0 - x1;
+      float y = mlp.Forward({x0, x1})[0];
+      float err = y - target;
+      loss += err * err;
+      if (train) {
+        mlp.Backward({2 * err});
+        mlp.AdamStep(1e-2f);
+      }
+    }
+    return loss / 200;
+  };
+  double before = run_epoch(false);
+  for (int epoch = 0; epoch < 30; epoch++) run_epoch(true);
+  double after = run_epoch(false);
+  EXPECT_LT(after, before * 0.1);
+  (void)rng;
+}
+
+TEST(MlpTest, SaveLoadRoundTrip) {
+  Mlp a({4, 8, 2}, 1);
+  std::string blob;
+  a.Save(&blob);
+  Mlp b({4, 8, 2}, 999);  // different init
+  std::vector<float> x = {0.1f, 0.2f, 0.3f, 0.4f};
+  EXPECT_NE(a.Forward(x), b.Forward(x));
+  ASSERT_TRUE(b.Load(Slice(blob)).ok());
+  EXPECT_EQ(a.Forward(x), b.Forward(x));
+}
+
+TEST(MlpTest, LoadRejectsWrongArchitecture) {
+  Mlp a({4, 8, 2}, 1);
+  std::string blob;
+  a.Save(&blob);
+  Mlp b({4, 16, 2}, 1);
+  EXPECT_FALSE(b.Load(Slice(blob)).ok());
+  Mlp c({4, 8, 2}, 1);
+  EXPECT_FALSE(c.Load(Slice(blob.data(), blob.size() / 2)).ok());
+}
+
+ActorCriticOptions SmallAgentOptions() {
+  ActorCriticOptions opts;
+  opts.state_dim = 2;
+  opts.action_dim = 1;
+  opts.hidden_dim = 32;
+  opts.seed = 11;
+  return opts;
+}
+
+TEST(ActorCriticTest, ActionsAreInUnitRange) {
+  ActorCriticAgent agent(SmallAgentOptions());
+  for (int i = 0; i < 50; i++) {
+    auto a = agent.Act({static_cast<float>(i % 3) / 3.0f, 0.5f}, true);
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_GE(a[0], 0.0f);
+    EXPECT_LE(a[0], 1.0f);
+  }
+}
+
+TEST(ActorCriticTest, ActWithoutExplorationIsDeterministic) {
+  ActorCriticAgent agent(SmallAgentOptions());
+  auto a1 = agent.Act({0.1f, 0.9f}, false);
+  auto a2 = agent.Act({0.1f, 0.9f}, false);
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(ActorCriticTest, LearnsBanditTowardHighRewardAction) {
+  // Single-state continuous bandit: reward = 1 - |action - 0.8|.
+  ActorCriticOptions opts = SmallAgentOptions();
+  opts.actor_lr = 5e-3f;
+  opts.adaptive_lr = false;
+  opts.exploration_sigma = 0.15f;
+  ActorCriticAgent agent(opts);
+  std::vector<float> state = {0.5f, 0.5f};
+  for (int i = 0; i < 3000; i++) {
+    auto action = agent.Act(state, true);
+    float reward = 1.0f - std::fabs(action[0] - 0.8f);
+    agent.Observe(state, action, reward, state);
+  }
+  auto final_action = agent.Act(state, false);
+  EXPECT_NEAR(final_action[0], 0.8f, 0.22f);
+}
+
+TEST(ActorCriticTest, AdaptiveLearningRateFollowsPaperRule) {
+  ActorCriticOptions opts = SmallAgentOptions();
+  opts.actor_lr = 1e-3f;
+  ActorCriticAgent agent(opts);
+  float lr0 = agent.actor_lr();
+  agent.AdaptLearningRate(0.5f);  // positive reward -> lr shrinks
+  EXPECT_LT(agent.actor_lr(), lr0);
+  float lr1 = agent.actor_lr();
+  agent.AdaptLearningRate(-0.5f);  // negative reward -> lr grows
+  EXPECT_GT(agent.actor_lr(), lr1);
+}
+
+TEST(ActorCriticTest, PretrainingRegressesPolicyMean) {
+  ActorCriticAgent agent(SmallAgentOptions());
+  std::vector<float> state = {0.2f, 0.7f};
+  std::vector<float> target = {0.9f};
+  float first_loss = agent.PretrainStep(state, target);
+  float loss = first_loss;
+  for (int i = 0; i < 500; i++) loss = agent.PretrainStep(state, target);
+  EXPECT_LT(loss, first_loss * 0.5f);
+  EXPECT_NEAR(agent.Act(state, false)[0], 0.9f, 0.1f);
+}
+
+TEST(ActorCriticTest, MemoryFootprintMatchesPaperTable2) {
+  // Paper Table 2: ~550 KB of weights, ~2 MB total with Adam + gradients.
+  ActorCriticOptions opts;
+  opts.state_dim = 11;
+  opts.action_dim = 4;
+  opts.hidden_dim = 256;
+  ActorCriticAgent agent(opts);
+  auto fp = agent.GetMemoryFootprint();
+  EXPECT_GT(fp.parameter_bytes, 500u * 1024);
+  EXPECT_LT(fp.parameter_bytes, 700u * 1024);
+  EXPECT_GT(fp.total_bytes, 1800u * 1024);
+  EXPECT_LT(fp.total_bytes, 3000u * 1024);
+}
+
+TEST(ActorCriticTest, SaveLoadPreservesPolicy) {
+  ActorCriticAgent a(SmallAgentOptions());
+  std::vector<float> state = {0.3f, 0.6f};
+  for (int i = 0; i < 50; i++) {
+    auto action = a.Act(state, true);
+    a.Observe(state, action, 0.1f, state);
+  }
+  std::string blob;
+  a.Save(&blob);
+
+  ActorCriticOptions opts = SmallAgentOptions();
+  opts.seed = 4242;
+  ActorCriticAgent b(opts);
+  ASSERT_TRUE(b.Load(Slice(blob)).ok());
+  EXPECT_EQ(a.Act(state, false), b.Act(state, false));
+  EXPECT_FLOAT_EQ(a.EstimateValue(state), b.EstimateValue(state));
+}
+
+}  // namespace
+}  // namespace adcache::rl

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sketch/count_min_sketch.h"
+#include "sketch/doorkeeper.h"
+
+namespace adcache {
+namespace {
+
+TEST(CountMinSketchTest, CountsSingleKey) {
+  CountMinSketch sketch;
+  EXPECT_EQ(sketch.Estimate(Slice("k")), 0u);
+  for (int i = 1; i <= 5; i++) {
+    sketch.Increment(Slice("k"));
+    EXPECT_EQ(sketch.Estimate(Slice("k")), static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(sketch.total(), 5u);
+}
+
+TEST(CountMinSketchTest, NeverUnderestimatesWithoutDecay) {
+  CountMinSketch::Options opts;
+  opts.saturation = 255;  // disable decay to test the pure CMS property
+  CountMinSketch sketch(opts);
+  for (int i = 0; i < 1000; i++) {
+    sketch.Increment(Slice("key" + std::to_string(i % 100)));
+  }
+  for (int i = 0; i < 100; i++) {
+    EXPECT_GE(sketch.Estimate(Slice("key" + std::to_string(i))), 10u);
+  }
+}
+
+TEST(CountMinSketchTest, SaturationTriggersGlobalHalving) {
+  CountMinSketch::Options opts;
+  opts.saturation = 8;
+  CountMinSketch sketch(opts);
+  sketch.Increment(Slice("other"));
+  for (int i = 0; i < 8; i++) sketch.Increment(Slice("hot"));
+  EXPECT_EQ(sketch.decay_count(), 1u);
+  // After halving, hot's count is 4 and the bystander's 0.
+  EXPECT_EQ(sketch.Estimate(Slice("hot")), 4u);
+  EXPECT_EQ(sketch.Estimate(Slice("other")), 0u);
+  EXPECT_EQ(sketch.total(), 4u);
+}
+
+TEST(CountMinSketchTest, NormalizedFrequencySeparatesHotFromCold) {
+  CountMinSketch sketch;
+  for (int i = 0; i < 200; i++) {
+    sketch.Increment(Slice("hot"));
+    if (i % 40 == 0) sketch.Increment(Slice("cold" + std::to_string(i)));
+  }
+  EXPECT_GT(sketch.NormalizedFrequency(Slice("hot")),
+            sketch.NormalizedFrequency(Slice("cold0")));
+  EXPECT_EQ(sketch.NormalizedFrequency(Slice("never")), 0.0);
+}
+
+TEST(CountMinSketchTest, MemoryUsageMatchesConfiguration) {
+  CountMinSketch::Options opts;
+  opts.width = 1024;
+  opts.depth = 4;
+  CountMinSketch sketch(opts);
+  EXPECT_EQ(sketch.MemoryUsage(), 4u * 1024u);
+}
+
+TEST(DoorkeeperTest, FirstInsertReturnsAbsent) {
+  Doorkeeper dk;
+  EXPECT_FALSE(dk.InsertIfAbsent(Slice("x")));
+  EXPECT_TRUE(dk.InsertIfAbsent(Slice("x")));
+  EXPECT_TRUE(dk.Contains(Slice("x")));
+  EXPECT_FALSE(dk.Contains(Slice("y")));
+}
+
+TEST(DoorkeeperTest, ClearForgetsEverything) {
+  Doorkeeper dk;
+  dk.InsertIfAbsent(Slice("x"));
+  dk.Clear();
+  EXPECT_FALSE(dk.Contains(Slice("x")));
+  EXPECT_FALSE(dk.InsertIfAbsent(Slice("x")));
+}
+
+TEST(DoorkeeperTest, LowFalsePositiveRateAtModestLoad) {
+  Doorkeeper dk(1 << 16, 3);
+  for (int i = 0; i < 1000; i++) {
+    dk.InsertIfAbsent(Slice("member" + std::to_string(i)));
+  }
+  int false_positives = 0;
+  for (int i = 0; i < 1000; i++) {
+    if (dk.Contains(Slice("outsider" + std::to_string(i)))) {
+      false_positives++;
+    }
+  }
+  EXPECT_LT(false_positives, 50);  // well under 5%
+}
+
+}  // namespace
+}  // namespace adcache

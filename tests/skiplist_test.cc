@@ -1,0 +1,133 @@
+#include "lsm/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace adcache::lsm {
+namespace {
+
+struct IntComparator {
+  int operator()(uint64_t a, uint64_t b) const {
+    if (a < b) return -1;
+    if (a > b) return +1;
+    return 0;
+  }
+};
+
+using IntSkipList = SkipList<uint64_t, IntComparator>;
+
+TEST(SkipListTest, EmptyList) {
+  Arena arena;
+  IntSkipList list(IntComparator(), &arena);
+  EXPECT_FALSE(list.Contains(10));
+  IntSkipList::Iterator iter(&list);
+  EXPECT_FALSE(iter.Valid());
+  iter.SeekToFirst();
+  EXPECT_FALSE(iter.Valid());
+  iter.Seek(100);
+  EXPECT_FALSE(iter.Valid());
+  iter.SeekToLast();
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST(SkipListTest, InsertAndContains) {
+  Arena arena;
+  IntSkipList list(IntComparator(), &arena);
+  std::set<uint64_t> keys;
+  Random rng(2024);
+  for (int i = 0; i < 2000; i++) {
+    uint64_t key = rng.Uniform(5000);
+    if (keys.insert(key).second) list.Insert(key);
+  }
+  for (uint64_t k = 0; k < 5000; k++) {
+    EXPECT_EQ(list.Contains(k), keys.count(k) > 0) << k;
+  }
+}
+
+TEST(SkipListTest, IterationMatchesSortedOrder) {
+  Arena arena;
+  IntSkipList list(IntComparator(), &arena);
+  std::set<uint64_t> keys;
+  Random rng(7);
+  for (int i = 0; i < 1000; i++) {
+    uint64_t key = rng.Uniform(100000);
+    if (keys.insert(key).second) list.Insert(key);
+  }
+  IntSkipList::Iterator iter(&list);
+  auto expected = keys.begin();
+  for (iter.SeekToFirst(); iter.Valid(); iter.Next()) {
+    ASSERT_NE(expected, keys.end());
+    EXPECT_EQ(iter.key(), *expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, keys.end());
+}
+
+TEST(SkipListTest, SeekLandsOnLowerBound) {
+  Arena arena;
+  IntSkipList list(IntComparator(), &arena);
+  for (uint64_t k = 0; k < 1000; k += 10) list.Insert(k);
+  IntSkipList::Iterator iter(&list);
+  iter.Seek(55);
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(iter.key(), 60u);
+  iter.Seek(60);
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(iter.key(), 60u);
+  iter.Seek(991);
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST(SkipListTest, PrevAndSeekToLast) {
+  Arena arena;
+  IntSkipList list(IntComparator(), &arena);
+  for (uint64_t k = 1; k <= 100; k++) list.Insert(k);
+  IntSkipList::Iterator iter(&list);
+  iter.SeekToLast();
+  ASSERT_TRUE(iter.Valid());
+  EXPECT_EQ(iter.key(), 100u);
+  for (uint64_t expected = 99; expected >= 1; expected--) {
+    iter.Prev();
+    ASSERT_TRUE(iter.Valid());
+    EXPECT_EQ(iter.key(), expected);
+  }
+  iter.Prev();
+  EXPECT_FALSE(iter.Valid());
+}
+
+TEST(SkipListTest, ConcurrentReadersWithSingleWriter) {
+  Arena arena;
+  IntSkipList list(IntComparator(), &arena);
+  std::atomic<uint64_t> published{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; t++) {
+    readers.emplace_back([&] {
+      while (published.load(std::memory_order_acquire) < 5000) {
+        uint64_t upto = published.load(std::memory_order_acquire);
+        // Every key <= published must be visible.
+        for (uint64_t k = 1; k <= upto; k += 97) {
+          if (!list.Contains(k)) {
+            failed.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (uint64_t k = 1; k <= 5000; k++) {
+    list.Insert(k);
+    published.store(k, std::memory_order_release);
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace adcache::lsm

@@ -1,0 +1,160 @@
+// End-to-end consistency property: whatever the caching strategy, every Get
+// and Scan must return exactly what a std::map model of the database
+// returns, under a random interleaving of puts, deletes, point lookups and
+// scans. This is the strongest guard against stale-cache bugs (missed
+// invalidation, broken adjacency, wrong coverage).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/strategy.h"
+#include "util/clock.h"
+#include "util/env.h"
+#include "util/random.h"
+
+namespace adcache::core {
+namespace {
+
+class StoreConsistencyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    config_.lsm.env = env_.get();
+    config_.lsm.block_size = 512;
+    config_.lsm.table_file_size = 8 * 1024;
+    config_.lsm.memtable_size = 8 * 1024;   // heavy flush/compaction churn
+    config_.lsm.level1_size_base = 16 * 1024;
+    config_.cache_budget = 64 * 1024;       // heavy eviction churn
+    config_.dbname = "/consistency_" + GetParam();
+    config_.adcache.controller.agent.hidden_dim = 32;
+    config_.adcache.controller.window_size = 200;
+    Status s;
+    store_ = CreateStore(GetParam(), config_, &s);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  static std::string Key(uint64_t i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%05llu", static_cast<unsigned long long>(i));
+    return buf;
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  StoreConfig config_;
+  std::unique_ptr<KvStore> store_;
+};
+
+TEST_P(StoreConsistencyTest, RandomOpsMatchModelExactly) {
+  std::map<std::string, std::string> model;
+  Random rng(777);
+  uint64_t version = 0;
+
+  for (int step = 0; step < 8000; step++) {
+    uint64_t roll = rng.Uniform(100);
+    std::string key = Key(rng.Uniform(600) * 3);  // sparse keyspace
+    if (roll < 30) {
+      std::string value = "v" + std::to_string(version++);
+      ASSERT_TRUE(store_->Put(Slice(key), Slice(value)).ok());
+      model[key] = value;
+    } else if (roll < 40) {
+      ASSERT_TRUE(store_->Delete(Slice(key)).ok());
+      model.erase(key);
+    } else if (roll < 75) {
+      std::string value;
+      Status s = store_->Get(Slice(key), &value);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        ASSERT_TRUE(s.IsNotFound())
+            << GetParam() << " step " << step << " key " << key;
+      } else {
+        ASSERT_TRUE(s.ok()) << GetParam() << " step " << step;
+        ASSERT_EQ(value, it->second)
+            << GetParam() << " stale value, step " << step << " key " << key;
+      }
+    } else {
+      // Scan of random length from a random (possibly absent) key.
+      std::string start = Key(rng.Uniform(1800));
+      size_t n = 1 + rng.Uniform(20);
+      std::vector<KvPair> got;
+      ASSERT_TRUE(store_->Scan(Slice(start), n, &got).ok());
+      std::vector<KvPair> want;
+      for (auto it = model.lower_bound(start);
+           it != model.end() && want.size() < n; ++it) {
+        want.push_back(KvPair{it->first, it->second});
+      }
+      ASSERT_EQ(got.size(), want.size())
+          << GetParam() << " step " << step << " start " << start;
+      for (size_t i = 0; i < want.size(); i++) {
+        ASSERT_EQ(got[i].key, want[i].key)
+            << GetParam() << " step " << step;
+        ASSERT_EQ(got[i].value, want[i].value)
+            << GetParam() << " stale scan value, step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StoreConsistencyTest,
+    ::testing::Values("block", "block_leaper", "kv", "range", "range_lecar",
+                      "range_cacheus", "adcache", "adcache_admission_only",
+                      "adcache_partition_only"));
+
+TEST(AdCacheStoreConcurrencyTest, ParallelClientsWithTuning) {
+  SimClock clock;
+  auto env = NewMemEnv(&clock);
+  StoreConfig config;
+  config.lsm.env = env.get();
+  config.lsm.memtable_size = 64 * 1024;
+  config.dbname = "/mt";
+  config.cache_budget = 512 * 1024;
+  config.adcache.controller.window_size = 250;
+  config.adcache.controller.agent.hidden_dim = 32;
+  Status s;
+  auto store = CreateStore("adcache", config, &s);
+  ASSERT_TRUE(s.ok());
+
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(store
+                    ->Put(Slice("key" + std::to_string(1000 + i)),
+                          Slice(std::string(100, 'v')))
+                    .ok());
+  }
+
+  std::atomic<int> errors{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 6; t++) {
+    clients.emplace_back([&, t] {
+      Random rng(static_cast<uint64_t>(t) + 1);
+      std::string value;
+      std::vector<KvPair> results;
+      for (int i = 0; i < 2000; i++) {
+        std::string key = "key" + std::to_string(1000 + rng.Uniform(500));
+        uint64_t roll = rng.Uniform(10);
+        if (roll < 5) {
+          if (!store->Get(Slice(key), &value).ok()) errors++;
+        } else if (roll < 8) {
+          if (!store->Scan(Slice(key), 8, &results).ok()) errors++;
+        } else {
+          if (!store->Put(Slice(key), Slice(std::string(100, 'w'))).ok()) {
+            errors++;
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(errors.load(), 0);
+  // Tuning ran concurrently with traffic.
+  auto* adcache_store = static_cast<AdCacheStore*>(store.get());
+  EXPECT_GT(adcache_store->controller()->windows_processed(), 10u);
+}
+
+}  // namespace
+}  // namespace adcache::core

@@ -1,0 +1,139 @@
+#include "core/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/clock.h"
+#include "util/env.h"
+
+namespace adcache::core {
+namespace {
+
+class StrategyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    config_.lsm.env = env_.get();
+    config_.lsm.block_size = 512;
+    config_.lsm.table_file_size = 16 * 1024;
+    config_.lsm.memtable_size = 32 * 1024;
+    config_.lsm.level1_size_base = 64 * 1024;
+    config_.cache_budget = 128 * 1024;
+    config_.dbname = "/db_" + GetParam();
+    config_.adcache.controller.agent.hidden_dim = 32;
+    Status s;
+    store_ = CreateStore(GetParam(), config_, &s);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    ASSERT_NE(store_, nullptr);
+  }
+
+  static std::string Key(int i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%06d", i);
+    return buf;
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  StoreConfig config_;
+  std::unique_ptr<KvStore> store_;
+};
+
+TEST_P(StrategyTest, PutGetScanDeleteContract) {
+  // Every strategy must satisfy the same functional contract; only the
+  // performance profile differs.
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(
+        store_->Put(Slice(Key(i)), Slice("v" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(store_->db()->FlushMemTable().ok());
+
+  std::string value;
+  for (int round = 0; round < 3; round++) {
+    for (int i = 0; i < 200; i += 7) {
+      ASSERT_TRUE(store_->Get(Slice(Key(i)), &value).ok()) << Key(i);
+      EXPECT_EQ(value, "v" + std::to_string(i));
+    }
+  }
+  EXPECT_TRUE(store_->Get(Slice("nope"), &value).IsNotFound());
+
+  std::vector<KvPair> results;
+  for (int round = 0; round < 3; round++) {
+    ASSERT_TRUE(store_->Scan(Slice(Key(50)), 16, &results).ok());
+    ASSERT_EQ(results.size(), 16u);
+    for (int i = 0; i < 16; i++) {
+      EXPECT_EQ(results[static_cast<size_t>(i)].key, Key(50 + i));
+      EXPECT_EQ(results[static_cast<size_t>(i)].value,
+                "v" + std::to_string(50 + i));
+    }
+  }
+
+  // Updates visible through any cache layer.
+  ASSERT_TRUE(store_->Put(Slice(Key(50)), Slice("updated")).ok());
+  ASSERT_TRUE(store_->Get(Slice(Key(50)), &value).ok());
+  EXPECT_EQ(value, "updated");
+  ASSERT_TRUE(store_->Scan(Slice(Key(50)), 4, &results).ok());
+  EXPECT_EQ(results[0].value, "updated");
+
+  // Deletes visible through any cache layer.
+  ASSERT_TRUE(store_->Delete(Slice(Key(51))).ok());
+  EXPECT_TRUE(store_->Get(Slice(Key(51)), &value).IsNotFound());
+  ASSERT_TRUE(store_->Scan(Slice(Key(50)), 3, &results).ok());
+  EXPECT_EQ(results[0].key, Key(50));
+  EXPECT_EQ(results[1].key, Key(52));
+
+  CacheStatsSnapshot snap = store_->GetCacheStats();
+  EXPECT_GT(snap.block_reads, 0u);
+}
+
+TEST_P(StrategyTest, RepeatedAccessReducesBlockReads) {
+  for (int i = 0; i < 300; i++) {
+    ASSERT_TRUE(
+        store_->Put(Slice(Key(i)), Slice(std::string(64, 'v'))).ok());
+  }
+  ASSERT_TRUE(store_->db()->FlushMemTable().ok());
+
+  std::string value;
+  // Warm: touch a small working set repeatedly.
+  for (int round = 0; round < 5; round++) {
+    for (int i = 0; i < 20; i++) store_->Get(Slice(Key(i)), &value);
+  }
+  uint64_t before = store_->GetCacheStats().block_reads;
+  for (int i = 0; i < 20; i++) store_->Get(Slice(Key(i)), &value);
+  uint64_t delta = store_->GetCacheStats().block_reads - before;
+  // A warmed cache must serve most of the working set without storage I/O.
+  EXPECT_LT(delta, 20u) << "strategy " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyTest,
+    ::testing::Values("block", "block_leaper", "kv", "range", "range_lecar",
+                      "range_cacheus", "adcache", "adcache_admission_only",
+                      "adcache_partition_only"));
+
+TEST(StrategyFactoryTest, UnknownNameRejected) {
+  StoreConfig config;
+  Status s;
+  auto store = CreateStore("no_such_strategy", config, &s);
+  EXPECT_EQ(store, nullptr);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(StrategyFactoryTest, AllNamesInstantiable) {
+  SimClock clock;
+  auto env = NewMemEnv(&clock);
+  for (const auto& name : AllStrategyNames()) {
+    StoreConfig config;
+    config.lsm.env = env.get();
+    config.dbname = "/all_" + name;
+    config.adcache.controller.agent.hidden_dim = 16;
+    Status s;
+    auto store = CreateStore(name, config, &s);
+    EXPECT_TRUE(s.ok()) << name << ": " << s.ToString();
+    EXPECT_NE(store, nullptr) << name;
+  }
+}
+
+}  // namespace
+}  // namespace adcache::core

@@ -1,0 +1,203 @@
+#include "lsm/table.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/cache.h"
+#include "lsm/table_builder.h"
+#include "util/clock.h"
+#include "util/env.h"
+
+namespace adcache::lsm {
+namespace {
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    options_.env = env_.get();
+    options_.block_size = 256;  // small blocks -> multiple blocks per table
+  }
+
+  // Builds a table with n sequential keys and opens a reader for it.
+  void BuildAndOpen(int n, std::shared_ptr<Cache> block_cache = nullptr) {
+    options_.block_cache = block_cache;
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_->NewWritableFile("/t/1.sst", &file).ok());
+    TableBuilder builder(options_, std::move(file));
+    for (int i = 0; i < n; i++) {
+      builder.Add(Slice(MakeInternalKey(KeyOf(i), 10, kTypeValue)),
+                  Slice(ValueOf(i)));
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+    EXPECT_EQ(builder.NumEntries(), static_cast<uint64_t>(n));
+
+    std::unique_ptr<RandomAccessFile> rfile;
+    ASSERT_TRUE(env_->NewRandomAccessFile("/t/1.sst", &rfile).ok());
+    ASSERT_TRUE(
+        Table::Open(options_, std::move(rfile), 1, env_.get(), &table_).ok());
+  }
+
+  static std::string KeyOf(int i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%06d", i);
+    return buf;
+  }
+  static std::string ValueOf(int i) { return "value" + std::to_string(i); }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(TableTest, PointLookupsFindEveryKey) {
+  BuildAndOpen(200);
+  for (int i = 0; i < 200; i++) {
+    std::string value;
+    auto r = table_->Get(ReadOptions(), Slice(KeyOf(i)), 100, &value, nullptr);
+    ASSERT_EQ(r, Table::LookupResult::kFound) << "key " << i;
+    EXPECT_EQ(value, ValueOf(i));
+  }
+}
+
+TEST_F(TableTest, MissingKeysNotFound) {
+  BuildAndOpen(100);
+  std::string value;
+  EXPECT_EQ(table_->Get(ReadOptions(), Slice("absent"), 100, &value, nullptr),
+            Table::LookupResult::kNotFound);
+  EXPECT_EQ(table_->Get(ReadOptions(), Slice("zzz"), 100, &value, nullptr),
+            Table::LookupResult::kNotFound);
+}
+
+TEST_F(TableTest, SnapshotHidesNewerEntries) {
+  BuildAndOpen(10);
+  std::string value;
+  // Entries were written at sequence 10; a snapshot at 5 must not see them.
+  EXPECT_EQ(table_->Get(ReadOptions(), Slice(KeyOf(3)), 5, &value, nullptr),
+            Table::LookupResult::kNotFound);
+  EXPECT_EQ(table_->Get(ReadOptions(), Slice(KeyOf(3)), 10, &value, nullptr),
+            Table::LookupResult::kFound);
+}
+
+TEST_F(TableTest, TombstoneReported) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("/t/1.sst", &file).ok());
+  TableBuilder builder(options_, std::move(file));
+  builder.Add(Slice(MakeInternalKey("dead", 5, kTypeDeletion)), Slice(""));
+  builder.Add(Slice(MakeInternalKey("live", 5, kTypeValue)), Slice("v"));
+  ASSERT_TRUE(builder.Finish().ok());
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env_->NewRandomAccessFile("/t/1.sst", &rfile).ok());
+  ASSERT_TRUE(
+      Table::Open(options_, std::move(rfile), 1, env_.get(), &table_).ok());
+
+  std::string value;
+  EXPECT_EQ(table_->Get(ReadOptions(), Slice("dead"), 100, &value, nullptr),
+            Table::LookupResult::kDeleted);
+  EXPECT_EQ(table_->Get(ReadOptions(), Slice("live"), 100, &value, nullptr),
+            Table::LookupResult::kFound);
+}
+
+TEST_F(TableTest, IteratorScansAllKeysInOrder) {
+  BuildAndOpen(300);
+  std::unique_ptr<Iterator> it(table_->NewIterator(ReadOptions()));
+  int count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_EQ(ExtractUserKey(it->key()).ToString(), KeyOf(count));
+    EXPECT_EQ(it->value().ToString(), ValueOf(count));
+    count++;
+  }
+  EXPECT_EQ(count, 300);
+}
+
+TEST_F(TableTest, IteratorSeeksAcrossBlockBoundaries) {
+  BuildAndOpen(300);
+  std::unique_ptr<Iterator> it(table_->NewIterator(ReadOptions()));
+  for (int target : {0, 1, 57, 123, 299}) {
+    it->Seek(Slice(MakeInternalKey(KeyOf(target), kMaxSequenceNumber,
+                                   kTypeValue)));
+    ASSERT_TRUE(it->Valid()) << target;
+    EXPECT_EQ(ExtractUserKey(it->key()).ToString(), KeyOf(target));
+  }
+}
+
+TEST_F(TableTest, BlockCacheAvoidsRepeatReads) {
+  auto cache = NewLRUCache(1 << 20, 0);
+  BuildAndOpen(200, cache);
+  std::string value;
+  ASSERT_EQ(table_->Get(ReadOptions(), Slice(KeyOf(5)), 100, &value, nullptr),
+            Table::LookupResult::kFound);
+  uint64_t reads_after_first = env_->io_stats()->block_reads.load();
+  EXPECT_GE(reads_after_first, 1u);
+  // Same block again: no new storage reads.
+  ASSERT_EQ(table_->Get(ReadOptions(), Slice(KeyOf(5)), 100, &value, nullptr),
+            Table::LookupResult::kFound);
+  EXPECT_EQ(env_->io_stats()->block_reads.load(), reads_after_first);
+  EXPECT_GE(cache->hits(), 1u);
+}
+
+TEST_F(TableTest, FillBlockCacheFalseSkipsInsertion) {
+  auto cache = NewLRUCache(1 << 20, 0);
+  BuildAndOpen(200, cache);
+  ReadOptions no_fill;
+  no_fill.fill_block_cache = false;
+  std::string value;
+  ASSERT_EQ(table_->Get(no_fill, Slice(KeyOf(5)), 100, &value, nullptr),
+            Table::LookupResult::kFound);
+  EXPECT_EQ(cache->GetUsage(), 0u);
+  uint64_t reads = env_->io_stats()->block_reads.load();
+  ASSERT_EQ(table_->Get(no_fill, Slice(KeyOf(5)), 100, &value, nullptr),
+            Table::LookupResult::kFound);
+  EXPECT_EQ(env_->io_stats()->block_reads.load(), reads + 1);
+}
+
+TEST_F(TableTest, CountBlockReadsFalseSkipsMetric) {
+  BuildAndOpen(50);
+  ReadOptions opts;
+  opts.count_block_reads = false;
+  std::string value;
+  uint64_t before = env_->io_stats()->block_reads.load();
+  ASSERT_EQ(table_->Get(opts, Slice(KeyOf(1)), 100, &value, nullptr),
+            Table::LookupResult::kFound);
+  EXPECT_EQ(env_->io_stats()->block_reads.load(), before);
+}
+
+TEST_F(TableTest, BloomFilterSkipsAbsentKeysWithoutIo) {
+  BuildAndOpen(500);
+  uint64_t before = env_->io_stats()->block_reads.load();
+  std::string value;
+  int false_positives = 0;
+  for (int i = 0; i < 500; i++) {
+    std::string absent = "zzz" + std::to_string(i);
+    if (table_->Get(ReadOptions(), Slice(absent), 100, &value, nullptr) !=
+        Table::LookupResult::kNotFound) {
+      false_positives++;
+    }
+  }
+  EXPECT_EQ(false_positives, 0);
+  uint64_t reads = env_->io_stats()->block_reads.load() - before;
+  // With 10 bits/key the vast majority of absent probes must be filtered.
+  EXPECT_LT(reads, 25u);
+}
+
+TEST_F(TableTest, CacheKeyDistinguishesFilesAndOffsets) {
+  EXPECT_NE(Table::CacheKey(1, 0), Table::CacheKey(2, 0));
+  EXPECT_NE(Table::CacheKey(1, 0), Table::CacheKey(1, 4096));
+  EXPECT_EQ(Table::CacheKey(7, 42), Table::CacheKey(7, 42));
+}
+
+TEST_F(TableTest, CorruptFooterRejected) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("/t/bad.sst", &file).ok());
+  ASSERT_TRUE(file->Append(Slice(std::string(100, 'q'))).ok());
+  std::unique_ptr<RandomAccessFile> rfile;
+  ASSERT_TRUE(env_->NewRandomAccessFile("/t/bad.sst", &rfile).ok());
+  std::unique_ptr<Table> table;
+  EXPECT_TRUE(Table::Open(options_, std::move(rfile), 9, env_.get(), &table)
+                  .IsCorruption());
+}
+
+}  // namespace
+}  // namespace adcache::lsm

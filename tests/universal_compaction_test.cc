@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "cache/cache.h"
+#include "lsm/db.h"
+#include "util/clock.h"
+#include "util/env.h"
+#include "util/random.h"
+
+namespace adcache::lsm {
+namespace {
+
+class UniversalCompactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    options_.env = env_.get();
+    options_.compaction_style = CompactionStyle::kUniversal;
+    options_.universal_run_trigger = 4;
+    options_.block_size = 512;
+    options_.memtable_size = 8 * 1024;
+    Reopen();
+  }
+
+  void Reopen() {
+    db_.reset();
+    ASSERT_TRUE(DB::Open(options_, "/udb", &db_).ok());
+  }
+
+  static std::string Key(int i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%06d", i);
+    return buf;
+  }
+
+  std::string Get(const std::string& k) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), Slice(k), &value);
+    return s.ok() ? value : "NOT_FOUND";
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(UniversalCompactionTest, AllDataStaysInLevelZero) {
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i % 300)),
+                         Slice(std::string(64, 'v'))).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  DB::LsmShape shape = db_->GetLsmShape();
+  EXPECT_GT(shape.compaction_count, 0u);
+  for (size_t lvl = 1; lvl < shape.files_per_level.size(); lvl++) {
+    EXPECT_EQ(shape.files_per_level[lvl], 0) << "level " << lvl;
+  }
+  EXPECT_EQ(shape.num_levels_nonempty, 1);
+}
+
+TEST_F(UniversalCompactionTest, RunCountStaysBounded) {
+  for (int i = 0; i < 8000; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i % 500)),
+                         Slice(std::string(64, 'v'))).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  // Compactions keep the run count in the vicinity of the trigger.
+  EXPECT_LE(db_->GetLsmShape().l0_files,
+            options_.universal_run_trigger + 2);
+}
+
+TEST_F(UniversalCompactionTest, ReadsCorrectAcrossMerges) {
+  std::map<std::string, std::string> model;
+  Random rng(9);
+  for (int i = 0; i < 6000; i++) {
+    std::string k = Key(static_cast<int>(rng.Uniform(400)));
+    std::string v = "v" + std::to_string(i);
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(k), Slice(v)).ok());
+    model[k] = v;
+    if (i % 500 == 499) {
+      std::string probe = Key(static_cast<int>(rng.Uniform(400)));
+      auto it = model.find(probe);
+      EXPECT_EQ(Get(probe), it == model.end() ? "NOT_FOUND" : it->second);
+    }
+  }
+  for (const auto& [k, v] : model) EXPECT_EQ(Get(k), v);
+}
+
+TEST_F(UniversalCompactionTest, DeletesRespectedAcrossMerges) {
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i)), Slice("v")).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  for (int i = 0; i < 200; i += 2) {
+    ASSERT_TRUE(db_->Delete(WriteOptions(), Slice(Key(i))).ok());
+  }
+  // Churn enough to force several universal merges over the tombstones.
+  for (int i = 1000; i < 4000; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i)),
+                         Slice(std::string(64, 'x'))).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  for (int i = 0; i < 200; i++) {
+    EXPECT_EQ(Get(Key(i)), (i % 2 == 0) ? "NOT_FOUND" : "v") << i;
+  }
+}
+
+TEST_F(UniversalCompactionTest, ScansSeeMergedView) {
+  for (int round = 0; round < 5; round++) {
+    for (int i = round; i < 100; i += 5) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i)),
+                           Slice("r" + std::to_string(round))).ok());
+    }
+    ASSERT_TRUE(db_->FlushMemTable().ok());
+  }
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  int count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) count++;
+  EXPECT_EQ(count, 100);
+}
+
+TEST_F(UniversalCompactionTest, RecoverySeesUniversalLayout) {
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i % 250)),
+                         Slice("v" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  Reopen();
+  // Newest values win after recovery.
+  for (int i = 1750; i < 2000; i++) {
+    EXPECT_EQ(Get(Key(i % 250)), "v" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace adcache::lsm

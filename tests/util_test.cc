@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/arena.h"
+#include "util/hash.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace adcache {
+namespace {
+
+TEST(ArenaTest, SmallAllocationsPacked) {
+  Arena arena;
+  char* a = arena.Allocate(10);
+  char* b = arena.Allocate(10);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  memset(a, 1, 10);
+  memset(b, 2, 10);
+  EXPECT_EQ(a[9], 1);
+  EXPECT_EQ(b[0], 2);
+}
+
+TEST(ArenaTest, AlignedAllocationIsAligned) {
+  Arena arena;
+  arena.Allocate(1);  // misalign the bump pointer
+  char* p = arena.AllocateAligned(64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % sizeof(void*), 0u);
+}
+
+TEST(ArenaTest, LargeAllocationsWork) {
+  Arena arena;
+  char* p = arena.Allocate(100000);
+  ASSERT_NE(p, nullptr);
+  memset(p, 7, 100000);
+  EXPECT_EQ(p[99999], 7);
+  EXPECT_GE(arena.MemoryUsage(), 100000u);
+}
+
+TEST(ArenaTest, MemoryUsageMonotonic) {
+  Arena arena;
+  size_t prev = arena.MemoryUsage();
+  for (int i = 0; i < 200; i++) {
+    arena.Allocate(100);
+    EXPECT_GE(arena.MemoryUsage(), prev);
+    prev = arena.MemoryUsage();
+  }
+}
+
+TEST(HashTest, DeterministicAndSeedSensitive) {
+  const char* data = "some bytes";
+  EXPECT_EQ(Hash(data, 10, 1), Hash(data, 10, 1));
+  EXPECT_NE(Hash(data, 10, 1), Hash(data, 10, 2));
+  EXPECT_EQ(Hash64(data, 10, 1), Hash64(data, 10, 1));
+  EXPECT_NE(Hash64(data, 10, 1), Hash64(data, 10, 2));
+}
+
+TEST(HashTest, SpreadsAcrossBuckets) {
+  std::set<uint32_t> buckets;
+  for (int i = 0; i < 1000; i++) {
+    std::string key = "key" + std::to_string(i);
+    buckets.insert(HashSlice(Slice(key)) % 64);
+  }
+  EXPECT_EQ(buckets.size(), 64u);  // all buckets populated
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(99), b(99);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(5);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(6);
+  double sum = 0;
+  for (int i = 0; i < 10000; i++) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.05);
+}
+
+TEST(RandomTest, ZeroSeedIsValid) {
+  Random rng(0);
+  EXPECT_NE(rng.Next64(), rng.Next64());
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; v++) h.Add(v);
+  EXPECT_EQ(h.num(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_NEAR(h.Average(), 50.5, 0.01);
+  EXPECT_NEAR(h.Percentile(50), 50, 15);
+  EXPECT_GE(h.Percentile(99), h.Percentile(50));
+}
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.num(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Average(), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Add(1);
+  a.Add(2);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.num(), 3u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(42);
+  h.Clear();
+  EXPECT_EQ(h.num(), 0u);
+}
+
+TEST(HistogramTest, ToStringIsHumanReadable) {
+  Histogram h;
+  h.Add(10);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+}
+
+TEST(StatusTest, OkByDefaultAndToString) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status nf = Status::NotFound("missing key");
+  EXPECT_TRUE(nf.IsNotFound());
+  EXPECT_EQ(nf.ToString(), "NotFound: missing key");
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::IOError("disk").IsIOError());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("bad block");
+  Status t = s;
+  EXPECT_TRUE(t.IsCorruption());
+  EXPECT_EQ(t.ToString(), "Corruption: bad block");
+}
+
+}  // namespace
+}  // namespace adcache

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/cache.h"
+#include "lsm/db.h"
+#include "util/clock.h"
+#include "util/env.h"
+
+namespace adcache::lsm {
+namespace {
+
+class WriteBatchSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    options_.env = env_.get();
+    options_.block_size = 512;
+    options_.table_file_size = 8 * 1024;
+    options_.memtable_size = 16 * 1024;
+    options_.level1_size_base = 32 * 1024;
+    Reopen();
+  }
+
+  void Reopen() {
+    db_.reset();
+    ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  }
+
+  std::string Get(const std::string& k, const Snapshot* snap = nullptr) {
+    ReadOptions opts;
+    opts.snapshot = snap;
+    std::string value;
+    Status s = db_->Get(opts, Slice(k), &value);
+    return s.ok() ? value : "NOT_FOUND";
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(WriteBatchSnapshotTest, BatchAppliesAllOps) {
+  WriteBatch batch;
+  batch.Put(Slice("a"), Slice("1"));
+  batch.Put(Slice("b"), Slice("2"));
+  batch.Delete(Slice("a"));
+  batch.Put(Slice("c"), Slice("3"));
+  ASSERT_TRUE(db_->Write(WriteOptions(), batch).ok());
+  EXPECT_EQ(Get("a"), "NOT_FOUND");  // deleted within the batch
+  EXPECT_EQ(Get("b"), "2");
+  EXPECT_EQ(Get("c"), "3");
+}
+
+TEST_F(WriteBatchSnapshotTest, EmptyBatchIsNoOp) {
+  WriteBatch batch;
+  ASSERT_TRUE(db_->Write(WriteOptions(), batch).ok());
+}
+
+TEST_F(WriteBatchSnapshotTest, BatchCountAndSize) {
+  WriteBatch batch;
+  EXPECT_EQ(batch.Count(), 0u);
+  batch.Put(Slice("key"), Slice("value"));
+  batch.Delete(Slice("key2"));
+  EXPECT_EQ(batch.Count(), 2u);
+  EXPECT_GT(batch.ApproximateSize(), 10u);
+  batch.Clear();
+  EXPECT_EQ(batch.Count(), 0u);
+}
+
+TEST_F(WriteBatchSnapshotTest, BatchSurvivesRecoveryAtomically) {
+  WriteBatch batch;
+  for (int i = 0; i < 50; i++) {
+    batch.Put(Slice("batch_key" + std::to_string(i)),
+              Slice("v" + std::to_string(i)));
+  }
+  ASSERT_TRUE(db_->Write(WriteOptions(), batch).ok());
+  Reopen();
+  for (int i = 0; i < 50; i++) {
+    EXPECT_EQ(Get("batch_key" + std::to_string(i)), "v" + std::to_string(i));
+  }
+}
+
+TEST_F(WriteBatchSnapshotTest, SnapshotSeesFrozenState) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), Slice("k"), Slice("old")).ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Put(WriteOptions(), Slice("k"), Slice("new")).ok());
+  ASSERT_TRUE(db_->Put(WriteOptions(), Slice("added"), Slice("x")).ok());
+
+  EXPECT_EQ(Get("k"), "new");
+  EXPECT_EQ(Get("k", snap), "old");
+  EXPECT_EQ(Get("added", snap), "NOT_FOUND");
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(WriteBatchSnapshotTest, SnapshotSeesThroughDeletes) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), Slice("k"), Slice("v")).ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Delete(WriteOptions(), Slice("k")).ok());
+  EXPECT_EQ(Get("k"), "NOT_FOUND");
+  EXPECT_EQ(Get("k", snap), "v");
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(WriteBatchSnapshotTest, SnapshotIteratorIsFrozen) {
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice("k" + std::to_string(i)),
+                         Slice("v")).ok());
+  }
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Put(WriteOptions(), Slice("zlate"), Slice("v")).ok());
+
+  ReadOptions opts;
+  opts.snapshot = snap;
+  std::unique_ptr<Iterator> it(db_->NewIterator(opts));
+  int count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) count++;
+  EXPECT_EQ(count, 10);  // "zlate" invisible
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(WriteBatchSnapshotTest, CompactionPreservesSnapshotVisibleEntries) {
+  ASSERT_TRUE(db_->Put(WriteOptions(), Slice("pinned"), Slice("v_old")).ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  // Overwrite many times and force flushes/compactions; the old version
+  // must survive because the snapshot can still see it.
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(),
+                         Slice("k" + std::to_string(i % 200)),
+                         Slice(std::string(64, 'x'))).ok());
+    if (i % 500 == 0) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), Slice("pinned"),
+                           Slice("v" + std::to_string(i))).ok());
+    }
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->CompactAll().ok());
+  EXPECT_GT(db_->GetLsmShape().compaction_count, 0u);
+  EXPECT_EQ(Get("pinned", snap), "v_old");
+  EXPECT_EQ(Get("pinned"), "v2500");
+  db_->ReleaseSnapshot(snap);
+
+  // With the snapshot gone, further compaction may drop old versions; the
+  // latest value must of course remain.
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->CompactAll().ok());
+  EXPECT_EQ(Get("pinned"), "v2500");
+}
+
+TEST_F(WriteBatchSnapshotTest, SyncWriteSucceeds) {
+  WriteOptions sync_options;
+  sync_options.sync = true;
+  ASSERT_TRUE(db_->Put(sync_options, Slice("durable"), Slice("yes")).ok());
+  EXPECT_EQ(Get("durable"), "yes");
+}
+
+}  // namespace
+}  // namespace adcache::lsm
