@@ -77,20 +77,26 @@ void AdCacheStore::MaybeEndWindow() {
   if (stats_.TotalOps() < target) return;  // another thread handled it
   next_window_at_.store(target + options_.controller.window_size,
                         std::memory_order_relaxed);
-  lsm::DB::LsmShape raw = db_->GetLsmShape();
-  WindowStats window =
-      stats_.Harvest(db_->env()->io_stats()->block_reads.load(),
-                     raw.compaction_count, raw.flush_count);
+  WindowStats window = stats_.Harvest(
+      db_->env()->io_stats()->block_reads.load(), SampleMaintenance());
   controller_->OnWindowEnd(window, CurrentShape());
 }
 
 void AdCacheStore::ForceWindowEnd() {
   std::lock_guard<std::mutex> l(window_mu_);
-  lsm::DB::LsmShape raw = db_->GetLsmShape();
-  WindowStats window =
-      stats_.Harvest(db_->env()->io_stats()->block_reads.load(),
-                     raw.compaction_count, raw.flush_count);
+  WindowStats window = stats_.Harvest(
+      db_->env()->io_stats()->block_reads.load(), SampleMaintenance());
   controller_->OnWindowEnd(window, CurrentShape());
+}
+
+StatsCollector::MaintenanceSample AdCacheStore::SampleMaintenance() const {
+  lsm::DB::MaintenanceStats raw = db_->GetMaintenanceStats();
+  StatsCollector::MaintenanceSample sample;
+  sample.compactions = raw.compactions;
+  sample.flushes = raw.flushes;
+  sample.stall_micros = raw.stall_micros;
+  sample.write_groups = raw.write_groups;
+  return sample;
 }
 
 Status AdCacheStore::Put(const Slice& key, const Slice& value) {

@@ -67,6 +67,7 @@ class AdCacheStore : public KvStore {
 
   void MaybeEndWindow();
   LsmShapeParams CurrentShape() const;
+  StatsCollector::MaintenanceSample SampleMaintenance() const;
 
   AdCacheOptions options_;
   std::unique_ptr<DynamicCacheComponent> cache_;

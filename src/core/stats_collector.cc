@@ -3,8 +3,7 @@
 namespace adcache::core {
 
 WindowStats StatsCollector::Harvest(uint64_t block_reads_now,
-                                    uint64_t compactions_now,
-                                    uint64_t flushes_now) {
+                                    const MaintenanceSample& maintenance_now) {
   WindowStats cumulative;
   cumulative.point_lookups = point_lookups_.load(std::memory_order_relaxed);
   cumulative.scans = scans_.load(std::memory_order_relaxed);
@@ -31,13 +30,16 @@ WindowStats StatsCollector::Harvest(uint64_t block_reads_now,
   delta.scan_keys_admitted =
       cumulative.scan_keys_admitted - last_harvest_.scan_keys_admitted;
   delta.block_reads = block_reads_now - last_block_reads_;
-  delta.compactions = compactions_now - last_compactions_;
-  delta.flushes = flushes_now - last_flushes_;
+  delta.compactions = maintenance_now.compactions - last_maintenance_.compactions;
+  delta.flushes = maintenance_now.flushes - last_maintenance_.flushes;
+  delta.stall_micros =
+      maintenance_now.stall_micros - last_maintenance_.stall_micros;
+  delta.write_groups =
+      maintenance_now.write_groups - last_maintenance_.write_groups;
 
   last_harvest_ = cumulative;
   last_block_reads_ = block_reads_now;
-  last_compactions_ = compactions_now;
-  last_flushes_ = flushes_now;
+  last_maintenance_ = maintenance_now;
   return delta;
 }
 

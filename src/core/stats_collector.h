@@ -22,6 +22,10 @@ struct WindowStats {
   uint64_t block_reads = 0;  // SST block reads that hit storage (IO_miss)
   uint64_t compactions = 0;
   uint64_t flushes = 0;
+  /// Microseconds writers spent blocked on write stalls this window.
+  uint64_t stall_micros = 0;
+  /// Group commits the write path performed this window.
+  uint64_t write_groups = 0;
 
   uint64_t ops() const { return point_lookups + scans + writes; }
   double AvgScanLength() const {
@@ -82,10 +86,19 @@ class StatsCollector {
            writes_.load(std::memory_order_relaxed);
   }
 
-  /// Returns the delta since the previous Harvest. `block_reads`,
-  /// `compactions` and `flushes` are externally sampled monotonic counters.
-  WindowStats Harvest(uint64_t block_reads_now, uint64_t compactions_now,
-                      uint64_t flushes_now);
+  /// Monotonic maintenance counters sampled from the storage engine at a
+  /// window boundary (see lsm::DB::GetMaintenanceStats).
+  struct MaintenanceSample {
+    uint64_t compactions = 0;
+    uint64_t flushes = 0;
+    uint64_t stall_micros = 0;
+    uint64_t write_groups = 0;
+  };
+
+  /// Returns the delta since the previous Harvest. `block_reads_now` and
+  /// `maintenance_now` are externally sampled monotonic counters.
+  WindowStats Harvest(uint64_t block_reads_now,
+                      const MaintenanceSample& maintenance_now);
 
  private:
   std::atomic<uint64_t> point_lookups_{0};
@@ -99,8 +112,7 @@ class StatsCollector {
 
   WindowStats last_harvest_;
   uint64_t last_block_reads_ = 0;
-  uint64_t last_compactions_ = 0;
-  uint64_t last_flushes_ = 0;
+  MaintenanceSample last_maintenance_;
 };
 
 }  // namespace adcache::core

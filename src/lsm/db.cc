@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
 
 #include "lsm/table_builder.h"
+#include "util/clock.h"
 #include "util/coding.h"
 
 namespace adcache::lsm {
@@ -15,22 +20,28 @@ Env* DefaultEnv() {
   return env;
 }
 
-// WAL record = one atomic batch:
+// WAL record = one atomic commit group (>= 1 batches):
 //   fixed64 first_sequence | fixed32 count |
 //   count x (type byte | varint key | varint value)
 // Operation i commits at sequence first_sequence + i.
-void EncodeWalBatch(std::string* dst, SequenceNumber first_seq,
-                    const WriteBatch& batch) {
+void EncodeWalGroup(std::string* dst, SequenceNumber first_seq,
+                    const std::vector<const WriteBatch*>& batches) {
+  uint32_t count = 0;
+  for (const WriteBatch* b : batches) {
+    count += static_cast<uint32_t>(b->Count());
+  }
   PutFixed64(dst, first_seq);
-  PutFixed32(dst, static_cast<uint32_t>(batch.Count()));
-  for (const auto& op : batch.ops()) {
-    dst->push_back(static_cast<char>(op.type));
-    PutLengthPrefixedSlice(dst, Slice(op.key));
-    PutLengthPrefixedSlice(dst, Slice(op.value));
+  PutFixed32(dst, count);
+  for (const WriteBatch* b : batches) {
+    for (const auto& op : b->ops()) {
+      dst->push_back(static_cast<char>(op.type));
+      PutLengthPrefixedSlice(dst, Slice(op.key));
+      PutLengthPrefixedSlice(dst, Slice(op.value));
+    }
   }
 }
 
-bool DecodeWalBatch(Slice record, SequenceNumber* first_seq,
+bool DecodeWalGroup(Slice record, SequenceNumber* first_seq,
                     WriteBatch* batch) {
   batch->Clear();
   if (record.size() < 12) return false;
@@ -56,6 +67,20 @@ bool DecodeWalBatch(Slice record, SequenceNumber* first_seq,
   return true;
 }
 
+/// Parses "NNNNNN.wal" (the basename produced by WalFileName).
+bool ParseWalFileName(const std::string& name, uint64_t* number) {
+  unsigned long long n = 0;
+  char suffix[8] = {0};
+  if (std::sscanf(name.c_str(), "%llu.%3s", &n, suffix) != 2) return false;
+  if (std::string(suffix) != "wal") return false;
+  *number = n;
+  return true;
+}
+
+uint64_t WallMicros() {
+  return SystemClock::Default()->NowMicros();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -68,7 +93,26 @@ DB::DB(const Options& options, std::string dbname, Env* env)
 }
 
 DB::~DB() {
+  Close();
+  for (MemTable* m : imm_) m->Unref();
+  imm_.clear();
   if (mem_ != nullptr) mem_->Unref();
+}
+
+Status DB::Close() {
+  {
+    std::unique_lock<std::mutex> l(mutex_);
+    if (closed_) return bg_error_;
+    shutting_down_ = true;
+    // Drain the in-flight maintenance job (it re-checks shutting_down_
+    // before starting another unit, so this wait is bounded by one unit).
+    while (bg_scheduled_) bg_work_done_cv_.wait(l);
+    closed_ = true;
+  }
+  bg_pool_.reset();  // joins workers; the queue is empty by now
+  bg_work_done_cv_.notify_all();
+  std::lock_guard<std::mutex> l(mutex_);
+  return bg_error_;
 }
 
 Status DB::Open(const Options& options, const std::string& dbname,
@@ -84,6 +128,15 @@ Status DB::Open(const Options& options, const std::string& dbname,
 
   s = db->Recover();
   if (!s.ok()) return s;
+
+  // Background maintenance starts only after recovery: everything above
+  // runs single-threaded.
+  db->bg_pool_ =
+      std::make_unique<util::ThreadPool>(options.max_background_jobs);
+  {
+    std::lock_guard<std::mutex> l(db->mutex_);
+    db->MaybeScheduleMaintenance();  // recovered tree may be over-threshold
+  }
   *dbptr = std::move(db);
   return Status::OK();
 }
@@ -171,14 +224,42 @@ Status DB::Recover() {
     }
   }
 
-  if (options_.enable_wal && recovered_wal != 0 &&
-      env_->FileExists(WalFileName(dbname_, recovered_wal))) {
-    Status s = ReplayWal(recovered_wal);
-    if (!s.ok()) return s;
+  // Replay every WAL at or after the manifest's oldest-live marker, oldest
+  // first; anything older is flushed data whose deletion did not complete.
+  uint64_t oldest_replayed = 0;
+  if (options_.enable_wal) {
+    std::vector<std::string> children;
+    env_->GetChildren(dbname_, &children);  // best effort
+    std::vector<uint64_t> live, dead;
+    for (const std::string& child : children) {
+      uint64_t number = 0;
+      if (!ParseWalFileName(child, &number)) continue;
+      if (number >= recovered_wal) {
+        live.push_back(number);
+      } else {
+        dead.push_back(number);
+      }
+    }
+    std::sort(live.begin(), live.end());
+    for (uint64_t number : live) {
+      Status s = ReplayWal(number);
+      if (!s.ok()) return s;
+      live_wal_files_.insert(number);
+      if (number >= next_file_number_.load()) {
+        next_file_number_ = number + 1;
+      }
+    }
+    if (!live.empty()) oldest_replayed = live.front();
+    for (uint64_t number : dead) {
+      env_->RemoveFile(WalFileName(dbname_, number));  // best effort
+    }
   }
 
-  Status s = NewWal();
+  Status s = NewWalLocked();  // single-threaded here; mutex_ not required
   if (!s.ok()) return s;
+  // The active memtable's coverage starts at the oldest replayed WAL (its
+  // entries are not yet in any SST) or at the fresh one.
+  mem_->set_wal_number(oldest_replayed != 0 ? oldest_replayed : wal_number_);
   return WriteManifestSnapshot();
 }
 
@@ -192,7 +273,7 @@ Status DB::ReplayWal(uint64_t wal_number) {
   WriteBatch batch;
   while (reader.ReadRecord(&record, &scratch)) {
     SequenceNumber seq;
-    if (!DecodeWalBatch(record, &seq, &batch)) break;
+    if (!DecodeWalGroup(record, &seq, &batch)) break;
     for (const auto& op : batch.ops()) {
       mem_->Add(seq++, op.type, Slice(op.key), Slice(op.value));
     }
@@ -226,30 +307,43 @@ SequenceNumber DB::SmallestLiveSnapshot() const {
   return *snapshots_.begin();
 }
 
-Status DB::NewWal() {
+Status DB::NewWalLocked() {
   if (!options_.enable_wal) return Status::OK();
-  uint64_t old_wal = wal_number_;
-  wal_number_ = next_file_number_++;
+  uint64_t number = next_file_number_.fetch_add(1);
   std::unique_ptr<WritableFile> file;
-  Status s = env_->NewWritableFile(WalFileName(dbname_, wal_number_), &file);
+  Status s = env_->NewWritableFile(WalFileName(dbname_, number), &file);
   if (!s.ok()) return s;
   wal_ = std::make_unique<LogWriter>(std::move(file));
-  if (old_wal != 0) {
-    env_->RemoveFile(WalFileName(dbname_, old_wal));  // best effort
-  }
+  wal_number_ = number;
+  live_wal_files_.insert(number);
   return Status::OK();
 }
 
 Status DB::WriteManifestSnapshot() {
+  // Gather a consistent state snapshot under the lock; build and write the
+  // record outside it. Only the (single-flight) background job and Open
+  // call this, so two manifest writes never interleave.
   std::shared_ptr<const Version> version;
+  uint64_t next_file_number;
+  uint64_t last_sequence;
+  uint64_t oldest_live_wal;
   {
     std::lock_guard<std::mutex> l(mutex_);
     version = current_;
+    next_file_number = next_file_number_.load(std::memory_order_relaxed);
+    last_sequence = last_sequence_.load(std::memory_order_acquire);
+    if (!options_.enable_wal) {
+      oldest_live_wal = 0;
+    } else if (!imm_.empty()) {
+      oldest_live_wal = imm_.front()->wal_number();
+    } else {
+      oldest_live_wal = mem_ != nullptr ? mem_->wal_number() : wal_number_;
+    }
   }
   std::string record;
-  PutFixed64(&record, next_file_number_);
-  PutFixed64(&record, last_sequence_.load());
-  PutFixed64(&record, wal_number_);
+  PutFixed64(&record, next_file_number);
+  PutFixed64(&record, last_sequence);
+  PutFixed64(&record, oldest_live_wal);
   uint32_t num_files = 0;
   for (int lvl = 0; lvl < version->num_levels(); lvl++) {
     num_files += static_cast<uint32_t>(version->files(lvl).size());
@@ -275,7 +369,7 @@ Status DB::WriteManifestSnapshot() {
 }
 
 // ---------------------------------------------------------------------------
-// Writes
+// Writes: leader/follower group commit
 // ---------------------------------------------------------------------------
 
 Status DB::Put(const WriteOptions& write_options, const Slice& key,
@@ -293,90 +387,330 @@ Status DB::Delete(const WriteOptions& write_options, const Slice& key) {
 
 Status DB::Write(const WriteOptions& write_options, const WriteBatch& batch) {
   if (batch.Count() == 0) return Status::OK();
-  std::lock_guard<std::mutex> wl(write_mutex_);
-  SequenceNumber first_seq =
-      last_sequence_.load(std::memory_order_relaxed) + 1;
+  return WriteImpl(write_options, &batch);
+}
 
-  if (options_.enable_wal) {
-    std::string record;
-    EncodeWalBatch(&record, first_seq, batch);
-    Status s = wal_->AddRecord(Slice(record));
-    if (s.ok() && write_options.sync) s = wal_->Sync();
-    if (!s.ok()) return s;
+std::vector<DB::Writer*> DB::BuildWriteGroup(Writer* leader) {
+  std::vector<Writer*> group{leader};
+  if (!options_.enable_group_commit) return group;
+  size_t bytes = leader->batch->ApproximateSize();
+  // Don't make a tiny write wait on a huge group's WAL record.
+  size_t max_bytes = options_.write_group_max_bytes;
+  if (bytes <= 1024) {
+    max_bytes = std::min<size_t>(max_bytes, bytes + (128 << 10));
+  }
+  for (auto it = writers_.begin() + 1; it != writers_.end(); ++it) {
+    Writer* w = *it;
+    if (w->batch == nullptr) break;  // memtable-switch request: own turn
+    if (w->sync && !leader->sync) break;  // don't demote a sync write
+    bytes += w->batch->ApproximateSize();
+    if (bytes > max_bytes) break;
+    group.push_back(w);
+  }
+  return group;
+}
+
+Status DB::WriteImpl(const WriteOptions& write_options,
+                     const WriteBatch* batch) {
+  Writer w(batch, write_options.sync);
+  std::unique_lock<std::mutex> l(mutex_);
+  if (closed_ || shutting_down_) return Status::IOError("DB closed");
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.wait(l);
+  }
+  if (w.done) return w.status;  // a leader committed this batch for us
+
+  // This thread is the leader: it owns the write path (WAL + active
+  // memtable) until its group is popped from the queue.
+  Status s = MakeRoomForWrite(&l, /*force_switch=*/batch == nullptr);
+  size_t committed = 1;  // queue entries to pop (at least the leader)
+  if (s.ok() && batch != nullptr) {
+    std::vector<Writer*> group = BuildWriteGroup(&w);
+    committed = group.size();
+    std::vector<const WriteBatch*> batches;
+    batches.reserve(group.size());
+    bool sync = false;
+    size_t count = 0;
+    for (Writer* g : group) {
+      batches.push_back(g->batch);
+      sync |= g->sync;
+      count += g->batch->Count();
+    }
+    SequenceNumber first_seq =
+        last_sequence_.load(std::memory_order_relaxed) + 1;
+    MemTable* mem = mem_;
+    LogWriter* wal = wal_.get();
+
+    // WAL append + memtable apply run without the lock: only this leader
+    // touches them, and the next leader cannot start until the group is
+    // popped below.
+    l.unlock();
+    if (options_.enable_wal) {
+      std::string record;
+      EncodeWalGroup(&record, first_seq, batches);
+      s = wal->AddRecord(Slice(record));
+      if (s.ok() && sync) {
+        s = wal->Sync();
+        maint_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (s.ok()) {
+      SequenceNumber seq = first_seq;
+      for (const WriteBatch* b : batches) {
+        for (const auto& op : b->ops()) {
+          mem->Add(seq++, op.type, Slice(op.key), Slice(op.value));
+        }
+      }
+      assert(seq == first_seq + count);
+      // Publish only after every entry is reachable in the memtable, so
+      // readers never observe a half-applied group.
+      last_sequence_.store(first_seq + count - 1, std::memory_order_release);
+      maint_.write_groups.fetch_add(1, std::memory_order_relaxed);
+      maint_.grouped_writes.fetch_add(group.size(),
+                                      std::memory_order_relaxed);
+    }
+    l.lock();
   }
 
-  SequenceNumber seq = first_seq;
-  for (const auto& op : batch.ops()) {
-    mem_->Add(seq++, op.type, Slice(op.key), Slice(op.value));
-  }
-  // Publish only after every entry is reachable in the memtable, so readers
-  // never observe a half-applied batch.
-  last_sequence_.store(seq - 1, std::memory_order_release);
-
-  if (mem_->ApproximateMemoryUsage() >= options_.memtable_size) {
-    Status s = FlushMemTableLocked();
-    if (!s.ok()) return s;
-    Status cs;
-    while (MaybeCompactOnce(&cs)) {
-      if (!cs.ok()) return cs;
+  // Pop the committed group (its members are exactly the queue's first
+  // `committed` entries), wake the followers, then promote a new leader.
+  for (size_t i = 0; i < committed; i++) {
+    Writer* done_writer = writers_.front();
+    writers_.pop_front();
+    if (done_writer != &w) {
+      done_writer->status = s;
+      done_writer->done = true;
+      done_writer->cv.notify_one();
     }
   }
+  if (!writers_.empty()) writers_.front()->cv.notify_one();
+  return s;
+}
+
+Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* l,
+                            bool force_switch) {
+  bool allow_delay = !force_switch;
+  while (true) {
+    if (!bg_error_.ok()) {
+      // Surface (and clear) the background failure so the caller can retry
+      // once the underlying condition is fixed.
+      Status s = bg_error_;
+      bg_error_ = Status::OK();
+      return s;
+    }
+    if (shutting_down_) return Status::IOError("DB closed");
+
+    if (allow_delay &&
+        current_->NumFiles(0) >= options_.l0_slowdown_trigger &&
+        options_.slowdown_delay_micros > 0) {
+      // Soft backpressure: delay this write once to let compaction gain
+      // ground, instead of stalling for seconds at the stop trigger.
+      l->unlock();
+      env_->clock()->Charge(options_.slowdown_delay_micros);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.slowdown_delay_micros));
+      l->lock();
+      allow_delay = false;
+      maint_.slowdown_writes.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!force_switch &&
+        (mem_->num_entries() == 0 ||  // arena pre-allocation is not "full"
+         mem_->ApproximateMemoryUsage() < options_.memtable_size)) {
+      return Status::OK();  // room in the active memtable
+    }
+    if (force_switch && mem_->num_entries() == 0) {
+      return Status::OK();  // nothing to switch out
+    }
+    bool imm_full = static_cast<int>(imm_.size()) >=
+                    std::max(1, options_.max_write_buffer_number - 1);
+    bool l0_stopped = current_->NumFiles(0) >= options_.l0_stop_trigger;
+    if (imm_full || l0_stopped) {
+      // Hard backpressure: wait for background maintenance to make room.
+      MaybeScheduleMaintenance();
+      if (bg_scheduled_ || !imm_.empty() ||
+          VersionNeedsCompaction(*current_)) {
+        uint64_t start = WallMicros();
+        bg_work_done_cv_.wait(*l);
+        maint_.stall_micros.fetch_add(WallMicros() - start,
+                                      std::memory_order_relaxed);
+        continue;
+      }
+      // No background work can make progress (misconfigured triggers or a
+      // just-cleared error): fall through and switch anyway rather than
+      // deadlocking.
+    }
+    Status s = SwitchMemTableLocked();
+    if (!s.ok()) return s;
+    force_switch = false;
+  }
+}
+
+Status DB::SwitchMemTableLocked() {
+  Status s = NewWalLocked();
+  if (!s.ok()) return s;
+  imm_.push_back(mem_);  // transfers our reference
+  mem_ = new MemTable();
+  mem_->Ref();
+  mem_->set_wal_number(options_.enable_wal ? wal_number_ : 0);
+  MaybeScheduleMaintenance();
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Background maintenance
+// ---------------------------------------------------------------------------
+
+bool DB::VersionNeedsCompaction(const Version& v) const {
+  if (options_.compaction_style == CompactionStyle::kUniversal) {
+    return v.NumFiles(0) >= options_.universal_run_trigger;
+  }
+  if (v.NumFiles(0) >= options_.l0_compaction_trigger) return true;
+  for (int lvl = 1; lvl < options_.num_levels - 1; lvl++) {
+    if (v.LevelBytes(lvl) > MaxBytesForLevel(lvl)) return true;
+  }
+  return false;
+}
+
+void DB::MaybeScheduleMaintenance() {
+  if (bg_scheduled_ || shutting_down_ || closed_) return;
+  if (!bg_error_.ok()) return;  // paused until the error is surfaced
+  if (bg_pool_ == nullptr) return;  // still inside Open
+  if (imm_.empty() && !VersionNeedsCompaction(*current_)) return;
+  bg_scheduled_ = true;
+  bg_pool_->Schedule([this] { BackgroundCall(); });
+}
+
+void DB::BackgroundCall() {
+  std::unique_lock<std::mutex> l(mutex_);
+  if (!shutting_down_) {
+    Status s;
+    if (!imm_.empty()) {
+      s = FlushOldestImm(&l);  // flushes take priority over compactions
+    } else if (VersionNeedsCompaction(*current_)) {
+      l.unlock();
+      MaybeCompactOnce(&s);
+      l.lock();
+    }
+    if (!s.ok() && bg_error_.ok()) bg_error_ = s;
+  }
+  bg_scheduled_ = false;
+  MaybeScheduleMaintenance();  // more work? chain another pass
+  bg_work_done_cv_.notify_all();
+}
+
+Status DB::FlushOldestImm(std::unique_lock<std::mutex>* l) {
+  MemTable* imm = imm_.front();
+  if (imm->num_entries() == 0) {
+    imm_.erase(imm_.begin());
+    l->unlock();
+    imm->Unref();
+    l->lock();
+    return Status::OK();
+  }
+  uint64_t file_number = next_file_number_.fetch_add(1);
+
+  // Build the L0 table outside the lock: the immutable memtable is
+  // read-only and pinned by the reference the imm_ list holds.
+  l->unlock();
+  Status s;
+  auto meta = std::make_shared<FileMetaData>();
+  meta->number = file_number;
+  {
+    std::unique_ptr<WritableFile> file;
+    s = env_->NewWritableFile(TableFileName(dbname_, file_number), &file);
+    if (s.ok()) {
+      TableBuilder builder(options_, std::move(file));
+      std::unique_ptr<Iterator> iter(imm->NewIterator());
+      for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+        if (meta->smallest.empty()) meta->smallest = iter->key().ToString();
+        meta->largest = iter->key().ToString();
+        builder.Add(iter->key(), iter->value());
+      }
+      s = builder.Finish();
+    }
+    if (s.ok()) s = OpenTable(file_number, &meta->file_size, &meta->table);
+  }
+  if (!s.ok()) {
+    l->lock();
+    return s;  // the memtable stays on imm_; retried after the error clears
+  }
+
+  // Install: new version with the file prepended to L0 (newest first).
+  auto new_version = std::make_shared<Version>(options_.num_levels);
+  l->lock();
+  new_version->files_ = current_->files_;
+  new_version->files_[0].insert(new_version->files_[0].begin(),
+                                std::move(meta));
+  current_ = new_version;
+  imm_.erase(imm_.begin());
+  maint_.flushes.fetch_add(1, std::memory_order_relaxed);
+  l->unlock();
+  imm->Unref();
+  s = WriteManifestSnapshot();
+  if (s.ok()) RemoveObsoleteWals();
+  l->lock();
+  return s;
+}
+
+void DB::RemoveObsoleteWals() {
+  if (!options_.enable_wal) return;
+  std::vector<uint64_t> dead;
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    uint64_t oldest_live = !imm_.empty()
+                               ? imm_.front()->wal_number()
+                               : (mem_ != nullptr ? mem_->wal_number()
+                                                  : wal_number_);
+    for (auto it = live_wal_files_.begin(); it != live_wal_files_.end();) {
+      if (*it < oldest_live) {
+        dead.push_back(*it);
+        it = live_wal_files_.erase(it);
+      } else {
+        break;  // the set is sorted
+      }
+    }
+  }
+  for (uint64_t number : dead) {
+    env_->RemoveFile(WalFileName(dbname_, number));  // best effort
+  }
 }
 
 Status DB::FlushMemTable() {
-  std::lock_guard<std::mutex> wl(write_mutex_);
-  Status s = FlushMemTableLocked();
+  // Route the memtable switch through the writer queue so it serialises
+  // with in-flight group commits, then wait for maintenance to quiesce.
+  Status s = WriteImpl(WriteOptions(), nullptr);
   if (!s.ok()) return s;
-  Status cs;
-  while (MaybeCompactOnce(&cs)) {
-    if (!cs.ok()) return cs;
+  std::unique_lock<std::mutex> l(mutex_);
+  while (bg_error_.ok() && !shutting_down_ &&
+         (bg_scheduled_ || !imm_.empty() ||
+          VersionNeedsCompaction(*current_))) {
+    MaybeScheduleMaintenance();
+    bg_work_done_cv_.wait(l);
+  }
+  if (!bg_error_.ok()) {
+    s = bg_error_;
+    bg_error_ = Status::OK();
+    return s;
   }
   return Status::OK();
 }
 
-Status DB::FlushMemTableLocked() {
-  if (mem_->num_entries() == 0) return Status::OK();
-
-  uint64_t file_number = next_file_number_++;
-  std::unique_ptr<WritableFile> file;
-  Status s =
-      env_->NewWritableFile(TableFileName(dbname_, file_number), &file);
-  if (!s.ok()) return s;
-
-  TableBuilder builder(options_, std::move(file));
-  std::unique_ptr<Iterator> iter(mem_->NewIterator());
-  auto meta = std::make_shared<FileMetaData>();
-  meta->number = file_number;
-  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
-    if (meta->smallest.empty()) meta->smallest = iter->key().ToString();
-    meta->largest = iter->key().ToString();
-    builder.Add(iter->key(), iter->value());
+Status DB::CompactAll() {
+  std::unique_lock<std::mutex> l(mutex_);
+  while (bg_error_.ok() && !shutting_down_ &&
+         (bg_scheduled_ || !imm_.empty() ||
+          VersionNeedsCompaction(*current_))) {
+    MaybeScheduleMaintenance();
+    bg_work_done_cv_.wait(l);
   }
-  s = builder.Finish();
-  if (!s.ok()) return s;
-
-  s = OpenTable(file_number, &meta->file_size, &meta->table);
-  if (!s.ok()) return s;
-
-  // Install: new version with the file prepended to L0, fresh memtable.
-  auto new_version = std::make_shared<Version>(options_.num_levels);
-  {
-    std::lock_guard<std::mutex> l(mutex_);
-    new_version->files_ = current_->files_;
-    new_version->files_[0].insert(new_version->files_[0].begin(),
-                                  std::move(meta));
-    current_ = new_version;
-    MemTable* old_mem = mem_;
-    mem_ = new MemTable();
-    mem_->Ref();
-    old_mem->Unref();
+  if (!bg_error_.ok()) {
+    Status s = bg_error_;
+    bg_error_ = Status::OK();
+    return s;
   }
-  flush_count_++;
-
-  s = NewWal();
-  if (s.ok()) s = WriteManifestSnapshot();
-  return s;
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -515,7 +849,7 @@ bool DB::MaybeCompactOnce(Status* s) {
     if (drop) continue;
 
     if (builder == nullptr) {
-      out_number = next_file_number_++;
+      out_number = next_file_number_.fetch_add(1);
       std::unique_ptr<WritableFile> file;
       *s = env_->NewWritableFile(TableFileName(dbname_, out_number), &file);
       if (!s->ok()) return false;
@@ -584,7 +918,7 @@ bool DB::MaybeCompactOnce(Status* s) {
               });
     current_ = new_version;
   }
-  compaction_count_++;
+  maint_.compactions.fetch_add(1, std::memory_order_relaxed);
 
   // Leaper-style prefetch, step 2: warm the block cache with the output
   // blocks that cover the previously-hot key ranges.
@@ -705,7 +1039,7 @@ bool DB::UniversalCompactOnce(Status* s) {
     if (drop) continue;
 
     if (builder == nullptr) {
-      out_number = next_file_number_++;
+      out_number = next_file_number_.fetch_add(1);
       std::unique_ptr<WritableFile> file;
       *s = env_->NewWritableFile(TableFileName(dbname_, out_number), &file);
       if (!s->ok()) return false;
@@ -734,7 +1068,7 @@ bool DB::UniversalCompactOnce(Status* s) {
     if (out_meta != nullptr) l0.insert(l0.begin(), out_meta);
     current_ = new_version;
   }
-  compaction_count_++;
+  maint_.compactions.fetch_add(1, std::memory_order_relaxed);
 
   for (const auto& f : inputs) {
     env_->RemoveFile(TableFileName(dbname_, f->number));
@@ -743,22 +1077,25 @@ bool DB::UniversalCompactOnce(Status* s) {
   return s->ok();
 }
 
-Status DB::CompactAll() {
-  std::lock_guard<std::mutex> wl(write_mutex_);
-  Status s;
-  while (MaybeCompactOnce(&s)) {
-    if (!s.ok()) return s;
-  }
-  return s;
-}
-
 // ---------------------------------------------------------------------------
 // Reads
 // ---------------------------------------------------------------------------
 
+void DB::GetReadState(std::vector<MemTable*>* mems,
+                      std::shared_ptr<const Version>* version) {
+  mems->clear();
+  mems->push_back(mem_);
+  // Immutable memtables, newest first (imm_ is oldest first).
+  for (auto it = imm_.rbegin(); it != imm_.rend(); ++it) {
+    mems->push_back(*it);
+  }
+  for (MemTable* m : *mems) m->Ref();
+  *version = current_;
+}
+
 Status DB::Get(const ReadOptions& read_options, const Slice& key,
                std::string* value) {
-  MemTable* mem;
+  std::vector<MemTable*> mems;
   std::shared_ptr<const Version> version;
   SequenceNumber snapshot;
   {
@@ -766,16 +1103,20 @@ Status DB::Get(const ReadOptions& read_options, const Slice& key,
     snapshot = read_options.snapshot != nullptr
                    ? read_options.snapshot->sequence()
                    : last_sequence_.load(std::memory_order_acquire);
-    mem = mem_;
-    mem->Ref();
-    version = current_;
+    GetReadState(&mems, &version);
   }
 
   Status result;
-  bool deleted = false;
-  if (mem->Get(key, snapshot, value, &deleted)) {
-    result = deleted ? Status::NotFound() : Status::OK();
-  } else {
+  bool resolved = false;
+  for (MemTable* mem : mems) {  // newest data first
+    bool deleted = false;
+    if (mem->Get(key, snapshot, value, &deleted)) {
+      result = deleted ? Status::NotFound() : Status::OK();
+      resolved = true;
+      break;
+    }
+  }
+  if (!resolved) {
     auto r = const_cast<Version*>(version.get())
                  ->Get(read_options, key, snapshot, value);
     switch (r) {
@@ -788,7 +1129,7 @@ Status DB::Get(const ReadOptions& read_options, const Slice& key,
         break;
     }
   }
-  mem->Unref();
+  for (MemTable* mem : mems) mem->Unref();
   return result;
 }
 
@@ -804,16 +1145,18 @@ namespace {
 /// report NotSupported.
 class DBIter : public Iterator {
  public:
-  DBIter(Iterator* internal, SequenceNumber snapshot, MemTable* mem,
+  /// Takes ownership of one reference to each memtable in `mems`.
+  DBIter(Iterator* internal, SequenceNumber snapshot,
+         std::vector<MemTable*> mems,
          std::shared_ptr<const Version> version)
       : internal_(internal),
         snapshot_(snapshot),
-        mem_(mem),
-        version_(std::move(version)) {
-    mem_->Ref();
-  }
+        mems_(std::move(mems)),
+        version_(std::move(version)) {}
 
-  ~DBIter() override { mem_->Unref(); }
+  ~DBIter() override {
+    for (MemTable* m : mems_) m->Unref();
+  }
 
   bool Valid() const override { return valid_; }
 
@@ -900,7 +1243,7 @@ class DBIter : public Iterator {
 
   std::unique_ptr<Iterator> internal_;
   SequenceNumber snapshot_;
-  MemTable* mem_;
+  std::vector<MemTable*> mems_;
   std::shared_ptr<const Version> version_;
   bool valid_ = false;
   std::string key_;
@@ -911,7 +1254,7 @@ class DBIter : public Iterator {
 }  // namespace
 
 Iterator* DB::NewIterator(const ReadOptions& read_options) {
-  MemTable* mem;
+  std::vector<MemTable*> mems;
   std::shared_ptr<const Version> version;
   SequenceNumber snapshot;
   {
@@ -919,18 +1262,16 @@ Iterator* DB::NewIterator(const ReadOptions& read_options) {
     snapshot = read_options.snapshot != nullptr
                    ? read_options.snapshot->sequence()
                    : last_sequence_.load(std::memory_order_acquire);
-    mem = mem_;
-    mem->Ref();
-    version = current_;
+    GetReadState(&mems, &version);
   }
   std::vector<Iterator*> children;
-  children.push_back(mem->NewIterator());
+  for (MemTable* mem : mems) {
+    children.push_back(mem->NewIterator());
+  }
   version->AddIterators(read_options, &children);
   static InternalKeyComparator icmp;
   Iterator* merged = NewMergingIterator(&icmp, std::move(children));
-  auto* iter = new DBIter(merged, snapshot, mem, version);
-  mem->Unref();  // DBIter holds its own reference
-  return iter;
+  return new DBIter(merged, snapshot, std::move(mems), version);
 }
 
 // ---------------------------------------------------------------------------
@@ -939,16 +1280,19 @@ Iterator* DB::NewIterator(const ReadOptions& read_options) {
 
 DB::LsmShape DB::GetLsmShape() const {
   std::shared_ptr<const Version> version;
+  int imm_count;
   {
     std::lock_guard<std::mutex> l(mutex_);
     version = current_;
+    imm_count = static_cast<int>(imm_.size());
   }
   LsmShape shape;
   shape.num_levels_nonempty = version->NumNonEmptyLevels();
   shape.l0_files = version->NumFiles(0);
   shape.sorted_runs = version->NumSortedRuns();
-  shape.compaction_count = compaction_count_.load();
-  shape.flush_count = flush_count_.load();
+  shape.imm_memtables = imm_count;
+  shape.compaction_count = maint_.compactions.load(std::memory_order_relaxed);
+  shape.flush_count = maint_.flushes.load(std::memory_order_relaxed);
   shape.prefetched_blocks = prefetched_blocks_.load();
   for (int lvl = 0; lvl < version->num_levels(); lvl++) {
     shape.files_per_level.push_back(version->NumFiles(lvl));
@@ -959,6 +1303,20 @@ DB::LsmShape DB::GetLsmShape() const {
                   : static_cast<double>(total_table_entries_.load()) /
                         static_cast<double>(blocks);
   return shape;
+}
+
+DB::MaintenanceStats DB::GetMaintenanceStats() const {
+  MaintenanceStats stats;
+  stats.flushes = maint_.flushes.load(std::memory_order_relaxed);
+  stats.compactions = maint_.compactions.load(std::memory_order_relaxed);
+  stats.write_groups = maint_.write_groups.load(std::memory_order_relaxed);
+  stats.grouped_writes =
+      maint_.grouped_writes.load(std::memory_order_relaxed);
+  stats.wal_syncs = maint_.wal_syncs.load(std::memory_order_relaxed);
+  stats.stall_micros = maint_.stall_micros.load(std::memory_order_relaxed);
+  stats.slowdown_writes =
+      maint_.slowdown_writes.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace adcache::lsm

@@ -2,6 +2,8 @@
 #define ADCACHE_LSM_DB_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -16,6 +18,7 @@
 #include "lsm/version.h"
 #include "lsm/write_batch.h"
 #include "util/env.h"
+#include "util/thread_pool.h"
 
 namespace adcache::lsm {
 
@@ -32,9 +35,15 @@ class Snapshot {
 };
 
 /// A leveled LSM-tree key-value store: memtable + WAL + leveled SSTables
-/// with synchronous flush/compaction in the writer's thread. Reads (Get and
-/// iterators) are safe from any number of threads concurrently with a
-/// writer; writers serialise among themselves internally.
+/// with an asynchronous, RocksDB-style write path. Writers group-commit
+/// (the queue leader writes one combined WAL record and syncs once for the
+/// whole group); a full memtable is swapped for a fresh one and flushed by
+/// a background thread pool, which also runs compactions. Writers apply
+/// bounded backpressure (slowdown, then stop) instead of performing
+/// maintenance inline. See DESIGN.md "Threading model".
+///
+/// Reads (Get and iterators) are safe from any number of threads
+/// concurrently with writers and background maintenance.
 ///
 /// Iterators returned by NewIterator expose *user* keys, deduplicated and
 /// tombstone-free, at the snapshot taken when the iterator was created.
@@ -45,6 +54,7 @@ class DB {
     int num_levels_nonempty = 0;  // L
     int l0_files = 0;             // current r0
     int sorted_runs = 0;          // r
+    int imm_memtables = 0;        // immutable memtables awaiting flush
     uint64_t compaction_count = 0;
     uint64_t flush_count = 0;
     /// Blocks re-read into the block cache by Leaper-style prefetching.
@@ -54,6 +64,22 @@ class DB {
     double entries_per_block = 0;
   };
 
+  /// Cumulative background-maintenance and write-path counters. All fields
+  /// are monotonic; consumers (StatsCollector) difference them per window.
+  struct MaintenanceStats {
+    uint64_t flushes = 0;
+    uint64_t compactions = 0;
+    /// Leader-led commits (each wrote one WAL record for >= 1 batches).
+    uint64_t write_groups = 0;
+    /// Batches committed through those groups.
+    uint64_t grouped_writes = 0;
+    uint64_t wal_syncs = 0;
+    /// Wall microseconds writers spent blocked on stop-stalls.
+    uint64_t stall_micros = 0;
+    /// Writes delayed once by the L0 slowdown trigger.
+    uint64_t slowdown_writes = 0;
+  };
+
   static Status Open(const Options& options, const std::string& dbname,
                      std::unique_ptr<DB>* dbptr);
 
@@ -61,10 +87,16 @@ class DB {
   DB& operator=(const DB&) = delete;
   ~DB();
 
+  /// Drains in-flight background maintenance and stops the pool. Further
+  /// writes fail; reads of already-committed data keep working. Idempotent;
+  /// the destructor calls it. Returns any pending background error.
+  Status Close();
+
   Status Put(const WriteOptions& write_options, const Slice& key,
              const Slice& value);
   Status Delete(const WriteOptions& write_options, const Slice& key);
-  /// Applies all updates in `batch` atomically (one WAL record).
+  /// Applies all updates in `batch` atomically (one WAL record; the record
+  /// may carry additional concurrently queued batches — group commit).
   Status Write(const WriteOptions& write_options, const WriteBatch& batch);
   Status Get(const ReadOptions& read_options, const Slice& key,
              std::string* value);
@@ -78,55 +110,129 @@ class DB {
   Iterator* NewIterator(const ReadOptions& read_options);
 
   LsmShape GetLsmShape() const;
+  MaintenanceStats GetMaintenanceStats() const;
   Env* env() const { return env_; }
   const Options& options() const { return options_; }
 
-  /// Forces a memtable flush (testing / benchmarks).
+  /// Forces a memtable flush and waits for background maintenance
+  /// (flushes + cascading compactions) to quiesce (testing / benchmarks).
   Status FlushMemTable();
-  /// Runs compactions until no level is over threshold (testing).
+  /// Waits until no level is over its compaction threshold (testing).
   Status CompactAll();
 
  private:
+  /// One queued write. The queue leader commits a whole group and signals
+  /// the followers; see DB::WriteImpl.
+  struct Writer {
+    explicit Writer(const WriteBatch* b, bool s) : batch(b), sync(s) {}
+    const WriteBatch* batch;  // nullptr => memtable-switch request
+    bool sync;
+    bool done = false;
+    Status status;
+    std::condition_variable cv;
+  };
+
   DB(const Options& options, std::string dbname, Env* env);
 
   Status Recover();
   Status WriteManifestSnapshot();
   Status ReplayWal(uint64_t wal_number);
-  Status NewWal();
+  /// Opens a fresh WAL file and records it as live. Requires mutex_.
+  Status NewWalLocked();
+
   /// Oldest sequence any live snapshot can see (last_sequence_ if none).
   SequenceNumber SmallestLiveSnapshot() const;
-  Status FlushMemTableLocked();  // requires write_mutex_
   Status OpenTable(uint64_t number, uint64_t* file_size,
                    std::shared_ptr<Table>* table);
+
+  // --- write path (leader/follower group commit) ---------------------------
+  /// batch == nullptr forces a memtable switch (used by FlushMemTable).
+  Status WriteImpl(const WriteOptions& write_options, const WriteBatch* batch);
+  /// Requires mutex_ (leader only). Stalls / switches memtables until the
+  /// active memtable can accept a write. `force` switches regardless of fill.
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>* l, bool force);
+  /// Requires mutex_ (leader only). Moves mem_ to the immutable list, opens
+  /// a fresh WAL and memtable, and schedules a background flush.
+  Status SwitchMemTableLocked();
+  /// Requires mutex_. Gathers the leader's group from the writer queue.
+  std::vector<Writer*> BuildWriteGroup(Writer* leader);
+
+  // --- background maintenance ----------------------------------------------
+  /// Requires mutex_. Schedules one maintenance pass if work is pending.
+  void MaybeScheduleMaintenance();
+  void BackgroundCall();
+  /// Flushes the oldest immutable memtable to a new L0 file. Called on the
+  /// background thread with mutex_ held; drops it during I/O.
+  Status FlushOldestImm(std::unique_lock<std::mutex>* l);
+  /// True if `v` is over any compaction trigger.
+  bool VersionNeedsCompaction(const Version& v) const;
   /// Runs one compaction if any level is over threshold; true if ran.
   bool MaybeCompactOnce(Status* s);
   /// Universal-style merge of similar-sized L0 runs; true if ran.
   bool UniversalCompactOnce(Status* s);
+  /// Deletes WAL files strictly older than every live memtable's WAL.
+  void RemoveObsoleteWals();
+
   uint64_t MaxBytesForLevel(int level) const;
   bool IsBaseLevelForKey(const Version& v, int output_level,
                          const Slice& user_key) const;
+  /// Requires mutex_. Collects (and refs) all live memtables newest-first
+  /// plus the current version, for a consistent read view.
+  void GetReadState(std::vector<MemTable*>* mems,
+                    std::shared_ptr<const Version>* version);
 
   Options options_;
   std::string dbname_;
   Env* env_;
 
-  /// Serialises writers (Put/Delete/flush/compaction).
-  std::mutex write_mutex_;
-  /// Protects the fields below (held briefly).
+  /// Protects all mutable DB state below: the writer queue, memtable
+  /// pointers, the current version, file/WAL numbering, snapshots, and
+  /// background-scheduling flags. Held briefly; never across file I/O.
+  /// Lock hierarchy: mutex_ is a leaf — no other DB lock is acquired while
+  /// holding it (the thread pool has its own internal mutex).
   mutable std::mutex mutex_;
-  MemTable* mem_ = nullptr;  // guarded by mutex_ for pointer swap
+
+  std::deque<Writer*> writers_;  // guarded by mutex_; front is the leader
+  MemTable* mem_ = nullptr;      // guarded by mutex_ for pointer swap
+  /// Immutable memtables awaiting flush, oldest first. Guarded by mutex_.
+  std::vector<MemTable*> imm_;
   std::shared_ptr<const Version> current_;
   std::atomic<SequenceNumber> last_sequence_{0};
-  uint64_t next_file_number_ = 1;
-  uint64_t wal_number_ = 0;
+  std::atomic<uint64_t> next_file_number_{1};
+  uint64_t wal_number_ = 0;            // guarded by mutex_
+  std::set<uint64_t> live_wal_files_;  // guarded by mutex_
 
   std::multiset<SequenceNumber> snapshots_;  // guarded by mutex_
 
+  /// Written only by the current queue leader (a single thread at a time),
+  /// swapped under mutex_ by SwitchMemTableLocked.
   std::unique_ptr<LogWriter> wal_;
-  std::atomic<uint64_t> compaction_count_{0};
-  std::atomic<uint64_t> flush_count_{0};
+
+  // Background maintenance state, guarded by mutex_.
+  std::unique_ptr<util::ThreadPool> bg_pool_;
+  std::condition_variable bg_work_done_cv_;
+  bool bg_scheduled_ = false;
+  bool shutting_down_ = false;
+  bool closed_ = false;
+  /// First error from a background flush/compaction. Surfaced to (and
+  /// cleared by) the next writer or manual flush so retries are possible.
+  Status bg_error_;
+
+  struct MaintenanceCounters {
+    std::atomic<uint64_t> flushes{0};
+    std::atomic<uint64_t> compactions{0};
+    std::atomic<uint64_t> write_groups{0};
+    std::atomic<uint64_t> grouped_writes{0};
+    std::atomic<uint64_t> wal_syncs{0};
+    std::atomic<uint64_t> stall_micros{0};
+    std::atomic<uint64_t> slowdown_writes{0};
+  };
+  MaintenanceCounters maint_;
+
   std::atomic<uint64_t> prefetched_blocks_{0};
-  std::vector<size_t> compact_pointer_;  // round-robin pick per level
+  /// Round-robin pick per level; touched only by the (single-flight)
+  /// background maintenance job.
+  std::vector<size_t> compact_pointer_;
 
   // Aggregate table-format telemetry for entries_per_block.
   std::atomic<uint64_t> total_table_entries_{0};

@@ -45,6 +45,12 @@ class MemTable {
     return num_entries_.load(std::memory_order_relaxed);
   }
 
+  /// Number of the oldest WAL file containing this memtable's entries
+  /// (0 when WAL is disabled). Set once by the DB when the memtable becomes
+  /// active; read by flush/manifest code to decide which WALs are obsolete.
+  uint64_t wal_number() const { return wal_number_; }
+  void set_wal_number(uint64_t n) { wal_number_ = n; }
+
  private:
   friend class MemTableIterator;
 
@@ -63,6 +69,7 @@ class MemTable {
   Table table_;
   std::atomic<int> refs_{0};
   std::atomic<uint64_t> num_entries_{0};
+  uint64_t wal_number_ = 0;
 };
 
 }  // namespace adcache::lsm

@@ -48,10 +48,34 @@ struct Options {
   int level_size_ratio = 10;
   int num_levels = 7;
 
-  /// L0 file-count triggers.
+  /// L0 file-count triggers. At `l0_slowdown_trigger` files each write is
+  /// delayed once by `slowdown_delay_micros` (bounded backpressure); at
+  /// `l0_stop_trigger` writers block until compaction catches up.
   int l0_compaction_trigger = 4;
   int l0_slowdown_trigger = 4;
   int l0_stop_trigger = 8;
+
+  /// Total memtables (one active + immutables awaiting flush). When the
+  /// immutable list is full, writers stall until a background flush
+  /// completes (RocksDB's max_write_buffer_number).
+  int max_write_buffer_number = 4;
+
+  /// Worker threads in the background maintenance pool that runs flushes
+  /// and compactions. Maintenance itself is single-flight (one job in
+  /// progress at a time); extra threads serve auxiliary work.
+  int max_background_jobs = 2;
+
+  /// Combine concurrently queued writers into one WAL record and one sync
+  /// (group commit). Disable to force one WAL record + sync per batch —
+  /// only useful as a baseline for write-throughput benchmarks.
+  bool enable_group_commit = true;
+
+  /// Upper bound on one commit group's payload bytes.
+  size_t write_group_max_bytes = 1 << 20;
+
+  /// Microseconds a write is delayed (once) when L0 reaches the slowdown
+  /// trigger. Charged to the env clock and slept when threads are real.
+  uint64_t slowdown_delay_micros = 200;
 
   /// Bloom filter bits per key; 0 disables filters.
   int bloom_bits_per_key = 10;

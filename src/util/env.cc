@@ -6,11 +6,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <map>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
 
 namespace adcache {
 
@@ -250,6 +252,17 @@ class MemFileTable {
   std::map<std::string, std::shared_ptr<MemFile>> files_;
 };
 
+// Charges `micros` of simulated latency and, when the env is configured to
+// realise latency, occupies the calling thread for the same duration so
+// concurrent threads queue behind the simulated device.
+void ChargeIo(Clock* clock, const MemEnvOptions& opts, uint64_t micros) {
+  if (micros == 0) return;
+  clock->Charge(micros);
+  if (opts.realize_latency) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
 class MemSequentialFile : public SequentialFile {
  public:
   MemSequentialFile(std::shared_ptr<MemFile> file, Clock* clock,
@@ -265,7 +278,7 @@ class MemSequentialFile : public SequentialFile {
     pos_ += r;
     stats_->bytes_read += r;
     stats_->read_ops++;
-    clock_->Charge(opts_.read_latency_micros);
+    ChargeIo(clock_, opts_, opts_.read_latency_micros);
     *result = Slice(scratch, r);
     return Status::OK();
   }
@@ -300,7 +313,7 @@ class MemRandomAccessFile : public RandomAccessFile {
     memcpy(scratch, file_->contents.data() + offset, r);
     stats_->bytes_read += r;
     stats_->read_ops++;
-    clock_->Charge(opts_.read_latency_micros);
+    ChargeIo(clock_, opts_, opts_.read_latency_micros);
     *result = Slice(scratch, r);
     return Status::OK();
   }
@@ -328,12 +341,15 @@ class MemWritableFile : public WritableFile {
     file_->contents.append(data.data(), data.size());
     stats_->bytes_written += data.size();
     stats_->write_ops++;
-    clock_->Charge(opts_.write_latency_micros);
+    ChargeIo(clock_, opts_, opts_.write_latency_micros);
     return Status::OK();
   }
 
   Status Flush() override { return Status::OK(); }
-  Status Sync() override { return Status::OK(); }
+  Status Sync() override {
+    ChargeIo(clock_, opts_, opts_.sync_latency_micros);
+    return Status::OK();
+  }
   Status Close() override { return Status::OK(); }
 
   uint64_t Size() const override {

@@ -105,6 +105,14 @@ struct MemEnvOptions {
   uint64_t read_latency_micros = 80;
   /// Latency charged per write/sync of up to 1 MB.
   uint64_t write_latency_micros = 20;
+  /// Latency charged per WritableFile::Sync (models a device flush /
+  /// FUA write). 0 keeps the historical behaviour of free syncs.
+  uint64_t sync_latency_micros = 0;
+  /// If true, every charged latency also sleeps the calling thread for the
+  /// same duration. This "realises" the simulated device so that threads
+  /// genuinely queue behind I/O — required for concurrency experiments
+  /// (group commit only helps if a sync occupies the device for a while).
+  bool realize_latency = false;
 };
 
 /// In-memory filesystem over the given clock (pass a SimClock for

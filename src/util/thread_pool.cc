@@ -1,0 +1,72 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace adcache::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Schedule(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (shutting_down_) return false;
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> l(mu_);
+  idle_.wait(l, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (shutting_down_) {
+      // Another caller (or the destructor after an explicit Shutdown) got
+      // here first; workers_ may already be joined.
+    }
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+size_t ThreadPool::queued_jobs() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (true) {
+    work_available_.wait(
+        l, [this] { return !queue_.empty() || shutting_down_; });
+    if (queue_.empty()) {
+      if (shutting_down_) return;
+      continue;
+    }
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    active_++;
+    l.unlock();
+    job();
+    l.lock();
+    active_--;
+    if (queue_.empty() && active_ == 0) idle_.notify_all();
+  }
+}
+
+}  // namespace adcache::util

@@ -1,0 +1,59 @@
+#ifndef ADCACHE_UTIL_THREAD_POOL_H_
+#define ADCACHE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adcache::util {
+
+/// Fixed-size pool of background worker threads with a FIFO job queue, in
+/// the style of rocksdb's Env::Schedule. Used by lsm::DB for flushes and
+/// compactions; generic enough for any deferred work.
+///
+/// Shutdown semantics: the destructor (and Shutdown) stops accepting new
+/// jobs, lets every already-queued job run to completion, and joins the
+/// workers. Jobs must therefore not block forever on state that only the
+/// caller of ~ThreadPool can advance.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `job` for execution on some worker thread. Jobs scheduled
+  /// from the same thread run in FIFO order. Returns false (dropping the
+  /// job) after Shutdown has begun.
+  bool Schedule(std::function<void()> job);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void WaitIdle();
+
+  /// Drains queued jobs and joins the workers. Idempotent; called by the
+  /// destructor.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  /// Jobs queued but not yet picked up (diagnostic).
+  size_t queued_jobs() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace adcache::util
+
+#endif  // ADCACHE_UTIL_THREAD_POOL_H_

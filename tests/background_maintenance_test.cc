@@ -1,0 +1,510 @@
+// Stress tests for the asynchronous write path: group commit, the
+// immutable-memtable flush pipeline, write stalls, and Close() draining.
+// Run with -DADCACHE_SANITIZE=thread to check the locking discipline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lsm/db.h"
+#include "util/clock.h"
+#include "util/fault_injection_env.h"
+
+namespace adcache::lsm {
+namespace {
+
+std::string WriterKey(int writer, int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "w%d-k%06d", writer, i);
+  return buf;
+}
+
+std::string WriterValue(int writer, int i) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "val-%d-%06d-%040d", writer, i, 0);
+  return buf;
+}
+
+class BackgroundMaintenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    options_.env = env_.get();
+    // Small sizes force constant flush/compaction churn under the writers.
+    options_.block_size = 512;
+    options_.table_file_size = 8 * 1024;
+    options_.memtable_size = 8 * 1024;
+    options_.level1_size_base = 32 * 1024;
+  }
+
+  void Open() { ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok()); }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+// N writers + M readers over flush/compaction churn: every acknowledged
+// write must be readable with its exact value, while maintenance constantly
+// retires memtables and rewrites files underneath the readers.
+TEST_F(BackgroundMaintenanceTest, AckedWritesReadableUnderChurn) {
+  Open();
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr int kKeysPerWriter = 300;
+
+  std::atomic<int> acked[kWriters];
+  for (auto& a : acked) a.store(-1);
+  std::atomic<bool> writers_done{false};
+  std::atomic<int> errors{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kKeysPerWriter; i++) {
+        Status s = db_->Put(WriteOptions(), Slice(WriterKey(t, i)),
+                            Slice(WriterValue(t, i)));
+        if (!s.ok()) {
+          errors.fetch_add(1);
+          return;
+        }
+        acked[t].store(i, std::memory_order_release);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; r++) {
+    threads.emplace_back([&, r] {
+      uint32_t state = 0x9e3779b9u + static_cast<uint32_t>(r);
+      while (!writers_done.load(std::memory_order_acquire)) {
+        state = state * 1664525u + 1013904223u;
+        int t = static_cast<int>(state >> 16) % kWriters;
+        int hi = acked[t].load(std::memory_order_acquire);
+        if (hi < 0) continue;
+        int i = static_cast<int>(state >> 4) % (hi + 1);
+        std::string value;
+        Status s = db_->Get(ReadOptions(), Slice(WriterKey(t, i)), &value);
+        if (!s.ok() || value != WriterValue(t, i)) errors.fetch_add(1);
+      }
+    });
+  }
+  for (size_t i = 0; i < kWriters; i++) threads[i].join();
+  writers_done.store(true, std::memory_order_release);
+  for (size_t i = kWriters; i < threads.size(); i++) threads[i].join();
+
+  EXPECT_EQ(errors.load(), 0);
+  // Final sweep: everything acked is still there after maintenance settles.
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  for (int t = 0; t < kWriters; t++) {
+    ASSERT_EQ(acked[t].load(), kKeysPerWriter - 1);
+    for (int i = 0; i < kKeysPerWriter; i++) {
+      std::string value;
+      ASSERT_TRUE(db_->Get(ReadOptions(), Slice(WriterKey(t, i)), &value).ok())
+          << WriterKey(t, i);
+      EXPECT_EQ(value, WriterValue(t, i));
+    }
+  }
+  DB::MaintenanceStats stats = db_->GetMaintenanceStats();
+  EXPECT_GT(stats.flushes, 0u);
+  EXPECT_GT(stats.write_groups, 0u);
+  EXPECT_GE(stats.grouped_writes, stats.write_groups);
+}
+
+// A writer atomically updates a set of keys per round (one WriteBatch);
+// concurrent snapshot readers and iterators must never observe a torn
+// round, even while group commit batches rounds together and flushes churn.
+TEST_F(BackgroundMaintenanceTest, SnapshotsAndIteratorsNeverSeeTornBatches) {
+  Open();
+  constexpr int kKeys = 20;
+  constexpr int kRounds = 150;
+  auto key = [](int i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "s-k%02d", i);
+    return std::string(buf);
+  };
+  auto value = [](int round) {
+    char buf[48];
+    snprintf(buf, sizeof(buf), "round-%06d-%020d", round, 0);
+    return std::string(buf);
+  };
+
+  std::atomic<bool> done{false};
+  std::atomic<int> errors{0};
+
+  std::thread writer([&] {
+    for (int round = 0; round < kRounds; round++) {
+      WriteBatch batch;
+      for (int i = 0; i < kKeys; i++) {
+        batch.Put(Slice(key(i)), Slice(value(round)));
+      }
+      if (!db_->Write(WriteOptions(), batch).ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::thread snapshot_reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const Snapshot* snap = db_->GetSnapshot();
+      ReadOptions ro;
+      ro.snapshot = snap;
+      std::string first;
+      bool have_first = false;
+      for (int i = 0; i < kKeys; i++) {
+        std::string v;
+        Status s = db_->Get(ro, Slice(key(i)), &v);
+        if (!s.ok()) v = "NOT_FOUND";
+        if (!have_first) {
+          first = v;
+          have_first = true;
+        } else if (v != first) {
+          errors.fetch_add(1);  // torn batch visible through the snapshot
+        }
+      }
+      db_->ReleaseSnapshot(snap);
+    }
+  });
+
+  std::thread iter_reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+      std::string first;
+      int seen = 0;
+      for (it->Seek(Slice("s-k")); it->Valid() && seen < kKeys; it->Next()) {
+        if (seen == 0) {
+          first = it->value().ToString();
+        } else if (it->value().ToString() != first) {
+          errors.fetch_add(1);
+        }
+        seen++;
+      }
+      if (seen != 0 && seen != kKeys) errors.fetch_add(1);
+    }
+  });
+
+  writer.join();
+  snapshot_reader.join();
+  iter_reader.join();
+  EXPECT_EQ(errors.load(), 0);
+  std::string v;
+  ASSERT_TRUE(db_->Get(ReadOptions(), Slice(key(0)), &v).ok());
+  EXPECT_EQ(v, value(kRounds - 1));
+}
+
+// Close() drains in-flight background work; unflushed (but WAL-logged)
+// writes survive a reopen through multi-WAL replay, and writes after Close
+// fail cleanly.
+TEST_F(BackgroundMaintenanceTest, CloseDrainsAndReopenRecoversEverything) {
+  Open();
+  constexpr int kKeys = 800;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(WriterKey(0, i)),
+                         Slice(WriterValue(0, i)))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->Close().ok());
+  EXPECT_FALSE(db_->Put(WriteOptions(), Slice("after"), Slice("x")).ok());
+  ASSERT_TRUE(db_->Close().ok());  // idempotent
+
+  db_.reset();
+  Open();
+  for (int i = 0; i < kKeys; i++) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), Slice(WriterKey(0, i)), &value).ok())
+        << WriterKey(0, i);
+    EXPECT_EQ(value, WriterValue(0, i));
+  }
+}
+
+/// Blocks SSTable creation until the gate opens, so a test can hold the
+/// flush pipeline deterministically and force a write stall.
+class GateEnv : public Env {
+ public:
+  explicit GateEnv(Env* base) : Env(base->clock()), base_(base) {}
+
+  void OpenGate() {
+    std::lock_guard<std::mutex> l(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  bool HasWaiter() {
+    std::lock_guard<std::mutex> l(mu_);
+    return waiting_ > 0;
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    if (fname.size() > 4 && fname.compare(fname.size() - 4, 4, ".sst") == 0) {
+      std::unique_lock<std::mutex> l(mu_);
+      waiting_++;
+      cv_.wait(l, [&] { return open_; });
+      waiting_--;
+    }
+    return base_->NewWritableFile(fname, result);
+  }
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
+  }
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    return base_->NewRandomAccessFile(fname, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDirIfMissing(const std::string& dirname) override {
+    return base_->CreateDirIfMissing(dirname);
+  }
+  Status GetChildren(const std::string& dirname,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dirname, result);
+  }
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+
+ private:
+  Env* base_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  int waiting_ = 0;
+};
+
+// With the flush pipeline held shut and the immutable list full, writers
+// must stall (not fail, not lose data) until a flush completes, and the
+// stall must be accounted in stall_micros.
+TEST_F(BackgroundMaintenanceTest, FullImmutableListStallsWritersThenResolves) {
+  GateEnv gate(env_.get());
+  options_.env = &gate;
+  options_.max_write_buffer_number = 2;  // one active + one immutable
+  Open();
+
+  constexpr int kKeys = 500;  // ~60 KB, far beyond the two memtables
+  std::atomic<int> progress{0};
+  std::atomic<bool> writer_done{false};
+  Status writer_status;
+  std::thread writer([&] {
+    for (int i = 0; i < kKeys; i++) {
+      writer_status = db_->Put(WriteOptions(), Slice(WriterKey(0, i)),
+                               Slice(WriterValue(0, i)));
+      if (!writer_status.ok()) break;
+      progress.fetch_add(1, std::memory_order_release);
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  // The writer must wedge: the flush is blocked on the gate, so once the
+  // immutable list and the active memtable are full it can only stall.
+  // "Wedged" = no progress for 100 ms while the gate holds a waiter.
+  int stable = 0;
+  int prev = -1;
+  while (!writer_done.load(std::memory_order_acquire) && stable < 20) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    int cur = progress.load(std::memory_order_acquire);
+    if (cur == prev && gate.HasWaiter()) {
+      stable++;
+    } else {
+      stable = 0;
+      prev = cur;
+    }
+  }
+  ASSERT_FALSE(writer_done.load()) << "writer finished without stalling";
+  EXPECT_GT(db_->GetLsmShape().imm_memtables, 0);
+
+  gate.OpenGate();
+  writer.join();
+  ASSERT_TRUE(writer_status.ok());
+  EXPECT_EQ(progress.load(), kKeys);
+
+  DB::MaintenanceStats stats = db_->GetMaintenanceStats();
+  EXPECT_GT(stats.stall_micros, 0u);
+  EXPECT_GT(stats.flushes, 0u);
+  for (int i = 0; i < kKeys; i += 97) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), Slice(WriterKey(0, i)), &value).ok());
+    EXPECT_EQ(value, WriterValue(0, i));
+  }
+  db_.reset();  // before the stack-allocated GateEnv it points at
+}
+
+// Concurrent sync writers with a realized sync latency must be batched into
+// commit groups: fewer WAL syncs than batches.
+TEST_F(BackgroundMaintenanceTest, ConcurrentSyncWritersGroupCommit) {
+  MemEnvOptions env_opts;
+  env_opts.sync_latency_micros = 2000;
+  env_opts.realize_latency = true;
+  env_ = NewMemEnv(&clock_, env_opts);
+  options_.env = env_.get();
+  options_.memtable_size = 1 << 20;  // keep maintenance out of the picture
+  Open();
+
+  constexpr int kThreads = 8;
+  constexpr int kWritesPerThread = 25;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  WriteOptions sync_write;
+  sync_write.sync = true;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kWritesPerThread; i++) {
+        if (!db_->Put(sync_write, Slice(WriterKey(t, i)),
+                      Slice(WriterValue(t, i)))
+                 .ok()) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(errors.load(), 0);
+
+  DB::MaintenanceStats stats = db_->GetMaintenanceStats();
+  EXPECT_EQ(stats.grouped_writes,
+            static_cast<uint64_t>(kThreads * kWritesPerThread));
+  // With a 2 ms realized sync, followers pile up behind every leader: at
+  // least one group must have carried more than one batch.
+  EXPECT_LT(stats.write_groups, stats.grouped_writes);
+  EXPECT_LE(stats.wal_syncs, stats.write_groups);
+}
+
+// enable_group_commit=false (the benchmark baseline) must degrade to one
+// WAL record and one sync per batch.
+TEST_F(BackgroundMaintenanceTest, DisabledGroupCommitWritesOneRecordPerBatch) {
+  options_.enable_group_commit = false;
+  options_.memtable_size = 1 << 20;
+  Open();
+
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 10;
+  std::vector<std::thread> threads;
+  WriteOptions sync_write;
+  sync_write.sync = true;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kWritesPerThread; i++) {
+        ASSERT_TRUE(db_->Put(sync_write, Slice(WriterKey(t, i)),
+                             Slice(WriterValue(t, i)))
+                        .ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  DB::MaintenanceStats stats = db_->GetMaintenanceStats();
+  EXPECT_EQ(stats.write_groups,
+            static_cast<uint64_t>(kThreads * kWritesPerThread));
+  EXPECT_EQ(stats.grouped_writes, stats.write_groups);
+  EXPECT_EQ(stats.wal_syncs, stats.write_groups);
+}
+
+// A background flush failure surfaces to a writer (retryable, not fatal):
+// after the fault clears, the flush retries and every acked write survives.
+TEST_F(BackgroundMaintenanceTest, BackgroundFlushFailureSurfacesAndRecovers) {
+  FaultInjectionEnv fault(env_.get());
+  options_.env = &fault;
+  Open();
+
+  fault.SetFailFileCreation(true);
+  // Writes keep succeeding into memtables until backpressure surfaces the
+  // background error; both outcomes (stall-then-error or direct error) are
+  // acceptable as long as nothing acked is lost.
+  int last_acked = -1;
+  for (int i = 0; i < 400; i++) {
+    Status s = db_->Put(WriteOptions(), Slice(WriterKey(0, i)),
+                        Slice(WriterValue(0, i)));
+    if (!s.ok()) break;
+    last_acked = i;
+  }
+  EXPECT_GT(fault.injected_failures(), 0u);
+
+  fault.SetFailFileCreation(false);
+  Status s = db_->FlushMemTable();
+  for (int retry = 0; !s.ok() && retry < 5; retry++) {
+    s = db_->FlushMemTable();
+  }
+  ASSERT_TRUE(s.ok());
+  ASSERT_GE(last_acked, 0);
+  for (int i = 0; i <= last_acked; i++) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), Slice(WriterKey(0, i)), &value).ok())
+        << WriterKey(0, i);
+    EXPECT_EQ(value, WriterValue(0, i));
+  }
+  EXPECT_GT(db_->GetMaintenanceStats().flushes, 0u);
+  db_.reset();  // before the stack-allocated FaultInjectionEnv
+}
+
+// The writer/reader churn scenario again, this time under a fault-injection
+// Env that periodically kills writes: unacked writes may vanish, but every
+// acked write must stay readable.
+TEST_F(BackgroundMaintenanceTest, ChurnWithInjectedWriteFaults) {
+  FaultInjectionEnv fault(env_.get());
+  options_.env = &fault;
+  Open();
+
+  constexpr int kWriters = 3;
+  constexpr int kKeysPerWriter = 200;
+  std::vector<std::vector<int>> acked(kWriters);
+  std::atomic<bool> done{false};
+  std::mutex acked_mu;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; t++) {
+    threads.emplace_back([&, t] {
+      std::vector<int> mine;
+      for (int i = 0; i < kKeysPerWriter; i++) {
+        Status s = db_->Put(WriteOptions(), Slice(WriterKey(t, i)),
+                            Slice(WriterValue(t, i)));
+        if (s.ok()) mine.push_back(i);
+      }
+      std::lock_guard<std::mutex> l(acked_mu);
+      acked[t] = std::move(mine);
+    });
+  }
+  std::thread saboteur([&] {
+    for (int round = 0; round < 20 && !done.load(); round++) {
+      fault.FailNthWrite(25);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  for (auto& t : threads) t.join();
+  done.store(true);
+  saboteur.join();
+  fault.FailNthWrite(0);  // disarm
+
+  Status s = db_->FlushMemTable();
+  for (int retry = 0; !s.ok() && retry < 5; retry++) {
+    s = db_->FlushMemTable();
+  }
+  ASSERT_TRUE(s.ok());
+  size_t total_acked = 0;
+  for (int t = 0; t < kWriters; t++) {
+    total_acked += acked[t].size();
+    for (int i : acked[t]) {
+      std::string value;
+      ASSERT_TRUE(db_->Get(ReadOptions(), Slice(WriterKey(t, i)), &value).ok())
+          << WriterKey(t, i);
+      EXPECT_EQ(value, WriterValue(t, i));
+    }
+  }
+  EXPECT_GT(total_acked, 0u);
+  db_.reset();  // before the stack-allocated FaultInjectionEnv
+}
+
+}  // namespace
+}  // namespace adcache::lsm

@@ -74,7 +74,12 @@ TEST(StatsCollectorTest, HarvestReturnsWindowDeltas) {
   stats.RecordPointLookup(false);
   stats.RecordScan(16, false);
   stats.RecordWrite();
-  WindowStats w1 = stats.Harvest(50, 2, 3);
+  StatsCollector::MaintenanceSample m1;
+  m1.compactions = 2;
+  m1.flushes = 3;
+  m1.stall_micros = 500;
+  m1.write_groups = 4;
+  WindowStats w1 = stats.Harvest(50, m1);
   EXPECT_EQ(w1.point_lookups, 2u);
   EXPECT_EQ(w1.scans, 1u);
   EXPECT_EQ(w1.writes, 1u);
@@ -83,15 +88,23 @@ TEST(StatsCollectorTest, HarvestReturnsWindowDeltas) {
   EXPECT_EQ(w1.block_reads, 50u);
   EXPECT_EQ(w1.compactions, 2u);
   EXPECT_EQ(w1.flushes, 3u);
+  EXPECT_EQ(w1.stall_micros, 500u);
+  EXPECT_EQ(w1.write_groups, 4u);
 
   stats.RecordScan(8, true);
-  WindowStats w2 = stats.Harvest(70, 2, 4);
+  StatsCollector::MaintenanceSample m2 = m1;
+  m2.flushes = 4;
+  m2.stall_micros = 750;
+  m2.write_groups = 9;
+  WindowStats w2 = stats.Harvest(70, m2);
   EXPECT_EQ(w2.point_lookups, 0u);
   EXPECT_EQ(w2.scans, 1u);
   EXPECT_EQ(w2.range_scan_hits, 1u);
   EXPECT_EQ(w2.block_reads, 20u);
   EXPECT_EQ(w2.compactions, 0u);
   EXPECT_EQ(w2.flushes, 1u);
+  EXPECT_EQ(w2.stall_micros, 250u);
+  EXPECT_EQ(w2.write_groups, 5u);
 }
 
 TEST(StatsCollectorTest, RatiosAndAverages) {
