@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_workloads.dir/bench_dynamic_workloads.cc.o"
+  "CMakeFiles/bench_dynamic_workloads.dir/bench_dynamic_workloads.cc.o.d"
+  "bench_dynamic_workloads"
+  "bench_dynamic_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leaper.dir/bench_leaper.cc.o"
+  "CMakeFiles/bench_leaper.dir/bench_leaper.cc.o.d"
+  "bench_leaper"
+  "bench_leaper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leaper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scan_eviction.dir/bench_scan_eviction.cc.o"
+  "CMakeFiles/bench_scan_eviction.dir/bench_scan_eviction.cc.o.d"
+  "bench_scan_eviction"
+  "bench_scan_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skewness.dir/bench_skewness.cc.o"
+  "CMakeFiles/bench_skewness.dir/bench_skewness.cc.o.d"
+  "bench_skewness"
+  "bench_skewness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skewness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_static_workloads.dir/bench_static_workloads.cc.o"
+  "CMakeFiles/bench_static_workloads.dir/bench_static_workloads.cc.o.d"
+  "bench_static_workloads"
+  "bench_static_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_static_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

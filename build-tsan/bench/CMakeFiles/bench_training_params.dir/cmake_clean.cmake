@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_training_params.dir/bench_training_params.cc.o"
+  "CMakeFiles/bench_training_params.dir/bench_training_params.cc.o.d"
+  "bench_training_params"
+  "bench_training_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_training_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

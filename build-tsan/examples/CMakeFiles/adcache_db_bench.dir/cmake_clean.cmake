@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_db_bench.dir/adcache_db_bench.cpp.o"
+  "CMakeFiles/adcache_db_bench.dir/adcache_db_bench.cpp.o.d"
+  "adcache_db_bench"
+  "adcache_db_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_db_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for adcache_db_bench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretrain.dir/pretrain.cpp.o"
+  "CMakeFiles/pretrain.dir/pretrain.cpp.o.d"
+  "pretrain"
+  "pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

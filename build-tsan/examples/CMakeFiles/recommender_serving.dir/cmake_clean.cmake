@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_serving.dir/recommender_serving.cpp.o"
+  "CMakeFiles/recommender_serving.dir/recommender_serving.cpp.o.d"
+  "recommender_serving"
+  "recommender_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_ingest.dir/timeseries_ingest.cpp.o"
+  "CMakeFiles/timeseries_ingest.dir/timeseries_ingest.cpp.o.d"
+  "timeseries_ingest"
+  "timeseries_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

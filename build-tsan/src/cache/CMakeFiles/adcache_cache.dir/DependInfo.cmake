@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/arc_policy.cc" "src/cache/CMakeFiles/adcache_cache.dir/arc_policy.cc.o" "gcc" "src/cache/CMakeFiles/adcache_cache.dir/arc_policy.cc.o.d"
+  "/root/repo/src/cache/cacheus.cc" "src/cache/CMakeFiles/adcache_cache.dir/cacheus.cc.o" "gcc" "src/cache/CMakeFiles/adcache_cache.dir/cacheus.cc.o.d"
+  "/root/repo/src/cache/clock_policy.cc" "src/cache/CMakeFiles/adcache_cache.dir/clock_policy.cc.o" "gcc" "src/cache/CMakeFiles/adcache_cache.dir/clock_policy.cc.o.d"
+  "/root/repo/src/cache/eviction_policy.cc" "src/cache/CMakeFiles/adcache_cache.dir/eviction_policy.cc.o" "gcc" "src/cache/CMakeFiles/adcache_cache.dir/eviction_policy.cc.o.d"
+  "/root/repo/src/cache/kv_cache.cc" "src/cache/CMakeFiles/adcache_cache.dir/kv_cache.cc.o" "gcc" "src/cache/CMakeFiles/adcache_cache.dir/kv_cache.cc.o.d"
+  "/root/repo/src/cache/lecar.cc" "src/cache/CMakeFiles/adcache_cache.dir/lecar.cc.o" "gcc" "src/cache/CMakeFiles/adcache_cache.dir/lecar.cc.o.d"
+  "/root/repo/src/cache/lru_cache.cc" "src/cache/CMakeFiles/adcache_cache.dir/lru_cache.cc.o" "gcc" "src/cache/CMakeFiles/adcache_cache.dir/lru_cache.cc.o.d"
+  "/root/repo/src/cache/range_cache.cc" "src/cache/CMakeFiles/adcache_cache.dir/range_cache.cc.o" "gcc" "src/cache/CMakeFiles/adcache_cache.dir/range_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/adcache_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sketch/CMakeFiles/adcache_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

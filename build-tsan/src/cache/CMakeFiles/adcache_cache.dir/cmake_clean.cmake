@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_cache.dir/arc_policy.cc.o"
+  "CMakeFiles/adcache_cache.dir/arc_policy.cc.o.d"
+  "CMakeFiles/adcache_cache.dir/cacheus.cc.o"
+  "CMakeFiles/adcache_cache.dir/cacheus.cc.o.d"
+  "CMakeFiles/adcache_cache.dir/clock_policy.cc.o"
+  "CMakeFiles/adcache_cache.dir/clock_policy.cc.o.d"
+  "CMakeFiles/adcache_cache.dir/eviction_policy.cc.o"
+  "CMakeFiles/adcache_cache.dir/eviction_policy.cc.o.d"
+  "CMakeFiles/adcache_cache.dir/kv_cache.cc.o"
+  "CMakeFiles/adcache_cache.dir/kv_cache.cc.o.d"
+  "CMakeFiles/adcache_cache.dir/lecar.cc.o"
+  "CMakeFiles/adcache_cache.dir/lecar.cc.o.d"
+  "CMakeFiles/adcache_cache.dir/lru_cache.cc.o"
+  "CMakeFiles/adcache_cache.dir/lru_cache.cc.o.d"
+  "CMakeFiles/adcache_cache.dir/range_cache.cc.o"
+  "CMakeFiles/adcache_cache.dir/range_cache.cc.o.d"
+  "libadcache_cache.a"
+  "libadcache_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adcache_store.cc" "src/core/CMakeFiles/adcache_core.dir/adcache_store.cc.o" "gcc" "src/core/CMakeFiles/adcache_core.dir/adcache_store.cc.o.d"
+  "/root/repo/src/core/admission.cc" "src/core/CMakeFiles/adcache_core.dir/admission.cc.o" "gcc" "src/core/CMakeFiles/adcache_core.dir/admission.cc.o.d"
+  "/root/repo/src/core/baseline_stores.cc" "src/core/CMakeFiles/adcache_core.dir/baseline_stores.cc.o" "gcc" "src/core/CMakeFiles/adcache_core.dir/baseline_stores.cc.o.d"
+  "/root/repo/src/core/dynamic_cache.cc" "src/core/CMakeFiles/adcache_core.dir/dynamic_cache.cc.o" "gcc" "src/core/CMakeFiles/adcache_core.dir/dynamic_cache.cc.o.d"
+  "/root/repo/src/core/policy_controller.cc" "src/core/CMakeFiles/adcache_core.dir/policy_controller.cc.o" "gcc" "src/core/CMakeFiles/adcache_core.dir/policy_controller.cc.o.d"
+  "/root/repo/src/core/stats_collector.cc" "src/core/CMakeFiles/adcache_core.dir/stats_collector.cc.o" "gcc" "src/core/CMakeFiles/adcache_core.dir/stats_collector.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/core/CMakeFiles/adcache_core.dir/strategy.cc.o" "gcc" "src/core/CMakeFiles/adcache_core.dir/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/adcache_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sketch/CMakeFiles/adcache_sketch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/adcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/lsm/CMakeFiles/adcache_lsm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/rl/CMakeFiles/adcache_rl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_core.dir/adcache_store.cc.o"
+  "CMakeFiles/adcache_core.dir/adcache_store.cc.o.d"
+  "CMakeFiles/adcache_core.dir/admission.cc.o"
+  "CMakeFiles/adcache_core.dir/admission.cc.o.d"
+  "CMakeFiles/adcache_core.dir/baseline_stores.cc.o"
+  "CMakeFiles/adcache_core.dir/baseline_stores.cc.o.d"
+  "CMakeFiles/adcache_core.dir/dynamic_cache.cc.o"
+  "CMakeFiles/adcache_core.dir/dynamic_cache.cc.o.d"
+  "CMakeFiles/adcache_core.dir/policy_controller.cc.o"
+  "CMakeFiles/adcache_core.dir/policy_controller.cc.o.d"
+  "CMakeFiles/adcache_core.dir/stats_collector.cc.o"
+  "CMakeFiles/adcache_core.dir/stats_collector.cc.o.d"
+  "CMakeFiles/adcache_core.dir/strategy.cc.o"
+  "CMakeFiles/adcache_core.dir/strategy.cc.o.d"
+  "libadcache_core.a"
+  "libadcache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/block.cc" "src/lsm/CMakeFiles/adcache_lsm.dir/block.cc.o" "gcc" "src/lsm/CMakeFiles/adcache_lsm.dir/block.cc.o.d"
+  "/root/repo/src/lsm/block_builder.cc" "src/lsm/CMakeFiles/adcache_lsm.dir/block_builder.cc.o" "gcc" "src/lsm/CMakeFiles/adcache_lsm.dir/block_builder.cc.o.d"
+  "/root/repo/src/lsm/bloom.cc" "src/lsm/CMakeFiles/adcache_lsm.dir/bloom.cc.o" "gcc" "src/lsm/CMakeFiles/adcache_lsm.dir/bloom.cc.o.d"
+  "/root/repo/src/lsm/db.cc" "src/lsm/CMakeFiles/adcache_lsm.dir/db.cc.o" "gcc" "src/lsm/CMakeFiles/adcache_lsm.dir/db.cc.o.d"
+  "/root/repo/src/lsm/dbformat.cc" "src/lsm/CMakeFiles/adcache_lsm.dir/dbformat.cc.o" "gcc" "src/lsm/CMakeFiles/adcache_lsm.dir/dbformat.cc.o.d"
+  "/root/repo/src/lsm/log_writer.cc" "src/lsm/CMakeFiles/adcache_lsm.dir/log_writer.cc.o" "gcc" "src/lsm/CMakeFiles/adcache_lsm.dir/log_writer.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/lsm/CMakeFiles/adcache_lsm.dir/memtable.cc.o" "gcc" "src/lsm/CMakeFiles/adcache_lsm.dir/memtable.cc.o.d"
+  "/root/repo/src/lsm/table.cc" "src/lsm/CMakeFiles/adcache_lsm.dir/table.cc.o" "gcc" "src/lsm/CMakeFiles/adcache_lsm.dir/table.cc.o.d"
+  "/root/repo/src/lsm/table_builder.cc" "src/lsm/CMakeFiles/adcache_lsm.dir/table_builder.cc.o" "gcc" "src/lsm/CMakeFiles/adcache_lsm.dir/table_builder.cc.o.d"
+  "/root/repo/src/lsm/version.cc" "src/lsm/CMakeFiles/adcache_lsm.dir/version.cc.o" "gcc" "src/lsm/CMakeFiles/adcache_lsm.dir/version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/adcache_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/adcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sketch/CMakeFiles/adcache_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_lsm.dir/block.cc.o"
+  "CMakeFiles/adcache_lsm.dir/block.cc.o.d"
+  "CMakeFiles/adcache_lsm.dir/block_builder.cc.o"
+  "CMakeFiles/adcache_lsm.dir/block_builder.cc.o.d"
+  "CMakeFiles/adcache_lsm.dir/bloom.cc.o"
+  "CMakeFiles/adcache_lsm.dir/bloom.cc.o.d"
+  "CMakeFiles/adcache_lsm.dir/db.cc.o"
+  "CMakeFiles/adcache_lsm.dir/db.cc.o.d"
+  "CMakeFiles/adcache_lsm.dir/dbformat.cc.o"
+  "CMakeFiles/adcache_lsm.dir/dbformat.cc.o.d"
+  "CMakeFiles/adcache_lsm.dir/log_writer.cc.o"
+  "CMakeFiles/adcache_lsm.dir/log_writer.cc.o.d"
+  "CMakeFiles/adcache_lsm.dir/memtable.cc.o"
+  "CMakeFiles/adcache_lsm.dir/memtable.cc.o.d"
+  "CMakeFiles/adcache_lsm.dir/table.cc.o"
+  "CMakeFiles/adcache_lsm.dir/table.cc.o.d"
+  "CMakeFiles/adcache_lsm.dir/table_builder.cc.o"
+  "CMakeFiles/adcache_lsm.dir/table_builder.cc.o.d"
+  "CMakeFiles/adcache_lsm.dir/version.cc.o"
+  "CMakeFiles/adcache_lsm.dir/version.cc.o.d"
+  "libadcache_lsm.a"
+  "libadcache_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

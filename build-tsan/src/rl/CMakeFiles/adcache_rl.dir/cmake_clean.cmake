@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_rl.dir/actor_critic.cc.o"
+  "CMakeFiles/adcache_rl.dir/actor_critic.cc.o.d"
+  "CMakeFiles/adcache_rl.dir/mlp.cc.o"
+  "CMakeFiles/adcache_rl.dir/mlp.cc.o.d"
+  "libadcache_rl.a"
+  "libadcache_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

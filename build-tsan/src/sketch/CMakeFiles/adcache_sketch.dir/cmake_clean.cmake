@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_sketch.dir/count_min_sketch.cc.o"
+  "CMakeFiles/adcache_sketch.dir/count_min_sketch.cc.o.d"
+  "CMakeFiles/adcache_sketch.dir/doorkeeper.cc.o"
+  "CMakeFiles/adcache_sketch.dir/doorkeeper.cc.o.d"
+  "libadcache_sketch.a"
+  "libadcache_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

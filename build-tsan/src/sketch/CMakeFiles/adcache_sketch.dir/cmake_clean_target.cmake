@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadcache_sketch.a"
+)

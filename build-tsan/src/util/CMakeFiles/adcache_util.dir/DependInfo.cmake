@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/arena.cc" "src/util/CMakeFiles/adcache_util.dir/arena.cc.o" "gcc" "src/util/CMakeFiles/adcache_util.dir/arena.cc.o.d"
+  "/root/repo/src/util/clock.cc" "src/util/CMakeFiles/adcache_util.dir/clock.cc.o" "gcc" "src/util/CMakeFiles/adcache_util.dir/clock.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/util/CMakeFiles/adcache_util.dir/coding.cc.o" "gcc" "src/util/CMakeFiles/adcache_util.dir/coding.cc.o.d"
+  "/root/repo/src/util/env.cc" "src/util/CMakeFiles/adcache_util.dir/env.cc.o" "gcc" "src/util/CMakeFiles/adcache_util.dir/env.cc.o.d"
+  "/root/repo/src/util/fault_injection_env.cc" "src/util/CMakeFiles/adcache_util.dir/fault_injection_env.cc.o" "gcc" "src/util/CMakeFiles/adcache_util.dir/fault_injection_env.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/util/CMakeFiles/adcache_util.dir/hash.cc.o" "gcc" "src/util/CMakeFiles/adcache_util.dir/hash.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/adcache_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/adcache_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/adcache_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/adcache_util.dir/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/adcache_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/adcache_util.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

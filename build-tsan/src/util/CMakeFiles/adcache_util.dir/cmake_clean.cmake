@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_util.dir/arena.cc.o"
+  "CMakeFiles/adcache_util.dir/arena.cc.o.d"
+  "CMakeFiles/adcache_util.dir/clock.cc.o"
+  "CMakeFiles/adcache_util.dir/clock.cc.o.d"
+  "CMakeFiles/adcache_util.dir/coding.cc.o"
+  "CMakeFiles/adcache_util.dir/coding.cc.o.d"
+  "CMakeFiles/adcache_util.dir/env.cc.o"
+  "CMakeFiles/adcache_util.dir/env.cc.o.d"
+  "CMakeFiles/adcache_util.dir/fault_injection_env.cc.o"
+  "CMakeFiles/adcache_util.dir/fault_injection_env.cc.o.d"
+  "CMakeFiles/adcache_util.dir/hash.cc.o"
+  "CMakeFiles/adcache_util.dir/hash.cc.o.d"
+  "CMakeFiles/adcache_util.dir/histogram.cc.o"
+  "CMakeFiles/adcache_util.dir/histogram.cc.o.d"
+  "CMakeFiles/adcache_util.dir/status.cc.o"
+  "CMakeFiles/adcache_util.dir/status.cc.o.d"
+  "CMakeFiles/adcache_util.dir/thread_pool.cc.o"
+  "CMakeFiles/adcache_util.dir/thread_pool.cc.o.d"
+  "libadcache_util.a"
+  "libadcache_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_workload.dir/generator.cc.o"
+  "CMakeFiles/adcache_workload.dir/generator.cc.o.d"
+  "CMakeFiles/adcache_workload.dir/runner.cc.o"
+  "CMakeFiles/adcache_workload.dir/runner.cc.o.d"
+  "CMakeFiles/adcache_workload.dir/zipfian.cc.o"
+  "CMakeFiles/adcache_workload.dir/zipfian.cc.o.d"
+  "libadcache_workload.a"
+  "libadcache_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adcache_store_test.dir/adcache_store_test.cc.o"
+  "CMakeFiles/adcache_store_test.dir/adcache_store_test.cc.o.d"
+  "adcache_store_test"
+  "adcache_store_test.pdb"
+  "adcache_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adcache_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

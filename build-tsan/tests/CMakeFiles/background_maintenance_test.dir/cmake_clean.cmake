@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_maintenance_test.dir/background_maintenance_test.cc.o"
+  "CMakeFiles/background_maintenance_test.dir/background_maintenance_test.cc.o.d"
+  "background_maintenance_test"
+  "background_maintenance_test.pdb"
+  "background_maintenance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

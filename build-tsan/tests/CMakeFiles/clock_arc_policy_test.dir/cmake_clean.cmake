@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_arc_policy_test.dir/clock_arc_policy_test.cc.o"
+  "CMakeFiles/clock_arc_policy_test.dir/clock_arc_policy_test.cc.o.d"
+  "clock_arc_policy_test"
+  "clock_arc_policy_test.pdb"
+  "clock_arc_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_arc_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

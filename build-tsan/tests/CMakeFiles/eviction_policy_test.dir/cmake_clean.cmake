@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eviction_policy_test.dir/eviction_policy_test.cc.o"
+  "CMakeFiles/eviction_policy_test.dir/eviction_policy_test.cc.o.d"
+  "eviction_policy_test"
+  "eviction_policy_test.pdb"
+  "eviction_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eviction_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

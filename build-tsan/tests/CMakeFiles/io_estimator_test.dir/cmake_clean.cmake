@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_estimator_test.dir/io_estimator_test.cc.o"
+  "CMakeFiles/io_estimator_test.dir/io_estimator_test.cc.o.d"
+  "io_estimator_test"
+  "io_estimator_test.pdb"
+  "io_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

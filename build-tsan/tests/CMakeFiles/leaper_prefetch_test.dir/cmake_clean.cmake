@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaper_prefetch_test.dir/leaper_prefetch_test.cc.o"
+  "CMakeFiles/leaper_prefetch_test.dir/leaper_prefetch_test.cc.o.d"
+  "leaper_prefetch_test"
+  "leaper_prefetch_test.pdb"
+  "leaper_prefetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaper_prefetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

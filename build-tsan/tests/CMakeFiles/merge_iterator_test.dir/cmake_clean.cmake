@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_iterator_test.dir/merge_iterator_test.cc.o"
+  "CMakeFiles/merge_iterator_test.dir/merge_iterator_test.cc.o.d"
+  "merge_iterator_test"
+  "merge_iterator_test.pdb"
+  "merge_iterator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

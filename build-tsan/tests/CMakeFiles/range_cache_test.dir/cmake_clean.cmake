@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_cache_test.dir/range_cache_test.cc.o"
+  "CMakeFiles/range_cache_test.dir/range_cache_test.cc.o.d"
+  "range_cache_test"
+  "range_cache_test.pdb"
+  "range_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_consistency_test.dir/store_consistency_test.cc.o"
+  "CMakeFiles/store_consistency_test.dir/store_consistency_test.cc.o.d"
+  "store_consistency_test"
+  "store_consistency_test.pdb"
+  "store_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

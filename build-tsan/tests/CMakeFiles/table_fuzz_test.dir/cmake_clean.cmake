@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_fuzz_test.dir/table_fuzz_test.cc.o"
+  "CMakeFiles/table_fuzz_test.dir/table_fuzz_test.cc.o.d"
+  "table_fuzz_test"
+  "table_fuzz_test.pdb"
+  "table_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_compaction_test.dir/universal_compaction_test.cc.o"
+  "CMakeFiles/universal_compaction_test.dir/universal_compaction_test.cc.o.d"
+  "universal_compaction_test"
+  "universal_compaction_test.pdb"
+  "universal_compaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_compaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_batch_snapshot_test.dir/write_batch_snapshot_test.cc.o"
+  "CMakeFiles/write_batch_snapshot_test.dir/write_batch_snapshot_test.cc.o.d"
+  "write_batch_snapshot_test"
+  "write_batch_snapshot_test.pdb"
+  "write_batch_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_batch_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
