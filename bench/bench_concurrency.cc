@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -187,11 +188,268 @@ void RunWriteThroughput() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-reader read throughput: mutex-snapshot baseline vs lock-free
+// SuperVersion acquisition.
+//
+// A cache-resident dataset (everything in the memtable / block cache, no
+// realized device latency) makes the lookup itself cheap, so per-read
+// *overhead* dominates. The "mutex" column reproduces the pre-SuperVersion
+// read path end to end: a DB-mutex acquisition plus a heap-allocated
+// snapshot with one ref/unref per memtable (Options::mutex_read_snapshot)
+// and the copying std::string return. The "lockfree" column is the new
+// path: thread-local cached SuperVersion (one uncontended atomic exchange +
+// a generation check) and a pinned zero-copy PinnableSlice return. Keys are
+// pre-generated outside the timed loop so the columns compare read paths,
+// not key formatting. Reported throughput is aggregate wall-clock ops/s;
+// on a single-core host the threads time-slice, so the columns measure
+// per-op overhead under contention, not parallel speedup.
+// ---------------------------------------------------------------------------
+
+constexpr int kReadKeys = 2000;
+constexpr int kReadValueSize = 1024;  // paper workloads use ~1 KB values
+
+std::vector<std::string> MakeReadKeys() {
+  std::vector<std::string> keys;
+  keys.reserve(kReadKeys);
+  char key[32];
+  for (int i = 0; i < kReadKeys; i++) {
+    std::snprintf(key, sizeof(key), "key-%06d", i);
+    keys.emplace_back(key);
+  }
+  return keys;
+}
+
+std::unique_ptr<lsm::DB> OpenReadDb(Env* env, bool mutex_baseline,
+                                    const char* name) {
+  lsm::Options options;
+  options.env = env;
+  options.enable_wal = false;
+  options.memtable_size = 8 * 1024 * 1024;  // dataset stays memtable-resident
+  options.mutex_read_snapshot = mutex_baseline;
+  std::unique_ptr<lsm::DB> db;
+  if (!lsm::DB::Open(options, name, &db).ok()) std::abort();
+  std::string value(kReadValueSize, 'v');
+  char key[32];
+  for (int i = 0; i < kReadKeys; i++) {
+    std::snprintf(key, sizeof(key), "key-%06d", i);
+    if (!db->Put(lsm::WriteOptions(), Slice(key), Slice(value)).ok()) {
+      std::abort();
+    }
+  }
+  return db;
+}
+
+/// xorshift64: cheap per-thread key picker, no shared RNG state.
+inline uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+double RunPointReaders(int threads, bool mutex_baseline) {
+  SimClock clock;
+  auto env = NewMemEnv(&clock);
+  auto db = OpenReadDb(env.get(), mutex_baseline, "/rd");
+  const std::vector<std::string> keys = MakeReadKeys();
+
+  constexpr int kOpsPerThread = 100000;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<uint64_t> sink{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      uint64_t rng = 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(t);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      uint64_t local = 0;
+      for (int i = 0; i < kOpsPerThread; i++) {
+        const std::string& key = keys[NextRand(&rng) % kReadKeys];
+        if (mutex_baseline) {
+          // Seed-era API: the value is copied out into a fresh string.
+          std::string value;
+          if (!db->Get(lsm::ReadOptions(), Slice(key), &value).ok()) {
+            std::abort();
+          }
+          local += value.size();
+        } else {
+          PinnableSlice value;
+          if (!db->Get(lsm::ReadOptions(), Slice(key), &value).ok()) {
+            std::abort();
+          }
+          local += value.size();
+        }
+      }
+      sink.fetch_add(local);
+    });
+  }
+  while (ready.load() < threads) std::this_thread::yield();
+  uint64_t start = SystemClock::Default()->NowMicros();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  uint64_t elapsed = SystemClock::Default()->NowMicros() - start;
+  if (sink.load() == 0) std::abort();  // keep reads observable
+  double total_ops = static_cast<double>(threads) * kOpsPerThread;
+  return elapsed == 0 ? 0 : total_ops / (static_cast<double>(elapsed) / 1e6);
+}
+
+double RunMixedReadWrite(int threads, bool mutex_baseline) {
+  SimClock clock;
+  auto env = NewMemEnv(&clock);
+  auto db = OpenReadDb(env.get(), mutex_baseline, "/mx");
+  const std::vector<std::string> keys = MakeReadKeys();
+
+  constexpr int kOpsPerThread = 20000;
+  const std::string put_value(kReadValueSize, 'w');
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<uint64_t> sink{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      uint64_t rng = 0xda942042e4dd58b5ull + static_cast<uint64_t>(t);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      uint64_t local = 0;
+      for (int i = 0; i < kOpsPerThread; i++) {
+        const std::string& key = keys[NextRand(&rng) % kReadKeys];
+        if ((i & 1) == 0) {
+          if (mutex_baseline) {
+            std::string v;
+            Status s = db->Get(lsm::ReadOptions(), Slice(key), &v);
+            if (!s.ok() && !s.IsNotFound()) std::abort();
+            local += v.size();
+          } else {
+            PinnableSlice v;
+            Status s = db->Get(lsm::ReadOptions(), Slice(key), &v);
+            if (!s.ok() && !s.IsNotFound()) std::abort();
+            local += v.size();
+          }
+        } else {
+          if (!db->Put(lsm::WriteOptions(), Slice(key),
+                       Slice(put_value)).ok()) {
+            std::abort();
+          }
+          local++;
+        }
+      }
+      sink.fetch_add(local);
+    });
+  }
+  while (ready.load() < threads) std::this_thread::yield();
+  uint64_t start = SystemClock::Default()->NowMicros();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  uint64_t elapsed = SystemClock::Default()->NowMicros() - start;
+  if (sink.load() == 0) std::abort();
+  double total_ops = static_cast<double>(threads) * kOpsPerThread;
+  return elapsed == 0 ? 0 : total_ops / (static_cast<double>(elapsed) / 1e6);
+}
+
+/// Isolates read-state acquisition + release: a Get for a key ordered below
+/// the whole keyspace makes the memtable probe short-circuit at the first
+/// node, so nearly all of the per-op cost is the part the two read paths
+/// implement differently (mutex + snapshot allocation + per-memtable refs
+/// vs thread-local exchange + generation check).
+double RunAcquisitionOnly(int threads, bool mutex_baseline) {
+  SimClock clock;
+  auto env = NewMemEnv(&clock);
+  auto db = OpenReadDb(env.get(), mutex_baseline, "/aq");
+
+  constexpr int kOpsPerThread = 150000;
+  const std::string absent_key("a");  // sorts before every "key-..." entry
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<uint64_t> sink{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      uint64_t local = 0;
+      for (int i = 0; i < kOpsPerThread; i++) {
+        if (mutex_baseline) {
+          std::string v;
+          Status s = db->Get(lsm::ReadOptions(), Slice(absent_key), &v);
+          if (!s.IsNotFound()) std::abort();
+        } else {
+          PinnableSlice v;
+          Status s = db->Get(lsm::ReadOptions(), Slice(absent_key), &v);
+          if (!s.IsNotFound()) std::abort();
+        }
+        local++;
+      }
+      sink.fetch_add(local);
+    });
+  }
+  while (ready.load() < threads) std::this_thread::yield();
+  uint64_t start = SystemClock::Default()->NowMicros();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  uint64_t elapsed = SystemClock::Default()->NowMicros() - start;
+  if (sink.load() == 0) std::abort();
+  double total_ops = static_cast<double>(threads) * kOpsPerThread;
+  return elapsed == 0 ? 0 : total_ops / (static_cast<double>(elapsed) / 1e6);
+}
+
+void RunReadScaling() {
+  PrintBanner("Multi-reader read throughput", "lock-free read path",
+              "SuperVersion acquisition via thread-local cached refs removes "
+              "the per-read DB mutex + snapshot allocation the baseline pays");
+  std::printf(
+      "note: on a single-core host threads time-slice, so the mutex never\n"
+      "exhibits cross-core contention or cacheline bouncing; speedups here\n"
+      "reflect per-op overhead removed and are a lower bound on multi-core\n"
+      "gains.\n\n");
+
+  std::printf("point lookups (cache-resident, 100%% reads)\n");
+  std::printf("%8s %16s %16s %9s\n", "readers", "mutex ops/s",
+              "lockfree ops/s", "speedup");
+  for (int threads : {1, 2, 4, 8}) {
+    double mtx = RunPointReaders(threads, /*mutex_baseline=*/true);
+    double lf = RunPointReaders(threads, /*mutex_baseline=*/false);
+    std::printf("%8d %16.0f %16.0f %8.2fx\n", threads, mtx, lf,
+                mtx == 0 ? 0 : lf / mtx);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nmixed workload (50%% point reads / 50%% writes)\n");
+  std::printf("%8s %16s %16s %9s\n", "threads", "mutex ops/s",
+              "lockfree ops/s", "speedup");
+  for (int threads : {1, 2, 4, 8}) {
+    double mtx = RunMixedReadWrite(threads, /*mutex_baseline=*/true);
+    double lf = RunMixedReadWrite(threads, /*mutex_baseline=*/false);
+    std::printf("%8d %16.0f %16.0f %8.2fx\n", threads, mtx, lf,
+                mtx == 0 ? 0 : lf / mtx);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nread-state acquisition overhead (absent-key point Get)\n");
+  std::printf("%8s %16s %16s %9s\n", "readers", "mutex ops/s",
+              "lockfree ops/s", "speedup");
+  for (int threads : {1, 2, 4, 8}) {
+    double mtx = RunAcquisitionOnly(threads, /*mutex_baseline=*/true);
+    double lf = RunAcquisitionOnly(threads, /*mutex_baseline=*/false);
+    std::printf("%8d %16.0f %16.0f %8.2fx\n", threads, mtx, lf,
+                mtx == 0 ? 0 : lf / mtx);
+    std::fflush(stdout);
+  }
+}
+
 }  // namespace
 }  // namespace adcache::bench
 
 int main() {
-  adcache::bench::RunWriteThroughput();
-  adcache::bench::Run();
+  // ADCACHE_BENCH_SECTION=read|write|training runs one section alone.
+  const char* only = std::getenv("ADCACHE_BENCH_SECTION");
+  std::string section = only != nullptr ? only : "";
+  if (section.empty() || section == "read") adcache::bench::RunReadScaling();
+  if (section.empty() || section == "write") {
+    adcache::bench::RunWriteThroughput();
+  }
+  if (section.empty() || section == "training") adcache::bench::Run();
   return 0;
 }

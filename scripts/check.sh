@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 build+tests, then the ThreadSanitizer
+# concurrency suite (read path + background maintenance).
+#
+# Usage: scripts/check.sh [--tsan-only|--tier1-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tier1=1
+run_tsan=1
+case "${1:-}" in
+  --tsan-only) run_tier1=0 ;;
+  --tier1-only) run_tsan=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--tsan-only|--tier1-only]" >&2; exit 2 ;;
+esac
+
+if [[ $run_tier1 -eq 1 ]]; then
+  echo "== tier-1: build + full test suite =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j
+  ctest --test-dir build --output-on-failure -j
+fi
+
+if [[ $run_tsan -eq 1 ]]; then
+  echo "== tsan: concurrency suite =="
+  cmake -B build-tsan -S . -DADCACHE_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j --target \
+        superversion_test background_maintenance_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/superversion_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/background_maintenance_test
+fi
+
+echo "== all checks passed =="

@@ -93,14 +93,10 @@ Cache::Handle* LRUCacheShard::Insert(const Slice& key, void* value,
 Cache::Handle* LRUCacheShard::Lookup(const Slice& key) {
   std::lock_guard<std::mutex> l(mu_);
   auto it = table_.find(std::string(key.data(), key.size()));
-  if (it == table_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
-  }
+  if (it == table_.end()) return nullptr;
   LRUHandle* e = it->second;
   if (e->refs == 1) LRU_Remove(e);  // pinned entries leave the LRU list
   e->refs++;
-  hits_.fetch_add(1, std::memory_order_relaxed);
   return reinterpret_cast<Cache::Handle*>(e);
 }
 
@@ -185,7 +181,13 @@ Cache::Handle* ShardedLRUCache::Insert(const Slice& key, void* value,
 }
 
 Cache::Handle* ShardedLRUCache::Lookup(const Slice& key) {
-  return ShardFor(key).Lookup(key);
+  Cache::Handle* h = ShardFor(key).Lookup(key);
+  if (h != nullptr) {
+    hits_.Inc();
+  } else {
+    misses_.Inc();
+  }
+  return h;
 }
 
 bool ShardedLRUCache::Contains(const Slice& key) const {
@@ -224,17 +226,9 @@ void ShardedLRUCache::Prune() {
   for (auto& s : shards_) s.Prune();
 }
 
-uint64_t ShardedLRUCache::hits() const {
-  uint64_t total = 0;
-  for (const auto& s : shards_) total += s.hits();
-  return total;
-}
+uint64_t ShardedLRUCache::hits() const { return hits_.Load(); }
 
-uint64_t ShardedLRUCache::misses() const {
-  uint64_t total = 0;
-  for (const auto& s : shards_) total += s.misses();
-  return total;
-}
+uint64_t ShardedLRUCache::misses() const { return misses_.Load(); }
 
 std::shared_ptr<Cache> NewLRUCache(size_t capacity, int num_shard_bits) {
   return std::make_shared<ShardedLRUCache>(capacity, num_shard_bits);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cache/cache.h"
+#include "util/sharded_counter.h"
 
 namespace adcache {
 
@@ -47,9 +48,6 @@ class LRUCacheShard {
   size_t GetUsage() const;
   void Prune();
 
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-
  private:
   void LRU_Remove(LRUHandle* e);
   void LRU_Append(LRUHandle* e);
@@ -63,8 +61,6 @@ class LRUCacheShard {
   size_t usage_ = 0;
   LRUHandle lru_;  // dummy head; lru_.next is oldest
   std::unordered_map<std::string, LRUHandle*> table_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace cache_internal
@@ -95,6 +91,10 @@ class ShardedLRUCache : public Cache {
   std::vector<cache_internal::LRUCacheShard> shards_;
   uint32_t shard_mask_;
   std::atomic<size_t> capacity_;
+  // Hit/miss telemetry lives outside the shard mutexes, per-thread sharded,
+  // so hot read paths don't bounce a shared cacheline per lookup.
+  util::ShardedCounter hits_;
+  util::ShardedCounter misses_;
 };
 
 }  // namespace adcache

@@ -31,13 +31,13 @@ bool RangeCache::Get(const Slice& key, std::string* value) {
   std::lock_guard<std::mutex> l(mu_);
   auto it = map_.find(std::string(key.data(), key.size()));
   if (it == map_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Inc();
     policy_->OnMiss(key.ToString());
     return false;
   }
   *value = it->second.value;
   policy_->OnAccess(it->first);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.Inc();
   return true;
 }
 
@@ -80,11 +80,11 @@ bool RangeCache::GetScan(const Slice& start, size_t n,
   }
   if (!full) {
     results->clear();
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Inc();
     policy_->OnMiss(start.ToString());
     return false;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.Inc();
   return true;
 }
 
@@ -229,7 +229,7 @@ void RangeCache::EvictToFit() {
     auto it = map_.find(victim);
     if (it == map_.end()) continue;  // policy desync; skip
     RemoveEntry(it);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.Inc();
   }
 }
 

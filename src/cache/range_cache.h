@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cache/eviction_policy.h"
+#include "util/sharded_counter.h"
 #include "util/slice.h"
 
 namespace adcache {
@@ -80,11 +81,9 @@ class RangeCache {
   size_t GetUsage() const;
   size_t EntryCount() const;
 
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  uint64_t evictions() const {
-    return evictions_.load(std::memory_order_relaxed);
-  }
+  uint64_t hits() const { return hits_.Load(); }
+  uint64_t misses() const { return misses_.Load(); }
+  uint64_t evictions() const { return evictions_.Load(); }
 
   const EvictionPolicy* policy() const { return policy_.get(); }
 
@@ -107,9 +106,10 @@ class RangeCache {
   size_t usage_ = 0;
   Map map_;
   std::unique_ptr<EvictionPolicy> policy_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
+  // Per-thread sharded so hot-path telemetry doesn't contend a cacheline.
+  util::ShardedCounter hits_;
+  util::ShardedCounter misses_;
+  util::ShardedCounter evictions_;
 };
 
 /// Key-range partitioned wrapper for multi-client workloads (paper §4.4):

@@ -123,8 +123,14 @@ Status AdCacheStore::Get(const Slice& key, std::string* value) {
     MaybeEndWindow();
     return Status::OK();
   }
-  Status s = db_->Get(lsm::ReadOptions(), key, value);
+  // Read through the LSM with a pinned result (block-cache / memtable hits
+  // avoid an intermediate copy); the single copy below serves both the
+  // caller and the range-cache fill.
+  PinnableSlice pinned;
+  Status s = db_->Get(lsm::ReadOptions(), key, &pinned);
   if (s.ok()) {
+    value->assign(pinned.data(), pinned.size());
+    pinned.Reset();  // release the block/memtable pin before cache fills
     // Cache fill path: frequency-gated admission into the range cache.
     // Admission control exists to prevent evictions of valuable entries;
     // while the range cache still has headroom there is nothing to evict,

@@ -5,17 +5,14 @@ namespace adcache::core {
 WindowStats StatsCollector::Harvest(uint64_t block_reads_now,
                                     const MaintenanceSample& maintenance_now) {
   WindowStats cumulative;
-  cumulative.point_lookups = point_lookups_.load(std::memory_order_relaxed);
-  cumulative.scans = scans_.load(std::memory_order_relaxed);
-  cumulative.writes = writes_.load(std::memory_order_relaxed);
-  cumulative.scan_keys = scan_keys_.load(std::memory_order_relaxed);
-  cumulative.range_point_hits =
-      range_point_hits_.load(std::memory_order_relaxed);
-  cumulative.range_scan_hits =
-      range_scan_hits_.load(std::memory_order_relaxed);
-  cumulative.point_admits = point_admits_.load(std::memory_order_relaxed);
-  cumulative.scan_keys_admitted =
-      scan_keys_admitted_.load(std::memory_order_relaxed);
+  cumulative.point_lookups = point_lookups_.Load();
+  cumulative.scans = scans_.Load();
+  cumulative.writes = writes_.Load();
+  cumulative.scan_keys = scan_keys_.Load();
+  cumulative.range_point_hits = range_point_hits_.Load();
+  cumulative.range_scan_hits = range_scan_hits_.Load();
+  cumulative.point_admits = point_admits_.Load();
+  cumulative.scan_keys_admitted = scan_keys_admitted_.Load();
 
   WindowStats delta;
   delta.point_lookups = cumulative.point_lookups - last_harvest_.point_lookups;

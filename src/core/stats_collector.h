@@ -1,8 +1,9 @@
 #ifndef ADCACHE_CORE_STATS_COLLECTOR_H_
 #define ADCACHE_CORE_STATS_COLLECTOR_H_
 
-#include <atomic>
 #include <cstdint>
+
+#include "util/sharded_counter.h"
 
 namespace adcache::core {
 
@@ -53,37 +54,29 @@ struct WindowStats {
 
 /// Thread-safe accumulator. Queries record their type and outcomes; the
 /// controller harvests a consistent snapshot (relative to the harvest
-/// counters) at each window boundary.
+/// counters) at each window boundary. Counters are sharded per thread so
+/// concurrent readers on the lock-free read path don't serialize on one
+/// cacheline.
 class StatsCollector {
  public:
   void RecordPointLookup(bool range_cache_hit) {
-    point_lookups_.fetch_add(1, std::memory_order_relaxed);
-    if (range_cache_hit) {
-      range_point_hits_.fetch_add(1, std::memory_order_relaxed);
-    }
+    point_lookups_.Inc();
+    if (range_cache_hit) range_point_hits_.Inc();
   }
 
   void RecordScan(uint64_t returned_keys, bool range_cache_hit) {
-    scans_.fetch_add(1, std::memory_order_relaxed);
-    scan_keys_.fetch_add(returned_keys, std::memory_order_relaxed);
-    if (range_cache_hit) {
-      range_scan_hits_.fetch_add(1, std::memory_order_relaxed);
-    }
+    scans_.Inc();
+    scan_keys_.Add(returned_keys);
+    if (range_cache_hit) range_scan_hits_.Inc();
   }
 
-  void RecordWrite() { writes_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordPointAdmit() {
-    point_admits_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void RecordScanAdmit(uint64_t keys) {
-    scan_keys_admitted_.fetch_add(keys, std::memory_order_relaxed);
-  }
+  void RecordWrite() { writes_.Inc(); }
+  void RecordPointAdmit() { point_admits_.Inc(); }
+  void RecordScanAdmit(uint64_t keys) { scan_keys_admitted_.Add(keys); }
 
   /// Total operations recorded so far (drives window boundaries).
   uint64_t TotalOps() const {
-    return point_lookups_.load(std::memory_order_relaxed) +
-           scans_.load(std::memory_order_relaxed) +
-           writes_.load(std::memory_order_relaxed);
+    return point_lookups_.Load() + scans_.Load() + writes_.Load();
   }
 
   /// Monotonic maintenance counters sampled from the storage engine at a
@@ -101,14 +94,14 @@ class StatsCollector {
                       const MaintenanceSample& maintenance_now);
 
  private:
-  std::atomic<uint64_t> point_lookups_{0};
-  std::atomic<uint64_t> scans_{0};
-  std::atomic<uint64_t> writes_{0};
-  std::atomic<uint64_t> scan_keys_{0};
-  std::atomic<uint64_t> range_point_hits_{0};
-  std::atomic<uint64_t> range_scan_hits_{0};
-  std::atomic<uint64_t> point_admits_{0};
-  std::atomic<uint64_t> scan_keys_admitted_{0};
+  util::ShardedCounter point_lookups_;
+  util::ShardedCounter scans_;
+  util::ShardedCounter writes_;
+  util::ShardedCounter scan_keys_;
+  util::ShardedCounter range_point_hits_;
+  util::ShardedCounter range_scan_hits_;
+  util::ShardedCounter point_admits_;
+  util::ShardedCounter scan_keys_admitted_;
 
   WindowStats last_harvest_;
   uint64_t last_block_reads_ = 0;

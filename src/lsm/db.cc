@@ -90,10 +90,19 @@ uint64_t WallMicros() {
 DB::DB(const Options& options, std::string dbname, Env* env)
     : options_(options), dbname_(std::move(dbname)), env_(env) {
   compact_pointer_.assign(static_cast<size_t>(options_.num_levels), 0);
+  local_sv_ =
+      std::make_unique<util::ThreadLocalPtr>(&DB::SuperVersionUnrefHandler);
 }
 
 DB::~DB() {
   Close();
+  // Reclaim the per-thread cached SuperVersions first (the ThreadLocalPtr
+  // destructor clears every slot and unrefs parked copies), then drop the
+  // DB's own reference. Memtable references held by the SuperVersion are
+  // released through its Cleanup; the DB's direct refs below are separate.
+  local_sv_.reset();
+  UnrefSuperVersion(super_version_);
+  super_version_ = nullptr;
   for (MemTable* m : imm_) m->Unref();
   imm_.clear();
   if (mem_ != nullptr) mem_->Unref();
@@ -135,6 +144,7 @@ Status DB::Open(const Options& options, const std::string& dbname,
       std::make_unique<util::ThreadPool>(options.max_background_jobs);
   {
     std::lock_guard<std::mutex> l(db->mutex_);
+    db->InstallSuperVersionLocked();  // publish the initial read state
     db->MaybeScheduleMaintenance();  // recovered tree may be over-threshold
   }
   *dbptr = std::move(db);
@@ -554,6 +564,7 @@ Status DB::SwitchMemTableLocked() {
   mem_ = new MemTable();
   mem_->Ref();
   mem_->set_wal_number(options_.enable_wal ? wal_number_ : 0);
+  InstallSuperVersionLocked();
   MaybeScheduleMaintenance();
   return Status::OK();
 }
@@ -604,6 +615,7 @@ Status DB::FlushOldestImm(std::unique_lock<std::mutex>* l) {
   MemTable* imm = imm_.front();
   if (imm->num_entries() == 0) {
     imm_.erase(imm_.begin());
+    InstallSuperVersionLocked();
     l->unlock();
     imm->Unref();
     l->lock();
@@ -645,6 +657,7 @@ Status DB::FlushOldestImm(std::unique_lock<std::mutex>* l) {
                                 std::move(meta));
   current_ = new_version;
   imm_.erase(imm_.begin());
+  InstallSuperVersionLocked();
   maint_.flushes.fetch_add(1, std::memory_order_relaxed);
   l->unlock();
   imm->Unref();
@@ -917,6 +930,7 @@ bool DB::MaybeCompactOnce(Status* s) {
                        0;
               });
     current_ = new_version;
+    InstallSuperVersionLocked();
   }
   maint_.compactions.fetch_add(1, std::memory_order_relaxed);
 
@@ -1067,6 +1081,7 @@ bool DB::UniversalCompactOnce(Status* s) {
     l0.erase(l0.begin(), l0.begin() + static_cast<long>(pick));
     if (out_meta != nullptr) l0.insert(l0.begin(), out_meta);
     current_ = new_version;
+    InstallSuperVersionLocked();
   }
   maint_.compactions.fetch_add(1, std::memory_order_relaxed);
 
@@ -1078,59 +1093,170 @@ bool DB::UniversalCompactOnce(Status* s) {
 }
 
 // ---------------------------------------------------------------------------
-// Reads
+// Reads: lock-free SuperVersion acquisition
 // ---------------------------------------------------------------------------
 
-void DB::GetReadState(std::vector<MemTable*>* mems,
-                      std::shared_ptr<const Version>* version) {
-  mems->clear();
-  mems->push_back(mem_);
-  // Immutable memtables, newest first (imm_ is oldest first).
-  for (auto it = imm_.rbegin(); it != imm_.rend(); ++it) {
-    mems->push_back(*it);
+void DB::InstallSuperVersionLocked() {
+  auto* sv = new SuperVersion();
+  sv->Init(mem_, imm_, current_);
+  sv->version_number =
+      super_version_number_.load(std::memory_order_relaxed) + 1;
+  sv->Ref();  // the DB's own reference
+  SuperVersion* old = super_version_;
+  super_version_ = sv;
+  super_version_number_.store(sv->version_number, std::memory_order_release);
+
+  // Invalidate every thread's parked copy so idle threads don't pin the
+  // retired memtables/version; each collected pointer carries the reference
+  // its slot held. Slots mid-read (kSVInUse) are flipped to kSVObsolete
+  // too — the reader's CompareAndSwap on return fails and it unrefs
+  // directly.
+  std::vector<void*> cached;
+  local_sv_->Scrape(&cached, SuperVersion::kSVObsolete);
+  for (void* ptr : cached) {
+    if (ptr != SuperVersion::kSVInUse) {
+      UnrefSuperVersion(static_cast<SuperVersion*>(ptr));
+    }
   }
-  for (MemTable* m : *mems) m->Ref();
-  *version = current_;
+  UnrefSuperVersion(old);
+}
+
+void DB::SuperVersionUnrefHandler(void* ptr) {
+  if (ptr == SuperVersion::kSVInUse || ptr == SuperVersion::kSVObsolete) {
+    return;  // markers carry no reference
+  }
+  UnrefSuperVersion(static_cast<SuperVersion*>(ptr));
+}
+
+SuperVersion* DB::GetAndRefSuperVersion() {
+  // Borrow this thread's parked copy. On the fast path the slot's parked
+  // reference covers the whole read — no mutex, no atomic RMW at all.
+  void* ptr = local_sv_->Swap(SuperVersion::kSVInUse);
+  assert(ptr != SuperVersion::kSVInUse);  // reads do not nest
+  auto* sv = static_cast<SuperVersion*>(ptr);
+  if (sv != nullptr && ptr != SuperVersion::kSVObsolete &&
+      sv->version_number ==
+          super_version_number_.load(std::memory_order_acquire)) {
+    return sv;
+  }
+  // Stale or absent: drop the parked reference (if any) and refresh.
+  if (sv != nullptr && ptr != SuperVersion::kSVObsolete) {
+    UnrefSuperVersion(sv);
+  }
+  std::lock_guard<std::mutex> l(mutex_);
+  return super_version_->Ref();
+}
+
+void DB::ReturnAndCleanupSuperVersion(SuperVersion* sv) {
+  // Park the reference back in the slot for the next read — unless an
+  // install raced in (generation moved or the slot was scraped), in which
+  // case release it here.
+  if (sv->version_number ==
+          super_version_number_.load(std::memory_order_acquire) &&
+      local_sv_->CompareAndSwap(SuperVersion::kSVInUse, sv)) {
+    return;
+  }
+  UnrefSuperVersion(sv);
+}
+
+SuperVersion* DB::AcquireReadState(SequenceNumber* seq) {
+  if (options_.mutex_read_snapshot) {
+    // Benchmark baseline: the pre-SuperVersion protocol — every read takes
+    // the DB mutex and builds a heap snapshot with one ref per memtable.
+    // The mutex serializes against installs, so the view and the sequence
+    // are captured atomically with respect to flush/compaction.
+    std::lock_guard<std::mutex> l(mutex_);
+    auto* sv = new SuperVersion();
+    sv->Init(mem_, imm_, current_);
+    *seq = last_sequence_.load(std::memory_order_acquire);
+    return sv->Ref();
+  }
+  // Lock-free path. The view must be acquired BEFORE the sequence: every
+  // install's compaction GC'd only entries shadowed at the last_sequence_ of
+  // its time, and acquiring the view synchronizes with the install that
+  // produced it, so a sequence loaded afterwards is at least that large —
+  // the view cannot have dropped anything this snapshot needs.
+  //
+  // The reverse hazard — the sequence admitting a write that lives in a
+  // memtable this (cached) view predates — is closed by the generation
+  // re-check: a memtable switch installs and bumps the generation before the
+  // write's sequence is published, so observing such a sequence implies
+  // observing the bumped generation, and we retry with a fresh view.
+  for (;;) {
+    SuperVersion* sv = GetAndRefSuperVersion();
+    *seq = last_sequence_.load(std::memory_order_acquire);
+    if (sv->version_number ==
+        super_version_number_.load(std::memory_order_acquire)) {
+      return sv;
+    }
+    ReturnAndCleanupSuperVersion(sv);
+  }
+}
+
+void DB::ReleaseReadState(SuperVersion* sv) {
+  if (options_.mutex_read_snapshot) {
+    UnrefSuperVersion(sv);  // baseline copies are never parked
+    return;
+  }
+  ReturnAndCleanupSuperVersion(sv);
+}
+
+namespace {
+void UnrefSuperVersionCleanup(void* arg1, void* /*arg2*/) {
+  UnrefSuperVersion(static_cast<SuperVersion*>(arg1));
+}
+}  // namespace
+
+Status DB::GetImpl(const ReadOptions& read_options, const Slice& key,
+                   SequenceNumber snapshot, SuperVersion* sv,
+                   PinnableSlice* value) {
+  LookupKey lkey(key, snapshot);  // built once, shared by every memtable
+  for (MemTable* mem : sv->mems) {  // newest data first
+    Slice v;
+    bool deleted = false;
+    if (mem->Get(lkey, &v, &deleted)) {
+      if (deleted) return Status::NotFound();
+      // The value bytes live in the memtable's arena: pin the SuperVersion
+      // (which pins the memtable) instead of copying them out.
+      sv->Ref();
+      value->PinSlice(v, &UnrefSuperVersionCleanup, sv, nullptr);
+      return Status::OK();
+    }
+  }
+  auto r = const_cast<Version*>(sv->version.get())
+               ->Get(read_options, key, snapshot, value);
+  switch (r) {
+    case Table::LookupResult::kFound:
+      return Status::OK();
+    case Table::LookupResult::kDeleted:
+    case Table::LookupResult::kNotFound:
+      break;
+  }
+  return Status::NotFound();
+}
+
+Status DB::Get(const ReadOptions& read_options, const Slice& key,
+               PinnableSlice* value) {
+  // AcquireReadState pairs the view with a consistent snapshot sequence
+  // (see the ordering discussion there). An explicit snapshot overrides the
+  // implicit one; it needs no ordering because registered snapshots are
+  // protected from compaction GC via SmallestLiveSnapshot().
+  SequenceNumber snapshot;
+  SuperVersion* sv = AcquireReadState(&snapshot);
+  if (read_options.snapshot != nullptr) {
+    snapshot = read_options.snapshot->sequence();
+  }
+  Status s = GetImpl(read_options, key, snapshot, sv, value);
+  ReleaseReadState(sv);
+  return s;
 }
 
 Status DB::Get(const ReadOptions& read_options, const Slice& key,
                std::string* value) {
-  std::vector<MemTable*> mems;
-  std::shared_ptr<const Version> version;
-  SequenceNumber snapshot;
-  {
-    std::lock_guard<std::mutex> l(mutex_);
-    snapshot = read_options.snapshot != nullptr
-                   ? read_options.snapshot->sequence()
-                   : last_sequence_.load(std::memory_order_acquire);
-    GetReadState(&mems, &version);
-  }
-
-  Status result;
-  bool resolved = false;
-  for (MemTable* mem : mems) {  // newest data first
-    bool deleted = false;
-    if (mem->Get(key, snapshot, value, &deleted)) {
-      result = deleted ? Status::NotFound() : Status::OK();
-      resolved = true;
-      break;
-    }
-  }
-  if (!resolved) {
-    auto r = const_cast<Version*>(version.get())
-                 ->Get(read_options, key, snapshot, value);
-    switch (r) {
-      case Table::LookupResult::kFound:
-        result = Status::OK();
-        break;
-      case Table::LookupResult::kDeleted:
-      case Table::LookupResult::kNotFound:
-        result = Status::NotFound();
-        break;
-    }
-  }
-  for (MemTable* mem : mems) mem->Unref();
-  return result;
+  PinnableSlice pinned;
+  Status s = Get(read_options, key, &pinned);
+  if (s.ok()) value->assign(pinned.data(), pinned.size());
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -1145,17 +1271,16 @@ namespace {
 /// report NotSupported.
 class DBIter : public Iterator {
  public:
-  /// Takes ownership of one reference to each memtable in `mems`.
-  DBIter(Iterator* internal, SequenceNumber snapshot,
-         std::vector<MemTable*> mems,
-         std::shared_ptr<const Version> version)
-      : internal_(internal),
-        snapshot_(snapshot),
-        mems_(std::move(mems)),
-        version_(std::move(version)) {}
+  /// Takes ownership of one SuperVersion reference, which pins every
+  /// memtable and SSTable the internal iterator reads. A plain reference
+  /// (not a thread-local parked one): the iterator may be destroyed on a
+  /// different thread than the one that created it.
+  DBIter(Iterator* internal, SequenceNumber snapshot, SuperVersion* sv)
+      : internal_(internal), snapshot_(snapshot), sv_(sv) {}
 
   ~DBIter() override {
-    for (MemTable* m : mems_) m->Unref();
+    internal_.reset();  // drop table/memtable iterators before the pin
+    UnrefSuperVersion(sv_);
   }
 
   bool Valid() const override { return valid_; }
@@ -1243,8 +1368,7 @@ class DBIter : public Iterator {
 
   std::unique_ptr<Iterator> internal_;
   SequenceNumber snapshot_;
-  std::vector<MemTable*> mems_;
-  std::shared_ptr<const Version> version_;
+  SuperVersion* sv_;
   bool valid_ = false;
   std::string key_;
   std::string value_;
@@ -1254,24 +1378,23 @@ class DBIter : public Iterator {
 }  // namespace
 
 Iterator* DB::NewIterator(const ReadOptions& read_options) {
-  std::vector<MemTable*> mems;
-  std::shared_ptr<const Version> version;
+  // Same view/sequence pairing as DB::Get (see AcquireReadState).
   SequenceNumber snapshot;
-  {
-    std::lock_guard<std::mutex> l(mutex_);
-    snapshot = read_options.snapshot != nullptr
-                   ? read_options.snapshot->sequence()
-                   : last_sequence_.load(std::memory_order_acquire);
-    GetReadState(&mems, &version);
+  SuperVersion* sv = AcquireReadState(&snapshot);
+  if (read_options.snapshot != nullptr) {
+    snapshot = read_options.snapshot->sequence();
   }
+  sv->Ref();  // the iterator's own reference, released by ~DBIter
   std::vector<Iterator*> children;
-  for (MemTable* mem : mems) {
+  for (MemTable* mem : sv->mems) {
     children.push_back(mem->NewIterator());
   }
-  version->AddIterators(read_options, &children);
+  sv->version->AddIterators(read_options, &children);
   static InternalKeyComparator icmp;
   Iterator* merged = NewMergingIterator(&icmp, std::move(children));
-  return new DBIter(merged, snapshot, std::move(mems), version);
+  auto* iter = new DBIter(merged, snapshot, sv);
+  ReleaseReadState(sv);
+  return iter;
 }
 
 // ---------------------------------------------------------------------------

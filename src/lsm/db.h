@@ -15,9 +15,12 @@
 #include "lsm/log_writer.h"
 #include "lsm/memtable.h"
 #include "lsm/options.h"
+#include "lsm/superversion.h"
 #include "lsm/version.h"
 #include "lsm/write_batch.h"
 #include "util/env.h"
+#include "util/pinnable_slice.h"
+#include "util/thread_local_ptr.h"
 #include "util/thread_pool.h"
 
 namespace adcache::lsm {
@@ -43,7 +46,11 @@ class Snapshot {
 /// maintenance inline. See DESIGN.md "Threading model".
 ///
 /// Reads (Get and iterators) are safe from any number of threads
-/// concurrently with writers and background maintenance.
+/// concurrently with writers and background maintenance, and acquire their
+/// view without touching mutex_: the whole read state (active memtable,
+/// immutable memtables, current Version) lives in a refcounted SuperVersion
+/// installed atomically on every state change, and each thread caches a
+/// referenced copy in a thread-local slot (see DESIGN.md "Read path").
 ///
 /// Iterators returned by NewIterator expose *user* keys, deduplicated and
 /// tombstone-free, at the snapshot taken when the iterator was created.
@@ -100,6 +107,10 @@ class DB {
   Status Write(const WriteOptions& write_options, const WriteBatch& batch);
   Status Get(const ReadOptions& read_options, const Slice& key,
              std::string* value);
+  /// Zero-copy variant: on a block-cache or memtable hit, `value` pins the
+  /// underlying bytes (cache handle / SuperVersion) instead of copying them.
+  Status Get(const ReadOptions& read_options, const Slice& key,
+             PinnableSlice* value);
 
   /// Pins the current state for repeatable reads; release when done.
   /// Compactions preserve entries visible to any live snapshot.
@@ -176,10 +187,34 @@ class DB {
   uint64_t MaxBytesForLevel(int level) const;
   bool IsBaseLevelForKey(const Version& v, int output_level,
                          const Slice& user_key) const;
-  /// Requires mutex_. Collects (and refs) all live memtables newest-first
-  /// plus the current version, for a consistent read view.
-  void GetReadState(std::vector<MemTable*>* mems,
-                    std::shared_ptr<const Version>* version);
+
+  // --- read state (SuperVersion) -------------------------------------------
+  /// Requires mutex_. Captures {mem_, imm_, current_} into a fresh
+  /// SuperVersion, publishes it as super_version_, bumps the generation
+  /// counter, and invalidates every thread-local cached copy. Called on
+  /// every read-state change: open, memtable switch, flush, compaction.
+  void InstallSuperVersionLocked();
+  /// Lock-free acquisition of the current read state: reuses this thread's
+  /// cached SuperVersion when its generation is current, otherwise refreshes
+  /// under mutex_. Never returns nullptr. Balance with
+  /// ReturnAndCleanupSuperVersion.
+  SuperVersion* GetAndRefSuperVersion();
+  /// Returns a SuperVersion from GetAndRefSuperVersion: re-parks it in the
+  /// thread-local slot when still current, else drops the reference.
+  void ReturnAndCleanupSuperVersion(SuperVersion* sv);
+  /// Read-path entry points honoring Options::mutex_read_snapshot (the
+  /// benchmark baseline that reproduces the old mutex + per-memtable-ref
+  /// snapshot); the default routes to the lock-free pair above.
+  SuperVersion* AcquireReadState(SequenceNumber* seq);
+  void ReleaseReadState(SuperVersion* sv);
+  /// Thread-exit handler for local_sv_: drops the ref parked in the slot.
+  static void SuperVersionUnrefHandler(void* ptr);
+  /// Shared lookup body for both Get overloads: runs against an acquired
+  /// SuperVersion; takes an extra sv->Ref() for memtable-pinned results.
+  /// `snapshot` must have been read before `sv` was acquired (see DB::Get).
+  Status GetImpl(const ReadOptions& read_options, const Slice& key,
+                 SequenceNumber snapshot, SuperVersion* sv,
+                 PinnableSlice* value);
 
   Options options_;
   std::string dbname_;
@@ -197,6 +232,19 @@ class DB {
   /// Immutable memtables awaiting flush, oldest first. Guarded by mutex_.
   std::vector<MemTable*> imm_;
   std::shared_ptr<const Version> current_;
+
+  /// The installed read state; the DB holds one reference. Written only
+  /// under mutex_ (InstallSuperVersionLocked); readers reach it through
+  /// their thread-local cache or, on a miss, under mutex_.
+  SuperVersion* super_version_ = nullptr;
+  /// Generation of super_version_. A reader whose cached SuperVersion
+  /// carries this number can use it without any locking; release-stored by
+  /// the installer, acquire-loaded by readers.
+  std::atomic<uint64_t> super_version_number_{0};
+  /// Per-thread cached SuperVersion* (holds one reference while parked).
+  /// Slot protocol: a real pointer = parked cached copy; kSVInUse = this
+  /// thread's read is borrowing it; kSVObsolete/nullptr = no usable copy.
+  std::unique_ptr<util::ThreadLocalPtr> local_sv_;
   std::atomic<SequenceNumber> last_sequence_{0};
   std::atomic<uint64_t> next_file_number_{1};
   uint64_t wal_number_ = 0;            // guarded by mutex_

@@ -82,6 +82,50 @@ inline std::string MakeLookupKey(const Slice& user_key, SequenceNumber seq) {
   return MakeInternalKey(user_key, seq, kTypeValue);
 }
 
+/// A point-lookup seek key built once per Get and shared by every layer:
+/// `memtable_key()` is the skiplist entry form (varint32 length prefix +
+/// internal key), `internal_key()` the SSTable form. Keys up to ~110 bytes
+/// fit in the inline buffer, so the hot read path performs no allocation.
+class LookupKey {
+ public:
+  LookupKey(const Slice& user_key, SequenceNumber seq) {
+    size_t isize = user_key.size() + 8;
+    size_t needed = isize + 5;  // + varint32 length prefix
+    char* dst = needed <= sizeof(space_) ? space_ : (heap_ = new char[needed]);
+    start_ = dst;
+    dst = EncodeVarint32(dst, static_cast<uint32_t>(isize));
+    kstart_ = dst;
+    memcpy(dst, user_key.data(), user_key.size());
+    dst += user_key.size();
+    EncodeFixed64(dst, PackSequenceAndType(seq, kTypeValue));
+    end_ = dst + 8;
+  }
+
+  ~LookupKey() { delete[] heap_; }
+
+  LookupKey(const LookupKey&) = delete;
+  LookupKey& operator=(const LookupKey&) = delete;
+
+  /// varint32 length prefix + internal key (MemTable entry format).
+  const char* memtable_key() const { return start_; }
+
+  /// user key + 8-byte trailer.
+  Slice internal_key() const {
+    return Slice(kstart_, static_cast<size_t>(end_ - kstart_));
+  }
+
+  Slice user_key() const {
+    return Slice(kstart_, static_cast<size_t>(end_ - kstart_) - 8);
+  }
+
+ private:
+  const char* start_;
+  const char* kstart_;
+  const char* end_;
+  char* heap_ = nullptr;
+  char space_[128];
+};
+
 // File naming helpers.
 std::string TableFileName(const std::string& dbname, uint64_t number);
 std::string WalFileName(const std::string& dbname, uint64_t number);

@@ -43,20 +43,14 @@ void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& user_key,
   num_entries_.fetch_add(1, std::memory_order_relaxed);
 }
 
-bool MemTable::Get(const Slice& user_key, SequenceNumber seq,
-                   std::string* value, bool* is_deleted) {
-  std::string lookup = MakeInternalKey(user_key, seq, kTypeValue);
-  std::string seek_entry;
-  PutVarint32(&seek_entry, static_cast<uint32_t>(lookup.size()));
-  seek_entry.append(lookup);
-
+bool MemTable::Get(const LookupKey& key, Slice* value, bool* is_deleted) {
   Table::Iterator iter(&table_);
-  iter.Seek(seek_entry.data());
+  iter.Seek(key.memtable_key());
   if (!iter.Valid()) return false;
 
   const char* entry = iter.key();
   Slice internal_key = GetLengthPrefixed(entry);
-  if (ExtractUserKey(internal_key) != user_key) return false;
+  if (ExtractUserKey(internal_key) != key.user_key()) return false;
 
   ParsedInternalKey parsed;
   if (!ParseInternalKey(internal_key, &parsed)) return false;
@@ -65,8 +59,7 @@ bool MemTable::Get(const Slice& user_key, SequenceNumber seq,
     return true;
   }
   const char* value_pos = internal_key.data() + internal_key.size();
-  Slice v = GetLengthPrefixed(value_pos);
-  value->assign(v.data(), v.size());
+  *value = GetLengthPrefixed(value_pos);
   *is_deleted = false;
   return true;
 }

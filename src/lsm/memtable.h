@@ -33,9 +33,23 @@ class MemTable {
 
   /// Point lookup: if the memtable holds a value or tombstone for
   /// `user_key` visible at `seq`, sets *found accordingly and returns true.
-  /// Returns false if the memtable says nothing about the key.
+  /// Returns false if the memtable says nothing about the key. `*value`
+  /// points into the arena — valid while the caller's reference pins the
+  /// memtable; no copy is made.
+  bool Get(const LookupKey& key, Slice* value, bool* is_deleted);
+  /// Convenience overload building the seek key internally.
+  bool Get(const Slice& user_key, SequenceNumber seq, Slice* value,
+           bool* is_deleted) {
+    return Get(LookupKey(user_key, seq), value, is_deleted);
+  }
+  /// Copying convenience overload.
   bool Get(const Slice& user_key, SequenceNumber seq, std::string* value,
-           bool* is_deleted);
+           bool* is_deleted) {
+    Slice v;
+    if (!Get(user_key, seq, &v, is_deleted)) return false;
+    if (!*is_deleted) value->assign(v.data(), v.size());
+    return true;
+  }
 
   /// Iterator over internal keys (caller deletes).
   Iterator* NewIterator();

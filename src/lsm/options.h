@@ -73,6 +73,11 @@ struct Options {
   /// Upper bound on one commit group's payload bytes.
   size_t write_group_max_bytes = 1 << 20;
 
+  /// Take read snapshots under the DB mutex with a per-memtable ref loop
+  /// instead of the lock-free thread-local SuperVersion path. Only useful
+  /// as a baseline for read-scaling benchmarks.
+  bool mutex_read_snapshot = false;
+
   /// Microseconds a write is delayed (once) when L0 reaches the slowdown
   /// trigger. Charged to the env clock and slept when threads are real.
   uint64_t slowdown_delay_micros = 200;

@@ -1,0 +1,15 @@
+#include "lsm/superversion.h"
+
+namespace adcache::lsm {
+
+namespace {
+// Distinct addresses for the thread-local slot markers; the values are
+// never dereferenced.
+char sv_in_use_marker;
+char sv_obsolete_marker;
+}  // namespace
+
+void* const SuperVersion::kSVInUse = &sv_in_use_marker;
+void* const SuperVersion::kSVObsolete = &sv_obsolete_marker;
+
+}  // namespace adcache::lsm

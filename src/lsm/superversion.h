@@ -1,0 +1,89 @@
+#ifndef ADCACHE_LSM_SUPERVERSION_H_
+#define ADCACHE_LSM_SUPERVERSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lsm/memtable.h"
+#include "lsm/version.h"
+
+namespace adcache::lsm {
+
+/// An immutable bundle of the DB's entire read state — the active memtable,
+/// the immutable memtables awaiting flush, and the current SSTable Version —
+/// behind ONE reference count (RocksDB-style). A reader pins the whole view
+/// with a single atomic increment instead of taking the DB mutex and
+/// ref-ing each memtable individually; flushes/compactions install a fresh
+/// SuperVersion and the old one dies when its last reader releases it.
+///
+/// Lifetime: created and installed by the DB under its mutex; Ref/Unref and
+/// Cleanup are safe from any thread without the mutex (memtable refcounts
+/// are atomic and self-deleting, the Version is a shared_ptr), which is what
+/// lets thread-exit handlers and iterators release a SuperVersion wherever
+/// they happen to run.
+struct SuperVersion {
+  /// Live memtables, newest first: the active memtable, then immutables in
+  /// reverse flush order. Each holds a reference taken by Init.
+  std::vector<MemTable*> mems;
+  std::shared_ptr<const Version> version;
+  /// Generation stamp: equals DB::super_version_number_ while this is the
+  /// currently installed SuperVersion; readers use it to detect stale
+  /// thread-local copies without locking.
+  uint64_t version_number = 0;
+
+  SuperVersion() = default;
+  SuperVersion(const SuperVersion&) = delete;
+  SuperVersion& operator=(const SuperVersion&) = delete;
+
+  /// Captures (and references) the read state. `imm` is the DB's immutable
+  /// list, oldest first — stored here newest first so readers scan in
+  /// recency order. Caller holds the DB mutex.
+  void Init(MemTable* mem, const std::vector<MemTable*>& imm,
+            std::shared_ptr<const Version> v) {
+    mems.clear();
+    mems.reserve(imm.size() + 1);
+    mems.push_back(mem);
+    for (auto it = imm.rbegin(); it != imm.rend(); ++it) mems.push_back(*it);
+    for (MemTable* m : mems) m->Ref();
+    version = std::move(v);
+  }
+
+  SuperVersion* Ref() {
+    refs_.fetch_add(1, std::memory_order_relaxed);
+    return this;
+  }
+
+  /// Drops one reference; returns true if it was the last, in which case
+  /// the caller must Cleanup() and delete.
+  bool Unref() { return refs_.fetch_sub(1, std::memory_order_acq_rel) == 1; }
+
+  /// Releases the referenced memtables and version. Only after Unref()
+  /// returned true; safe without the DB mutex.
+  void Cleanup() {
+    for (MemTable* m : mems) m->Unref();
+    mems.clear();
+    version.reset();
+  }
+
+  /// Thread-local slot markers (see DB::GetAndRefSuperVersion): the slot is
+  /// being borrowed by an in-flight read / was invalidated by an install.
+  static void* const kSVInUse;
+  static void* const kSVObsolete;
+
+ private:
+  std::atomic<uint32_t> refs_{0};
+};
+
+/// Drops a plain reference, destroying the SuperVersion if it was the last.
+inline void UnrefSuperVersion(SuperVersion* sv) {
+  if (sv != nullptr && sv->Unref()) {
+    sv->Cleanup();
+    delete sv;
+  }
+}
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_SUPERVERSION_H_

@@ -12,6 +12,15 @@ void DeleteCachedBlock(const Slice& /*key*/, void* value) {
   delete static_cast<Block*>(value);
 }
 
+// PinnableSlice cleanups for values pointing into a pinned data block.
+void ReleaseCacheHandle(void* arg1, void* arg2) {
+  static_cast<Cache*>(arg1)->Release(static_cast<Cache::Handle*>(arg2));
+}
+
+void DeleteOwnedBlock(void* arg1, void* /*arg2*/) {
+  delete static_cast<Block*>(arg1);
+}
+
 // Approximate per-entry block cache bookkeeping cost.
 constexpr size_t kBlockCacheEntryOverhead = 64;
 
@@ -23,11 +32,12 @@ Table::BlockRef& Table::BlockRef::operator=(BlockRef&& o) noexcept {
     block = o.block;
     cache = o.cache;
     handle = o.handle;
-    owned = std::move(o.owned);
+    owned = o.owned;
     status = o.status;
     o.block = nullptr;
     o.cache = nullptr;
     o.handle = nullptr;
+    o.owned = nullptr;
   }
   return *this;
 }
@@ -36,10 +46,11 @@ void Table::BlockRef::Reset() {
   if (cache != nullptr && handle != nullptr) {
     cache->Release(handle);
   }
+  delete owned;
   cache = nullptr;
   handle = nullptr;
   block = nullptr;
-  owned.reset();
+  owned = nullptr;
 }
 
 std::string Table::CacheKey(uint64_t file_number, uint64_t offset) {
@@ -137,7 +148,12 @@ Table::BlockRef Table::ReadBlock(const ReadOptions& read_options,
     ref.status = Status::Corruption("truncated data block");
     return ref;
   }
-  auto* block = new Block(input.ToString());
+  // When the env read into our scratch buffer, hand the bytes to the Block
+  // by move; a zero-copy env (mmap-style) returns its own pointer, in which
+  // case one copy is unavoidable.
+  auto* block = input.data() == contents.data()
+                    ? new Block(std::move(contents))
+                    : new Block(input.ToString());
   bool may_fill = read_options.fill_block_cache;
   if (may_fill && read_options.fill_block_budget != nullptr) {
     if (*read_options.fill_block_budget == 0) {
@@ -158,14 +174,15 @@ Table::BlockRef Table::ReadBlock(const ReadOptions& read_options,
       return ref;
     }
   }
-  ref.owned.reset(block);
+  ref.owned = block;
   ref.block = block;
   return ref;
 }
 
 Table::LookupResult Table::Get(const ReadOptions& read_options,
                                const Slice& user_key, SequenceNumber snapshot,
-                               std::string* value, SequenceNumber* entry_seq) {
+                               PinnableSlice* value,
+                               SequenceNumber* entry_seq) {
   if (filter_ != nullptr && !filter_->KeyMayMatch(user_key)) {
     return LookupResult::kNotFound;
   }
@@ -193,7 +210,21 @@ Table::LookupResult Table::Get(const ReadOptions& read_options,
     if (parsed.sequence <= snapshot) {
       if (entry_seq != nullptr) *entry_seq = parsed.sequence;
       if (parsed.type == kTypeDeletion) return LookupResult::kDeleted;
-      value->assign(block_iter->value().data(), block_iter->value().size());
+      // The value bytes live inside the pinned block: detach the pin into
+      // the result instead of copying them out.
+      Slice v = block_iter->value();
+      if (ref.cache != nullptr) {
+        value->PinSlice(v, &ReleaseCacheHandle, ref.cache, ref.handle);
+        ref.cache = nullptr;
+        ref.handle = nullptr;
+        ref.block = nullptr;
+      } else if (ref.owned != nullptr) {
+        value->PinSlice(v, &DeleteOwnedBlock, ref.owned, nullptr);
+        ref.owned = nullptr;
+        ref.block = nullptr;
+      } else {
+        value->PinSelf(v);
+      }
       return LookupResult::kFound;
     }
     block_iter->Next();  // entry too new for this snapshot; keep looking

@@ -12,6 +12,7 @@
 #include "lsm/options.h"
 #include "lsm/table_format.h"
 #include "util/env.h"
+#include "util/pinnable_slice.h"
 
 namespace adcache::lsm {
 
@@ -36,10 +37,24 @@ class Table {
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
 
-  /// Point lookup visible at `snapshot`.
+  /// Point lookup visible at `snapshot`. On kFound, `value` pins the data
+  /// block holding the entry (block-cache handle or privately owned block)
+  /// and points straight into it — no copy of the value bytes is made.
+  LookupResult Get(const ReadOptions& read_options, const Slice& user_key,
+                   SequenceNumber snapshot, PinnableSlice* value,
+                   SequenceNumber* entry_seq);
+
+  /// Copying convenience overload.
   LookupResult Get(const ReadOptions& read_options, const Slice& user_key,
                    SequenceNumber snapshot, std::string* value,
-                   SequenceNumber* entry_seq);
+                   SequenceNumber* entry_seq) {
+    PinnableSlice pinned;
+    LookupResult r = Get(read_options, user_key, snapshot, &pinned, entry_seq);
+    if (r == LookupResult::kFound) {
+      value->assign(pinned.data(), pinned.size());
+    }
+    return r;
+  }
 
   /// Iterator over the table's internal keys. Caller deletes.
   Iterator* NewIterator(const ReadOptions& read_options) const;
@@ -71,11 +86,13 @@ class Table {
   class Iter;
 
   /// Pins a data block: via the block cache when enabled, else privately.
+  /// The pin can be detached into a PinnableSlice (see Table::Get), which
+  /// then owns releasing the handle / deleting the block.
   struct BlockRef {
     const Block* block = nullptr;
     Cache* cache = nullptr;
     Cache::Handle* handle = nullptr;
-    std::shared_ptr<Block> owned;
+    Block* owned = nullptr;
     Status status;
 
     BlockRef() = default;

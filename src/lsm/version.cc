@@ -39,7 +39,8 @@ int FindFile(const FileList& files, const Slice& internal_key) {
 
 Table::LookupResult Version::Get(const ReadOptions& read_options,
                                  const Slice& user_key,
-                                 SequenceNumber snapshot, std::string* value) {
+                                 SequenceNumber snapshot,
+                                 PinnableSlice* value) {
   std::string lookup_key = MakeLookupKey(user_key, snapshot);
 
   // Level 0: files may overlap; search newest first (files_[0] is stored

@@ -31,10 +31,23 @@ class Version {
  public:
   explicit Version(int num_levels) : files_(num_levels) {}
 
-  /// Point lookup through the levels, newest data first.
+  /// Point lookup through the levels, newest data first. On kFound,
+  /// `value` pins the data block the entry was read from (see Table::Get).
   Table::LookupResult Get(const ReadOptions& read_options,
                           const Slice& user_key, SequenceNumber snapshot,
-                          std::string* value);
+                          PinnableSlice* value);
+
+  /// Copying convenience overload.
+  Table::LookupResult Get(const ReadOptions& read_options,
+                          const Slice& user_key, SequenceNumber snapshot,
+                          std::string* value) {
+    PinnableSlice pinned;
+    Table::LookupResult r = Get(read_options, user_key, snapshot, &pinned);
+    if (r == Table::LookupResult::kFound) {
+      value->assign(pinned.data(), pinned.size());
+    }
+    return r;
+  }
 
   /// Appends iterators covering every sorted run to `*iters` (one per L0
   /// file plus one concatenating iterator per deeper level).

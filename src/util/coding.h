@@ -44,6 +44,18 @@ inline void EncodeFixed64(char* buf, uint64_t value) {
   memcpy(buf, &value, sizeof(value));
 }
 
+/// Writes a varint32 into `dst` (which must have >= 5 bytes of room) and
+/// returns the pointer one past the encoded value.
+inline char* EncodeVarint32(char* dst, uint32_t v) {
+  auto* ptr = reinterpret_cast<uint8_t*>(dst);
+  while (v >= 128) {
+    *(ptr++) = static_cast<uint8_t>(v | 128);
+    v >>= 7;
+  }
+  *(ptr++) = static_cast<uint8_t>(v);
+  return reinterpret_cast<char*>(ptr);
+}
+
 }  // namespace adcache
 
 #endif  // ADCACHE_UTIL_CODING_H_

@@ -1,0 +1,91 @@
+#ifndef ADCACHE_UTIL_PINNABLE_SLICE_H_
+#define ADCACHE_UTIL_PINNABLE_SLICE_H_
+
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace adcache {
+
+/// A value that either owns its bytes (self-contained copy) or *pins* an
+/// external resource — a block-cache handle, a SuperVersion — that keeps
+/// externally-owned bytes alive. This lets a cache hit hand the caller a
+/// pointer straight into the pinned block instead of memcpy-ing the data
+/// into a temp buffer; the pin is released on Reset() / destruction.
+///
+/// The cleanup callback is stored inline (function pointer + two args), so
+/// pinning allocates nothing. Move-only, mirroring rocksdb::PinnableSlice.
+class PinnableSlice {
+ public:
+  using CleanupFunc = void (*)(void* arg1, void* arg2);
+
+  PinnableSlice() = default;
+  ~PinnableSlice() { Reset(); }
+
+  PinnableSlice(PinnableSlice&& o) noexcept { *this = std::move(o); }
+  PinnableSlice& operator=(PinnableSlice&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      buf_ = std::move(o.buf_);
+      data_ = o.data_;
+      cleanup_ = o.cleanup_;
+      arg1_ = o.arg1_;
+      arg2_ = o.arg2_;
+      pinned_ = o.pinned_;
+      o.pinned_ = false;
+      o.cleanup_ = nullptr;
+      o.data_ = Slice();
+      o.buf_.clear();
+    }
+    return *this;
+  }
+
+  PinnableSlice(const PinnableSlice&) = delete;
+  PinnableSlice& operator=(const PinnableSlice&) = delete;
+
+  /// Points at externally-owned bytes; `cleanup(arg1, arg2)` runs when the
+  /// pin is released and must keep `s` valid until then.
+  void PinSlice(const Slice& s, CleanupFunc cleanup, void* arg1, void* arg2) {
+    Reset();
+    data_ = s;
+    cleanup_ = cleanup;
+    arg1_ = arg1;
+    arg2_ = arg2;
+    pinned_ = true;
+  }
+
+  /// Copies `s` into the internal buffer (no external pin).
+  void PinSelf(const Slice& s) {
+    Reset();
+    buf_.assign(s.data(), s.size());
+  }
+
+  /// Releases any pin and empties the value.
+  void Reset() {
+    if (pinned_ && cleanup_ != nullptr) cleanup_(arg1_, arg2_);
+    pinned_ = false;
+    cleanup_ = nullptr;
+    data_ = Slice();
+    buf_.clear();
+  }
+
+  Slice slice() const { return pinned_ ? data_ : Slice(buf_); }
+  const char* data() const { return slice().data(); }
+  size_t size() const { return slice().size(); }
+  bool empty() const { return slice().empty(); }
+  bool IsPinned() const { return pinned_; }
+  std::string ToString() const { return slice().ToString(); }
+
+ private:
+  std::string buf_;       // storage when self-contained
+  Slice data_;            // view when pinned
+  CleanupFunc cleanup_ = nullptr;
+  void* arg1_ = nullptr;
+  void* arg2_ = nullptr;
+  bool pinned_ = false;
+};
+
+}  // namespace adcache
+
+#endif  // ADCACHE_UTIL_PINNABLE_SLICE_H_

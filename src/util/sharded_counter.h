@@ -1,0 +1,57 @@
+#ifndef ADCACHE_UTIL_SHARDED_COUNTER_H_
+#define ADCACHE_UTIL_SHARDED_COUNTER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace adcache::util {
+
+/// Monotonic counter sharded across cacheline-padded slots so concurrent
+/// writers (e.g. per-read hit/miss bookkeeping on the lock-free read path)
+/// do not serialize on one contended cacheline. Each thread is assigned a
+/// slot round-robin on first use; Load() sums all slots.
+///
+/// Writes are relaxed; Load() is a racy-but-monotone sum, which is exactly
+/// what windowed telemetry consumers difference anyway.
+class ShardedCounter {
+ public:
+  ShardedCounter() = default;
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  void Add(uint64_t n) {
+    shards_[ThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Inc() { Add(1); }
+
+  uint64_t Load() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  // Power of two; ample for the core counts this targets. More shards only
+  // cost idle padded slots.
+  static constexpr size_t kShards = 16;
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t ThreadShard() {
+    static std::atomic<size_t> next{0};
+    thread_local size_t shard =
+        next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+    return shard;
+  }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace adcache::util
+
+#endif  // ADCACHE_UTIL_SHARDED_COUNTER_H_

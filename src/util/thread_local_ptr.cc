@@ -1,0 +1,149 @@
+#include "util/thread_local_ptr.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace adcache::util {
+
+namespace {
+
+struct Entry {
+  std::atomic<void*> ptr{nullptr};
+};
+
+/// Per-thread table of slots, one Entry per live ThreadLocalPtr id. A deque
+/// so growth never relocates entries: Scrape can hold a raw reference to an
+/// Entry while the owning thread appends new ones.
+struct ThreadData {
+  std::deque<Entry> entries;
+  ThreadData* next = nullptr;
+  ThreadData* prev = nullptr;
+};
+
+/// Process-wide registry: the circular list of live threads' tables plus id
+/// allocation. Intentionally leaked so threads exiting after static
+/// destruction can still unregister safely.
+class StaticMeta {
+ public:
+  static StaticMeta& Instance() {
+    static StaticMeta* meta = new StaticMeta();
+    return *meta;
+  }
+
+  std::mutex mu;
+  ThreadData head;  // dummy node of the circular thread list
+  std::vector<ThreadLocalPtr::UnrefHandler> handlers;  // indexed by id
+  std::vector<uint32_t> free_ids;
+
+ private:
+  StaticMeta() {
+    head.next = &head;
+    head.prev = &head;
+  }
+};
+
+/// Registers the thread's table on first use; on thread exit, hands parked
+/// values to their instances' handlers and unlinks.
+struct ThreadDataHolder {
+  ThreadData data;
+
+  ThreadDataHolder() {
+    StaticMeta& meta = StaticMeta::Instance();
+    std::lock_guard<std::mutex> l(meta.mu);
+    data.next = &meta.head;
+    data.prev = meta.head.prev;
+    meta.head.prev->next = &data;
+    meta.head.prev = &data;
+  }
+
+  ~ThreadDataHolder() {
+    StaticMeta& meta = StaticMeta::Instance();
+    std::vector<std::pair<ThreadLocalPtr::UnrefHandler, void*>> pending;
+    {
+      std::lock_guard<std::mutex> l(meta.mu);
+      for (size_t id = 0; id < data.entries.size(); id++) {
+        void* p =
+            data.entries[id].ptr.exchange(nullptr, std::memory_order_acq_rel);
+        if (p != nullptr && id < meta.handlers.size() &&
+            meta.handlers[id] != nullptr) {
+          pending.emplace_back(meta.handlers[id], p);
+        }
+      }
+      data.prev->next = data.next;
+      data.next->prev = data.prev;
+    }
+    // Handlers run outside the lock: they may do arbitrary cleanup work.
+    for (auto& [handler, p] : pending) handler(p);
+  }
+};
+
+thread_local ThreadDataHolder tls;
+
+std::atomic<void*>& SlotFor(uint32_t id) {
+  ThreadData& data = tls.data;
+  if (data.entries.size() <= id) {
+    // Growth synchronizes with Scrape/instance-destruction readers, which
+    // inspect entries.size() under the same lock.
+    StaticMeta& meta = StaticMeta::Instance();
+    std::lock_guard<std::mutex> l(meta.mu);
+    while (data.entries.size() <= id) data.entries.emplace_back();
+  }
+  return data.entries[id].ptr;
+}
+
+}  // namespace
+
+ThreadLocalPtr::ThreadLocalPtr(UnrefHandler handler) {
+  StaticMeta& meta = StaticMeta::Instance();
+  std::lock_guard<std::mutex> l(meta.mu);
+  if (!meta.free_ids.empty()) {
+    id_ = meta.free_ids.back();
+    meta.free_ids.pop_back();
+    meta.handlers[id_] = handler;
+  } else {
+    id_ = static_cast<uint32_t>(meta.handlers.size());
+    meta.handlers.push_back(handler);
+  }
+}
+
+ThreadLocalPtr::~ThreadLocalPtr() {
+  StaticMeta& meta = StaticMeta::Instance();
+  std::vector<std::pair<UnrefHandler, void*>> pending;
+  {
+    std::lock_guard<std::mutex> l(meta.mu);
+    UnrefHandler handler = meta.handlers[id_];
+    for (ThreadData* t = meta.head.next; t != &meta.head; t = t->next) {
+      if (t->entries.size() <= id_) continue;
+      void* p =
+          t->entries[id_].ptr.exchange(nullptr, std::memory_order_acq_rel);
+      if (p != nullptr && handler != nullptr) pending.emplace_back(handler, p);
+    }
+    meta.handlers[id_] = nullptr;
+    meta.free_ids.push_back(id_);
+  }
+  for (auto& [handler, p] : pending) handler(p);
+}
+
+void* ThreadLocalPtr::Swap(void* v) {
+  return SlotFor(id_).exchange(v, std::memory_order_acq_rel);
+}
+
+bool ThreadLocalPtr::CompareAndSwap(void* expected, void* v) {
+  return SlotFor(id_).compare_exchange_strong(
+      expected, v, std::memory_order_acq_rel, std::memory_order_relaxed);
+}
+
+void ThreadLocalPtr::Scrape(std::vector<void*>* collected, void* replacement) {
+  StaticMeta& meta = StaticMeta::Instance();
+  std::lock_guard<std::mutex> l(meta.mu);
+  for (ThreadData* t = meta.head.next; t != &meta.head; t = t->next) {
+    if (t->entries.size() <= id_) continue;
+    void* p =
+        t->entries[id_].ptr.exchange(replacement, std::memory_order_acq_rel);
+    if (p != nullptr) collected->push_back(p);
+  }
+}
+
+}  // namespace adcache::util

@@ -1,0 +1,54 @@
+#ifndef ADCACHE_UTIL_THREAD_LOCAL_PTR_H_
+#define ADCACHE_UTIL_THREAD_LOCAL_PTR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adcache::util {
+
+/// A per-(instance, thread) pointer slot in the style of RocksDB's
+/// ThreadLocalPtr. Unlike a plain `thread_local` variable, every
+/// ThreadLocalPtr *instance* owns an independent slot in every thread, so
+/// per-object thread-local caches work when many objects coexist (e.g.
+/// several open DBs each caching a SuperVersion per reader thread).
+///
+/// Swap/CompareAndSwap touch only the calling thread's own slot (no shared
+/// cacheline in the steady state). Scrape lets the owner atomically replace
+/// every thread's slot (invalidation); the per-instance handler is invoked
+/// for any value still parked in a slot when its thread exits or when the
+/// instance is destroyed, so refcounted values cached in slots are never
+/// leaked by short-lived threads.
+///
+/// The handler runs outside all internal locks and must not call back into
+/// ThreadLocalPtr.
+class ThreadLocalPtr {
+ public:
+  using UnrefHandler = void (*)(void* ptr);
+
+  explicit ThreadLocalPtr(UnrefHandler handler = nullptr);
+  /// Clears every thread's slot, passing each non-null value to the handler.
+  ~ThreadLocalPtr();
+
+  ThreadLocalPtr(const ThreadLocalPtr&) = delete;
+  ThreadLocalPtr& operator=(const ThreadLocalPtr&) = delete;
+
+  /// Atomically replaces the calling thread's slot; returns the old value.
+  void* Swap(void* v);
+
+  /// Atomically installs `v` in the calling thread's slot iff it currently
+  /// holds `expected`.
+  bool CompareAndSwap(void* expected, void* v);
+
+  /// Atomically replaces *every* thread's slot with `replacement`,
+  /// appending the previous non-null values to `collected`. Sentinel values
+  /// the caller may store (e.g. "in use" markers) are collected too — the
+  /// caller filters them.
+  void Scrape(std::vector<void*>* collected, void* replacement);
+
+ private:
+  uint32_t id_;
+};
+
+}  // namespace adcache::util
+
+#endif  // ADCACHE_UTIL_THREAD_LOCAL_PTR_H_

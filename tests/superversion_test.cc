@@ -1,0 +1,319 @@
+// Stress tests for the lock-free read path: SuperVersion installation on
+// memtable switch / flush / compaction, the per-thread cached copy with
+// generation-based invalidation, pinned (zero-copy) Get results, and the
+// mutex-snapshot baseline. Run with -DADCACHE_SANITIZE=thread to check the
+// acquisition protocol.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lsm/db.h"
+#include "util/clock.h"
+#include "util/pinnable_slice.h"
+#include "util/thread_local_ptr.h"
+
+namespace adcache::lsm {
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key-%06d", i);
+  return buf;
+}
+
+std::string Value(int i, int version) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "val-%06d-v%06d-%030d", i, version, 0);
+  return buf;
+}
+
+class SuperVersionTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    options_.env = env_.get();
+    // Small sizes force constant memtable switches and flushes, so readers
+    // race SuperVersion installs continuously.
+    options_.block_size = 512;
+    options_.table_file_size = 8 * 1024;
+    options_.memtable_size = 8 * 1024;
+    options_.level1_size_base = 32 * 1024;
+    options_.mutex_read_snapshot = GetParam();
+  }
+
+  void Open() { ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok()); }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+// Readers hammer a fixed key set while a writer overwrites it with
+// monotonically increasing versions, forcing memtable switches, flushes and
+// compactions underneath them. Every read must return a complete value the
+// writer actually wrote (no torn, stale-beyond-ack, or freed data).
+TEST_P(SuperVersionTest, ReadersRaceSwitchFlushCompaction) {
+  Open();
+  constexpr int kKeys = 50;
+  constexpr int kRounds = 60;
+  constexpr int kReaders = 4;
+
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i, 0)).ok());
+  }
+
+  std::atomic<int> min_version{0};
+  std::atomic<bool> done{false};
+  std::atomic<int> errors{0};
+  std::mutex diag_mu;
+  std::string diag;
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; t++) {
+    readers.emplace_back([&, t] {
+      int i = t;
+      while (!done.load(std::memory_order_relaxed)) {
+        int floor_version = min_version.load(std::memory_order_acquire);
+        std::string value;
+        Status s = db_->Get(ReadOptions(), Key(i % kKeys), &value);
+        if (!s.ok()) {
+          errors++;
+          std::lock_guard<std::mutex> l(diag_mu);
+          diag += "status=" + s.ToString() + " key=" + Key(i % kKeys) + "\n";
+          continue;
+        }
+        // Parse "val-<key>-v<version>-..." and validate shape + freshness.
+        int got_key = -1, got_version = -1;
+        if (sscanf(value.c_str(), "val-%d-v%d", &got_key, &got_version) != 2 ||
+            got_key != i % kKeys || got_version < floor_version ||
+            value != Value(got_key, got_version)) {
+          errors++;
+          std::lock_guard<std::mutex> l(diag_mu);
+          diag += "key=" + Key(i % kKeys) + " floor=" +
+                  std::to_string(floor_version) + " value=" + value + "\n";
+        }
+        i++;
+      }
+    });
+  }
+
+  for (int round = 1; round <= kRounds; round++) {
+    for (int i = 0; i < kKeys; i++) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i, round)).ok());
+    }
+    // All keys are at `round` now; readers must never see anything older.
+    min_version.store(round, std::memory_order_release);
+  }
+  done = true;
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(errors.load(), 0) << diag;
+}
+
+// A thread's cached SuperVersion must be refreshed across a memtable
+// switch: write, flush (installs a new SuperVersion), then read on the
+// same thread — the stale cached copy may not serve the read.
+TEST_P(SuperVersionTest, ThreadLocalCacheRefreshesAcrossSwitch) {
+  Open();
+  for (int round = 0; round < 5; round++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(1), Value(1, round)).ok());
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), Key(1), &value).ok());  // warm cache
+    EXPECT_EQ(value, Value(1, round));
+    ASSERT_TRUE(db_->FlushMemTable().ok());  // new SuperVersion installed
+    ASSERT_TRUE(db_->Get(ReadOptions(), Key(1), &value).ok());
+    EXPECT_EQ(value, Value(1, round));
+    // And a write after the flush is visible immediately on this thread.
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(2), Value(2, round)).ok());
+    ASSERT_TRUE(db_->Get(ReadOptions(), Key(2), &value).ok());
+    EXPECT_EQ(value, Value(2, round));
+  }
+}
+
+// Iterators pin the SuperVersion they were created against: data written
+// (and flushed) after creation must not appear, and the iterator stays
+// valid while maintenance retires its memtables and files.
+TEST_P(SuperVersionTest, IteratorSnapshotSurvivesChurn) {
+  Open();
+  constexpr int kKeys = 40;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i, 0)).ok());
+  }
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+
+  // Churn: overwrite everything twice with flushes in between.
+  for (int round = 1; round <= 2; round++) {
+    for (int i = 0; i < kKeys; i++) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i, round)).ok());
+    }
+    ASSERT_TRUE(db_->FlushMemTable().ok());
+  }
+  ASSERT_TRUE(db_->CompactAll().ok());
+
+  int n = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    EXPECT_EQ(iter->key().ToString(), Key(n));
+    EXPECT_EQ(iter->value().ToString(), Value(n, 0));  // pre-churn values
+    n++;
+  }
+  EXPECT_TRUE(iter->status().ok());
+  EXPECT_EQ(n, kKeys);
+}
+
+// An explicit snapshot gives repeatable reads across flush/compaction.
+TEST_P(SuperVersionTest, SnapshotRepeatableReadAcrossFlush) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), Key(7), Value(7, 1)).ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Put(WriteOptions(), Key(7), Value(7, 2)).ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+
+  ReadOptions at_snap;
+  at_snap.snapshot = snap;
+  std::string value;
+  ASSERT_TRUE(db_->Get(at_snap, Key(7), &value).ok());
+  EXPECT_EQ(value, Value(7, 1));
+  ASSERT_TRUE(db_->Get(ReadOptions(), Key(7), &value).ok());
+  EXPECT_EQ(value, Value(7, 2));
+  db_->ReleaseSnapshot(snap);
+}
+
+// A pinned Get result must stay readable after the read state it came from
+// is retired (memtable flushed, files compacted): the pin holds the
+// SuperVersion / block alive, not the DB's current state.
+TEST_P(SuperVersionTest, PinnedValueOutlivesReadStateChurn) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), Key(3), Value(3, 1)).ok());
+
+  // Pin a memtable-resident value.
+  PinnableSlice from_mem;
+  ASSERT_TRUE(db_->Get(ReadOptions(), Key(3), &from_mem).ok());
+
+  // Retire that memtable and rewrite the key.
+  ASSERT_TRUE(db_->Put(WriteOptions(), Key(3), Value(3, 2)).ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+
+  // Pin an SSTable-resident value (block-cache or owned block).
+  PinnableSlice from_sst;
+  ASSERT_TRUE(db_->Get(ReadOptions(), Key(3), &from_sst).ok());
+  ASSERT_TRUE(db_->CompactAll().ok());
+
+  EXPECT_EQ(from_mem.ToString(), Value(3, 1));
+  EXPECT_EQ(from_sst.ToString(), Value(3, 2));
+}
+
+// Threads that exit with a parked cached SuperVersion must release their
+// reference (thread-exit handler), and reopening DBs must recycle
+// thread-local slots without crosstalk between instances.
+TEST_P(SuperVersionTest, ThreadExitAndReopenReclaimCachedCopies) {
+  for (int round = 0; round < 3; round++) {
+    Open();
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(0), Value(0, round)).ok());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; t++) {
+      threads.emplace_back([&] {
+        std::string value;
+        for (int i = 0; i < 10; i++) {
+          ASSERT_TRUE(db_->Get(ReadOptions(), Key(0), &value).ok());
+          EXPECT_EQ(value, Value(0, round));
+        }
+        // Thread exits here with a SuperVersion parked in its slot.
+      });
+    }
+    for (auto& t : threads) t.join();
+    ASSERT_TRUE(db_->FlushMemTable().ok());  // scrapes exited threads' slots
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), Key(0), &value).ok());
+    EXPECT_EQ(value, Value(0, round));
+    db_.reset();  // destructor reclaims the remaining references
+  }
+}
+
+// DBIter may be handed to (and destroyed on) a different thread than the
+// one that created it; the SuperVersion reference it carries is a plain
+// ref, so this must be safe.
+TEST_P(SuperVersionTest, IteratorDestroyedOnOtherThread) {
+  Open();
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i, 0)).ok());
+  }
+  Iterator* iter = db_->NewIterator(ReadOptions());
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  std::thread consumer([iter] {
+    int n = 0;
+    for (Iterator* it = iter; it->Valid(); it->Next()) n++;
+    EXPECT_EQ(n, 20);
+    delete iter;
+  });
+  consumer.join();
+  // The DB is still fully usable afterwards.
+  std::string value;
+  ASSERT_TRUE(db_->Get(ReadOptions(), Key(5), &value).ok());
+  EXPECT_EQ(value, Value(5, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(LockFreeAndMutexBaseline, SuperVersionTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "MutexBaseline" : "LockFree";
+                         });
+
+// ThreadLocalPtr unit coverage: per-instance slots, swap/CAS protocol,
+// scrape-based invalidation, and thread-exit handlers.
+TEST(ThreadLocalPtrTest, SwapAndCompareAndSwapPerInstance) {
+  util::ThreadLocalPtr a;
+  util::ThreadLocalPtr b;
+  int x = 0, y = 0;
+  EXPECT_EQ(a.Swap(&x), nullptr);
+  EXPECT_EQ(b.Swap(&y), nullptr);  // instances don't share slots
+  EXPECT_EQ(a.Swap(nullptr), &x);
+  EXPECT_EQ(b.Swap(nullptr), &y);
+  EXPECT_TRUE(a.CompareAndSwap(nullptr, &x));
+  EXPECT_FALSE(a.CompareAndSwap(&y, &y));
+  EXPECT_EQ(a.Swap(nullptr), &x);
+}
+
+TEST(ThreadLocalPtrTest, ScrapeCollectsAllThreads) {
+  util::ThreadLocalPtr tls;
+  int values[4];
+  std::vector<std::thread> threads;
+  std::atomic<int> parked{0};
+  std::atomic<bool> release{false};
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&, t] {
+      tls.Swap(&values[t]);
+      parked++;
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (parked.load() < 4) std::this_thread::yield();
+  int marker = 0;
+  std::vector<void*> collected;
+  tls.Scrape(&collected, &marker);
+  EXPECT_EQ(collected.size(), 4u);
+  release = true;
+  for (auto& t : threads) t.join();
+}
+
+TEST(ThreadLocalPtrTest, UnrefHandlerRunsAtThreadExit) {
+  static std::atomic<int> unrefs{0};
+  unrefs = 0;
+  util::ThreadLocalPtr tls(+[](void* /*ptr*/) { unrefs++; });
+  int value = 0;
+  std::thread t([&] { tls.Swap(&value); });
+  t.join();
+  EXPECT_EQ(unrefs.load(), 1);
+  // The slot was cleared at exit: a scrape finds nothing.
+  std::vector<void*> collected;
+  tls.Scrape(&collected, nullptr);
+  EXPECT_TRUE(collected.empty());
+}
+
+}  // namespace
+}  // namespace adcache::lsm
