@@ -26,6 +26,9 @@ struct BenchConfig {
   uint64_t ops = 20000;
   uint64_t seed = 42;
   int num_threads = 1;
+  /// Batch size for point lookups: > 1 routes them through
+  /// KvStore::MultiGet (see Runner::RunnerOptions::multiget_batch).
+  size_t multiget_batch = 1;
 
   size_t DatabaseBytes() const {
     return static_cast<size_t>(num_keys) * (key_size + value_size);
@@ -73,6 +76,7 @@ class BenchInstance {
     workload::Runner::RunnerOptions opts;
     opts.seed = config_.seed + 1000;
     opts.num_threads = config_.num_threads;
+    opts.multiget_batch = config_.multiget_batch;
     return runner_->RunPhase(phase, opts);
   }
 

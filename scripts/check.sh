@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
-# Full verification: tier-1 build+tests, then the ThreadSanitizer
-# concurrency suite (read path + background maintenance).
+# Full verification: tier-1 build+tests, the ThreadSanitizer concurrency
+# suite (read path + background maintenance + batched reads), and an
+# AddressSanitizer pass over the cache + MultiGet lifetime-heavy tests.
 #
-# Usage: scripts/check.sh [--tsan-only|--tier1-only]
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tier1=1
 run_tsan=1
+run_asan=1
 case "${1:-}" in
-  --tsan-only) run_tier1=0 ;;
-  --tier1-only) run_tsan=0 ;;
+  --tsan-only) run_tier1=0; run_asan=0 ;;
+  --asan-only) run_tier1=0; run_tsan=0 ;;
+  --tier1-only) run_tsan=0; run_asan=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only|--tier1-only]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only]" >&2; exit 2 ;;
 esac
 
 if [[ $run_tier1 -eq 1 ]]; then
@@ -28,9 +31,23 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake -B build-tsan -S . -DADCACHE_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j --target \
-        superversion_test background_maintenance_test
+        superversion_test background_maintenance_test multiget_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/superversion_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/background_maintenance_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/multiget_test
+fi
+
+if [[ $run_asan -eq 1 ]]; then
+  echo "== asan: cache + batched-read lifetime suite =="
+  cmake -B build-asan -S . -DADCACHE_SANITIZE=address \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-asan -j --target \
+        lru_cache_test range_cache_test kv_cache_test \
+        multiget_test superversion_test
+  for t in lru_cache_test range_cache_test kv_cache_test \
+           multiget_test superversion_test; do
+    ASAN_OPTIONS="halt_on_error=1" "./build-asan/tests/$t"
+  done
 fi
 
 echo "== all checks passed =="

@@ -30,6 +30,28 @@ class Cache {
   /// Returns a pinned handle for `key` or nullptr.
   virtual Handle* Lookup(const Slice& key) = 0;
 
+  /// Batched lookup: sets `handles[i]` to a pinned handle for `keys[i]` or
+  /// nullptr; each non-null handle needs its own Release. The base version
+  /// is a plain Lookup loop; sharded implementations override it to take
+  /// each shard's lock once per batch instead of once per key.
+  virtual void MultiLookup(size_t n, const Slice* keys, Handle** handles) {
+    for (size_t i = 0; i < n; i++) handles[i] = Lookup(keys[i]);
+  }
+
+  /// Batched release: unpins every non-null handle in `handles`. The base
+  /// version is a plain Release loop; sharded implementations override it
+  /// to take each shard's lock once per batch instead of once per handle.
+  virtual void MultiRelease(size_t n, Handle* const* handles) {
+    for (size_t i = 0; i < n; i++) {
+      if (handles[i] != nullptr) Release(handles[i]);
+    }
+  }
+
+  /// Takes an additional pin on an already-pinned handle and returns it
+  /// (batched reads hand out several values pointing into one block, each
+  /// with an independent lifetime). Every pin needs its own Release.
+  virtual Handle* Ref(Handle* handle) = 0;
+
   /// Membership probe that does NOT count as a hit/miss and does not touch
   /// recency state (used by background machinery such as post-compaction
   /// prefetching).

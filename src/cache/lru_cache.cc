@@ -1,9 +1,11 @@
 #include "cache/lru_cache.h"
 
 #include <cassert>
+#include <cstring>
 #include <vector>
 
 #include "util/hash.h"
+#include "util/inline_buffer.h"
 
 namespace adcache {
 
@@ -90,9 +92,15 @@ Cache::Handle* LRUCacheShard::Insert(const Slice& key, void* value,
   return reinterpret_cast<Cache::Handle*>(e);
 }
 
+namespace {
+inline std::string_view View(const Slice& s) {
+  return std::string_view(s.data(), s.size());
+}
+}  // namespace
+
 Cache::Handle* LRUCacheShard::Lookup(const Slice& key) {
   std::lock_guard<std::mutex> l(mu_);
-  auto it = table_.find(std::string(key.data(), key.size()));
+  auto it = table_.find(View(key));
   if (it == table_.end()) return nullptr;
   LRUHandle* e = it->second;
   if (e->refs == 1) LRU_Remove(e);  // pinned entries leave the LRU list
@@ -100,9 +108,46 @@ Cache::Handle* LRUCacheShard::Lookup(const Slice& key) {
   return reinterpret_cast<Cache::Handle*>(e);
 }
 
+size_t LRUCacheShard::LookupBatch(const Slice* keys, const uint32_t* indices,
+                                  size_t m, Cache::Handle** handles) {
+  std::lock_guard<std::mutex> l(mu_);
+  size_t hits = 0;
+  for (size_t j = 0; j < m; j++) {
+    size_t i = indices != nullptr ? indices[j] : j;
+    auto it = table_.find(View(keys[i]));
+    if (it == table_.end()) {
+      handles[i] = nullptr;
+      continue;
+    }
+    LRUHandle* e = it->second;
+    if (e->refs == 1) LRU_Remove(e);  // pinned entries leave the LRU list
+    e->refs++;
+    handles[i] = reinterpret_cast<Cache::Handle*>(e);
+    hits++;
+  }
+  return hits;
+}
+
+void LRUCacheShard::ReleaseBatch(Cache::Handle* const* handles,
+                                 const uint32_t* indices, size_t m) {
+  std::lock_guard<std::mutex> l(mu_);
+  for (size_t j = 0; j < m; j++) {
+    size_t i = indices != nullptr ? indices[j] : j;
+    Unref(reinterpret_cast<LRUHandle*>(handles[i]));
+  }
+  EvictToFit();
+}
+
+void LRUCacheShard::Ref(Cache::Handle* handle) {
+  std::lock_guard<std::mutex> l(mu_);
+  LRUHandle* e = reinterpret_cast<LRUHandle*>(handle);
+  assert(e->refs >= 2);  // caller's pin keeps the entry off the LRU list
+  e->refs++;
+}
+
 bool LRUCacheShard::Contains(const Slice& key) const {
   std::lock_guard<std::mutex> l(mu_);
-  return table_.count(std::string(key.data(), key.size())) > 0;
+  return table_.find(View(key)) != table_.end();
 }
 
 void LRUCacheShard::Release(Cache::Handle* handle) {
@@ -115,7 +160,7 @@ void LRUCacheShard::Release(Cache::Handle* handle) {
 
 void LRUCacheShard::Erase(const Slice& key) {
   std::lock_guard<std::mutex> l(mu_);
-  auto it = table_.find(std::string(key.data(), key.size()));
+  auto it = table_.find(View(key));
   if (it != table_.end()) {
     LRUHandle* e = it->second;
     table_.erase(it);
@@ -164,6 +209,7 @@ int DefaultShardBits(size_t capacity) {
 
 ShardedLRUCache::ShardedLRUCache(size_t capacity, int num_shard_bits) {
   if (num_shard_bits < 0) num_shard_bits = DefaultShardBits(capacity);
+  if (num_shard_bits > 4) num_shard_bits = 4;  // batch paths assume <= 16
   size_t num_shards = size_t{1} << num_shard_bits;
   shards_ = std::vector<cache_internal::LRUCacheShard>(num_shards);
   shard_mask_ = static_cast<uint32_t>(num_shards - 1);
@@ -188,6 +234,81 @@ Cache::Handle* ShardedLRUCache::Lookup(const Slice& key) {
     misses_.Inc();
   }
   return h;
+}
+
+void ShardedLRUCache::MultiLookup(size_t n, const Slice* keys,
+                                  Handle** handles) {
+  if (n == 0) return;
+  size_t hits = 0;
+  if (shard_mask_ == 0) {
+    hits = shards_[0].LookupBatch(keys, nullptr, n, handles);
+  } else {
+    // Bucket keys by shard so each shard's mutex is taken at most once per
+    // batch: a counting sort over the (<= 16) shards groups the indices in
+    // one pass instead of rescanning the batch per shard.
+    util::InlineBuffer<uint32_t, 128> shard_of(n);
+    uint32_t count[17] = {0};  // count[s + 1]: keys bound for shard s
+    for (size_t i = 0; i < n; i++) {
+      shard_of[i] = HashSlice(keys[i]) & shard_mask_;
+      count[shard_of[i] + 1]++;
+    }
+    for (uint32_t s = 0; s <= shard_mask_; s++) count[s + 1] += count[s];
+    util::InlineBuffer<uint32_t, 128> indices(n);
+    {
+      uint32_t fill[17];
+      std::memcpy(fill, count, sizeof(fill));
+      for (size_t i = 0; i < n; i++) {
+        indices[fill[shard_of[i]]++] = static_cast<uint32_t>(i);
+      }
+    }
+    for (uint32_t s = 0; s <= shard_mask_; s++) {
+      size_t m = count[s + 1] - count[s];
+      if (m == 0) continue;
+      hits += shards_[s].LookupBatch(keys, indices.data() + count[s], m,
+                                     handles);
+    }
+  }
+  // One telemetry add per counter for the whole batch.
+  if (hits > 0) hits_.Add(hits);
+  if (n - hits > 0) misses_.Add(n - hits);
+}
+
+void ShardedLRUCache::MultiRelease(size_t n, Handle* const* handles) {
+  if (n == 0) return;
+  // Bucket by shard, mirroring MultiLookup: one lock (and one eviction
+  // check) per touched shard instead of one hash + lock per handle.
+  util::InlineBuffer<uint32_t, 128> shard_of(n);
+  uint32_t count[17] = {0};
+  for (size_t i = 0; i < n; i++) {
+    if (handles[i] == nullptr) {
+      shard_of[i] = UINT32_MAX;
+      continue;
+    }
+    auto* e = reinterpret_cast<cache_internal::LRUHandle*>(handles[i]);
+    shard_of[i] = HashSlice(Slice(e->key)) & shard_mask_;
+    count[shard_of[i] + 1]++;
+  }
+  for (uint32_t s = 0; s <= shard_mask_; s++) count[s + 1] += count[s];
+  util::InlineBuffer<uint32_t, 128> indices(n);
+  {
+    uint32_t fill[17];
+    std::memcpy(fill, count, sizeof(fill));
+    for (size_t i = 0; i < n; i++) {
+      if (shard_of[i] == UINT32_MAX) continue;
+      indices[fill[shard_of[i]]++] = static_cast<uint32_t>(i);
+    }
+  }
+  for (uint32_t s = 0; s <= shard_mask_; s++) {
+    size_t m = count[s + 1] - count[s];
+    if (m == 0) continue;
+    shards_[s].ReleaseBatch(handles, indices.data() + count[s], m);
+  }
+}
+
+Cache::Handle* ShardedLRUCache::Ref(Handle* handle) {
+  auto* e = reinterpret_cast<cache_internal::LRUHandle*>(handle);
+  ShardFor(Slice(e->key)).Ref(handle);
+  return handle;
 }
 
 bool ShardedLRUCache::Contains(const Slice& key) const {

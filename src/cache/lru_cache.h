@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +29,16 @@ struct LRUHandle {
   std::string key;
 };
 
+/// Transparent string hash: lets the shard table answer Slice lookups
+/// without materializing a std::string key per probe (the block-cache key
+/// is 16 bytes — past SSO, so the old conversion heap-allocated).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view sv) const {
+    return std::hash<std::string_view>{}(sv);
+  }
+};
+
 /// Single shard: mutex-protected hash table + LRU list, charge-based budget.
 class LRUCacheShard {
  public:
@@ -40,6 +51,19 @@ class LRUCacheShard {
   Cache::Handle* Insert(const Slice& key, void* value, size_t charge,
                         Cache::Deleter deleter);
   Cache::Handle* Lookup(const Slice& key);
+  /// Batched Lookup: one mutex acquisition for the whole sub-batch. For
+  /// each j, looks up keys[indices[j]] into handles[indices[j]] (indices ==
+  /// nullptr means the identity mapping over [0, m)). Returns the hit count.
+  size_t LookupBatch(const Slice* keys, const uint32_t* indices, size_t m,
+                     Cache::Handle** handles);
+  /// Batched Release: one mutex acquisition (and one eviction check) for
+  /// the whole sub-batch. Releases handles[indices[j]] for each j (indices
+  /// == nullptr means the identity mapping over [0, m)); all referenced
+  /// handles must be non-null and belong to this shard.
+  void ReleaseBatch(Cache::Handle* const* handles, const uint32_t* indices,
+                    size_t m);
+  /// Adds a pin to an already-pinned entry of this shard.
+  void Ref(Cache::Handle* handle);
   bool Contains(const Slice& key) const;
   void Release(Cache::Handle* handle);
   void Erase(const Slice& key);
@@ -60,7 +84,9 @@ class LRUCacheShard {
   size_t capacity_ = 0;
   size_t usage_ = 0;
   LRUHandle lru_;  // dummy head; lru_.next is oldest
-  std::unordered_map<std::string, LRUHandle*> table_;
+  std::unordered_map<std::string, LRUHandle*, TransparentStringHash,
+                     std::equal_to<>>
+      table_;
 };
 
 }  // namespace cache_internal
@@ -74,6 +100,9 @@ class ShardedLRUCache : public Cache {
   Handle* Insert(const Slice& key, void* value, size_t charge,
                  Deleter deleter) override;
   Handle* Lookup(const Slice& key) override;
+  void MultiLookup(size_t n, const Slice* keys, Handle** handles) override;
+  void MultiRelease(size_t n, Handle* const* handles) override;
+  Handle* Ref(Handle* handle) override;
   bool Contains(const Slice& key) const override;
   void Release(Handle* handle) override;
   void* Value(Handle* handle) override;

@@ -8,9 +8,9 @@ namespace adcache::core {
 // Shared helper
 // ---------------------------------------------------------------------------
 
-Status ScanFromDb(lsm::DB* db, const lsm::ReadOptions& read_options,
-                  const Slice& start, size_t n,
-                  std::vector<KvPair>* results) {
+Status ScanThroughDb(lsm::DB* db, const lsm::ReadOptions& read_options,
+                     const Slice& start, size_t n,
+                     std::vector<KvPair>* results) {
   results->clear();
   std::unique_ptr<lsm::Iterator> iter(db->NewIterator(read_options));
   for (iter->Seek(start); iter->Valid() && results->size() < n;
@@ -115,22 +115,22 @@ Status AdCacheStore::Delete(const Slice& key) {
   return s;
 }
 
-Status AdCacheStore::Get(const Slice& key, std::string* value) {
+Status AdCacheStore::Get(const ReadOptions& options, const Slice& key,
+                         PinnableSlice* value) {
   // Query handling path (paper Fig. 5): range cache -> memtable -> block
   // cache -> disk; the last three live inside lsm::DB::Get.
-  if (cache_->range_cache()->Get(key, value)) {
+  std::string cached;
+  if (cache_->range_cache()->Get(key, &cached)) {
+    value->PinSelf(Slice(cached));
     stats_.RecordPointLookup(/*range_cache_hit=*/true);
     MaybeEndWindow();
     return Status::OK();
   }
-  // Read through the LSM with a pinned result (block-cache / memtable hits
-  // avoid an intermediate copy); the single copy below serves both the
-  // caller and the range-cache fill.
-  PinnableSlice pinned;
-  Status s = db_->Get(lsm::ReadOptions(), key, &pinned);
+  // Read through the LSM with a pinned result; block-cache / memtable hits
+  // reach the caller without an intermediate copy. The range-cache fill
+  // copies from the pin (PutPoint copies internally).
+  Status s = db_->Get(options, key, value);
   if (s.ok()) {
-    value->assign(pinned.data(), pinned.size());
-    pinned.Reset();  // release the block/memtable pin before cache fills
     // Cache fill path: frequency-gated admission into the range cache.
     // Admission control exists to prevent evictions of valuable entries;
     // while the range cache still has headroom there is nothing to evict,
@@ -144,7 +144,7 @@ Status AdCacheStore::Get(const Slice& key, std::string* value) {
       admit = frequent || has_headroom;
     }
     if (admit) {
-      cache_->range_cache()->PutPoint(key, *value);
+      cache_->range_cache()->PutPoint(key, value->slice());
       stats_.RecordPointAdmit();
     }
   }
@@ -153,8 +153,86 @@ Status AdCacheStore::Get(const Slice& key, std::string* value) {
   return s;
 }
 
-Status AdCacheStore::Scan(const Slice& start, size_t n,
-                          std::vector<KvPair>* results) {
+void AdCacheStore::MultiGet(const ReadOptions& options, size_t n,
+                            const Slice* keys, PinnableSlice* values,
+                            Status* statuses) {
+  if (n == 0) return;
+  // Stage 1: range-cache probe per key; only misses go to the LSM.
+  std::vector<size_t> miss_idx;
+  miss_idx.reserve(n);
+  std::string cached;
+  for (size_t i = 0; i < n; i++) {
+    if (cache_->range_cache()->Get(keys[i], &cached)) {
+      values[i].PinSelf(Slice(cached));
+      statuses[i] = Status::OK();
+    } else {
+      miss_idx.push_back(i);
+    }
+  }
+  uint64_t range_hits = n - miss_idx.size();
+  uint64_t admits = 0;
+  if (!miss_idx.empty()) {
+    // Stage 2: one batched LSM read for all misses (one SuperVersion, keys
+    // grouped by SST file and block inside lsm::DB::MultiGet).
+    std::vector<Slice> miss_keys(miss_idx.size());
+    std::vector<PinnableSlice> miss_values(miss_idx.size());
+    std::vector<Status> miss_statuses(miss_idx.size());
+    for (size_t j = 0; j < miss_idx.size(); j++) {
+      miss_keys[j] = keys[miss_idx[j]];
+    }
+    db_->MultiGet(options, miss_keys.size(), miss_keys.data(),
+                  miss_values.data(), miss_statuses.data());
+    // Stage 3: batched admission over the found misses — the whole batch
+    // touches the sketch + doorkeeper under ONE lock. Only found keys feed
+    // the sketch, matching the single-key Get path.
+    std::vector<size_t> found;
+    found.reserve(miss_idx.size());
+    for (size_t j = 0; j < miss_idx.size(); j++) {
+      if (miss_statuses[j].ok()) found.push_back(j);
+    }
+    if (!found.empty()) {
+      std::vector<Slice> found_keys(found.size());
+      for (size_t k = 0; k < found.size(); k++) {
+        found_keys[k] = miss_keys[found[k]];
+      }
+      std::unique_ptr<bool[]> frequent(new bool[found.size()]());
+      if (options_.controller.enable_admission) {
+        point_admission_.RecordMissBatchAndCheckAdmit(
+            found.size(), found_keys.data(), frequent.get());
+      }
+      for (size_t k = 0; k < found.size(); k++) {
+        size_t j = found[k];
+        bool admit = true;
+        if (options_.controller.enable_admission) {
+          // Headroom is rechecked per fill: earlier admits in this batch
+          // consume range-cache space.
+          bool has_headroom = cache_->RangeUsage() + found_keys[k].size() +
+                                  miss_values[j].size() + 128 <=
+                              cache_->range_cache()->GetCapacity();
+          admit = frequent[k] || has_headroom;
+        }
+        if (admit) {
+          cache_->range_cache()->PutPoint(found_keys[k],
+                                          miss_values[j].slice());
+          admits++;
+        }
+      }
+    }
+    // Stage 4: scatter results back to the caller's arrays.
+    for (size_t j = 0; j < miss_idx.size(); j++) {
+      size_t i = miss_idx[j];
+      statuses[i] = miss_statuses[j];
+      if (statuses[i].ok()) values[i] = std::move(miss_values[j]);
+    }
+  }
+  // One sharded-counter add per counter for the whole batch.
+  stats_.RecordPointLookups(n, range_hits);
+  stats_.RecordPointAdmits(admits);
+  MaybeEndWindow();
+}
+
+Status AdCacheStore::Scan(const ReadOptions& options, const Slice& start,
+                          size_t n, std::vector<KvPair>* results) {
   if (cache_->range_cache()->GetScan(start, n, results)) {
     stats_.RecordScan(results->size(), /*range_cache_hit=*/true);
     MaybeEndWindow();
@@ -163,16 +241,18 @@ Status AdCacheStore::Scan(const Slice& start, size_t n,
   // Partial admission also throttles block-cache fill for long scans
   // (paper §3.4): a scan past the threshold may only admit a commensurate
   // number of blocks, protecting hot blocks from one-off scan traffic.
-  lsm::ReadOptions read_options;
+  // A caller-supplied fill budget takes precedence.
+  lsm::ReadOptions read_options = options;
   uint32_t block_budget = 0;
-  if (options_.controller.enable_admission &&
+  if (read_options.fill_block_budget == nullptr &&
+      options_.controller.enable_admission &&
       static_cast<double>(n) > scan_admission_.a()) {
     double epb = std::max(1.0, CurrentShape().entries_per_block);
     block_budget = static_cast<uint32_t>(
         static_cast<double>(scan_admission_.AdmitCount(n)) / epb) + 2;
     read_options.fill_block_budget = &block_budget;
   }
-  Status s = ScanFromDb(db_.get(), read_options, start, n, results);
+  Status s = ScanThroughDb(db_.get(), read_options, start, n, results);
   if (s.ok() && !results->empty()) {
     uint64_t admit =
         options_.controller.enable_admission

@@ -45,9 +45,18 @@ class AdCacheStore : public KvStore {
 
   Status Put(const Slice& key, const Slice& value) override;
   Status Delete(const Slice& key) override;
-  Status Get(const Slice& key, std::string* value) override;
-  Status Scan(const Slice& start, size_t n,
+  Status Get(const ReadOptions& options, const Slice& key,
+             PinnableSlice* value) override;
+  Status Scan(const ReadOptions& options, const Slice& start, size_t n,
               std::vector<KvPair>* results) override;
+  /// Query handling path per key batch: range-cache probe per key, one
+  /// lsm::DB::MultiGet for the misses, then ONE sketch lock for the batched
+  /// admission decisions and one sharded-counter add per stats counter.
+  void MultiGet(const ReadOptions& options, size_t n, const Slice* keys,
+                PinnableSlice* values, Status* statuses) override;
+  using KvStore::Get;
+  using KvStore::MultiGet;
+  using KvStore::Scan;
 
   CacheStatsSnapshot GetCacheStats() const override;
   lsm::DB* db() override { return db_.get(); }

@@ -25,6 +25,20 @@ PointAdmissionController::PointAdmissionController(const Options& options)
 
 bool PointAdmissionController::RecordMissAndCheckAdmit(const Slice& key) {
   std::lock_guard<std::mutex> l(mu_);
+  return RecordMissAndCheckAdmitLocked(key);
+}
+
+void PointAdmissionController::RecordMissBatchAndCheckAdmit(size_t n,
+                                                            const Slice* keys,
+                                                            bool* admit) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> l(mu_);
+  for (size_t i = 0; i < n; i++) {
+    admit[i] = RecordMissAndCheckAdmitLocked(keys[i]);
+  }
+}
+
+bool PointAdmissionController::RecordMissAndCheckAdmitLocked(const Slice& key) {
   if (options_.use_doorkeeper) {
     if (!doorkeeper_.InsertIfAbsent(key)) {
       // First sighting: remember it in the doorkeeper only.

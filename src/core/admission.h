@@ -34,6 +34,10 @@ class PointAdmissionController {
   /// threshold.
   bool RecordMissAndCheckAdmit(const Slice& key);
 
+  /// Batched form: records all `n` keys and decides admission for each
+  /// under ONE sketch lock instead of n (MultiGet's per-batch admission).
+  void RecordMissBatchAndCheckAdmit(size_t n, const Slice* keys, bool* admit);
+
   /// Sets the normalised-frequency threshold directly (in [0, 1]).
   void SetThreshold(double threshold) {
     threshold_.store(threshold, std::memory_order_relaxed);
@@ -55,6 +59,9 @@ class PointAdmissionController {
   size_t MemoryUsage() const;
 
  private:
+  /// Shared body of the single and batched forms. Requires mu_.
+  bool RecordMissAndCheckAdmitLocked(const Slice& key);
+
   Options options_;
   mutable std::mutex mu_;
   CountMinSketch sketch_;

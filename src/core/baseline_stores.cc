@@ -29,13 +29,20 @@ Status BlockOnlyStore::Delete(const Slice& key) {
   return db_->Delete(lsm::WriteOptions(), key);
 }
 
-Status BlockOnlyStore::Get(const Slice& key, std::string* value) {
-  return db_->Get(lsm::ReadOptions(), key, value);
+Status BlockOnlyStore::Get(const ReadOptions& options, const Slice& key,
+                           PinnableSlice* value) {
+  return db_->Get(options, key, value);
 }
 
-Status BlockOnlyStore::Scan(const Slice& start, size_t n,
-                            std::vector<KvPair>* results) {
-  return ScanFromDb(db_.get(), lsm::ReadOptions(), start, n, results);
+Status BlockOnlyStore::Scan(const ReadOptions& options, const Slice& start,
+                            size_t n, std::vector<KvPair>* results) {
+  return ScanThroughDb(db_.get(), options, start, n, results);
+}
+
+void BlockOnlyStore::MultiGet(const ReadOptions& options, size_t n,
+                              const Slice* keys, PinnableSlice* values,
+                              Status* statuses) {
+  db_->MultiGet(options, n, keys, values, statuses);
 }
 
 CacheStatsSnapshot BlockOnlyStore::GetCacheStats() const {
@@ -76,17 +83,55 @@ Status KvCacheStore::Delete(const Slice& key) {
   return s;
 }
 
-Status KvCacheStore::Get(const Slice& key, std::string* value) {
-  if (kv_cache_.Get(key, value)) return Status::OK();
-  Status s = db_->Get(lsm::ReadOptions(), key, value);
-  if (s.ok()) kv_cache_.Put(key, *value);
+Status KvCacheStore::Get(const ReadOptions& options, const Slice& key,
+                         PinnableSlice* value) {
+  std::string cached;
+  if (kv_cache_.Get(key, &cached)) {
+    value->PinSelf(Slice(cached));
+    return Status::OK();
+  }
+  Status s = db_->Get(options, key, value);
+  if (s.ok()) kv_cache_.Put(key, value->slice());
   return s;
 }
 
-Status KvCacheStore::Scan(const Slice& start, size_t n,
-                          std::vector<KvPair>* results) {
+Status KvCacheStore::Scan(const ReadOptions& options, const Slice& start,
+                          size_t n, std::vector<KvPair>* results) {
   // Scans bypass the row cache entirely.
-  return ScanFromDb(db_.get(), lsm::ReadOptions(), start, n, results);
+  return ScanThroughDb(db_.get(), options, start, n, results);
+}
+
+void KvCacheStore::MultiGet(const ReadOptions& options, size_t n,
+                            const Slice* keys, PinnableSlice* values,
+                            Status* statuses) {
+  std::vector<size_t> miss_idx;
+  miss_idx.reserve(n);
+  std::string cached;
+  for (size_t i = 0; i < n; i++) {
+    if (kv_cache_.Get(keys[i], &cached)) {
+      values[i].PinSelf(Slice(cached));
+      statuses[i] = Status::OK();
+    } else {
+      miss_idx.push_back(i);
+    }
+  }
+  if (miss_idx.empty()) return;
+  std::vector<Slice> miss_keys(miss_idx.size());
+  std::vector<PinnableSlice> miss_values(miss_idx.size());
+  std::vector<Status> miss_statuses(miss_idx.size());
+  for (size_t j = 0; j < miss_idx.size(); j++) {
+    miss_keys[j] = keys[miss_idx[j]];
+  }
+  db_->MultiGet(options, miss_keys.size(), miss_keys.data(),
+                miss_values.data(), miss_statuses.data());
+  for (size_t j = 0; j < miss_idx.size(); j++) {
+    size_t i = miss_idx[j];
+    statuses[i] = miss_statuses[j];
+    if (statuses[i].ok()) {
+      kv_cache_.Put(keys[i], miss_values[j].slice());
+      values[i] = std::move(miss_values[j]);
+    }
+  }
 }
 
 CacheStatsSnapshot KvCacheStore::GetCacheStats() const {
@@ -130,21 +175,59 @@ Status RangeCacheStore::Delete(const Slice& key) {
   return s;
 }
 
-Status RangeCacheStore::Get(const Slice& key, std::string* value) {
-  if (range_cache_.Get(key, value)) return Status::OK();
-  Status s = db_->Get(lsm::ReadOptions(), key, value);
-  if (s.ok()) range_cache_.PutPoint(key, *value);  // admit everything
+Status RangeCacheStore::Get(const ReadOptions& options, const Slice& key,
+                            PinnableSlice* value) {
+  std::string cached;
+  if (range_cache_.Get(key, &cached)) {
+    value->PinSelf(Slice(cached));
+    return Status::OK();
+  }
+  Status s = db_->Get(options, key, value);
+  if (s.ok()) range_cache_.PutPoint(key, value->slice());  // admit everything
   return s;
 }
 
-Status RangeCacheStore::Scan(const Slice& start, size_t n,
-                             std::vector<KvPair>* results) {
+Status RangeCacheStore::Scan(const ReadOptions& options, const Slice& start,
+                             size_t n, std::vector<KvPair>* results) {
   if (range_cache_.GetScan(start, n, results)) return Status::OK();
-  Status s = ScanFromDb(db_.get(), lsm::ReadOptions(), start, n, results);
+  Status s = ScanThroughDb(db_.get(), options, start, n, results);
   if (s.ok() && !results->empty()) {
     range_cache_.PutScan(start, *results, results->size());  // all-or-nothing
   }
   return s;
+}
+
+void RangeCacheStore::MultiGet(const ReadOptions& options, size_t n,
+                               const Slice* keys, PinnableSlice* values,
+                               Status* statuses) {
+  std::vector<size_t> miss_idx;
+  miss_idx.reserve(n);
+  std::string cached;
+  for (size_t i = 0; i < n; i++) {
+    if (range_cache_.Get(keys[i], &cached)) {
+      values[i].PinSelf(Slice(cached));
+      statuses[i] = Status::OK();
+    } else {
+      miss_idx.push_back(i);
+    }
+  }
+  if (miss_idx.empty()) return;
+  std::vector<Slice> miss_keys(miss_idx.size());
+  std::vector<PinnableSlice> miss_values(miss_idx.size());
+  std::vector<Status> miss_statuses(miss_idx.size());
+  for (size_t j = 0; j < miss_idx.size(); j++) {
+    miss_keys[j] = keys[miss_idx[j]];
+  }
+  db_->MultiGet(options, miss_keys.size(), miss_keys.data(),
+                miss_values.data(), miss_statuses.data());
+  for (size_t j = 0; j < miss_idx.size(); j++) {
+    size_t i = miss_idx[j];
+    statuses[i] = miss_statuses[j];
+    if (statuses[i].ok()) {
+      range_cache_.PutPoint(keys[i], miss_values[j].slice());
+      values[i] = std::move(miss_values[j]);
+    }
+  }
 }
 
 CacheStatsSnapshot RangeCacheStore::GetCacheStats() const {

@@ -23,9 +23,15 @@ class BlockOnlyStore : public KvStore {
 
   Status Put(const Slice& key, const Slice& value) override;
   Status Delete(const Slice& key) override;
-  Status Get(const Slice& key, std::string* value) override;
-  Status Scan(const Slice& start, size_t n,
+  Status Get(const ReadOptions& options, const Slice& key,
+             PinnableSlice* value) override;
+  Status Scan(const ReadOptions& options, const Slice& start, size_t n,
               std::vector<KvPair>* results) override;
+  void MultiGet(const ReadOptions& options, size_t n, const Slice* keys,
+                PinnableSlice* values, Status* statuses) override;
+  using KvStore::Get;
+  using KvStore::MultiGet;
+  using KvStore::Scan;
   CacheStatsSnapshot GetCacheStats() const override;
   lsm::DB* db() override { return db_.get(); }
   const char* Name() const override { return name_; }
@@ -49,9 +55,15 @@ class KvCacheStore : public KvStore {
 
   Status Put(const Slice& key, const Slice& value) override;
   Status Delete(const Slice& key) override;
-  Status Get(const Slice& key, std::string* value) override;
-  Status Scan(const Slice& start, size_t n,
+  Status Get(const ReadOptions& options, const Slice& key,
+             PinnableSlice* value) override;
+  Status Scan(const ReadOptions& options, const Slice& start, size_t n,
               std::vector<KvPair>* results) override;
+  void MultiGet(const ReadOptions& options, size_t n, const Slice* keys,
+                PinnableSlice* values, Status* statuses) override;
+  using KvStore::Get;
+  using KvStore::MultiGet;
+  using KvStore::Scan;
   CacheStatsSnapshot GetCacheStats() const override;
   lsm::DB* db() override { return db_.get(); }
   const char* Name() const override { return "kv"; }
@@ -76,9 +88,15 @@ class RangeCacheStore : public KvStore {
 
   Status Put(const Slice& key, const Slice& value) override;
   Status Delete(const Slice& key) override;
-  Status Get(const Slice& key, std::string* value) override;
-  Status Scan(const Slice& start, size_t n,
+  Status Get(const ReadOptions& options, const Slice& key,
+             PinnableSlice* value) override;
+  Status Scan(const ReadOptions& options, const Slice& start, size_t n,
               std::vector<KvPair>* results) override;
+  void MultiGet(const ReadOptions& options, size_t n, const Slice* keys,
+                PinnableSlice* values, Status* statuses) override;
+  using KvStore::Get;
+  using KvStore::MultiGet;
+  using KvStore::Scan;
   CacheStatsSnapshot GetCacheStats() const override;
   lsm::DB* db() override { return db_.get(); }
   const char* Name() const override { return name_; }

@@ -7,6 +7,7 @@
 
 #include "cache/range_cache.h"
 #include "lsm/db.h"
+#include "util/pinnable_slice.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -14,6 +15,16 @@ namespace adcache::core {
 
 /// Point-in-time cache/IO telemetry for a store. Counters are cumulative;
 /// benchmark harnesses diff successive snapshots.
+///
+/// Consistency contract: every counter is individually monotonic, but a
+/// snapshot is gathered field by field — across sharded per-thread counters —
+/// with no global lock while worker threads keep running. Fields are
+/// therefore NOT mutually consistent: a lookup racing the snapshot may have
+/// bumped block_cache_misses while its block_reads increment is not yet
+/// visible, and a sharded counter read mid-batch can lag a sibling field by
+/// a whole batch. Consumers must difference successive snapshots per field
+/// (use CounterDelta below, which tolerates such torn reads) and treat
+/// cross-field ratios within one snapshot as approximate.
 struct CacheStatsSnapshot {
   uint64_t block_reads = 0;  // SST block reads that hit storage (IO_miss)
   uint64_t range_hits = 0;
@@ -32,22 +43,70 @@ struct CacheStatsSnapshot {
   double smoothed_hit_rate = 0;
 };
 
+/// Differences two reads of one monotonic snapshot counter. Clamps to zero
+/// instead of wrapping when the reads are torn (the "earlier" snapshot's
+/// field was gathered after the "later" one's advanced past it).
+inline uint64_t CounterDelta(uint64_t later, uint64_t earlier) {
+  return later >= earlier ? later - earlier : 0;
+}
+
 /// The benchmarkable key-value store interface: an LSM engine fronted by
 /// some caching strategy. One implementation per evaluated scheme (paper
 /// §5.1): RocksDB block cache, KV cache, Range Cache (LRU / LeCaR /
 /// Cacheus) and AdCache.
+///
+/// Reads take a ReadOptions (snapshot / cache-fill / checksum knobs,
+/// shared with the lsm layer) and return values through PinnableSlice, so
+/// a block-cache or memtable hit hands the caller a pinned pointer instead
+/// of a copy. Thin copying / default-options overloads are provided for
+/// convenience; implementations should add `using KvStore::Get;` (etc.) so
+/// the overloads stay visible on concrete store types.
 class KvStore {
  public:
+  using ReadOptions = lsm::ReadOptions;
+
   virtual ~KvStore() = default;
 
   virtual Status Put(const Slice& key, const Slice& value) = 0;
   virtual Status Delete(const Slice& key) = 0;
-  /// NotFound if absent.
-  virtual Status Get(const Slice& key, std::string* value) = 0;
+  /// NotFound if absent. On OK, `value` pins the bytes' owner (block-cache
+  /// handle, memtable SuperVersion, or an internal copy).
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     PinnableSlice* value) = 0;
   /// Collects up to `n` consecutive entries starting at the first key
   /// >= start.
-  virtual Status Scan(const Slice& start, size_t n,
-                      std::vector<KvPair>* results) = 0;
+  virtual Status Scan(const ReadOptions& options, const Slice& start,
+                      size_t n, std::vector<KvPair>* results) = 0;
+  /// Batched point lookups: for each keys[i] sets statuses[i] (OK /
+  /// NotFound) and fills values[i] on OK. One admission / telemetry /
+  /// window-accounting pass covers the whole batch, and the underlying
+  /// lsm::DB::MultiGet shares one SuperVersion acquisition and coalesces
+  /// per-file and per-block work (see DESIGN.md "Batched reads").
+  virtual void MultiGet(const ReadOptions& options, size_t n,
+                        const Slice* keys, PinnableSlice* values,
+                        Status* statuses) = 0;
+
+  // ---- thin convenience overloads (copying / default options) ----
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) {
+    PinnableSlice pinned;
+    Status s = Get(options, key, &pinned);
+    if (s.ok()) value->assign(pinned.data(), pinned.size());
+    return s;
+  }
+  Status Get(const Slice& key, std::string* value) {
+    return Get(ReadOptions(), key, value);
+  }
+  Status Get(const Slice& key, PinnableSlice* value) {
+    return Get(ReadOptions(), key, value);
+  }
+  Status Scan(const Slice& start, size_t n, std::vector<KvPair>* results) {
+    return Scan(ReadOptions(), start, n, results);
+  }
+  void MultiGet(size_t n, const Slice* keys, PinnableSlice* values,
+                Status* statuses) {
+    MultiGet(ReadOptions(), n, keys, values, statuses);
+  }
 
   virtual CacheStatsSnapshot GetCacheStats() const = 0;
   virtual lsm::DB* db() = 0;
@@ -55,8 +114,20 @@ class KvStore {
 };
 
 /// Reads up to `n` user-visible entries from the DB starting at `start`.
-Status ScanFromDb(lsm::DB* db, const lsm::ReadOptions& read_options,
-                  const Slice& start, size_t n, std::vector<KvPair>* results);
+/// Shared implementation behind every store's Scan override.
+Status ScanThroughDb(lsm::DB* db, const lsm::ReadOptions& read_options,
+                     const Slice& start, size_t n,
+                     std::vector<KvPair>* results);
+
+/// Old name for ScanThroughDb. Callers should go through
+/// KvStore::Scan(const ReadOptions&, ...), which carries the same knobs
+/// per store.
+[[deprecated("use KvStore::Scan(const ReadOptions&, ...) or ScanThroughDb")]]
+inline Status ScanFromDb(lsm::DB* db, const lsm::ReadOptions& read_options,
+                         const Slice& start, size_t n,
+                         std::vector<KvPair>* results) {
+  return ScanThroughDb(db, read_options, start, n, results);
+}
 
 }  // namespace adcache::core
 

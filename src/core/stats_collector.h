@@ -64,6 +64,13 @@ class StatsCollector {
     if (range_cache_hit) range_point_hits_.Inc();
   }
 
+  /// Batched form for MultiGet: one sharded-counter add per counter for the
+  /// whole batch instead of one per key.
+  void RecordPointLookups(uint64_t lookups, uint64_t range_cache_hits) {
+    point_lookups_.Add(lookups);
+    if (range_cache_hits > 0) range_point_hits_.Add(range_cache_hits);
+  }
+
   void RecordScan(uint64_t returned_keys, bool range_cache_hit) {
     scans_.Inc();
     scan_keys_.Add(returned_keys);
@@ -72,6 +79,9 @@ class StatsCollector {
 
   void RecordWrite() { writes_.Inc(); }
   void RecordPointAdmit() { point_admits_.Inc(); }
+  void RecordPointAdmits(uint64_t n) {
+    if (n > 0) point_admits_.Add(n);
+  }
   void RecordScanAdmit(uint64_t keys) { scan_keys_admitted_.Add(keys); }
 
   /// Total operations recorded so far (drives window boundaries).

@@ -22,143 +22,136 @@ Block::Block(std::string contents) : contents_(std::move(contents)) {
   restarts_offset_ = static_cast<uint32_t>(contents_.size() - trailer);
 }
 
-class Block::Iter : public Iterator {
- public:
-  Iter(const Block* block, const InternalKeyComparator* cmp)
-      : block_(block), cmp_(cmp) {}
+void Block::Iter::Init(const Block* block, const InternalKeyComparator* cmp) {
+  block_ = block;
+  cmp_ = cmp;
+  ok_ = block != nullptr && !block->malformed_;
+  current_ = 0;
+  next_offset_ = 0;
+  restart_index_ = 0;
+  key_.clear();  // capacity survives re-targeting
+  value_ = Slice();
+  corrupted_ = !ok_;
+}
 
-  bool Valid() const override { return current_ < block_->restarts_offset_; }
+void Block::Iter::SeekToFirst() {
+  if (!ok_) return;
+  SeekToRestartPoint(0);
+  ParseNextKey();
+}
 
-  void SeekToFirst() override {
-    SeekToRestartPoint(0);
-    ParseNextKey();
+void Block::Iter::SeekToLast() {
+  if (!ok_) return;
+  SeekToRestartPoint(block_->num_restarts_ - 1);
+  while (ParseNextKey() && NextEntryOffset() < block_->restarts_offset_) {
   }
+}
 
-  void SeekToLast() override {
-    SeekToRestartPoint(block_->num_restarts_ - 1);
-    while (ParseNextKey() && NextEntryOffset() < block_->restarts_offset_) {
+void Block::Iter::Seek(const Slice& target) {
+  if (!ok_) return;
+  // Binary search over restart points for the last restart with a key
+  // < target, then scan linearly.
+  uint32_t left = 0;
+  uint32_t right = block_->num_restarts_ - 1;
+  while (left < right) {
+    uint32_t mid = (left + right + 1) / 2;
+    Slice mid_key = KeyAtRestart(mid);
+    if (corrupted_) return;
+    if (cmp_->Compare(mid_key, target) < 0) {
+      left = mid;
+    } else {
+      right = mid - 1;
     }
   }
-
-  void Seek(const Slice& target) override {
-    // Binary search over restart points for the last restart with a key
-    // < target, then scan linearly.
-    uint32_t left = 0;
-    uint32_t right = block_->num_restarts_ - 1;
-    while (left < right) {
-      uint32_t mid = (left + right + 1) / 2;
-      Slice mid_key = KeyAtRestart(mid);
-      if (corrupted_) return;
-      if (cmp_->Compare(mid_key, target) < 0) {
-        left = mid;
-      } else {
-        right = mid - 1;
-      }
-    }
-    SeekToRestartPoint(left);
-    while (ParseNextKey()) {
-      if (cmp_->Compare(Slice(key_), target) >= 0) return;
-    }
+  SeekToRestartPoint(left);
+  while (ParseNextKey()) {
+    if (cmp_->Compare(Slice(key_), target) >= 0) return;
   }
+}
 
-  void Next() override { ParseNextKey(); }
+void Block::Iter::Next() {
+  if (!ok_) return;
+  ParseNextKey();
+}
 
-  void Prev() override {
-    // Scan from the restart point preceding the current entry.
-    const uint32_t original = current_;
-    uint32_t restart = restart_index_;
-    while (RestartOffset(restart) >= original) {
-      if (restart == 0) {
-        current_ = block_->restarts_offset_;  // invalid
-        return;
-      }
-      restart--;
+void Block::Iter::Prev() {
+  if (!ok_) return;
+  // Scan from the restart point preceding the current entry.
+  const uint32_t original = current_;
+  uint32_t restart = restart_index_;
+  while (RestartOffset(restart) >= original) {
+    if (restart == 0) {
+      current_ = block_->restarts_offset_;  // invalid
+      return;
     }
-    SeekToRestartPoint(restart);
-    while (ParseNextKey() && NextEntryOffset() < original) {
-    }
+    restart--;
   }
-
-  Slice key() const override { return Slice(key_); }
-  Slice value() const override { return value_; }
-  Status status() const override {
-    return corrupted_ ? Status::Corruption("bad block entry") : Status::OK();
+  SeekToRestartPoint(restart);
+  while (ParseNextKey() && NextEntryOffset() < original) {
   }
+}
 
- private:
-  uint32_t RestartOffset(uint32_t index) const {
-    return DecodeFixed32(block_->contents_.data() + block_->restarts_offset_ +
-                         index * sizeof(uint32_t));
+Status Block::Iter::status() const {
+  return corrupted_ ? Status::Corruption("bad block entry") : Status::OK();
+}
+
+uint32_t Block::Iter::RestartOffset(uint32_t index) const {
+  return DecodeFixed32(block_->contents_.data() + block_->restarts_offset_ +
+                       index * sizeof(uint32_t));
+}
+
+void Block::Iter::SeekToRestartPoint(uint32_t index) {
+  restart_index_ = index;
+  key_.clear();
+  value_ = Slice();
+  next_offset_ = RestartOffset(index);
+}
+
+Slice Block::Iter::KeyAtRestart(uint32_t index) {
+  uint32_t offset = RestartOffset(index);
+  const char* p = block_->contents_.data() + offset;
+  const char* limit = block_->contents_.data() + block_->restarts_offset_;
+  uint32_t shared = 0, non_shared = 0, value_len = 0;
+  p = GetVarint32Ptr(p, limit, &shared);
+  if (p != nullptr) p = GetVarint32Ptr(p, limit, &non_shared);
+  if (p != nullptr) p = GetVarint32Ptr(p, limit, &value_len);
+  if (p == nullptr || shared != 0) {
+    corrupted_ = true;
+    return Slice();
   }
+  return Slice(p, non_shared);
+}
 
-  void SeekToRestartPoint(uint32_t index) {
-    restart_index_ = index;
-    key_.clear();
-    value_ = Slice();
-    next_offset_ = RestartOffset(index);
+bool Block::Iter::ParseNextKey() {
+  current_ = next_offset_;
+  if (current_ >= block_->restarts_offset_) {
+    current_ = block_->restarts_offset_;
+    return false;
   }
-
-  /// Offset of the entry after the current one.
-  uint32_t NextEntryOffset() const { return next_offset_; }
-
-  Slice KeyAtRestart(uint32_t index) {
-    uint32_t offset = RestartOffset(index);
-    const char* p = block_->contents_.data() + offset;
-    const char* limit = block_->contents_.data() + block_->restarts_offset_;
-    uint32_t shared = 0, non_shared = 0, value_len = 0;
-    p = GetVarint32Ptr(p, limit, &shared);
-    if (p != nullptr) p = GetVarint32Ptr(p, limit, &non_shared);
-    if (p != nullptr) p = GetVarint32Ptr(p, limit, &value_len);
-    if (p == nullptr || shared != 0) {
-      corrupted_ = true;
-      return Slice();
-    }
-    return Slice(p, non_shared);
+  const char* p = block_->contents_.data() + current_;
+  const char* limit = block_->contents_.data() + block_->restarts_offset_;
+  uint32_t shared = 0, non_shared = 0, value_len = 0;
+  p = GetVarint32Ptr(p, limit, &shared);
+  if (p != nullptr) p = GetVarint32Ptr(p, limit, &non_shared);
+  if (p != nullptr) p = GetVarint32Ptr(p, limit, &value_len);
+  if (p == nullptr || shared > key_.size() ||
+      p + non_shared + value_len > limit) {
+    corrupted_ = true;
+    current_ = block_->restarts_offset_;
+    return false;
   }
-
-  /// Decodes the entry at next_offset_ into key_/value_. Returns false at
-  /// block end or corruption.
-  bool ParseNextKey() {
-    current_ = next_offset_;
-    if (current_ >= block_->restarts_offset_) {
-      current_ = block_->restarts_offset_;
-      return false;
-    }
-    const char* p = block_->contents_.data() + current_;
-    const char* limit = block_->contents_.data() + block_->restarts_offset_;
-    uint32_t shared = 0, non_shared = 0, value_len = 0;
-    p = GetVarint32Ptr(p, limit, &shared);
-    if (p != nullptr) p = GetVarint32Ptr(p, limit, &non_shared);
-    if (p != nullptr) p = GetVarint32Ptr(p, limit, &value_len);
-    if (p == nullptr || shared > key_.size() ||
-        p + non_shared + value_len > limit) {
-      corrupted_ = true;
-      current_ = block_->restarts_offset_;
-      return false;
-    }
-    key_.resize(shared);
-    key_.append(p, non_shared);
-    value_ = Slice(p + non_shared, value_len);
-    next_offset_ =
-        static_cast<uint32_t>((p + non_shared + value_len) -
-                              block_->contents_.data());
-    // Track the restart region we're in (needed by Prev).
-    while (restart_index_ + 1 < block_->num_restarts_ &&
-           RestartOffset(restart_index_ + 1) <= current_) {
-      restart_index_++;
-    }
-    return true;
+  key_.resize(shared);
+  key_.append(p, non_shared);
+  value_ = Slice(p + non_shared, value_len);
+  next_offset_ = static_cast<uint32_t>((p + non_shared + value_len) -
+                                       block_->contents_.data());
+  // Track the restart region we're in (needed by Prev).
+  while (restart_index_ + 1 < block_->num_restarts_ &&
+         RestartOffset(restart_index_ + 1) <= current_) {
+    restart_index_++;
   }
-
-  const Block* block_;
-  const InternalKeyComparator* cmp_;
-  uint32_t current_ = 0;      // offset of current entry
-  uint32_t next_offset_ = 0;  // offset of next entry
-  uint32_t restart_index_ = 0;
-  std::string key_;
-  Slice value_;
-  bool corrupted_ = false;
-};
+  return true;
+}
 
 namespace {
 

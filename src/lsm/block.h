@@ -14,6 +14,8 @@ namespace adcache::lsm {
 /// output read back from an SSTable.
 class Block {
  public:
+  class Iter;
+
   explicit Block(std::string contents);
 
   Block(const Block&) = delete;
@@ -25,12 +27,58 @@ class Block {
   Iterator* NewIterator(const InternalKeyComparator* cmp) const;
 
  private:
-  class Iter;
-
   std::string contents_;
   uint32_t restarts_offset_ = 0;  // offset of the restart array
   uint32_t num_restarts_ = 0;
   bool malformed_ = false;
+};
+
+/// Block iterator, stack-constructible and reusable: batched reads Init()
+/// one instance per data block, amortizing the iterator (and its decoded-key
+/// buffer) across a whole MultiGet batch instead of heap-allocating per
+/// block. A default-constructed or malformed-block iterator is permanently
+/// !Valid() and every motion is a no-op.
+class Block::Iter final : public Iterator {
+ public:
+  Iter() = default;
+  Iter(const Block* block, const InternalKeyComparator* cmp) {
+    Init(block, cmp);
+  }
+
+  /// Re-targets the iterator at `block`, keeping the key buffer's capacity.
+  void Init(const Block* block, const InternalKeyComparator* cmp);
+
+  bool Valid() const override {
+    return ok_ && current_ < block_->restarts_offset_;
+  }
+  void SeekToFirst() override;
+  void SeekToLast() override;
+  void Seek(const Slice& target) override;
+  void Next() override;
+  void Prev() override;
+  Slice key() const override { return Slice(key_); }
+  Slice value() const override { return value_; }
+  Status status() const override;
+
+ private:
+  uint32_t RestartOffset(uint32_t index) const;
+  void SeekToRestartPoint(uint32_t index);
+  /// Offset of the entry after the current one.
+  uint32_t NextEntryOffset() const { return next_offset_; }
+  Slice KeyAtRestart(uint32_t index);
+  /// Decodes the entry at next_offset_ into key_/value_. Returns false at
+  /// block end or corruption.
+  bool ParseNextKey();
+
+  const Block* block_ = nullptr;
+  const InternalKeyComparator* cmp_ = nullptr;
+  bool ok_ = false;  // false: default-constructed or malformed block
+  uint32_t current_ = 0;      // offset of current entry
+  uint32_t next_offset_ = 0;  // offset of next entry
+  uint32_t restart_index_ = 0;
+  std::string key_;
+  Slice value_;
+  bool corrupted_ = false;
 };
 
 }  // namespace adcache::lsm

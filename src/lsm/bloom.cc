@@ -60,4 +60,32 @@ bool BloomFilterReader::KeyMayMatch(const Slice& key) const {
   return true;
 }
 
+void BloomFilterReader::KeyMayMatch(size_t n, const Slice* keys,
+                                    bool* may_match) const {
+  if (data_.size() < 2) {
+    std::fill(may_match, may_match + n, true);
+    return;
+  }
+  const size_t bits = (data_.size() - 1) * 8;
+  const int k = data_[data_.size() - 1];
+  if (k > 30 || k < 1) {
+    std::fill(may_match, may_match + n, true);
+    return;
+  }
+  for (size_t i = 0; i < n; i++) {
+    uint32_t h = BloomHash(keys[i]);
+    const uint32_t delta = (h >> 17) | (h << 15);
+    bool match = true;
+    for (int j = 0; j < k; j++) {
+      const uint32_t bitpos = h % static_cast<uint32_t>(bits);
+      if ((data_[bitpos / 8] & (1 << (bitpos % 8))) == 0) {
+        match = false;
+        break;
+      }
+      h += delta;
+    }
+    may_match[i] = match;
+  }
+}
+
 }  // namespace adcache::lsm

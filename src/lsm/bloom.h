@@ -31,6 +31,11 @@ class BloomFilterReader {
 
   bool KeyMayMatch(const Slice& key) const;
 
+  /// Batched probe: may_match[i] = KeyMayMatch(keys[i]). Decodes the filter
+  /// layout once for the whole batch (MultiGet probes every batch key
+  /// against a table's filter before touching its index).
+  void KeyMayMatch(size_t n, const Slice* keys, bool* may_match) const;
+
  private:
   Slice data_;
 };

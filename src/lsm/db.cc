@@ -10,6 +10,7 @@
 #include "lsm/table_builder.h"
 #include "util/clock.h"
 #include "util/coding.h"
+#include "util/inline_buffer.h"
 
 namespace adcache::lsm {
 
@@ -1114,7 +1115,10 @@ void DB::InstallSuperVersionLocked() {
   std::vector<void*> cached;
   local_sv_->Scrape(&cached, SuperVersion::kSVObsolete);
   for (void* ptr : cached) {
-    if (ptr != SuperVersion::kSVInUse) {
+    // A slot can hold either marker: kSVInUse for a mid-read thread, and
+    // kSVObsolete when it was scraped by a previous install and its thread
+    // has not read since. Neither carries a reference.
+    if (ptr != SuperVersion::kSVInUse && ptr != SuperVersion::kSVObsolete) {
       UnrefSuperVersion(static_cast<SuperVersion*>(ptr));
     }
   }
@@ -1257,6 +1261,197 @@ Status DB::Get(const ReadOptions& read_options, const Slice& key,
   Status s = Get(read_options, key, &pinned);
   if (s.ok()) value->assign(pinned.data(), pinned.size());
   return s;
+}
+
+namespace {
+
+/// Sort record for one batch key: the first 8 bytes after the batch-wide
+/// common prefix, big-endian packed so integer `<` matches memcmp order.
+/// Sorting these 16-byte records keeps the hot comparisons inside one
+/// contiguous array instead of chasing every key's heap bytes; ties (equal
+/// packed prefixes) fall back to a full key compare. Used for batches too
+/// large for the packed-uint64 fast path below.
+struct MultiGetSortKey {
+  uint64_t prefix;
+  uint32_t index;
+};
+
+/// Packs the first `take` (<= 7) bytes of `rest` big-endian into the top 56
+/// bits; the caller owns the low byte. Integer `<` then matches memcmp
+/// order on those bytes, with shorter keys sorting first.
+inline uint64_t PackPrefix56(const char* rest, size_t take) {
+  uint64_t prefix = 0;
+  for (size_t j = 0; j < take; j++) {
+    prefix |= static_cast<uint64_t>(static_cast<uint8_t>(rest[j]))
+              << (56 - 8 * j);
+  }
+  return prefix;
+}
+
+}  // namespace
+
+void DB::MultiGet(const ReadOptions& read_options, size_t n,
+                  const Slice* keys, PinnableSlice* values,
+                  Status* statuses) {
+  if (n == 0) return;
+  // One view + snapshot for the whole batch (same pairing rules as DB::Get).
+  SequenceNumber snapshot;
+  SuperVersion* sv = AcquireReadState(&snapshot);
+  if (read_options.snapshot != nullptr) {
+    snapshot = read_options.snapshot->sequence();
+  }
+
+  // Sort the batch by user key: duplicates become adjacent (and resolve
+  // once), and the version/table layers can visit files and blocks
+  // monotonically. All per-batch scratch below is stack-resident for
+  // batches up to kInlineBatch; a batch performs no scratch allocations
+  // beyond the internal-key buffer.
+  constexpr size_t kInlineBatch = 128;
+  size_t common_prefix = keys[0].size();
+  for (size_t i = 1; i < n && common_prefix > 0; i++) {
+    size_t limit = std::min(common_prefix, keys[i].size());
+    size_t j = 0;
+    while (j < limit && keys[i].data()[j] == keys[0].data()[j]) j++;
+    common_prefix = j;
+  }
+  util::InlineBuffer<uint32_t, kInlineBatch> order(n);
+  if (n <= 256) {
+    // Fast path: 7 prefix bytes + the batch index packed into one uint64,
+    // sorted with branchless integer compares. Keys that agree on those 7
+    // bytes land in an index-ordered run; any such run holding distinct
+    // keys is re-sorted with full compares (rare — exact duplicates are
+    // the common cause and any stable order suffices for them).
+    util::InlineBuffer<uint64_t, kInlineBatch> packed(n);
+    for (uint32_t i = 0; i < n; i++) {
+      const Slice& k = keys[i];
+      size_t avail = k.size() - common_prefix;  // >= 0
+      packed[i] = PackPrefix56(k.data() + common_prefix,
+                               avail < 7 ? avail : 7) |
+                  i;
+    }
+    std::sort(packed.data(), packed.data() + n);
+    for (size_t i = 0; i < n;) {
+      size_t j = i + 1;
+      while (j < n && (packed[j] >> 8) == (packed[i] >> 8)) j++;
+      if (j - i > 1) {
+        bool distinct = false;
+        for (size_t m = i + 1; m < j && !distinct; m++) {
+          distinct = keys[packed[m] & 0xff] != keys[packed[i] & 0xff];
+        }
+        if (distinct) {
+          std::sort(packed.data() + i, packed.data() + j,
+                    [keys](uint64_t a, uint64_t b) {
+                      return keys[a & 0xff].compare(keys[b & 0xff]) < 0;
+                    });
+        }
+      }
+      i = j;
+    }
+    for (size_t i = 0; i < n; i++) {
+      order[i] = static_cast<uint32_t>(packed[i] & 0xff);
+    }
+  } else {
+    util::InlineBuffer<MultiGetSortKey, kInlineBatch> records(n);
+    for (uint32_t i = 0; i < n; i++) {
+      const Slice& k = keys[i];
+      size_t avail = k.size() - common_prefix;
+      records[i] = MultiGetSortKey{
+          PackPrefix56(k.data() + common_prefix, avail < 7 ? avail : 7), i};
+    }
+    std::sort(records.data(), records.data() + n,
+              [keys](const MultiGetSortKey& a, const MultiGetSortKey& b) {
+                if (a.prefix != b.prefix) return a.prefix < b.prefix;
+                return keys[a.index].compare(keys[b.index]) < 0;
+              });
+    for (size_t i = 0; i < n; i++) order[i] = records[i].index;
+  }
+
+  // One lookup state per distinct key. The internal keys live back to back
+  // in one exactly-sized buffer (stack-resident for small batches), so the
+  // state slices stay stable.
+  size_t ikey_total = 0;
+  for (size_t i = 0; i < n; i++) ikey_total += keys[i].size() + 8;
+  util::InlineBuffer<char, 4096> ikey_buf(ikey_total);
+  size_t ikey_used = 0;
+  util::InlineBuffer<Table::MultiGetState, kInlineBatch> states(n);
+  util::InlineBuffer<uint32_t, kInlineBatch> primary_of(n);
+  util::InlineBuffer<uint32_t, kInlineBatch> state_output(n);
+  size_t num_states = 0;
+  for (size_t oi = 0; oi < n; oi++) {
+    uint32_t pos = order[oi];
+    if (num_states > 0 && keys[pos] == keys[state_output[num_states - 1]]) {
+      primary_of[pos] = state_output[num_states - 1];
+      continue;
+    }
+    primary_of[pos] = pos;
+    char* kstart = ikey_buf.data() + ikey_used;
+    std::memcpy(kstart, keys[pos].data(), keys[pos].size());
+    EncodeFixed64(kstart + keys[pos].size(),
+                  PackSequenceAndType(snapshot, kTypeValue));
+    ikey_used += keys[pos].size() + 8;
+    Table::MultiGetState& s = states[num_states];
+    s.user_key = Slice(kstart, keys[pos].size());
+    s.internal_key = Slice(kstart, keys[pos].size() + 8);
+    s.snapshot = snapshot;
+    s.value = &values[pos];
+    s.result = Table::LookupResult::kNotFound;
+    state_output[num_states++] = pos;
+  }
+
+  // Probe the memtables (newest first) for every key; a memtable answer —
+  // value or tombstone — finalizes that key.
+  util::InlineBuffer<Table::MultiGetState*, kInlineBatch> pending(n);
+  size_t num_pending = 0;
+  for (size_t i = 0; i < num_states; i++) {
+    bool resolved = false;
+    for (MemTable* mem : sv->mems) {
+      // An empty memtable holds nothing visible at our snapshot: entries
+      // sequenced <= snapshot were published (with their entry-count
+      // increment) before AcquireReadState's acquire read, so zero entries
+      // now means zero entries ever mattered to this batch.
+      if (mem->num_entries() == 0) continue;
+      Slice v;
+      bool deleted = false;
+      if (mem->Get(states[i].user_key, snapshot, &v, &deleted)) {
+        if (deleted) {
+          states[i].result = Table::LookupResult::kDeleted;
+        } else {
+          // Arena-backed value: pin the SuperVersion, as GetImpl does.
+          sv->Ref();
+          states[i].result = Table::LookupResult::kFound;
+          states[i].value->PinSlice(v, &UnrefSuperVersionCleanup, sv,
+                                    nullptr);
+        }
+        resolved = true;
+        break;
+      }
+    }
+    if (!resolved) pending[num_pending++] = &states[i];
+  }
+
+  // The sorted remainder goes through the SSTables as one batch.
+  if (num_pending > 0) {
+    const_cast<Version*>(sv->version.get())
+        ->MultiGet(read_options, pending.data(), num_pending);
+  }
+
+  for (size_t i = 0; i < num_states; i++) {
+    statuses[state_output[i]] =
+        states[i].result == Table::LookupResult::kFound ? Status::OK()
+                                                        : Status::NotFound();
+  }
+  // Duplicates copy their primary's answer (the primary's pin stays with
+  // the primary; a batch-local copy is cheaper than a second lookup).
+  for (uint32_t i = 0; i < n; i++) {
+    if (primary_of[i] == i) continue;
+    statuses[i] = statuses[primary_of[i]];
+    if (statuses[i].ok()) {
+      values[i].PinSelf(values[primary_of[i]].slice());
+    } else {
+      values[i].Reset();
+    }
+  }
+  ReleaseReadState(sv);
 }
 
 // ---------------------------------------------------------------------------

@@ -111,6 +111,15 @@ class DB {
   /// underlying bytes (cache handle / SuperVersion) instead of copying them.
   Status Get(const ReadOptions& read_options, const Slice& key,
              PinnableSlice* value);
+  /// Batched point lookups (RocksDB-style MultiGet): for each keys[i] sets
+  /// statuses[i] to OK or NotFound and, on OK, fills values[i] with the
+  /// same pinning semantics as the pinnable Get. The whole batch shares ONE
+  /// SuperVersion acquisition and one snapshot; keys are sorted internally
+  /// so duplicate keys resolve once, each SST file is consulted once for
+  /// its run of keys, and keys in the same data block share one block-cache
+  /// lookup or storage read. See DESIGN.md "Batched reads".
+  void MultiGet(const ReadOptions& read_options, size_t n, const Slice* keys,
+                PinnableSlice* values, Status* statuses);
 
   /// Pins the current state for repeatable reads; release when done.
   /// Compactions preserve entries visible to any live snapshot.

@@ -116,6 +116,10 @@ struct ReadOptions {
   /// IoStats::block_reads (the paper's "SST reads"). Compactions pass false
   /// so background I/O does not pollute the cache-efficiency metric.
   bool count_block_reads = true;
+  /// Reserved: the current table format carries no per-block checksum (only
+  /// WAL and manifest records are CRC-protected), so this flag is accepted
+  /// for API compatibility with RocksDB-style callers and ignored.
+  bool verify_checksums = false;
   /// Optional per-query block-admission budget (paper §3.4: partial
   /// admission "can also be applied to the block cache, where the number of
   /// blocks ... is controlled"). When non-null, each block inserted into

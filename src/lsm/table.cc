@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "util/coding.h"
+#include "util/inline_buffer.h"
 
 namespace adcache::lsm {
 
@@ -54,11 +55,15 @@ void Table::BlockRef::Reset() {
 }
 
 std::string Table::CacheKey(uint64_t file_number, uint64_t offset) {
-  std::string key;
-  key.reserve(16);
-  PutFixed64(&key, file_number);
-  PutFixed64(&key, offset);
-  return key;
+  char buf[kCacheKeySize];
+  EncodeCacheKey(file_number, offset, buf);
+  return std::string(buf, sizeof(buf));
+}
+
+void Table::EncodeCacheKey(uint64_t file_number, uint64_t offset,
+                           char (&buf)[kCacheKeySize]) {
+  EncodeFixed64(buf, file_number);
+  EncodeFixed64(buf + 8, offset);
 }
 
 Table::Table(const Options& options, std::unique_ptr<RandomAccessFile> file,
@@ -121,19 +126,29 @@ Status Table::Open(const Options& options,
 
 Table::BlockRef Table::ReadBlock(const ReadOptions& read_options,
                                  const BlockHandle& handle) const {
-  BlockRef ref;
   Cache* cache = options_.block_cache.get();
-  std::string cache_key;
+  char key_buf[kCacheKeySize];
+  Slice cache_key;
   if (cache != nullptr) {
-    cache_key = CacheKey(file_number_, handle.offset);
-    Cache::Handle* h = cache->Lookup(Slice(cache_key));
+    EncodeCacheKey(file_number_, handle.offset, key_buf);
+    cache_key = Slice(key_buf, sizeof(key_buf));
+    Cache::Handle* h = cache->Lookup(cache_key);
     if (h != nullptr) {
+      BlockRef ref;
       ref.cache = cache;
       ref.handle = h;
       ref.block = static_cast<const Block*>(cache->Value(h));
       return ref;
     }
   }
+  return ReadBlockMiss(read_options, handle, cache_key);
+}
+
+Table::BlockRef Table::ReadBlockMiss(const ReadOptions& read_options,
+                                     const BlockHandle& handle,
+                                     Slice cache_key) const {
+  BlockRef ref;
+  Cache* cache = options_.block_cache.get();
 
   // Cache miss: read from storage. This is the paper's "SST read".
   std::string contents(handle.size, '\0');
@@ -164,7 +179,7 @@ Table::BlockRef Table::ReadBlock(const ReadOptions& read_options,
   }
   if (cache != nullptr && may_fill) {
     Cache::Handle* h =
-        cache->Insert(Slice(cache_key), block,
+        cache->Insert(cache_key, block,
                       block->size() + kBlockCacheEntryOverhead,
                       &DeleteCachedBlock);
     if (h != nullptr) {
@@ -230,6 +245,235 @@ Table::LookupResult Table::Get(const ReadOptions& read_options,
     block_iter->Next();  // entry too new for this snapshot; keep looking
   }
   return LookupResult::kNotFound;
+}
+
+void Table::MultiGet(const ReadOptions& read_options,
+                     MultiGetState* const* keys, size_t n) {
+  if (n == 0) return;
+
+  // All per-batch scratch is stack-resident up to kInlineBatch states
+  // (heap beyond that): a typical batch allocates only block iterators.
+  constexpr size_t kInlineBatch = 128;
+
+  // Stage 1: probe the bloom filter for the whole batch before touching the
+  // index; most absent keys die here without an index seek.
+  util::InlineBuffer<MultiGetState*, kInlineBatch> candidates(n);
+  size_t num_candidates = 0;
+  if (filter_ != nullptr) {
+    util::InlineBuffer<Slice, kInlineBatch> user_keys(n);
+    util::InlineBuffer<bool, kInlineBatch> may_match(n);
+    for (size_t i = 0; i < n; i++) user_keys[i] = keys[i]->user_key;
+    filter_->KeyMayMatch(n, user_keys.data(), may_match.data());
+    for (size_t i = 0; i < n; i++) {
+      if (may_match[i]) candidates[num_candidates++] = keys[i];
+    }
+  } else {
+    for (size_t i = 0; i < n; i++) candidates[num_candidates++] = keys[i];
+  }
+  if (num_candidates == 0) return;
+
+  // Stage 2: one shared index iterator walked forward over the sorted
+  // keys; runs of keys whose index entries name the same data block are
+  // grouped so the block is resolved once. A key no bigger than the current
+  // entry's separator belongs to the same block as its predecessor (the
+  // entry is the first with separator >= the previous, smaller, key), so
+  // same-block runs cost ONE index binary search, not one per key.
+  Block::Iter index_iter(index_block_.get(), &icmp_);  // stack, no alloc
+  util::InlineBuffer<std::pair<BlockHandle, MultiGetState*>, kInlineBatch>
+      located(num_candidates);
+  size_t num_located = 0;
+  bool index_positioned = false;
+  BlockHandle handle;
+  bool handle_ok = false;
+  for (size_t c = 0; c < num_candidates; c++) {
+    MultiGetState* s = candidates[c];
+    if (!index_positioned ||
+        icmp_.Compare(s->internal_key, index_iter.key()) > 0) {
+      // Sorted batches usually land a few index entries ahead (clustered
+      // keys): walk forward briefly before paying a full restart binary
+      // search — a step costs one entry parse, a Seek costs a dozen.
+      bool stepped = false;
+      if (index_positioned) {
+        for (int steps = 0; steps < 4 && index_iter.Valid(); steps++) {
+          index_iter.Next();
+          if (index_iter.Valid() &&
+              icmp_.Compare(s->internal_key, index_iter.key()) <= 0) {
+            stepped = true;
+            break;
+          }
+        }
+      }
+      if (!stepped) {
+        index_iter.Seek(s->internal_key);
+        if (!index_iter.Valid()) break;  // sorted: later keys past EOF too
+      }
+      index_positioned = true;
+      handle_ok = false;  // new index entry: decode its handle once below
+    }
+    if (!handle_ok) {
+      Slice handle_value = index_iter.value();
+      if (!handle.DecodeFrom(&handle_value).ok()) continue;
+      handle_ok = true;
+    }
+    located[num_located++] = {handle, s};
+  }
+  if (num_located == 0) return;
+
+  struct BlockWork {
+    size_t begin, end;  // half-open range into `located`
+    BlockRef ref;
+    char cache_key[kCacheKeySize];
+  };
+  util::InlineBuffer<BlockWork, kInlineBatch> blocks(num_located);
+  size_t num_blocks = 0;
+  for (size_t i = 0; i < num_located;) {
+    size_t j = i + 1;
+    while (j < num_located &&
+           located[j].first.offset == located[i].first.offset) {
+      j++;
+    }
+    blocks[num_blocks].begin = i;
+    blocks[num_blocks].end = j;
+    num_blocks++;
+    i = j;
+  }
+
+  // Stage 3: resolve every distinct block against the cache in ONE
+  // MultiLookup (each cache shard's mutex taken once per batch), then one
+  // storage read per block that missed.
+  Cache* cache = options_.block_cache.get();
+  if (cache != nullptr) {
+    util::InlineBuffer<Slice, kInlineBatch> cache_keys(num_blocks);
+    util::InlineBuffer<Cache::Handle*, kInlineBatch> handles(num_blocks);
+    for (size_t b = 0; b < num_blocks; b++) {
+      EncodeCacheKey(file_number_, located[blocks[b].begin].first.offset,
+                     blocks[b].cache_key);
+      cache_keys[b] = Slice(blocks[b].cache_key, kCacheKeySize);
+      handles[b] = nullptr;
+    }
+    cache->MultiLookup(num_blocks, cache_keys.data(), handles.data());
+    for (size_t b = 0; b < num_blocks; b++) {
+      if (handles[b] != nullptr) {
+        blocks[b].ref.cache = cache;
+        blocks[b].ref.handle = handles[b];
+        blocks[b].ref.block =
+            static_cast<const Block*>(cache->Value(handles[b]));
+      }
+    }
+  }
+
+  // Stage 4: search each block once for all of its keys, then hand out the
+  // pins: the detachable block reference goes to the last found key, every
+  // other found key takes its own cache pin (or a copy for uncached blocks).
+  util::InlineBuffer<std::pair<MultiGetState*, Slice>, kInlineBatch> found(
+      num_located);
+  Block::Iter block_iter;  // one reusable iterator serves every block
+  for (size_t b = 0; b < num_blocks; b++) {
+    BlockWork& bw = blocks[b];
+    if (bw.ref.block == nullptr) {
+      bw.ref = ReadBlockMiss(
+          read_options, located[bw.begin].first,
+          cache != nullptr ? Slice(bw.cache_key, kCacheKeySize) : Slice());
+    }
+    if (bw.ref.block == nullptr) continue;  // IO error: keys stay kNotFound
+
+    size_t num_found = 0;
+    block_iter.Init(bw.ref.block, &icmp_);
+    bool positioned = false;
+    for (size_t j = bw.begin; j < bw.end; j++) {
+      MultiGetState* s = located[j].second;
+      // The batch is sorted and the iterator only ever moves forward, so
+      // every entry behind the current position is smaller than this key:
+      // a short forward scan replaces a fresh binary search per key
+      // (clustered keys sit a few entries apart). A long gap falls back to
+      // Seek; an exhausted iterator means the key is past the block's last
+      // entry and stays kNotFound.
+      if (!positioned) {
+        block_iter.Seek(s->internal_key);
+        positioned = true;
+      } else if (block_iter.Valid() &&
+                 icmp_.Compare(block_iter.key(), s->internal_key) < 0) {
+        int steps = 0;
+        while (block_iter.Valid() &&
+               icmp_.Compare(block_iter.key(), s->internal_key) < 0) {
+          if (++steps > 32) {
+            block_iter.Seek(s->internal_key);
+            break;
+          }
+          block_iter.Next();
+        }
+      }
+      while (block_iter.Valid()) {
+        ParsedInternalKey parsed;
+        if (!ParseInternalKey(block_iter.key(), &parsed)) break;
+        if (parsed.user_key != s->user_key) break;
+        if (parsed.sequence <= s->snapshot) {
+          if (parsed.type == kTypeDeletion) {
+            s->result = LookupResult::kDeleted;
+          } else {
+            s->result = LookupResult::kFound;
+            found[num_found++] = {s, block_iter.value()};
+          }
+          break;
+        }
+        block_iter.Next();  // entry too new for this snapshot; keep looking
+      }
+    }
+
+    // Copy threshold: an extra cache pin costs hash+mutex round trips (Ref
+    // now, Release when the value is dropped); below this size a plain
+    // copy into the PinnableSlice is cheaper, and the caller's buffer keeps
+    // its capacity across batches so repeat copies don't reallocate. Small
+    // values never take a pin at all — the block's lookup pin is dropped in
+    // one batched MultiRelease after the block loop.
+    constexpr size_t kCopyThreshold = 512;
+    for (size_t f = 0; f < num_found; f++) {
+      MultiGetState* s = found[f].first;
+      const Slice& v = found[f].second;
+      bool last = f + 1 == num_found;
+      if (bw.ref.cache != nullptr) {
+        if (v.size() <= kCopyThreshold) {
+          s->value->PinSelf(v);
+          continue;
+        }
+        if (!last) bw.ref.cache->Ref(bw.ref.handle);
+        s->value->PinSlice(v, &ReleaseCacheHandle, bw.ref.cache,
+                           bw.ref.handle);
+        if (last) {
+          bw.ref.cache = nullptr;
+          bw.ref.handle = nullptr;
+          bw.ref.block = nullptr;
+        }
+      } else if (bw.ref.owned != nullptr) {
+        if (!last) {
+          s->value->PinSelf(v);
+        } else {
+          s->value->PinSlice(v, &DeleteOwnedBlock, bw.ref.owned, nullptr);
+          bw.ref.owned = nullptr;
+          bw.ref.block = nullptr;
+        }
+      } else {
+        s->value->PinSelf(v);
+      }
+    }
+  }
+
+  // Every lookup pin not handed off above is dropped in one batched call:
+  // each cache shard's mutex is taken once, versus a hash + lock + eviction
+  // check per block if the BlockRef destructors released them one by one.
+  if (cache != nullptr) {
+    util::InlineBuffer<Cache::Handle*, kInlineBatch> to_release(num_blocks);
+    size_t num_release = 0;
+    for (size_t b = 0; b < num_blocks; b++) {
+      if (blocks[b].ref.cache != nullptr) {
+        to_release[num_release++] = blocks[b].ref.handle;
+        blocks[b].ref.cache = nullptr;
+        blocks[b].ref.handle = nullptr;
+        blocks[b].ref.block = nullptr;
+      }
+    }
+    if (num_release > 0) cache->MultiRelease(num_release, to_release.data());
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -44,6 +44,30 @@ class Table {
                    SequenceNumber snapshot, PinnableSlice* value,
                    SequenceNumber* entry_seq);
 
+  /// Per-key state for a batched point lookup, threaded from DB::MultiGet
+  /// through Version::MultiGet down to Table::MultiGet. The batch owner
+  /// keeps states sorted ascending by user key (so index and data blocks
+  /// are visited monotonically) and owns the internal_key storage, which
+  /// must outlive the batch.
+  struct MultiGetState {
+    Slice user_key;
+    Slice internal_key;  // user_key + (snapshot, kTypeValue) trailer
+    SequenceNumber snapshot = 0;
+    PinnableSlice* value = nullptr;
+    LookupResult result = LookupResult::kNotFound;
+  };
+
+  /// Batched point lookup over `n` unresolved states sorted ascending by
+  /// user key. The bloom filter is probed once for the whole batch, one
+  /// shared index iterator walks forward over the sorted keys, keys landing
+  /// in the same data block share a single block-cache lookup (coalesced
+  /// into Cache::MultiLookup across distinct blocks) or one storage read,
+  /// and each block iterator serves every key in its block. Sets `result`
+  /// per state and pins `value` on kFound exactly like Get; kNotFound
+  /// states may be retried against older tables by the caller.
+  void MultiGet(const ReadOptions& read_options, MultiGetState* const* keys,
+                size_t n);
+
   /// Copying convenience overload.
   LookupResult Get(const ReadOptions& read_options, const Slice& user_key,
                    SequenceNumber snapshot, std::string* value,
@@ -82,6 +106,14 @@ class Table {
   /// Encodes the block-cache key for (file_number, offset).
   static std::string CacheKey(uint64_t file_number, uint64_t offset);
 
+  /// Width of an encoded block-cache key (two fixed64s).
+  static constexpr size_t kCacheKeySize = 16;
+
+  /// Allocation-free CacheKey: encodes into a caller-provided 16-byte
+  /// buffer. The hot read paths use this with stack storage.
+  static void EncodeCacheKey(uint64_t file_number, uint64_t offset,
+                             char (&buf)[kCacheKeySize]);
+
  private:
   class Iter;
 
@@ -109,6 +141,11 @@ class Table {
 
   BlockRef ReadBlock(const ReadOptions& read_options,
                      const BlockHandle& handle) const;
+  /// The cache-miss tail of ReadBlock: storage read + optional cache fill.
+  /// `cache_key` is the pre-encoded key (may be empty when no cache is
+  /// configured).
+  BlockRef ReadBlockMiss(const ReadOptions& read_options,
+                         const BlockHandle& handle, Slice cache_key) const;
 
   Options options_;
   std::unique_ptr<RandomAccessFile> file_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/inline_buffer.h"
+
 namespace adcache::lsm {
 
 namespace {
@@ -66,6 +68,80 @@ Table::LookupResult Version::Get(const ReadOptions& read_options,
     if (r != Table::LookupResult::kNotFound) return r;
   }
   return Table::LookupResult::kNotFound;
+}
+
+void Version::MultiGet(const ReadOptions& read_options,
+                       Table::MultiGetState** pending, size_t n) {
+  // Compacts `pending` in place, dropping states a table resolved.
+  auto drop_resolved = [pending](size_t count) {
+    size_t kept = 0;
+    for (size_t i = 0; i < count; i++) {
+      if (pending[i]->result == Table::LookupResult::kNotFound) {
+        pending[kept++] = pending[i];
+      }
+    }
+    return kept;
+  };
+  util::InlineBuffer<Table::MultiGetState*, 128> batch(n);
+
+  // Level 0: files may overlap; search newest first, giving each file its
+  // in-range slice of the still-unresolved batch. The batch is sorted, so
+  // the slice is one contiguous run found with two binary searches instead
+  // of two compares per key.
+  for (const auto& f : files_[0]) {
+    Slice smallest = ExtractUserKey(Slice(f->smallest));
+    Slice largest = ExtractUserKey(Slice(f->largest));
+    size_t lo = 0, hi = n;
+    while (lo < hi) {  // lower bound: first key >= smallest
+      size_t mid = lo + (hi - lo) / 2;
+      if (pending[mid]->user_key.compare(smallest) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    hi = n;
+    size_t cur = lo;
+    while (cur < hi) {  // upper bound: first key > largest
+      size_t mid = cur + (hi - cur) / 2;
+      if (pending[mid]->user_key.compare(largest) <= 0) {
+        cur = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    size_t m = 0;
+    for (size_t i = lo; i < hi; i++) batch[m++] = pending[i];
+    if (m == 0) continue;
+    f->table->MultiGet(read_options, batch.data(), m);
+    n = drop_resolved(n);
+    if (n == 0) return;
+  }
+
+  // Deeper levels: files are disjoint and the batch is sorted, so runs of
+  // consecutive keys map to one candidate file each.
+  for (int level = 1; level < num_levels(); level++) {
+    const FileList& files = files_[static_cast<size_t>(level)];
+    if (files.empty()) continue;
+    size_t i = 0;
+    while (i < n) {
+      int index = FindFile(files, pending[i]->internal_key);
+      if (index >= static_cast<int>(files.size())) break;  // rest are past
+      const auto& f = files[static_cast<size_t>(index)];
+      size_t m = 0;
+      size_t j = i;
+      // Every key not after f belongs to this file or the gap before it.
+      for (; j < n && !AfterFile(pending[j]->user_key, *f); j++) {
+        if (!BeforeFile(pending[j]->user_key, *f)) batch[m++] = pending[j];
+      }
+      if (m > 0) {
+        f->table->MultiGet(read_options, batch.data(), m);
+      }
+      i = j;
+    }
+    n = drop_resolved(n);
+    if (n == 0) return;
+  }
 }
 
 void Version::AddIterators(const ReadOptions& read_options,

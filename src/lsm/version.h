@@ -37,6 +37,15 @@ class Version {
                           const Slice& user_key, SequenceNumber snapshot,
                           PinnableSlice* value);
 
+  /// Batched point lookup mirroring Get: `pending[0..n)` holds unresolved
+  /// lookup states sorted ascending by user key. Level 0 files are searched
+  /// newest first, each file receiving its in-range sub-batch in one
+  /// Table::MultiGet call; deeper levels group runs of consecutive sorted
+  /// keys that fall in the same file. Sets `result` per state; the array is
+  /// scratch and may be reordered/compacted.
+  void MultiGet(const ReadOptions& read_options,
+                Table::MultiGetState** pending, size_t n);
+
   /// Copying convenience overload.
   Table::LookupResult Get(const ReadOptions& read_options,
                           const Slice& user_key, SequenceNumber snapshot,

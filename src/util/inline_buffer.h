@@ -1,0 +1,45 @@
+#ifndef ADCACHE_UTIL_INLINE_BUFFER_H_
+#define ADCACHE_UTIL_INLINE_BUFFER_H_
+
+#include <cstddef>
+#include <memory>
+
+namespace adcache {
+namespace util {
+
+/// A fixed-capacity scratch array that lives on the stack for the common
+/// small case and falls back to one heap allocation for oversized inputs.
+/// Batched-read paths (DB::MultiGet and friends) size every per-batch
+/// scratch structure with this so a typical batch performs zero scratch
+/// allocations. Elements are default-constructed; the buffer neither tracks
+/// a length nor grows — callers manage their own counts.
+template <typename T, size_t kInline>
+class InlineBuffer {
+ public:
+  explicit InlineBuffer(size_t n) {
+    if (n > kInline) {
+      heap_ = std::make_unique<T[]>(n);
+      ptr_ = heap_.get();
+    } else {
+      ptr_ = inline_;
+    }
+  }
+
+  InlineBuffer(const InlineBuffer&) = delete;
+  InlineBuffer& operator=(const InlineBuffer&) = delete;
+
+  T* data() { return ptr_; }
+  const T* data() const { return ptr_; }
+  T& operator[](size_t i) { return ptr_[i]; }
+  const T& operator[](size_t i) const { return ptr_[i]; }
+
+ private:
+  T inline_[kInline];
+  std::unique_ptr<T[]> heap_;
+  T* ptr_;
+};
+
+}  // namespace util
+}  // namespace adcache
+
+#endif  // ADCACHE_UTIL_INLINE_BUFFER_H_

@@ -40,17 +40,53 @@ PhaseResult Runner::RunPhase(const Phase& phase,
     OperationGenerator gen(thread_phase, keys_,
                            options.seed + static_cast<uint64_t>(thread_id) *
                                               0x9e3779b9);
-    std::string value;
+    PinnableSlice value;
     std::vector<KvPair> results;
+
+    // MultiGet batching: consecutive point lookups are buffered and issued
+    // as one batch; scans and writes flush first to preserve ordering.
+    const size_t batch_cap =
+        options.multiget_batch > 1 ? options.multiget_batch : 1;
+    std::vector<std::string> batch_keys;
+    std::vector<Slice> batch_slices;
+    std::vector<PinnableSlice> batch_values;
+    std::vector<Status> batch_statuses;
+    if (batch_cap > 1) {
+      batch_keys.reserve(batch_cap);
+      batch_slices.resize(batch_cap);
+      batch_values.resize(batch_cap);
+      batch_statuses.resize(batch_cap);
+    }
+    auto flush_batch = [&]() {
+      if (batch_keys.empty()) return;
+      for (size_t k = 0; k < batch_keys.size(); k++) {
+        batch_slices[k] = Slice(batch_keys[k]);
+      }
+      store_->MultiGet(batch_keys.size(), batch_slices.data(),
+                       batch_values.data(), batch_statuses.data());
+      point_ops.fetch_add(batch_keys.size(), std::memory_order_relaxed);
+      // Release block/memtable pins promptly; holding them across
+      // operations would keep cache entries unevictable.
+      for (size_t k = 0; k < batch_keys.size(); k++) batch_values[k].Reset();
+      batch_keys.clear();
+    };
+
     for (uint64_t i = 0; i < thread_phase.num_ops; i++) {
       Operation op = gen.Next();
       clock_->Charge(options.cpu_micros_per_op);
       switch (op.type) {
         case Operation::Type::kGet:
-          store_->Get(Slice(keys_.KeyAt(op.key_index)), &value);
-          point_ops.fetch_add(1, std::memory_order_relaxed);
+          if (batch_cap > 1) {
+            batch_keys.push_back(keys_.KeyAt(op.key_index));
+            if (batch_keys.size() >= batch_cap) flush_batch();
+          } else {
+            store_->Get(Slice(keys_.KeyAt(op.key_index)), &value);
+            value.Reset();
+            point_ops.fetch_add(1, std::memory_order_relaxed);
+          }
           break;
         case Operation::Type::kScan: {
+          flush_batch();
           store_->Scan(Slice(keys_.KeyAt(op.key_index)), op.scan_length,
                        &results);
           clock_->Charge(options.cpu_micros_per_scan_key * results.size());
@@ -59,12 +95,14 @@ PhaseResult Runner::RunPhase(const Phase& phase,
           break;
         }
         case Operation::Type::kWrite:
+          flush_batch();
           store_->Put(Slice(keys_.KeyAt(op.key_index)),
                       Slice(keys_.ValueFor(op.key_index)));
           write_ops.fetch_add(1, std::memory_order_relaxed);
           break;
       }
     }
+    flush_batch();
   };
 
   if (options.num_threads <= 1) {
@@ -87,7 +125,9 @@ PhaseResult Runner::RunPhase(const Phase& phase,
   r.write_ops = write_ops.load();
   r.scan_keys = scan_keys.load();
   r.ops = r.point_ops + r.scan_ops + r.write_ops;
-  r.block_reads = after.block_reads - before.block_reads;
+  // CounterDelta: the snapshots are gathered field-by-field with no global
+  // lock, so a concurrent writer can make `after` appear behind `before`.
+  r.block_reads = core::CounterDelta(after.block_reads, before.block_reads);
   r.elapsed_sim_micros = clock_->NowMicros() - sim_start;
   r.elapsed_wall_micros = SystemClock::Default()->NowMicros() - wall_start;
   r.end_stats = after;

@@ -45,6 +45,10 @@ class Runner {
     uint64_t cpu_micros_per_scan_key = 0;
     int num_threads = 1;
     uint64_t seed = 42;
+    /// When > 1, consecutive point lookups are buffered and issued through
+    /// KvStore::MultiGet in batches of this size (flushed early by any
+    /// intervening scan/write). 1 = plain Get loop.
+    size_t multiget_batch = 1;
   };
 
   Runner(core::KvStore* store, const KeySpace& keys, Clock* clock);

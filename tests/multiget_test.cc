@@ -1,0 +1,370 @@
+// Functional coverage for the batched point-lookup path: lsm::DB::MultiGet
+// (duplicate keys, missing keys, keys spanning memtable + L0 + deeper
+// levels, batches crossing block boundaries, snapshots) and the store-level
+// KvStore::MultiGet contract for every caching strategy. Run with
+// -DADCACHE_SANITIZE=thread or =address for the race/lifetime checks.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/strategy.h"
+#include "lsm/db.h"
+#include "util/clock.h"
+#include "util/env.h"
+#include "util/pinnable_slice.h"
+
+namespace adcache {
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key-%06d", i);
+  return buf;
+}
+
+std::string Value(int i, int version) {
+  char buf[96];
+  snprintf(buf, sizeof(buf), "val-%06d-v%06d-%060d", i, version, 0);
+  return buf;
+}
+
+class DbMultiGetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    options_.env = env_.get();
+    // Small blocks so modest batches cross block (and file) boundaries.
+    options_.block_size = 512;
+    options_.table_file_size = 8 * 1024;
+    options_.memtable_size = 32 * 1024;
+    options_.level1_size_base = 32 * 1024;
+    options_.block_cache = NewLRUCache(1024 * 1024);
+    ASSERT_TRUE(lsm::DB::Open(options_, "/db", &db_).ok());
+  }
+
+  /// Issues one MultiGet over `key_strs` and returns statuses + values.
+  void MultiGet(const std::vector<std::string>& key_strs,
+                const lsm::ReadOptions& ro, std::vector<PinnableSlice>* values,
+                std::vector<Status>* statuses) {
+    std::vector<Slice> keys(key_strs.size());
+    for (size_t i = 0; i < key_strs.size(); i++) keys[i] = Slice(key_strs[i]);
+    values->clear();
+    statuses->clear();
+    values->resize(key_strs.size());
+    statuses->resize(key_strs.size());
+    db_->MultiGet(ro, keys.size(), keys.data(), values->data(),
+                  statuses->data());
+  }
+
+  uint64_t BlockReads() const {
+    return env_->io_stats()->block_reads.load();
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  lsm::Options options_;
+  std::unique_ptr<lsm::DB> db_;
+};
+
+TEST_F(DbMultiGetTest, MixedPresentAndMissingKeys) {
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Put(lsm::WriteOptions(), Key(i), Value(i, 0)).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+
+  std::vector<std::string> batch = {Key(3),  "absent-a", Key(97), Key(0),
+                                    "zzz-9", Key(42),    "aaa"};
+  std::vector<PinnableSlice> values;
+  std::vector<Status> statuses;
+  MultiGet(batch, lsm::ReadOptions(), &values, &statuses);
+
+  EXPECT_EQ(values[0].ToString(), Value(3, 0));
+  EXPECT_TRUE(statuses[1].IsNotFound());
+  EXPECT_EQ(values[2].ToString(), Value(97, 0));
+  EXPECT_EQ(values[3].ToString(), Value(0, 0));
+  EXPECT_TRUE(statuses[4].IsNotFound());
+  EXPECT_EQ(values[5].ToString(), Value(42, 0));
+  EXPECT_TRUE(statuses[6].IsNotFound());
+  for (size_t i : {0u, 2u, 3u, 5u}) EXPECT_TRUE(statuses[i].ok());
+  // Missing keys leave the output empty.
+  EXPECT_TRUE(values[1].empty());
+}
+
+TEST_F(DbMultiGetTest, DuplicateKeysInBatch) {
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(db_->Put(lsm::WriteOptions(), Key(i), Value(i, 0)).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+
+  // Adjacent and non-adjacent duplicates, plus a duplicated missing key.
+  std::vector<std::string> batch = {Key(5), Key(5),   Key(9), "gone",
+                                    Key(5), "gone",   Key(9)};
+  std::vector<PinnableSlice> values;
+  std::vector<Status> statuses;
+  MultiGet(batch, lsm::ReadOptions(), &values, &statuses);
+
+  for (size_t i : {0u, 1u, 4u}) {
+    EXPECT_TRUE(statuses[i].ok()) << i;
+    EXPECT_EQ(values[i].ToString(), Value(5, 0)) << i;
+  }
+  for (size_t i : {2u, 6u}) {
+    EXPECT_TRUE(statuses[i].ok()) << i;
+    EXPECT_EQ(values[i].ToString(), Value(9, 0)) << i;
+  }
+  EXPECT_TRUE(statuses[3].IsNotFound());
+  EXPECT_TRUE(statuses[5].IsNotFound());
+}
+
+TEST_F(DbMultiGetTest, KeysSpanMemtableL0AndDeeperLevels) {
+  // Layer 1: keys 0..59 settle into L1+ via full compaction.
+  for (int i = 0; i < 60; i++) {
+    ASSERT_TRUE(db_->Put(lsm::WriteOptions(), Key(i), Value(i, 1)).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->CompactAll().ok());
+  // Layer 2: overwrite 20..39 and flush -> L0 shadows the deeper level.
+  for (int i = 20; i < 40; i++) {
+    ASSERT_TRUE(db_->Put(lsm::WriteOptions(), Key(i), Value(i, 2)).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  // Layer 3: overwrite 30..49 in the memtable -> shadows L0 and L1.
+  for (int i = 30; i < 50; i++) {
+    ASSERT_TRUE(db_->Put(lsm::WriteOptions(), Key(i), Value(i, 3)).ok());
+  }
+  // And delete one key from each layer's range.
+  ASSERT_TRUE(db_->Delete(lsm::WriteOptions(), Key(10)).ok());
+  ASSERT_TRUE(db_->Delete(lsm::WriteOptions(), Key(25)).ok());
+  ASSERT_TRUE(db_->Delete(lsm::WriteOptions(), Key(45)).ok());
+
+  std::vector<std::string> batch;
+  for (int i = 0; i < 60; i++) batch.push_back(Key(i));
+  std::vector<PinnableSlice> values;
+  std::vector<Status> statuses;
+  MultiGet(batch, lsm::ReadOptions(), &values, &statuses);
+
+  for (int i = 0; i < 60; i++) {
+    if (i == 10 || i == 25 || i == 45) {
+      EXPECT_TRUE(statuses[static_cast<size_t>(i)].IsNotFound()) << i;
+      continue;
+    }
+    int version = i >= 30 && i < 50 ? 3 : (i >= 20 && i < 40 ? 2 : 1);
+    ASSERT_TRUE(statuses[static_cast<size_t>(i)].ok()) << i;
+    EXPECT_EQ(values[static_cast<size_t>(i)].ToString(), Value(i, version))
+        << i;
+  }
+}
+
+TEST_F(DbMultiGetTest, BatchesCrossBlockBoundaries) {
+  // ~100-byte values in 512-byte blocks: a handful of keys per block, so
+  // every non-trivial batch spans several blocks and several files.
+  constexpr int kKeys = 200;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(db_->Put(lsm::WriteOptions(), Key(i), Value(i, 0)).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+
+  for (size_t batch_size : {size_t{2}, size_t{7}, size_t{32}, size_t{200}}) {
+    std::vector<std::string> batch;
+    for (size_t i = 0; i < batch_size; i++) {
+      batch.push_back(Key(static_cast<int>(
+          (i * 37) % kKeys)));  // unsorted, scattered across blocks
+    }
+    std::vector<PinnableSlice> values;
+    std::vector<Status> statuses;
+    MultiGet(batch, lsm::ReadOptions(), &values, &statuses);
+    for (size_t i = 0; i < batch_size; i++) {
+      ASSERT_TRUE(statuses[i].ok()) << batch_size << ":" << i;
+      EXPECT_EQ(values[i].ToString(),
+                Value(static_cast<int>((i * 37) % kKeys), 0));
+    }
+  }
+
+  // A warm repeat of the full batch is served from the block cache: no
+  // additional storage reads.
+  std::vector<std::string> all;
+  for (int i = 0; i < kKeys; i++) all.push_back(Key(i));
+  std::vector<PinnableSlice> values;
+  std::vector<Status> statuses;
+  MultiGet(all, lsm::ReadOptions(), &values, &statuses);
+  uint64_t before = BlockReads();
+  MultiGet(all, lsm::ReadOptions(), &values, &statuses);
+  EXPECT_EQ(BlockReads(), before);
+  for (int i = 0; i < kKeys; i++) {
+    EXPECT_EQ(values[static_cast<size_t>(i)].ToString(), Value(i, 0));
+  }
+}
+
+TEST_F(DbMultiGetTest, VeryLargeBatchesUseTheFallbackSortPath) {
+  // Batches beyond 256 keys leave the packed-uint64 sort fast path; this
+  // covers the struct-record path plus duplicate handling at that size.
+  constexpr int kKeys = 180;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(db_->Put(lsm::WriteOptions(), Key(i), Value(i, 0)).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+
+  constexpr size_t kBatch = 300;  // every key appears, some twice, plus gaps
+  std::vector<std::string> batch;
+  for (size_t i = 0; i < kBatch; i++) {
+    int k = static_cast<int>((i * 53) % (kKeys + 20));  // some keys absent
+    batch.push_back(Key(k));
+  }
+  std::vector<PinnableSlice> values;
+  std::vector<Status> statuses;
+  MultiGet(batch, lsm::ReadOptions(), &values, &statuses);
+  for (size_t i = 0; i < kBatch; i++) {
+    int k = static_cast<int>((i * 53) % (kKeys + 20));
+    if (k < kKeys) {
+      ASSERT_TRUE(statuses[i].ok()) << i;
+      EXPECT_EQ(values[i].ToString(), Value(k, 0)) << i;
+    } else {
+      EXPECT_TRUE(statuses[i].IsNotFound()) << i;
+    }
+  }
+}
+
+TEST_F(DbMultiGetTest, SnapshotGivesRepeatableBatchReads) {
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(db_->Put(lsm::WriteOptions(), Key(i), Value(i, 1)).ok());
+  }
+  const lsm::Snapshot* snap = db_->GetSnapshot();
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(db_->Put(lsm::WriteOptions(), Key(i), Value(i, 2)).ok());
+  }
+  ASSERT_TRUE(db_->Delete(lsm::WriteOptions(), Key(4)).ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+
+  std::vector<std::string> batch;
+  for (int i = 0; i < 10; i++) batch.push_back(Key(i));
+  std::vector<PinnableSlice> values;
+  std::vector<Status> statuses;
+
+  lsm::ReadOptions at_snap;
+  at_snap.snapshot = snap;
+  MultiGet(batch, at_snap, &values, &statuses);
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(statuses[static_cast<size_t>(i)].ok()) << i;
+    EXPECT_EQ(values[static_cast<size_t>(i)].ToString(), Value(i, 1)) << i;
+  }
+
+  MultiGet(batch, lsm::ReadOptions(), &values, &statuses);
+  for (int i = 0; i < 10; i++) {
+    if (i == 4) {
+      EXPECT_TRUE(statuses[4].IsNotFound());
+    } else {
+      EXPECT_EQ(values[static_cast<size_t>(i)].ToString(), Value(i, 2)) << i;
+    }
+  }
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(DbMultiGetTest, EmptyBatchIsANoOp) {
+  db_->MultiGet(lsm::ReadOptions(), 0, nullptr, nullptr, nullptr);
+}
+
+TEST_F(DbMultiGetTest, PinnedBatchResultsOutliveChurn) {
+  for (int i = 0; i < 30; i++) {
+    ASSERT_TRUE(db_->Put(lsm::WriteOptions(), Key(i), Value(i, 1)).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+
+  std::vector<std::string> batch;
+  for (int i = 0; i < 30; i++) batch.push_back(Key(i));
+  std::vector<PinnableSlice> values;
+  std::vector<Status> statuses;
+  MultiGet(batch, lsm::ReadOptions(), &values, &statuses);
+
+  // Retire the state the batch read from while the pins are live.
+  for (int i = 0; i < 30; i++) {
+    ASSERT_TRUE(db_->Put(lsm::WriteOptions(), Key(i), Value(i, 2)).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->CompactAll().ok());
+
+  for (int i = 0; i < 30; i++) {
+    ASSERT_TRUE(statuses[static_cast<size_t>(i)].ok()) << i;
+    EXPECT_EQ(values[static_cast<size_t>(i)].ToString(), Value(i, 1)) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Store-level contract: every caching strategy serves the same batched
+// results as a Get loop, including through its cache layers.
+// ---------------------------------------------------------------------------
+
+class StoreMultiGetTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    config_.lsm.env = env_.get();
+    config_.lsm.block_size = 512;
+    config_.lsm.table_file_size = 16 * 1024;
+    config_.lsm.memtable_size = 32 * 1024;
+    config_.lsm.level1_size_base = 64 * 1024;
+    config_.cache_budget = 128 * 1024;
+    config_.dbname = "/db_" + GetParam();
+    config_.adcache.controller.agent.hidden_dim = 32;
+    Status s;
+    store_ = core::CreateStore(GetParam(), config_, &s);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  core::StoreConfig config_;
+  std::unique_ptr<core::KvStore> store_;
+};
+
+TEST_P(StoreMultiGetTest, BatchedReadsMatchGetLoop) {
+  constexpr int kKeys = 120;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(store_->Put(Slice(Key(i)), Slice(Value(i, 0))).ok());
+  }
+  ASSERT_TRUE(store_->db()->FlushMemTable().ok());
+  ASSERT_TRUE(store_->Delete(Slice(Key(60))).ok());
+
+  std::vector<std::string> key_strs;
+  for (int i = 0; i < kKeys; i += 3) key_strs.push_back(Key(i));
+  key_strs.push_back("missing-key");
+  key_strs.push_back(Key(0));  // duplicate
+  std::vector<Slice> keys(key_strs.size());
+  for (size_t i = 0; i < key_strs.size(); i++) keys[i] = Slice(key_strs[i]);
+
+  // Two rounds: the second is (partially) served by the store's caches.
+  for (int round = 0; round < 2; round++) {
+    std::vector<PinnableSlice> values(keys.size());
+    std::vector<Status> statuses(keys.size());
+    store_->MultiGet(keys.size(), keys.data(), values.data(),
+                     statuses.data());
+    for (size_t i = 0; i < keys.size(); i++) {
+      std::string expect;
+      Status get_status = store_->Get(keys[i], &expect);
+      EXPECT_EQ(statuses[i].ok(), get_status.ok()) << round << ":" << i;
+      if (get_status.ok()) {
+        EXPECT_EQ(values[i].ToString(), expect) << round << ":" << i;
+      }
+    }
+  }
+
+  // Writes through the store invalidate whatever the batch populated.
+  ASSERT_TRUE(store_->Put(Slice(Key(3)), Slice("fresh")).ok());
+  std::vector<PinnableSlice> values(2);
+  std::vector<Status> statuses(2);
+  std::vector<Slice> two = {Slice(key_strs[1]), Slice(key_strs[0])};
+  store_->MultiGet(two.size(), two.data(), values.data(), statuses.data());
+  ASSERT_TRUE(statuses[0].ok());
+  EXPECT_EQ(values[0].ToString(), "fresh");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StoreMultiGetTest,
+                         ::testing::Values("block", "kv", "range", "adcache"),
+                         [](const ::testing::TestParamInfo<std::string>& in) {
+                           return in.param;
+                         });
+
+}  // namespace
+}  // namespace adcache

@@ -115,6 +115,100 @@ TEST_P(SuperVersionTest, ReadersRaceSwitchFlushCompaction) {
   EXPECT_EQ(errors.load(), 0) << diag;
 }
 
+// MultiGet batches race the same churn: one batch shares a single
+// SuperVersion acquisition, so every key in it must satisfy the freshness
+// floor read before the call, duplicates must agree with their primary,
+// and the always-absent key must stay NotFound throughout.
+TEST_P(SuperVersionTest, MultiGetRacesSwitchFlushCompaction) {
+  Open();
+  constexpr int kKeys = 50;
+  constexpr int kRounds = 60;
+  constexpr int kReaders = 4;
+  constexpr size_t kBatch = 12;
+
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i, 0)).ok());
+  }
+
+  std::atomic<int> min_version{0};
+  std::atomic<bool> done{false};
+  std::atomic<int> errors{0};
+  std::mutex diag_mu;
+  std::string diag;
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; t++) {
+    readers.emplace_back([&, t] {
+      int i = t;
+      std::vector<std::string> key_strs(kBatch);
+      std::vector<Slice> keys(kBatch);
+      std::vector<PinnableSlice> values(kBatch);
+      std::vector<Status> statuses(kBatch);
+      while (!done.load(std::memory_order_relaxed)) {
+        // The floor is read BEFORE the batch is issued: the batch's shared
+        // snapshot must be at least this fresh for every key in it.
+        int floor_version = min_version.load(std::memory_order_acquire);
+        for (size_t j = 0; j + 2 < kBatch; j++) {
+          key_strs[j] = Key((i + static_cast<int>(j)) % kKeys);
+        }
+        key_strs[kBatch - 2] = key_strs[0];  // duplicate of the first key
+        key_strs[kBatch - 1] = "zz-absent";  // never written
+        for (size_t j = 0; j < kBatch; j++) keys[j] = Slice(key_strs[j]);
+        db_->MultiGet(ReadOptions(), kBatch, keys.data(), values.data(),
+                      statuses.data());
+        for (size_t j = 0; j + 1 < kBatch; j++) {
+          if (!statuses[j].ok()) {
+            errors++;
+            std::lock_guard<std::mutex> l(diag_mu);
+            diag += "status=" + statuses[j].ToString() +
+                    " key=" + key_strs[j] + "\n";
+            continue;
+          }
+          std::string value = values[j].ToString();
+          int want_key = (i + static_cast<int>(j)) % kKeys;
+          if (j == kBatch - 2) want_key = i % kKeys;
+          int got_key = -1, got_version = -1;
+          if (sscanf(value.c_str(), "val-%d-v%d", &got_key, &got_version) !=
+                  2 ||
+              got_key != want_key || got_version < floor_version ||
+              value != Value(got_key, got_version)) {
+            errors++;
+            std::lock_guard<std::mutex> l(diag_mu);
+            diag += "key=" + key_strs[j] + " floor=" +
+                    std::to_string(floor_version) + " value=" + value + "\n";
+          }
+        }
+        // The duplicate shares the primary's snapshot: identical bytes.
+        if (statuses[kBatch - 2].ok() && statuses[0].ok() &&
+            values[kBatch - 2].ToString() != values[0].ToString()) {
+          errors++;
+          std::lock_guard<std::mutex> l(diag_mu);
+          diag += "dup mismatch: " + values[0].ToString() + " vs " +
+                  values[kBatch - 2].ToString() + "\n";
+        }
+        if (!statuses[kBatch - 1].IsNotFound()) {
+          errors++;
+          std::lock_guard<std::mutex> l(diag_mu);
+          diag += "absent key status=" + statuses[kBatch - 1].ToString() +
+                  "\n";
+        }
+        for (auto& v : values) v.Reset();
+        i++;
+      }
+    });
+  }
+
+  for (int round = 1; round <= kRounds; round++) {
+    for (int i = 0; i < kKeys; i++) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), Value(i, round)).ok());
+    }
+    min_version.store(round, std::memory_order_release);
+  }
+  done = true;
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(errors.load(), 0) << diag;
+}
+
 // A thread's cached SuperVersion must be refreshed across a memtable
 // switch: write, flush (installs a new SuperVersion), then read on the
 // same thread — the stale cached copy may not serve the read.
