@@ -29,6 +29,11 @@ struct BenchConfig {
   /// Batch size for point lookups: > 1 routes them through
   /// KvStore::MultiGet (see Runner::RunnerOptions::multiget_batch).
   size_t multiget_batch = 1;
+  /// Statistics registry level for the store (core/statistics.h); kAll also
+  /// records op-latency histograms.
+  core::StatsLevel stats_level = core::StatsLevel::kExceptTimers;
+  /// Event listeners, installed before the store opens (adcache only).
+  std::vector<std::shared_ptr<core::EventListener>> listeners;
 
   size_t DatabaseBytes() const {
     return static_cast<size_t>(num_keys) * (key_size + value_size);
@@ -56,6 +61,8 @@ class BenchInstance {
     store_config.cache_budget = config.CacheBytes();
     store_config.seed = config.seed;
     store_config.adcache.controller.window_size = 1000;
+    store_config.adcache.stats_level = config.stats_level;
+    store_config.adcache.listeners = config.listeners;
     Status s;
     store_ = core::CreateStore(strategy, store_config, &s);
     if (!s.ok()) {
@@ -63,6 +70,8 @@ class BenchInstance {
                    s.ToString().c_str());
       std::abort();
     }
+    // Baselines don't read adcache options; set the registry level directly.
+    store_->statistics()->SetStatsLevel(config.stats_level);
     keys_.num_keys = config.num_keys;
     keys_.key_size = config.key_size;
     keys_.value_size = config.value_size;

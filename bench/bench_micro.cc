@@ -1,13 +1,21 @@
 // Component micro-benchmarks (google-benchmark): raw costs of the data
 // structures on AdCache's hot paths. These support the paper's §4.2 claim
 // that the learning machinery is cheap relative to query serving.
+//
+// `bench_micro --stats-smoke` skips the benchmarks and instead runs a short
+// AdCache workload with full observability on (StatsLevel::kAll, PerfContext
+// at kEnableTime, a counting EventListener, the periodic stats dumper),
+// printing one JSON object that scripts/check.sh validates.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "cache/cacheus.h"
 #include "cache/lecar.h"
 #include "cache/lru_cache.h"
@@ -16,8 +24,10 @@
 #include "lsm/block.h"
 #include "lsm/block_builder.h"
 #include "lsm/dbformat.h"
+#include "core/statistics.h"
 #include "rl/actor_critic.h"
 #include "sketch/count_min_sketch.h"
+#include "util/perf_context.h"
 #include "util/random.h"
 #include "workload/zipfian.h"
 
@@ -215,6 +225,88 @@ void BM_ZipfianNext(benchmark::State& state) {
 BENCHMARK(BM_ZipfianNext);
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// --stats-smoke: end-to-end observability exercise (see file comment).
+// ---------------------------------------------------------------------------
+
+class CountingListener : public core::EventListener {
+ public:
+  std::atomic<uint64_t> rl_actions{0};
+  std::atomic<uint64_t> flushes{0};
+  std::atomic<uint64_t> compactions{0};
+  void OnRlAction(const core::RlActionInfo&) override { rl_actions++; }
+  void OnFlushCompleted(const core::FlushJobInfo&) override { flushes++; }
+  void OnCompactionCompleted(const core::CompactionJobInfo&) override {
+    compactions++;
+  }
+};
+
+int RunStatsSmoke() {
+  util::SetPerfLevel(util::PerfLevel::kEnableTime);
+
+  bench::BenchConfig config;
+  config.num_keys = 4000;
+  config.ops = 6000;  // six tuning windows at window_size 1000
+  config.stats_level = core::StatsLevel::kAll;
+  auto counting = std::make_shared<CountingListener>();
+  config.listeners.push_back(counting);
+
+  bench::BenchInstance instance("adcache", config);
+  Status s = instance.Load();
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::atomic<uint64_t> dumps{0};
+  std::string last_dump;
+  core::Statistics* stats = instance.store()->statistics();
+  {
+    core::PeriodicStatsDumper dumper(stats, 50, [&](const std::string& json) {
+      dumps.fetch_add(1, std::memory_order_relaxed);
+      last_dump = json;  // single consumer: callbacks are serialised
+    });
+    workload::Phase phase = workload::BalancedWorkload(config.ops);
+    workload::Runner::RunnerOptions opts;
+    opts.seed = config.seed + 1000;
+    opts.record_latencies = true;
+    workload::PhaseResult result =
+        instance.runner()->RunPhase(phase, opts);
+    // Sync the component tickers before the final dump.
+    instance.store()->GetCacheStats();
+    dumper.Stop();  // final dump fires before the join
+
+    std::printf("{\"phase\":%s,\"stats\":%s,\"rl_action_events\":%llu,"
+                "\"flush_events\":%llu,\"stats_dumps\":%llu,"
+                "\"perf_block_reads\":%llu,\"perf_memtable_probes\":%llu}\n",
+                workload::PhaseResultToJson(result).c_str(),
+                stats->ToJson().c_str(),
+                static_cast<unsigned long long>(counting->rl_actions.load()),
+                static_cast<unsigned long long>(counting->flushes.load()),
+                static_cast<unsigned long long>(dumps.load()),
+                static_cast<unsigned long long>(
+                    util::GetPerfContext()->block_read_count),
+                static_cast<unsigned long long>(
+                    util::GetPerfContext()->memtable_probe_count));
+  }
+  std::fprintf(stderr, "%s", stats->ToString().c_str());
+  std::fprintf(stderr, "perf context: %s\n",
+               util::GetPerfContext()->ToString().c_str());
+  return 0;
+}
+
 }  // namespace adcache
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--stats-smoke") == 0) {
+      return adcache::RunStatsSmoke();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Full verification: tier-1 build+tests, the ThreadSanitizer concurrency
-# suite (read path + background maintenance + batched reads), and an
-# AddressSanitizer pass over the cache + MultiGet lifetime-heavy tests.
+# suite (read path + background maintenance + batched reads + statistics),
+# an AddressSanitizer pass over the cache + MultiGet lifetime-heavy tests,
+# and an observability smoke test (bench_micro --stats-smoke JSON dump).
 #
-# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only]
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only|--stats-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,12 +12,15 @@ cd "$(dirname "$0")/.."
 run_tier1=1
 run_tsan=1
 run_asan=1
+run_stats=1
 case "${1:-}" in
-  --tsan-only) run_tier1=0; run_asan=0 ;;
-  --asan-only) run_tier1=0; run_tsan=0 ;;
-  --tier1-only) run_tsan=0; run_asan=0 ;;
+  --tsan-only) run_tier1=0; run_asan=0; run_stats=0 ;;
+  --asan-only) run_tier1=0; run_tsan=0; run_stats=0 ;;
+  --tier1-only) run_tsan=0; run_asan=0; run_stats=0 ;;
+  --stats-only) run_tier1=0; run_tsan=0; run_asan=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only|--stats-only]" >&2
+     exit 2 ;;
 esac
 
 if [[ $run_tier1 -eq 1 ]]; then
@@ -31,10 +35,12 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake -B build-tsan -S . -DADCACHE_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j --target \
-        superversion_test background_maintenance_test multiget_test
+        superversion_test background_maintenance_test multiget_test \
+        statistics_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/superversion_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/background_maintenance_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/multiget_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/statistics_test
 fi
 
 if [[ $run_asan -eq 1 ]]; then
@@ -48,6 +54,47 @@ if [[ $run_asan -eq 1 ]]; then
            multiget_test superversion_test; do
     ASAN_OPTIONS="halt_on_error=1" "./build-asan/tests/$t"
   done
+fi
+
+if [[ $run_stats -eq 1 ]]; then
+  echo "== stats: observability smoke (bench_micro --stats-smoke) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target bench_micro
+  ./build/bench/bench_micro --stats-smoke 2>/dev/null > /tmp/stats_smoke.json
+  python3 - <<'EOF'
+import json
+
+with open("/tmp/stats_smoke.json") as f:
+    d = json.load(f)
+
+t = d["stats"]["tickers"]
+for key in ("adcache.point.lookups", "adcache.scans", "adcache.writes",
+            "adcache.block.reads", "adcache.flushes"):
+    assert t[key] > 0, f"ticker {key} is zero"
+assert t["adcache.rl.actions"] >= 1, "no RL actions recorded"
+assert d["rl_action_events"] >= 1, "EventListener saw no RL actions"
+assert d["stats_dumps"] >= 1, "periodic stats dumper never fired"
+# PerfContext is thread-local to the workload thread; the ticker also sees
+# background compaction reads, so it can only be >=.
+assert 0 < d["perf_block_reads"] <= t["adcache.block.reads"], \
+    "PerfContext block reads inconsistent with ticker"
+
+for hist in ("adcache.get.micros", "adcache.scan.micros",
+             "adcache.put.micros"):
+    h = d["stats"]["histograms"][hist]
+    assert h["count"] > 0, f"{hist} empty"
+    assert 0 <= h["p50"] <= h["p95"] <= h["p99"], f"{hist} percentiles"
+
+lat = d["phase"]["latency_micros"]
+for op in ("point", "scan", "write"):
+    assert lat[op]["count"] > 0, f"phase {op} latency empty"
+    assert lat[op]["p99"] >= lat[op]["p50"] >= 0, f"phase {op} percentiles"
+
+print("stats smoke OK:",
+      f"{t['adcache.rl.actions']} RL actions,",
+      f"{d['stats_dumps']} dumps,",
+      f"get p99 = {d['stats']['histograms']['adcache.get.micros']['p99']:.1f}us")
+EOF
 fi
 
 echo "== all checks passed =="

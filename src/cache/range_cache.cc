@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/perf_context.h"
+
 namespace adcache {
 
 namespace {
@@ -28,6 +30,7 @@ size_t RangeCache::ChargeFor(const Slice& key, const Slice& value) const {
 }
 
 bool RangeCache::Get(const Slice& key, std::string* value) {
+  ADCACHE_PERF_COUNTER_ADD(range_cache_probe_count, 1);
   std::lock_guard<std::mutex> l(mu_);
   auto it = map_.find(std::string(key.data(), key.size()));
   if (it == map_.end()) {
@@ -38,6 +41,7 @@ bool RangeCache::Get(const Slice& key, std::string* value) {
   *value = it->second.value;
   policy_->OnAccess(it->first);
   hits_.Inc();
+  ADCACHE_PERF_COUNTER_ADD(range_cache_hit_count, 1);
   return true;
 }
 
@@ -45,6 +49,7 @@ bool RangeCache::GetScan(const Slice& start, size_t n,
                          std::vector<KvPair>* results) {
   results->clear();
   if (n == 0) return true;
+  ADCACHE_PERF_COUNTER_ADD(range_cache_probe_count, 1);
   std::lock_guard<std::mutex> l(mu_);
   auto it = map_.lower_bound(start.ToString());
   bool full = false;
@@ -85,6 +90,7 @@ bool RangeCache::GetScan(const Slice& start, size_t n,
     return false;
   }
   hits_.Inc();
+  ADCACHE_PERF_COUNTER_ADD(range_cache_hit_count, 1);
   return true;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/perf_context.h"
+
 namespace adcache::core {
 
 // ---------------------------------------------------------------------------
@@ -34,6 +36,19 @@ AdCacheStore::AdCacheStore(const AdCacheOptions& options)
       options.cache_budget, options.initial_range_ratio, NewLruPolicy());
   controller_ = std::make_unique<PolicyController>(
       options.controller, cache_.get(), &point_admission_, &scan_admission_);
+  stats_->SetStatsLevel(options.stats_level);
+  stats_bridge_ = std::make_shared<StatisticsEventListener>(stats_.get());
+  controller_->SetStatistics(stats_.get());
+  for (const auto& listener : options_.listeners) {
+    controller_->AddListener(listener);
+  }
+  // Seed the control-state gauges so snapshots read sane values before the
+  // first tuning window closes.
+  stats_->SetGauge(kGaugeRangeRatio, cache_->range_ratio());
+  stats_->SetGauge(kGaugePointThreshold, point_admission_.threshold());
+  stats_->SetGauge(kGaugeScanA, scan_admission_.a());
+  stats_->SetGauge(kGaugeScanB, scan_admission_.b());
+  stats_->SetGauge(kGaugeSmoothedHitRate, 0.0);
 }
 
 Status AdCacheStore::Open(const AdCacheOptions& options,
@@ -50,6 +65,10 @@ Status AdCacheStore::Open(const AdCacheOptions& options,
   }
   lsm::Options db_options = lsm_options;
   db_options.block_cache = s->cache_->block_cache();
+  db_options.listeners.push_back(s->stats_bridge_);
+  for (const auto& listener : options.listeners) {
+    db_options.listeners.push_back(listener);
+  }
   Status st = lsm::DB::Open(db_options, dbname, &s->db_);
   if (!st.ok()) return st;
   *store = std::move(s);
@@ -69,22 +88,22 @@ LsmShapeParams AdCacheStore::CurrentShape() const {
 }
 
 void AdCacheStore::MaybeEndWindow() {
-  uint64_t total = stats_.TotalOps();
+  uint64_t total = window_stats_.TotalOps();
   uint64_t target = next_window_at_.load(std::memory_order_relaxed);
   if (total < target) return;
   std::lock_guard<std::mutex> l(window_mu_);
   target = next_window_at_.load(std::memory_order_relaxed);
-  if (stats_.TotalOps() < target) return;  // another thread handled it
+  if (window_stats_.TotalOps() < target) return;  // another thread handled it
   next_window_at_.store(target + options_.controller.window_size,
                         std::memory_order_relaxed);
-  WindowStats window = stats_.Harvest(
+  WindowStats window = window_stats_.Harvest(
       db_->env()->io_stats()->block_reads.load(), SampleMaintenance());
   controller_->OnWindowEnd(window, CurrentShape());
 }
 
 void AdCacheStore::ForceWindowEnd() {
   std::lock_guard<std::mutex> l(window_mu_);
-  WindowStats window = stats_.Harvest(
+  WindowStats window = window_stats_.Harvest(
       db_->env()->io_stats()->block_reads.load(), SampleMaintenance());
   controller_->OnWindowEnd(window, CurrentShape());
 }
@@ -99,30 +118,37 @@ StatsCollector::MaintenanceSample AdCacheStore::SampleMaintenance() const {
   return sample;
 }
 
-Status AdCacheStore::Put(const Slice& key, const Slice& value) {
-  Status s = db_->Put(lsm::WriteOptions(), key, value);
+Status AdCacheStore::Put(const WriteOptions& options, const Slice& key,
+                         const Slice& value) {
+  LatencyTimer timer(stats_.get(), kHistPutMicros);
+  Status s = db_->Put(options, key, value);
   if (s.ok()) cache_->range_cache()->InvalidateWrite(key, value);
-  stats_.RecordWrite();
+  window_stats_.RecordWrite();
+  stats_->RecordTick(kTickerWrites);
   MaybeEndWindow();
   return s;
 }
 
-Status AdCacheStore::Delete(const Slice& key) {
-  Status s = db_->Delete(lsm::WriteOptions(), key);
+Status AdCacheStore::Delete(const WriteOptions& options, const Slice& key) {
+  LatencyTimer timer(stats_.get(), kHistPutMicros);
+  Status s = db_->Delete(options, key);
   if (s.ok()) cache_->range_cache()->InvalidateDelete(key);
-  stats_.RecordWrite();
+  window_stats_.RecordWrite();
+  stats_->RecordTick(kTickerWrites);
   MaybeEndWindow();
   return s;
 }
 
 Status AdCacheStore::Get(const ReadOptions& options, const Slice& key,
                          PinnableSlice* value) {
+  LatencyTimer timer(stats_.get(), kHistGetMicros);
+  stats_->RecordTick(kTickerPointLookups);
   // Query handling path (paper Fig. 5): range cache -> memtable -> block
   // cache -> disk; the last three live inside lsm::DB::Get.
   std::string cached;
   if (cache_->range_cache()->Get(key, &cached)) {
     value->PinSelf(Slice(cached));
-    stats_.RecordPointLookup(/*range_cache_hit=*/true);
+    window_stats_.RecordPointLookup(/*range_cache_hit=*/true);
     MaybeEndWindow();
     return Status::OK();
   }
@@ -137,6 +163,7 @@ Status AdCacheStore::Get(const ReadOptions& options, const Slice& key,
     // so admission is free (the sketch is still updated for later).
     bool admit = true;
     if (options_.controller.enable_admission) {
+      ADCACHE_PERF_COUNTER_ADD(admission_check_count, 1);
       bool frequent = point_admission_.RecordMissAndCheckAdmit(key);
       bool has_headroom =
           cache_->RangeUsage() + key.size() + value->size() + 128 <=
@@ -144,11 +171,15 @@ Status AdCacheStore::Get(const ReadOptions& options, const Slice& key,
       admit = frequent || has_headroom;
     }
     if (admit) {
+      ADCACHE_PERF_COUNTER_ADD(admission_admit_count, 1);
       cache_->range_cache()->PutPoint(key, value->slice());
-      stats_.RecordPointAdmit();
+      window_stats_.RecordPointAdmit();
+      stats_->RecordTick(kTickerPointAdmits);
+    } else {
+      stats_->RecordTick(kTickerPointRejects);
     }
   }
-  stats_.RecordPointLookup(/*range_cache_hit=*/false);
+  window_stats_.RecordPointLookup(/*range_cache_hit=*/false);
   MaybeEndWindow();
   return s;
 }
@@ -157,6 +188,8 @@ void AdCacheStore::MultiGet(const ReadOptions& options, size_t n,
                             const Slice* keys, PinnableSlice* values,
                             Status* statuses) {
   if (n == 0) return;
+  LatencyTimer timer(stats_.get(), kHistMultiGetMicros);
+  stats_->RecordTick(kTickerMultiGetKeys, n);
   // Stage 1: range-cache probe per key; only misses go to the LSM.
   std::vector<size_t> miss_idx;
   miss_idx.reserve(n);
@@ -197,6 +230,7 @@ void AdCacheStore::MultiGet(const ReadOptions& options, size_t n,
       }
       std::unique_ptr<bool[]> frequent(new bool[found.size()]());
       if (options_.controller.enable_admission) {
+        ADCACHE_PERF_COUNTER_ADD(admission_check_count, found.size());
         point_admission_.RecordMissBatchAndCheckAdmit(
             found.size(), found_keys.data(), frequent.get());
       }
@@ -217,6 +251,9 @@ void AdCacheStore::MultiGet(const ReadOptions& options, size_t n,
           admits++;
         }
       }
+      ADCACHE_PERF_COUNTER_ADD(admission_admit_count, admits);
+      stats_->RecordTick(kTickerPointAdmits, admits);
+      stats_->RecordTick(kTickerPointRejects, found.size() - admits);
     }
     // Stage 4: scatter results back to the caller's arrays.
     for (size_t j = 0; j < miss_idx.size(); j++) {
@@ -226,15 +263,18 @@ void AdCacheStore::MultiGet(const ReadOptions& options, size_t n,
     }
   }
   // One sharded-counter add per counter for the whole batch.
-  stats_.RecordPointLookups(n, range_hits);
-  stats_.RecordPointAdmits(admits);
+  window_stats_.RecordPointLookups(n, range_hits);
+  window_stats_.RecordPointAdmits(admits);
   MaybeEndWindow();
 }
 
 Status AdCacheStore::Scan(const ReadOptions& options, const Slice& start,
                           size_t n, std::vector<KvPair>* results) {
+  LatencyTimer timer(stats_.get(), kHistScanMicros);
+  stats_->RecordTick(kTickerScans);
   if (cache_->range_cache()->GetScan(start, n, results)) {
-    stats_.RecordScan(results->size(), /*range_cache_hit=*/true);
+    stats_->RecordTick(kTickerScanKeysRead, results->size());
+    window_stats_.RecordScan(results->size(), /*range_cache_hit=*/true);
     MaybeEndWindow();
     return Status::OK();
   }
@@ -260,28 +300,58 @@ Status AdCacheStore::Scan(const ReadOptions& options, const Slice& start,
             : results->size();
     if (admit > 0) {
       cache_->range_cache()->PutScan(start, *results, admit);
-      stats_.RecordScanAdmit(admit);
+      window_stats_.RecordScanAdmit(admit);
+      stats_->RecordTick(kTickerScanAdmits, admit);
     }
   }
-  stats_.RecordScan(results->size(), /*range_cache_hit=*/false);
+  stats_->RecordTick(kTickerScanKeysRead, results->size());
+  window_stats_.RecordScan(results->size(), /*range_cache_hit=*/false);
   MaybeEndWindow();
   return s;
 }
 
+void AdCacheStore::SyncComponentTickers() const {
+  // At kDisabled every RecordTick is dropped; leave the bases untouched so
+  // the deltas are folded in once the registry is re-enabled.
+  if (stats_->stats_level() == StatsLevel::kDisabled) return;
+  Statistics* stats = stats_.get();
+  auto fold = [stats](std::atomic<uint64_t>& base, uint64_t current,
+                      Ticker ticker) {
+    // exchange() serialises concurrent folders: each sees a distinct
+    // [prev, current) interval, so the deltas sum to the source counter.
+    uint64_t prev = base.exchange(current, std::memory_order_relaxed);
+    if (current > prev) stats->RecordTick(ticker, current - prev);
+  };
+  fold(mirror_.block_reads, db_->env()->io_stats()->block_reads.load(),
+       kTickerBlockReads);
+  fold(mirror_.block_cache_hits, cache_->block_cache()->hits(),
+       kTickerBlockCacheHits);
+  fold(mirror_.block_cache_misses, cache_->block_cache()->misses(),
+       kTickerBlockCacheMisses);
+  fold(mirror_.range_hits, cache_->range_cache()->hits(),
+       kTickerRangeCacheHits);
+  fold(mirror_.range_misses, cache_->range_cache()->misses(),
+       kTickerRangeCacheMisses);
+}
+
 CacheStatsSnapshot AdCacheStore::GetCacheStats() const {
+  // Thin view over the Statistics registry (see the contract on the struct):
+  // component counters are folded into their registry tickers first, then
+  // everything is read back out of the registry.
+  SyncComponentTickers();
   CacheStatsSnapshot snap;
-  snap.block_reads = db_->env()->io_stats()->block_reads.load();
-  snap.range_hits = cache_->range_cache()->hits();
-  snap.range_misses = cache_->range_cache()->misses();
-  snap.block_cache_hits = cache_->block_cache()->hits();
-  snap.block_cache_misses = cache_->block_cache()->misses();
+  snap.block_reads = stats_->GetTickerCount(kTickerBlockReads);
+  snap.range_hits = stats_->GetTickerCount(kTickerRangeCacheHits);
+  snap.range_misses = stats_->GetTickerCount(kTickerRangeCacheMisses);
+  snap.block_cache_hits = stats_->GetTickerCount(kTickerBlockCacheHits);
+  snap.block_cache_misses = stats_->GetTickerCount(kTickerBlockCacheMisses);
   snap.cache_usage = cache_->RangeUsage() + cache_->BlockUsage();
   snap.cache_capacity = cache_->total_budget();
-  snap.range_ratio = cache_->range_ratio();
-  snap.point_threshold = point_admission_.threshold();
-  snap.scan_a = scan_admission_.a();
-  snap.scan_b = scan_admission_.b();
-  snap.smoothed_hit_rate = controller_->smoothed_hit_rate();
+  snap.range_ratio = stats_->GetGauge(kGaugeRangeRatio);
+  snap.point_threshold = stats_->GetGauge(kGaugePointThreshold);
+  snap.scan_a = stats_->GetGauge(kGaugeScanA);
+  snap.scan_b = stats_->GetGauge(kGaugeScanB);
+  snap.smoothed_hit_rate = stats_->GetGauge(kGaugeSmoothedHitRate);
   return snap;
 }
 

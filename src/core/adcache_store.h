@@ -28,6 +28,13 @@ struct AdCacheOptions {
   double scan_admission_max_a = 64.0;
   /// Optional serialised agent (from PolicyController::SaveModel).
   std::string pretrained_model;
+  /// How much the store's Statistics registry records (tickers default on,
+  /// op-latency timers default off; see core/statistics.h).
+  StatsLevel stats_level = StatsLevel::kExceptTimers;
+  /// Listeners receiving both DB events (flush/compaction/stall) and
+  /// controller events (RL action, cache boundary move). Appended to any
+  /// lsm::Options::listeners passed to Open.
+  std::vector<std::shared_ptr<EventListener>> listeners;
 };
 
 /// AdCache: the paper's full system. An LSM-tree KV store whose cache layer
@@ -43,8 +50,9 @@ class AdCacheStore : public KvStore {
                      const std::string& dbname,
                      std::unique_ptr<AdCacheStore>* store);
 
-  Status Put(const Slice& key, const Slice& value) override;
-  Status Delete(const Slice& key) override;
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
   Status Get(const ReadOptions& options, const Slice& key,
              PinnableSlice* value) override;
   Status Scan(const ReadOptions& options, const Slice& start, size_t n,
@@ -54,8 +62,10 @@ class AdCacheStore : public KvStore {
   /// admission decisions and one sharded-counter add per stats counter.
   void MultiGet(const ReadOptions& options, size_t n, const Slice* keys,
                 PinnableSlice* values, Status* statuses) override;
+  using KvStore::Delete;
   using KvStore::Get;
   using KvStore::MultiGet;
+  using KvStore::Put;
   using KvStore::Scan;
 
   CacheStatsSnapshot GetCacheStats() const override;
@@ -77,6 +87,11 @@ class AdCacheStore : public KvStore {
   void MaybeEndWindow();
   LsmShapeParams CurrentShape() const;
   StatsCollector::MaintenanceSample SampleMaintenance() const;
+  /// Folds the component-owned counters (block/range cache hit-miss, env
+  /// block reads) into the Statistics registry as deltas since the last
+  /// sync, so registry tickers stay authoritative without touching the
+  /// components' hot paths twice. Cold path (snapshot/dump time only).
+  void SyncComponentTickers() const;
 
   AdCacheOptions options_;
   std::unique_ptr<DynamicCacheComponent> cache_;
@@ -84,9 +99,26 @@ class AdCacheStore : public KvStore {
   ScanAdmissionController scan_admission_;
   std::unique_ptr<PolicyController> controller_;
   std::unique_ptr<lsm::DB> db_;
-  StatsCollector stats_;
+  /// Per-window RL state collector (distinct from the base-class stats_
+  /// registry, which is the long-lived telemetry surface).
+  StatsCollector window_stats_;
+  /// Folds DB maintenance events into stats_; installed on the DB only —
+  /// the controller feeds the registry directly via SetStatistics, so
+  /// wiring the bridge there too would double-count RL actions.
+  std::shared_ptr<StatisticsEventListener> stats_bridge_;
   std::atomic<uint64_t> next_window_at_;
   std::mutex window_mu_;
+
+  /// Last component-counter values already folded into the registry
+  /// (SyncComponentTickers); relaxed atomics, monotone.
+  struct MirrorBase {
+    std::atomic<uint64_t> block_reads{0};
+    std::atomic<uint64_t> block_cache_hits{0};
+    std::atomic<uint64_t> block_cache_misses{0};
+    std::atomic<uint64_t> range_hits{0};
+    std::atomic<uint64_t> range_misses{0};
+  };
+  mutable MirrorBase mirror_;
 };
 
 }  // namespace adcache::core

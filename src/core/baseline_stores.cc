@@ -21,12 +21,13 @@ Status BlockOnlyStore::Open(size_t cache_budget,
   return Status::OK();
 }
 
-Status BlockOnlyStore::Put(const Slice& key, const Slice& value) {
-  return db_->Put(lsm::WriteOptions(), key, value);
+Status BlockOnlyStore::Put(const WriteOptions& options, const Slice& key,
+                           const Slice& value) {
+  return db_->Put(options, key, value);
 }
 
-Status BlockOnlyStore::Delete(const Slice& key) {
-  return db_->Delete(lsm::WriteOptions(), key);
+Status BlockOnlyStore::Delete(const WriteOptions& options, const Slice& key) {
+  return db_->Delete(options, key);
 }
 
 Status BlockOnlyStore::Get(const ReadOptions& options, const Slice& key,
@@ -71,14 +72,15 @@ Status KvCacheStore::Open(size_t cache_budget, const lsm::Options& lsm_options,
   return Status::OK();
 }
 
-Status KvCacheStore::Put(const Slice& key, const Slice& value) {
-  Status s = db_->Put(lsm::WriteOptions(), key, value);
+Status KvCacheStore::Put(const WriteOptions& options, const Slice& key,
+                         const Slice& value) {
+  Status s = db_->Put(options, key, value);
   if (s.ok()) kv_cache_.Erase(key);  // invalidate stale row
   return s;
 }
 
-Status KvCacheStore::Delete(const Slice& key) {
-  Status s = db_->Delete(lsm::WriteOptions(), key);
+Status KvCacheStore::Delete(const WriteOptions& options, const Slice& key) {
+  Status s = db_->Delete(options, key);
   if (s.ok()) kv_cache_.Erase(key);
   return s;
 }
@@ -163,14 +165,15 @@ Status RangeCacheStore::Open(size_t cache_budget,
   return Status::OK();
 }
 
-Status RangeCacheStore::Put(const Slice& key, const Slice& value) {
-  Status s = db_->Put(lsm::WriteOptions(), key, value);
+Status RangeCacheStore::Put(const WriteOptions& options, const Slice& key,
+                            const Slice& value) {
+  Status s = db_->Put(options, key, value);
   if (s.ok()) range_cache_.InvalidateWrite(key, value);
   return s;
 }
 
-Status RangeCacheStore::Delete(const Slice& key) {
-  Status s = db_->Delete(lsm::WriteOptions(), key);
+Status RangeCacheStore::Delete(const WriteOptions& options, const Slice& key) {
+  Status s = db_->Delete(options, key);
   if (s.ok()) range_cache_.InvalidateDelete(key);
   return s;
 }

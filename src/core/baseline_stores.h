@@ -21,16 +21,19 @@ class BlockOnlyStore : public KvStore {
                      std::unique_ptr<BlockOnlyStore>* store,
                      const char* name = "block");
 
-  Status Put(const Slice& key, const Slice& value) override;
-  Status Delete(const Slice& key) override;
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
   Status Get(const ReadOptions& options, const Slice& key,
              PinnableSlice* value) override;
   Status Scan(const ReadOptions& options, const Slice& start, size_t n,
               std::vector<KvPair>* results) override;
   void MultiGet(const ReadOptions& options, size_t n, const Slice* keys,
                 PinnableSlice* values, Status* statuses) override;
+  using KvStore::Delete;
   using KvStore::Get;
   using KvStore::MultiGet;
+  using KvStore::Put;
   using KvStore::Scan;
   CacheStatsSnapshot GetCacheStats() const override;
   lsm::DB* db() override { return db_.get(); }
@@ -53,16 +56,19 @@ class KvCacheStore : public KvStore {
                      const std::string& dbname,
                      std::unique_ptr<KvCacheStore>* store);
 
-  Status Put(const Slice& key, const Slice& value) override;
-  Status Delete(const Slice& key) override;
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
   Status Get(const ReadOptions& options, const Slice& key,
              PinnableSlice* value) override;
   Status Scan(const ReadOptions& options, const Slice& start, size_t n,
               std::vector<KvPair>* results) override;
   void MultiGet(const ReadOptions& options, size_t n, const Slice* keys,
                 PinnableSlice* values, Status* statuses) override;
+  using KvStore::Delete;
   using KvStore::Get;
   using KvStore::MultiGet;
+  using KvStore::Put;
   using KvStore::Scan;
   CacheStatsSnapshot GetCacheStats() const override;
   lsm::DB* db() override { return db_.get(); }
@@ -86,16 +92,19 @@ class RangeCacheStore : public KvStore {
                      const std::string& dbname,
                      std::unique_ptr<RangeCacheStore>* store);
 
-  Status Put(const Slice& key, const Slice& value) override;
-  Status Delete(const Slice& key) override;
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
   Status Get(const ReadOptions& options, const Slice& key,
              PinnableSlice* value) override;
   Status Scan(const ReadOptions& options, const Slice& start, size_t n,
               std::vector<KvPair>* results) override;
   void MultiGet(const ReadOptions& options, size_t n, const Slice* keys,
                 PinnableSlice* values, Status* statuses) override;
+  using KvStore::Delete;
   using KvStore::Get;
   using KvStore::MultiGet;
+  using KvStore::Put;
   using KvStore::Scan;
   CacheStatsSnapshot GetCacheStats() const override;
   lsm::DB* db() override { return db_.get(); }

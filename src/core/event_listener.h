@@ -1,0 +1,105 @@
+#ifndef ADCACHE_CORE_EVENT_LISTENER_H_
+#define ADCACHE_CORE_EVENT_LISTENER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace adcache::core {
+
+/// Payload for flush begin/end callbacks.
+struct FlushJobInfo {
+  uint64_t file_number = 0;    // L0 file produced (0 at begin time)
+  uint64_t num_entries = 0;    // entries in the immutable memtable
+  uint64_t file_size = 0;      // bytes written (0 at begin time)
+  uint64_t duration_micros = 0;  // wall time of the job (0 at begin time)
+  int num_imm_remaining = 0;   // immutable memtables still queued after
+};
+
+/// Payload for compaction begin/end callbacks.
+struct CompactionJobInfo {
+  int input_level = 0;
+  int output_level = 0;
+  int num_input_files = 0;
+  int num_output_files = 0;     // 0 at begin time
+  uint64_t input_bytes = 0;
+  uint64_t output_bytes = 0;    // 0 at begin time
+  uint64_t duration_micros = 0;  // 0 at begin time
+};
+
+/// Write-throttling state of the DB write path.
+enum class WriteStallCondition : int {
+  kNormal = 0,    // writes proceed unthrottled
+  kDelayed = 1,   // L0 slowdown trigger reached; writes take a one-shot delay
+  kStopped = 2,   // hard limit reached; writes block until flush/compaction
+};
+
+struct WriteStallInfo {
+  WriteStallCondition condition = WriteStallCondition::kNormal;
+  WriteStallCondition prev_condition = WriteStallCondition::kNormal;
+};
+
+/// Payload for a block/range cache boundary move (paper §4.4: the dynamic
+/// partition between the block cache and the range cache).
+struct CacheBoundaryMoveInfo {
+  double old_range_ratio = 0.0;
+  double new_range_ratio = 0.0;
+  uint64_t total_budget_bytes = 0;
+  uint64_t new_range_capacity_bytes = 0;
+  uint64_t new_block_capacity_bytes = 0;
+};
+
+/// Payload for one RL agent decision at a window boundary: the full
+/// old -> new control state plus the reward that drove it. One of these per
+/// PolicyController::OnWindowEnd makes the agent's trajectory inspectable.
+struct RlActionInfo {
+  uint64_t window_index = 0;      // how many windows the controller has seen
+  double reward = 0.0;            // reward fed to the agent for this step
+  double smoothed_hit_rate = 0.0; // EWMA h_est after this window
+  double old_range_ratio = 0.0;
+  double new_range_ratio = 0.0;
+  double old_point_threshold = 0.0;
+  double new_point_threshold = 0.0;
+  double old_scan_a = 0.0;
+  double new_scan_a = 0.0;
+  double old_scan_b = 0.0;
+  double new_scan_b = 0.0;
+};
+
+/// Callback interface for store/DB lifecycle events, modeled on RocksDB's
+/// EventListener. Register listeners via lsm::Options::listeners (DB-level
+/// events) or core::AdCacheOptions::listeners (DB events plus RL/cache
+/// events).
+///
+/// Threading contract: callbacks fire synchronously on whichever thread
+/// produced the event — background maintenance threads for flush/compaction,
+/// a writer thread for stall transitions (sometimes with internal locks
+/// held), the window-closing reader/writer thread for RL actions. Callbacks
+/// must therefore be fast, must not block, and must never call back into the
+/// DB or store that fired them.
+///
+/// This header is intentionally self-contained (no lsm/core includes) so the
+/// lsm layer can fire events without linking against core.
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+
+  virtual void OnFlushBegin(const FlushJobInfo& /*info*/) {}
+  virtual void OnFlushCompleted(const FlushJobInfo& /*info*/) {}
+
+  virtual void OnCompactionBegin(const CompactionJobInfo& /*info*/) {}
+  virtual void OnCompactionCompleted(const CompactionJobInfo& /*info*/) {}
+
+  /// Fired on every write-throttling state change (kNormal <-> kDelayed
+  /// <-> kStopped). May be invoked with the DB mutex held.
+  virtual void OnWriteStallChange(const WriteStallInfo& /*info*/) {}
+
+  /// Fired when the block/range cache boundary actually moves.
+  virtual void OnCacheBoundaryMove(const CacheBoundaryMoveInfo& /*info*/) {}
+
+  /// Fired once per controller window, after the action was applied.
+  virtual void OnRlAction(const RlActionInfo& /*info*/) {}
+};
+
+}  // namespace adcache::core
+
+#endif  // ADCACHE_CORE_EVENT_LISTENER_H_

@@ -2,10 +2,12 @@
 #define ADCACHE_CORE_KV_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/range_cache.h"
+#include "core/statistics.h"
 #include "lsm/db.h"
 #include "util/pinnable_slice.h"
 #include "util/slice.h"
@@ -16,15 +18,24 @@ namespace adcache::core {
 /// Point-in-time cache/IO telemetry for a store. Counters are cumulative;
 /// benchmark harnesses diff successive snapshots.
 ///
-/// Consistency contract: every counter is individually monotonic, but a
-/// snapshot is gathered field by field — across sharded per-thread counters —
-/// with no global lock while worker threads keep running. Fields are
-/// therefore NOT mutually consistent: a lookup racing the snapshot may have
-/// bumped block_cache_misses while its block_reads increment is not yet
-/// visible, and a sharded counter read mid-batch can lag a sibling field by
-/// a whole batch. Consumers must difference successive snapshots per field
-/// (use CounterDelta below, which tolerates such torn reads) and treat
-/// cross-field ratios within one snapshot as approximate.
+/// This struct is a *compatibility view*: the authoritative registry is the
+/// store's Statistics object (tickers for the counters, named gauges for
+/// the control state — see core/statistics.h), and GetCacheStats() is free
+/// to assemble the snapshot from either the registry or the underlying
+/// components.
+///
+/// Consistency contract (THE torn-read contract — referenced by Statistics
+/// and the component counters alike): every counter is individually
+/// monotonic, but a snapshot is gathered field by field — across sharded
+/// per-thread counters — with no global lock while worker threads keep
+/// running. Fields are therefore NOT mutually consistent: a lookup racing
+/// the snapshot may have bumped block_cache_misses while its block_reads
+/// increment is not yet visible, and a sharded counter read mid-batch can
+/// lag a sibling field by a whole batch. The control-state doubles are
+/// last-value-wins gauge reads and may reflect a window boundary that the
+/// counters have not caught up with. Consumers must difference successive
+/// snapshots per field (use CounterDelta below, which tolerates such torn
+/// reads) and treat cross-field ratios within one snapshot as approximate.
 struct CacheStatsSnapshot {
   uint64_t block_reads = 0;  // SST block reads that hit storage (IO_miss)
   uint64_t range_hits = 0;
@@ -35,7 +46,8 @@ struct CacheStatsSnapshot {
   uint64_t kv_misses = 0;
   size_t cache_usage = 0;
   size_t cache_capacity = 0;
-  // AdCache control state (identity values for baselines).
+  // AdCache control state, mirrored from the Statistics gauges
+  // (kGaugeRangeRatio etc.). Identity values for baselines.
   double range_ratio = 0;
   double point_threshold = 0;
   double scan_a = 0;
@@ -55,20 +67,27 @@ inline uint64_t CounterDelta(uint64_t later, uint64_t earlier) {
 /// §5.1): RocksDB block cache, KV cache, Range Cache (LRU / LeCaR /
 /// Cacheus) and AdCache.
 ///
-/// Reads take a ReadOptions (snapshot / cache-fill / checksum knobs,
-/// shared with the lsm layer) and return values through PinnableSlice, so
-/// a block-cache or memtable hit hands the caller a pinned pointer instead
-/// of a copy. Thin copying / default-options overloads are provided for
-/// convenience; implementations should add `using KvStore::Get;` (etc.) so
-/// the overloads stay visible on concrete store types.
+/// Reads take a ReadOptions (snapshot / cache-fill / checksum knobs) and
+/// writes a WriteOptions (sync / disable_wal), both shared with the lsm
+/// layer, and reads return values through PinnableSlice, so a block-cache
+/// or memtable hit hands the caller a pinned pointer instead of a copy.
+/// Thin copying / default-options overloads are provided for convenience;
+/// implementations should add `using KvStore::Get;` (and Put/Delete/Scan/
+/// MultiGet) so the overloads stay visible on concrete store types.
+///
+/// Every store owns a Statistics registry (statistics()): op tickers and
+/// latency histograms recorded at this API boundary, maintenance events fed
+/// through the listener bridge, and the AdCache control-state gauges.
 class KvStore {
  public:
   using ReadOptions = lsm::ReadOptions;
+  using WriteOptions = lsm::WriteOptions;
 
   virtual ~KvStore() = default;
 
-  virtual Status Put(const Slice& key, const Slice& value) = 0;
-  virtual Status Delete(const Slice& key) = 0;
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value) = 0;
+  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
   /// NotFound if absent. On OK, `value` pins the bytes' owner (block-cache
   /// handle, memtable SuperVersion, or an internal copy).
   virtual Status Get(const ReadOptions& options, const Slice& key,
@@ -87,6 +106,10 @@ class KvStore {
                         Status* statuses) = 0;
 
   // ---- thin convenience overloads (copying / default options) ----
+  Status Put(const Slice& key, const Slice& value) {
+    return Put(WriteOptions(), key, value);
+  }
+  Status Delete(const Slice& key) { return Delete(WriteOptions(), key); }
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value) {
     PinnableSlice pinned;
@@ -111,6 +134,14 @@ class KvStore {
   virtual CacheStatsSnapshot GetCacheStats() const = 0;
   virtual lsm::DB* db() = 0;
   virtual const char* Name() const = 0;
+
+  /// The store's metrics registry. Never null; stays valid for the store's
+  /// lifetime. Level defaults to StatsLevel::kExceptTimers (tickers on,
+  /// latency timers off).
+  Statistics* statistics() const { return stats_.get(); }
+
+ protected:
+  std::shared_ptr<Statistics> stats_ = std::make_shared<Statistics>();
 };
 
 /// Reads up to `n` user-visible entries from the DB starting at `start`.
@@ -118,16 +149,6 @@ class KvStore {
 Status ScanThroughDb(lsm::DB* db, const lsm::ReadOptions& read_options,
                      const Slice& start, size_t n,
                      std::vector<KvPair>* results);
-
-/// Old name for ScanThroughDb. Callers should go through
-/// KvStore::Scan(const ReadOptions&, ...), which carries the same knobs
-/// per store.
-[[deprecated("use KvStore::Scan(const ReadOptions&, ...) or ScanThroughDb")]]
-inline Status ScanFromDb(lsm::DB* db, const lsm::ReadOptions& read_options,
-                         const Slice& start, size_t n,
-                         std::vector<KvPair>* results) {
-  return ScanThroughDb(db, read_options, start, n, results);
-}
 
 }  // namespace adcache::core
 

@@ -92,7 +92,50 @@ void PolicyController::OnWindowEnd(const WindowStats& window,
   // The action computed now governs the *next* window (paper §4.2: control
   // is one window behind the latest statistics).
   std::vector<float> action = agent_->Act(state, options_.online_learning);
+
+  RlActionInfo info;
+  info.window_index = windows_;
+  info.reward = last_reward_;
+  info.smoothed_hit_rate = h_smoothed_;
+  info.old_range_ratio = cache_->range_ratio();
+  info.old_point_threshold = point_admission_->threshold();
+  info.old_scan_a = scan_admission_->a();
+  info.old_scan_b = scan_admission_->b();
+
   ApplyAction(action);
+
+  info.new_range_ratio = cache_->range_ratio();
+  info.new_point_threshold = point_admission_->threshold();
+  info.new_scan_a = scan_admission_->a();
+  info.new_scan_b = scan_admission_->b();
+
+  if (statistics_ != nullptr) {
+    statistics_->RecordTick(kTickerRlActions);
+    statistics_->SetGauge(kGaugeRangeRatio, info.new_range_ratio);
+    statistics_->SetGauge(kGaugePointThreshold, info.new_point_threshold);
+    statistics_->SetGauge(kGaugeScanA, info.new_scan_a);
+    statistics_->SetGauge(kGaugeScanB, info.new_scan_b);
+    statistics_->SetGauge(kGaugeSmoothedHitRate, info.smoothed_hit_rate);
+  }
+  // Listeners run with mu_ held: the trace stays ordered by window and the
+  // payload matches the state that was just applied.
+  for (const auto& listener : listeners_) {
+    listener->OnRlAction(info);
+  }
+  if (info.new_range_ratio != info.old_range_ratio) {
+    CacheBoundaryMoveInfo move;
+    move.old_range_ratio = info.old_range_ratio;
+    move.new_range_ratio = info.new_range_ratio;
+    move.total_budget_bytes = cache_->total_budget();
+    move.new_range_capacity_bytes = cache_->range_cache()->GetCapacity();
+    move.new_block_capacity_bytes = cache_->block_cache()->GetCapacity();
+    if (statistics_ != nullptr) {
+      statistics_->RecordTick(kTickerCacheBoundaryMoves);
+    }
+    for (const auto& listener : listeners_) {
+      listener->OnCacheBoundaryMove(move);
+    }
+  }
 
   prev_state_ = std::move(state);
   prev_action_ = std::move(action);

@@ -8,7 +8,9 @@
 
 #include "core/admission.h"
 #include "core/dynamic_cache.h"
+#include "core/event_listener.h"
 #include "core/io_estimator.h"
+#include "core/statistics.h"
 #include "core/stats_collector.h"
 #include "rl/actor_critic.h"
 
@@ -53,6 +55,17 @@ class PolicyController {
   /// Runs one tuning step. Thread-safe (serialised internally).
   void OnWindowEnd(const WindowStats& window, const LsmShapeParams& shape);
 
+  /// Registers a listener for OnRlAction / OnCacheBoundaryMove. Callbacks
+  /// fire synchronously inside OnWindowEnd (controller mutex held); see the
+  /// contract in core/event_listener.h. Not thread-safe against concurrent
+  /// OnWindowEnd — register before serving traffic.
+  void AddListener(std::shared_ptr<EventListener> listener) {
+    listeners_.push_back(std::move(listener));
+  }
+  /// Registry receiving the control-state gauges and the RL-action ticker
+  /// (in addition to any StatisticsEventListener bridge). May be null.
+  void SetStatistics(Statistics* statistics) { statistics_ = statistics; }
+
   double smoothed_hit_rate() const { return h_smoothed_; }
   double last_reward() const { return last_reward_; }
   uint64_t windows_processed() const { return windows_; }
@@ -86,6 +99,8 @@ class PolicyController {
   PointAdmissionController* point_admission_;
   ScanAdmissionController* scan_admission_;
   std::unique_ptr<rl::ActorCriticAgent> agent_;
+  std::vector<std::shared_ptr<EventListener>> listeners_;
+  Statistics* statistics_ = nullptr;
 
   mutable std::mutex mu_;
   bool have_prev_ = false;

@@ -1,0 +1,198 @@
+#include "core/statistics.h"
+
+#include <sstream>
+
+namespace adcache::core {
+
+namespace {
+
+const char* const kTickerNames[kTickerCount] = {
+    "adcache.point.lookups",        // kTickerPointLookups
+    "adcache.multiget.keys",        // kTickerMultiGetKeys
+    "adcache.scans",                // kTickerScans
+    "adcache.scan.keys.read",       // kTickerScanKeysRead
+    "adcache.writes",               // kTickerWrites
+    "adcache.rangecache.hits",      // kTickerRangeCacheHits
+    "adcache.rangecache.misses",    // kTickerRangeCacheMisses
+    "adcache.blockcache.hits",      // kTickerBlockCacheHits
+    "adcache.blockcache.misses",    // kTickerBlockCacheMisses
+    "adcache.block.reads",          // kTickerBlockReads
+    "adcache.admission.point.admits",   // kTickerPointAdmits
+    "adcache.admission.point.rejects",  // kTickerPointRejects
+    "adcache.admission.scan.admits",    // kTickerScanAdmits
+    "adcache.flushes",              // kTickerFlushes
+    "adcache.compactions",          // kTickerCompactions
+    "adcache.wal.syncs",            // kTickerWalSyncs
+    "adcache.write.stalls",         // kTickerWriteStalls
+    "adcache.write.stall.micros",   // kTickerStallMicros
+    "adcache.rl.actions",           // kTickerRlActions
+    "adcache.cache.boundary.moves", // kTickerCacheBoundaryMoves
+};
+
+const char* const kHistogramNames[kHistCount] = {
+    "adcache.get.micros",        // kHistGetMicros
+    "adcache.multiget.micros",   // kHistMultiGetMicros
+    "adcache.scan.micros",       // kHistScanMicros
+    "adcache.put.micros",        // kHistPutMicros
+    "adcache.flush.micros",      // kHistFlushMicros
+    "adcache.compaction.micros", // kHistCompactionMicros
+};
+
+const char* const kGaugeNames[kGaugeCount] = {
+    "adcache.gauge.range_ratio",       // kGaugeRangeRatio
+    "adcache.gauge.point_threshold",   // kGaugePointThreshold
+    "adcache.gauge.scan_a",            // kGaugeScanA
+    "adcache.gauge.scan_b",            // kGaugeScanB
+    "adcache.gauge.smoothed_hit_rate", // kGaugeSmoothedHitRate
+};
+
+void AppendJsonNumber(std::ostringstream& out, double v) {
+  // JSON has no inf/nan; clamp to null.
+  if (v != v || v > 1e300 || v < -1e300) {
+    out << "null";
+    return;
+  }
+  out << v;
+}
+
+}  // namespace
+
+void Statistics::RecordLatency(HistogramKind kind, uint64_t micros) {
+  if (level_.load(std::memory_order_relaxed) <=
+      static_cast<int>(StatsLevel::kDisabled)) {
+    return;
+  }
+  HistShard& shard = histograms_[kind][ThreadHistShard()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.histogram.Add(micros);
+}
+
+HistogramSnapshot MakeHistogramSnapshot(const Histogram& histogram) {
+  HistogramSnapshot snap;
+  snap.count = histogram.num();
+  snap.min = histogram.min();
+  snap.max = histogram.max();
+  snap.average = histogram.Average();
+  snap.p50 = histogram.Percentile(50.0);
+  snap.p95 = histogram.Percentile(95.0);
+  snap.p99 = histogram.Percentile(99.0);
+  return snap;
+}
+
+HistogramSnapshot Statistics::GetHistogram(HistogramKind kind) const {
+  Histogram merged;
+  for (size_t s = 0; s < kHistShards; ++s) {
+    const HistShard& shard = histograms_[kind][s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    merged.Merge(shard.histogram);
+  }
+  return MakeHistogramSnapshot(merged);
+}
+
+void Statistics::Reset() {
+  for (uint32_t t = 0; t < kTickerCount; ++t) {
+    tickers_[t].Reset();
+  }
+  for (uint32_t h = 0; h < kHistCount; ++h) {
+    for (size_t s = 0; s < kHistShards; ++s) {
+      HistShard& shard = histograms_[h][s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.histogram.Clear();
+    }
+  }
+}
+
+std::string Statistics::ToString() const {
+  std::ostringstream out;
+  for (uint32_t t = 0; t < kTickerCount; ++t) {
+    uint64_t v = GetTickerCount(static_cast<Ticker>(t));
+    if (v != 0) out << kTickerNames[t] << " COUNT : " << v << "\n";
+  }
+  for (uint32_t h = 0; h < kHistCount; ++h) {
+    HistogramSnapshot s = GetHistogram(static_cast<HistogramKind>(h));
+    if (s.count == 0) continue;
+    out << kHistogramNames[h] << " COUNT : " << s.count
+        << " AVG : " << s.average << " P50 : " << s.p50 << " P95 : " << s.p95
+        << " P99 : " << s.p99 << " MAX : " << s.max << "\n";
+  }
+  for (uint32_t g = 0; g < kGaugeCount; ++g) {
+    out << kGaugeNames[g] << " : " << GetGauge(static_cast<Gauge>(g)) << "\n";
+  }
+  return out.str();
+}
+
+std::string Statistics::ToJson() const {
+  std::ostringstream out;
+  out << "{\"tickers\":{";
+  for (uint32_t t = 0; t < kTickerCount; ++t) {
+    if (t != 0) out << ",";
+    out << "\"" << kTickerNames[t]
+        << "\":" << GetTickerCount(static_cast<Ticker>(t));
+  }
+  out << "},\"histograms\":{";
+  for (uint32_t h = 0; h < kHistCount; ++h) {
+    HistogramSnapshot s = GetHistogram(static_cast<HistogramKind>(h));
+    if (h != 0) out << ",";
+    out << "\"" << kHistogramNames[h] << "\":{\"count\":" << s.count
+        << ",\"min\":" << s.min << ",\"max\":" << s.max << ",\"avg\":";
+    AppendJsonNumber(out, s.average);
+    out << ",\"p50\":";
+    AppendJsonNumber(out, s.p50);
+    out << ",\"p95\":";
+    AppendJsonNumber(out, s.p95);
+    out << ",\"p99\":";
+    AppendJsonNumber(out, s.p99);
+    out << "}";
+  }
+  out << "},\"gauges\":{";
+  for (uint32_t g = 0; g < kGaugeCount; ++g) {
+    if (g != 0) out << ",";
+    out << "\"" << kGaugeNames[g] << "\":";
+    AppendJsonNumber(out, GetGauge(static_cast<Gauge>(g)));
+  }
+  out << "}}";
+  return out.str();
+}
+
+const char* Statistics::TickerName(Ticker ticker) {
+  return kTickerNames[ticker];
+}
+const char* Statistics::HistogramName(HistogramKind kind) {
+  return kHistogramNames[kind];
+}
+const char* Statistics::GaugeName(Gauge gauge) { return kGaugeNames[gauge]; }
+
+PeriodicStatsDumper::PeriodicStatsDumper(Statistics* stats,
+                                         uint64_t interval_millis, Sink sink)
+    : stats_(stats),
+      interval_millis_(interval_millis == 0 ? 1 : interval_millis),
+      sink_(std::move(sink)) {
+  thread_ = std::thread([this] { Run(); });
+}
+
+PeriodicStatsDumper::~PeriodicStatsDumper() { Stop(); }
+
+void PeriodicStatsDumper::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeriodicStatsDumper::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_millis_),
+                 [this] { return stop_; });
+    // One dump per wakeup, including the final one on Stop(), so short-lived
+    // dumpers still emit at least one snapshot.
+    lock.unlock();
+    sink_(stats_->ToJson());
+    lock.lock();
+  }
+}
+
+}  // namespace adcache::core

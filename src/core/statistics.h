@@ -1,0 +1,276 @@
+#ifndef ADCACHE_CORE_STATISTICS_H_
+#define ADCACHE_CORE_STATISTICS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/event_listener.h"
+#include "util/histogram.h"
+#include "util/perf_context.h"
+#include "util/sharded_counter.h"
+
+namespace adcache::core {
+
+/// Named process-wide tickers. Cumulative, monotone, contention-free to
+/// record (one ShardedCounter each).
+enum Ticker : uint32_t {
+  kTickerPointLookups = 0,     // KvStore::Get calls
+  kTickerMultiGetKeys,         // keys looked up through MultiGet
+  kTickerScans,                // KvStore::Scan calls
+  kTickerScanKeysRead,         // keys returned by scans
+  kTickerWrites,               // KvStore::Put/Delete calls
+  kTickerRangeCacheHits,       // range-cache probes answered from cache
+  kTickerRangeCacheMisses,
+  kTickerBlockCacheHits,       // block-cache lookups that hit
+  kTickerBlockCacheMisses,
+  kTickerBlockReads,           // data blocks fetched from storage
+  kTickerPointAdmits,          // point misses admitted into the range cache
+  kTickerPointRejects,         // point misses rejected by admission control
+  kTickerScanAdmits,           // scans admitted into the range cache
+  kTickerFlushes,              // memtable flush jobs completed
+  kTickerCompactions,          // compaction jobs completed
+  kTickerWalSyncs,             // WAL fsync batches (one per sync write group)
+  kTickerWriteStalls,          // transitions into kDelayed or kStopped
+  kTickerStallMicros,          // wall micros writers spent delayed/stopped
+  kTickerRlActions,            // RL agent decisions applied
+  kTickerCacheBoundaryMoves,   // block/range boundary actually moved
+  kTickerCount
+};
+
+/// Latency histograms (values in microseconds).
+enum HistogramKind : uint32_t {
+  kHistGetMicros = 0,
+  kHistMultiGetMicros,  // one sample per batch
+  kHistScanMicros,
+  kHistPutMicros,
+  kHistFlushMicros,
+  kHistCompactionMicros,
+  kHistCount
+};
+
+/// Last-value-wins control-state gauges. These are the authoritative home
+/// of the AdCache control state exported to telemetry; CacheStatsSnapshot
+/// mirrors them as a compatibility view.
+enum Gauge : uint32_t {
+  kGaugeRangeRatio = 0,
+  kGaugePointThreshold,
+  kGaugeScanA,
+  kGaugeScanB,
+  kGaugeSmoothedHitRate,
+  kGaugeCount
+};
+
+/// How much the registry records.
+enum class StatsLevel : int {
+  kDisabled = 0,     // every Record* is a no-op
+  kExceptTimers = 1, // tickers + gauges on; latency timers skipped (default)
+  kAll = 2,          // everything, including clock reads for op latencies
+};
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double average = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes count/min/max/avg/p50/p95/p99 from a histogram. Shared by the
+/// registry and the workload runner's per-phase latency stats.
+HistogramSnapshot MakeHistogramSnapshot(const Histogram& histogram);
+
+/// Process/store-wide metrics registry: tickers (ShardedCounter-backed, so
+/// steady-state recording never bounces a shared cacheline), latency
+/// histograms (util::Histogram shards under short mutexes, merged on read),
+/// and control-state gauges (atomic doubles).
+///
+/// All Record* methods are thread-safe. Reads (GetTickerCount, histogram
+/// snapshots, ToJson) are racy-but-monotone the same way ShardedCounter is;
+/// see the torn-read contract on CacheStatsSnapshot in core/kv_store.h.
+class Statistics {
+ public:
+  Statistics() = default;
+  Statistics(const Statistics&) = delete;
+  Statistics& operator=(const Statistics&) = delete;
+
+  void SetStatsLevel(StatsLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  StatsLevel stats_level() const {
+    return static_cast<StatsLevel>(level_.load(std::memory_order_relaxed));
+  }
+  /// True when op-latency timers should read the clock and record.
+  bool TimersEnabled() const {
+    return level_.load(std::memory_order_relaxed) >=
+           static_cast<int>(StatsLevel::kAll);
+  }
+
+  void RecordTick(Ticker ticker, uint64_t count = 1) {
+    if (level_.load(std::memory_order_relaxed) >
+        static_cast<int>(StatsLevel::kDisabled)) {
+      tickers_[ticker].Add(count);
+    }
+  }
+  uint64_t GetTickerCount(Ticker ticker) const {
+    return tickers_[ticker].Load();
+  }
+
+  /// Records one latency sample. Gated only on kDisabled: cold-path callers
+  /// (flush/compaction jobs, the event-listener bridge) record directly;
+  /// hot-path callers go through LatencyTimer, which already refuses to
+  /// read the clock below kAll.
+  void RecordLatency(HistogramKind kind, uint64_t micros);
+  HistogramSnapshot GetHistogram(HistogramKind kind) const;
+
+  void SetGauge(Gauge gauge, double value) {
+    gauges_[gauge].store(PackDouble(value), std::memory_order_relaxed);
+  }
+  double GetGauge(Gauge gauge) const {
+    return UnpackDouble(gauges_[gauge].load(std::memory_order_relaxed));
+  }
+
+  /// Zeroes tickers and histograms (gauges keep their last value). Test
+  /// helper; concurrent recorders make the zero approximate.
+  void Reset();
+
+  /// Human-readable multi-line dump of nonzero tickers, histograms, gauges.
+  std::string ToString() const;
+  /// JSON object: {"tickers": {...}, "histograms": {...}, "gauges": {...}}.
+  std::string ToJson() const;
+
+  static const char* TickerName(Ticker ticker);
+  static const char* HistogramName(HistogramKind kind);
+  static const char* GaugeName(Gauge gauge);
+
+ private:
+  static uint64_t PackDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double UnpackDouble(uint64_t bits) {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  // Histogram shards mirror ShardedCounter's thread->slot assignment so
+  // concurrent recorders rarely share a mutex; readers merge all shards.
+  static constexpr size_t kHistShards = 4;
+  struct alignas(64) HistShard {
+    mutable std::mutex mu;
+    Histogram histogram;
+  };
+  static size_t ThreadHistShard() {
+    static std::atomic<size_t> next{0};
+    thread_local size_t shard =
+        next.fetch_add(1, std::memory_order_relaxed) & (kHistShards - 1);
+    return shard;
+  }
+
+  std::atomic<int> level_{static_cast<int>(StatsLevel::kExceptTimers)};
+  util::ShardedCounter tickers_[kTickerCount];
+  HistShard histograms_[kHistCount][kHistShards];
+  std::atomic<uint64_t> gauges_[kGaugeCount] = {};
+};
+
+/// RAII op-latency timer. Reads the clock only when `stats` is non-null and
+/// at StatsLevel::kAll — at the default level the constructor is a relaxed
+/// load and a branch.
+class LatencyTimer {
+ public:
+  LatencyTimer(Statistics* stats, HistogramKind kind)
+      : stats_(stats != nullptr && stats->TimersEnabled() ? stats : nullptr),
+        kind_(kind),
+        start_(stats_ != nullptr ? util::PerfNowMicros() : 0) {}
+  ~LatencyTimer() {
+    if (stats_ != nullptr) {
+      stats_->RecordLatency(kind_, util::PerfNowMicros() - start_);
+    }
+  }
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+ private:
+  Statistics* stats_;
+  HistogramKind kind_;
+  uint64_t start_;
+};
+
+/// EventListener that folds DB/controller events into a Statistics registry:
+/// flush/compaction tickers + duration histograms, stall transitions, RL
+/// actions, and the control-state gauges. AdCacheStore installs one
+/// automatically so the registry sees maintenance activity without the lsm
+/// layer linking against core.
+class StatisticsEventListener : public EventListener {
+ public:
+  explicit StatisticsEventListener(Statistics* stats) : stats_(stats) {}
+
+  void OnFlushCompleted(const FlushJobInfo& info) override {
+    stats_->RecordTick(kTickerFlushes);
+    stats_->RecordLatency(kHistFlushMicros, info.duration_micros);
+  }
+  void OnCompactionCompleted(const CompactionJobInfo& info) override {
+    stats_->RecordTick(kTickerCompactions);
+    stats_->RecordLatency(kHistCompactionMicros, info.duration_micros);
+  }
+  void OnWriteStallChange(const WriteStallInfo& info) override {
+    if (info.condition != WriteStallCondition::kNormal) {
+      stats_->RecordTick(kTickerWriteStalls);
+    }
+  }
+  void OnCacheBoundaryMove(const CacheBoundaryMoveInfo& info) override {
+    stats_->RecordTick(kTickerCacheBoundaryMoves);
+    stats_->SetGauge(kGaugeRangeRatio, info.new_range_ratio);
+  }
+  void OnRlAction(const RlActionInfo& info) override {
+    stats_->RecordTick(kTickerRlActions);
+    stats_->SetGauge(kGaugeRangeRatio, info.new_range_ratio);
+    stats_->SetGauge(kGaugePointThreshold, info.new_point_threshold);
+    stats_->SetGauge(kGaugeScanA, info.new_scan_a);
+    stats_->SetGauge(kGaugeScanB, info.new_scan_b);
+    stats_->SetGauge(kGaugeSmoothedHitRate, info.smoothed_hit_rate);
+  }
+
+ private:
+  Statistics* stats_;
+};
+
+/// Background thread that invokes `sink` with Statistics::ToJson() every
+/// `interval_millis` until destroyed (or Stop()). The default sink appends
+/// lines to the file at `path` passed to the convenience constructor.
+class PeriodicStatsDumper {
+ public:
+  using Sink = std::function<void(const std::string& json)>;
+
+  PeriodicStatsDumper(Statistics* stats, uint64_t interval_millis, Sink sink);
+  ~PeriodicStatsDumper();
+  PeriodicStatsDumper(const PeriodicStatsDumper&) = delete;
+  PeriodicStatsDumper& operator=(const PeriodicStatsDumper&) = delete;
+
+  /// Joins the thread after one final dump. Idempotent.
+  void Stop();
+
+ private:
+  void Run();
+
+  Statistics* stats_;
+  uint64_t interval_millis_;
+  Sink sink_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace adcache::core
+
+#endif  // ADCACHE_CORE_STATISTICS_H_

@@ -11,6 +11,7 @@
 #include "util/clock.h"
 #include "util/coding.h"
 #include "util/inline_buffer.h"
+#include "util/perf_context.h"
 
 namespace adcache::lsm {
 
@@ -414,6 +415,10 @@ std::vector<DB::Writer*> DB::BuildWriteGroup(Writer* leader) {
     Writer* w = *it;
     if (w->batch == nullptr) break;  // memtable-switch request: own turn
     if (w->sync && !leader->sync) break;  // don't demote a sync write
+    // One group is one WAL record carrying exactly the group's operations
+    // (recovery replays record-sized sequence runs), so WAL and no-WAL
+    // writers can never share a group.
+    if (w->disable_wal != leader->disable_wal) break;
     bytes += w->batch->ApproximateSize();
     if (bytes > max_bytes) break;
     group.push_back(w);
@@ -423,7 +428,8 @@ std::vector<DB::Writer*> DB::BuildWriteGroup(Writer* leader) {
 
 Status DB::WriteImpl(const WriteOptions& write_options,
                      const WriteBatch* batch) {
-  Writer w(batch, write_options.sync);
+  Writer w(batch, write_options.sync && !write_options.disable_wal,
+           write_options.disable_wal);
   std::unique_lock<std::mutex> l(mutex_);
   if (closed_ || shutting_down_) return Status::IOError("DB closed");
   writers_.push_back(&w);
@@ -457,12 +463,14 @@ Status DB::WriteImpl(const WriteOptions& write_options,
     // touches them, and the next leader cannot start until the group is
     // popped below.
     l.unlock();
-    if (options_.enable_wal) {
+    if (options_.enable_wal && !w.disable_wal) {
       std::string record;
       EncodeWalGroup(&record, first_seq, batches);
       s = wal->AddRecord(Slice(record));
       if (s.ok() && sync) {
+        ADCACHE_PERF_TIMER_GUARD(wal_sync_micros);
         s = wal->Sync();
+        ADCACHE_PERF_COUNTER_ADD(wal_sync_count, 1);
         maint_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -499,6 +507,18 @@ Status DB::WriteImpl(const WriteOptions& write_options,
   return s;
 }
 
+void DB::SetStallConditionLocked(core::WriteStallCondition condition) {
+  if (condition == stall_condition_) return;
+  core::WriteStallInfo info;
+  info.prev_condition = stall_condition_;
+  info.condition = condition;
+  stall_condition_ = condition;
+  // Listeners run with mutex_ held (the transition must be published
+  // atomically with the state change); the contract in event_listener.h
+  // requires them to be fast and re-entrancy free.
+  NotifyListeners([&](core::EventListener* l) { l->OnWriteStallChange(info); });
+}
+
 Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* l,
                             bool force_switch) {
   bool allow_delay = !force_switch;
@@ -517,6 +537,7 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* l,
         options_.slowdown_delay_micros > 0) {
       // Soft backpressure: delay this write once to let compaction gain
       // ground, instead of stalling for seconds at the stop trigger.
+      SetStallConditionLocked(core::WriteStallCondition::kDelayed);
       l->unlock();
       env_->clock()->Charge(options_.slowdown_delay_micros);
       std::this_thread::sleep_for(
@@ -524,14 +545,19 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* l,
       l->lock();
       allow_delay = false;
       maint_.slowdown_writes.fetch_add(1, std::memory_order_relaxed);
+      ADCACHE_PERF_COUNTER_ADD(write_delay_count, 1);
+      ADCACHE_PERF_COUNTER_ADD(write_stall_micros,
+                               options_.slowdown_delay_micros);
       continue;
     }
     if (!force_switch &&
         (mem_->num_entries() == 0 ||  // arena pre-allocation is not "full"
          mem_->ApproximateMemoryUsage() < options_.memtable_size)) {
+      SetStallConditionLocked(core::WriteStallCondition::kNormal);
       return Status::OK();  // room in the active memtable
     }
     if (force_switch && mem_->num_entries() == 0) {
+      SetStallConditionLocked(core::WriteStallCondition::kNormal);
       return Status::OK();  // nothing to switch out
     }
     bool imm_full = static_cast<int>(imm_.size()) >=
@@ -542,10 +568,13 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* l,
       MaybeScheduleMaintenance();
       if (bg_scheduled_ || !imm_.empty() ||
           VersionNeedsCompaction(*current_)) {
+        SetStallConditionLocked(core::WriteStallCondition::kStopped);
         uint64_t start = WallMicros();
         bg_work_done_cv_.wait(*l);
-        maint_.stall_micros.fetch_add(WallMicros() - start,
-                                      std::memory_order_relaxed);
+        uint64_t stalled = WallMicros() - start;
+        maint_.stall_micros.fetch_add(stalled, std::memory_order_relaxed);
+        ADCACHE_PERF_COUNTER_ADD(write_stall_count, 1);
+        ADCACHE_PERF_COUNTER_ADD(write_stall_micros, stalled);
         continue;
       }
       // No background work can make progress (misconfigured triggers or a
@@ -624,9 +653,16 @@ Status DB::FlushOldestImm(std::unique_lock<std::mutex>* l) {
   }
   uint64_t file_number = next_file_number_.fetch_add(1);
 
+  core::FlushJobInfo job;
+  job.file_number = file_number;
+  job.num_entries = imm->num_entries();
+  job.num_imm_remaining = static_cast<int>(imm_.size()) - 1;
+  const uint64_t flush_start = WallMicros();
+
   // Build the L0 table outside the lock: the immutable memtable is
   // read-only and pinned by the reference the imm_ list holds.
   l->unlock();
+  NotifyListeners([&](core::EventListener* el) { el->OnFlushBegin(job); });
   Status s;
   auto meta = std::make_shared<FileMetaData>();
   meta->number = file_number;
@@ -651,6 +687,7 @@ Status DB::FlushOldestImm(std::unique_lock<std::mutex>* l) {
   }
 
   // Install: new version with the file prepended to L0 (newest first).
+  job.file_size = meta->file_size;
   auto new_version = std::make_shared<Version>(options_.num_levels);
   l->lock();
   new_version->files_ = current_->files_;
@@ -658,10 +695,13 @@ Status DB::FlushOldestImm(std::unique_lock<std::mutex>* l) {
                                 std::move(meta));
   current_ = new_version;
   imm_.erase(imm_.begin());
+  job.num_imm_remaining = static_cast<int>(imm_.size());
   InstallSuperVersionLocked();
   maint_.flushes.fetch_add(1, std::memory_order_relaxed);
   l->unlock();
   imm->Unref();
+  job.duration_micros = WallMicros() - flush_start;
+  NotifyListeners([&](core::EventListener* el) { el->OnFlushCompleted(job); });
   s = WriteManifestSnapshot();
   if (s.ok()) RemoveObsoleteWals();
   l->lock();
@@ -799,6 +839,15 @@ bool DB::MaybeCompactOnce(Status* s) {
   base->GetOverlappingInputs(output_level, Slice(smallest_user),
                              Slice(largest_user), &inputs1);
 
+  core::CompactionJobInfo job;
+  job.input_level = input_level;
+  job.output_level = output_level;
+  job.num_input_files = static_cast<int>(inputs0.size() + inputs1.size());
+  for (const auto& f : inputs0) job.input_bytes += f->file_size;
+  for (const auto& f : inputs1) job.input_bytes += f->file_size;
+  const uint64_t compact_start = WallMicros();
+  NotifyListeners([&](core::EventListener* el) { el->OnCompactionBegin(job); });
+
   // Merge the inputs into new output-level files. Compaction reads bypass
   // the block cache and are excluded from the SST-read metric.
   ReadOptions compaction_reads;
@@ -934,6 +983,11 @@ bool DB::MaybeCompactOnce(Status* s) {
     InstallSuperVersionLocked();
   }
   maint_.compactions.fetch_add(1, std::memory_order_relaxed);
+  job.num_output_files = static_cast<int>(outputs.size());
+  for (const auto& f : outputs) job.output_bytes += f->file_size;
+  job.duration_micros = WallMicros() - compact_start;
+  NotifyListeners(
+      [&](core::EventListener* el) { el->OnCompactionCompleted(job); });
 
   // Leaper-style prefetch, step 2: warm the block cache with the output
   // blocks that cover the previously-hot key ranges.
@@ -1006,6 +1060,14 @@ bool DB::UniversalCompactOnce(Status* s) {
   FileList inputs(runs.begin(),
                   runs.begin() + static_cast<long>(pick));
   const bool full_merge = pick == runs.size();
+
+  core::CompactionJobInfo job;
+  job.input_level = 0;
+  job.output_level = 0;
+  job.num_input_files = static_cast<int>(inputs.size());
+  for (const auto& f : inputs) job.input_bytes += f->file_size;
+  const uint64_t compact_start = WallMicros();
+  NotifyListeners([&](core::EventListener* el) { el->OnCompactionBegin(job); });
 
   ReadOptions compaction_reads;
   compaction_reads.fill_block_cache = false;
@@ -1085,6 +1147,13 @@ bool DB::UniversalCompactOnce(Status* s) {
     InstallSuperVersionLocked();
   }
   maint_.compactions.fetch_add(1, std::memory_order_relaxed);
+  if (out_meta != nullptr) {
+    job.num_output_files = 1;
+    job.output_bytes = out_meta->file_size;
+  }
+  job.duration_micros = WallMicros() - compact_start;
+  NotifyListeners(
+      [&](core::EventListener* el) { el->OnCompactionCompleted(job); });
 
   for (const auto& f : inputs) {
     env_->RemoveFile(TableFileName(dbname_, f->number));
@@ -1218,7 +1287,9 @@ Status DB::GetImpl(const ReadOptions& read_options, const Slice& key,
   for (MemTable* mem : sv->mems) {  // newest data first
     Slice v;
     bool deleted = false;
+    ADCACHE_PERF_COUNTER_ADD(memtable_probe_count, 1);
     if (mem->Get(lkey, &v, &deleted)) {
+      ADCACHE_PERF_COUNTER_ADD(memtable_hit_count, 1);
       if (deleted) return Status::NotFound();
       // The value bytes live in the memtable's arena: pin the SuperVersion
       // (which pins the memtable) instead of copying them out.
@@ -1412,7 +1483,9 @@ void DB::MultiGet(const ReadOptions& read_options, size_t n,
       if (mem->num_entries() == 0) continue;
       Slice v;
       bool deleted = false;
+      ADCACHE_PERF_COUNTER_ADD(memtable_probe_count, 1);
       if (mem->Get(states[i].user_key, snapshot, &v, &deleted)) {
+        ADCACHE_PERF_COUNTER_ADD(memtable_hit_count, 1);
         if (deleted) {
           states[i].result = Table::LookupResult::kDeleted;
         } else {

@@ -144,9 +144,11 @@ class DB {
   /// One queued write. The queue leader commits a whole group and signals
   /// the followers; see DB::WriteImpl.
   struct Writer {
-    explicit Writer(const WriteBatch* b, bool s) : batch(b), sync(s) {}
+    Writer(const WriteBatch* b, bool s, bool dw)
+        : batch(b), sync(s), disable_wal(dw) {}
     const WriteBatch* batch;  // nullptr => memtable-switch request
     bool sync;
+    bool disable_wal;
     bool done = false;
     Status status;
     std::condition_variable cv;
@@ -196,6 +198,19 @@ class DB {
   uint64_t MaxBytesForLevel(int level) const;
   bool IsBaseLevelForKey(const Version& v, int output_level,
                          const Slice& user_key) const;
+
+  /// Invokes `fn(listener)` for every registered Options::listeners entry.
+  /// Listeners run synchronously on the calling thread; see the threading
+  /// contract in core/event_listener.h.
+  template <typename Fn>
+  void NotifyListeners(Fn&& fn) {
+    for (const auto& listener : options_.listeners) {
+      fn(listener.get());
+    }
+  }
+  /// Requires mutex_. Fires OnWriteStallChange when the write-throttling
+  /// state actually changes (listeners run with mutex_ held).
+  void SetStallConditionLocked(core::WriteStallCondition condition);
 
   // --- read state (SuperVersion) -------------------------------------------
   /// Requires mutex_. Captures {mem_, imm_, current_} into a fresh
@@ -285,6 +300,10 @@ class DB {
     std::atomic<uint64_t> slowdown_writes{0};
   };
   MaintenanceCounters maint_;
+
+  /// Current write-throttling state; guarded by mutex_.
+  core::WriteStallCondition stall_condition_ =
+      core::WriteStallCondition::kNormal;
 
   std::atomic<uint64_t> prefetched_blocks_{0};
   /// Round-robin pick per level; touched only by the (single-flight)

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "cache/cache.h"
+#include "core/event_listener.h"
 #include "util/env.h"
 
 namespace adcache::lsm {
@@ -101,6 +103,12 @@ struct Options {
   /// Charge this many CPU microseconds per key comparison batch in scans to
   /// the simulated clock (0 disables; only meaningful with a SimClock env).
   uint64_t cpu_charge_per_op_micros = 1;
+
+  /// Listeners for flush/compaction/write-stall events. Invoked
+  /// synchronously from maintenance and writer threads; see the threading
+  /// contract in core/event_listener.h (the header is layering-neutral, so
+  /// depending on it here does not pull in the core library).
+  std::vector<std::shared_ptr<core::EventListener>> listeners;
 };
 
 class Snapshot;
@@ -129,7 +137,13 @@ struct ReadOptions {
 };
 
 struct WriteOptions {
+  /// Fsync the WAL before acknowledging the write. Implied off when
+  /// `disable_wal` is set.
   bool sync = false;
+  /// Skip the write-ahead log for this write: the data lives only in the
+  /// memtable until the next flush, so it is lost if the process crashes
+  /// first. Group commit never mixes WAL and no-WAL writers in one group.
+  bool disable_wal = false;
 };
 
 }  // namespace adcache::lsm

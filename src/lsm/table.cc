@@ -4,6 +4,7 @@
 
 #include "util/coding.h"
 #include "util/inline_buffer.h"
+#include "util/perf_context.h"
 
 namespace adcache::lsm {
 
@@ -134,12 +135,14 @@ Table::BlockRef Table::ReadBlock(const ReadOptions& read_options,
     cache_key = Slice(key_buf, sizeof(key_buf));
     Cache::Handle* h = cache->Lookup(cache_key);
     if (h != nullptr) {
+      ADCACHE_PERF_COUNTER_ADD(block_cache_hit_count, 1);
       BlockRef ref;
       ref.cache = cache;
       ref.handle = h;
       ref.block = static_cast<const Block*>(cache->Value(h));
       return ref;
     }
+    ADCACHE_PERF_COUNTER_ADD(block_cache_miss_count, 1);
   }
   return ReadBlockMiss(read_options, handle, cache_key);
 }
@@ -155,6 +158,8 @@ Table::BlockRef Table::ReadBlockMiss(const ReadOptions& read_options,
   Slice input;
   Status s = file_->Read(handle.offset, handle.size, &input, contents.data());
   if (read_options.count_block_reads) env_->io_stats()->block_reads++;
+  ADCACHE_PERF_COUNTER_ADD(block_read_count, 1);
+  ADCACHE_PERF_COUNTER_ADD(block_read_byte, handle.size);
   if (!s.ok()) {
     ref.status = s;
     return ref;
@@ -198,8 +203,12 @@ Table::LookupResult Table::Get(const ReadOptions& read_options,
                                const Slice& user_key, SequenceNumber snapshot,
                                PinnableSlice* value,
                                SequenceNumber* entry_seq) {
-  if (filter_ != nullptr && !filter_->KeyMayMatch(user_key)) {
-    return LookupResult::kNotFound;
+  if (filter_ != nullptr) {
+    ADCACHE_PERF_COUNTER_ADD(bloom_sst_checked_count, 1);
+    if (!filter_->KeyMayMatch(user_key)) {
+      ADCACHE_PERF_COUNTER_ADD(bloom_sst_negative_count, 1);
+      return LookupResult::kNotFound;
+    }
   }
 
   std::string lookup_key = MakeLookupKey(user_key, snapshot);
@@ -267,6 +276,8 @@ void Table::MultiGet(const ReadOptions& read_options,
     for (size_t i = 0; i < n; i++) {
       if (may_match[i]) candidates[num_candidates++] = keys[i];
     }
+    ADCACHE_PERF_COUNTER_ADD(bloom_sst_checked_count, n);
+    ADCACHE_PERF_COUNTER_ADD(bloom_sst_negative_count, n - num_candidates);
   } else {
     for (size_t i = 0; i < n; i++) candidates[num_candidates++] = keys[i];
   }
@@ -352,14 +363,18 @@ void Table::MultiGet(const ReadOptions& read_options,
       handles[b] = nullptr;
     }
     cache->MultiLookup(num_blocks, cache_keys.data(), handles.data());
+    size_t num_hits = 0;
     for (size_t b = 0; b < num_blocks; b++) {
       if (handles[b] != nullptr) {
+        num_hits++;
         blocks[b].ref.cache = cache;
         blocks[b].ref.handle = handles[b];
         blocks[b].ref.block =
             static_cast<const Block*>(cache->Value(handles[b]));
       }
     }
+    ADCACHE_PERF_COUNTER_ADD(block_cache_hit_count, num_hits);
+    ADCACHE_PERF_COUNTER_ADD(block_cache_miss_count, num_blocks - num_hits);
   }
 
   // Stage 4: search each block once for all of its keys, then hand out the

@@ -1,0 +1,39 @@
+#include "util/perf_context.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace adcache::util {
+
+void PerfContext::Reset() { *this = PerfContext(); }
+
+std::string PerfContext::ToString(bool exclude_zero_counters) const {
+  std::ostringstream out;
+  bool first = true;
+  auto emit = [&](const char* name, uint64_t value) {
+    if (exclude_zero_counters && value == 0) return;
+    if (!first) out << ", ";
+    out << name << " = " << value;
+    first = false;
+  };
+  emit("memtable_probe_count", memtable_probe_count);
+  emit("memtable_hit_count", memtable_hit_count);
+  emit("block_cache_hit_count", block_cache_hit_count);
+  emit("block_cache_miss_count", block_cache_miss_count);
+  emit("block_read_count", block_read_count);
+  emit("block_read_byte", block_read_byte);
+  emit("bloom_sst_checked_count", bloom_sst_checked_count);
+  emit("bloom_sst_negative_count", bloom_sst_negative_count);
+  emit("range_cache_probe_count", range_cache_probe_count);
+  emit("range_cache_hit_count", range_cache_hit_count);
+  emit("admission_check_count", admission_check_count);
+  emit("admission_admit_count", admission_admit_count);
+  emit("wal_sync_count", wal_sync_count);
+  emit("wal_sync_micros", wal_sync_micros);
+  emit("write_delay_count", write_delay_count);
+  emit("write_stall_count", write_stall_count);
+  emit("write_stall_micros", write_stall_micros);
+  return out.str();
+}
+
+}  // namespace adcache::util

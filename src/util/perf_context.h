@@ -1,0 +1,125 @@
+#ifndef ADCACHE_UTIL_PERF_CONTEXT_H_
+#define ADCACHE_UTIL_PERF_CONTEXT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace adcache::util {
+
+/// Per-thread operation profile, modeled on RocksDB's PerfContext. Every
+/// counter describes work done by the *calling thread* since the last
+/// Reset(), so a caller can bracket a single Get/Put/Scan and attribute
+/// exactly where it spent its effort: which caches answered, which bloom
+/// filters fired, whether the write had to wait on a WAL sync or a stall.
+///
+/// Recording is gated by a thread-local PerfLevel (default kDisable): with
+/// profiling off, every instrumentation site is one thread-local load and a
+/// predictable branch — no atomics, no clock reads. Timer fields (the
+/// `_micros` ones) additionally require kEnableTime, because reading the
+/// clock is the expensive part.
+struct PerfContext {
+  // --- read path ---
+  uint64_t memtable_probe_count = 0;   // memtables consulted (active + imm)
+  uint64_t memtable_hit_count = 0;     // lookups answered by a memtable
+  uint64_t block_cache_hit_count = 0;  // block-cache lookups that hit
+  uint64_t block_cache_miss_count = 0; // block-cache lookups that missed
+  uint64_t block_read_count = 0;       // data blocks read from storage
+  uint64_t block_read_byte = 0;        // bytes of those block reads
+  uint64_t bloom_sst_checked_count = 0;   // per-table bloom filter probes
+  uint64_t bloom_sst_negative_count = 0;  // probes that skipped the table
+
+  // --- AdCache layer ---
+  uint64_t range_cache_probe_count = 0;  // range-cache (point or scan) probes
+  uint64_t range_cache_hit_count = 0;    // probes answered by the range cache
+  uint64_t admission_check_count = 0;    // admission-controller consultations
+  uint64_t admission_admit_count = 0;    // consultations that admitted
+
+  // --- write path ---
+  uint64_t wal_sync_count = 0;       // WAL fsyncs performed by this thread
+  uint64_t wal_sync_micros = 0;      // time inside those fsyncs (kEnableTime)
+  uint64_t write_delay_count = 0;    // one-shot L0 slowdown delays taken
+  uint64_t write_stall_count = 0;    // hard stop-stalls waited out
+  uint64_t write_stall_micros = 0;   // wall time stalled or delayed
+
+  void Reset();
+  /// "name = value, ..." for all fields; zero fields skipped by default.
+  std::string ToString(bool exclude_zero_counters = true) const;
+};
+
+/// How much a thread records into its PerfContext.
+enum class PerfLevel : int {
+  kDisable = 0,      // record nothing (default)
+  kEnableCount = 1,  // record counters, skip anything needing a clock read
+  kEnableTime = 2,   // record counters and timers
+};
+
+namespace perf_internal {
+inline thread_local PerfLevel tls_perf_level = PerfLevel::kDisable;
+inline thread_local PerfContext tls_perf_context{};
+}  // namespace perf_internal
+
+/// Sets the profiling level for the calling thread only.
+inline void SetPerfLevel(PerfLevel level) {
+  perf_internal::tls_perf_level = level;
+}
+inline PerfLevel GetPerfLevel() { return perf_internal::tls_perf_level; }
+
+/// The calling thread's context. Always valid; contents only change while
+/// the thread's level is above kDisable.
+inline PerfContext* GetPerfContext() {
+  return &perf_internal::tls_perf_context;
+}
+
+inline bool PerfCountEnabled() {
+  return perf_internal::tls_perf_level >= PerfLevel::kEnableCount;
+}
+inline bool PerfTimeEnabled() {
+  return perf_internal::tls_perf_level >= PerfLevel::kEnableTime;
+}
+
+/// Steady-clock microseconds for perf timers (monotonic; not SimClock —
+/// PerfContext always measures real CPU-visible wall time).
+inline uint64_t PerfNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII timer adding elapsed micros to `*field` at destruction. Reads the
+/// clock only when the thread is at kEnableTime.
+class PerfMicrosTimer {
+ public:
+  explicit PerfMicrosTimer(uint64_t* field)
+      : field_(PerfTimeEnabled() ? field : nullptr),
+        start_(field_ ? PerfNowMicros() : 0) {}
+  ~PerfMicrosTimer() {
+    if (field_ != nullptr) *field_ += PerfNowMicros() - start_;
+  }
+  PerfMicrosTimer(const PerfMicrosTimer&) = delete;
+  PerfMicrosTimer& operator=(const PerfMicrosTimer&) = delete;
+
+ private:
+  uint64_t* field_;
+  uint64_t start_;
+};
+
+}  // namespace adcache::util
+
+/// Hot-path counter bump: one thread-local load + branch when disabled.
+#define ADCACHE_PERF_COUNTER_ADD(field, amount)                    \
+  do {                                                             \
+    if (::adcache::util::PerfCountEnabled()) {                     \
+      ::adcache::util::GetPerfContext()->field +=                  \
+          static_cast<uint64_t>(amount);                           \
+    }                                                              \
+  } while (0)
+
+/// Scope timer into a PerfContext `_micros` field; clock reads only happen
+/// at PerfLevel::kEnableTime.
+#define ADCACHE_PERF_TIMER_GUARD(field)                            \
+  ::adcache::util::PerfMicrosTimer perf_timer_##field(             \
+      &::adcache::util::GetPerfContext()->field)
+
+#endif  // ADCACHE_UTIL_PERF_CONTEXT_H_

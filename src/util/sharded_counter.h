@@ -33,6 +33,14 @@ class ShardedCounter {
     return total;
   }
 
+  /// Zeroes all slots. Not atomic with respect to concurrent Add(); callers
+  /// (tests, stats Reset) must quiesce writers if they need an exact zero.
+  void Reset() {
+    for (Shard& s : shards_) {
+      s.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
  private:
   // Power of two; ample for the core counts this targets. More shards only
   // cost idle padded slots.

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <cstdio>
+#include <sstream>
 #include <thread>
 
 #include "core/io_estimator.h"
+#include "util/histogram.h"
+#include "util/perf_context.h"
 
 namespace adcache::workload {
 
@@ -33,6 +36,15 @@ PhaseResult Runner::RunPhase(const Phase& phase,
 
   std::atomic<uint64_t> point_ops{0}, scan_ops{0}, write_ops{0}, scan_keys{0};
 
+  // One histogram triple per thread; merged after the join, so recording is
+  // contention-free.
+  struct ThreadLatencies {
+    Histogram point, scan, write;
+  };
+  const int num_threads = options.num_threads <= 1 ? 1 : options.num_threads;
+  std::vector<ThreadLatencies> latencies(
+      options.record_latencies ? static_cast<size_t>(num_threads) : 0);
+
   auto worker = [&](int thread_id) {
     Phase thread_phase = phase;
     thread_phase.num_ops =
@@ -57,13 +69,28 @@ PhaseResult Runner::RunPhase(const Phase& phase,
       batch_values.resize(batch_cap);
       batch_statuses.resize(batch_cap);
     }
+    ThreadLatencies* lat = options.record_latencies
+                               ? &latencies[static_cast<size_t>(thread_id)]
+                               : nullptr;
+    auto timed = [&](Histogram* hist, auto&& op_fn) {
+      if (hist == nullptr) {
+        op_fn();
+        return;
+      }
+      uint64_t start = util::PerfNowMicros();
+      op_fn();
+      hist->Add(util::PerfNowMicros() - start);
+    };
+
     auto flush_batch = [&]() {
       if (batch_keys.empty()) return;
       for (size_t k = 0; k < batch_keys.size(); k++) {
         batch_slices[k] = Slice(batch_keys[k]);
       }
-      store_->MultiGet(batch_keys.size(), batch_slices.data(),
-                       batch_values.data(), batch_statuses.data());
+      timed(lat != nullptr ? &lat->point : nullptr, [&] {
+        store_->MultiGet(batch_keys.size(), batch_slices.data(),
+                         batch_values.data(), batch_statuses.data());
+      });
       point_ops.fetch_add(batch_keys.size(), std::memory_order_relaxed);
       // Release block/memtable pins promptly; holding them across
       // operations would keep cache entries unevictable.
@@ -80,15 +107,19 @@ PhaseResult Runner::RunPhase(const Phase& phase,
             batch_keys.push_back(keys_.KeyAt(op.key_index));
             if (batch_keys.size() >= batch_cap) flush_batch();
           } else {
-            store_->Get(Slice(keys_.KeyAt(op.key_index)), &value);
+            timed(lat != nullptr ? &lat->point : nullptr, [&] {
+              store_->Get(Slice(keys_.KeyAt(op.key_index)), &value);
+            });
             value.Reset();
             point_ops.fetch_add(1, std::memory_order_relaxed);
           }
           break;
         case Operation::Type::kScan: {
           flush_batch();
-          store_->Scan(Slice(keys_.KeyAt(op.key_index)), op.scan_length,
-                       &results);
+          timed(lat != nullptr ? &lat->scan : nullptr, [&] {
+            store_->Scan(Slice(keys_.KeyAt(op.key_index)), op.scan_length,
+                         &results);
+          });
           clock_->Charge(options.cpu_micros_per_scan_key * results.size());
           scan_ops.fetch_add(1, std::memory_order_relaxed);
           scan_keys.fetch_add(results.size(), std::memory_order_relaxed);
@@ -96,8 +127,10 @@ PhaseResult Runner::RunPhase(const Phase& phase,
         }
         case Operation::Type::kWrite:
           flush_batch();
-          store_->Put(Slice(keys_.KeyAt(op.key_index)),
-                      Slice(keys_.ValueFor(op.key_index)));
+          timed(lat != nullptr ? &lat->write : nullptr, [&] {
+            store_->Put(Slice(keys_.KeyAt(op.key_index)),
+                        Slice(keys_.ValueFor(op.key_index)));
+          });
           write_ops.fetch_add(1, std::memory_order_relaxed);
           break;
       }
@@ -132,6 +165,18 @@ PhaseResult Runner::RunPhase(const Phase& phase,
   r.elapsed_wall_micros = SystemClock::Default()->NowMicros() - wall_start;
   r.end_stats = after;
 
+  if (options.record_latencies) {
+    Histogram point, scan, write;
+    for (const ThreadLatencies& l : latencies) {
+      point.Merge(l.point);
+      scan.Merge(l.scan);
+      write.Merge(l.write);
+    }
+    r.point_latency = core::MakeHistogramSnapshot(point);
+    r.scan_latency = core::MakeHistogramSnapshot(scan);
+    r.write_latency = core::MakeHistogramSnapshot(write);
+  }
+
   // Uniform estimated hit rate (paper §3.5) over the phase's read traffic.
   core::WindowStats w;
   w.point_lookups = r.point_ops;
@@ -155,6 +200,40 @@ PhaseResult Runner::RunPhase(const Phase& phase,
                        : static_cast<double>(r.ops) * 1e6 /
                              static_cast<double>(elapsed);
   return r;
+}
+
+std::string PhaseResultToJson(const PhaseResult& r) {
+  std::ostringstream out;
+  auto number = [&out](double v) {
+    if (v != v || v > 1e300 || v < -1e300) {
+      out << "null";  // JSON has no inf/nan
+    } else {
+      out << v;
+    }
+  };
+  auto latency = [&](const char* name, const core::HistogramSnapshot& s) {
+    out << "\"" << name << "\":{\"count\":" << s.count << ",\"p50\":";
+    number(s.p50);
+    out << ",\"p95\":";
+    number(s.p95);
+    out << ",\"p99\":";
+    number(s.p99);
+    out << "}";
+  };
+  out << "{\"strategy\":\"" << r.strategy << "\",\"phase\":\"" << r.phase
+      << "\",\"ops\":" << r.ops << ",\"block_reads\":" << r.block_reads
+      << ",\"hit_rate\":";
+  number(r.hit_rate);
+  out << ",\"qps\":";
+  number(r.qps);
+  out << ",\"latency_micros\":{";
+  latency("point", r.point_latency);
+  out << ",";
+  latency("scan", r.scan_latency);
+  out << ",";
+  latency("write", r.write_latency);
+  out << "}}";
+  return out.str();
 }
 
 void PrintResultHeader() {

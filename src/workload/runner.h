@@ -31,7 +31,17 @@ struct PhaseResult {
   uint64_t elapsed_sim_micros = 0;
   uint64_t elapsed_wall_micros = 0;
   core::CacheStatsSnapshot end_stats;
+  /// Per-op wall-clock latency distributions (µs), populated only when
+  /// RunnerOptions::record_latencies is set. Batched point lookups record
+  /// one sample per MultiGet batch under point_latency.
+  core::HistogramSnapshot point_latency;
+  core::HistogramSnapshot scan_latency;
+  core::HistogramSnapshot write_latency;
 };
+
+/// Serialises a result (including the p50/p95/p99 latency fields) as one
+/// JSON object, for harnesses that post-process benchmark output.
+std::string PhaseResultToJson(const PhaseResult& r);
 
 /// Drives phases against a store, measuring I/O and (simulated or wall)
 /// time. Deterministic for a given seed and SimClock environment.
@@ -49,6 +59,9 @@ class Runner {
     /// KvStore::MultiGet in batches of this size (flushed early by any
     /// intervening scan/write). 1 = plain Get loop.
     size_t multiget_batch = 1;
+    /// Record per-op wall-clock latencies into PhaseResult's histograms.
+    /// Off by default: it adds two clock reads per operation.
+    bool record_latencies = false;
   };
 
   Runner(core::KvStore* store, const KeySpace& keys, Clock* clock);

@@ -264,6 +264,63 @@ TEST_F(LsmDbTest, WalDisabledStillWorksInProcess) {
   EXPECT_EQ(Get("x"), "1");
 }
 
+TEST_F(LsmDbTest, DisableWalWritesAreReadableButNotRecovered) {
+  WriteOptions wal_off;
+  wal_off.disable_wal = true;
+  // Interleave logged and unlogged writes so group commit has to split them.
+  ASSERT_TRUE(db_->Put(wal_off, Slice("volatile1"), Slice("v1")).ok());
+  ASSERT_TRUE(Put("logged1", "L1").ok());
+  ASSERT_TRUE(db_->Put(wal_off, Slice("volatile2"), Slice("v2")).ok());
+  ASSERT_TRUE(Put("logged2", "L2").ok());
+  EXPECT_EQ(Get("volatile1"), "v1");
+  EXPECT_EQ(Get("volatile2"), "v2");
+  EXPECT_EQ(Get("logged1"), "L1");
+  EXPECT_EQ(Get("logged2"), "L2");
+
+  Reopen();  // memtable dropped; WAL replay restores only the logged keys
+  EXPECT_EQ(Get("logged1"), "L1");
+  EXPECT_EQ(Get("logged2"), "L2");
+  EXPECT_EQ(Get("volatile1"), "NOT_FOUND");
+  EXPECT_EQ(Get("volatile2"), "NOT_FOUND");
+}
+
+TEST_F(LsmDbTest, DisableWalWritesSurviveOnceFlushed) {
+  WriteOptions wal_off;
+  wal_off.disable_wal = true;
+  // sync is implied off when the WAL is skipped; this must not error.
+  wal_off.sync = true;
+  ASSERT_TRUE(db_->Put(wal_off, Slice("durable"), Slice("v")).ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  Reopen();
+  EXPECT_EQ(Get("durable"), "v");
+}
+
+TEST_F(LsmDbTest, MixedWalAndNoWalWritersRecoverLoggedKeys) {
+  constexpr int kPerWriter = 200;
+  std::thread logged([&] {
+    for (int i = 0; i < kPerWriter; i++) {
+      ASSERT_TRUE(Put("logged" + std::to_string(i), "L").ok());
+    }
+  });
+  std::thread unlogged([&] {
+    WriteOptions wal_off;
+    wal_off.disable_wal = true;
+    for (int i = 0; i < kPerWriter; i++) {
+      ASSERT_TRUE(db_->Put(wal_off, Slice("volatile" + std::to_string(i)),
+                           Slice("V"))
+                      .ok());
+    }
+  });
+  logged.join();
+  unlogged.join();
+  Reopen();
+  // Every logged key must replay, regardless of how the write groups were
+  // carved up around the unlogged writers.
+  for (int i = 0; i < kPerWriter; i++) {
+    EXPECT_EQ(Get("logged" + std::to_string(i)), "L");
+  }
+}
+
 TEST_F(LsmDbTest, EmptyKeyAndValueSupported) {
   ASSERT_TRUE(Put("k", "").ok());
   EXPECT_EQ(Get("k"), "");

@@ -1,0 +1,422 @@
+// The observability stack: Statistics registry (tickers / histograms /
+// gauges / StatsLevel gating), thread-local PerfContext, EventListener
+// payloads for flush / compaction / RL actions, and the periodic dumper.
+// Run with -DADCACHE_SANITIZE=thread to check the concurrent-recorder paths.
+
+#include "core/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/adcache_store.h"
+#include "lsm/db.h"
+#include "util/clock.h"
+#include "util/env.h"
+#include "util/perf_context.h"
+
+namespace adcache::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Statistics registry
+// ---------------------------------------------------------------------------
+
+TEST(StatisticsTest, TickersAccumulateAndReset) {
+  Statistics stats;
+  EXPECT_EQ(stats.GetTickerCount(kTickerPointLookups), 0u);
+  stats.RecordTick(kTickerPointLookups);
+  stats.RecordTick(kTickerPointLookups, 41);
+  stats.RecordTick(kTickerScans, 7);
+  EXPECT_EQ(stats.GetTickerCount(kTickerPointLookups), 42u);
+  EXPECT_EQ(stats.GetTickerCount(kTickerScans), 7u);
+
+  stats.SetGauge(kGaugeRangeRatio, 0.75);
+  stats.Reset();
+  EXPECT_EQ(stats.GetTickerCount(kTickerPointLookups), 0u);
+  EXPECT_EQ(stats.GetTickerCount(kTickerScans), 0u);
+  // Gauges keep their last value across Reset.
+  EXPECT_DOUBLE_EQ(stats.GetGauge(kGaugeRangeRatio), 0.75);
+}
+
+TEST(StatisticsTest, StatsLevelGatesRecording) {
+  Statistics stats;
+  stats.SetStatsLevel(StatsLevel::kDisabled);
+  stats.RecordTick(kTickerWrites, 100);
+  stats.RecordLatency(kHistPutMicros, 10);
+  EXPECT_EQ(stats.GetTickerCount(kTickerWrites), 0u);
+  EXPECT_EQ(stats.GetHistogram(kHistPutMicros).count, 0u);
+
+  // Default level: tickers yes, LatencyTimer no.
+  stats.SetStatsLevel(StatsLevel::kExceptTimers);
+  EXPECT_FALSE(stats.TimersEnabled());
+  stats.RecordTick(kTickerWrites, 5);
+  { LatencyTimer timer(&stats, kHistPutMicros); }
+  EXPECT_EQ(stats.GetTickerCount(kTickerWrites), 5u);
+  EXPECT_EQ(stats.GetHistogram(kHistPutMicros).count, 0u);
+
+  stats.SetStatsLevel(StatsLevel::kAll);
+  EXPECT_TRUE(stats.TimersEnabled());
+  { LatencyTimer timer(&stats, kHistPutMicros); }
+  EXPECT_EQ(stats.GetHistogram(kHistPutMicros).count, 1u);
+
+  // A null registry is always safe.
+  { LatencyTimer timer(nullptr, kHistPutMicros); }
+}
+
+TEST(StatisticsTest, HistogramPercentilesAreOrderedAndPlausible) {
+  Statistics stats;
+  // Uniform 1..1000us. The histogram is log-bucketed with intra-bucket
+  // interpolation, so percentiles are approximate but must land near the
+  // true quantiles and in order.
+  for (uint64_t v = 1; v <= 1000; v++) {
+    stats.RecordLatency(kHistGetMicros, v);
+  }
+  HistogramSnapshot s = stats.GetHistogram(kHistGetMicros);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_NEAR(s.average, 500.5, 1.0);
+  EXPECT_NEAR(s.p50, 500.0, 150.0);
+  EXPECT_NEAR(s.p95, 950.0, 150.0);
+  EXPECT_NEAR(s.p99, 990.0, 150.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, static_cast<double>(s.max) + 1e-9);
+}
+
+TEST(StatisticsTest, ConcurrentRecordersMergeCleanly) {
+  Statistics stats;
+  stats.SetStatsLevel(StatsLevel::kAll);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+
+  std::atomic<bool> stop_reader{false};
+  // A racing reader exercises Histogram::Merge against live recorders; the
+  // snapshots it sees must be internally sane at every instant.
+  std::thread reader([&] {
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      HistogramSnapshot s = stats.GetHistogram(kHistGetMicros);
+      EXPECT_LE(s.p50, s.p95 + 1e-9);
+      EXPECT_LE(s.p95, s.p99 + 1e-9);
+      stats.GetTickerCount(kTickerPointLookups);
+      stats.ToJson();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&stats, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        stats.RecordTick(kTickerPointLookups);
+        stats.RecordLatency(kHistGetMicros,
+                            static_cast<uint64_t>(t * kPerThread + i) % 997);
+        stats.SetGauge(kGaugeSmoothedHitRate, 0.5);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop_reader.store(true);
+  reader.join();
+
+  EXPECT_EQ(stats.GetTickerCount(kTickerPointLookups),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.GetHistogram(kHistGetMicros).count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(stats.GetGauge(kGaugeSmoothedHitRate), 0.5);
+}
+
+TEST(StatisticsTest, NamesAndJsonExposeEveryMetric) {
+  Statistics stats;
+  stats.RecordTick(kTickerBlockReads, 3);
+  stats.RecordLatency(kHistScanMicros, 25);
+  stats.SetGauge(kGaugeScanA, 16.0);
+  std::string json = stats.ToJson();
+  for (uint32_t t = 0; t < kTickerCount; t++) {
+    EXPECT_NE(json.find(Statistics::TickerName(static_cast<Ticker>(t))),
+              std::string::npos);
+  }
+  for (uint32_t h = 0; h < kHistCount; h++) {
+    EXPECT_NE(
+        json.find(Statistics::HistogramName(static_cast<HistogramKind>(h))),
+        std::string::npos);
+  }
+  for (uint32_t g = 0; g < kGaugeCount; g++) {
+    EXPECT_NE(json.find(Statistics::GaugeName(static_cast<Gauge>(g))),
+              std::string::npos);
+  }
+  EXPECT_NE(json.find("\"adcache.block.reads\":3"), std::string::npos);
+  std::string text = stats.ToString();
+  EXPECT_NE(text.find("adcache.block.reads COUNT : 3"), std::string::npos);
+}
+
+TEST(StatisticsTest, PeriodicDumperEmitsAtLeastOnce) {
+  Statistics stats;
+  stats.RecordTick(kTickerFlushes);
+  std::atomic<int> dumps{0};
+  std::string last;
+  {
+    PeriodicStatsDumper dumper(&stats, 5, [&](const std::string& json) {
+      dumps.fetch_add(1, std::memory_order_relaxed);
+      last = json;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }  // destructor stops after a final dump
+  EXPECT_GE(dumps.load(), 1);
+  EXPECT_NE(last.find("\"adcache.flushes\":1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// PerfContext
+// ---------------------------------------------------------------------------
+
+TEST(PerfContextTest, CountersAreLevelGatedAndThreadLocal) {
+  util::SetPerfLevel(util::PerfLevel::kDisable);
+  util::GetPerfContext()->Reset();
+  ADCACHE_PERF_COUNTER_ADD(block_read_count, 1);
+  EXPECT_EQ(util::GetPerfContext()->block_read_count, 0u);
+
+  util::SetPerfLevel(util::PerfLevel::kEnableCount);
+  ADCACHE_PERF_COUNTER_ADD(block_read_count, 2);
+  EXPECT_EQ(util::GetPerfContext()->block_read_count, 2u);
+
+  std::thread t([] {
+    // Each thread starts at the default level with a zeroed context.
+    EXPECT_EQ(util::GetPerfLevel(), util::PerfLevel::kDisable);
+    ADCACHE_PERF_COUNTER_ADD(block_read_count, 100);
+    EXPECT_EQ(util::GetPerfContext()->block_read_count, 0u);
+    util::SetPerfLevel(util::PerfLevel::kEnableCount);
+    ADCACHE_PERF_COUNTER_ADD(block_read_count, 5);
+    EXPECT_EQ(util::GetPerfContext()->block_read_count, 5u);
+  });
+  t.join();
+  // The other thread's activity never leaks into this context.
+  EXPECT_EQ(util::GetPerfContext()->block_read_count, 2u);
+  util::SetPerfLevel(util::PerfLevel::kDisable);
+}
+
+TEST(PerfContextTest, TimersOnlyRunAtEnableTime) {
+  util::GetPerfContext()->Reset();
+  util::SetPerfLevel(util::PerfLevel::kEnableCount);
+  {
+    ADCACHE_PERF_TIMER_GUARD(wal_sync_micros);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(util::GetPerfContext()->wal_sync_micros, 0u);
+
+  util::SetPerfLevel(util::PerfLevel::kEnableTime);
+  {
+    ADCACHE_PERF_TIMER_GUARD(wal_sync_micros);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(util::GetPerfContext()->wal_sync_micros, 0u);
+  util::SetPerfLevel(util::PerfLevel::kDisable);
+}
+
+TEST(PerfContextTest, ToStringSkipsZeroCountersByDefault) {
+  util::PerfContext ctx;
+  ctx.block_read_count = 3;
+  std::string s = ctx.ToString();
+  EXPECT_NE(s.find("block_read_count = 3"), std::string::npos);
+  EXPECT_EQ(s.find("wal_sync_count"), std::string::npos);
+  EXPECT_NE(ctx.ToString(false).find("wal_sync_count"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// EventListener payloads
+// ---------------------------------------------------------------------------
+
+class RecordingListener : public EventListener {
+ public:
+  void OnFlushBegin(const FlushJobInfo&) override { flush_begins++; }
+  void OnFlushCompleted(const FlushJobInfo& info) override {
+    flush_completions++;
+    last_flush = info;
+  }
+  void OnCompactionBegin(const CompactionJobInfo&) override {
+    compaction_begins++;
+  }
+  void OnCompactionCompleted(const CompactionJobInfo& info) override {
+    compaction_completions++;
+    last_compaction = info;
+  }
+  void OnRlAction(const RlActionInfo& info) override {
+    rl_actions++;
+    last_action = info;
+  }
+  void OnCacheBoundaryMove(const CacheBoundaryMoveInfo& info) override {
+    boundary_moves++;
+    last_move = info;
+  }
+
+  std::atomic<int> flush_begins{0}, flush_completions{0};
+  std::atomic<int> compaction_begins{0}, compaction_completions{0};
+  std::atomic<int> rl_actions{0}, boundary_moves{0};
+  FlushJobInfo last_flush;
+  CompactionJobInfo last_compaction;
+  RlActionInfo last_action;
+  CacheBoundaryMoveInfo last_move;
+};
+
+TEST(EventListenerTest, FlushAndCompactionPayloadsAreSane) {
+  SimClock clock;
+  std::unique_ptr<Env> env = NewMemEnv(&clock);
+  auto listener = std::make_shared<RecordingListener>();
+  lsm::Options options;
+  options.env = env.get();
+  options.block_size = 512;
+  options.table_file_size = 4 * 1024;
+  options.memtable_size = 4 * 1024;
+  options.level1_size_base = 16 * 1024;
+  options.listeners.push_back(listener);
+
+  std::unique_ptr<lsm::DB> db;
+  ASSERT_TRUE(lsm::DB::Open(options, "/events", &db).ok());
+  std::string value(256, 'v');
+  for (int i = 0; i < 400; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(db->Put(lsm::WriteOptions(), Slice(key), Slice(value)).ok());
+  }
+  ASSERT_TRUE(db->FlushMemTable().ok());
+  // Compactions run on the maintenance thread; give them bounded time.
+  for (int spin = 0; spin < 5000 && listener->compaction_completions == 0;
+       spin++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  db.reset();  // drains background work; completions can't outrun begins
+
+  ASSERT_GE(listener->flush_completions.load(), 1);
+  EXPECT_EQ(listener->flush_begins.load(), listener->flush_completions.load());
+  EXPECT_GT(listener->last_flush.file_number, 0u);
+  EXPECT_GT(listener->last_flush.num_entries, 0u);
+  EXPECT_GT(listener->last_flush.file_size, 0u);
+  EXPECT_GE(listener->last_flush.num_imm_remaining, 0);
+
+  ASSERT_GE(listener->compaction_completions.load(), 1);
+  EXPECT_EQ(listener->compaction_begins.load(),
+            listener->compaction_completions.load());
+  EXPECT_GT(listener->last_compaction.num_input_files, 0);
+  EXPECT_GT(listener->last_compaction.input_bytes, 0u);
+  EXPECT_GE(listener->last_compaction.output_level,
+            listener->last_compaction.input_level);
+}
+
+TEST(EventListenerTest, RlActionEventsCarryTheAppliedControlState) {
+  SimClock clock;
+  std::unique_ptr<Env> env = NewMemEnv(&clock);
+  lsm::Options lsm_options;
+  lsm_options.env = env.get();
+  lsm_options.block_size = 512;
+  lsm_options.table_file_size = 16 * 1024;
+  lsm_options.memtable_size = 32 * 1024;
+  lsm_options.level1_size_base = 64 * 1024;
+
+  auto listener = std::make_shared<RecordingListener>();
+  AdCacheOptions options;
+  options.cache_budget = 256 * 1024;
+  options.controller.window_size = 100;
+  options.controller.agent.hidden_dim = 32;
+  options.listeners.push_back(listener);
+  std::unique_ptr<AdCacheStore> store;
+  ASSERT_TRUE(AdCacheStore::Open(options, lsm_options, "/rl", &store).ok());
+
+  std::string value;
+  for (int i = 0; i < 150; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(store->Put(Slice(key), Slice("value")).ok());
+  }
+  for (int i = 0; i < 150; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i % 50);
+    store->Get(Slice(key), &value);
+  }
+  store->ForceWindowEnd();
+
+  ASSERT_GE(listener->rl_actions.load(), 1);
+  const RlActionInfo& a = listener->last_action;
+  EXPECT_GE(a.window_index, 1u);
+  EXPECT_GE(a.reward, -1.0);
+  EXPECT_LE(a.reward, 1.0);
+  EXPECT_GE(a.new_range_ratio, 0.0);
+  EXPECT_LE(a.new_range_ratio, 1.0);
+  EXPECT_GE(a.new_point_threshold, 0.0);
+  EXPECT_GT(a.new_scan_a, 0.0);
+  EXPECT_GE(a.new_scan_b, 0.0);
+  EXPECT_LE(a.new_scan_b, 1.0);
+
+  // The registry's gauges and the snapshot view both show the applied state.
+  Statistics* stats = store->statistics();
+  EXPECT_GE(stats->GetTickerCount(kTickerRlActions),
+            static_cast<uint64_t>(listener->rl_actions.load()));
+  EXPECT_DOUBLE_EQ(stats->GetGauge(kGaugeRangeRatio), a.new_range_ratio);
+  EXPECT_DOUBLE_EQ(stats->GetGauge(kGaugePointThreshold),
+                   a.new_point_threshold);
+  CacheStatsSnapshot snap = store->GetCacheStats();
+  EXPECT_DOUBLE_EQ(snap.range_ratio, a.new_range_ratio);
+  EXPECT_DOUBLE_EQ(snap.scan_a, a.new_scan_a);
+
+  if (listener->boundary_moves.load() > 0) {
+    const CacheBoundaryMoveInfo& m = listener->last_move;
+    EXPECT_EQ(m.total_budget_bytes, options.cache_budget);
+    EXPECT_NE(m.new_range_ratio, m.old_range_ratio);
+    EXPECT_LE(m.new_range_capacity_bytes, m.total_budget_bytes);
+  }
+}
+
+TEST(EventListenerTest, StoreOpTickersTrackTheApiBoundary) {
+  SimClock clock;
+  std::unique_ptr<Env> env = NewMemEnv(&clock);
+  lsm::Options lsm_options;
+  lsm_options.env = env.get();
+  lsm_options.block_size = 512;
+  lsm_options.table_file_size = 16 * 1024;
+  lsm_options.memtable_size = 32 * 1024;
+  lsm_options.level1_size_base = 64 * 1024;
+
+  AdCacheOptions options;
+  options.cache_budget = 256 * 1024;
+  options.controller.window_size = 1000;
+  options.controller.agent.hidden_dim = 32;
+  std::unique_ptr<AdCacheStore> store;
+  ASSERT_TRUE(AdCacheStore::Open(options, lsm_options, "/ops", &store).ok());
+
+  for (int i = 0; i < 100; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(store->Put(Slice(key), Slice("value")).ok());
+  }
+  ASSERT_TRUE(store->db()->FlushMemTable().ok());
+  std::string value;
+  for (int i = 0; i < 10; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(store->Get(Slice(key), &value).ok());
+  }
+  std::vector<KvPair> results;
+  ASSERT_TRUE(store->Scan(Slice("key"), 20, &results).ok());
+
+  Statistics* stats = store->statistics();
+  EXPECT_EQ(stats->GetTickerCount(kTickerWrites), 100u);
+  EXPECT_EQ(stats->GetTickerCount(kTickerPointLookups), 10u);
+  EXPECT_EQ(stats->GetTickerCount(kTickerScans), 1u);
+  EXPECT_EQ(stats->GetTickerCount(kTickerScanKeysRead), 20u);
+
+  // GetCacheStats folds the component counters into the registry tickers;
+  // the snapshot and the registry must agree afterwards.
+  CacheStatsSnapshot snap = store->GetCacheStats();
+  EXPECT_EQ(snap.block_reads, stats->GetTickerCount(kTickerBlockReads));
+  EXPECT_EQ(snap.range_hits, stats->GetTickerCount(kTickerRangeCacheHits));
+  EXPECT_EQ(snap.range_misses,
+            stats->GetTickerCount(kTickerRangeCacheMisses));
+  EXPECT_GT(snap.block_reads, 0u);
+}
+
+}  // namespace
+}  // namespace adcache::core
