@@ -1,25 +1,29 @@
 #!/usr/bin/env bash
-# Full verification: tier-1 build+tests, the ThreadSanitizer concurrency
-# suite (read path + background maintenance + batched reads + statistics),
-# an AddressSanitizer pass over the cache + MultiGet lifetime-heavy tests,
-# and an observability smoke test (bench_micro --stats-smoke JSON dump).
+# Full verification: tier-1 build+tests, a second tier-1 pass with the
+# lock-free clock block cache selected (ADCACHE_BLOCK_CACHE_IMPL=clock), the
+# ThreadSanitizer concurrency suite (read path + background maintenance +
+# batched reads + statistics + clock cache), an AddressSanitizer pass over
+# the cache + MultiGet lifetime-heavy tests, and an observability smoke test
+# (bench_micro --stats-smoke JSON dump).
 #
-# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only|--stats-only]
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tier1=1
+run_clock=1
 run_tsan=1
 run_asan=1
 run_stats=1
 case "${1:-}" in
-  --tsan-only) run_tier1=0; run_asan=0; run_stats=0 ;;
-  --asan-only) run_tier1=0; run_tsan=0; run_stats=0 ;;
-  --tier1-only) run_tsan=0; run_asan=0; run_stats=0 ;;
-  --stats-only) run_tier1=0; run_tsan=0; run_asan=0 ;;
+  --tsan-only) run_tier1=0; run_clock=0; run_asan=0; run_stats=0 ;;
+  --asan-only) run_tier1=0; run_clock=0; run_tsan=0; run_stats=0 ;;
+  --tier1-only) run_clock=0; run_tsan=0; run_asan=0; run_stats=0 ;;
+  --stats-only) run_tier1=0; run_clock=0; run_tsan=0; run_asan=0 ;;
+  --cache-impl=clock) run_tier1=0; run_tsan=0; run_asan=0; run_stats=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only|--stats-only]" >&2
+  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock]" >&2
      exit 2 ;;
 esac
 
@@ -30,17 +34,31 @@ if [[ $run_tier1 -eq 1 ]]; then
   ctest --test-dir build --output-on-failure -j
 fi
 
+if [[ $run_clock -eq 1 ]]; then
+  echo "== clock pass: cache-sensitive tests with block_cache_impl=kClock =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target multiget_test table_test adcache_store_test
+  for t in multiget_test table_test adcache_store_test; do
+    ADCACHE_BLOCK_CACHE_IMPL=clock "./build/tests/$t"
+  done
+fi
+
 if [[ $run_tsan -eq 1 ]]; then
   echo "== tsan: concurrency suite =="
   cmake -B build-tsan -S . -DADCACHE_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j --target \
         superversion_test background_maintenance_test multiget_test \
-        statistics_test
+        statistics_test clock_cache_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/superversion_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/background_maintenance_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/multiget_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/statistics_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/clock_cache_test
+  # The batched read path drives MultiLookup/MultiRelease against whichever
+  # backend the env selects; rerun it on the lock-free table.
+  ADCACHE_BLOCK_CACHE_IMPL=clock TSAN_OPTIONS="halt_on_error=1" \
+      ./build-tsan/tests/multiget_test
 fi
 
 if [[ $run_asan -eq 1 ]]; then
@@ -49,11 +67,13 @@ if [[ $run_asan -eq 1 ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-asan -j --target \
         lru_cache_test range_cache_test kv_cache_test \
-        multiget_test superversion_test
+        multiget_test superversion_test clock_cache_test
   for t in lru_cache_test range_cache_test kv_cache_test \
-           multiget_test superversion_test; do
+           multiget_test superversion_test clock_cache_test; do
     ASAN_OPTIONS="halt_on_error=1" "./build-asan/tests/$t"
   done
+  ADCACHE_BLOCK_CACHE_IMPL=clock ASAN_OPTIONS="halt_on_error=1" \
+      ./build-asan/tests/multiget_test
 fi
 
 if [[ $run_stats -eq 1 ]]; then

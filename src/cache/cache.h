@@ -54,7 +54,9 @@ class Cache {
 
   /// Membership probe that does NOT count as a hit/miss and does not touch
   /// recency state (used by background machinery such as post-compaction
-  /// prefetching).
+  /// prefetching). Advisory: implementations may report a false negative
+  /// rather than wait on contended internal state, so callers must treat
+  /// "false" as "probably not cached".
   virtual bool Contains(const Slice& key) const = 0;
 
   /// Unpins a handle returned by Insert/Lookup.
@@ -75,14 +77,46 @@ class Cache {
   /// Drops every unpinned entry.
   virtual void Prune() = 0;
 
+  /// Fraction of fixed table slots occupied, for slot-table implementations
+  /// (ClockCache); 0 for node-based caches (LRU). Feeds the
+  /// `block_cache_slot_occupancy` gauge.
+  virtual double slot_occupancy() const { return 0.0; }
+
   // Hit/miss telemetry (monotonic).
   virtual uint64_t hits() const = 0;
   virtual uint64_t misses() const = 0;
 };
 
+/// Which block-cache implementation a store should construct (the Cache
+/// interface is shared, so everything downstream of construction is
+/// impl-agnostic).
+enum class BlockCacheImpl {
+  kLRU,    // mutex-per-shard LRU (ShardedLRUCache)
+  kClock,  // lock-free CLOCK slot table (ClockCache)
+};
+
+/// Reads ADCACHE_BLOCK_CACHE_IMPL ("lru" | "clock"; anything else, or
+/// unset, means kLRU). Lets CI rerun the whole suite against either backend
+/// without code changes (scripts/check.sh --cache-impl=clock).
+BlockCacheImpl DefaultBlockCacheImpl();
+
 /// Creates a sharded LRU cache. `num_shard_bits < 0` picks a default based on
 /// capacity; 0 gives a single shard.
 std::shared_ptr<Cache> NewLRUCache(size_t capacity, int num_shard_bits = -1);
+
+/// Creates a lock-free CLOCK cache (see cache/clock_cache.h). The slot
+/// table is sized from max(capacity, table_capacity_hint) /
+/// estimated_entry_charge and never resizes; pass the largest capacity
+/// SetCapacity may later be given as the hint (e.g. AdCache's whole cache
+/// budget, of which the block cache's share varies at runtime).
+std::shared_ptr<Cache> NewClockCache(size_t capacity,
+                                     size_t estimated_entry_charge = 4160,
+                                     size_t table_capacity_hint = 0);
+
+/// Creates the block cache for `impl` at `capacity` (LRU: default sharding;
+/// Clock: default 4 KB-block entry estimate with `table_capacity_hint`).
+std::shared_ptr<Cache> NewBlockCache(BlockCacheImpl impl, size_t capacity,
+                                     size_t table_capacity_hint = 0);
 
 }  // namespace adcache
 

@@ -1,0 +1,470 @@
+#include "cache/clock_cache.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "cache/lru_cache.h"
+#include "util/hash.h"
+#include "util/perf_context.h"
+
+namespace adcache {
+
+namespace {
+
+// --- meta word layout (see ClockSlot in the header) ---
+constexpr uint64_t kStateShift = 62;
+constexpr uint64_t kStateEmpty = 0;
+constexpr uint64_t kStateConstruction = 1;
+constexpr uint64_t kStateInvisible = 2;
+constexpr uint64_t kStateVisible = 3;
+constexpr uint64_t kShareableBit = uint64_t{1} << 63;
+
+constexpr uint64_t kRefShift = 4;
+constexpr uint64_t kRefCountMask = (uint64_t{1} << 30) - 1;
+constexpr uint64_t kRefUnit = uint64_t{1} << kRefShift;
+
+constexpr uint64_t kClockMask = 0x3;
+// Fresh inserts start at 1 (scan resistance: one sweep pass demotes a
+// never-hit entry to evictable); a Lookup hit saturates to 3.
+constexpr uint64_t kClockInit = 1;
+
+constexpr uint64_t kHashSeed = 0x9e3779b97f4a7c13ull;
+
+inline uint64_t StateOf(uint64_t meta) { return meta >> kStateShift; }
+inline uint64_t RefsOf(uint64_t meta) {
+  return (meta >> kRefShift) & kRefCountMask;
+}
+
+inline uint64_t KeyHash(const Slice& key) {
+  return Hash64(key.data(), key.size(), kHashSeed);
+}
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ClockCache::ClockCache(size_t capacity, size_t estimated_entry_charge,
+                       size_t table_capacity_hint)
+    : capacity_(capacity) {
+  size_t budget = std::max(capacity, table_capacity_hint);
+  size_t est = std::max<size_t>(1, estimated_entry_charge);
+  // 2x slots per expected entry keeps the table under ~50% load, where
+  // double-hashed probes stay short; capped so a absurd estimate cannot
+  // allocate unbounded metadata.
+  size_t want = std::max<size_t>(16, (budget / est) * 2);
+  num_slots_ = std::min(NextPow2(want), size_t{1} << 22);
+  slot_mask_ = num_slots_ - 1;
+  probe_limit_ = std::min<size_t>(num_slots_, 64);
+  occupancy_limit_ = num_slots_ - num_slots_ / 8;  // 87.5%
+  slots_ = std::make_unique<Slot[]>(num_slots_);
+}
+
+ClockCache::~ClockCache() {
+  // All handles must have been released; drop everything resident.
+  for (size_t i = 0; i < num_slots_; i++) {
+    Slot& s = slots_[i];
+    uint64_t meta = s.meta.load(std::memory_order_relaxed);
+    if (meta & kShareableBit) {
+      assert(RefsOf(meta) == 0);
+      if (s.deleter != nullptr) s.deleter(Slice(s.key), s.value);
+    }
+  }
+}
+
+ClockCache::Probe ClockCache::ProbeFor(uint64_t hash) const {
+  // Double hashing over a power-of-two table: any odd step is coprime with
+  // the size, so the probe sequence visits every slot.
+  return Probe{static_cast<size_t>(hash) & slot_mask_,
+               (static_cast<size_t>(hash >> 32) << 1) | 1};
+}
+
+void ClockCache::AddUsage(int64_t delta) const {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kUsageShards;
+  usage_[shard].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t ClockCache::LoadUsage() const {
+  int64_t total = 0;
+  for (const UsageShard& s : usage_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+ClockCache::Slot* ClockCache::FindAndRef(const Slice& key, uint64_t hash,
+                                         bool touch) {
+  Probe p = ProbeFor(hash);
+  for (size_t i = 0; i < probe_limit_; i++) {
+    Slot* s = SlotAt(p, i);
+    uint64_t meta = s->meta.load(std::memory_order_acquire);
+    uint64_t state = StateOf(meta);
+    if (state == kStateEmpty) return nullptr;  // end of this probe chain
+    if (state != kStateVisible ||
+        s->tag.load(std::memory_order_relaxed) != hash) {
+      continue;  // occupied by someone else (or being built/erased)
+    }
+    // Optimistic pin: the fetch_add itself decides. If the word it hit was
+    // shareable we now hold a legitimate reference (the slot cannot be
+    // freed from under us); otherwise the increment was spurious and is
+    // backed out without ever touching the slot's fields.
+    uint64_t old = s->meta.fetch_add(kRefUnit, std::memory_order_acquire);
+    if (old & kShareableBit) {
+      if (StateOf(old) == kStateVisible &&
+          s->tag.load(std::memory_order_relaxed) == hash &&
+          Slice(s->key).compare(key) == 0) {
+        // Saturate the clock counter, skipping the RMW when a previous hit
+        // already did (the common case for hot blocks).
+        if (touch && (old & kClockMask) != kClockMask) {
+          s->meta.fetch_or(kClockMask, std::memory_order_relaxed);
+        }
+        return s;
+      }
+      ReleaseSlot(s);  // pinned the wrong entry: drop the pin
+    } else {
+      s->meta.fetch_sub(kRefUnit, std::memory_order_release);
+    }
+  }
+  return nullptr;
+}
+
+void ClockCache::ReleaseSlot(Slot* s) {
+  if (s->standalone) {
+    size_t charge = s->charge;
+    uint64_t old = s->meta.fetch_sub(kRefUnit, std::memory_order_acq_rel);
+    if (RefsOf(old) == 1) {
+      // Last pin on a table-less handle: nobody else can reach it.
+      if (s->deleter != nullptr) s->deleter(Slice(s->key), s->value);
+      AddUsage(-static_cast<int64_t>(charge));
+      delete s;
+    }
+    return;
+  }
+  uint64_t old = s->meta.fetch_sub(kRefUnit, std::memory_order_acq_rel);
+  assert(RefsOf(old) > 0);
+  if (RefsOf(old) == 1 && StateOf(old) == kStateInvisible) {
+    // We were (probably) the last pin on an erased entry; reclaim it now
+    // instead of waiting for the sweep to find it.
+    TryFreeInvisible(s);
+  }
+}
+
+void ClockCache::TryFreeInvisible(Slot* s) {
+  for (;;) {
+    uint64_t meta = s->meta.load(std::memory_order_acquire);
+    if (StateOf(meta) != kStateInvisible || RefsOf(meta) != 0) {
+      // Re-pinned, already being freed by someone else, or a transient
+      // spurious ref is passing through; the sweep is the backstop.
+      return;
+    }
+    if (s->meta.compare_exchange_weak(meta, kStateConstruction << kStateShift,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      FreeOwnedSlot(s);
+      return;
+    }
+  }
+}
+
+void ClockCache::FreeOwnedSlot(Slot* s) {
+  if (s->deleter != nullptr) s->deleter(Slice(s->key), s->value);
+  AddUsage(-static_cast<int64_t>(s->charge));
+  s->key.clear();
+  s->value = nullptr;
+  s->deleter = nullptr;
+  s->charge = 0;
+  s->tag.store(0, std::memory_order_relaxed);
+  occupancy_.fetch_sub(1, std::memory_order_relaxed);
+  // Construction -> empty. fetch_sub (not store) because probing lookups
+  // may have parked transient reference increments on the word.
+  s->meta.fetch_sub(kStateConstruction << kStateShift,
+                    std::memory_order_release);
+}
+
+template <typename StillNeeded>
+void ClockCache::Sweep(size_t max_scan, bool ignore_clock,
+                       StillNeeded still_needed) {
+  // The hand is claimed in strides so concurrent sweepers pay one shared
+  // RMW per kStride slots instead of one per slot. A sweeper that early-
+  // exits mid-stride simply leaves the rest of its stride for the hand's
+  // next lap — per-visit clock decrements are approximate by design.
+  constexpr uint64_t kStride = 64;
+  size_t freed_bytes = 0;
+  size_t scanned = 0;
+  while (scanned < max_scan && still_needed(freed_bytes)) {
+    uint64_t base = clock_pointer_.fetch_add(kStride,
+                                             std::memory_order_relaxed);
+    for (uint64_t k = 0;
+         k < kStride && scanned < max_scan && still_needed(freed_bytes);
+         k++, scanned++) {
+      Slot* s = &slots_[(base + k) & slot_mask_];
+      uint64_t meta = s->meta.load(std::memory_order_acquire);
+      if (!(meta & kShareableBit)) continue;  // empty or under construction
+      if (RefsOf(meta) != 0) continue;        // pinned: never reclaimed
+      if (StateOf(meta) == kStateVisible && (meta & kClockMask) != 0 &&
+          !ignore_clock) {
+        // Second-chance: decrement and move on (CAS failure means the slot
+        // just got touched or pinned — skip it either way).
+        s->meta.compare_exchange_weak(meta, meta - 1,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed);
+        continue;
+      }
+      // Counter at zero (or erased/forced): claim exclusively and free.
+      if (s->meta.compare_exchange_strong(meta,
+                                          kStateConstruction << kStateShift,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+        freed_bytes += s->charge;
+        FreeOwnedSlot(s);
+      }
+    }
+  }
+}
+
+void ClockCache::EvictToFit(size_t incoming, size_t max_scan) {
+  int64_t cap = static_cast<int64_t>(capacity_.load(std::memory_order_relaxed));
+  int64_t excess = LoadUsage() + static_cast<int64_t>(incoming) - cap;
+  if (excess <= 0) return;
+  Sweep(max_scan, /*ignore_clock=*/false, [excess](size_t freed) {
+    return static_cast<int64_t>(freed) < excess;
+  });
+}
+
+Cache::Handle* ClockCache::Insert(const Slice& key, void* value, size_t charge,
+                                  Deleter deleter) {
+  uint64_t hash = KeyHash(key);
+  // Amortized eviction: each insert advances the shared clock hand by a
+  // bounded amount, so sustained insert traffic converges usage to the
+  // budget without any insert paying for a full pass.
+  EvictToFit(charge, std::min<size_t>(num_slots_, 512));
+
+  // Retire any existing entry for the key BEFORE claiming a slot: probe
+  // chains stop at the first empty slot, so freeing the old entry after
+  // publishing the new one further along the sequence would orphan the new
+  // entry behind the hole. Erase-first means the freed slot is itself the
+  // first empty slot the claim loop finds. (A concurrent Lookup in the
+  // window between erase and publish misses — benign for a cache.)
+  EraseMatching(key, hash, nullptr);
+
+  Slot* claimed = nullptr;
+  Probe p = ProbeFor(hash);
+  if (charge <= capacity_.load(std::memory_order_relaxed) &&
+      occupancy_.load(std::memory_order_relaxed) < occupancy_limit_) {
+    for (size_t i = 0; i < probe_limit_ && claimed == nullptr; i++) {
+      Slot* s = SlotAt(p, i);
+      uint64_t expected = 0;
+      if (s->meta.load(std::memory_order_relaxed) == 0 &&
+          s->meta.compare_exchange_strong(
+              expected, kStateConstruction << kStateShift,
+              std::memory_order_acq_rel, std::memory_order_relaxed)) {
+        claimed = s;
+      }
+    }
+  }
+  if (claimed == nullptr) {
+    // Table full along this probe sequence (or entry larger than the whole
+    // budget): hand back a standalone pinned handle. The value is usable
+    // and charged, just never findable; freed on last Release.
+    Slot* s = new Slot();
+    s->standalone = true;
+    s->key.assign(key.data(), key.size());
+    s->value = value;
+    s->deleter = deleter;
+    s->charge = charge;
+    s->meta.store((kStateInvisible << kStateShift) | kRefUnit,
+                  std::memory_order_relaxed);
+    AddUsage(static_cast<int64_t>(charge));
+    return reinterpret_cast<Handle*>(s);
+  }
+
+  occupancy_.fetch_add(1, std::memory_order_relaxed);
+  claimed->key.assign(key.data(), key.size());
+  claimed->value = value;
+  claimed->deleter = deleter;
+  claimed->charge = charge;
+  claimed->tag.store(hash, std::memory_order_relaxed);
+  AddUsage(static_cast<int64_t>(charge));
+  // Construction -> visible, +1 pin (the returned handle), clock = init.
+  // fetch_add (not store): transient probe refs may be parked on the word.
+  claimed->meta.fetch_add(
+      ((kStateVisible - kStateConstruction) << kStateShift) | kRefUnit |
+          kClockInit,
+      std::memory_order_release);
+  return reinterpret_cast<Handle*>(claimed);
+}
+
+Cache::Handle* ClockCache::Lookup(const Slice& key) {
+  Slot* s = FindAndRef(key, KeyHash(key), /*touch=*/true);
+  if (s != nullptr) {
+    hits_.Inc();
+  } else {
+    misses_.Inc();
+  }
+  return reinterpret_cast<Handle*>(s);
+}
+
+void ClockCache::MultiLookup(size_t n, const Slice* keys, Handle** handles) {
+  // No shard bucketing needed: every probe is lock-free, so the batch win
+  // is just one telemetry add per counter.
+  size_t hits = 0;
+  for (size_t i = 0; i < n; i++) {
+    Slot* s = FindAndRef(keys[i], KeyHash(keys[i]), /*touch=*/true);
+    handles[i] = reinterpret_cast<Handle*>(s);
+    if (s != nullptr) hits++;
+  }
+  if (hits > 0) hits_.Add(hits);
+  if (n - hits > 0) misses_.Add(n - hits);
+}
+
+void ClockCache::MultiRelease(size_t n, Handle* const* handles) {
+  for (size_t i = 0; i < n; i++) {
+    if (handles[i] != nullptr) {
+      ReleaseSlot(reinterpret_cast<Slot*>(handles[i]));
+    }
+  }
+}
+
+Cache::Handle* ClockCache::Ref(Handle* handle) {
+  // The caller already holds a pin, so the slot is shareable by contract.
+  reinterpret_cast<Slot*>(handle)->meta.fetch_add(kRefUnit,
+                                                  std::memory_order_relaxed);
+  return handle;
+}
+
+bool ClockCache::ContainsImpl(const Slice& key) {
+  Slot* s = FindAndRef(key, KeyHash(key), /*touch=*/false);
+  if (s == nullptr) return false;
+  ReleaseSlot(s);
+  return true;
+}
+
+bool ClockCache::Contains(const Slice& key) const {
+  ADCACHE_PERF_COUNTER_ADD(block_cache_contains_count, 1);
+  // The probe mutates only the slot's atomic meta (a transient pin); the
+  // cache is logically unchanged, hence the const_cast.
+  return const_cast<ClockCache*>(this)->ContainsImpl(key);
+}
+
+void ClockCache::Release(Handle* handle) {
+  // Unlike the LRU shard there is no evict-on-release: hits release
+  // constantly, and charging every one a sweep would put eviction work on
+  // the hottest path. Inserts (and SetCapacity) drive eviction instead, so
+  // usage can stay over a shrunken budget until insert traffic arrives —
+  // the same policy as RocksDB's HyperClockCache.
+  ReleaseSlot(reinterpret_cast<Slot*>(handle));
+}
+
+void* ClockCache::Value(Handle* handle) {
+  return reinterpret_cast<Slot*>(handle)->value;
+}
+
+void ClockCache::EraseMatching(const Slice& key, uint64_t hash, Slot* skip) {
+  Probe p = ProbeFor(hash);
+  for (size_t i = 0; i < probe_limit_; i++) {
+    Slot* s = SlotAt(p, i);
+    if (s == skip) continue;
+    uint64_t meta = s->meta.load(std::memory_order_acquire);
+    uint64_t state = StateOf(meta);
+    if (state == kStateEmpty) return;  // end of probe chain
+    if (state != kStateVisible ||
+        s->tag.load(std::memory_order_relaxed) != hash) {
+      continue;
+    }
+    uint64_t old = s->meta.fetch_add(kRefUnit, std::memory_order_acquire);
+    if (!(old & kShareableBit)) {
+      s->meta.fetch_sub(kRefUnit, std::memory_order_release);
+      continue;
+    }
+    if (StateOf(old) == kStateVisible &&
+        s->tag.load(std::memory_order_relaxed) == hash &&
+        Slice(s->key).compare(key) == 0) {
+      // Visible -> invisible: lookups stop finding it; existing pins stay
+      // valid and the entry is freed when the last one (possibly ours,
+      // below) drops.
+      uint64_t cur = s->meta.load(std::memory_order_relaxed);
+      while (StateOf(cur) == kStateVisible &&
+             !s->meta.compare_exchange_weak(
+                 cur, cur & ~(uint64_t{1} << kStateShift),
+                 std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      }
+    }
+    ReleaseSlot(s);
+    // Keep scanning: concurrent inserts can leave duplicates.
+  }
+}
+
+void ClockCache::Erase(const Slice& key) {
+  EraseMatching(key, KeyHash(key), nullptr);
+}
+
+void ClockCache::SetCapacity(size_t capacity) {
+  capacity_.store(capacity, std::memory_order_relaxed);
+  // One bounded sweep now; if the shrink is deeper than the budget can
+  // satisfy, subsequent Inserts (and the controller's next SetCapacity)
+  // keep nibbling. The budget is capped below a full pass of a large
+  // table: the controller retargets continuously, and burning a full
+  // 32k-slot scan per retarget on a sparse table steals CPU from readers.
+  // Readers are never stalled — there is no stop-the-world here.
+  EvictToFit(0, std::min<size_t>(num_slots_, 4096));
+}
+
+size_t ClockCache::GetCapacity() const {
+  return capacity_.load(std::memory_order_relaxed);
+}
+
+size_t ClockCache::GetUsage() const {
+  int64_t u = LoadUsage();
+  return u > 0 ? static_cast<size_t>(u) : 0;
+}
+
+void ClockCache::Prune() {
+  // Evict every unpinned entry: one full pass with the counter ignored.
+  Sweep(num_slots_, /*ignore_clock=*/true,
+        [](size_t) { return true; });
+}
+
+double ClockCache::slot_occupancy() const {
+  return static_cast<double>(occupancy_.load(std::memory_order_relaxed)) /
+         static_cast<double>(num_slots_);
+}
+
+uint64_t ClockCache::hits() const { return hits_.Load(); }
+
+uint64_t ClockCache::misses() const { return misses_.Load(); }
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+BlockCacheImpl DefaultBlockCacheImpl() {
+  const char* env = std::getenv("ADCACHE_BLOCK_CACHE_IMPL");
+  if (env != nullptr && std::strcmp(env, "clock") == 0) {
+    return BlockCacheImpl::kClock;
+  }
+  return BlockCacheImpl::kLRU;
+}
+
+std::shared_ptr<Cache> NewClockCache(size_t capacity,
+                                     size_t estimated_entry_charge,
+                                     size_t table_capacity_hint) {
+  return std::make_shared<ClockCache>(capacity, estimated_entry_charge,
+                                      table_capacity_hint);
+}
+
+std::shared_ptr<Cache> NewBlockCache(BlockCacheImpl impl, size_t capacity,
+                                     size_t table_capacity_hint) {
+  if (impl == BlockCacheImpl::kClock) {
+    return NewClockCache(capacity, /*estimated_entry_charge=*/4160,
+                         table_capacity_hint);
+  }
+  return NewLRUCache(capacity);
+}
+
+}  // namespace adcache

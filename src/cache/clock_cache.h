@@ -1,0 +1,198 @@
+#ifndef ADCACHE_CACHE_CLOCK_CACHE_H_
+#define ADCACHE_CACHE_CLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/cache.h"
+#include "util/sharded_counter.h"
+
+namespace adcache {
+
+namespace cache_internal {
+
+/// One slot of the ClockCache's open-addressed table (also the backing
+/// object for "standalone" handles that never enter the table). All
+/// concurrent coordination happens through `meta`, a single packed atomic
+/// word; the plain fields below it are written only while the writer holds
+/// the slot exclusively (kConstruction state) and read only while the reader
+/// holds a reference, so they never race.
+///
+/// `meta` layout (64 bits):
+///
+///   bits 63..62  state        00 kEmpty         slot unoccupied
+///                             01 kConstruction  exclusively owned (being
+///                                               filled or being freed)
+///                             10 kInvisible     occupied, erased: lookups
+///                                               skip it, pins stay valid
+///                             11 kVisible       occupied and findable
+///   bits 33..4   refs         external pins (30 bits)
+///   bits  1..0   clock        CLOCK replacement counter, 0..3
+///
+/// "Shareable" = bit 63 set (kVisible or kInvisible): references may be
+/// acquired with a plain fetch_add. A slot can only be freed or reused by
+/// first CAS-ing a shareable-with-zero-refs word to kConstruction, so any
+/// thread that observed shareable state when its fetch_add landed holds a
+/// legitimate pin. Probing threads that raced (the old word was empty or
+/// under construction) simply fetch_sub their increment back out; state
+/// bits are never touched by reference traffic, so the spurious ref only
+/// briefly delays an inserter's CAS.
+struct ClockSlot {
+  std::atomic<uint64_t> meta{0};
+  /// 64-bit hash of the resident key; pre-reference filter only (the full
+  /// key is re-compared under a held reference).
+  std::atomic<uint64_t> tag{0};
+
+  // Exclusively-owned fields (see class comment).
+  std::string key;
+  void* value = nullptr;
+  Cache::Deleter deleter = nullptr;
+  size_t charge = 0;
+  /// Immutable after construction: true for heap-allocated fallback handles
+  /// that are not part of any table (freed on last Release).
+  bool standalone = false;
+};
+
+}  // namespace cache_internal
+
+/// Lock-free CLOCK-replacement cache in the style of RocksDB's
+/// HyperClockCache: a fixed-size open-addressed hash table of ClockSlots,
+/// no mutexes anywhere. On the hot path a Lookup hit costs one fetch_add
+/// (the pin) and one key compare (plus a fetch_or to saturate the clock
+/// counter only when a previous hit has not already done so); Release is a
+/// single fetch_sub. Eviction is a clock hand (free-running atomic cursor)
+/// that decrements per-slot counters and reclaims only unreferenced slots
+/// via CAS. It runs on Insert and SetCapacity — never on Lookup/Release —
+/// so readers are never stalled, including during SetCapacity, which makes
+/// shrinking incremental: one bounded sweep now, the remainder amortized
+/// over subsequent Inserts (the AdCache dynamic-boundary controller
+/// retargets the block-cache budget continuously, so a stop-the-world
+/// shrink would stall the read path it is trying to help).
+///
+/// Deliberate departures from ShardedLRUCache semantics, all benign for a
+/// block cache (keys are (file#, offset), so a key's value is immutable and
+/// file numbers are never reused):
+///   - A probe sequence stops at the first empty slot, so an entry displaced
+///     past a slot that was later evicted can become unreachable (a false
+///     miss); it is reclaimed by the sweep and the re-read re-inserts.
+///   - Inserting an existing key erases the old entry before publishing the
+///     new one (so the freed slot is reused and never orphans the new entry
+///     behind an empty-slot probe stop); a concurrent Lookup in that window
+///     misses. Two racing inserts of one key can leave both entries live
+///     and findable until the sweep reclaims one — identical values by the
+///     block cache's immutable-key contract.
+///   - An entry's charge stays in GetUsage() until the entry is actually
+///     freed: erased-but-pinned entries remain charged (ShardedLRUCache
+///     uncharges on Erase even while pinned).
+/// When the table is full (occupancy limit) or the entry cannot fit, Insert
+/// returns a heap-allocated "standalone" handle: the caller can use the
+/// value normally, it is charged against usage, and it is freed on the last
+/// Release without ever being findable by Lookup.
+class ClockCache : public Cache {
+ public:
+  /// `estimated_entry_charge` sizes the slot table:
+  /// ~2 * max(capacity, table_capacity_hint) / estimated_entry_charge slots
+  /// (rounded up to a power of two), so the table keeps headroom even if
+  /// SetCapacity later grows the budget up to the hint. The table never
+  /// resizes.
+  ClockCache(size_t capacity, size_t estimated_entry_charge,
+             size_t table_capacity_hint = 0);
+  ~ClockCache() override;
+
+  ClockCache(const ClockCache&) = delete;
+  ClockCache& operator=(const ClockCache&) = delete;
+
+  Handle* Insert(const Slice& key, void* value, size_t charge,
+                 Deleter deleter) override;
+  Handle* Lookup(const Slice& key) override;
+  void MultiLookup(size_t n, const Slice* keys, Handle** handles) override;
+  void MultiRelease(size_t n, Handle* const* handles) override;
+  Handle* Ref(Handle* handle) override;
+  bool Contains(const Slice& key) const override;
+  void Release(Handle* handle) override;
+  void* Value(Handle* handle) override;
+  void Erase(const Slice& key) override;
+  void SetCapacity(size_t capacity) override;
+  size_t GetCapacity() const override;
+  size_t GetUsage() const override;
+  void Prune() override;
+  double slot_occupancy() const override;
+  uint64_t hits() const override;
+  uint64_t misses() const override;
+
+  size_t table_size() const { return num_slots_; }
+  size_t occupancy() const {
+    return occupancy_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Slot = cache_internal::ClockSlot;
+
+  struct Probe {
+    size_t index;
+    size_t step;
+  };
+
+  Probe ProbeFor(uint64_t hash) const;
+  Slot* SlotAt(const Probe& p, size_t i) {
+    return &slots_[(p.index + i * p.step) & slot_mask_];
+  }
+  const Slot* SlotAt(const Probe& p, size_t i) const {
+    return &slots_[(p.index + i * p.step) & slot_mask_];
+  }
+
+  /// Shared probe loop: returns a pinned slot for `key` or nullptr. When
+  /// `touch`, a hit also saturates the slot's clock counter (recency).
+  Slot* FindAndRef(const Slice& key, uint64_t hash, bool touch);
+  /// Drops one pin. Frees the slot/handle when this was the last pin on an
+  /// erased (kInvisible) entry or a standalone handle.
+  void ReleaseSlot(Slot* s);
+  /// Takes exclusive ownership of an erased zero-ref slot and frees it.
+  void TryFreeInvisible(Slot* s);
+  /// Frees a slot the caller holds in kConstruction state: runs the
+  /// deleter, uncharges, and returns the slot to kEmpty.
+  void FreeOwnedSlot(Slot* s);
+  /// Advances the clock hand up to `max_scan` slots, evicting unreferenced
+  /// entries whose counter reaches zero (or any unreferenced entry when
+  /// `ignore_clock`). Stops early once `StillNeeded()` is false.
+  template <typename StillNeeded>
+  void Sweep(size_t max_scan, bool ignore_clock, StillNeeded still_needed);
+  /// Evicts until `usage + incoming <= capacity` or the per-call scan
+  /// budget is exhausted (all-pinned tables make this a bounded no-op).
+  void EvictToFit(size_t incoming, size_t max_scan);
+  /// Flips visible entries matching `key` to kInvisible (erase semantics);
+  /// `skip` is excluded.
+  void EraseMatching(const Slice& key, uint64_t hash, Slot* skip);
+
+  bool ContainsImpl(const Slice& key);
+  void AddUsage(int64_t delta) const;
+  int64_t LoadUsage() const;
+
+  size_t num_slots_;
+  size_t slot_mask_;
+  size_t probe_limit_;
+  size_t occupancy_limit_;
+  std::unique_ptr<Slot[]> slots_;
+
+  std::atomic<size_t> capacity_;
+  /// Free-running clock hand (mod num_slots_).
+  mutable std::atomic<uint64_t> clock_pointer_{0};
+  mutable std::atomic<size_t> occupancy_{0};
+
+  /// Charge accounting, sharded so concurrent Insert/Release/eviction do
+  /// not serialize on one cacheline; GetUsage sums the shards.
+  static constexpr size_t kUsageShards = 8;
+  struct alignas(64) UsageShard {
+    std::atomic<int64_t> value{0};
+  };
+  mutable UsageShard usage_[kUsageShards];
+
+  mutable util::ShardedCounter hits_;
+  mutable util::ShardedCounter misses_;
+};
+
+}  // namespace adcache
+
+#endif  // ADCACHE_CACHE_CLOCK_CACHE_H_

@@ -6,6 +6,7 @@
 
 #include "util/hash.h"
 #include "util/inline_buffer.h"
+#include "util/perf_context.h"
 
 namespace adcache {
 
@@ -146,7 +147,12 @@ void LRUCacheShard::Ref(Cache::Handle* handle) {
 }
 
 bool LRUCacheShard::Contains(const Slice& key) const {
-  std::lock_guard<std::mutex> l(mu_);
+  // Advisory probe (see Cache::Contains): never wait behind a foreground
+  // Lookup/Insert holding the shard mutex — a contended shard answers
+  // "probably not cached", which background prefetch treats the same as a
+  // miss. This keeps the probe off the shard's critical path entirely.
+  std::unique_lock<std::mutex> l(mu_, std::try_to_lock);
+  if (!l.owns_lock()) return false;
   return table_.find(View(key)) != table_.end();
 }
 
@@ -312,6 +318,7 @@ Cache::Handle* ShardedLRUCache::Ref(Handle* handle) {
 }
 
 bool ShardedLRUCache::Contains(const Slice& key) const {
+  ADCACHE_PERF_COUNTER_ADD(block_cache_contains_count, 1);
   uint32_t h = HashSlice(key);
   return shards_[h & shard_mask_].Contains(key);
 }

@@ -268,13 +268,27 @@ ShardedRangeCache::ShardedRangeCache(size_t capacity_bytes,
                                      std::vector<std::string> boundaries,
                                      PolicyFactory policy_factory,
                                      uint64_t seed)
-    : boundaries_(std::move(boundaries)) {
+    : boundaries_(std::move(boundaries)), capacity_(capacity_bytes) {
   assert(std::is_sorted(boundaries_.begin(), boundaries_.end()));
   size_t num_shards = boundaries_.size() + 1;
   size_t per_shard = (capacity_bytes + num_shards - 1) / num_shards;
   for (size_t i = 0; i < num_shards; i++) {
     shards_.push_back(
         std::make_unique<RangeCache>(per_shard, policy_factory(seed + i)));
+  }
+}
+
+ShardedRangeCache::ShardedRangeCache(
+    size_t capacity_bytes, std::vector<std::string> boundaries,
+    std::vector<std::unique_ptr<EvictionPolicy>> policies)
+    : boundaries_(std::move(boundaries)), capacity_(capacity_bytes) {
+  assert(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+  assert(policies.size() == boundaries_.size() + 1);
+  size_t num_shards = policies.size();
+  size_t per_shard = (capacity_bytes + num_shards - 1) / num_shards;
+  for (auto& policy : policies) {
+    shards_.push_back(
+        std::make_unique<RangeCache>(per_shard, std::move(policy)));
   }
 }
 
@@ -343,7 +357,12 @@ void ShardedRangeCache::InvalidateDelete(const Slice& key) {
   shards_[ShardFor(key)]->InvalidateDelete(key);
 }
 
+void ShardedRangeCache::Clear() {
+  for (auto& s : shards_) s->Clear();
+}
+
 void ShardedRangeCache::SetCapacity(size_t capacity_bytes) {
+  capacity_ = capacity_bytes;
   size_t per_shard = (capacity_bytes + shards_.size() - 1) / shards_.size();
   for (auto& s : shards_) s->SetCapacity(per_shard);
 }
@@ -360,9 +379,21 @@ uint64_t ShardedRangeCache::hits() const {
   return total;
 }
 
+size_t ShardedRangeCache::EntryCount() const {
+  size_t total = 0;
+  for (const auto& s : shards_) total += s->EntryCount();
+  return total;
+}
+
 uint64_t ShardedRangeCache::misses() const {
   uint64_t total = 0;
   for (const auto& s : shards_) total += s->misses();
+  return total;
+}
+
+uint64_t ShardedRangeCache::evictions() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->evictions();
   return total;
 }
 

@@ -126,6 +126,12 @@ class ShardedRangeCache {
                     std::vector<std::string> boundaries,
                     PolicyFactory policy_factory, uint64_t seed = 42);
 
+  /// Same partitioning, but with one caller-supplied policy per shard
+  /// (`policies.size()` must be `boundaries.size() + 1`).
+  ShardedRangeCache(size_t capacity_bytes,
+                    std::vector<std::string> boundaries,
+                    std::vector<std::unique_ptr<EvictionPolicy>> policies);
+
   bool Get(const Slice& key, std::string* value);
   bool GetScan(const Slice& start, size_t n, std::vector<KvPair>* results);
   void PutPoint(const Slice& key, const Slice& value);
@@ -133,10 +139,16 @@ class ShardedRangeCache {
                size_t admit_limit);
   void InvalidateWrite(const Slice& key, const Slice& value);
   void InvalidateDelete(const Slice& key);
+  void Clear();
   void SetCapacity(size_t capacity_bytes);
+  /// The budget most recently requested (shards hold ceil-divided splits,
+  /// so summing their capacities could over-report by up to n-1 bytes).
+  size_t GetCapacity() const { return capacity_; }
   size_t GetUsage() const;
+  size_t EntryCount() const;
   uint64_t hits() const;
   uint64_t misses() const;
+  uint64_t evictions() const;
   size_t num_shards() const { return shards_.size(); }
 
  private:
@@ -144,6 +156,7 @@ class ShardedRangeCache {
 
   std::vector<std::string> boundaries_;
   std::vector<std::unique_ptr<RangeCache>> shards_;
+  size_t capacity_;
 };
 
 }  // namespace adcache

@@ -27,13 +27,18 @@ Status ScanThroughDb(lsm::DB* db, const lsm::ReadOptions& read_options,
 // AdCacheStore
 // ---------------------------------------------------------------------------
 
-AdCacheStore::AdCacheStore(const AdCacheOptions& options)
+AdCacheStore::AdCacheStore(const AdCacheOptions& options,
+                           BlockCacheImpl block_cache_impl)
     : options_(options),
       point_admission_(options.point_admission),
       scan_admission_(options.scan_admission_max_a),
       next_window_at_(options.controller.window_size) {
+  DynamicCacheOptions cache_options;
+  cache_options.block_cache_impl = block_cache_impl;
+  cache_options.range_shard_boundaries = options.range_shard_boundaries;
   cache_ = std::make_unique<DynamicCacheComponent>(
-      options.cache_budget, options.initial_range_ratio, NewLruPolicy());
+      options.cache_budget, options.initial_range_ratio, NewLruPolicy(),
+      std::move(cache_options));
   controller_ = std::make_unique<PolicyController>(
       options.controller, cache_.get(), &point_admission_, &scan_admission_);
   stats_->SetStatsLevel(options.stats_level);
@@ -55,7 +60,8 @@ Status AdCacheStore::Open(const AdCacheOptions& options,
                           const lsm::Options& lsm_options,
                           const std::string& dbname,
                           std::unique_ptr<AdCacheStore>* store) {
-  auto s = std::unique_ptr<AdCacheStore>(new AdCacheStore(options));
+  auto s = std::unique_ptr<AdCacheStore>(
+      new AdCacheStore(options, lsm_options.block_cache_impl));
   if (!options.pretrained_model.empty()) {
     Status st = s->controller_->LoadModel(Slice(options.pretrained_model));
     if (!st.ok()) return st;
@@ -332,6 +338,10 @@ void AdCacheStore::SyncComponentTickers() const {
        kTickerRangeCacheHits);
   fold(mirror_.range_misses, cache_->range_cache()->misses(),
        kTickerRangeCacheMisses);
+  // Slot-table pressure for the CLOCK backend (0 for LRU): distinguishes
+  // "byte budget full" from "slot table full" when tuning entry estimates.
+  stats->SetGauge(kGaugeBlockCacheSlotOccupancy,
+                  cache_->block_cache()->slot_occupancy());
 }
 
 CacheStatsSnapshot AdCacheStore::GetCacheStats() const {

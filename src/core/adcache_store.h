@@ -22,6 +22,11 @@ struct AdCacheOptions {
   size_t cache_budget = 16 * 1024 * 1024;
   /// Where the boundary starts before the agent moves it.
   double initial_range_ratio = 0.5;
+  /// Sorted lower bounds partitioning the range cache into independently
+  /// locked key-range shards (empty keeps the paper's single instance).
+  /// Multi-client scan workloads set these to stop range-cache probes from
+  /// serializing on one mutex; see ShardedRangeCache.
+  std::vector<std::string> range_shard_boundaries;
   ControllerOptions controller;
   PointAdmissionController::Options point_admission;
   /// Upper bound for the learnable scan-admission `a`.
@@ -82,7 +87,9 @@ class AdCacheStore : public KvStore {
   void ForceWindowEnd();
 
  private:
-  explicit AdCacheStore(const AdCacheOptions& options);
+  /// `block_cache_impl` comes from lsm::Options at Open time (the dynamic
+  /// component owns the cache, but the DB options select the backend).
+  AdCacheStore(const AdCacheOptions& options, BlockCacheImpl block_cache_impl);
 
   void MaybeEndWindow();
   LsmShapeParams CurrentShape() const;

@@ -12,7 +12,8 @@ Status BlockOnlyStore::Open(size_t cache_budget,
                             std::unique_ptr<BlockOnlyStore>* store,
                             const char* name) {
   auto s = std::unique_ptr<BlockOnlyStore>(new BlockOnlyStore(name));
-  s->block_cache_ = NewLRUCache(cache_budget);
+  s->block_cache_ =
+      NewBlockCache(lsm_options.block_cache_impl, cache_budget);
   lsm::Options db_options = lsm_options;
   db_options.block_cache = s->block_cache_;
   Status st = lsm::DB::Open(db_options, dbname, &s->db_);

@@ -1,19 +1,30 @@
 #include "core/dynamic_cache.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace adcache::core {
 
 DynamicCacheComponent::DynamicCacheComponent(
     size_t total_budget_bytes, double initial_range_ratio,
-    std::unique_ptr<EvictionPolicy> policy)
+    std::unique_ptr<EvictionPolicy> policy, DynamicCacheOptions options)
     : total_budget_(total_budget_bytes),
       range_ratio_(std::clamp(initial_range_ratio, 0.0, 1.0)) {
   double r = range_ratio_.load();
-  block_cache_ =
-      NewLRUCache(static_cast<size_t>((1.0 - r) * total_budget_bytes));
-  range_cache_ = std::make_unique<RangeCache>(
-      static_cast<size_t>(r * total_budget_bytes), std::move(policy));
+  // The table hint is the whole budget: the boundary can later give the
+  // block cache up to 100% of it, and the CLOCK slot table never resizes.
+  block_cache_ = NewBlockCache(
+      options.block_cache_impl,
+      static_cast<size_t>((1.0 - r) * total_budget_bytes),
+      /*table_capacity_hint=*/total_budget_bytes);
+  std::vector<std::unique_ptr<EvictionPolicy>> policies;
+  policies.push_back(std::move(policy));
+  for (size_t i = 0; i < options.range_shard_boundaries.size(); i++) {
+    policies.push_back(NewLruPolicy());
+  }
+  range_cache_ = std::make_unique<ShardedRangeCache>(
+      static_cast<size_t>(r * total_budget_bytes),
+      std::move(options.range_shard_boundaries), std::move(policies));
 }
 
 void DynamicCacheComponent::SetRangeRatio(double ratio) {

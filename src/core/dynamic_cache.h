@@ -3,11 +3,25 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "cache/cache.h"
 #include "cache/range_cache.h"
 
 namespace adcache::core {
+
+/// Component-level knobs that do not move at runtime (the boundary does).
+struct DynamicCacheOptions {
+  /// Block-cache implementation (lock-free CLOCK or mutex-per-shard LRU).
+  /// The CLOCK table is sized for the *whole* budget so SetRangeRatio can
+  /// later hand the block cache any share without resizing.
+  BlockCacheImpl block_cache_impl = BlockCacheImpl::kLRU;
+  /// Sorted lower bounds splitting the range cache into independent
+  /// key-range shards (empty = one shard, the paper's single skip list).
+  /// Shard 0 uses the caller-supplied policy; extra shards get LRU.
+  std::vector<std::string> range_shard_boundaries;
+};
 
 /// The Dynamic Cache Component (paper §3.3): one memory budget shared by a
 /// physical block cache and a logical range cache, split by a movable
@@ -17,7 +31,8 @@ class DynamicCacheComponent {
  public:
   /// `policy` seeds the range cache's eviction policy (LRU for AdCache).
   DynamicCacheComponent(size_t total_budget_bytes, double initial_range_ratio,
-                        std::unique_ptr<EvictionPolicy> policy);
+                        std::unique_ptr<EvictionPolicy> policy,
+                        DynamicCacheOptions options = {});
 
   DynamicCacheComponent(const DynamicCacheComponent&) = delete;
   DynamicCacheComponent& operator=(const DynamicCacheComponent&) = delete;
@@ -31,7 +46,8 @@ class DynamicCacheComponent {
 
   /// Block cache to hand to lsm::Options::block_cache.
   const std::shared_ptr<Cache>& block_cache() const { return block_cache_; }
-  RangeCache* range_cache() { return range_cache_.get(); }
+  ShardedRangeCache* range_cache() { return range_cache_.get(); }
+  const ShardedRangeCache* range_cache() const { return range_cache_.get(); }
 
   size_t total_budget() const { return total_budget_; }
   size_t BlockUsage() const { return block_cache_->GetUsage(); }
@@ -41,7 +57,7 @@ class DynamicCacheComponent {
   size_t total_budget_;
   std::atomic<double> range_ratio_;
   std::shared_ptr<Cache> block_cache_;
-  std::unique_ptr<RangeCache> range_cache_;
+  std::unique_ptr<ShardedRangeCache> range_cache_;
 };
 
 }  // namespace adcache::core

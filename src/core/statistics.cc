@@ -44,6 +44,7 @@ const char* const kGaugeNames[kGaugeCount] = {
     "adcache.gauge.scan_a",            // kGaugeScanA
     "adcache.gauge.scan_b",            // kGaugeScanB
     "adcache.gauge.smoothed_hit_rate", // kGaugeSmoothedHitRate
+    "adcache.gauge.block_cache_slot_occupancy",  // kGaugeBlockCacheSlotOccupancy
 };
 
 void AppendJsonNumber(std::ostringstream& out, double v) {

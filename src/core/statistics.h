@@ -62,6 +62,9 @@ enum Gauge : uint32_t {
   kGaugeScanA,
   kGaugeScanB,
   kGaugeSmoothedHitRate,
+  /// Fraction of the block cache's fixed slot table in use (CLOCK backend
+  /// only; 0 for LRU, which has no slot table). Refreshed at snapshot time.
+  kGaugeBlockCacheSlotOccupancy,
   kGaugeCount
 };
 

@@ -41,6 +41,13 @@ struct Options {
   /// Block cache for data blocks; may be null to disable block caching.
   std::shared_ptr<Cache> block_cache;
 
+  /// Which implementation stores that build their own block cache
+  /// (AdCacheStore, BlockOnlyStore, ...) should construct: mutex-per-shard
+  /// LRU or the lock-free CLOCK table. Ignored when `block_cache` is set
+  /// explicitly. Defaults from the ADCACHE_BLOCK_CACHE_IMPL env var so CI
+  /// can rerun the suite against either backend.
+  BlockCacheImpl block_cache_impl = DefaultBlockCacheImpl();
+
   size_t block_size = 4 * 1024;
   size_t table_file_size = 4 * 1024 * 1024;
   size_t memtable_size = 4 * 1024 * 1024;

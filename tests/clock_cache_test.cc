@@ -1,0 +1,354 @@
+#include "cache/clock_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/perf_context.h"
+
+namespace adcache {
+namespace {
+
+std::atomic<int> g_deleted_count{0};
+
+void CountingDeleter(const Slice& /*key*/, void* value) {
+  g_deleted_count.fetch_add(1, std::memory_order_relaxed);
+  delete static_cast<int*>(value);
+}
+
+class ClockCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_deleted_count.store(0);
+    // charge estimate 1 => plenty of slots for a byte-budget of 1000.
+    cache_ = std::make_shared<ClockCache>(1000, /*estimated_entry_charge=*/1);
+  }
+
+  void Insert(const std::string& key, int value, size_t charge = 1) {
+    Cache::Handle* h =
+        cache_->Insert(Slice(key), new int(value), charge, &CountingDeleter);
+    cache_->Release(h);
+  }
+
+  // Returns -1 on miss.
+  int Lookup(const std::string& key) {
+    Cache::Handle* h = cache_->Lookup(Slice(key));
+    if (h == nullptr) return -1;
+    int r = *static_cast<int*>(cache_->Value(h));
+    cache_->Release(h);
+    return r;
+  }
+
+  std::shared_ptr<ClockCache> cache_;
+};
+
+TEST_F(ClockCacheTest, InsertAndLookup) {
+  Insert("a", 1);
+  Insert("b", 2);
+  EXPECT_EQ(Lookup("a"), 1);
+  EXPECT_EQ(Lookup("b"), 2);
+  EXPECT_EQ(Lookup("c"), -1);
+}
+
+TEST_F(ClockCacheTest, HitMissCounters) {
+  Insert("a", 1);
+  Lookup("a");
+  Lookup("a");
+  Lookup("missing");
+  EXPECT_EQ(cache_->hits(), 2u);
+  EXPECT_EQ(cache_->misses(), 1u);
+}
+
+TEST_F(ClockCacheTest, OverwriteReplacesValue) {
+  Insert("k", 1);
+  Insert("k", 2);
+  EXPECT_EQ(Lookup("k"), 2);
+  EXPECT_EQ(g_deleted_count.load(), 1);  // first value freed
+  cache_->Erase(Slice("k"));
+  EXPECT_EQ(Lookup("k"), -1);
+  EXPECT_EQ(g_deleted_count.load(), 2);
+}
+
+TEST_F(ClockCacheTest, UsageTracksChargesAndErase) {
+  Insert("a", 1, 100);
+  Insert("b", 2, 250);
+  EXPECT_EQ(cache_->GetUsage(), 350u);
+  cache_->Erase(Slice("a"));
+  EXPECT_EQ(cache_->GetUsage(), 250u);
+  cache_->Erase(Slice("missing"));  // no-op
+  EXPECT_EQ(cache_->GetUsage(), 250u);
+}
+
+TEST_F(ClockCacheTest, ErasedButPinnedEntryStaysUsableUntilRelease) {
+  Cache::Handle* h =
+      cache_->Insert(Slice("k"), new int(7), 10, &CountingDeleter);
+  cache_->Erase(Slice("k"));
+  // Gone for new lookups, but our pin keeps the value (and charge) alive.
+  EXPECT_EQ(Lookup("k"), -1);
+  EXPECT_EQ(*static_cast<int*>(cache_->Value(h)), 7);
+  EXPECT_EQ(g_deleted_count.load(), 0);
+  EXPECT_EQ(cache_->GetUsage(), 10u);
+  cache_->Release(h);
+  EXPECT_EQ(g_deleted_count.load(), 1);
+  EXPECT_EQ(cache_->GetUsage(), 0u);
+}
+
+TEST_F(ClockCacheTest, PinnedEntriesSurviveSweep) {
+  Cache::Handle* pinned =
+      cache_->Insert(Slice("pinned"), new int(42), 500, &CountingDeleter);
+  for (int i = 0; i < 50; i++) {
+    Insert("filler" + std::to_string(i), i, 50);  // forces continuous sweeps
+  }
+  EXPECT_EQ(*static_cast<int*>(cache_->Value(pinned)), 42);
+  EXPECT_EQ(Lookup("pinned"), 42);
+  // Prune ignores the clock counter but must still skip pinned entries.
+  cache_->Prune();
+  EXPECT_EQ(Lookup("pinned"), 42);
+  cache_->Release(pinned);
+  cache_->Prune();
+  EXPECT_EQ(Lookup("pinned"), -1);
+}
+
+TEST_F(ClockCacheTest, InsertOverFullEvictsOnlyUnreferenced) {
+  std::vector<Cache::Handle*> pins;
+  for (int i = 0; i < 8; i++) {
+    pins.push_back(cache_->Insert(Slice("pin" + std::to_string(i)),
+                                  new int(i), 100, &CountingDeleter));
+  }
+  // Budget is fully pinned; these inserts cannot evict anything resident.
+  for (int i = 0; i < 20; i++) {
+    Insert("over" + std::to_string(i), i, 100);
+  }
+  for (int i = 0; i < 8; i++) {
+    EXPECT_EQ(*static_cast<int*>(cache_->Value(pins[i])), i);
+  }
+  EXPECT_GE(cache_->GetUsage(), 800u);  // pinned charges never leave
+  for (Cache::Handle* h : pins) cache_->Release(h);
+  // With the pins gone, pressure from new inserts reclaims the excess.
+  // Eviction is amortized (bounded sweep per insert), so allow transient
+  // overshoot of a couple of in-flight charges over the 1000 budget.
+  for (int i = 0; i < 30; i++) {
+    Insert("post" + std::to_string(i), i, 100);
+  }
+  EXPECT_LE(cache_->GetUsage(), 1200u);
+}
+
+TEST_F(ClockCacheTest, SetCapacityShrinkConverges) {
+  // Entry-sized charge estimate => a 32-slot table where every bounded
+  // sweep is a full clock pass, making convergence steps deterministic.
+  auto c = std::make_shared<ClockCache>(1000, /*estimated_entry_charge=*/100);
+  auto insert = [&](const std::string& key, size_t charge) {
+    Cache::Handle* h =
+        c->Insert(Slice(key), new int(0), charge, &CountingDeleter);
+    c->Release(h);
+  };
+  for (int i = 0; i < 10; i++) insert("k" + std::to_string(i), 100);
+  EXPECT_EQ(c->GetUsage(), 1000u);
+  c->SetCapacity(300);
+  EXPECT_EQ(c->GetCapacity(), 300u);
+  // The SetCapacity call itself only runs one bounded sweep (a fresh
+  // entry's clock counter survives one decrement), so the shrink finishes
+  // on the amortized path: subsequent inserts converge usage to the new
+  // budget and keep it there, modulo one in-flight charge of overshoot.
+  for (int i = 0; i < 20; i++) {
+    insert("n" + std::to_string(i), 10);
+    EXPECT_LE(c->GetUsage(), 300u + 110u) << i;
+  }
+  for (int i = 0; i < 5; i++) insert("z" + std::to_string(i), 1);
+  EXPECT_LE(c->GetUsage(), 300u);
+  c->SetCapacity(1000);
+  for (int i = 0; i < 5; i++) insert("g" + std::to_string(i), 100);
+  EXPECT_GT(c->GetUsage(), 300u);  // room to grow again
+}
+
+TEST_F(ClockCacheTest, SetCapacityChurnNeverStallsReaders) {
+  // Mimics the RL controller retargeting the boundary while reads proceed.
+  for (int i = 0; i < 10; i++) {
+    Insert("k" + std::to_string(i), i, 50);
+  }
+  for (int step = 0; step < 100; step++) {
+    cache_->SetCapacity(step % 2 == 0 ? 200 : 1000);
+    Insert("churn" + std::to_string(step), step, 50);
+    Lookup("k" + std::to_string(step % 10));  // hit or clean miss, no hang
+  }
+  EXPECT_LE(cache_->GetUsage(), 1000u);
+}
+
+TEST_F(ClockCacheTest, OversizedInsertReturnsUsableStandaloneHandle) {
+  Cache::Handle* h =
+      cache_->Insert(Slice("huge"), new int(9), 5000, &CountingDeleter);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(*static_cast<int*>(cache_->Value(h)), 9);
+  EXPECT_EQ(Lookup("huge"), -1);  // never findable
+  EXPECT_EQ(cache_->GetUsage(), 5000u);  // but charged while pinned
+  Cache::Handle* extra = cache_->Ref(h);
+  cache_->Release(h);
+  EXPECT_EQ(g_deleted_count.load(), 0);
+  cache_->Release(extra);
+  EXPECT_EQ(g_deleted_count.load(), 1);
+  EXPECT_EQ(cache_->GetUsage(), 0u);
+}
+
+TEST_F(ClockCacheTest, TableFullFallsBackToStandalone) {
+  auto tiny = std::make_shared<ClockCache>(1 << 20, /*estimated_entry_charge=*/
+                                           1 << 17);  // 16 slots
+  std::vector<Cache::Handle*> pins;
+  // Pin far more entries than the table has slots: the overflow must come
+  // back as usable standalone handles, not nullptr.
+  for (int i = 0; i < 64; i++) {
+    Cache::Handle* h = tiny->Insert(Slice("k" + std::to_string(i)),
+                                    new int(i), 1, &CountingDeleter);
+    ASSERT_NE(h, nullptr) << i;
+    EXPECT_EQ(*static_cast<int*>(tiny->Value(h)), i);
+    pins.push_back(h);
+  }
+  EXPECT_LE(tiny->occupancy(), tiny->table_size());
+  for (Cache::Handle* h : pins) tiny->Release(h);
+  EXPECT_EQ(g_deleted_count.load(), 64 - static_cast<int>(tiny->occupancy()));
+}
+
+TEST_F(ClockCacheTest, MultiLookupAndMultiRelease) {
+  Insert("a", 1);
+  Insert("b", 2);
+  Insert("c", 3);
+  std::vector<Slice> keys = {Slice("a"), Slice("missing"), Slice("c")};
+  std::vector<Cache::Handle*> handles(3);
+  cache_->MultiLookup(3, keys.data(), handles.data());
+  ASSERT_NE(handles[0], nullptr);
+  EXPECT_EQ(handles[1], nullptr);
+  ASSERT_NE(handles[2], nullptr);
+  EXPECT_EQ(*static_cast<int*>(cache_->Value(handles[0])), 1);
+  EXPECT_EQ(*static_cast<int*>(cache_->Value(handles[2])), 3);
+  EXPECT_EQ(cache_->hits(), 2u);
+  EXPECT_EQ(cache_->misses(), 1u);
+  cache_->MultiRelease(3, handles.data());
+}
+
+TEST_F(ClockCacheTest, ContainsIsAdvisoryAndCountsPerf) {
+  Insert("a", 1);
+  util::SetPerfLevel(util::PerfLevel::kEnableCount);
+  util::GetPerfContext()->Reset();
+  EXPECT_TRUE(cache_->Contains(Slice("a")));
+  EXPECT_FALSE(cache_->Contains(Slice("missing")));
+  EXPECT_EQ(util::GetPerfContext()->block_cache_contains_count, 2u);
+  util::SetPerfLevel(util::PerfLevel::kDisable);
+  // Contains never perturbs hit/miss telemetry.
+  EXPECT_EQ(cache_->hits(), 0u);
+  EXPECT_EQ(cache_->misses(), 0u);
+}
+
+TEST_F(ClockCacheTest, SlotOccupancyGauge) {
+  EXPECT_DOUBLE_EQ(cache_->slot_occupancy(), 0.0);
+  Insert("a", 1);
+  Insert("b", 2);
+  EXPECT_DOUBLE_EQ(
+      cache_->slot_occupancy(),
+      2.0 / static_cast<double>(cache_->table_size()));
+  cache_->Prune();
+  EXPECT_DOUBLE_EQ(cache_->slot_occupancy(), 0.0);
+}
+
+TEST_F(ClockCacheTest, EraseDuringConcurrentLookupNeverDangles) {
+  // One eraser + re-inserter races several readers on a single hot key.
+  // Every handle a reader obtains must stay valid until its Release.
+  constexpr int kReaders = 4;
+  constexpr int kIterations = 4000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> value_mismatches{0};
+  Insert("hot", 1234);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; t++) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Cache::Handle* h = cache_->Lookup(Slice("hot"));
+        if (h != nullptr) {
+          if (*static_cast<int*>(cache_->Value(h)) != 1234) {
+            value_mismatches.fetch_add(1);
+          }
+          cache_->Release(h);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < kIterations; i++) {
+    cache_->Erase(Slice("hot"));
+    Cache::Handle* h =
+        cache_->Insert(Slice("hot"), new int(1234), 1, &CountingDeleter);
+    cache_->Release(h);
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(value_mismatches.load(), 0);
+}
+
+TEST_F(ClockCacheTest, EightThreadMixedStress) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 8000;
+  constexpr int kKeySpace = 64;
+  auto stress =
+      std::make_shared<ClockCache>(2000, /*estimated_entry_charge=*/25);
+  std::atomic<int> bad_values{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      unsigned int seed = 0x9e3779b9u * static_cast<unsigned int>(t + 1);
+      auto next = [&seed] {
+        seed = seed * 1664525u + 1013904223u;
+        return seed >> 8;
+      };
+      for (int i = 0; i < kOpsPerThread; i++) {
+        int k = static_cast<int>(next() % kKeySpace);
+        std::string key = "key" + std::to_string(k);
+        unsigned int op = next() % 100;
+        if (op < 50) {
+          Cache::Handle* h = stress->Lookup(Slice(key));
+          if (h != nullptr) {
+            if (*static_cast<int*>(stress->Value(h)) != k) {
+              bad_values.fetch_add(1);
+            }
+            stress->Release(h);
+          }
+        } else if (op < 75) {
+          Cache::Handle* h = stress->Insert(Slice(key), new int(k),
+                                            1 + next() % 50, &CountingDeleter);
+          if (*static_cast<int*>(stress->Value(h)) != k) {
+            bad_values.fetch_add(1);
+          }
+          stress->Release(h);
+        } else if (op < 85) {
+          stress->Erase(Slice(key));
+        } else if (op < 95) {
+          std::string k2 = "key" + std::to_string((k + 1) % kKeySpace);
+          Slice keys[2] = {Slice(key), Slice(k2)};
+          Cache::Handle* handles[2];
+          stress->MultiLookup(2, keys, handles);
+          stress->MultiRelease(2, handles);
+        } else {
+          stress->SetCapacity(1000 + (next() % 3) * 1000);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bad_values.load(), 0);
+  stress->SetCapacity(2000);
+  // Quiesced: counters must balance and usage must respect the budget
+  // after one more round of amortized eviction.
+  for (int i = 0; i < 100; i++) {
+    Cache::Handle* h =
+        stress->Insert(Slice("drain"), new int(0), 1, &CountingDeleter);
+    stress->Release(h);
+  }
+  EXPECT_LE(stress->GetUsage(), 2000u);
+  // Destructor (on scope exit) asserts every entry is unreferenced.
+}
+
+}  // namespace
+}  // namespace adcache

@@ -42,7 +42,9 @@ class DbMultiGetTest : public ::testing::Test {
     options_.table_file_size = 8 * 1024;
     options_.memtable_size = 32 * 1024;
     options_.level1_size_base = 32 * 1024;
-    options_.block_cache = NewLRUCache(1024 * 1024);
+    // Honors ADCACHE_BLOCK_CACHE_IMPL so check.sh can rerun this suite
+    // against the clock backend.
+    options_.block_cache = NewBlockCache(DefaultBlockCacheImpl(), 1024 * 1024);
     ASSERT_TRUE(lsm::DB::Open(options_, "/db", &db_).ok());
   }
 

@@ -124,7 +124,7 @@ TEST_F(TableTest, IteratorSeeksAcrossBlockBoundaries) {
 }
 
 TEST_F(TableTest, BlockCacheAvoidsRepeatReads) {
-  auto cache = NewLRUCache(1 << 20, 0);
+  auto cache = NewBlockCache(DefaultBlockCacheImpl(), 1 << 20);
   BuildAndOpen(200, cache);
   std::string value;
   ASSERT_EQ(table_->Get(ReadOptions(), Slice(KeyOf(5)), 100, &value, nullptr),
@@ -139,7 +139,7 @@ TEST_F(TableTest, BlockCacheAvoidsRepeatReads) {
 }
 
 TEST_F(TableTest, FillBlockCacheFalseSkipsInsertion) {
-  auto cache = NewLRUCache(1 << 20, 0);
+  auto cache = NewBlockCache(DefaultBlockCacheImpl(), 1 << 20);
   BuildAndOpen(200, cache);
   ReadOptions no_fill;
   no_fill.fill_block_cache = false;
