@@ -6,24 +6,28 @@
 # the cache + MultiGet lifetime-heavy tests, and an observability smoke test
 # (bench_micro --stats-smoke JSON dump).
 #
-# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock]
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tier1=1
 run_clock=1
+run_shards=1
 run_tsan=1
 run_asan=1
 run_stats=1
+nshards=4
 case "${1:-}" in
-  --tsan-only) run_tier1=0; run_clock=0; run_asan=0; run_stats=0 ;;
-  --asan-only) run_tier1=0; run_clock=0; run_tsan=0; run_stats=0 ;;
-  --tier1-only) run_clock=0; run_tsan=0; run_asan=0; run_stats=0 ;;
-  --stats-only) run_tier1=0; run_clock=0; run_tsan=0; run_asan=0 ;;
-  --cache-impl=clock) run_tier1=0; run_tsan=0; run_asan=0; run_stats=0 ;;
+  --tsan-only) run_tier1=0; run_clock=0; run_shards=0; run_asan=0; run_stats=0 ;;
+  --asan-only) run_tier1=0; run_clock=0; run_shards=0; run_tsan=0; run_stats=0 ;;
+  --tier1-only) run_clock=0; run_shards=0; run_tsan=0; run_asan=0; run_stats=0 ;;
+  --stats-only) run_tier1=0; run_clock=0; run_shards=0; run_tsan=0; run_asan=0 ;;
+  --cache-impl=clock) run_tier1=0; run_shards=0; run_tsan=0; run_asan=0; run_stats=0 ;;
+  --shards=*) run_tier1=0; run_clock=0; run_tsan=0; run_asan=0; run_stats=0
+              nshards="${1#--shards=}" ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock]" >&2
+  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N]" >&2
      exit 2 ;;
 esac
 
@@ -43,18 +47,41 @@ if [[ $run_clock -eq 1 ]]; then
   done
 fi
 
+if [[ $run_shards -eq 1 ]]; then
+  echo "== sharded pass: store/multiget/recovery suites with $nshards key-range shards =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target \
+        adcache_store_test multiget_test sharded_store_test
+  # Each suite gets split points matching its own key format so data really
+  # spreads across shards; the ADCACHE_SHARDS run exercises the interpolated
+  # boundaries (and thus the mostly-empty-shard paths) instead. Both cache
+  # backends: the shards share ONE block cache, whichever backend is picked.
+  for impl in lru clock; do
+    ADCACHE_BLOCK_CACHE_IMPL=$impl \
+        ADCACHE_SHARD_BOUNDARIES="key000025,key000050,key000075" \
+        ./build/tests/adcache_store_test
+    ADCACHE_BLOCK_CACHE_IMPL=$impl \
+        ADCACHE_SHARD_BOUNDARIES="key-000025,key-000050,key-000075" \
+        ./build/tests/multiget_test
+    ADCACHE_BLOCK_CACHE_IMPL=$impl ADCACHE_SHARDS="$nshards" \
+        ./build/tests/adcache_store_test
+    ADCACHE_BLOCK_CACHE_IMPL=$impl ./build/tests/sharded_store_test
+  done
+fi
+
 if [[ $run_tsan -eq 1 ]]; then
   echo "== tsan: concurrency suite =="
   cmake -B build-tsan -S . -DADCACHE_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j --target \
         superversion_test background_maintenance_test multiget_test \
-        statistics_test clock_cache_test
+        statistics_test clock_cache_test sharded_store_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/superversion_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/background_maintenance_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/multiget_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/statistics_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/clock_cache_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/sharded_store_test
   # The batched read path drives MultiLookup/MultiRelease against whichever
   # backend the env selects; rerun it on the lock-free table.
   ADCACHE_BLOCK_CACHE_IMPL=clock TSAN_OPTIONS="halt_on_error=1" \
@@ -67,9 +94,10 @@ if [[ $run_asan -eq 1 ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-asan -j --target \
         lru_cache_test range_cache_test kv_cache_test \
-        multiget_test superversion_test clock_cache_test
+        multiget_test superversion_test clock_cache_test sharded_store_test
   for t in lru_cache_test range_cache_test kv_cache_test \
-           multiget_test superversion_test clock_cache_test; do
+           multiget_test superversion_test clock_cache_test \
+           sharded_store_test; do
     ASAN_OPTIONS="halt_on_error=1" "./build-asan/tests/$t"
   done
   ADCACHE_BLOCK_CACHE_IMPL=clock ASAN_OPTIONS="halt_on_error=1" \

@@ -94,6 +94,42 @@ bool RangeCache::GetScan(const Slice& start, size_t n,
   return true;
 }
 
+size_t RangeCache::GetScanPart(const Slice& start, size_t n,
+                               std::vector<KvPair>* results) {
+  if (n == 0) return 0;
+  ADCACHE_PERF_COUNTER_ADD(range_cache_probe_count, 1);
+  std::lock_guard<std::mutex> l(mu_);
+  auto it = map_.lower_bound(start.ToString());
+  bool covered = false;
+  if (it != map_.end()) {
+    covered = Slice(it->second.covers_from).compare(start) <= 0;
+    if (!covered && it != map_.begin() &&
+        std::prev(it)->second.adjacent_next) {
+      covered = true;
+    }
+  }
+  size_t served = 0;
+  if (covered) {
+    while (true) {
+      results->push_back(KvPair{it->first, it->second.value});
+      policy_->OnAccess(it->first);
+      served++;
+      if (served == n) break;
+      if (!it->second.adjacent_next) break;
+      auto next = std::next(it);
+      if (next == map_.end()) break;  // defensive: invariant violation
+      it = next;
+    }
+  }
+  return served;
+}
+
+void RangeCache::RecordStitchedScanMiss(const Slice& start) {
+  std::lock_guard<std::mutex> l(mu_);
+  misses_.Inc();
+  policy_->OnMiss(start.ToString());
+}
+
 void RangeCache::PutPoint(const Slice& key, const Slice& value) {
   std::lock_guard<std::mutex> l(mu_);
   std::string k = key.ToString();
@@ -313,9 +349,50 @@ bool ShardedRangeCache::Get(const Slice& key, std::string* value) {
 
 bool ShardedRangeCache::GetScan(const Slice& start, size_t n,
                                 std::vector<KvPair>* results) {
-  // Scans are served from the shard owning the seek key; chains never cross
-  // shard boundaries by construction of PutScan below.
-  return shards_[ShardFor(start)]->GetScan(start, n, results);
+  if (shards_.size() == 1) return shards_[0]->GetScan(start, n, results);
+  // Cached runs are clipped at shard boundaries by PutScan below, so a scan
+  // spanning shards is stitched from per-shard parts: after one shard's
+  // chain ends, re-seek at the smallest key past the served prefix. The
+  // continuation is sound only if the next part's coverage claim reaches
+  // back to that point (PutScan records the cross-boundary gap in the
+  // continuation segment's covers_from) — otherwise the scan is a miss.
+  // Each shard's part is read under that shard's lock only; like every
+  // range-cache scan, the result is not snapshot-consistent.
+  results->clear();
+  if (n == 0) return true;
+  std::string cont;
+  Slice seek = start;
+  size_t shard = ShardFor(start);
+  std::vector<size_t> contributing;
+  while (results->size() < n) {
+    size_t got =
+        shards_[shard]->GetScanPart(seek, n - results->size(), results);
+    if (got > 0) {
+      if (contributing.empty() || contributing.back() != shard) {
+        contributing.push_back(shard);
+      }
+      cont = JustAfter(Slice(results->back().key));
+      seek = Slice(cont);
+      shard = ShardFor(seek);  // another cached run may chain on in-shard
+    } else if (shard + 1 < shards_.size()) {
+      // No provable coverage at `seek` in this shard. The run may continue
+      // in a later shard whose covers_from claim reaches back across the
+      // gap — including across entirely-empty shard ranges — so probe
+      // forward with the same seek; the claim check keeps this sound.
+      shard++;
+    } else {
+      // The scan missed as a whole: the shard owning the failing seek
+      // records it (with the seek key as the ghost-history signal).
+      shards_[ShardFor(seek)]->RecordStitchedScanMiss(seek);
+      results->clear();
+      return false;
+    }
+  }
+  for (size_t shard : contributing) {
+    shards_[shard]->RecordStitchedScanHit();
+  }
+  ADCACHE_PERF_COUNTER_ADD(range_cache_hit_count, 1);
+  return true;
 }
 
 void ShardedRangeCache::PutPoint(const Slice& key, const Slice& value) {
@@ -327,8 +404,11 @@ void ShardedRangeCache::PutScan(const Slice& start,
                                 size_t admit_limit) {
   if (results.empty()) return;
   // Split the result run at shard boundaries; each segment becomes an
-  // independent scan insert whose seek key is the segment's first key
-  // (except the first segment, which keeps the caller's seek key).
+  // independent scan insert. The first segment keeps the caller's seek key;
+  // a continuation segment seeks from just past the previous segment's last
+  // key, so its coverage claim records that the scan observed no DB key in
+  // the cross-boundary gap — that claim is what lets GetScan stitch the
+  // parts back together.
   size_t i = 0;
   bool first_segment = true;
   while (i < results.size() && admit_limit > 0) {
@@ -339,7 +419,12 @@ void ShardedRangeCache::PutScan(const Slice& start,
     }
     std::vector<KvPair> segment(results.begin() + static_cast<long>(i),
                                 results.begin() + static_cast<long>(j));
-    Slice seek = first_segment ? start : Slice(segment.front().key);
+    std::string cont_seek;
+    Slice seek = start;
+    if (!first_segment) {
+      cont_seek = JustAfter(Slice(results[i - 1].key));
+      seek = Slice(cont_seek);
+    }
     size_t before = shards_[shard]->EntryCount();
     shards_[shard]->PutScan(seek, segment, admit_limit);
     size_t after = shards_[shard]->EntryCount();
@@ -365,6 +450,26 @@ void ShardedRangeCache::SetCapacity(size_t capacity_bytes) {
   capacity_ = capacity_bytes;
   size_t per_shard = (capacity_bytes + shards_.size() - 1) / shards_.size();
   for (auto& s : shards_) s->SetCapacity(per_shard);
+}
+
+void ShardedRangeCache::SetShardCapacities(
+    const std::vector<size_t>& capacities) {
+  assert(capacities.size() == shards_.size());
+  size_t total = 0;
+  // Shrink over-budget shards first, then grow the rest, so the summed
+  // usage never transiently exceeds the new total.
+  for (size_t i = 0; i < shards_.size(); i++) {
+    total += capacities[i];
+    if (capacities[i] < shards_[i]->GetCapacity()) {
+      shards_[i]->SetCapacity(capacities[i]);
+    }
+  }
+  for (size_t i = 0; i < shards_.size(); i++) {
+    if (capacities[i] >= shards_[i]->GetCapacity()) {
+      shards_[i]->SetCapacity(capacities[i]);
+    }
+  }
+  capacity_ = total;
 }
 
 size_t ShardedRangeCache::GetUsage() const {

@@ -55,6 +55,23 @@ class RangeCache {
   /// entries (or a chain that provably reaches end-of-data) is cached.
   bool GetScan(const Slice& start, size_t n, std::vector<KvPair>* results);
 
+  /// Partial variant for cross-shard stitching (ShardedRangeCache): appends
+  /// up to `n` provably-consecutive entries starting from the first DB key
+  /// >= `start` and returns how many were appended (0 when coverage at
+  /// `start` cannot be proven). Does not touch the hit/miss counters — the
+  /// facade settles those once the overall stitched outcome is known —
+  /// but served entries do touch the eviction policy even if the caller
+  /// later abandons the scan (recency approximation).
+  size_t GetScanPart(const Slice& start, size_t n,
+                     std::vector<KvPair>* results);
+
+  /// Stitched-scan accounting hooks for ShardedRangeCache: one shard cannot
+  /// see whether a cross-shard scan ultimately succeeded, so the facade
+  /// settles hit/miss counters (and the miss's ghost-history signal) after
+  /// the fact.
+  void RecordStitchedScanHit() { hits_.Inc(); }
+  void RecordStitchedScanMiss(const Slice& start);
+
   /// Admits a point-lookup result.
   void PutPoint(const Slice& key, const Slice& value);
 
@@ -141,6 +158,12 @@ class ShardedRangeCache {
   void InvalidateDelete(const Slice& key);
   void Clear();
   void SetCapacity(size_t capacity_bytes);
+  /// Repartitions the per-shard budgets to `capacities` (one entry per
+  /// shard; their sum becomes the reported capacity). Shards over their new
+  /// budget shrink before any shard grows, so transient total usage never
+  /// exceeds the new sum. This is how per-shard budget leases physically
+  /// reapportion the range cache (see core::PolicyController).
+  void SetShardCapacities(const std::vector<size_t>& capacities);
   /// The budget most recently requested (shards hold ceil-divided splits,
   /// so summing their capacities could over-report by up to n-1 bytes).
   size_t GetCapacity() const { return capacity_; }
@@ -150,6 +173,10 @@ class ShardedRangeCache {
   uint64_t misses() const;
   uint64_t evictions() const;
   size_t num_shards() const { return shards_.size(); }
+  /// Per-shard cache, exposed for telemetry: its hits()/misses() feed the
+  /// per-shard h_est behind budget leases.
+  const RangeCache* shard(size_t i) const { return shards_[i].get(); }
+  const std::vector<std::string>& boundaries() const { return boundaries_; }
 
  private:
   size_t ShardFor(const Slice& key) const;

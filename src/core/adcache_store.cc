@@ -10,7 +10,7 @@ namespace adcache::core {
 // Shared helper
 // ---------------------------------------------------------------------------
 
-Status ScanThroughDb(lsm::DB* db, const lsm::ReadOptions& read_options,
+Status ScanThroughDb(lsm::ShardedDB* db, const lsm::ReadOptions& read_options,
                      const Slice& start, size_t n,
                      std::vector<KvPair>* results) {
   results->clear();
@@ -60,8 +60,17 @@ Status AdCacheStore::Open(const AdCacheOptions& options,
                           const lsm::Options& lsm_options,
                           const std::string& dbname,
                           std::unique_ptr<AdCacheStore>* store) {
+  AdCacheOptions store_options = options;
+  // Align the range cache's shards with the DB's key-range shards when the
+  // engine is sharded and the caller didn't pick boundaries: per-shard
+  // budget leases then physically repartition the range cache per DB shard,
+  // and per-shard hit/miss tickers line up with shard traffic.
+  if (store_options.range_shard_boundaries.empty()) {
+    store_options.range_shard_boundaries =
+        lsm::ShardedDB::ResolveBoundaries(lsm_options);
+  }
   auto s = std::unique_ptr<AdCacheStore>(
-      new AdCacheStore(options, lsm_options.block_cache_impl));
+      new AdCacheStore(store_options, lsm_options.block_cache_impl));
   if (!options.pretrained_model.empty()) {
     Status st = s->controller_->LoadModel(Slice(options.pretrained_model));
     if (!st.ok()) return st;
@@ -75,7 +84,12 @@ Status AdCacheStore::Open(const AdCacheOptions& options,
   for (const auto& listener : options.listeners) {
     db_options.listeners.push_back(listener);
   }
-  Status st = lsm::DB::Open(db_options, dbname, &s->db_);
+  // Size the per-shard ticker table before Open so maintenance events fired
+  // during recovery are already attributable.
+  s->stats_->ConfigureShards(
+      static_cast<int>(lsm::ShardedDB::ResolveBoundaries(db_options).size()) +
+      1);
+  Status st = lsm::ShardedDB::Open(db_options, dbname, &s->db_);
   if (!st.ok()) return st;
   *store = std::move(s);
   return Status::OK();

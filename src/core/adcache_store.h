@@ -12,7 +12,7 @@
 #include "core/kv_store.h"
 #include "core/policy_controller.h"
 #include "core/stats_collector.h"
-#include "lsm/db.h"
+#include "lsm/sharded_db.h"
 
 namespace adcache::core {
 
@@ -74,7 +74,7 @@ class AdCacheStore : public KvStore {
   using KvStore::Scan;
 
   CacheStatsSnapshot GetCacheStats() const override;
-  lsm::DB* db() override { return db_.get(); }
+  lsm::ShardedDB* db() override { return db_.get(); }
   const char* Name() const override { return "adcache"; }
 
   PolicyController* controller() { return controller_.get(); }
@@ -105,7 +105,7 @@ class AdCacheStore : public KvStore {
   PointAdmissionController point_admission_;
   ScanAdmissionController scan_admission_;
   std::unique_ptr<PolicyController> controller_;
-  std::unique_ptr<lsm::DB> db_;
+  std::unique_ptr<lsm::ShardedDB> db_;
   /// Per-window RL state collector (distinct from the base-class stats_
   /// registry, which is the long-lived telemetry surface).
   StatsCollector window_stats_;

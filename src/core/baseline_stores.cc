@@ -16,8 +16,9 @@ Status BlockOnlyStore::Open(size_t cache_budget,
       NewBlockCache(lsm_options.block_cache_impl, cache_budget);
   lsm::Options db_options = lsm_options;
   db_options.block_cache = s->block_cache_;
-  Status st = lsm::DB::Open(db_options, dbname, &s->db_);
+  Status st = lsm::ShardedDB::Open(db_options, dbname, &s->db_);
   if (!st.ok()) return st;
+  s->stats_->ConfigureShards(s->db_->shard_count());
   *store = std::move(s);
   return Status::OK();
 }
@@ -67,8 +68,9 @@ Status KvCacheStore::Open(size_t cache_budget, const lsm::Options& lsm_options,
   auto s = std::unique_ptr<KvCacheStore>(new KvCacheStore(cache_budget));
   lsm::Options db_options = lsm_options;
   db_options.block_cache = nullptr;  // the whole budget is the row cache
-  Status st = lsm::DB::Open(db_options, dbname, &s->db_);
+  Status st = lsm::ShardedDB::Open(db_options, dbname, &s->db_);
   if (!st.ok()) return st;
+  s->stats_->ConfigureShards(s->db_->shard_count());
   *store = std::move(s);
   return Status::OK();
 }
@@ -160,8 +162,9 @@ Status RangeCacheStore::Open(size_t cache_budget,
       new RangeCacheStore(cache_budget, std::move(policy), name));
   lsm::Options db_options = lsm_options;
   db_options.block_cache = nullptr;  // the whole budget is the range cache
-  Status st = lsm::DB::Open(db_options, dbname, &s->db_);
+  Status st = lsm::ShardedDB::Open(db_options, dbname, &s->db_);
   if (!st.ok()) return st;
+  s->stats_->ConfigureShards(s->db_->shard_count());
   *store = std::move(s);
   return Status::OK();
 }

@@ -8,7 +8,7 @@
 #include "cache/kv_cache.h"
 #include "cache/range_cache.h"
 #include "core/kv_store.h"
-#include "lsm/db.h"
+#include "lsm/sharded_db.h"
 
 namespace adcache::core {
 
@@ -36,7 +36,7 @@ class BlockOnlyStore : public KvStore {
   using KvStore::Put;
   using KvStore::Scan;
   CacheStatsSnapshot GetCacheStats() const override;
-  lsm::DB* db() override { return db_.get(); }
+  lsm::ShardedDB* db() override { return db_.get(); }
   const char* Name() const override { return name_; }
 
  private:
@@ -44,7 +44,7 @@ class BlockOnlyStore : public KvStore {
 
   const char* name_;
   std::shared_ptr<Cache> block_cache_;
-  std::unique_ptr<lsm::DB> db_;
+  std::unique_ptr<lsm::ShardedDB> db_;
 };
 
 /// Row-cache baseline: the budget is a key-value cache serving point
@@ -71,14 +71,14 @@ class KvCacheStore : public KvStore {
   using KvStore::Put;
   using KvStore::Scan;
   CacheStatsSnapshot GetCacheStats() const override;
-  lsm::DB* db() override { return db_.get(); }
+  lsm::ShardedDB* db() override { return db_.get(); }
   const char* Name() const override { return "kv"; }
 
  private:
   explicit KvCacheStore(size_t cache_budget) : kv_cache_(cache_budget) {}
 
   KvCache kv_cache_;
-  std::unique_ptr<lsm::DB> db_;
+  std::unique_ptr<lsm::ShardedDB> db_;
 };
 
 /// Result-based baseline: the budget is a Range Cache with a pluggable
@@ -107,7 +107,7 @@ class RangeCacheStore : public KvStore {
   using KvStore::Put;
   using KvStore::Scan;
   CacheStatsSnapshot GetCacheStats() const override;
-  lsm::DB* db() override { return db_.get(); }
+  lsm::ShardedDB* db() override { return db_.get(); }
   const char* Name() const override { return name_; }
 
   RangeCache* range_cache() { return &range_cache_; }
@@ -119,7 +119,7 @@ class RangeCacheStore : public KvStore {
 
   RangeCache range_cache_;
   const char* name_;
-  std::unique_ptr<lsm::DB> db_;
+  std::unique_ptr<lsm::ShardedDB> db_;
 };
 
 }  // namespace adcache::core

@@ -34,12 +34,51 @@ void DynamicCacheComponent::SetRangeRatio(double ratio) {
   auto block_budget = total_budget_ - range_budget;
   // Shrink first, then grow, so transient total usage never exceeds budget.
   if (range_budget < range_cache_->GetCapacity()) {
-    range_cache_->SetCapacity(range_budget);
+    ApplyRangeBudget(range_budget);
     block_cache_->SetCapacity(block_budget);
   } else {
     block_cache_->SetCapacity(block_budget);
-    range_cache_->SetCapacity(range_budget);
+    ApplyRangeBudget(range_budget);
   }
+}
+
+void DynamicCacheComponent::ApplyRangeBudget(size_t range_budget) {
+  std::vector<double> weights = range_leases();
+  size_t num_shards = range_cache_->num_shards();
+  if (weights.size() == num_shards && num_shards > 1) {
+    double sum = 0;
+    for (double w : weights) sum += std::max(w, 0.0);
+    if (sum > 0) {
+      std::vector<size_t> capacities(num_shards);
+      for (size_t i = 0; i < num_shards; i++) {
+        capacities[i] = static_cast<size_t>(
+            static_cast<double>(range_budget) * std::max(weights[i], 0.0) /
+            sum);
+      }
+      range_cache_->SetShardCapacities(capacities);
+      return;
+    }
+  }
+  range_cache_->SetCapacity(range_budget);
+}
+
+void DynamicCacheComponent::SetRangeLeases(std::vector<double> weights) {
+  {
+    std::lock_guard<std::mutex> l(lease_mu_);
+    if (weights.size() == range_cache_->num_shards()) {
+      lease_weights_ = std::move(weights);
+    } else {
+      lease_weights_.clear();
+    }
+  }
+  // Reapply the current boundary so the new lease split takes effect now,
+  // not at the next ratio move.
+  SetRangeRatio(range_ratio());
+}
+
+std::vector<double> DynamicCacheComponent::range_leases() const {
+  std::lock_guard<std::mutex> l(lease_mu_);
+  return lease_weights_;
 }
 
 }  // namespace adcache::core

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,11 +39,21 @@ class DynamicCacheComponent {
   DynamicCacheComponent& operator=(const DynamicCacheComponent&) = delete;
 
   /// Moves the boundary: range cache gets `ratio` of the budget, block cache
-  /// the rest. Clamped to [0, 1].
+  /// the rest. Clamped to [0, 1]. With leases installed (SetRangeLeases)
+  /// the range share is apportioned across the range-cache shards by lease
+  /// weight instead of evenly.
   void SetRangeRatio(double ratio);
   double range_ratio() const {
     return range_ratio_.load(std::memory_order_relaxed);
   }
+
+  /// Installs per-shard budget lease weights for the range cache and
+  /// immediately reapplies the current boundary so the new split takes
+  /// effect. `weights` are normalised internally; the size must equal
+  /// range_cache()->num_shards() (anything else — including empty, which
+  /// restores the even split — clears the leases). Thread-safe.
+  void SetRangeLeases(std::vector<double> weights);
+  std::vector<double> range_leases() const;
 
   /// Block cache to hand to lsm::Options::block_cache.
   const std::shared_ptr<Cache>& block_cache() const { return block_cache_; }
@@ -54,10 +65,16 @@ class DynamicCacheComponent {
   size_t RangeUsage() const { return range_cache_->GetUsage(); }
 
  private:
+  /// Splits `range_budget` over the range-cache shards per the installed
+  /// leases (even when none). Cold path (window boundaries only).
+  void ApplyRangeBudget(size_t range_budget);
+
   size_t total_budget_;
   std::atomic<double> range_ratio_;
   std::shared_ptr<Cache> block_cache_;
   std::unique_ptr<ShardedRangeCache> range_cache_;
+  mutable std::mutex lease_mu_;
+  std::vector<double> lease_weights_;  // guarded by lease_mu_
 };
 
 }  // namespace adcache::core

@@ -13,6 +13,7 @@ struct FlushJobInfo {
   uint64_t file_size = 0;      // bytes written (0 at begin time)
   uint64_t duration_micros = 0;  // wall time of the job (0 at begin time)
   int num_imm_remaining = 0;   // immutable memtables still queued after
+  int shard_id = 0;            // which key-range shard flushed (0 unsharded)
 };
 
 /// Payload for compaction begin/end callbacks.
@@ -24,6 +25,7 @@ struct CompactionJobInfo {
   uint64_t input_bytes = 0;
   uint64_t output_bytes = 0;    // 0 at begin time
   uint64_t duration_micros = 0;  // 0 at begin time
+  int shard_id = 0;             // which key-range shard compacted
 };
 
 /// Write-throttling state of the DB write path.
@@ -36,6 +38,7 @@ enum class WriteStallCondition : int {
 struct WriteStallInfo {
   WriteStallCondition condition = WriteStallCondition::kNormal;
   WriteStallCondition prev_condition = WriteStallCondition::kNormal;
+  int shard_id = 0;  // which key-range shard's write path throttled
 };
 
 /// Payload for a block/range cache boundary move (paper §4.4: the dynamic

@@ -8,7 +8,7 @@
 
 #include "cache/range_cache.h"
 #include "core/statistics.h"
-#include "lsm/db.h"
+#include "lsm/sharded_db.h"
 #include "util/pinnable_slice.h"
 #include "util/slice.h"
 #include "util/status.h"
@@ -132,7 +132,9 @@ class KvStore {
   }
 
   virtual CacheStatsSnapshot GetCacheStats() const = 0;
-  virtual lsm::DB* db() = 0;
+  /// The underlying engine: one-or-more key-range shards behind the
+  /// DB-shaped ShardedDB facade (shard_count() == 1 unless sharded).
+  virtual lsm::ShardedDB* db() = 0;
   virtual const char* Name() const = 0;
 
   /// The store's metrics registry. Never null; stays valid for the store's
@@ -146,7 +148,7 @@ class KvStore {
 
 /// Reads up to `n` user-visible entries from the DB starting at `start`.
 /// Shared implementation behind every store's Scan override.
-Status ScanThroughDb(lsm::DB* db, const lsm::ReadOptions& read_options,
+Status ScanThroughDb(lsm::ShardedDB* db, const lsm::ReadOptions& read_options,
                      const Slice& start, size_t n,
                      std::vector<KvPair>* results);
 

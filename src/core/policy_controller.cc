@@ -83,6 +83,10 @@ void PolicyController::OnWindowEnd(const WindowStats& window,
 
   std::vector<float> state = BuildState(window, shape, h_est);
 
+  // Refresh per-shard budget leases before the action is applied so the
+  // boundary move that follows repartitions with this window's weights.
+  if (options_.enable_shard_leases) UpdateShardLeasesLocked();
+
   if (options_.online_learning && have_prev_) {
     agent_->Observe(prev_state_, prev_action_,
                     static_cast<float>(last_reward_), state);
@@ -140,6 +144,39 @@ void PolicyController::OnWindowEnd(const WindowStats& window,
   prev_state_ = std::move(state);
   prev_action_ = std::move(action);
   have_prev_ = true;
+}
+
+void PolicyController::UpdateShardLeasesLocked() {
+  ShardedRangeCache* range_cache = cache_->range_cache();
+  size_t num_shards = range_cache->num_shards();
+  if (num_shards <= 1) return;
+  shard_h_est_.resize(num_shards, 0.5);
+  shard_prev_hits_.resize(num_shards, 0);
+  shard_prev_lookups_.resize(num_shards, 0);
+  std::vector<double> weights(num_shards);
+  for (size_t i = 0; i < num_shards; i++) {
+    const RangeCache* shard = range_cache->shard(i);
+    uint64_t hits = shard->hits();
+    uint64_t lookups = hits + shard->misses();
+    uint64_t delta_hits = hits - std::min(hits, shard_prev_hits_[i]);
+    uint64_t delta_lookups =
+        lookups - std::min(lookups, shard_prev_lookups_[i]);
+    shard_prev_hits_[i] = hits;
+    shard_prev_lookups_[i] = lookups;
+    if (delta_lookups > 0) {
+      double h = static_cast<double>(delta_hits) /
+                 static_cast<double>(delta_lookups);
+      shard_h_est_[i] =
+          options_.alpha * shard_h_est_[i] + (1.0 - options_.alpha) * h;
+    }
+    // Lease weight = traffic share x unmet demand: a busy shard that still
+    // misses earns budget; the +1 and the 0.05 floor keep idle or
+    // fully-served shards from starving to zero (they must be able to win
+    // budget back when the workload shifts onto them).
+    weights[i] = (static_cast<double>(delta_lookups) + 1.0) *
+                 (1.0 - shard_h_est_[i] + 0.05);
+  }
+  cache_->SetRangeLeases(std::move(weights));
 }
 
 std::vector<float> PolicyController::TargetActionFor(

@@ -27,6 +27,12 @@ struct ControllerOptions {
   bool enable_admission = true;
   /// When false the (pretrained) policy is applied without online updates.
   bool online_learning = true;
+  /// Apportion the range-cache budget across its key-range shards by
+  /// per-shard budget leases refreshed every window (traffic x unmet-demand
+  /// weighted, from per-shard hit/miss tickers) instead of the even split.
+  /// Only takes effect when the range cache is sharded. The global-vs-lease
+  /// comparison lives in EXPERIMENTS.md.
+  bool enable_shard_leases = true;
   /// Supervised pretraining on synthetic workload states before deployment
   /// (paper §3.6: "representative workloads ... manually crafted"). Skipped
   /// when an explicit pretrained model is loaded.
@@ -93,6 +99,10 @@ class PolicyController {
                                 const LsmShapeParams& shape,
                                 double h_est) const;
   void ApplyAction(const std::vector<float>& action);
+  /// Requires mu_. Differences the per-shard range-cache hit/miss tickers
+  /// since the previous window, folds them into per-shard h_est EWMAs, and
+  /// installs the resulting lease weights on the cache component.
+  void UpdateShardLeasesLocked();
 
   ControllerOptions options_;
   DynamicCacheComponent* cache_;
@@ -110,6 +120,11 @@ class PolicyController {
   bool h_initialised_ = false;
   double last_reward_ = 0;
   uint64_t windows_ = 0;
+
+  // Per-shard lease state (guarded by mu_), indexed by range-cache shard.
+  std::vector<double> shard_h_est_;
+  std::vector<uint64_t> shard_prev_hits_;
+  std::vector<uint64_t> shard_prev_lookups_;
 };
 
 }  // namespace adcache::core

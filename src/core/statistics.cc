@@ -45,6 +45,13 @@ const char* const kGaugeNames[kGaugeCount] = {
     "adcache.gauge.scan_b",            // kGaugeScanB
     "adcache.gauge.smoothed_hit_rate", // kGaugeSmoothedHitRate
     "adcache.gauge.block_cache_slot_occupancy",  // kGaugeBlockCacheSlotOccupancy
+    "adcache.gauge.shard_count",       // kGaugeShardCount
+};
+
+const char* const kShardTickerNames[kShardTickerCount] = {
+    "flushes",       // kShardFlushes
+    "compactions",   // kShardCompactions
+    "write_stalls",  // kShardWriteStalls
 };
 
 void AppendJsonNumber(std::ostringstream& out, double v) {
@@ -94,6 +101,11 @@ void Statistics::Reset() {
   for (uint32_t t = 0; t < kTickerCount; ++t) {
     tickers_[t].Reset();
   }
+  for (size_t sh = 0; sh < kMaxStatShards; ++sh) {
+    for (uint32_t t = 0; t < kShardTickerCount; ++t) {
+      shard_tickers_[sh][t].store(0, std::memory_order_relaxed);
+    }
+  }
   for (uint32_t h = 0; h < kHistCount; ++h) {
     for (size_t s = 0; s < kHistShards; ++s) {
       HistShard& shard = histograms_[h][s];
@@ -118,6 +130,14 @@ std::string Statistics::ToString() const {
   }
   for (uint32_t g = 0; g < kGaugeCount; ++g) {
     out << kGaugeNames[g] << " : " << GetGauge(static_cast<Gauge>(g)) << "\n";
+  }
+  for (int sh = 0; sh < shard_count(); ++sh) {
+    out << "adcache.shard." << sh;
+    for (uint32_t t = 0; t < kShardTickerCount; ++t) {
+      out << " " << kShardTickerNames[t] << " : "
+          << GetShardTickerCount(sh, static_cast<ShardTicker>(t));
+    }
+    out << "\n";
   }
   return out.str();
 }
@@ -151,7 +171,17 @@ std::string Statistics::ToJson() const {
     out << "\"" << kGaugeNames[g] << "\":";
     AppendJsonNumber(out, GetGauge(static_cast<Gauge>(g)));
   }
-  out << "}}";
+  out << "},\"shards\":[";
+  for (int sh = 0; sh < shard_count(); ++sh) {
+    if (sh != 0) out << ",";
+    out << "{\"shard\":" << sh;
+    for (uint32_t t = 0; t < kShardTickerCount; ++t) {
+      out << ",\"" << kShardTickerNames[t] << "\":"
+          << GetShardTickerCount(sh, static_cast<ShardTicker>(t));
+    }
+    out << "}";
+  }
+  out << "]}";
   return out.str();
 }
 
@@ -162,6 +192,9 @@ const char* Statistics::HistogramName(HistogramKind kind) {
   return kHistogramNames[kind];
 }
 const char* Statistics::GaugeName(Gauge gauge) { return kGaugeNames[gauge]; }
+const char* Statistics::ShardTickerName(ShardTicker ticker) {
+  return kShardTickerNames[ticker];
+}
 
 PeriodicStatsDumper::PeriodicStatsDumper(Statistics* stats,
                                          uint64_t interval_millis, Sink sink)

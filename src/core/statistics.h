@@ -65,7 +65,21 @@ enum Gauge : uint32_t {
   /// Fraction of the block cache's fixed slot table in use (CLOCK backend
   /// only; 0 for LRU, which has no slot table). Refreshed at snapshot time.
   kGaugeBlockCacheSlotOccupancy,
+  /// Number of key-range shards behind the store's ShardedDB facade (1 for
+  /// an unsharded store). Set by Statistics::ConfigureShards.
+  kGaugeShardCount,
   kGaugeCount
+};
+
+/// Per-key-range-shard maintenance tickers, recorded alongside the global
+/// Ticker aggregates so the JSON dump can attribute flushes, compactions
+/// and write stalls to individual shards. Fed by StatisticsEventListener
+/// from the shard_id stamped into the event payloads.
+enum ShardTicker : uint32_t {
+  kShardFlushes = 0,
+  kShardCompactions,
+  kShardWriteStalls,
+  kShardTickerCount
 };
 
 /// How much the registry records.
@@ -139,6 +153,36 @@ class Statistics {
     return UnpackDouble(gauges_[gauge].load(std::memory_order_relaxed));
   }
 
+  /// Declares how many key-range shards record per-shard ticks (clamped to
+  /// kMaxStatShards) and sets kGaugeShardCount. Call before shard events
+  /// fire; ticks for shards at or past the configured count are dropped.
+  void ConfigureShards(int shard_count) {
+    if (shard_count < 0) shard_count = 0;
+    if (shard_count > static_cast<int>(kMaxStatShards)) {
+      shard_count = static_cast<int>(kMaxStatShards);
+    }
+    shard_count_.store(shard_count, std::memory_order_relaxed);
+    SetGauge(kGaugeShardCount, shard_count);
+  }
+  int shard_count() const {
+    return shard_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Bounds-checked per-shard tick: drops the sample when `shard` is outside
+  /// the configured range (e.g. events firing before ConfigureShards).
+  void RecordShardTick(int shard, ShardTicker ticker, uint64_t count = 1) {
+    if (shard < 0 || shard >= shard_count()) return;
+    if (level_.load(std::memory_order_relaxed) >
+        static_cast<int>(StatsLevel::kDisabled)) {
+      shard_tickers_[shard][ticker].fetch_add(count,
+                                              std::memory_order_relaxed);
+    }
+  }
+  uint64_t GetShardTickerCount(int shard, ShardTicker ticker) const {
+    if (shard < 0 || shard >= static_cast<int>(kMaxStatShards)) return 0;
+    return shard_tickers_[shard][ticker].load(std::memory_order_relaxed);
+  }
+
   /// Zeroes tickers and histograms (gauges keep their last value). Test
   /// helper; concurrent recorders make the zero approximate.
   void Reset();
@@ -151,6 +195,11 @@ class Statistics {
   static const char* TickerName(Ticker ticker);
   static const char* HistogramName(HistogramKind kind);
   static const char* GaugeName(Gauge gauge);
+  static const char* ShardTickerName(ShardTicker ticker);
+
+  /// Upper bound on shards with per-shard tickers (plain atomics, no
+  /// allocation after construction, so recording never races Configure).
+  static constexpr size_t kMaxStatShards = 64;
 
  private:
   static uint64_t PackDouble(double v) {
@@ -183,6 +232,8 @@ class Statistics {
   util::ShardedCounter tickers_[kTickerCount];
   HistShard histograms_[kHistCount][kHistShards];
   std::atomic<uint64_t> gauges_[kGaugeCount] = {};
+  std::atomic<int> shard_count_{0};
+  std::atomic<uint64_t> shard_tickers_[kMaxStatShards][kShardTickerCount] = {};
 };
 
 /// RAII op-latency timer. Reads the clock only when `stats` is non-null and
@@ -219,15 +270,18 @@ class StatisticsEventListener : public EventListener {
 
   void OnFlushCompleted(const FlushJobInfo& info) override {
     stats_->RecordTick(kTickerFlushes);
+    stats_->RecordShardTick(info.shard_id, kShardFlushes);
     stats_->RecordLatency(kHistFlushMicros, info.duration_micros);
   }
   void OnCompactionCompleted(const CompactionJobInfo& info) override {
     stats_->RecordTick(kTickerCompactions);
+    stats_->RecordShardTick(info.shard_id, kShardCompactions);
     stats_->RecordLatency(kHistCompactionMicros, info.duration_micros);
   }
   void OnWriteStallChange(const WriteStallInfo& info) override {
     if (info.condition != WriteStallCondition::kNormal) {
       stats_->RecordTick(kTickerWriteStalls);
+      stats_->RecordShardTick(info.shard_id, kShardWriteStalls);
     }
   }
   void OnCacheBoundaryMove(const CacheBoundaryMoveInfo& info) override {

@@ -15,12 +15,12 @@
 
 namespace adcache::lsm {
 
-namespace {
-
-Env* DefaultEnv() {
+Env* DefaultDbEnv() {
   static Env* env = NewPosixEnv().release();
   return env;
 }
+
+namespace {
 
 // WAL record = one atomic commit group (>= 1 batches):
 //   fixed64 first_sequence | fixed32 count |
@@ -120,7 +120,10 @@ Status DB::Close() {
     while (bg_scheduled_) bg_work_done_cv_.wait(l);
     closed_ = true;
   }
-  bg_pool_.reset();  // joins workers; the queue is empty by now
+  // Owned pool: the reset destroys it, joining the workers (this DB's jobs
+  // have drained). Shared pool: only drops this shard's reference — sibling
+  // shards may still have jobs queued; the facade joins after all close.
+  bg_pool_.reset();
   bg_work_done_cv_.notify_all();
   std::lock_guard<std::mutex> l(mutex_);
   return bg_error_;
@@ -128,7 +131,7 @@ Status DB::Close() {
 
 Status DB::Open(const Options& options, const std::string& dbname,
                 std::unique_ptr<DB>* dbptr) {
-  Env* env = options.env != nullptr ? options.env : DefaultEnv();
+  Env* env = options.env != nullptr ? options.env : DefaultDbEnv();
   Status s = env->CreateDirIfMissing(dbname);
   if (!s.ok()) return s;
 
@@ -141,9 +144,12 @@ Status DB::Open(const Options& options, const std::string& dbname,
   if (!s.ok()) return s;
 
   // Background maintenance starts only after recovery: everything above
-  // runs single-threaded.
-  db->bg_pool_ =
-      std::make_unique<util::ThreadPool>(options.max_background_jobs);
+  // runs single-threaded. A facade-injected pool is shared across shards
+  // (the global max_background_jobs cap); otherwise build a private one.
+  db->bg_pool_ = options.background_pool != nullptr
+                     ? options.background_pool
+                     : std::make_shared<util::ThreadPool>(
+                           options.max_background_jobs);
   {
     std::lock_guard<std::mutex> l(db->mutex_);
     db->InstallSuperVersionLocked();  // publish the initial read state
@@ -510,6 +516,7 @@ Status DB::WriteImpl(const WriteOptions& write_options,
 void DB::SetStallConditionLocked(core::WriteStallCondition condition) {
   if (condition == stall_condition_) return;
   core::WriteStallInfo info;
+  info.shard_id = options_.shard_id;
   info.prev_condition = stall_condition_;
   info.condition = condition;
   stall_condition_ = condition;
@@ -654,6 +661,7 @@ Status DB::FlushOldestImm(std::unique_lock<std::mutex>* l) {
   uint64_t file_number = next_file_number_.fetch_add(1);
 
   core::FlushJobInfo job;
+  job.shard_id = options_.shard_id;
   job.file_number = file_number;
   job.num_entries = imm->num_entries();
   job.num_imm_remaining = static_cast<int>(imm_.size()) - 1;
@@ -840,6 +848,7 @@ bool DB::MaybeCompactOnce(Status* s) {
                              Slice(largest_user), &inputs1);
 
   core::CompactionJobInfo job;
+  job.shard_id = options_.shard_id;
   job.input_level = input_level;
   job.output_level = output_level;
   job.num_input_files = static_cast<int>(inputs0.size() + inputs1.size());
@@ -942,8 +951,8 @@ bool DB::MaybeCompactOnce(Status* s) {
         for (const Table::BlockInfo& info : f->table->GetBlockInfos()) {
           if (f->table->IsBlockCached(info.handle)) {
             hot_ranges.emplace_back(prev_last, info.last_internal_key);
-            options_.block_cache->Erase(
-                Slice(Table::CacheKey(f->number, info.handle.offset)));
+            options_.block_cache->Erase(Slice(Table::CacheKey(
+                f->table->cache_file_id(), info.handle.offset)));
           }
           prev_last = info.last_internal_key;
         }
@@ -1062,6 +1071,7 @@ bool DB::UniversalCompactOnce(Status* s) {
   const bool full_merge = pick == runs.size();
 
   core::CompactionJobInfo job;
+  job.shard_id = options_.shard_id;
   job.input_level = 0;
   job.output_level = 0;
   job.num_input_files = static_cast<int>(inputs.size());

@@ -54,6 +54,9 @@ class Snapshot {
 ///
 /// Iterators returned by NewIterator expose *user* keys, deduplicated and
 /// tombstone-free, at the snapshot taken when the iterator was created.
+/// The process-wide POSIX env used whenever Options::env is null.
+Env* DefaultDbEnv();
+
 class DB {
  public:
   /// Shape statistics consumed by AdCache's I/O estimator (paper Table 1).
@@ -139,6 +142,10 @@ class DB {
   Status FlushMemTable();
   /// Waits until no level is over its compaction threshold (testing).
   Status CompactAll();
+
+  /// The maintenance pool this DB schedules on: the injected
+  /// Options::background_pool when sharded, else its private pool.
+  util::ThreadPool* background_pool() const { return bg_pool_.get(); }
 
  private:
   /// One queued write. The queue leader commits a whole group and signals
@@ -281,7 +288,11 @@ class DB {
   std::unique_ptr<LogWriter> wal_;
 
   // Background maintenance state, guarded by mutex_.
-  std::unique_ptr<util::ThreadPool> bg_pool_;
+  /// Shared with sibling shards when Options::background_pool was injected
+  /// (then Close only drops the reference after draining this DB's job; the
+  /// facade joins the pool once every shard is closed); privately owned —
+  /// and joined by the reset in Close — otherwise.
+  std::shared_ptr<util::ThreadPool> bg_pool_;
   std::condition_variable bg_work_done_cv_;
   bool bg_scheduled_ = false;
   bool shutting_down_ = false;

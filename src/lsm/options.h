@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache.h"
 #include "core/event_listener.h"
 #include "util/env.h"
+#include "util/thread_pool.h"
 
 namespace adcache::lsm {
 
@@ -70,9 +72,34 @@ struct Options {
   int max_write_buffer_number = 4;
 
   /// Worker threads in the background maintenance pool that runs flushes
-  /// and compactions. Maintenance itself is single-flight (one job in
-  /// progress at a time); extra threads serve auxiliary work.
+  /// and compactions. This is a *global* cap: a sharded store opens one
+  /// pool of this size and every shard schedules onto it, so the total
+  /// background thread count never scales with the shard count. Per-DB
+  /// maintenance is single-flight (one job in progress per shard at a
+  /// time); the pool lets different shards flush and compact in parallel.
   int max_background_jobs = 2;
+
+  /// Shared background maintenance pool. When set, the DB schedules its
+  /// flushes/compactions here and never shuts the pool down on Close (the
+  /// owner — typically ShardedDB — does, after every user has closed).
+  /// When null, the DB builds a private pool of `max_background_jobs`
+  /// threads, preserving the single-instance behaviour.
+  std::shared_ptr<util::ThreadPool> background_pool;
+
+  /// Sorted split points partitioning the key space into
+  /// `shard_boundaries.size() + 1` key-range shards, each a full LSM
+  /// instance (memtable + WAL + levels) behind the ShardedDB facade. Keys
+  /// `< shard_boundaries[0]` route to shard 0. Empty (the default) keeps
+  /// one instance — exactly today's single-DB behaviour. Consumed by
+  /// ShardedDB::Open, ignored by a directly opened DB. The boundaries of
+  /// an existing on-disk store must not change between opens: routing at
+  /// read time must match routing at write time.
+  std::vector<std::string> shard_boundaries;
+
+  /// Which shard this DB instance serves (0 for an unsharded DB). Set by
+  /// ShardedDB::Open; stamped into flush/compaction/write-stall event
+  /// payloads so listeners can attribute maintenance work to shards.
+  int shard_id = 0;
 
   /// Combine concurrently queued writers into one WAL record and one sync
   /// (group commit). Disable to force one WAL record + sync per batch —

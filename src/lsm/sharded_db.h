@@ -1,0 +1,126 @@
+#ifndef ADCACHE_LSM_SHARDED_DB_H_
+#define ADCACHE_LSM_SHARDED_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/db.h"
+#include "lsm/iterator.h"
+#include "lsm/options.h"
+#include "lsm/write_batch.h"
+#include "util/pinnable_slice.h"
+#include "util/thread_pool.h"
+
+namespace adcache::lsm {
+
+/// N key-range shards, each a full lsm::DB (own memtable, WAL, levels and
+/// group-commit leader), behind one DB-shaped facade. Shard i owns the keys
+/// in [boundaries[i-1], boundaries[i]) — `ShardFor` is an upper_bound over
+/// the sorted split points from Options::shard_boundaries (or the
+/// ADCACHE_SHARD_BOUNDARIES / ADCACHE_SHARDS env vars; see
+/// ResolveBoundaries). With no boundaries (the default) there is exactly one
+/// shard opened directly at `dbname`, preserving the single-DB on-disk
+/// layout byte for byte; N > 1 stores place each shard under
+/// `dbname/shard-NNN`. Boundaries of an existing store must not change
+/// between opens: routing at read time must match routing at write time.
+///
+/// All shards schedule flushes/compactions onto ONE shared
+/// util::ThreadPool of Options::max_background_jobs threads (injected via
+/// Options::background_pool or created here), so the background thread
+/// count never scales with N; per-shard maintenance stays single-flight, so
+/// up to min(N, max_background_jobs) shards flush/compact in parallel.
+///
+/// Cross-shard semantics (documented in DESIGN.md §9):
+///  - Write(batch) spanning shards is split per shard; each sub-batch is
+///    shard-atomic but the whole batch is not atomic across shards.
+///  - GetSnapshot is supported only for N == 1 (returns nullptr otherwise);
+///    cross-shard iterators take per-shard read views, not one atomic
+///    cross-shard snapshot.
+///  - MultiGet scatters per shard and re-merges into the caller's original
+///    slot order, duplicates included.
+///  - NewIterator concatenates the per-shard iterators in boundary order
+///    (key ranges are disjoint and sorted, so no heap-merge is needed).
+class ShardedDB {
+ public:
+  static Status Open(const Options& options, const std::string& dbname,
+                     std::unique_ptr<ShardedDB>* dbptr);
+
+  /// The effective split points for `options`: Options::shard_boundaries if
+  /// non-empty, else the ADCACHE_SHARD_BOUNDARIES env var (comma-separated
+  /// keys), else ADCACHE_SHARDS=N interpolated evenly over the 2-byte key
+  /// space, else empty (one shard). Sorted and deduplicated.
+  static std::vector<std::string> ResolveBoundaries(const Options& options);
+
+  ShardedDB(const ShardedDB&) = delete;
+  ShardedDB& operator=(const ShardedDB&) = delete;
+  ~ShardedDB();
+
+  /// Closes every shard (draining its in-flight maintenance), then joins
+  /// the shared pool if this facade created it. Idempotent.
+  Status Close();
+
+  Status Put(const WriteOptions& write_options, const Slice& key,
+             const Slice& value);
+  Status Delete(const WriteOptions& write_options, const Slice& key);
+  /// Splits `batch` per shard and applies each sub-batch atomically in its
+  /// shard. NOT atomic across shards (see class comment).
+  Status Write(const WriteOptions& write_options, const WriteBatch& batch);
+  Status Get(const ReadOptions& read_options, const Slice& key,
+             std::string* value);
+  Status Get(const ReadOptions& read_options, const Slice& key,
+             PinnableSlice* value);
+  /// Scatters keys per shard (each shard's sub-batch keeps one SuperVersion
+  /// acquisition and all the single-DB MultiGet batching) and writes every
+  /// result back to the caller's original slot, duplicates included.
+  void MultiGet(const ReadOptions& read_options, size_t n, const Slice* keys,
+                PinnableSlice* values, Status* statuses);
+
+  /// Single-shard only: returns nullptr when N > 1 (cross-shard snapshots
+  /// are unsupported; see class comment).
+  const Snapshot* GetSnapshot();
+  void ReleaseSnapshot(const Snapshot* snapshot);
+
+  /// User-key iterator over all shards in key order. Caller deletes. Each
+  /// shard contributes its own read view taken when this is called.
+  Iterator* NewIterator(const ReadOptions& read_options);
+
+  /// Aggregated across shards: counters sum, num_levels_nonempty is the
+  /// max, files_per_level is element-wise summed, entries_per_block is
+  /// averaged over shards that have tables.
+  DB::LsmShape GetLsmShape() const;
+  /// Field-wise sum across shards.
+  DB::MaintenanceStats GetMaintenanceStats() const;
+
+  Env* env() const { return shards_[0]->env(); }
+  /// The facade-level options (with resolved shard_boundaries).
+  const Options& options() const { return options_; }
+
+  Status FlushMemTable();
+  Status CompactAll();
+
+  /// The shared maintenance pool every shard schedules on.
+  util::ThreadPool* background_pool() const { return pool_.get(); }
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  DB* shard(int i) const { return shards_[static_cast<size_t>(i)].get(); }
+  const std::vector<std::string>& boundaries() const { return boundaries_; }
+
+  /// Index of the shard owning `key`: upper_bound over boundaries_.
+  int ShardFor(const Slice& key) const;
+
+ private:
+  ShardedDB() = default;
+
+  Options options_;
+  std::vector<std::string> boundaries_;  // sorted; shards_.size() - 1 entries
+  std::vector<std::unique_ptr<DB>> shards_;
+  /// Shared with every shard. Reset (joining the workers if this facade
+  /// created the pool and holds the last reference) after all shards close.
+  std::shared_ptr<util::ThreadPool> pool_;
+  bool closed_ = false;
+};
+
+}  // namespace adcache::lsm
+
+#endif  // ADCACHE_LSM_SHARDED_DB_H_

@@ -72,6 +72,7 @@ Table::Table(const Options& options, std::unique_ptr<RandomAccessFile> file,
     : options_(options),
       file_(std::move(file)),
       file_number_(file_number),
+      cache_file_id_(CacheFileId(options.shard_id, file_number)),
       env_(env) {}
 
 Status Table::Open(const Options& options,
@@ -131,7 +132,7 @@ Table::BlockRef Table::ReadBlock(const ReadOptions& read_options,
   char key_buf[kCacheKeySize];
   Slice cache_key;
   if (cache != nullptr) {
-    EncodeCacheKey(file_number_, handle.offset, key_buf);
+    EncodeCacheKey(cache_file_id_, handle.offset, key_buf);
     cache_key = Slice(key_buf, sizeof(key_buf));
     Cache::Handle* h = cache->Lookup(cache_key);
     if (h != nullptr) {
@@ -357,7 +358,7 @@ void Table::MultiGet(const ReadOptions& read_options,
     util::InlineBuffer<Slice, kInlineBatch> cache_keys(num_blocks);
     util::InlineBuffer<Cache::Handle*, kInlineBatch> handles(num_blocks);
     for (size_t b = 0; b < num_blocks; b++) {
-      EncodeCacheKey(file_number_, located[blocks[b].begin].first.offset,
+      EncodeCacheKey(cache_file_id_, located[blocks[b].begin].first.offset,
                      blocks[b].cache_key);
       cache_keys[b] = Slice(blocks[b].cache_key, kCacheKeySize);
       handles[b] = nullptr;
@@ -620,7 +621,7 @@ std::vector<Table::BlockInfo> Table::GetBlockInfos() const {
 bool Table::IsBlockCached(const BlockHandle& handle) const {
   Cache* cache = options_.block_cache.get();
   if (cache == nullptr) return false;
-  return cache->Contains(Slice(CacheKey(file_number_, handle.offset)));
+  return cache->Contains(Slice(CacheKey(cache_file_id_, handle.offset)));
 }
 
 Status Table::PrefetchBlock(const BlockHandle& handle) {

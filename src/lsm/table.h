@@ -103,7 +103,17 @@ class Table {
   uint64_t num_entries() const { return footer_.num_entries; }
   uint64_t file_number() const { return file_number_; }
 
-  /// Encodes the block-cache key for (file_number, offset).
+  /// The file-number half of this table's block-cache keys. SST numbers
+  /// are assigned per-DB, so when several key-range shards share one block
+  /// cache the raw (file_number, offset) pair collides across shards; the
+  /// owning shard's id is folded into the top bits to disambiguate.
+  uint64_t cache_file_id() const { return cache_file_id_; }
+  static uint64_t CacheFileId(int shard_id, uint64_t file_number) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(shard_id)) << 48) |
+           file_number;
+  }
+
+  /// Encodes the block-cache key for (cache_file_id, offset).
   static std::string CacheKey(uint64_t file_number, uint64_t offset);
 
   /// Width of an encoded block-cache key (two fixed64s).
@@ -150,6 +160,7 @@ class Table {
   Options options_;
   std::unique_ptr<RandomAccessFile> file_;
   uint64_t file_number_;
+  uint64_t cache_file_id_;
   Env* env_;
   Footer footer_;
   std::unique_ptr<Block> index_block_;

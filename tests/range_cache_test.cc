@@ -263,19 +263,25 @@ TEST(ShardedRangeCacheTest, ScanWithinOneShardHits) {
   EXPECT_EQ(out.size(), 8u);
 }
 
-TEST(ShardedRangeCacheTest, ScanCrossingBoundarySplitsChains) {
+TEST(ShardedRangeCacheTest, ScanCrossingBoundaryIsStitched) {
   std::vector<std::string> boundaries = {K(100)};
   ShardedRangeCache cache(2 << 20, boundaries,
                           [](uint64_t) { return NewLruPolicy(); });
-  // Run spans the boundary: k0096..k0103.
+  // Run spans the boundary: k0096..k0103, split into per-shard chains.
   cache.PutScan(Slice(K(96)), MakeRun(96, 8), 8);
   std::vector<KvPair> out;
   // Within the first shard: fine.
   EXPECT_TRUE(cache.GetScan(Slice(K(96)), 4, &out));
-  // Crossing the boundary: conservatively a miss.
-  EXPECT_FALSE(cache.GetScan(Slice(K(96)), 8, &out));
-  // The second shard serves its own segment.
+  // Crossing the boundary: served by stitching the per-shard chains (the
+  // continuation segment's coverage claim spans the boundary gap).
+  EXPECT_TRUE(cache.GetScan(Slice(K(96)), 8, &out));
+  ASSERT_EQ(out.size(), 8u);
+  for (int i = 0; i < 8; i++) EXPECT_EQ(out[static_cast<size_t>(i)].key, K(96 + i));
+  // The second shard serves its own segment directly.
   EXPECT_TRUE(cache.GetScan(Slice(K(100)), 4, &out));
+  // But a seek below the recorded run still misses: nothing proves coverage
+  // of [k0090, k0096).
+  EXPECT_FALSE(cache.GetScan(Slice(K(90)), 4, &out));
 }
 
 TEST(ShardedRangeCacheTest, ConcurrentClients) {

@@ -1,0 +1,460 @@
+// Key-range sharding behind the ShardedDB facade: routing, the shared
+// background pool cap, cross-shard MultiGet ordering, shard-boundary scans,
+// kill-after-partial-flush recovery across shards (multi-WAL replay, in the
+// style of background_maintenance_test.cc), and the per-shard observability
+// and budget-lease surfaces. Run with -DADCACHE_SANITIZE=thread / address.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adcache_store.h"
+#include "core/statistics.h"
+#include "lsm/sharded_db.h"
+#include "util/clock.h"
+
+namespace adcache::lsm {
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%06d", i);
+  return buf;
+}
+
+std::string Value(int i) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "value-%06d-%020d", i, i);
+  return buf;
+}
+
+class ShardedStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    options_.env = env_.get();
+    // Small sizes keep flush/compaction churn cheap and frequent.
+    options_.block_size = 512;
+    options_.table_file_size = 8 * 1024;
+    options_.memtable_size = 8 * 1024;
+    options_.level1_size_base = 32 * 1024;
+    // Four shards at fixed split points over the Key() space.
+    options_.shard_boundaries = {Key(250), Key(500), Key(750)};
+  }
+
+  void Open() {
+    ASSERT_TRUE(ShardedDB::Open(options_, "/sharded", &db_).ok());
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  Options options_;
+  std::unique_ptr<ShardedDB> db_;
+};
+
+// Satellite: `max_background_jobs` is a global cap. Every shard must
+// schedule onto ONE pool of exactly that many threads — never N shards x
+// private pools.
+TEST_F(ShardedStoreTest, BackgroundPoolSharedAcrossShardsAtGlobalCap) {
+  options_.max_background_jobs = 3;
+  Open();
+  ASSERT_EQ(db_->shard_count(), 4);
+  util::ThreadPool* pool = db_->background_pool();
+  ASSERT_NE(pool, nullptr);
+  // Total background threads == the configured cap, not shards x anything.
+  EXPECT_EQ(pool->num_threads(), 3);
+  for (int i = 0; i < db_->shard_count(); i++) {
+    EXPECT_EQ(db_->shard(i)->background_pool(), pool)
+        << "shard " << i << " runs its own pool";
+  }
+}
+
+TEST_F(ShardedStoreTest, RoutesKeysToOwningShardIncludingBoundaries) {
+  Open();
+  // A split point belongs to the shard it opens (upper_bound semantics).
+  EXPECT_EQ(db_->ShardFor(Slice(Key(0))), 0);
+  EXPECT_EQ(db_->ShardFor(Slice(Key(249))), 0);
+  EXPECT_EQ(db_->ShardFor(Slice(Key(250))), 1);
+  EXPECT_EQ(db_->ShardFor(Slice(Key(499))), 1);
+  EXPECT_EQ(db_->ShardFor(Slice(Key(500))), 2);
+  EXPECT_EQ(db_->ShardFor(Slice(Key(750))), 3);
+  EXPECT_EQ(db_->ShardFor(Slice(Key(999))), 3);
+
+  for (int i = 0; i < 1000; i += 7) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i)), Slice(Value(i))).ok());
+  }
+  // Each key is readable through the facade AND present in exactly the
+  // owning shard (routing at read matches routing at write).
+  for (int i = 0; i < 1000; i += 7) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), Slice(Key(i)), &value).ok()) << Key(i);
+    EXPECT_EQ(value, Value(i));
+    int owner = db_->ShardFor(Slice(Key(i)));
+    for (int s = 0; s < db_->shard_count(); s++) {
+      std::string v;
+      Status st = db_->shard(s)->Get(ReadOptions(), Slice(Key(i)), &v);
+      if (s == owner) {
+        EXPECT_TRUE(st.ok()) << "shard " << s << " missing " << Key(i);
+      } else {
+        EXPECT_TRUE(st.IsNotFound()) << "shard " << s << " leaked " << Key(i);
+      }
+    }
+  }
+}
+
+// A WriteBatch spanning shards lands every op in its owning shard.
+TEST_F(ShardedStoreTest, CrossShardWriteBatchAppliesEverywhere) {
+  Open();
+  WriteBatch batch;
+  for (int i = 0; i < 1000; i += 100) batch.Put(Slice(Key(i)), Slice(Value(i)));
+  batch.Delete(Slice(Key(300)));  // delete of a key the same batch wrote
+  ASSERT_TRUE(db_->Write(WriteOptions(), batch).ok());
+  for (int i = 0; i < 1000; i += 100) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), Slice(Key(i)), &value);
+    if (i == 300) {
+      EXPECT_TRUE(s.IsNotFound());
+    } else {
+      ASSERT_TRUE(s.ok()) << Key(i);
+      EXPECT_EQ(value, Value(i));
+    }
+  }
+}
+
+// Satellite: MultiGet across shards returns results in the caller's
+// original key order, with interleaved and duplicate keys sitting exactly
+// on shard boundaries.
+TEST_F(ShardedStoreTest, MultiGetPreservesCallerOrderAcrossShards) {
+  Open();
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i)), Slice(Value(i))).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+
+  // Interleave shards 3,0,2,1; duplicate the boundary keys 250/500/750 and
+  // their predecessors; sprinkle misses.
+  std::vector<int> present = {900, 3,   500, 250, 750, 249, 250, 499,
+                              500, 750, 0,   999, 250, 749, 750, 1};
+  std::vector<std::string> key_storage;
+  std::vector<bool> expect_found;
+  for (int i : present) {
+    key_storage.push_back(Key(i));
+    expect_found.push_back(true);
+  }
+  key_storage.push_back("zzz-missing");       // past every shard
+  expect_found.push_back(false);
+  key_storage.push_back(Key(250) + "-miss");  // boundary-adjacent miss
+  expect_found.push_back(false);
+  key_storage.push_back("");                  // below every key, shard 0
+  expect_found.push_back(false);
+
+  std::vector<Slice> keys;
+  for (const auto& k : key_storage) keys.emplace_back(k);
+  std::vector<PinnableSlice> values(keys.size());
+  std::vector<Status> statuses(keys.size());
+  db_->MultiGet(ReadOptions(), keys.size(), keys.data(), values.data(),
+                statuses.data());
+
+  for (size_t i = 0; i < keys.size(); i++) {
+    if (!expect_found[i]) {
+      EXPECT_TRUE(statuses[i].IsNotFound()) << key_storage[i];
+      continue;
+    }
+    ASSERT_TRUE(statuses[i].ok()) << key_storage[i];
+    EXPECT_EQ(values[i].slice().ToString(), Value(present[i]))
+        << "slot " << i << " key " << key_storage[i];
+  }
+}
+
+// Satellite: scans straddling split points. The concatenated iterator must
+// walk forward across shard boundaries as if the store were one DB,
+// including Seek landing in a later shard when the owning shard has nothing
+// at or after the target. Backward iteration reports NotSupported, exactly
+// like the single-DB iterator.
+TEST_F(ShardedStoreTest, ScansStitchAcrossShardBoundaries) {
+  Open();
+  for (int i = 0; i < 1000; i += 2) {  // even keys only
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i)), Slice(Value(i))).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+
+  // Forward sweep over a boundary: 244..256 crosses the shard 0/1 split.
+  iter->Seek(Slice(Key(244)));
+  for (int i = 244; i < 256; i += 2) {
+    ASSERT_TRUE(iter->Valid()) << i;
+    EXPECT_EQ(iter->key().ToString(), Key(i));
+    EXPECT_EQ(iter->value().ToString(), Value(i));
+    iter->Next();
+  }
+  // Seek to an absent odd key just below a boundary: lands on the boundary
+  // key in the NEXT shard.
+  iter->Seek(Slice(Key(499)));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), Key(500));
+
+  // Full forward sweep sees every key exactly once, in order.
+  int count = 0;
+  int expect = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    ASSERT_EQ(iter->key().ToString(), Key(expect));
+    expect += 2;
+    count++;
+  }
+  EXPECT_EQ(count, 500);
+  ASSERT_TRUE(iter->status().ok());
+
+  // Backward iteration keeps the engine's forward-only contract (sticky
+  // NotSupported, same as DBIter), rather than silently misbehaving.
+  iter->SeekToLast();
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_TRUE(iter->status().IsNotSupported());
+  std::unique_ptr<Iterator> iter2(db_->NewIterator(ReadOptions()));
+  iter2->SeekToFirst();
+  ASSERT_TRUE(iter2->Valid());
+  iter2->Prev();
+  EXPECT_FALSE(iter2->Valid());
+  EXPECT_TRUE(iter2->status().IsNotSupported());
+}
+
+// Empty shards (no keys in their range) are skipped transparently by
+// iteration and MultiGet.
+TEST_F(ShardedStoreTest, EmptyShardsAreTransparent) {
+  Open();
+  // Only shards 0 and 3 get data; 1 and 2 stay empty.
+  for (int i = 0; i < 200; i += 4) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i)), Slice(Value(i))).ok());
+  }
+  for (int i = 800; i < 1000; i += 4) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i)), Slice(Value(i))).ok());
+  }
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  iter->Seek(Slice(Key(196)));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), Key(196));
+  iter->Next();  // hops over two empty shards
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), Key(800));
+
+  iter->Seek(Slice(Key(300)));  // seek into an empty shard
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->key().ToString(), Key(800));
+
+  std::vector<std::string> key_storage = {Key(400), Key(0), Key(996)};
+  std::vector<Slice> keys(key_storage.begin(), key_storage.end());
+  std::vector<PinnableSlice> values(keys.size());
+  std::vector<Status> statuses(keys.size());
+  db_->MultiGet(ReadOptions(), keys.size(), keys.data(), values.data(),
+                statuses.data());
+  EXPECT_TRUE(statuses[0].IsNotFound());
+  EXPECT_TRUE(statuses[1].ok());
+  EXPECT_TRUE(statuses[2].ok());
+}
+
+// Satellite: kill-after-partial-flush recovery. Some shards have flushed
+// their memtables to L0, others still hold WAL-only tails when the process
+// "dies"; a reopen over the same (persistent MemEnv) files must replay
+// every shard's WALs and lose nothing.
+TEST_F(ShardedStoreTest, PartialFlushThenReopenRecoversEveryShard) {
+  Open();
+  // Round 1: keys in every shard.
+  for (int i = 0; i < 1000; i += 5) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i)), Slice(Value(i))).ok());
+  }
+  // Flush ONLY shards 0 and 2 — shards 1 and 3 keep memtable+WAL state.
+  ASSERT_TRUE(db_->shard(0)->FlushMemTable().ok());
+  ASSERT_TRUE(db_->shard(2)->FlushMemTable().ok());
+  // Round 2: WAL tails on top of the flushed shards too.
+  for (int i = 1; i < 1000; i += 5) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i)), Slice(Value(i))).ok());
+  }
+  // "Kill": drop the handle. Close() drains maintenance but flushes nothing
+  // extra; the unflushed updates exist only in the per-shard WALs, so the
+  // reopen below exercises multi-WAL replay in all four shards.
+  db_.reset();
+
+  Open();
+  for (int i = 0; i < 1000; i += 5) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), Slice(Key(i)), &value).ok()) << Key(i);
+    EXPECT_EQ(value, Value(i));
+  }
+  for (int i = 1; i < 1000; i += 5) {
+    std::string value;
+    ASSERT_TRUE(db_->Get(ReadOptions(), Slice(Key(i)), &value).ok()) << Key(i);
+    EXPECT_EQ(value, Value(i));
+  }
+}
+
+// Boundaries must be stable across reopens; with N=1 (no boundaries) the
+// on-disk layout is exactly the single-DB layout, so a store created
+// unsharded keeps working when reopened unsharded after sharded stores
+// existed elsewhere in the process.
+TEST_F(ShardedStoreTest, SingleShardKeepsUnshardedLayout) {
+  Options single = options_;
+  single.shard_boundaries.clear();
+  std::unique_ptr<ShardedDB> db;
+  ASSERT_TRUE(ShardedDB::Open(single, "/plain", &db).ok());
+  ASSERT_EQ(db->shard_count(), 1);
+  ASSERT_TRUE(db->Put(WriteOptions(), Slice("a"), Slice("1")).ok());
+  ASSERT_TRUE(db->Close().ok());
+  db.reset();
+
+  // The files live directly under /plain (no shard-000 subdir), so a plain
+  // lsm::DB can open the same directory.
+  std::unique_ptr<DB> raw;
+  ASSERT_TRUE(DB::Open(single, "/plain", &raw).ok());
+  std::string value;
+  ASSERT_TRUE(raw->Get(ReadOptions(), Slice("a"), &value).ok());
+  EXPECT_EQ(value, "1");
+}
+
+TEST_F(ShardedStoreTest, AggregatedShapeAndMaintenanceStats) {
+  Open();
+  for (int i = 0; i < 1000; i += 2) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(i)), Slice(Value(i))).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  DB::LsmShape shape = db_->GetLsmShape();
+  EXPECT_GT(shape.flush_count, 0u);
+  EXPECT_GT(shape.sorted_runs, 0);
+  DB::MaintenanceStats maint = db_->GetMaintenanceStats();
+  EXPECT_GT(maint.flushes, 0u);
+  // Every shard contributed writes, so grouped writes cover all puts.
+  EXPECT_GE(maint.grouped_writes, 500u);
+}
+
+// ---------------------------------------------------------------------------
+// Store-level: per-shard observability and budget leases
+// ---------------------------------------------------------------------------
+
+class ShardedAdCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    lsm_options_.env = env_.get();
+    lsm_options_.block_size = 512;
+    lsm_options_.table_file_size = 8 * 1024;
+    lsm_options_.memtable_size = 8 * 1024;
+    lsm_options_.level1_size_base = 32 * 1024;
+    lsm_options_.shard_boundaries = {Key(250), Key(500), Key(750)};
+    store_options_.cache_budget = 256 * 1024;
+    store_options_.controller.window_size = 200;
+    store_options_.controller.pretrain_heuristic = false;
+  }
+
+  void Open() {
+    ASSERT_TRUE(core::AdCacheStore::Open(store_options_, lsm_options_,
+                                         "/adcache-sharded", &store_)
+                    .ok());
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  lsm::Options lsm_options_;
+  core::AdCacheOptions store_options_;
+  std::unique_ptr<core::AdCacheStore> store_;
+};
+
+// Satellite: kGaugeShardCount + per-shard flush tickers, attributed via the
+// shard_id the DB stamps into flush events, and surfaced in the JSON dump.
+TEST_F(ShardedAdCacheTest, PerShardFlushAttributionInStatistics) {
+  Open();
+  core::Statistics* stats = store_->statistics();
+  EXPECT_EQ(stats->GetGauge(core::kGaugeShardCount), 4.0);
+  ASSERT_EQ(store_->db()->shard_count(), 4);
+
+  // Data only in shards 0 and 2; flush only those shards.
+  for (int i = 0; i < 240; i += 2) {
+    ASSERT_TRUE(store_->Put(Slice(Key(i)), Slice(Value(i))).ok());
+  }
+  for (int i = 510; i < 740; i += 2) {
+    ASSERT_TRUE(store_->Put(Slice(Key(i)), Slice(Value(i))).ok());
+  }
+  ASSERT_TRUE(store_->db()->shard(0)->FlushMemTable().ok());
+  ASSERT_TRUE(store_->db()->shard(2)->FlushMemTable().ok());
+
+  EXPECT_GT(stats->GetShardTickerCount(0, core::kShardFlushes), 0u);
+  EXPECT_GT(stats->GetShardTickerCount(2, core::kShardFlushes), 0u);
+  EXPECT_EQ(stats->GetShardTickerCount(1, core::kShardFlushes), 0u);
+  EXPECT_EQ(stats->GetShardTickerCount(3, core::kShardFlushes), 0u);
+  // Per-shard ticks are attribution of the global ticker, not extra events.
+  uint64_t per_shard_total = 0;
+  for (int s = 0; s < 4; s++) {
+    per_shard_total += stats->GetShardTickerCount(s, core::kShardFlushes);
+  }
+  EXPECT_EQ(per_shard_total, stats->GetTickerCount(core::kTickerFlushes));
+
+  std::string json = stats->ToJson();
+  EXPECT_NE(json.find("\"shards\":[{\"shard\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("adcache.gauge.shard_count"), std::string::npos);
+}
+
+// Satellite (tentpole rider): per-shard budget leases. Concentrating misses
+// on one shard's key range must earn that shard a larger slice of the range
+// cache than an idle shard after a few tuning windows.
+TEST_F(ShardedAdCacheTest, LeasesShiftRangeCacheBudgetTowardBusyShards) {
+  store_options_.controller.online_learning = false;  // freeze the agent
+  // Only ForceWindowEnd closes windows: an automatic window end colliding
+  // with the forced one would hand the lease update an empty delta.
+  store_options_.controller.window_size = 1 << 20;
+  Open();
+  // The range cache was aligned to the DB's 4 shards automatically.
+  auto* range_cache = store_->dynamic_cache()->range_cache();
+  ASSERT_EQ(range_cache->num_shards(), 4u);
+
+  for (int i = 500; i < 750; i++) {
+    ASSERT_TRUE(store_->Put(Slice(Key(i)), Slice(Value(i))).ok());
+  }
+  // Hammer shard 2 (range [500,750)) with point lookups; every first read
+  // is a range-cache miss, so shard 2 accumulates traffic and unmet demand.
+  for (int round = 0; round < 3; round++) {
+    for (int i = 500; i < 750; i++) {
+      std::string value;
+      ASSERT_TRUE(store_->Get(Slice(Key(i)), &value).ok());
+    }
+    store_->ForceWindowEnd();
+  }
+  std::vector<double> leases = store_->dynamic_cache()->range_leases();
+  ASSERT_EQ(leases.size(), 4u);
+  // Shard 2 out-earns the idle shards by traffic weighting.
+  EXPECT_GT(leases[2], leases[0]);
+  EXPECT_GT(leases[2], leases[1]);
+  EXPECT_GT(leases[2], leases[3]);
+  // And the lease physically repartitioned the range cache's capacity.
+  if (range_cache->GetCapacity() > 0) {
+    EXPECT_GT(range_cache->shard(2)->GetCapacity(),
+              range_cache->shard(1)->GetCapacity());
+  }
+}
+
+// Scans through the store cross DB-shard and range-cache-shard boundaries
+// consistently (cache fill happens per range-cache shard segment).
+TEST_F(ShardedAdCacheTest, StoreScansCrossShardBoundaries) {
+  Open();
+  for (int i = 240; i < 520; i++) {
+    ASSERT_TRUE(store_->Put(Slice(Key(i)), Slice(Value(i))).ok());
+  }
+  ASSERT_TRUE(store_->db()->FlushMemTable().ok());
+  std::vector<KvPair> results;
+  // 245..514 spans shards 0,1,2.
+  ASSERT_TRUE(store_->Scan(Slice(Key(245)), 270, &results).ok());
+  ASSERT_EQ(results.size(), 270u);
+  for (size_t j = 0; j < results.size(); j++) {
+    EXPECT_EQ(results[j].key, Key(245 + static_cast<int>(j)));
+    EXPECT_EQ(results[j].value, Value(245 + static_cast<int>(j)));
+  }
+  // Second scan may be served from the range cache; results must match.
+  std::vector<KvPair> again;
+  ASSERT_TRUE(store_->Scan(Slice(Key(245)), 270, &again).ok());
+  ASSERT_EQ(again.size(), 270u);
+  EXPECT_EQ(again.front().key, results.front().key);
+  EXPECT_EQ(again.back().key, results.back().key);
+}
+
+}  // namespace
+}  // namespace adcache::lsm

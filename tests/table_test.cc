@@ -188,6 +188,15 @@ TEST_F(TableTest, CacheKeyDistinguishesFilesAndOffsets) {
   EXPECT_EQ(Table::CacheKey(7, 42), Table::CacheKey(7, 42));
 }
 
+TEST_F(TableTest, CacheFileIdDistinguishesShards) {
+  // Shards number their SSTs independently; a shared block cache must not
+  // collide file 1 of shard 0 with file 1 of shard 2.
+  EXPECT_NE(Table::CacheFileId(0, 1), Table::CacheFileId(2, 1));
+  EXPECT_EQ(Table::CacheFileId(0, 7), 7u);  // unsharded keys are unchanged
+  EXPECT_NE(Table::CacheKey(Table::CacheFileId(0, 1), 0),
+            Table::CacheKey(Table::CacheFileId(1, 1), 0));
+}
+
 TEST_F(TableTest, CorruptFooterRejected) {
   std::unique_ptr<WritableFile> file;
   ASSERT_TRUE(env_->NewWritableFile("/t/bad.sst", &file).ok());
