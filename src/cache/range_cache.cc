@@ -97,7 +97,8 @@ bool RangeCache::GetScan(const Slice& start, size_t n,
 size_t RangeCache::GetScanPart(const Slice& start, size_t n,
                                std::vector<KvPair>* results) {
   if (n == 0) return 0;
-  ADCACHE_PERF_COUNTER_ADD(range_cache_probe_count, 1);
+  // No probe PerfContext bump here: the facade counts one probe per logical
+  // stitched scan, matching the N=1 accounting.
   std::lock_guard<std::mutex> l(mu_);
   auto it = map_.lower_bound(start.ToString());
   bool covered = false;
@@ -130,9 +131,10 @@ void RangeCache::RecordStitchedScanMiss(const Slice& start) {
   policy_->OnMiss(start.ToString());
 }
 
-void RangeCache::PutPoint(const Slice& key, const Slice& value) {
+bool RangeCache::PutPoint(const Slice& key, const Slice& value) {
   std::lock_guard<std::mutex> l(mu_);
   std::string k = key.ToString();
+  bool has_upper_neighbor = true;
   auto it = map_.find(k);
   if (it != map_.end()) {
     usage_ -= it->second.charge;
@@ -152,12 +154,14 @@ void RangeCache::PutPoint(const Slice& key, const Slice& value) {
     // Defensive coverage repair (no-op while invariants hold): the successor
     // cannot claim to be the first result for seeks at or before this key.
     auto succ = std::next(pos);
-    if (succ != map_.end() &&
-        Slice(succ->second.covers_from).compare(key) <= 0) {
+    if (succ == map_.end()) {
+      has_upper_neighbor = false;
+    } else if (Slice(succ->second.covers_from).compare(key) <= 0) {
       succ->second.covers_from = JustAfter(key);
     }
   }
   EvictToFit();
+  return has_upper_neighbor;
 }
 
 void RangeCache::PutScan(const Slice& start, const std::vector<KvPair>& results,
@@ -203,7 +207,7 @@ void RangeCache::PutScan(const Slice& start, const std::vector<KvPair>& results,
   EvictToFit();
 }
 
-void RangeCache::InvalidateWrite(const Slice& key, const Slice& value) {
+bool RangeCache::InvalidateWrite(const Slice& key, const Slice& value) {
   std::lock_guard<std::mutex> l(mu_);
   std::string k = key.ToString();
   auto it = map_.find(k);
@@ -214,7 +218,7 @@ void RangeCache::InvalidateWrite(const Slice& key, const Slice& value) {
     it->second.charge = ChargeFor(key, value);
     usage_ += it->second.charge;
     EvictToFit();
-    return;
+    return true;
   }
   // A brand-new DB key falsifies adjacency across it and any coverage claim
   // spanning it.
@@ -227,6 +231,17 @@ void RangeCache::InvalidateWrite(const Slice& key, const Slice& value) {
     auto pred = std::prev(succ);
     if (pred->second.adjacent_next) pred->second.adjacent_next = false;
   }
+  return succ != map_.end();
+}
+
+bool RangeCache::RepairLeadingClaim(const Slice& key) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (map_.empty()) return false;
+  auto it = map_.begin();
+  if (Slice(it->second.covers_from).compare(key) <= 0) {
+    it->second.covers_from = JustAfter(key);
+  }
+  return true;
 }
 
 void RangeCache::InvalidateDelete(const Slice& key) {
@@ -360,17 +375,14 @@ bool ShardedRangeCache::GetScan(const Slice& start, size_t n,
   // range-cache scan, the result is not snapshot-consistent.
   results->clear();
   if (n == 0) return true;
+  ADCACHE_PERF_COUNTER_ADD(range_cache_probe_count, 1);
   std::string cont;
   Slice seek = start;
   size_t shard = ShardFor(start);
-  std::vector<size_t> contributing;
   while (results->size() < n) {
     size_t got =
         shards_[shard]->GetScanPart(seek, n - results->size(), results);
     if (got > 0) {
-      if (contributing.empty() || contributing.back() != shard) {
-        contributing.push_back(shard);
-      }
       cont = JustAfter(Slice(results->back().key));
       seek = Slice(cont);
       shard = ShardFor(seek);  // another cached run may chain on in-shard
@@ -388,15 +400,22 @@ bool ShardedRangeCache::GetScan(const Slice& start, size_t n,
       return false;
     }
   }
-  for (size_t shard : contributing) {
-    shards_[shard]->RecordStitchedScanHit();
-  }
+  // One facade-level hit for the logical scan, credited to the shard that
+  // owned the original seek, so the aggregate hit rate (and the per-shard
+  // h_est behind budget leases) matches the N=1 accounting — not one hit
+  // per contributing shard.
+  shards_[ShardFor(start)]->RecordStitchedScanHit();
   ADCACHE_PERF_COUNTER_ADD(range_cache_hit_count, 1);
   return true;
 }
 
 void ShardedRangeCache::PutPoint(const Slice& key, const Slice& value) {
-  shards_[ShardFor(key)]->PutPoint(key, value);
+  size_t shard = ShardFor(key);
+  if (!shards_[shard]->PutPoint(key, value)) {
+    // Defensive, like the in-shard successor repair: no-op while the
+    // write-invalidation invariants hold.
+    RepairClaimsAfter(shard, key);
+  }
 }
 
 void ShardedRangeCache::PutScan(const Slice& start,
@@ -435,7 +454,25 @@ void ShardedRangeCache::PutScan(const Slice& start,
 }
 
 void ShardedRangeCache::InvalidateWrite(const Slice& key, const Slice& value) {
-  shards_[ShardFor(key)]->InvalidateWrite(key, value);
+  size_t shard = ShardFor(key);
+  if (!shards_[shard]->InvalidateWrite(key, value)) {
+    // The owner shard holds nothing at/after the new key, so a coverage
+    // claim spanning it can only be a cross-boundary continuation claim
+    // recorded by a stitched PutScan in a later shard's leading entry.
+    // Without this repair, a stitched GetScan seeking into the gap would
+    // serve the later shard's entry and silently skip the new key.
+    RepairClaimsAfter(shard, key);
+  }
+}
+
+void ShardedRangeCache::RepairClaimsAfter(size_t owner_shard,
+                                          const Slice& key) {
+  // Stop at the first non-empty shard: a claim held further along would
+  // span that shard's smallest cached key — a real DB key — and the write
+  // that created that key already broke it.
+  for (size_t s = owner_shard + 1; s < shards_.size(); s++) {
+    if (shards_[s]->RepairLeadingClaim(key)) return;
+  }
 }
 
 void ShardedRangeCache::InvalidateDelete(const Slice& key) {

@@ -58,10 +58,11 @@ class RangeCache {
   /// Partial variant for cross-shard stitching (ShardedRangeCache): appends
   /// up to `n` provably-consecutive entries starting from the first DB key
   /// >= `start` and returns how many were appended (0 when coverage at
-  /// `start` cannot be proven). Does not touch the hit/miss counters — the
-  /// facade settles those once the overall stitched outcome is known —
-  /// but served entries do touch the eviction policy even if the caller
-  /// later abandons the scan (recency approximation).
+  /// `start` cannot be proven). Does not touch the hit/miss counters or the
+  /// probe PerfContext counter — the facade settles those once per logical
+  /// scan, after the stitched outcome is known — but served entries do
+  /// touch the eviction policy even if the caller later abandons the scan
+  /// (recency approximation).
   size_t GetScanPart(const Slice& start, size_t n,
                      std::vector<KvPair>* results);
 
@@ -72,8 +73,12 @@ class RangeCache {
   void RecordStitchedScanHit() { hits_.Inc(); }
   void RecordStitchedScanMiss(const Slice& start);
 
-  /// Admits a point-lookup result.
-  void PutPoint(const Slice& key, const Slice& value);
+  /// Admits a point-lookup result. Returns false when the admitted key is
+  /// now the largest entry here — there was no in-shard successor whose
+  /// coverage claim the defensive repair could clip, so ShardedRangeCache
+  /// must extend the repair into the next non-empty shard (see
+  /// RepairLeadingClaim).
+  bool PutPoint(const Slice& key, const Slice& value);
 
   /// Admits (part of) a scan result. `results` are the consecutive DB
   /// entries returned by a scan seeded at `start`. At most `admit_limit`
@@ -85,7 +90,18 @@ class RangeCache {
 
   /// Write-through for a DB Put: updates the cached value if present;
   /// otherwise breaks any adjacency / coverage claims the new key falsifies.
-  void InvalidateWrite(const Slice& key, const Slice& value);
+  /// Returns false when this cache holds no entry at or after `key` — any
+  /// claim spanning the new key then lives in a later shard's leading entry
+  /// (a stitched PutScan's cross-boundary continuation claim), which
+  /// ShardedRangeCache repairs via RepairLeadingClaim.
+  bool InvalidateWrite(const Slice& key, const Slice& value);
+
+  /// Cross-shard claim repair hook (ShardedRangeCache): if the smallest
+  /// entry here claims coverage reaching back to or before `key` — a
+  /// cross-boundary continuation claim that a new DB key at `key` just
+  /// falsified — clips that claim to start just after `key`. Returns false
+  /// iff this cache is empty (the claim, if any, lives in a later shard).
+  bool RepairLeadingClaim(const Slice& key);
 
   /// Removes a deleted key and conservatively repairs adjacency.
   void InvalidateDelete(const Slice& key);
@@ -180,6 +196,13 @@ class ShardedRangeCache {
 
  private:
   size_t ShardFor(const Slice& key) const;
+  /// Repairs cross-boundary continuation claims falsified by a new DB key
+  /// at `key` when the owner shard (`owner_shard`) held no entry at/after
+  /// it: clips the leading claim of the first non-empty later shard. Stops
+  /// there — a claim in any shard beyond it would span that shard's
+  /// smallest cached key (a real DB key) and was already broken when that
+  /// key was written.
+  void RepairClaimsAfter(size_t owner_shard, const Slice& key);
 
   std::vector<std::string> boundaries_;
   std::vector<std::unique_ptr<RangeCache>> shards_;

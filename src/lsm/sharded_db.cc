@@ -6,9 +6,15 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "lsm/dbformat.h"
+#include "util/coding.h"
+
 namespace adcache::lsm {
 
 namespace {
+
+/// First four bytes of the shard-topology file ("SHRD").
+constexpr uint32_t kTopologyMagic = 0x53485244;
 
 /// Index of the shard owning `key`: the number of split points <= key.
 int ShardIndexFor(const std::vector<std::string>& boundaries,
@@ -137,6 +143,80 @@ std::vector<std::string> ShardedDB::ResolveBoundaries(const Options& options) {
   return boundaries;
 }
 
+std::string ShardedDB::TopologyFileName(const std::string& dbname) {
+  return dbname + "/SHARDS";
+}
+
+Status ShardedDB::CheckOrWriteTopology(
+    Env* env, const std::string& dbname,
+    const std::vector<std::string>& boundaries) {
+  const std::string fname = TopologyFileName(dbname);
+  if (env->FileExists(fname)) {
+    uint64_t size = 0;
+    Status s = env->GetFileSize(fname, &size);
+    if (!s.ok()) return s;
+    std::unique_ptr<SequentialFile> file;
+    s = env->NewSequentialFile(fname, &file);
+    if (!s.ok()) return s;
+    std::string scratch(size, '\0');
+    Slice contents;
+    s = file->Read(size, &contents, scratch.data());
+    if (!s.ok()) return s;
+    // Boundaries are arbitrary byte strings (the interpolated defaults are
+    // binary), hence the length-prefixed encoding rather than a text list.
+    uint32_t count = 0;
+    std::vector<std::string> stored;
+    bool ok = contents.size() >= 4 && DecodeFixed32(contents.data()) ==
+                                          kTopologyMagic;
+    if (ok) {
+      contents.remove_prefix(4);
+      ok = GetVarint32(&contents, &count);
+    }
+    for (uint32_t i = 0; ok && i < count; i++) {
+      Slice b;
+      ok = GetLengthPrefixedSlice(&contents, &b);
+      if (ok) stored.emplace_back(b.data(), b.size());
+    }
+    if (!ok || !contents.empty()) {
+      return Status::Corruption(fname + ": unreadable shard topology");
+    }
+    if (stored != boundaries) {
+      return Status::InvalidArgument(
+          dbname + ": shard topology mismatch: store was created with " +
+          std::to_string(stored.size() + 1) + " shard(s), reopened with " +
+          std::to_string(boundaries.size() + 1) +
+          " (shard boundaries must not change between opens)");
+    }
+    return Status::OK();
+  }
+  // No topology file: a single-shard open of a store never created sharded.
+  if (boundaries.empty()) return Status::OK();
+  // First sharded open. An existing unsharded store at `dbname` (DB::Open
+  // always leaves a MANIFEST there) must not be silently reinterpreted as a
+  // shard parent — its data would vanish behind fresh empty shard-NNN dirs.
+  if (env->FileExists(ManifestFileName(dbname))) {
+    return Status::InvalidArgument(
+        dbname +
+        ": existing unsharded store cannot be reopened with shard "
+        "boundaries");
+  }
+  Status s = env->CreateDirIfMissing(dbname);
+  if (!s.ok()) return s;
+  std::string record;
+  PutFixed32(&record, kTopologyMagic);
+  PutVarint32(&record, static_cast<uint32_t>(boundaries.size()));
+  for (const std::string& b : boundaries) {
+    PutLengthPrefixedSlice(&record, Slice(b));
+  }
+  std::unique_ptr<WritableFile> file;
+  s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  s = file->Append(Slice(record));
+  if (s.ok()) s = file->Sync();
+  Status close = file->Close();
+  return s.ok() ? close : s;
+}
+
 Status ShardedDB::Open(const Options& options, const std::string& dbname,
                        std::unique_ptr<ShardedDB>* dbptr) {
   dbptr->reset();
@@ -149,11 +229,13 @@ Status ShardedDB::Open(const Options& options, const std::string& dbname,
                   : std::make_shared<util::ThreadPool>(
                         options.max_background_jobs);
   const size_t n = db->boundaries_.size() + 1;
-  if (n > 1) {
-    // Parent directory for the shard-NNN subdirs; a single-shard store
+  {
+    // Pin the shard topology before any shard opens: reopening with changed
+    // boundaries would mis-route keys and read as data loss. Also creates
+    // the parent directory for the shard-NNN subdirs; a single-shard store
     // opens directly at `dbname`, keeping the unsharded layout.
     Env* env = options.env != nullptr ? options.env : DefaultDbEnv();
-    Status s = env->CreateDirIfMissing(dbname);
+    Status s = CheckOrWriteTopology(env, dbname, db->boundaries_);
     if (!s.ok()) return s;
   }
   for (size_t i = 0; i < n; ++i) {

@@ -23,7 +23,12 @@ namespace adcache::lsm {
 /// shard opened directly at `dbname`, preserving the single-DB on-disk
 /// layout byte for byte; N > 1 stores place each shard under
 /// `dbname/shard-NNN`. Boundaries of an existing store must not change
-/// between opens: routing at read time must match routing at write time.
+/// between opens (routing at read time must match routing at write time) —
+/// this is enforced: an N > 1 store records its resolved boundaries in a
+/// `dbname/SHARDS` topology file at first open, and Open fails with
+/// InvalidArgument when the resolved boundaries differ from the recorded
+/// ones, when a store recorded as sharded is reopened unsharded, or when an
+/// existing unsharded store is reopened with shard boundaries.
 ///
 /// All shards schedule flushes/compactions onto ONE shared
 /// util::ThreadPool of Options::max_background_jobs threads (injected via
@@ -51,6 +56,11 @@ class ShardedDB {
   /// keys), else ADCACHE_SHARDS=N interpolated evenly over the 2-byte key
   /// space, else empty (one shard). Sorted and deduplicated.
   static std::vector<std::string> ResolveBoundaries(const Options& options);
+
+  /// Path of the shard-topology file recording an N > 1 store's resolved
+  /// boundaries ("<dbname>/SHARDS"). Single-shard stores write none,
+  /// keeping the unsharded layout untouched.
+  static std::string TopologyFileName(const std::string& dbname);
 
   ShardedDB(const ShardedDB&) = delete;
   ShardedDB& operator=(const ShardedDB&) = delete;
@@ -111,6 +121,12 @@ class ShardedDB {
 
  private:
   ShardedDB() = default;
+
+  /// Validates `boundaries` against the on-disk topology file (writing it
+  /// on the first sharded open). See the class comment for the failure
+  /// modes; creates `dbname` when a topology file must be written.
+  static Status CheckOrWriteTopology(Env* env, const std::string& dbname,
+                                     const std::vector<std::string>& boundaries);
 
   Options options_;
   std::vector<std::string> boundaries_;  // sorted; shards_.size() - 1 entries

@@ -1,6 +1,7 @@
 #ifndef ADCACHE_LSM_TABLE_H_
 #define ADCACHE_LSM_TABLE_H_
 
+#include <cassert>
 #include <memory>
 #include <string>
 #include <vector>
@@ -109,8 +110,14 @@ class Table {
   /// owning shard's id is folded into the top bits to disambiguate.
   uint64_t cache_file_id() const { return cache_file_id_; }
   static uint64_t CacheFileId(int shard_id, uint64_t file_number) {
+    // The packing leaves 16 bits for the shard and 48 for the file number;
+    // out-of-range values would silently alias another shard's cache keys.
+    // File numbers are fetch_add-allocated so neither bound is reachable in
+    // practice, but guard the invariant rather than assume it.
+    assert(shard_id >= 0 && shard_id < (1 << 16));
+    assert(file_number < (uint64_t{1} << 48));
     return (static_cast<uint64_t>(static_cast<uint32_t>(shard_id)) << 48) |
-           file_number;
+           (file_number & ((uint64_t{1} << 48) - 1));
   }
 
   /// Encodes the block-cache key for (cache_file_id, offset).

@@ -122,6 +122,72 @@ TEST_P(RangeCachePropertyTest, ScanHitsAlwaysMatchGroundTruth) {
 INSTANTIATE_TEST_SUITE_P(Policies, RangeCachePropertyTest,
                          ::testing::Values("lru", "lfu", "lecar", "cacheus"));
 
+// The same property over the sharded facade: stitched cross-shard scans,
+// writes/deletes landing in boundary gaps and per-shard capacity churn must
+// never make a scan hit disagree with the ground truth. This is the
+// regression guard for stale cross-boundary continuation claims (a write
+// into a gap must break the next shard's reach-back covers_from).
+TEST(ShardedRangeCachePropertyTest, StitchedScanHitsAlwaysMatchGroundTruth) {
+  Model model(77);
+  std::vector<std::string> boundaries = {model.KeyOf(500), model.KeyOf(1000),
+                                         model.KeyOf(1500)};
+  ShardedRangeCache cache(20000, boundaries,
+                          [](uint64_t) { return NewLruPolicy(); });
+  Random rng(404);
+  uint64_t version = 0;
+
+  int hits = 0;
+  for (int step = 0; step < 20000; step++) {
+    int op = static_cast<int>(rng.Uniform(100));
+    if (op < 40) {
+      std::string start = model.RandomKey();
+      size_t n = 1 + rng.Uniform(24);
+      std::vector<KvPair> got;
+      std::vector<KvPair> truth = model.Scan(start, n);
+      if (cache.GetScan(Slice(start), n, &got)) {
+        hits++;
+        ASSERT_EQ(got.size(), truth.size()) << "step " << step;
+        for (size_t i = 0; i < truth.size(); i++) {
+          ASSERT_EQ(got[i].key, truth[i].key) << "step " << step;
+          ASSERT_EQ(got[i].value, truth[i].value) << "step " << step;
+        }
+      } else if (!truth.empty()) {
+        size_t admit = 1 + rng.Uniform(truth.size());
+        cache.PutScan(Slice(start), truth, admit);
+      }
+    } else if (op < 60) {
+      std::string key = model.RandomKey();
+      std::string value;
+      auto it = model.db_.find(key);
+      if (cache.Get(Slice(key), &value)) {
+        ASSERT_NE(it, model.db_.end()) << "phantom key " << key;
+        ASSERT_EQ(value, it->second) << "step " << step;
+      } else if (it != model.db_.end()) {
+        cache.PutPoint(Slice(key), Slice(it->second));
+      }
+    } else if (op < 85) {
+      std::string key = model.RandomKey();
+      std::string value = "w" + std::to_string(version++);
+      model.db_[key] = value;
+      cache.InvalidateWrite(Slice(key), Slice(value));
+    } else if (op < 95) {
+      std::string key = model.RandomKey();
+      model.db_.erase(key);
+      cache.InvalidateDelete(Slice(key));
+    } else if (op < 98) {
+      cache.SetCapacity(5000 + rng.Uniform(40000));
+    } else {
+      // Lease-style repartition: a random uneven split of a random budget.
+      std::vector<size_t> caps(cache.num_shards());
+      for (size_t i = 0; i < caps.size(); i++) {
+        caps[i] = 1000 + rng.Uniform(15000);
+      }
+      cache.SetShardCapacities(caps);
+    }
+  }
+  EXPECT_GT(hits, 50) << "cache never warmed up; property untested";
+}
+
 TEST(RangeCacheUsageInvariantTest, UsageNeverExceedsCapacityAfterOps) {
   RangeCache cache(8192, NewLruPolicy());
   Random rng(5);

@@ -284,6 +284,96 @@ TEST(ShardedRangeCacheTest, ScanCrossingBoundaryIsStitched) {
   EXPECT_FALSE(cache.GetScan(Slice(K(90)), 4, &out));
 }
 
+// Regression: a stitched PutScan records a cross-boundary continuation
+// claim (the next shard's leading covers_from reaches back into the
+// previous shard's key range). A write landing in that gap has no cached
+// entry at/after it in its own shard, so the repair must propagate to the
+// next shard — otherwise a later stitched scan serves the next shard's
+// entry and silently skips the new key.
+TEST(ShardedRangeCacheTest, WriteIntoCrossShardGapBreaksStitchedClaim) {
+  std::vector<std::string> boundaries = {K(100)};
+  ShardedRangeCache cache(2 << 20, boundaries,
+                          [](uint64_t) { return NewLruPolicy(); });
+  // DB scan observed k0090 and k0110 back to back; shard 1's k0110 carries
+  // a claim spanning the boundary gap (k0090, k0110).
+  cache.PutScan(Slice(K(90)), {{K(90), "a"}, {K(110), "b"}}, 2);
+  std::vector<KvPair> out;
+  ASSERT_TRUE(cache.GetScan(Slice(K(90)), 2, &out));
+
+  // New DB key in the gap: shard 0 holds nothing at/after it.
+  cache.InvalidateWrite(Slice(K(95)), Slice("new"));
+
+  // A seek into the gap must now miss — serving k0110 would skip k0095.
+  EXPECT_FALSE(cache.GetScan(Slice(K(92)), 1, &out));
+  // The stitched claim is clipped, not destroyed: from just past the new
+  // key the continuation is still provably the next DB result.
+  EXPECT_TRUE(cache.GetScan(Slice(K(96)), 1, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, K(110));
+}
+
+// Same gap-write scenario with an entirely-empty shard between writer and
+// claim holder: the repair walks forward to the first non-empty shard.
+TEST(ShardedRangeCacheTest, GapWriteRepairSkipsEmptyShards) {
+  std::vector<std::string> boundaries = {K(100), K(200)};
+  ShardedRangeCache cache(3 << 20, boundaries,
+                          [](uint64_t) { return NewLruPolicy(); });
+  // Run jumps from shard 0 straight to shard 2; shard 1 stays empty and
+  // shard 2's k0210 claims coverage all the way back to k0090.
+  cache.PutScan(Slice(K(90)), {{K(90), "a"}, {K(210), "b"}}, 2);
+  std::vector<KvPair> out;
+  ASSERT_TRUE(cache.GetScan(Slice(K(90)), 2, &out));
+
+  cache.InvalidateWrite(Slice(K(95)), Slice("new"));
+  EXPECT_FALSE(cache.GetScan(Slice(K(92)), 1, &out));
+
+  // A write inside the empty middle shard's range must break the claim too.
+  cache.InvalidateWrite(Slice(K(150)), Slice("new"));
+  EXPECT_FALSE(cache.GetScan(Slice(K(96)), 1, &out));
+}
+
+// PutPoint's defensive repair also crosses the boundary when the admitted
+// key becomes its shard's largest entry.
+TEST(ShardedRangeCacheTest, TailPointAdmitClipsNextShardClaim) {
+  std::vector<std::string> boundaries = {K(100)};
+  ShardedRangeCache cache(2 << 20, boundaries,
+                          [](uint64_t) { return NewLruPolicy(); });
+  cache.PutScan(Slice(K(90)), {{K(90), "a"}, {K(110), "b"}}, 2);
+  // k0095 is a real DB key (point-lookup result) sitting in the gap.
+  cache.PutPoint(Slice(K(95)), Slice("p"));
+  std::vector<KvPair> out;
+  // Nothing proves [k0092, k0095) is empty anymore.
+  EXPECT_FALSE(cache.GetScan(Slice(K(92)), 2, &out));
+  // From the admitted key itself the clipped claim still stitches.
+  EXPECT_TRUE(cache.GetScan(Slice(K(95)), 2, &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].key, K(95));
+  EXPECT_EQ(out[1].key, K(110));
+}
+
+// A stitched scan is ONE logical lookup: it must settle exactly one hit
+// (credited to the shard owning the seek) however many shards contribute,
+// so the aggregate hit rate feeding the controller's h_est matches the N=1
+// accounting.
+TEST(ShardedRangeCacheTest, StitchedScanSettlesOneHit) {
+  std::vector<std::string> boundaries = {K(100)};
+  ShardedRangeCache cache(2 << 20, boundaries,
+                          [](uint64_t) { return NewLruPolicy(); });
+  cache.PutScan(Slice(K(96)), MakeRun(96, 8), 8);
+  EXPECT_EQ(cache.hits(), 0u);
+  std::vector<KvPair> out;
+  // Spans both shards: one hit total, on the seek's owner shard.
+  ASSERT_TRUE(cache.GetScan(Slice(K(96)), 8, &out));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.shard(0)->hits(), 1u);
+  EXPECT_EQ(cache.shard(1)->hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // A stitched miss stays one miss, on the shard owning the failing seek.
+  EXPECT_FALSE(cache.GetScan(Slice(K(90)), 4, &out));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
 TEST(ShardedRangeCacheTest, ConcurrentClients) {
   std::vector<std::string> boundaries = {K(250), K(500), K(750)};
   ShardedRangeCache cache(4 << 20, boundaries,

@@ -313,6 +313,69 @@ TEST_F(ShardedStoreTest, SingleShardKeepsUnshardedLayout) {
   EXPECT_EQ(value, "1");
 }
 
+// The resolved topology of an N>1 store is pinned in a SHARDS file at first
+// open: reopening with different boundaries (or unsharded) must fail loudly
+// instead of silently opening fresh empty shard dirs / mis-routing keys.
+TEST_F(ShardedStoreTest, ReopenWithChangedTopologyFails) {
+  Open();
+  ASSERT_TRUE(
+      db_->Put(WriteOptions(), Slice(Key(100)), Slice(Value(100))).ok());
+  ASSERT_TRUE(db_->Close().ok());
+  db_.reset();
+
+  // Different split points.
+  Options changed = options_;
+  changed.shard_boundaries = {Key(300), Key(600)};
+  std::unique_ptr<ShardedDB> reopened;
+  Status s = ShardedDB::Open(changed, "/sharded", &reopened);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+
+  // Same count, different values.
+  changed.shard_boundaries = {Key(200), Key(400), Key(600)};
+  s = ShardedDB::Open(changed, "/sharded", &reopened);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+
+  // Matching topology reopens fine and still sees the data.
+  ASSERT_TRUE(ShardedDB::Open(options_, "/sharded", &reopened).ok());
+  std::string value;
+  ASSERT_TRUE(reopened->Get(ReadOptions(), Slice(Key(100)), &value).ok());
+  EXPECT_EQ(value, Value(100));
+}
+
+TEST_F(ShardedStoreTest, ReopenShardedStoreUnshardedFails) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), Slice(Key(1)), Slice(Value(1))).ok());
+  ASSERT_TRUE(db_->Close().ok());
+  db_.reset();
+
+  // An unsharded reopen would route every key to a fresh empty DB at the
+  // store root — the SHARDS file turns that into an explicit error.
+  Options unsharded = options_;
+  unsharded.shard_boundaries.clear();
+  std::unique_ptr<ShardedDB> reopened;
+  Status s = ShardedDB::Open(unsharded, "/sharded", &reopened);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST_F(ShardedStoreTest, ReopenUnshardedStoreWithShardsFails) {
+  Options unsharded = options_;
+  unsharded.shard_boundaries.clear();
+  // A raw lsm::DB never consults the shard env fallbacks, so this store is
+  // genuinely unsharded whatever environment the suite runs under.
+  std::unique_ptr<DB> plain;
+  ASSERT_TRUE(DB::Open(unsharded, "/was-plain", &plain).ok());
+  ASSERT_TRUE(
+      plain->Put(WriteOptions(), Slice(Key(1)), Slice(Value(1))).ok());
+  ASSERT_TRUE(plain->Close().ok());
+  plain.reset();
+
+  // The DB left a MANIFEST at the root; a sharded open must refuse rather
+  // than bury the data behind empty shard-NNN subdirs.
+  std::unique_ptr<ShardedDB> sharded;
+  Status s = ShardedDB::Open(options_, "/was-plain", &sharded);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
 TEST_F(ShardedStoreTest, AggregatedShapeAndMaintenanceStats) {
   Open();
   for (int i = 0; i < 1000; i += 2) {
