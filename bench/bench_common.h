@@ -17,6 +17,18 @@ namespace adcache::bench {
 /// Shared experiment scaffolding. Every bench binary builds a fresh
 /// simulated environment per (strategy, configuration) cell so runs are
 /// independent and deterministic.
+///
+/// Interleaved-trial protocol: when a bench reports best-of-N over trials
+/// that alternate between two configurations sharing live stores (so
+/// transient machine noise cannot land entirely in one column), every timed
+/// leg must start from an IDENTICAL cache state. The recipe is: restore the
+/// cache's full capacity, drop its contents explicitly (Cache::Prune), then
+/// re-warm with an untimed pass over the working set. Shrinking capacity to
+/// force eviction is NOT a substitute for Prune — it leaves
+/// backend-dependent residue (LRU keeps the newest tail of the access
+/// stream, CLOCK keeps a rotation-dependent subset), which biases whichever
+/// leg runs next. See bench_concurrency.cc RunCacheBackendScaling for the
+/// reference implementation.
 struct BenchConfig {
   uint64_t num_keys = 20000;
   size_t value_size = 1000;  // paper: 1000-byte values, 24-byte keys
@@ -29,6 +41,11 @@ struct BenchConfig {
   /// Batch size for point lookups: > 1 routes them through
   /// KvStore::MultiGet (see Runner::RunnerOptions::multiget_batch).
   size_t multiget_batch = 1;
+  /// Flash budget for the secondary (slab-log) cache tier under the DRAM
+  /// block cache; 0 disables the tier. Routed to
+  /// AdCacheOptions::secondary_cache_budget, so it applies to the adcache
+  /// strategy only (baselines ignore it).
+  size_t secondary_cache_bytes = 0;
   /// Statistics registry level for the store (core/statistics.h); kAll also
   /// records op-latency histograms.
   core::StatsLevel stats_level = core::StatsLevel::kExceptTimers;
@@ -61,6 +78,7 @@ class BenchInstance {
     store_config.cache_budget = config.CacheBytes();
     store_config.seed = config.seed;
     store_config.adcache.controller.window_size = 1000;
+    store_config.adcache.secondary_cache_budget = config.secondary_cache_bytes;
     store_config.adcache.stats_level = config.stats_level;
     store_config.adcache.listeners = config.listeners;
     Status s;

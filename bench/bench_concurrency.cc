@@ -20,9 +20,11 @@
 
 #include "bench/bench_common.h"
 #include "cache/cache.h"
+#include "cache/secondary_cache.h"
 #include "core/adcache_store.h"
 #include "lsm/db.h"
 #include "lsm/sharded_db.h"
+#include "util/options_env.h"
 #include "workload/zipfian.h"
 
 namespace adcache::bench {
@@ -899,6 +901,21 @@ double RunCacheBackendReaders(lsm::DB* db, const std::vector<std::string>& keys,
                             (static_cast<double>(elapsed) / 1e6);
 }
 
+/// Resets `cache` to a known fully-warm state before a timed leg: full
+/// capacity, contents dropped explicitly, then one untimed pass over every
+/// key. See the interleaved-trial protocol in bench_common.h — capacity
+/// churn leaves backend-dependent residue; Prune + re-warm does not.
+void ResetAndRewarm(lsm::DB* db, Cache* cache,
+                    const std::vector<std::string>& keys) {
+  cache->SetCapacity(kScaleCacheBytes);
+  cache->Prune();
+  PinnableSlice v;
+  for (const std::string& key : keys) {
+    if (!db->Get(lsm::ReadOptions(), Slice(key), &v).ok()) std::abort();
+    v.Reset();
+  }
+}
+
 void RunCacheBackendScaling() {
   PrintBanner("Cache backend scaling: LRU vs lock-free CLOCK", "ClockCache",
               "a block-cache hit under LRU takes the shard mutex twice "
@@ -933,11 +950,15 @@ void RunCacheBackendScaling() {
     for (int threads : {1, 2, 4, 8}) {
       double lru = 0, clk = 0;
       // Interleave trials so transient machine noise cannot land entirely
-      // in one backend's column.
+      // in one backend's column. Every leg starts from the same fully-warm
+      // cache state (bench_common.h protocol): without the reset, a churn
+      // leg's ~2%-capacity residue would bleed into the next leg's warmup.
       for (int t = 0; t < kTrials; t++) {
+        ResetAndRewarm(lru_db.get(), lru_cache.get(), lru_keys);
         lru = std::max(lru, RunCacheBackendReaders(
                                 lru_db.get(), lru_keys, threads, v.batch,
                                 v.churn ? lru_cache.get() : nullptr));
+        ResetAndRewarm(clk_db.get(), clk_cache.get(), clk_keys);
         clk = std::max(clk, RunCacheBackendReaders(
                                 clk_db.get(), clk_keys, threads, v.batch,
                                 v.churn ? clk_cache.get() : nullptr));
@@ -950,16 +971,152 @@ void RunCacheBackendScaling() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Secondary (flash) cache tier: DRAM-constrained zipfian point reads.
+//
+// DRAM is capped at ~12% of the block working set, so most of the zipfian
+// tail misses the block cache. The disk env charges 80us per block read;
+// the flash env backing the slab cache charges 16us (the h_est model's
+// flash_read_cost = 0.2). Three tiers per backend: no secondary (every
+// DRAM miss pays disk), demote-everything (threshold 0: every eviction is
+// appended to the slab log, so one-touch tail blocks churn the GC and
+// dilute the flash population), and admission-gated (TinyLFU doorkeeper +
+// sketch: one-touch blocks are rejected, flash keeps re-referenced blocks).
+// Reported throughput is simulated-IO ops/s; the secondary hit rate is the
+// tier's own hits/(hits+misses) over the measured leg.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kSsKeys = 24000;  // 1 KB values, 4/block: ~6000 blocks
+constexpr size_t kSsValueSize = 1024;
+constexpr size_t kSsDramBytes = 3 * 1024 * 1024;    // ~12% of working set
+constexpr size_t kSsFlashBytes = 8 * 1024 * 1024;   // flash < DRAM-miss working set
+constexpr double kSsAdmissionThreshold = 0.0005;
+constexpr size_t kSsWarmOps = 50000;
+constexpr size_t kSsMeasuredOps = 50000;
+
+enum class SecondTier { kNone, kDemoteAll, kAdmissionGated };
+
+struct SecondCell {
+  double ops_per_sec = 0;
+  double secondary_hit_rate = 0;
+};
+
+SecondCell RunSecondScaleCell(BlockCacheImpl impl, SecondTier tier) {
+  SimClock clock;
+  auto disk_env = NewMemEnv(&clock);  // default 80us/block read: the "disk"
+  MemEnvOptions flash_opts;
+  flash_opts.read_latency_micros = 16;  // flash_read_cost = 0.2 of disk
+  flash_opts.write_latency_micros = 4;
+  auto flash_env = NewMemEnv(&clock, flash_opts);
+
+  lsm::Options options;
+  options.env = disk_env.get();
+  options.enable_wal = false;
+  options.block_size = 4 * 1024;
+  options.memtable_size = 8 * 1024 * 1024;
+  options.block_cache = NewBlockCache(impl, kSsDramBytes);
+  std::shared_ptr<SecondaryCache> secondary;
+  if (tier != SecondTier::kNone) {
+    SlabSecondaryCacheOptions sopts;
+    sopts.capacity = kSsFlashBytes;
+    sopts.admission_threshold =
+        tier == SecondTier::kAdmissionGated ? kSsAdmissionThreshold : 0.0;
+    if (!NewSlabSecondaryCache(flash_env.get(), "/flash", sopts, &secondary)
+             .ok()) {
+      std::abort();
+    }
+    lsm::InstallSecondaryCache(&options, secondary);
+  }
+  std::unique_ptr<lsm::DB> db;
+  if (!lsm::DB::Open(options, "/ss", &db).ok()) std::abort();
+
+  const std::string value(kSsValueSize, 'v');
+  char key[32];
+  for (uint64_t i = 0; i < kSsKeys; i++) {
+    std::snprintf(key, sizeof(key), "key-%08llu",
+                  static_cast<unsigned long long>(i));
+    if (!db->Put(lsm::WriteOptions(), Slice(key), Slice(value)).ok()) {
+      std::abort();
+    }
+  }
+  if (!db->FlushMemTable().ok()) std::abort();
+
+  workload::ZipfianGenerator gen(kSsKeys, 0.99, 11);
+  PinnableSlice v;
+  auto read_one = [&] {
+    std::snprintf(key, sizeof(key), "key-%08llu",
+                  static_cast<unsigned long long>(gen.Next()));
+    if (!db->Get(lsm::ReadOptions(), Slice(key), &v).ok()) std::abort();
+    v.Reset();
+  };
+  // Untimed warmup: populates DRAM and, via its evictions, the flash tier.
+  for (size_t i = 0; i < kSsWarmOps; i++) read_one();
+
+  const uint64_t hits0 = secondary != nullptr ? secondary->hits() : 0;
+  const uint64_t misses0 = secondary != nullptr ? secondary->misses() : 0;
+  const uint64_t sim0 = clock.NowMicros();
+  for (size_t i = 0; i < kSsMeasuredOps; i++) read_one();
+  const uint64_t sim_elapsed = clock.NowMicros() - sim0;
+
+  SecondCell cell;
+  cell.ops_per_sec =
+      sim_elapsed == 0 ? 0
+                       : static_cast<double>(kSsMeasuredOps) /
+                             (static_cast<double>(sim_elapsed) / 1e6);
+  if (secondary != nullptr) {
+    const uint64_t h = secondary->hits() - hits0;
+    const uint64_t m = secondary->misses() - misses0;
+    cell.secondary_hit_rate =
+        h + m == 0 ? 0
+                   : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+  return cell;
+}
+
+void RunSecondScale() {
+  // The env fallback must not sneak a tier into the "none" cell.
+  unsetenv("ADCACHE_SECONDARY_CACHE");
+  PrintBanner(
+      "Secondary flash tier: DRAM capped at ~12% of the working set",
+      "secondscale",
+      "flash absorbs the DRAM miss tail at 0.2x disk cost; demotion "
+      "admission keeps one-touch blocks out of the slab log, beating "
+      "demote-everything on secondary hit rate");
+
+  std::printf("%-8s %-12s %14s %14s %9s\n", "backend", "tier", "ops/s (sim)",
+              "sec hit rate", "speedup");
+  for (BlockCacheImpl impl : {BlockCacheImpl::kLRU, BlockCacheImpl::kClock}) {
+    const char* backend = impl == BlockCacheImpl::kLRU ? "lru" : "clock";
+    SecondCell none = RunSecondScaleCell(impl, SecondTier::kNone);
+    SecondCell all = RunSecondScaleCell(impl, SecondTier::kDemoteAll);
+    SecondCell gated = RunSecondScaleCell(impl, SecondTier::kAdmissionGated);
+    std::printf("%-8s %-12s %14.0f %14s %8.2fx\n", backend, "none",
+                none.ops_per_sec, "-", 1.0);
+    std::printf("%-8s %-12s %14.0f %13.1f%% %8.2fx\n", backend, "demote-all",
+                all.ops_per_sec, all.secondary_hit_rate * 100,
+                none.ops_per_sec == 0 ? 0 : all.ops_per_sec / none.ops_per_sec);
+    std::printf("%-8s %-12s %14.0f %13.1f%% %8.2fx\n", backend, "admission",
+                gated.ops_per_sec, gated.secondary_hit_rate * 100,
+                none.ops_per_sec == 0 ? 0
+                                      : gated.ops_per_sec / none.ops_per_sec);
+    std::fflush(stdout);
+  }
+}
+
 }  // namespace
 }  // namespace adcache::bench
 
 int main() {
   // ADCACHE_BENCH_SECTION=read|write|training|multiget|cachescale|shardscale
-  // |shardleases runs one section alone.
-  const char* only = std::getenv("ADCACHE_BENCH_SECTION");
-  std::string section = only != nullptr ? only : "";
+  // |shardleases|secondscale runs one section alone.
+  const std::string section =
+      adcache::util::OptionsFromEnv::String("ADCACHE_BENCH_SECTION")
+          .value_or("");
   if (section.empty() || section == "cachescale") {
     adcache::bench::RunCacheBackendScaling();
+  }
+  if (section.empty() || section == "secondscale") {
+    adcache::bench::RunSecondScale();
   }
   if (section.empty() || section == "multiget") {
     adcache::bench::RunMultiGetBench();

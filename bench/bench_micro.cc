@@ -249,6 +249,10 @@ int RunStatsSmoke() {
   config.num_keys = 4000;
   config.ops = 6000;  // six tuning windows at window_size 1000
   config.stats_level = core::StatsLevel::kAll;
+  // Small DRAM + a flash tier so demotions, secondary probes and the
+  // secondary gauges all fire during the smoke phase.
+  config.cache_fraction = 0.05;
+  config.secondary_cache_bytes = 8 * 1024 * 1024;
   auto counting = std::make_shared<CountingListener>();
   config.listeners.push_back(counting);
 

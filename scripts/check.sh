@@ -6,7 +6,7 @@
 # the cache + MultiGet lifetime-heavy tests, and an observability smoke test
 # (bench_micro --stats-smoke JSON dump).
 #
-# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N]
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N|--secondary]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,20 +14,22 @@ cd "$(dirname "$0")/.."
 run_tier1=1
 run_clock=1
 run_shards=1
+run_secondary=1
 run_tsan=1
 run_asan=1
 run_stats=1
 nshards=4
 case "${1:-}" in
-  --tsan-only) run_tier1=0; run_clock=0; run_shards=0; run_asan=0; run_stats=0 ;;
-  --asan-only) run_tier1=0; run_clock=0; run_shards=0; run_tsan=0; run_stats=0 ;;
-  --tier1-only) run_clock=0; run_shards=0; run_tsan=0; run_asan=0; run_stats=0 ;;
-  --stats-only) run_tier1=0; run_clock=0; run_shards=0; run_tsan=0; run_asan=0 ;;
-  --cache-impl=clock) run_tier1=0; run_shards=0; run_tsan=0; run_asan=0; run_stats=0 ;;
-  --shards=*) run_tier1=0; run_clock=0; run_tsan=0; run_asan=0; run_stats=0
+  --tsan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_asan=0; run_stats=0 ;;
+  --asan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_stats=0 ;;
+  --tier1-only) run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0 ;;
+  --stats-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0 ;;
+  --cache-impl=clock) run_tier1=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0 ;;
+  --shards=*) run_tier1=0; run_clock=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0
               nshards="${1#--shards=}" ;;
+  --secondary) run_tier1=0; run_clock=0; run_shards=0; run_tsan=0; run_asan=0; run_stats=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N]" >&2
+  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N|--secondary]" >&2
      exit 2 ;;
 esac
 
@@ -69,13 +71,34 @@ if [[ $run_shards -eq 1 ]]; then
   done
 fi
 
+if [[ $run_secondary -eq 1 ]]; then
+  echo "== secondary pass: flash-tier fallback wired via ADCACHE_SECONDARY_CACHE =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target \
+        adcache_store_test multiget_test sharded_store_test secondary_cache_test
+  ./build/tests/secondary_cache_test
+  # Every store open adopts a 32 MiB slab tier under <dbname>/secondary; the
+  # suites must behave identically with demotion + flash probes active, on
+  # both block-cache backends.
+  for impl in lru clock; do
+    ADCACHE_SECONDARY_CACHE=32m ADCACHE_BLOCK_CACHE_IMPL=$impl \
+        ./build/tests/adcache_store_test
+    ADCACHE_SECONDARY_CACHE=32m ADCACHE_BLOCK_CACHE_IMPL=$impl \
+        ./build/tests/multiget_test
+    ADCACHE_SECONDARY_CACHE=32m ADCACHE_BLOCK_CACHE_IMPL=$impl \
+        ./build/tests/sharded_store_test
+  done
+fi
+
 if [[ $run_tsan -eq 1 ]]; then
   echo "== tsan: concurrency suite =="
   cmake -B build-tsan -S . -DADCACHE_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-tsan -j --target \
         superversion_test background_maintenance_test multiget_test \
-        statistics_test clock_cache_test sharded_store_test
+        statistics_test clock_cache_test sharded_store_test \
+        secondary_cache_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/secondary_cache_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/superversion_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/background_maintenance_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/multiget_test
@@ -94,10 +117,11 @@ if [[ $run_asan -eq 1 ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build build-asan -j --target \
         lru_cache_test range_cache_test kv_cache_test \
-        multiget_test superversion_test clock_cache_test sharded_store_test
+        multiget_test superversion_test clock_cache_test sharded_store_test \
+        secondary_cache_test
   for t in lru_cache_test range_cache_test kv_cache_test \
            multiget_test superversion_test clock_cache_test \
-           sharded_store_test; do
+           sharded_store_test secondary_cache_test; do
     ASAN_OPTIONS="halt_on_error=1" "./build-asan/tests/$t"
   done
   ADCACHE_BLOCK_CACHE_IMPL=clock ASAN_OPTIONS="halt_on_error=1" \
@@ -120,6 +144,19 @@ for key in ("adcache.point.lookups", "adcache.scans", "adcache.writes",
             "adcache.block.reads", "adcache.flushes"):
     assert t[key] > 0, f"ticker {key} is zero"
 assert t["adcache.rl.actions"] >= 1, "no RL actions recorded"
+# Secondary (flash) tier: the smoke config caps DRAM and enables an 8 MiB
+# slab tier, so demotions and flash probes must both fire and the RL
+# boundary gauges must be live.
+assert t["adcache.secondary.demotions"] > 0, "no demotions to the flash tier"
+assert t["adcache.secondary.hits"] > 0, "secondary tier never hit"
+assert t["adcache.secondary.misses"] > 0, "secondary tier never probed past"
+g = d["stats"]["gauges"]
+assert g["adcache.gauge.secondary_capacity_bytes"] > 0, \
+    "secondary capacity gauge unset"
+assert g["adcache.gauge.secondary_usage_bytes"] > 0, \
+    "secondary usage gauge unset"
+sec_hist = d["stats"]["histograms"]["adcache.secondary.read.micros"]
+assert sec_hist["count"] > 0, "no secondary read latencies recorded"
 assert d["rl_action_events"] >= 1, "EventListener saw no RL actions"
 assert d["stats_dumps"] >= 1, "periodic stats dumper never fired"
 # PerfContext is thread-local to the workload thread; the ticker also sees

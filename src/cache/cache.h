@@ -2,6 +2,7 @@
 #define ADCACHE_CACHE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -18,6 +19,15 @@ class Cache {
   struct Handle {};
 
   using Deleter = void (*)(const Slice& key, void* value);
+
+  /// Observes entries the cache evicts to make room (capacity pressure from
+  /// Insert/Release/SetCapacity) just before their deleter runs. NOT fired
+  /// for explicit Erase, Prune, or destruction — those are invalidations,
+  /// not demotion candidates. The entry is unreferenced and exclusively
+  /// owned while the callback runs, so `value` is safe to read but must not
+  /// be retained past the call. Feeds the secondary-cache demotion hook.
+  using EvictionCallback =
+      std::function<void(const Slice& key, void* value, size_t charge)>;
 
   virtual ~Cache() = default;
 
@@ -76,6 +86,15 @@ class Cache {
 
   /// Drops every unpinned entry.
   virtual void Prune() = 0;
+
+  /// Installs the eviction observer (see EvictionCallback). Must be set
+  /// before the cache sees traffic — installation is not synchronised with
+  /// concurrent operations. Pass an empty function to clear. The default
+  /// implementation ignores the callback (cache impls without demotion
+  /// support).
+  virtual void SetEvictionCallback(EvictionCallback callback) {
+    (void)callback;
+  }
 
   /// Fraction of fixed table slots occupied, for slot-table implementations
   /// (ClockCache); 0 for node-based caches (LRU). Feeds the

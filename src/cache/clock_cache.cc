@@ -6,6 +6,7 @@
 
 #include "cache/lru_cache.h"
 #include "util/hash.h"
+#include "util/options_env.h"
 #include "util/perf_context.h"
 
 namespace adcache {
@@ -188,7 +189,7 @@ void ClockCache::FreeOwnedSlot(Slot* s) {
 }
 
 template <typename StillNeeded>
-void ClockCache::Sweep(size_t max_scan, bool ignore_clock,
+void ClockCache::Sweep(size_t max_scan, bool ignore_clock, bool demote,
                        StillNeeded still_needed) {
   // The hand is claimed in strides so concurrent sweepers pay one shared
   // RMW per kStride slots instead of one per slot. A sweeper that early-
@@ -221,6 +222,12 @@ void ClockCache::Sweep(size_t max_scan, bool ignore_clock,
                                           kStateConstruction << kStateShift,
                                           std::memory_order_acq_rel,
                                           std::memory_order_relaxed)) {
+        if (demote && eviction_cb_ && StateOf(meta) == kStateVisible) {
+          // Capacity eviction of a live entry: offer it for demotion while
+          // we hold the slot exclusively (kInvisible entries were erased —
+          // invalidations are never demoted).
+          eviction_cb_(Slice(s->key), s->value, s->charge);
+        }
         freed_bytes += s->charge;
         FreeOwnedSlot(s);
       }
@@ -232,9 +239,10 @@ void ClockCache::EvictToFit(size_t incoming, size_t max_scan) {
   int64_t cap = static_cast<int64_t>(capacity_.load(std::memory_order_relaxed));
   int64_t excess = LoadUsage() + static_cast<int64_t>(incoming) - cap;
   if (excess <= 0) return;
-  Sweep(max_scan, /*ignore_clock=*/false, [excess](size_t freed) {
-    return static_cast<int64_t>(freed) < excess;
-  });
+  Sweep(max_scan, /*ignore_clock=*/false, /*demote=*/true,
+        [excess](size_t freed) {
+          return static_cast<int64_t>(freed) < excess;
+        });
 }
 
 Cache::Handle* ClockCache::Insert(const Slice& key, void* value, size_t charge,
@@ -426,8 +434,13 @@ size_t ClockCache::GetUsage() const {
 
 void ClockCache::Prune() {
   // Evict every unpinned entry: one full pass with the counter ignored.
-  Sweep(num_slots_, /*ignore_clock=*/true,
+  // Prune is an invalidation, not capacity pressure — no demotion.
+  Sweep(num_slots_, /*ignore_clock=*/true, /*demote=*/false,
         [](size_t) { return true; });
+}
+
+void ClockCache::SetEvictionCallback(EvictionCallback callback) {
+  eviction_cb_ = std::move(callback);
 }
 
 double ClockCache::slot_occupancy() const {
@@ -444,11 +457,9 @@ uint64_t ClockCache::misses() const { return misses_.Load(); }
 // ---------------------------------------------------------------------------
 
 BlockCacheImpl DefaultBlockCacheImpl() {
-  const char* env = std::getenv("ADCACHE_BLOCK_CACHE_IMPL");
-  if (env != nullptr && std::strcmp(env, "clock") == 0) {
-    return BlockCacheImpl::kClock;
-  }
-  return BlockCacheImpl::kLRU;
+  return util::OptionsFromEnv::String("ADCACHE_BLOCK_CACHE_IMPL") == "clock"
+             ? BlockCacheImpl::kClock
+             : BlockCacheImpl::kLRU;
 }
 
 std::shared_ptr<Cache> NewClockCache(size_t capacity,

@@ -118,6 +118,7 @@ class ClockCache : public Cache {
   size_t GetCapacity() const override;
   size_t GetUsage() const override;
   void Prune() override;
+  void SetEvictionCallback(EvictionCallback callback) override;
   double slot_occupancy() const override;
   uint64_t hits() const override;
   uint64_t misses() const override;
@@ -156,9 +157,13 @@ class ClockCache : public Cache {
   void FreeOwnedSlot(Slot* s);
   /// Advances the clock hand up to `max_scan` slots, evicting unreferenced
   /// entries whose counter reaches zero (or any unreferenced entry when
-  /// `ignore_clock`). Stops early once `StillNeeded()` is false.
+  /// `ignore_clock`). Stops early once `StillNeeded()` is false. When
+  /// `demote`, each reclaimed still-visible entry is offered to the
+  /// eviction callback (capacity eviction); Prune passes false
+  /// (invalidation, not demotion).
   template <typename StillNeeded>
-  void Sweep(size_t max_scan, bool ignore_clock, StillNeeded still_needed);
+  void Sweep(size_t max_scan, bool ignore_clock, bool demote,
+             StillNeeded still_needed);
   /// Evicts until `usage + incoming <= capacity` or the per-call scan
   /// budget is exhausted (all-pinned tables make this a bounded no-op).
   void EvictToFit(size_t incoming, size_t max_scan);
@@ -175,6 +180,11 @@ class ClockCache : public Cache {
   size_t probe_limit_;
   size_t occupancy_limit_;
   std::unique_ptr<Slot[]> slots_;
+
+  /// Install before traffic (see Cache::SetEvictionCallback). Invoked from
+  /// Sweep while the victim slot is held exclusively in kConstruction, so
+  /// the plain fields are stable and nothing else can free the entry.
+  EvictionCallback eviction_cb_;
 
   std::atomic<size_t> capacity_;
   /// Free-running clock hand (mod num_slots_).

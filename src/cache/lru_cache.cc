@@ -61,35 +61,55 @@ void LRUCacheShard::FinishErase(LRUHandle* e) {
   Unref(e);
 }
 
-void LRUCacheShard::EvictToFit() {
+void LRUCacheShard::EvictToFit(std::vector<LRUHandle*>* evicted) {
   while (usage_ > capacity_ && lru_.next != &lru_) {
     LRUHandle* old = lru_.next;
+    assert(old->refs == 1 && old->in_cache);  // LRU residents are unpinned
     table_.erase(old->key);
-    FinishErase(old);
+    LRU_Remove(old);
+    old->in_cache = false;
+    usage_ -= old->charge;
+    evicted->push_back(old);
+  }
+}
+
+void LRUCacheShard::FinishEvictionsUnlocked(
+    const std::vector<LRUHandle*>& evicted) {
+  for (LRUHandle* e : evicted) {
+    if (eviction_cb_ != nullptr && *eviction_cb_) {
+      (*eviction_cb_)(Slice(e->key), e->value, e->charge);
+    }
+    if (e->deleter != nullptr) e->deleter(Slice(e->key), e->value);
+    delete e;
   }
 }
 
 Cache::Handle* LRUCacheShard::Insert(const Slice& key, void* value,
                                      size_t charge, Cache::Deleter deleter) {
-  std::lock_guard<std::mutex> l(mu_);
-  auto* e = new LRUHandle();
-  e->value = value;
-  e->deleter = deleter;
-  e->charge = charge;
-  e->key = key.ToString();
-  e->in_cache = true;
-  e->refs = 2;  // cache's reference + returned handle
-  e->next = e->prev = nullptr;
+  std::vector<LRUHandle*> evicted;
+  LRUHandle* e;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    e = new LRUHandle();
+    e->value = value;
+    e->deleter = deleter;
+    e->charge = charge;
+    e->key = key.ToString();
+    e->in_cache = true;
+    e->refs = 2;  // cache's reference + returned handle
+    e->next = e->prev = nullptr;
 
-  auto it = table_.find(e->key);
-  if (it != table_.end()) {
-    FinishErase(it->second);
-    it->second = e;
-  } else {
-    table_.emplace(e->key, e);
+    auto it = table_.find(e->key);
+    if (it != table_.end()) {
+      FinishErase(it->second);
+      it->second = e;
+    } else {
+      table_.emplace(e->key, e);
+    }
+    usage_ += charge;
+    EvictToFit(&evicted);
   }
-  usage_ += charge;
-  EvictToFit();
+  FinishEvictionsUnlocked(evicted);
   return reinterpret_cast<Cache::Handle*>(e);
 }
 
@@ -131,12 +151,16 @@ size_t LRUCacheShard::LookupBatch(const Slice* keys, const uint32_t* indices,
 
 void LRUCacheShard::ReleaseBatch(Cache::Handle* const* handles,
                                  const uint32_t* indices, size_t m) {
-  std::lock_guard<std::mutex> l(mu_);
-  for (size_t j = 0; j < m; j++) {
-    size_t i = indices != nullptr ? indices[j] : j;
-    Unref(reinterpret_cast<LRUHandle*>(handles[i]));
+  std::vector<LRUHandle*> evicted;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    for (size_t j = 0; j < m; j++) {
+      size_t i = indices != nullptr ? indices[j] : j;
+      Unref(reinterpret_cast<LRUHandle*>(handles[i]));
+    }
+    EvictToFit(&evicted);
   }
-  EvictToFit();
+  FinishEvictionsUnlocked(evicted);
 }
 
 void LRUCacheShard::Ref(Cache::Handle* handle) {
@@ -157,11 +181,15 @@ bool LRUCacheShard::Contains(const Slice& key) const {
 }
 
 void LRUCacheShard::Release(Cache::Handle* handle) {
-  std::lock_guard<std::mutex> l(mu_);
-  LRUHandle* e = reinterpret_cast<LRUHandle*>(handle);
-  Unref(e);
-  // Releasing a pin can push usage handling: if over capacity, evict.
-  EvictToFit();
+  std::vector<LRUHandle*> evicted;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    LRUHandle* e = reinterpret_cast<LRUHandle*>(handle);
+    Unref(e);
+    // Releasing a pin can push usage handling: if over capacity, evict.
+    EvictToFit(&evicted);
+  }
+  FinishEvictionsUnlocked(evicted);
 }
 
 void LRUCacheShard::Erase(const Slice& key) {
@@ -175,9 +203,13 @@ void LRUCacheShard::Erase(const Slice& key) {
 }
 
 void LRUCacheShard::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> l(mu_);
-  capacity_ = capacity;
-  EvictToFit();
+  std::vector<LRUHandle*> evicted;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    capacity_ = capacity;
+    EvictToFit(&evicted);
+  }
+  FinishEvictionsUnlocked(evicted);
 }
 
 size_t LRUCacheShard::GetCapacity() const {
@@ -352,6 +384,12 @@ size_t ShardedLRUCache::GetUsage() const {
 
 void ShardedLRUCache::Prune() {
   for (auto& s : shards_) s.Prune();
+}
+
+void ShardedLRUCache::SetEvictionCallback(EvictionCallback callback) {
+  eviction_cb_ = std::move(callback);
+  const Cache::EvictionCallback* cb = eviction_cb_ ? &eviction_cb_ : nullptr;
+  for (auto& s : shards_) s.SetEvictionCallback(cb);
 }
 
 uint64_t ShardedLRUCache::hits() const { return hits_.Load(); }

@@ -72,14 +72,30 @@ class LRUCacheShard {
   size_t GetUsage() const;
   void Prune();
 
+  /// Points this shard at the owning cache's eviction callback (may be
+  /// null). Not synchronised — install before traffic (see
+  /// Cache::SetEvictionCallback).
+  void SetEvictionCallback(const Cache::EvictionCallback* callback) {
+    eviction_cb_ = callback;
+  }
+
  private:
   void LRU_Remove(LRUHandle* e);
   void LRU_Append(LRUHandle* e);
   /// Drops in_cache; frees if refcount hits zero. Caller holds mu_.
   void FinishErase(LRUHandle* e);
   void Unref(LRUHandle* e);
-  void EvictToFit();  // evict LRU entries until usage_ <= capacity_
+  /// Unlinks LRU entries until usage_ <= capacity_, appending the victims
+  /// (each exclusively owned once unlinked — LRU residents hold exactly the
+  /// cache's reference) to `evicted`. Caller holds mu_ and must pass the
+  /// victims to FinishEvictionsUnlocked() after releasing it, so the
+  /// demotion callback and the deleter never run under the shard mutex.
+  void EvictToFit(std::vector<LRUHandle*>* evicted);
+  /// Runs callback + deleter and frees each victim. Caller must NOT hold
+  /// mu_.
+  void FinishEvictionsUnlocked(const std::vector<LRUHandle*>& evicted);
 
+  const Cache::EvictionCallback* eviction_cb_ = nullptr;
   mutable std::mutex mu_;
   size_t capacity_ = 0;
   size_t usage_ = 0;
@@ -111,12 +127,14 @@ class ShardedLRUCache : public Cache {
   size_t GetCapacity() const override;
   size_t GetUsage() const override;
   void Prune() override;
+  void SetEvictionCallback(EvictionCallback callback) override;
   uint64_t hits() const override;
   uint64_t misses() const override;
 
  private:
   cache_internal::LRUCacheShard& ShardFor(const Slice& key);
 
+  EvictionCallback eviction_cb_;  // install before traffic
   std::vector<cache_internal::LRUCacheShard> shards_;
   uint32_t shard_mask_;
   std::atomic<size_t> capacity_;

@@ -1,0 +1,563 @@
+#include "cache/secondary_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/count_min_sketch.h"
+#include "sketch/doorkeeper.h"
+#include "util/coding.h"
+#include "util/hash.h"
+
+namespace adcache {
+
+namespace {
+
+// Slab file layout:
+//
+//   [magic "ADC2SLAB" : 8][version : fixed32][slab seq : fixed64]   header
+//   [crc : fixed32][key_len : fixed32][val_len : fixed32][key][val] entry*
+//
+// The crc covers everything after itself in the entry (lengths + key +
+// value), so a torn tail, a bit flip, or trailing garbage is caught either
+// at open (whole slab discarded) or at read time (entry dropped, miss
+// returned — corrupt bytes are never served).
+constexpr char kSlabMagic[] = "ADC2SLAB";  // 8 chars + NUL; 8 are written
+constexpr size_t kSlabMagicSize = 8;
+constexpr uint32_t kSlabVersion = 1;
+constexpr size_t kSlabHeaderSize = kSlabMagicSize + 4 + 8;
+constexpr size_t kEntryHeaderSize = 4 + 4 + 4;
+constexpr uint32_t kSlabChecksumSeed = 0xadc2cafeu;
+constexpr char kSlabFilePrefix[] = "secondary.slab-";
+
+uint32_t EntryChecksum(const char* payload, size_t n) {
+  return Hash(payload, n, kSlabChecksumSeed);
+}
+
+/// A sealed, immutable slab file. Lookups pread it outside the cache mutex
+/// while holding a shared_ptr, so GC can drop the slab concurrently: the
+/// file object (and, once GC has condemned it, the file itself) goes away
+/// when the last reader lets go.
+struct SealedSlab {
+  SealedSlab(Env* env, std::string path,
+             std::unique_ptr<RandomAccessFile> file)
+      : env(env), path(std::move(path)), file(std::move(file)) {}
+  ~SealedSlab() {
+    if (remove_on_drop.load(std::memory_order_relaxed)) {
+      env->RemoveFile(path);
+    }
+  }
+
+  Env* env;
+  std::string path;
+  std::unique_ptr<RandomAccessFile> file;
+  std::atomic<bool> remove_on_drop{false};
+};
+
+class SlabSecondaryCache : public SecondaryCache {
+ public:
+  SlabSecondaryCache(Env* env, std::string dir,
+                     const SlabSecondaryCacheOptions& options)
+      : env_(env),
+        dir_(std::move(dir)),
+        opts_(options),
+        capacity_(options.capacity),
+        admission_threshold_(options.admission_threshold),
+        sketch_(MakeSketchOptions(options)),
+        doorkeeper_(options.doorkeeper_bits) {}
+
+  ~SlabSecondaryCache() override = default;
+
+  /// Scans `dir_` for slab files left by a previous process. Well-formed
+  /// slabs rebuild the index (higher slab seq wins duplicate keys); torn or
+  /// garbage files are deleted wholesale.
+  Status Recover() {
+    Status s = env_->CreateDirIfMissing(dir_);
+    if (!s.ok()) {
+      return s;
+    }
+    std::vector<std::string> children;
+    s = env_->GetChildren(dir_, &children);
+    if (!s.ok()) {
+      return s;
+    }
+    std::map<uint64_t, std::string> found;  // seq -> path, ascending
+    for (const std::string& name : children) {
+      if (name.rfind(kSlabFilePrefix, 0) != 0) {
+        continue;
+      }
+      const std::string suffix = name.substr(strlen(kSlabFilePrefix));
+      char* end = nullptr;
+      uint64_t seq = std::strtoull(suffix.c_str(), &end, 10);
+      const std::string path = dir_ + "/" + name;
+      if (end == suffix.c_str() || *end != '\0') {
+        env_->RemoveFile(path);  // prefix matched but name is garbage
+        continue;
+      }
+      found[seq] = path;
+    }
+    std::lock_guard<std::mutex> l(mu_);
+    uint64_t max_seq = 0;
+    for (const auto& [seq, path] : found) {
+      if (!LoadSlabLocked(seq, path)) {
+        env_->RemoveFile(path);
+      }
+      max_seq = std::max(max_seq, seq);
+    }
+    next_seq_ = max_seq + 1;
+    StartActiveSlabLocked();
+    MaybeGcLocked();
+    return Status::OK();
+  }
+
+  void Demote(const Slice& key, const Slice& value) override {
+    const size_t record = kEntryHeaderSize + key.size() + value.size();
+    if (record + kSlabHeaderSize > opts_.slab_size) {
+      demotion_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::lock_guard<std::mutex> l(mu_);
+    if (capacity_.load(std::memory_order_relaxed) == 0) {
+      demotion_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (index_.find(std::string(key.data(), key.size())) != index_.end()) {
+      return;  // already resident; re-demotion is a no-op, not a reject
+    }
+    // The offer itself counts as a touch: a block that cycles
+    // DRAM -> evicted -> re-read -> evicted accumulates frequency and
+    // earns admission on a later pass even if it is never probed here.
+    TouchLocked(key);
+    const double threshold =
+        admission_threshold_.load(std::memory_order_relaxed);
+    if (threshold > 0.0 && sketch_.NormalizedFrequency(key) < threshold) {
+      demotion_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    AppendLocked(key, value);
+    demotions_.fetch_add(1, std::memory_order_relaxed);
+    MaybeGcLocked();
+  }
+
+  bool Lookup(const Slice& key, std::string* value) override {
+    std::unique_lock<std::mutex> l(mu_);
+    TouchLocked(key);
+    auto it = index_.find(std::string(key.data(), key.size()));
+    if (it == index_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    const EntryRef ref = it->second;
+    if (ref.slab_seq == active_seq_) {
+      value->assign(
+          active_buf_.data() + ref.offset + kEntryHeaderSize + ref.key_len,
+          ref.val_len);
+      it->second.last_access = ++access_clock_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    auto sit = sealed_.find(ref.slab_seq);
+    if (sit == sealed_.end()) {
+      // The slab was GC'd between index insert and now (shouldn't happen —
+      // GC drops index entries with the slab — but stay defensive).
+      index_.erase(it);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    std::shared_ptr<SealedSlab> slab = sit->second.file;
+    l.unlock();
+
+    const size_t record = kEntryHeaderSize + ref.key_len + ref.val_len;
+    std::string scratch(record, '\0');
+    Slice result;
+    const uint64_t start = env_->clock()->NowMicros();
+    Status s = slab->file->Read(ref.offset, record, &result, scratch.data());
+    const uint64_t elapsed = env_->clock()->NowMicros() - start;
+    if (opts_.read_latency_sink) {
+      opts_.read_latency_sink(elapsed);
+    }
+    const bool valid = s.ok() && ValidRecord(result, ref, key);
+
+    l.lock();
+    auto it2 = index_.find(std::string(key.data(), key.size()));
+    const bool still_current = it2 != index_.end() &&
+                               it2->second.slab_seq == ref.slab_seq &&
+                               it2->second.offset == ref.offset;
+    if (!valid) {
+      // Never serve bytes that fail validation; drop the entry so the next
+      // probe is a clean miss.
+      if (still_current) {
+        index_.erase(it2);
+      }
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    value->assign(result.data() + kEntryHeaderSize + ref.key_len,
+                  ref.val_len);
+    if (still_current) {
+      it2->second.last_access = ++access_clock_;
+      auto sit2 = sealed_.find(ref.slab_seq);
+      if (sit2 != sealed_.end()) {
+        sit2->second.last_access = it2->second.last_access;
+      }
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  void Erase(const Slice& key) override {
+    std::lock_guard<std::mutex> l(mu_);
+    index_.erase(std::string(key.data(), key.size()));
+    // Dead bytes stay in their slab until GC reclaims the slab wholesale.
+  }
+
+  void SetCapacity(size_t capacity) override {
+    std::lock_guard<std::mutex> l(mu_);
+    capacity_.store(capacity, std::memory_order_relaxed);
+    MaybeGcLocked();
+  }
+
+  size_t GetCapacity() const override {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+  size_t GetUsage() const override {
+    return usage_.load(std::memory_order_relaxed);
+  }
+
+  void SetAdmissionThreshold(double threshold) override {
+    admission_threshold_.store(threshold, std::memory_order_relaxed);
+  }
+
+  double admission_threshold() const override {
+    return admission_threshold_.load(std::memory_order_relaxed);
+  }
+
+  void SetReadLatencySink(std::function<void(uint64_t)> sink) override {
+    std::lock_guard<std::mutex> l(mu_);
+    opts_.read_latency_sink = std::move(sink);
+  }
+
+  uint64_t hits() const override {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t misses() const override {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t demotions() const override {
+    return demotions_.load(std::memory_order_relaxed);
+  }
+  uint64_t demotion_rejects() const override {
+    return demotion_rejects_.load(std::memory_order_relaxed);
+  }
+  uint64_t gc_runs() const override {
+    return gc_runs_.load(std::memory_order_relaxed);
+  }
+  uint64_t gc_reclaimed_bytes() const override {
+    return gc_reclaimed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Index entry: where the record lives and when it was last hit.
+  /// `last_access == 0` means "never hit since it was (re)appended" — the
+  /// salvage test. Offsets are file offsets (the active buffer starts with
+  /// the slab header, so active and sealed offsets are interchangeable).
+  struct EntryRef {
+    uint64_t slab_seq = 0;
+    uint32_t offset = 0;
+    uint32_t key_len = 0;
+    uint32_t val_len = 0;
+    uint32_t last_access = 0;
+  };
+
+  struct SlabInfo {
+    std::shared_ptr<SealedSlab> file;
+    size_t bytes = 0;
+    uint32_t last_access = 0;  // max over entry hits since sealing
+  };
+
+  static CountMinSketch::Options MakeSketchOptions(
+      const SlabSecondaryCacheOptions& options) {
+    CountMinSketch::Options o;
+    o.width = options.sketch_width;
+    return o;
+  }
+
+  std::string SlabPath(uint64_t seq) const {
+    return dir_ + "/" + kSlabFilePrefix + std::to_string(seq);
+  }
+
+  void TouchLocked(const Slice& key) {
+    if (doorkeeper_.InsertIfAbsent(key)) {
+      sketch_.Increment(key);
+    }
+  }
+
+  void StartActiveSlabLocked() {
+    active_seq_ = next_seq_++;
+    active_buf_.clear();
+    active_buf_.reserve(opts_.slab_size);
+    active_buf_.append(kSlabMagic, kSlabMagicSize);
+    PutFixed32(&active_buf_, kSlabVersion);
+    PutFixed64(&active_buf_, active_seq_);
+    usage_.fetch_add(kSlabHeaderSize, std::memory_order_relaxed);
+  }
+
+  void AppendLocked(const Slice& key, const Slice& value) {
+    const size_t record = kEntryHeaderSize + key.size() + value.size();
+    if (active_buf_.size() + record > opts_.slab_size) {
+      SealActiveLocked();
+    }
+    const uint32_t offset = static_cast<uint32_t>(active_buf_.size());
+    active_buf_.append(4, '\0');  // crc placeholder, patched below
+    PutFixed32(&active_buf_, static_cast<uint32_t>(key.size()));
+    PutFixed32(&active_buf_, static_cast<uint32_t>(value.size()));
+    active_buf_.append(key.data(), key.size());
+    active_buf_.append(value.data(), value.size());
+    const uint32_t crc =
+        EntryChecksum(active_buf_.data() + offset + 4, record - 4);
+    EncodeFixed32(&active_buf_[offset], crc);
+    EntryRef ref;
+    ref.slab_seq = active_seq_;
+    ref.offset = offset;
+    ref.key_len = static_cast<uint32_t>(key.size());
+    ref.val_len = static_cast<uint32_t>(value.size());
+    index_[std::string(key.data(), key.size())] = ref;
+    usage_.fetch_add(record, std::memory_order_relaxed);
+  }
+
+  /// Writes the active slab to disk in one sequential append and reopens it
+  /// for reads. On any I/O failure the slab's entries are simply dropped —
+  /// this is a cache, losing entries is always safe.
+  void SealActiveLocked() {
+    if (active_buf_.size() <= kSlabHeaderSize) {
+      return;
+    }
+    const uint64_t seq = active_seq_;
+    const std::string path = SlabPath(seq);
+    std::unique_ptr<WritableFile> out;
+    Status s = env_->NewWritableFile(path, &out);
+    if (s.ok()) {
+      s = out->Append(active_buf_);
+    }
+    if (s.ok()) {
+      s = out->Flush();
+    }
+    if (s.ok()) {
+      s = out->Close();
+    }
+    std::unique_ptr<RandomAccessFile> in;
+    if (s.ok()) {
+      s = env_->NewRandomAccessFile(path, &in);
+    }
+    if (s.ok()) {
+      SlabInfo info;
+      info.file = std::make_shared<SealedSlab>(env_, path, std::move(in));
+      info.bytes = active_buf_.size();
+      sealed_.emplace(seq, std::move(info));
+    } else {
+      DropSlabEntriesLocked(seq);
+      usage_.fetch_sub(active_buf_.size(), std::memory_order_relaxed);
+      env_->RemoveFile(path);
+    }
+    StartActiveSlabLocked();
+  }
+
+  void DropSlabEntriesLocked(uint64_t seq) {
+    for (auto it = index_.begin(); it != index_.end();) {
+      if (it->second.slab_seq == seq) {
+        it = index_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Watermark-triggered quick-clean: while usage exceeds the low
+  /// watermark, drop the coldest sealed slab wholesale (optionally
+  /// salvaging entries hit since their last append). Terminates because a
+  /// salvaged entry's last_access resets to 0, so nothing is salvaged twice
+  /// without an intervening hit — and hits can't interleave under mu_.
+  void MaybeGcLocked() {
+    const size_t cap = capacity_.load(std::memory_order_relaxed);
+    const size_t high = static_cast<size_t>(
+        static_cast<double>(cap) * opts_.gc_high_watermark);
+    if (sealed_.empty() || usage_.load(std::memory_order_relaxed) < high) {
+      return;
+    }
+    gc_runs_.fetch_add(1, std::memory_order_relaxed);
+    const size_t low = static_cast<size_t>(
+        static_cast<double>(cap) * opts_.gc_low_watermark);
+    while (usage_.load(std::memory_order_relaxed) > low && !sealed_.empty()) {
+      auto victim = sealed_.begin();
+      for (auto it = sealed_.begin(); it != sealed_.end(); ++it) {
+        if (it->second.last_access < victim->second.last_access) {
+          victim = it;  // coldest slab; ties go to the oldest (map order)
+        }
+      }
+      const uint64_t seq = victim->first;
+      SlabInfo info = std::move(victim->second);
+      sealed_.erase(victim);
+
+      // Partition the victim's entries: hot ones (hit since append) are
+      // re-read and re-appended if salvage is on; the rest die with the
+      // slab. The scan is O(index size) — slabs hold a few hundred blocks
+      // and GC runs per-slab, so this stays cheap.
+      std::vector<std::pair<std::string, EntryRef>> salvage;
+      for (auto it = index_.begin(); it != index_.end();) {
+        if (it->second.slab_seq != seq) {
+          ++it;
+          continue;
+        }
+        if (opts_.salvage_hot_entries && it->second.last_access != 0) {
+          salvage.emplace_back(it->first, it->second);
+        }
+        it = index_.erase(it);
+      }
+      for (const auto& [key, ref] : salvage) {
+        const size_t record = kEntryHeaderSize + ref.key_len + ref.val_len;
+        std::string scratch(record, '\0');
+        Slice rec;
+        Status s = info.file->file->Read(ref.offset, record, &rec,
+                                         scratch.data());
+        if (!s.ok() || !ValidRecord(rec, ref, Slice(key))) {
+          continue;
+        }
+        AppendLocked(Slice(key),
+                     Slice(rec.data() + kEntryHeaderSize + ref.key_len,
+                           ref.val_len));
+      }
+      usage_.fetch_sub(info.bytes, std::memory_order_relaxed);
+      gc_reclaimed_.fetch_add(info.bytes, std::memory_order_relaxed);
+      info.file->remove_on_drop.store(true, std::memory_order_relaxed);
+      // The file itself is unlinked when the last concurrent reader drops
+      // its shared_ptr (possibly right here).
+    }
+  }
+
+  /// Full validation of one entry record against its index metadata.
+  static bool ValidRecord(const Slice& record, const EntryRef& ref,
+                          const Slice& key) {
+    const size_t expected = kEntryHeaderSize + ref.key_len + ref.val_len;
+    if (record.size() != expected) {
+      return false;
+    }
+    const uint32_t crc = DecodeFixed32(record.data());
+    if (EntryChecksum(record.data() + 4, expected - 4) != crc) {
+      return false;
+    }
+    if (DecodeFixed32(record.data() + 4) != ref.key_len ||
+        DecodeFixed32(record.data() + 8) != ref.val_len) {
+      return false;
+    }
+    return Slice(record.data() + kEntryHeaderSize, ref.key_len) == key;
+  }
+
+  /// Loads one pre-existing slab file at open. Returns false — and loads
+  /// nothing from it — on any malformation: bad header, seq mismatch with
+  /// the file name, a failed entry crc, or trailing garbage.
+  bool LoadSlabLocked(uint64_t seq, const std::string& path) {
+    std::unique_ptr<RandomAccessFile> file;
+    if (!env_->NewRandomAccessFile(path, &file).ok()) {
+      return false;
+    }
+    const uint64_t size = file->Size();
+    if (size < kSlabHeaderSize || size > opts_.slab_size) {
+      return false;
+    }
+    std::string scratch(size, '\0');
+    Slice data;
+    if (!file->Read(0, size, &data, scratch.data()).ok() ||
+        data.size() != size) {
+      return false;
+    }
+    if (memcmp(data.data(), kSlabMagic, kSlabMagicSize) != 0 ||
+        DecodeFixed32(data.data() + kSlabMagicSize) != kSlabVersion ||
+        DecodeFixed64(data.data() + kSlabMagicSize + 4) != seq) {
+      return false;
+    }
+    std::vector<std::pair<std::string, EntryRef>> entries;
+    size_t off = kSlabHeaderSize;
+    while (off < size) {
+      if (size - off < kEntryHeaderSize) {
+        return false;  // torn tail
+      }
+      const uint32_t key_len = DecodeFixed32(data.data() + off + 4);
+      const uint32_t val_len = DecodeFixed32(data.data() + off + 8);
+      const size_t record = kEntryHeaderSize + static_cast<size_t>(key_len) +
+                            static_cast<size_t>(val_len);
+      if (record > size - off) {
+        return false;  // torn tail / corrupt lengths
+      }
+      const uint32_t crc = DecodeFixed32(data.data() + off);
+      if (EntryChecksum(data.data() + off + 4, record - 4) != crc) {
+        return false;
+      }
+      EntryRef ref;
+      ref.slab_seq = seq;
+      ref.offset = static_cast<uint32_t>(off);
+      ref.key_len = key_len;
+      ref.val_len = val_len;
+      entries.emplace_back(
+          std::string(data.data() + off + kEntryHeaderSize, key_len), ref);
+      off += record;
+    }
+    SlabInfo info;
+    info.file = std::make_shared<SealedSlab>(env_, path, std::move(file));
+    info.bytes = size;
+    sealed_.emplace(seq, std::move(info));
+    for (auto& [key, ref] : entries) {
+      index_[key] = ref;  // caller iterates ascending seq: newest wins
+    }
+    usage_.fetch_add(size, std::memory_order_relaxed);
+    return true;
+  }
+
+  Env* const env_;
+  const std::string dir_;
+  // Immutable after construction except read_latency_sink, which the owner
+  // may install post-open (before traffic; see SetReadLatencySink).
+  SlabSecondaryCacheOptions opts_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, EntryRef> index_;  // guarded by mu_
+  std::map<uint64_t, SlabInfo> sealed_;              // guarded by mu_
+  std::string active_buf_;                           // guarded by mu_
+  uint64_t active_seq_ = 0;                          // guarded by mu_
+  uint64_t next_seq_ = 1;                            // guarded by mu_
+  uint32_t access_clock_ = 0;                        // guarded by mu_
+  CountMinSketch sketch_;                            // guarded by mu_
+  Doorkeeper doorkeeper_;                            // guarded by mu_
+
+  std::atomic<size_t> capacity_;
+  std::atomic<size_t> usage_{0};
+  std::atomic<double> admission_threshold_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> demotions_{0};
+  std::atomic<uint64_t> demotion_rejects_{0};
+  std::atomic<uint64_t> gc_runs_{0};
+  std::atomic<uint64_t> gc_reclaimed_{0};
+};
+
+}  // namespace
+
+Status NewSlabSecondaryCache(Env* env, const std::string& dir,
+                             const SlabSecondaryCacheOptions& options,
+                             std::shared_ptr<SecondaryCache>* result) {
+  auto cache = std::make_shared<SlabSecondaryCache>(env, dir, options);
+  Status s = cache->Recover();
+  if (!s.ok()) {
+    return s;
+  }
+  *result = std::move(cache);
+  return Status::OK();
+}
+
+}  // namespace adcache

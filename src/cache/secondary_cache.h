@@ -1,0 +1,119 @@
+#ifndef ADCACHE_CACHE_SECONDARY_CACHE_H_
+#define ADCACHE_CACHE_SECONDARY_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace adcache {
+
+/// A flash-backed tier sitting below the DRAM block cache. Blocks evicted
+/// from DRAM are *offered* for demotion (the cache may reject them via its
+/// admission policy); `Table` read misses probe it before touching the
+/// SSTable, and hits are promoted back into DRAM.
+///
+/// Values are opaque byte strings (serialised data blocks). Lookup copies
+/// the value out — the secondary tier never hands out references into its
+/// own storage, so callers hold nothing that GC has to wait on.
+///
+/// Threading: all methods are safe for concurrent use from any thread.
+/// Counters are monotone and may be read torn relative to each other.
+class SecondaryCache {
+ public:
+  virtual ~SecondaryCache() = default;
+
+  /// Offers an evicted DRAM block for demotion. The cache may decline
+  /// (admission gate, capacity 0, duplicate key); declines are counted in
+  /// demotion_rejects(). The bytes are copied before returning.
+  virtual void Demote(const Slice& key, const Slice& value) = 0;
+
+  /// Probes for `key`; on hit copies the stored bytes into `*value` and
+  /// returns true. Every probe — hit or miss — feeds the admission
+  /// frequency sketch, so blocks that keep being requested while absent
+  /// from DRAM earn their way past the demotion gate.
+  virtual bool Lookup(const Slice& key, std::string* value) = 0;
+
+  /// Drops the entry if present (space is reclaimed lazily by GC).
+  virtual void Erase(const Slice& key) = 0;
+
+  /// Retargets the byte budget. Shrinking triggers the watermark GC until
+  /// usage fits; growing takes effect immediately. Safe to call repeatedly
+  /// with small deltas (the RL controller drives this incrementally).
+  virtual void SetCapacity(size_t capacity) = 0;
+  virtual size_t GetCapacity() const = 0;
+  virtual size_t GetUsage() const = 0;
+
+  /// Demotion-admission threshold over TinyLFU normalised frequency in
+  /// [0, 1]. <= 0 admits everything ("demote-everything").
+  virtual void SetAdmissionThreshold(double threshold) = 0;
+  virtual double admission_threshold() const = 0;
+
+  /// Installs (or replaces) the sink receiving the flash-read latency of
+  /// every sealed-slab lookup, for implementations that measure one (the
+  /// default ignores it). Install before traffic — not synchronised against
+  /// in-flight lookups.
+  virtual void SetReadLatencySink(std::function<void(uint64_t)> sink) {
+    (void)sink;
+  }
+
+  // Monotone counters (relaxed; see class comment).
+  virtual uint64_t hits() const = 0;
+  virtual uint64_t misses() const = 0;
+  virtual uint64_t demotions() const = 0;
+  virtual uint64_t demotion_rejects() const = 0;
+  virtual uint64_t gc_runs() const = 0;
+  virtual uint64_t gc_reclaimed_bytes() const = 0;
+};
+
+/// Configuration for the log-structured slab implementation.
+struct SlabSecondaryCacheOptions {
+  /// Logical byte budget across sealed slab files plus the active slab.
+  size_t capacity = 64 << 20;
+
+  /// Fixed slab segment size. Demoted entries are appended to an in-memory
+  /// active slab; when full it is sealed to disk in one sequential write.
+  /// An entry larger than the slab payload is rejected outright.
+  size_t slab_size = 1 << 20;
+
+  /// GC trigger: when usage reaches `gc_high_watermark * capacity` the
+  /// quick-clean GC drops cold sealed slabs wholesale until usage falls to
+  /// `gc_low_watermark * capacity`. The gap between the high watermark and
+  /// 1.0 is the over-provisioning headroom that keeps demotions flowing
+  /// while GC catches up.
+  double gc_high_watermark = 0.90;
+  double gc_low_watermark = 0.70;
+
+  /// If true, entries of a GC-victim slab that were hit since the slab was
+  /// sealed are re-appended to the active slab instead of being dropped
+  /// with the rest ("hot-entry salvage").
+  bool salvage_hot_entries = true;
+
+  /// Admission gate (TinyLFU): a doorkeeper bloom absorbs each key's first
+  /// touch; subsequent touches feed a count-min sketch whose normalised
+  /// frequency is compared against the threshold at demotion time.
+  double admission_threshold = 0.0;
+  size_t sketch_width = 1 << 14;
+  size_t doorkeeper_bits = 1 << 16;
+
+  /// Invoked with the latency (microseconds, per the cache's Env clock) of
+  /// every lookup that reads a sealed slab from storage. Lets the owner
+  /// feed a histogram without this layer depending on core::Statistics.
+  std::function<void(uint64_t micros)> read_latency_sink;
+};
+
+/// Opens (or recovers) a slab cache rooted at `dir` under `env`. Existing
+/// slab files are scanned: well-formed ones rebuild the in-memory index so
+/// cache contents survive a restart; torn or corrupt ones are deleted
+/// wholesale and never served. `env` must outlive the cache.
+Status NewSlabSecondaryCache(Env* env, const std::string& dir,
+                             const SlabSecondaryCacheOptions& options,
+                             std::shared_ptr<SecondaryCache>* result);
+
+}  // namespace adcache
+
+#endif  // ADCACHE_CACHE_SECONDARY_CACHE_H_

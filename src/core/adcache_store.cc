@@ -84,6 +84,26 @@ Status AdCacheStore::Open(const AdCacheOptions& options,
   for (const auto& listener : options.listeners) {
     db_options.listeners.push_back(listener);
   }
+  // Secondary (flash) tier: an explicitly provided lsm cache wins; else a
+  // nonzero budget builds a slab cache here. Either way ShardedDB::Open
+  // sees a pre-set tier and skips its own ADCACHE_SECONDARY_CACHE fallback
+  // (which still applies when neither is set — adopted below after Open).
+  if (db_options.secondary_cache == nullptr &&
+      store_options.secondary_cache_budget > 0) {
+    Env* env =
+        db_options.env != nullptr ? db_options.env : lsm::DefaultDbEnv();
+    Status st = env->CreateDirIfMissing(dbname);
+    if (!st.ok()) return st;
+    SlabSecondaryCacheOptions secondary_options;
+    secondary_options.capacity = store_options.secondary_cache_budget;
+    secondary_options.admission_threshold =
+        store_options.secondary_admission_threshold;
+    std::shared_ptr<SecondaryCache> secondary;
+    st = NewSlabSecondaryCache(env, dbname + "/secondary", secondary_options,
+                               &secondary);
+    if (!st.ok()) return st;
+    lsm::InstallSecondaryCache(&db_options, std::move(secondary));
+  }
   // Size the per-shard ticker table before Open so maintenance events fired
   // during recovery are already attributable.
   s->stats_->ConfigureShards(
@@ -91,6 +111,25 @@ Status AdCacheStore::Open(const AdCacheOptions& options,
       1);
   Status st = lsm::ShardedDB::Open(db_options, dbname, &s->db_);
   if (!st.ok()) return st;
+  // Adopt whichever tier ended up wired (caller's, ours, or the env
+  // fallback inside Open) so the RL controller can manage its boundary and
+  // the registry folds its counters. The tier's current capacity defines
+  // its flash budget unless the store options name a larger one.
+  if (const std::shared_ptr<SecondaryCache>& secondary =
+          s->db_->options().secondary_cache;
+      secondary != nullptr) {
+    size_t budget = std::max(store_options.secondary_cache_budget,
+                             secondary->GetCapacity());
+    s->cache_->SetSecondaryCache(secondary, budget);
+    Statistics* stats = s->stats_.get();
+    secondary->SetReadLatencySink([stats](uint64_t micros) {
+      stats->RecordLatency(kHistSecondaryReadMicros, micros);
+    });
+    s->stats_->SetGauge(kGaugeSecondaryCapacityBytes,
+                        static_cast<double>(secondary->GetCapacity()));
+    s->stats_->SetGauge(kGaugeSecondaryDemotionThreshold,
+                        secondary->admission_threshold());
+  }
   *store = std::move(s);
   return Status::OK();
 }
@@ -116,15 +155,21 @@ void AdCacheStore::MaybeEndWindow() {
   if (window_stats_.TotalOps() < target) return;  // another thread handled it
   next_window_at_.store(target + options_.controller.window_size,
                         std::memory_order_relaxed);
+  const SecondaryCache* secondary = cache_->secondary_cache();
   WindowStats window = window_stats_.Harvest(
-      db_->env()->io_stats()->block_reads.load(), SampleMaintenance());
+      db_->env()->io_stats()->block_reads.load(), SampleMaintenance(),
+      secondary != nullptr ? secondary->hits() : 0,
+      secondary != nullptr ? secondary->misses() : 0);
   controller_->OnWindowEnd(window, CurrentShape());
 }
 
 void AdCacheStore::ForceWindowEnd() {
   std::lock_guard<std::mutex> l(window_mu_);
+  const SecondaryCache* secondary = cache_->secondary_cache();
   WindowStats window = window_stats_.Harvest(
-      db_->env()->io_stats()->block_reads.load(), SampleMaintenance());
+      db_->env()->io_stats()->block_reads.load(), SampleMaintenance(),
+      secondary != nullptr ? secondary->hits() : 0,
+      secondary != nullptr ? secondary->misses() : 0);
   controller_->OnWindowEnd(window, CurrentShape());
 }
 
@@ -352,6 +397,27 @@ void AdCacheStore::SyncComponentTickers() const {
        kTickerRangeCacheHits);
   fold(mirror_.range_misses, cache_->range_cache()->misses(),
        kTickerRangeCacheMisses);
+  if (const SecondaryCache* secondary = cache_->secondary_cache();
+      secondary != nullptr) {
+    fold(mirror_.secondary_hits, secondary->hits(),
+         kTickerSecondaryCacheHits);
+    fold(mirror_.secondary_misses, secondary->misses(),
+         kTickerSecondaryCacheMisses);
+    fold(mirror_.secondary_demotions, secondary->demotions(),
+         kTickerSecondaryDemotions);
+    fold(mirror_.secondary_demotion_rejects, secondary->demotion_rejects(),
+         kTickerSecondaryDemotionRejects);
+    fold(mirror_.secondary_gc_runs, secondary->gc_runs(),
+         kTickerSecondaryGcRuns);
+    fold(mirror_.secondary_gc_reclaimed, secondary->gc_reclaimed_bytes(),
+         kTickerSecondaryGcReclaimedBytes);
+    stats->SetGauge(kGaugeSecondaryCapacityBytes,
+                    static_cast<double>(secondary->GetCapacity()));
+    stats->SetGauge(kGaugeSecondaryUsageBytes,
+                    static_cast<double>(secondary->GetUsage()));
+    stats->SetGauge(kGaugeSecondaryDemotionThreshold,
+                    secondary->admission_threshold());
+  }
   // Slot-table pressure for the CLOCK backend (0 for LRU): distinguishes
   // "byte budget full" from "slot table full" when tuning entry estimates.
   stats->SetGauge(kGaugeBlockCacheSlotOccupancy,
@@ -369,6 +435,15 @@ CacheStatsSnapshot AdCacheStore::GetCacheStats() const {
   snap.range_misses = stats_->GetTickerCount(kTickerRangeCacheMisses);
   snap.block_cache_hits = stats_->GetTickerCount(kTickerBlockCacheHits);
   snap.block_cache_misses = stats_->GetTickerCount(kTickerBlockCacheMisses);
+  snap.secondary_hits = stats_->GetTickerCount(kTickerSecondaryCacheHits);
+  snap.secondary_misses = stats_->GetTickerCount(kTickerSecondaryCacheMisses);
+  snap.secondary_demotions =
+      stats_->GetTickerCount(kTickerSecondaryDemotions);
+  if (const SecondaryCache* secondary = cache_->secondary_cache();
+      secondary != nullptr) {
+    snap.secondary_usage = secondary->GetUsage();
+    snap.secondary_capacity = secondary->GetCapacity();
+  }
   snap.cache_usage = cache_->RangeUsage() + cache_->BlockUsage();
   snap.cache_capacity = cache_->total_budget();
   snap.range_ratio = stats_->GetGauge(kGaugeRangeRatio);

@@ -27,6 +27,19 @@ struct AdCacheOptions {
   /// Multi-client scan workloads set these to stop range-cache probes from
   /// serializing on one mutex; see ShardedRangeCache.
   std::vector<std::string> range_shard_boundaries;
+  /// Flash budget for the secondary (slab-log) cache tier below the block
+  /// cache. When > 0 and the lsm::Options passed to Open carry no
+  /// secondary_cache, Open builds a slab cache under `<dbname>/secondary`
+  /// and wires it in (demotion hook + read-miss probe). 0 leaves the tier
+  /// to the lsm layer: an explicitly provided lsm::Options::secondary_cache
+  /// or the ADCACHE_SECONDARY_CACHE env fallback is adopted either way, and
+  /// the RL agent then manages the tier's capacity within this (or the
+  /// adopted tier's) budget plus its demotion-admission threshold when
+  /// controller.enable_secondary_control is set.
+  size_t secondary_cache_budget = 0;
+  /// Initial demotion-admission threshold for a tier built by Open (the
+  /// agent moves it afterwards; <= 0 demotes everything).
+  double secondary_admission_threshold = 0.0;
   ControllerOptions controller;
   PointAdmissionController::Options point_admission;
   /// Upper bound for the learnable scan-admission `a`.
@@ -124,6 +137,12 @@ class AdCacheStore : public KvStore {
     std::atomic<uint64_t> block_cache_misses{0};
     std::atomic<uint64_t> range_hits{0};
     std::atomic<uint64_t> range_misses{0};
+    std::atomic<uint64_t> secondary_hits{0};
+    std::atomic<uint64_t> secondary_misses{0};
+    std::atomic<uint64_t> secondary_demotions{0};
+    std::atomic<uint64_t> secondary_demotion_rejects{0};
+    std::atomic<uint64_t> secondary_gc_runs{0};
+    std::atomic<uint64_t> secondary_gc_reclaimed{0};
   };
   mutable MirrorBase mirror_;
 };

@@ -81,4 +81,27 @@ std::vector<double> DynamicCacheComponent::range_leases() const {
   return lease_weights_;
 }
 
+void DynamicCacheComponent::SetSecondaryCache(
+    std::shared_ptr<SecondaryCache> secondary, size_t flash_budget_bytes) {
+  secondary_cache_ = std::move(secondary);
+  secondary_budget_ = flash_budget_bytes;
+  if (secondary_cache_ != nullptr && secondary_budget_ == 0) {
+    secondary_budget_ = secondary_cache_->GetCapacity();
+  }
+  if (secondary_cache_ != nullptr && secondary_budget_ > 0) {
+    double r = static_cast<double>(secondary_cache_->GetCapacity()) /
+               static_cast<double>(secondary_budget_);
+    secondary_ratio_.store(std::clamp(r, kMinSecondaryRatio, 1.0),
+                           std::memory_order_relaxed);
+  }
+}
+
+void DynamicCacheComponent::SetSecondaryRatio(double ratio) {
+  if (secondary_cache_ == nullptr || secondary_budget_ == 0) return;
+  ratio = std::clamp(ratio, kMinSecondaryRatio, 1.0);
+  secondary_ratio_.store(ratio, std::memory_order_relaxed);
+  secondary_cache_->SetCapacity(
+      static_cast<size_t>(ratio * static_cast<double>(secondary_budget_)));
+}
+
 }  // namespace adcache::core

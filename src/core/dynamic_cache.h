@@ -9,6 +9,7 @@
 
 #include "cache/cache.h"
 #include "cache/range_cache.h"
+#include "cache/secondary_cache.h"
 
 namespace adcache::core {
 
@@ -64,6 +65,28 @@ class DynamicCacheComponent {
   size_t BlockUsage() const { return block_cache_->GetUsage(); }
   size_t RangeUsage() const { return range_cache_->GetUsage(); }
 
+  /// Attaches the flash-backed secondary tier under RL control. The tier's
+  /// *flash* budget is separate from the DRAM `total_budget` — the agent
+  /// scales the tier's capacity within [kMinSecondaryRatio, 1] of
+  /// `flash_budget_bytes` via SetSecondaryRatio. Call once, before traffic.
+  void SetSecondaryCache(std::shared_ptr<SecondaryCache> secondary,
+                         size_t flash_budget_bytes);
+  SecondaryCache* secondary_cache() const { return secondary_cache_.get(); }
+  size_t secondary_budget() const { return secondary_budget_; }
+
+  /// Retargets the secondary tier's capacity to `ratio` of its flash budget
+  /// (clamped to [kMinSecondaryRatio, 1] so the tier never collapses to
+  /// zero and GC always has room to operate). No-op without a tier.
+  void SetSecondaryRatio(double ratio);
+  double secondary_ratio() const {
+    return secondary_ratio_.load(std::memory_order_relaxed);
+  }
+  size_t SecondaryUsage() const {
+    return secondary_cache_ != nullptr ? secondary_cache_->GetUsage() : 0;
+  }
+
+  static constexpr double kMinSecondaryRatio = 0.1;
+
  private:
   /// Splits `range_budget` over the range-cache shards per the installed
   /// leases (even when none). Cold path (window boundaries only).
@@ -73,6 +96,9 @@ class DynamicCacheComponent {
   std::atomic<double> range_ratio_;
   std::shared_ptr<Cache> block_cache_;
   std::unique_ptr<ShardedRangeCache> range_cache_;
+  std::shared_ptr<SecondaryCache> secondary_cache_;
+  size_t secondary_budget_ = 0;
+  std::atomic<double> secondary_ratio_{1.0};
   mutable std::mutex lease_mu_;
   std::vector<double> lease_weights_;  // guarded by lease_mu_
 };

@@ -66,6 +66,14 @@ struct RlActionInfo {
   double new_scan_a = 0.0;
   double old_scan_b = 0.0;
   double new_scan_b = 0.0;
+  /// Secondary (flash) tier control. Only meaningful when
+  /// `secondary_controlled` is true (a secondary cache is attached and the
+  /// controller's secondary action dimensions are enabled).
+  bool secondary_controlled = false;
+  uint64_t old_secondary_capacity_bytes = 0;
+  uint64_t new_secondary_capacity_bytes = 0;
+  double old_demotion_threshold = 0.0;
+  double new_demotion_threshold = 0.0;
 };
 
 /// Callback interface for store/DB lifecycle events, modeled on RocksDB's

@@ -45,11 +45,23 @@ class IoEstimator {
   }
 
   /// Estimated hit rate in [0, 1]. Returns 0 when the window had no reads.
+  ///
+  /// `flash_read_cost` extends the model to a flash-backed secondary tier:
+  /// a secondary-cache hit still avoided a storage read, but it was not
+  /// free — it cost one flash pread, which the model charges as that
+  /// fraction of a storage read. Effective misses are therefore
+  /// block_reads + flash_read_cost * secondary_hits; with the default 0 (or
+  /// no secondary tier, where secondary_hits == 0) this reduces to the
+  /// paper's original h_estimate.
   static double EstimateHitRate(const WindowStats& w,
-                                const LsmShapeParams& shape) {
+                                const LsmShapeParams& shape,
+                                double flash_read_cost = 0.0) {
     double io_estimate = EstimateIo(w, shape);
     if (io_estimate <= 0) return 0.0;
-    double h = 1.0 - static_cast<double>(w.block_reads) / io_estimate;
+    double effective_misses =
+        static_cast<double>(w.block_reads) +
+        flash_read_cost * static_cast<double>(w.secondary_hits);
+    double h = 1.0 - effective_misses / io_estimate;
     if (h < 0) h = 0;
     if (h > 1) h = 1;
     return h;

@@ -44,6 +44,12 @@ struct CacheStatsSnapshot {
   uint64_t block_cache_misses = 0;
   uint64_t kv_hits = 0;
   uint64_t kv_misses = 0;
+  /// Secondary (flash) tier counters; all 0 when the tier is disabled.
+  uint64_t secondary_hits = 0;
+  uint64_t secondary_misses = 0;
+  uint64_t secondary_demotions = 0;
+  size_t secondary_usage = 0;
+  size_t secondary_capacity = 0;
   size_t cache_usage = 0;
   size_t cache_capacity = 0;
   // AdCache control state, mirrored from the Statistics gauges

@@ -38,6 +38,17 @@ std::vector<float> PolicyController::BuildState(const WindowStats& w,
           ? 0.0
           : static_cast<double>(cache_->RangeUsage() + cache_->BlockUsage()) /
                 static_cast<double>(cache_->total_budget());
+  uint64_t secondary_lookups = w.secondary_hits + w.secondary_misses;
+  double secondary_hit_rate =
+      secondary_lookups == 0
+          ? 0.0
+          : static_cast<double>(w.secondary_hits) /
+                static_cast<double>(secondary_lookups);
+  double secondary_occupancy =
+      cache_->secondary_budget() == 0
+          ? 0.0
+          : static_cast<double>(cache_->SecondaryUsage()) /
+                static_cast<double>(cache_->secondary_budget());
   return {
       clamp01(w.PointRatio()),
       clamp01(w.ScanRatio()),
@@ -50,6 +61,8 @@ std::vector<float> PolicyController::BuildState(const WindowStats& w,
       clamp01(occupancy),
       clamp01(static_cast<double>(w.compactions + w.flushes) / 8.0),
       clamp01(static_cast<double>(shape.num_levels) / 7.0),
+      clamp01(secondary_hit_rate),
+      clamp01(secondary_occupancy),
   };
 }
 
@@ -62,6 +75,19 @@ void PolicyController::ApplyAction(const std::vector<float>& action) {
         PointAdmissionController::ActionToThreshold(action[1]));
     scan_admission_->SetFromActions(action[2], action[3]);
   }
+  if (options_.enable_secondary_control &&
+      cache_->secondary_cache() != nullptr) {
+    // action[4]: tier capacity as a fraction of its flash budget (the
+    // component clamps to [kMinSecondaryRatio, 1] and shrinks
+    // incrementally via SetCapacity -> watermark GC).
+    cache_->SetSecondaryRatio(action[4]);
+    // action[5]: demotion-admission threshold on the TinyLFU normalized
+    // frequency. The quadratic map concentrates resolution near zero,
+    // where useful thresholds live (cf. the point-admission trajectory in
+    // paper Fig. 10); the agent can still reach "demote everything" (0).
+    cache_->secondary_cache()->SetAdmissionThreshold(
+        ActionToDemotionThreshold(action[5]));
+  }
 }
 
 void PolicyController::OnWindowEnd(const WindowStats& window,
@@ -69,7 +95,8 @@ void PolicyController::OnWindowEnd(const WindowStats& window,
   std::lock_guard<std::mutex> l(mu_);
   windows_++;
 
-  double h_est = IoEstimator::EstimateHitRate(window, shape);
+  double h_est = IoEstimator::EstimateHitRate(window, shape,
+                                              options_.secondary_flash_cost);
   if (!h_initialised_) {
     h_smoothed_ = h_est;
     h_initialised_ = true;
@@ -105,6 +132,13 @@ void PolicyController::OnWindowEnd(const WindowStats& window,
   info.old_point_threshold = point_admission_->threshold();
   info.old_scan_a = scan_admission_->a();
   info.old_scan_b = scan_admission_->b();
+  SecondaryCache* secondary = cache_->secondary_cache();
+  info.secondary_controlled =
+      options_.enable_secondary_control && secondary != nullptr;
+  if (info.secondary_controlled) {
+    info.old_secondary_capacity_bytes = secondary->GetCapacity();
+    info.old_demotion_threshold = secondary->admission_threshold();
+  }
 
   ApplyAction(action);
 
@@ -112,6 +146,10 @@ void PolicyController::OnWindowEnd(const WindowStats& window,
   info.new_point_threshold = point_admission_->threshold();
   info.new_scan_a = scan_admission_->a();
   info.new_scan_b = scan_admission_->b();
+  if (info.secondary_controlled) {
+    info.new_secondary_capacity_bytes = secondary->GetCapacity();
+    info.new_demotion_threshold = secondary->admission_threshold();
+  }
 
   if (statistics_ != nullptr) {
     statistics_->RecordTick(kTickerRlActions);
@@ -120,6 +158,13 @@ void PolicyController::OnWindowEnd(const WindowStats& window,
     statistics_->SetGauge(kGaugeScanA, info.new_scan_a);
     statistics_->SetGauge(kGaugeScanB, info.new_scan_b);
     statistics_->SetGauge(kGaugeSmoothedHitRate, info.smoothed_hit_rate);
+    if (info.secondary_controlled) {
+      statistics_->SetGauge(
+          kGaugeSecondaryCapacityBytes,
+          static_cast<double>(info.new_secondary_capacity_bytes));
+      statistics_->SetGauge(kGaugeSecondaryDemotionThreshold,
+                            info.new_demotion_threshold);
+    }
   }
   // Listeners run with mu_ held: the trace stays ordered by window and the
   // payload matches the state that was just applied.
@@ -219,7 +264,21 @@ std::vector<float> PolicyController::TargetActionFor(
   float threshold_action = 0.02f;
   float a_action = 0.25f;  // 16 of max 64
   float b_action = (scan_ratio >= 0.6f && scan_len > 0.4f) ? 0.3f : 0.5f;
-  return {range_ratio, threshold_action, a_action, b_action};
+
+  // Secondary-tier targets. Flash is cheap relative to storage reads, so
+  // the heuristic keeps the whole flash budget online; the demotion
+  // threshold stays permissive while the tier has headroom and turns
+  // selective once it runs full (state[12]: secondary occupancy) — at that
+  // point every demote evicts a slab's worth of earlier demotions, so only
+  // re-referenced blocks should earn flash writes. Write-heavy mixes also
+  // demote selectively: compaction invalidates demoted blocks before they
+  // pay off.
+  float secondary_frac = 1.0f;
+  float secondary_occupancy = state.size() > 12 ? state[12] : 0.0f;
+  float demote_action =
+      (secondary_occupancy >= 0.7f || write_ratio >= 0.4f) ? 0.4f : 0.15f;
+  return {range_ratio, threshold_action, a_action,
+          b_action,    secondary_frac,   demote_action};
 }
 
 float PolicyController::PretrainHeuristic(int steps, uint64_t seed) {
@@ -249,6 +308,8 @@ float PolicyController::PretrainHeuristic(int steps, uint64_t seed) {
         static_cast<float>(rng.NextDouble()),       // occupancy
         static_cast<float>(rng.NextDouble() * 0.5), // compaction activity
         static_cast<float>(rng.NextDouble()),       // level depth
+        static_cast<float>(rng.NextDouble()),       // secondary hit rate
+        static_cast<float>(rng.NextDouble()),       // secondary occupancy
     };
     loss = agent_->PretrainStep(state, TargetActionFor(state));
   }

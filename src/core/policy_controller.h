@@ -1,6 +1,7 @@
 #ifndef ADCACHE_CORE_POLICY_CONTROLLER_H_
 #define ADCACHE_CORE_POLICY_CONTROLLER_H_
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -25,6 +26,15 @@ struct ControllerOptions {
   /// Ablation switches (paper Fig. 11b).
   bool enable_partitioning = true;
   bool enable_admission = true;
+  /// Let the agent manage the flash-backed secondary tier (capacity within
+  /// its flash budget + demotion-admission threshold, action dims 4 and 5).
+  /// Ignored — actions computed but not applied — when no secondary cache
+  /// is attached to the DynamicCacheComponent.
+  bool enable_secondary_control = true;
+  /// Cost of one flash read relative to one storage read, used to extend
+  /// the h_est reward: a secondary hit counts as this fraction of a miss
+  /// (see IoEstimator::EstimateHitRate).
+  double secondary_flash_cost = 0.2;
   /// When false the (pretrained) policy is applied without online updates.
   bool online_learning = true;
   /// Apportion the range-cache budget across its key-range shards by
@@ -47,8 +57,12 @@ struct ControllerOptions {
 /// and admission thresholds.
 class PolicyController {
  public:
-  static constexpr int kStateDim = 11;
-  static constexpr int kActionDim = 4;
+  /// 11 workload/cache features + 2 secondary-tier features (hit rate and
+  /// occupancy; zero when no flash tier is attached).
+  static constexpr int kStateDim = 13;
+  /// range ratio, point threshold, scan a/b, secondary capacity fraction,
+  /// demotion-admission threshold.
+  static constexpr int kActionDim = 6;
 
   PolicyController(const ControllerOptions& options,
                    DynamicCacheComponent* cache,
@@ -91,6 +105,14 @@ class PolicyController {
   /// best (e.g. short-scan-heavy -> block cache; write-heavy -> range
   /// cache; long scans -> partial admission).
   static std::vector<float> TargetActionFor(const std::vector<float>& state);
+
+  /// Maps the agent's [0,1] demotion action to a TinyLFU normalized-
+  /// frequency threshold. Quadratic so most of the action range maps to
+  /// small thresholds; 0 means demote-everything.
+  static double ActionToDemotionThreshold(float action) {
+    double a = std::clamp(static_cast<double>(action), 0.0, 1.0);
+    return a * a * 0.25;
+  }
 
   const ControllerOptions& options() const { return options_; }
 

@@ -27,6 +27,12 @@ const char* const kTickerNames[kTickerCount] = {
     "adcache.write.stall.micros",   // kTickerStallMicros
     "adcache.rl.actions",           // kTickerRlActions
     "adcache.cache.boundary.moves", // kTickerCacheBoundaryMoves
+    "adcache.secondary.hits",       // kTickerSecondaryCacheHits
+    "adcache.secondary.misses",     // kTickerSecondaryCacheMisses
+    "adcache.secondary.demotions",  // kTickerSecondaryDemotions
+    "adcache.secondary.demotion.rejects",  // kTickerSecondaryDemotionRejects
+    "adcache.secondary.gc.runs",    // kTickerSecondaryGcRuns
+    "adcache.secondary.gc.reclaimed.bytes",  // kTickerSecondaryGcReclaimedBytes
 };
 
 const char* const kHistogramNames[kHistCount] = {
@@ -36,6 +42,7 @@ const char* const kHistogramNames[kHistCount] = {
     "adcache.put.micros",        // kHistPutMicros
     "adcache.flush.micros",      // kHistFlushMicros
     "adcache.compaction.micros", // kHistCompactionMicros
+    "adcache.secondary.read.micros",  // kHistSecondaryReadMicros
 };
 
 const char* const kGaugeNames[kGaugeCount] = {
@@ -46,6 +53,9 @@ const char* const kGaugeNames[kGaugeCount] = {
     "adcache.gauge.smoothed_hit_rate", // kGaugeSmoothedHitRate
     "adcache.gauge.block_cache_slot_occupancy",  // kGaugeBlockCacheSlotOccupancy
     "adcache.gauge.shard_count",       // kGaugeShardCount
+    "adcache.gauge.secondary_capacity_bytes",  // kGaugeSecondaryCapacityBytes
+    "adcache.gauge.secondary_usage_bytes",     // kGaugeSecondaryUsageBytes
+    "adcache.gauge.secondary_demotion_threshold",  // kGaugeSecondaryDemotionThreshold
 };
 
 const char* const kShardTickerNames[kShardTickerCount] = {

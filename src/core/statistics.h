@@ -39,6 +39,12 @@ enum Ticker : uint32_t {
   kTickerStallMicros,          // wall micros writers spent delayed/stopped
   kTickerRlActions,            // RL agent decisions applied
   kTickerCacheBoundaryMoves,   // block/range boundary actually moved
+  kTickerSecondaryCacheHits,   // secondary-tier probes answered from flash
+  kTickerSecondaryCacheMisses,
+  kTickerSecondaryDemotions,   // evicted blocks appended to the slab log
+  kTickerSecondaryDemotionRejects,  // demote offers refused by admission
+  kTickerSecondaryGcRuns,      // watermark-triggered slab GC passes
+  kTickerSecondaryGcReclaimedBytes, // slab bytes reclaimed by GC
   kTickerCount
 };
 
@@ -50,6 +56,7 @@ enum HistogramKind : uint32_t {
   kHistPutMicros,
   kHistFlushMicros,
   kHistCompactionMicros,
+  kHistSecondaryReadMicros,  // flash (slab pread) latency on secondary hits
   kHistCount
 };
 
@@ -68,6 +75,10 @@ enum Gauge : uint32_t {
   /// Number of key-range shards behind the store's ShardedDB facade (1 for
   /// an unsharded store). Set by Statistics::ConfigureShards.
   kGaugeShardCount,
+  /// Secondary (flash) tier control state; all 0 when the tier is disabled.
+  kGaugeSecondaryCapacityBytes,
+  kGaugeSecondaryUsageBytes,
+  kGaugeSecondaryDemotionThreshold,
   kGaugeCount
 };
 
@@ -295,6 +306,12 @@ class StatisticsEventListener : public EventListener {
     stats_->SetGauge(kGaugeScanA, info.new_scan_a);
     stats_->SetGauge(kGaugeScanB, info.new_scan_b);
     stats_->SetGauge(kGaugeSmoothedHitRate, info.smoothed_hit_rate);
+    if (info.secondary_controlled) {
+      stats_->SetGauge(kGaugeSecondaryCapacityBytes,
+                       static_cast<double>(info.new_secondary_capacity_bytes));
+      stats_->SetGauge(kGaugeSecondaryDemotionThreshold,
+                       info.new_demotion_threshold);
+    }
   }
 
  private:

@@ -3,7 +3,9 @@
 namespace adcache::core {
 
 WindowStats StatsCollector::Harvest(uint64_t block_reads_now,
-                                    const MaintenanceSample& maintenance_now) {
+                                    const MaintenanceSample& maintenance_now,
+                                    uint64_t secondary_hits_now,
+                                    uint64_t secondary_misses_now) {
   WindowStats cumulative;
   cumulative.point_lookups = point_lookups_.Load();
   cumulative.scans = scans_.Load();
@@ -27,6 +29,8 @@ WindowStats StatsCollector::Harvest(uint64_t block_reads_now,
   delta.scan_keys_admitted =
       cumulative.scan_keys_admitted - last_harvest_.scan_keys_admitted;
   delta.block_reads = block_reads_now - last_block_reads_;
+  delta.secondary_hits = secondary_hits_now - last_secondary_hits_;
+  delta.secondary_misses = secondary_misses_now - last_secondary_misses_;
   delta.compactions = maintenance_now.compactions - last_maintenance_.compactions;
   delta.flushes = maintenance_now.flushes - last_maintenance_.flushes;
   delta.stall_micros =
@@ -36,6 +40,8 @@ WindowStats StatsCollector::Harvest(uint64_t block_reads_now,
 
   last_harvest_ = cumulative;
   last_block_reads_ = block_reads_now;
+  last_secondary_hits_ = secondary_hits_now;
+  last_secondary_misses_ = secondary_misses_now;
   last_maintenance_ = maintenance_now;
   return delta;
 }

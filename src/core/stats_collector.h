@@ -21,6 +21,11 @@ struct WindowStats {
   uint64_t scan_keys_admitted = 0;
 
   uint64_t block_reads = 0;  // SST block reads that hit storage (IO_miss)
+  /// Secondary (flash) tier lookups this window: hits avoided a storage
+  /// read at a fraction of its cost (see IoEstimator's flash_read_cost).
+  /// Both stay 0 when no secondary cache is attached.
+  uint64_t secondary_hits = 0;
+  uint64_t secondary_misses = 0;
   uint64_t compactions = 0;
   uint64_t flushes = 0;
   /// Microseconds writers spent blocked on write stalls this window.
@@ -98,10 +103,14 @@ class StatsCollector {
     uint64_t write_groups = 0;
   };
 
-  /// Returns the delta since the previous Harvest. `block_reads_now` and
-  /// `maintenance_now` are externally sampled monotonic counters.
+  /// Returns the delta since the previous Harvest. `block_reads_now`,
+  /// `maintenance_now` and the secondary-cache counters are externally
+  /// sampled monotonic values (the secondary pair defaults to 0 for stores
+  /// without a flash tier).
   WindowStats Harvest(uint64_t block_reads_now,
-                      const MaintenanceSample& maintenance_now);
+                      const MaintenanceSample& maintenance_now,
+                      uint64_t secondary_hits_now = 0,
+                      uint64_t secondary_misses_now = 0);
 
  private:
   util::ShardedCounter point_lookups_;
@@ -115,6 +124,8 @@ class StatsCollector {
 
   WindowStats last_harvest_;
   uint64_t last_block_reads_ = 0;
+  uint64_t last_secondary_hits_ = 0;
+  uint64_t last_secondary_misses_ = 0;
   MaintenanceSample last_maintenance_;
 };
 

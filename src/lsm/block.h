@@ -23,6 +23,11 @@ class Block {
 
   size_t size() const { return contents_.size(); }
 
+  /// The raw serialised block bytes (exactly what Block was constructed
+  /// from). Demotion to the secondary cache re-serialises a cached block by
+  /// copying these; a Block built from the copy is equivalent.
+  Slice contents() const { return Slice(contents_); }
+
   /// Iterator comparing internal keys. Caller deletes.
   Iterator* NewIterator(const InternalKeyComparator* cmp) const;
 

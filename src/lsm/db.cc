@@ -136,6 +136,11 @@ Status DB::Open(const Options& options, const std::string& dbname,
   if (!s.ok()) return s;
 
   auto db = std::unique_ptr<DB>(new DB(options, dbname, env));
+  // Env-var secondary tier, before Recover opens any table (tables copy
+  // options at open). A ShardedDB parent that built a shared secondary
+  // cache pre-sets options.secondary_cache, making this a no-op.
+  s = MaybeInstallSecondaryCacheFromEnv(&db->options_, dbname, env);
+  if (!s.ok()) return s;
   db->mem_ = new MemTable();
   db->mem_->Ref();
   db->current_ = std::make_shared<Version>(options.num_levels);

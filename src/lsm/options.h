@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cache/cache.h"
+#include "cache/secondary_cache.h"
 #include "core/event_listener.h"
 #include "util/env.h"
 #include "util/thread_pool.h"
@@ -49,6 +50,15 @@ struct Options {
   /// explicitly. Defaults from the ADCACHE_BLOCK_CACHE_IMPL env var so CI
   /// can rerun the suite against either backend.
   BlockCacheImpl block_cache_impl = DefaultBlockCacheImpl();
+
+  /// Flash-backed secondary tier below the block cache; may be null (the
+  /// default) to disable. Table read misses probe it before storage and
+  /// promote hits back into `block_cache`; blocks evicted from
+  /// `block_cache` are offered to it for demotion (see
+  /// lsm::InstallSecondaryCache, which wires both directions). When null
+  /// and the ADCACHE_SECONDARY_CACHE env var sets a byte budget, DB::Open /
+  /// ShardedDB::Open construct a slab cache under `<dbname>/secondary`.
+  std::shared_ptr<SecondaryCache> secondary_cache;
 
   size_t block_size = 4 * 1024;
   size_t table_file_size = 4 * 1024 * 1024;
@@ -144,6 +154,25 @@ struct Options {
   /// depending on it here does not pull in the core library).
   std::vector<std::shared_ptr<core::EventListener>> listeners;
 };
+
+/// Wires `secondary` into `options` in both directions: sets
+/// `options->secondary_cache` (Table read misses probe it) and installs the
+/// demotion hook on `options->block_cache` (evicted Blocks are serialised
+/// and offered to the tier). Call before the cache sees traffic — eviction
+/// callback installation is not synchronised. Whoever constructs the
+/// secondary cache calls this; passing a pre-wired `options` further down
+/// (e.g. ShardedDB -> per-shard DB) must not re-wire.
+void InstallSecondaryCache(Options* options,
+                           std::shared_ptr<SecondaryCache> secondary);
+
+/// Env-var fallback used by DB::Open / ShardedDB::Open when
+/// `options->secondary_cache` is unset: ADCACHE_SECONDARY_CACHE gives the
+/// flash budget in bytes (k/m/g suffixes; bare "on"/"true"/"1" picks a
+/// 32 MiB default, and budgets are clamped up to 8 MiB so a slab always
+/// fits). Builds a slab cache under `<dbname>/secondary` on `env` and wires
+/// it via InstallSecondaryCache. No-op when the variable is unset.
+Status MaybeInstallSecondaryCacheFromEnv(Options* options,
+                                         const std::string& dbname, Env* env);
 
 class Snapshot;
 

@@ -8,6 +8,7 @@
 
 #include "lsm/dbformat.h"
 #include "util/coding.h"
+#include "util/options_env.h"
 
 namespace adcache::lsm {
 
@@ -110,23 +111,13 @@ class ShardConcatIterator : public Iterator {
 std::vector<std::string> ShardedDB::ResolveBoundaries(const Options& options) {
   std::vector<std::string> boundaries = options.shard_boundaries;
   if (boundaries.empty()) {
-    const char* explicit_env = std::getenv("ADCACHE_SHARD_BOUNDARIES");
-    if (explicit_env != nullptr && explicit_env[0] != '\0') {
-      const char* p = explicit_env;
-      while (*p != '\0') {
-        const char* comma = std::strchr(p, ',');
-        size_t len = comma != nullptr ? static_cast<size_t>(comma - p)
-                                      : std::strlen(p);
-        if (len > 0) boundaries.emplace_back(p, len);
-        p += len;
-        if (*p == ',') ++p;
-      }
-    } else if (const char* count_env = std::getenv("ADCACHE_SHARDS")) {
+    boundaries = util::OptionsFromEnv::Csv("ADCACHE_SHARD_BOUNDARIES");
+    if (boundaries.empty()) {
       // Evenly interpolated over the 2-byte key space: correct for any key
       // distribution (worst case some shards stay empty), balanced for keys
       // whose first two bytes spread out. Tests with prefixed keys should
       // set ADCACHE_SHARD_BOUNDARIES instead.
-      int n = std::atoi(count_env);
+      int n = util::OptionsFromEnv::Int("ADCACHE_SHARDS", 0);
       for (int i = 1; i < n; ++i) {
         unsigned v = static_cast<unsigned>(
             (static_cast<uint64_t>(i) << 16) / static_cast<uint64_t>(n));
@@ -237,9 +228,15 @@ Status ShardedDB::Open(const Options& options, const std::string& dbname,
     Env* env = options.env != nullptr ? options.env : DefaultDbEnv();
     Status s = CheckOrWriteTopology(env, dbname, db->boundaries_);
     if (!s.ok()) return s;
+    // One env-var secondary tier shared by every shard (cache keys are
+    // namespaced by CacheFileId, so one flash file set serves them all —
+    // and mirrors the shared block cache the demotion hook is attached
+    // to). Shards see it pre-set and skip their own env fallback.
+    s = MaybeInstallSecondaryCacheFromEnv(&db->options_, dbname, env);
+    if (!s.ok()) return s;
   }
   for (size_t i = 0; i < n; ++i) {
-    Options shard_options = options;
+    Options shard_options = db->options_;
     shard_options.background_pool = db->pool_;
     shard_options.shard_id = static_cast<int>(i);
     shard_options.shard_boundaries.clear();

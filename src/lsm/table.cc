@@ -1,9 +1,12 @@
 #include "lsm/table.h"
 
+#include <algorithm>
 #include <cassert>
+#include <optional>
 
 #include "util/coding.h"
 #include "util/inline_buffer.h"
+#include "util/options_env.h"
 #include "util/perf_context.h"
 
 namespace adcache::lsm {
@@ -154,27 +157,43 @@ Table::BlockRef Table::ReadBlockMiss(const ReadOptions& read_options,
   BlockRef ref;
   Cache* cache = options_.block_cache.get();
 
-  // Cache miss: read from storage. This is the paper's "SST read".
-  std::string contents(handle.size, '\0');
-  Slice input;
-  Status s = file_->Read(handle.offset, handle.size, &input, contents.data());
-  if (read_options.count_block_reads) env_->io_stats()->block_reads++;
-  ADCACHE_PERF_COUNTER_ADD(block_read_count, 1);
-  ADCACHE_PERF_COUNTER_ADD(block_read_byte, handle.size);
-  if (!s.ok()) {
-    ref.status = s;
-    return ref;
+  // DRAM missed; probe the flash-backed secondary tier before storage. A
+  // hit skips the SST read entirely (and the block_reads tick — the
+  // h_est reward accounts for secondary hits separately at flash cost)
+  // and is promoted back into the DRAM cache below.
+  Block* block = nullptr;
+  if (options_.secondary_cache != nullptr && !cache_key.empty()) {
+    std::string bytes;
+    if (options_.secondary_cache->Lookup(cache_key, &bytes)) {
+      ADCACHE_PERF_COUNTER_ADD(secondary_cache_hit_count, 1);
+      block = new Block(std::move(bytes));
+    }
   }
-  if (input.size() != handle.size) {
-    ref.status = Status::Corruption("truncated data block");
-    return ref;
+
+  if (block == nullptr) {
+    // Secondary miss too: read from storage. This is the paper's "SST
+    // read".
+    std::string contents(handle.size, '\0');
+    Slice input;
+    Status s =
+        file_->Read(handle.offset, handle.size, &input, contents.data());
+    if (read_options.count_block_reads) env_->io_stats()->block_reads++;
+    ADCACHE_PERF_COUNTER_ADD(block_read_count, 1);
+    ADCACHE_PERF_COUNTER_ADD(block_read_byte, handle.size);
+    if (!s.ok()) {
+      ref.status = s;
+      return ref;
+    }
+    if (input.size() != handle.size) {
+      ref.status = Status::Corruption("truncated data block");
+      return ref;
+    }
+    // When the env read into our scratch buffer, hand the bytes to the
+    // Block by move; a zero-copy env (mmap-style) returns its own pointer,
+    // in which case one copy is unavoidable.
+    block = input.data() == contents.data() ? new Block(std::move(contents))
+                                            : new Block(input.ToString());
   }
-  // When the env read into our scratch buffer, hand the bytes to the Block
-  // by move; a zero-copy env (mmap-style) returns its own pointer, in which
-  // case one copy is unavoidable.
-  auto* block = input.data() == contents.data()
-                    ? new Block(std::move(contents))
-                    : new Block(input.ToString());
   bool may_fill = read_options.fill_block_cache;
   if (may_fill && read_options.fill_block_budget != nullptr) {
     if (*read_options.fill_block_budget == 0) {
@@ -630,6 +649,61 @@ Status Table::PrefetchBlock(const BlockHandle& handle) {
   prefetch_options.count_block_reads = false;  // background I/O
   BlockRef ref = ReadBlock(prefetch_options, handle);
   return ref.block != nullptr ? Status::OK() : ref.status;
+}
+
+void InstallSecondaryCache(Options* options,
+                           std::shared_ptr<SecondaryCache> secondary) {
+  options->secondary_cache = secondary;
+  if (options->block_cache == nullptr || secondary == nullptr) {
+    return;
+  }
+  options->block_cache->SetEvictionCallback(
+      [secondary](const Slice& key, void* value, size_t /*charge*/) {
+        // Block-cache values are always Blocks (Table is the only
+        // inserter). The entry is exclusively owned during the callback,
+        // so its bytes are stable while Demote copies them.
+        const auto* block = static_cast<const Block*>(value);
+        secondary->Demote(key, block->contents());
+      });
+}
+
+Status MaybeInstallSecondaryCacheFromEnv(Options* options,
+                                         const std::string& dbname,
+                                         Env* env) {
+  if (options->secondary_cache != nullptr) {
+    return Status::OK();  // creator already wired it
+  }
+  const std::optional<std::string> raw =
+      util::OptionsFromEnv::String("ADCACHE_SECONDARY_CACHE");
+  if (!raw.has_value()) {
+    return Status::OK();
+  }
+  constexpr uint64_t kDefaultBudget = 32ull << 20;
+  constexpr uint64_t kMinBudget = 8ull << 20;
+  uint64_t budget = 0;
+  const std::optional<uint64_t> bytes = util::OptionsFromEnv::ParseBytes(*raw);
+  if (bytes.has_value()) {
+    budget = *bytes;
+  } else if (util::OptionsFromEnv::Flag("ADCACHE_SECONDARY_CACHE", false)) {
+    budget = kDefaultBudget;
+  }
+  if (budget == 0) {
+    return Status::OK();  // explicit "0"/"off" (or unparseable) disables
+  }
+  budget = std::max(budget, kMinBudget);
+  Status s = env->CreateDirIfMissing(dbname);
+  if (!s.ok()) {
+    return s;
+  }
+  SlabSecondaryCacheOptions sopts;
+  sopts.capacity = static_cast<size_t>(budget);
+  std::shared_ptr<SecondaryCache> secondary;
+  s = NewSlabSecondaryCache(env, dbname + "/secondary", sopts, &secondary);
+  if (!s.ok()) {
+    return s;
+  }
+  InstallSecondaryCache(options, std::move(secondary));
+  return Status::OK();
 }
 
 }  // namespace adcache::lsm

@@ -1,0 +1,116 @@
+#include "util/options_env.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace adcache::util {
+
+namespace {
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> OptionsFromEnv::String(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') {
+    return std::nullopt;
+  }
+  return std::string(value);
+}
+
+int OptionsFromEnv::Int(const char* name, int default_value) {
+  std::optional<std::string> value = String(name);
+  if (!value.has_value()) {
+    return default_value;
+  }
+  char* end = nullptr;
+  long parsed = std::strtol(value->c_str(), &end, 10);
+  if (end == value->c_str() || *end != '\0') {
+    return default_value;
+  }
+  return static_cast<int>(parsed);
+}
+
+bool OptionsFromEnv::Flag(const char* name, bool default_value) {
+  std::optional<std::string> value = String(name);
+  if (!value.has_value()) {
+    return default_value;
+  }
+  std::string v = ToLower(*value);
+  if (v == "1" || v == "true" || v == "on" || v == "yes") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "off" || v == "no") {
+    return false;
+  }
+  return default_value;
+}
+
+std::optional<uint64_t> OptionsFromEnv::ParseBytes(const std::string& text) {
+  std::string v = ToLower(text);
+  if (v.empty()) {
+    return std::nullopt;
+  }
+  if (v == "off" || v == "false" || v == "no") {
+    return 0;
+  }
+  uint64_t multiplier = 1;
+  char suffix = v.back();
+  if (suffix == 'k' || suffix == 'm' || suffix == 'g') {
+    multiplier = suffix == 'k'   ? (uint64_t{1} << 10)
+                 : suffix == 'm' ? (uint64_t{1} << 20)
+                                 : (uint64_t{1} << 30);
+    v.pop_back();
+    if (v.empty()) {
+      return std::nullopt;
+    }
+  }
+  // strtoull would silently wrap "-5" to a huge positive count.
+  if (!std::isdigit(static_cast<unsigned char>(v[0]))) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    return std::nullopt;
+  }
+  return static_cast<uint64_t>(parsed) * multiplier;
+}
+
+uint64_t OptionsFromEnv::Bytes(const char* name, uint64_t default_value) {
+  std::optional<std::string> value = String(name);
+  if (!value.has_value()) {
+    return default_value;
+  }
+  return ParseBytes(*value).value_or(default_value);
+}
+
+std::vector<std::string> OptionsFromEnv::Csv(const char* name) {
+  std::vector<std::string> out;
+  std::optional<std::string> value = String(name);
+  if (!value.has_value()) {
+    return out;
+  }
+  size_t start = 0;
+  const std::string& v = *value;
+  while (start <= v.size()) {
+    size_t comma = v.find(',', start);
+    if (comma == std::string::npos) {
+      comma = v.size();
+    }
+    if (comma > start) {
+      out.push_back(v.substr(start, comma - start));
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace adcache::util

@@ -1,0 +1,51 @@
+#ifndef ADCACHE_UTIL_OPTIONS_ENV_H_
+#define ADCACHE_UTIL_OPTIONS_ENV_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adcache::util {
+
+/// Centralised parsing for the `ADCACHE_*` environment-variable knobs.
+///
+/// Every call site that used to hand-roll `std::getenv` + ad-hoc parsing
+/// (block-cache impl selection, shard-count/boundary resolution, the
+/// secondary-cache budget) goes through these typed getters instead, so the
+/// accepted syntax is defined — and tested — in exactly one place.
+///
+/// Unset variables and empty strings both mean "not configured" and yield
+/// the caller's default. Malformed values also fall back to the default
+/// rather than aborting: env knobs are operator conveniences layered on top
+/// of programmatic Options, and a typo should degrade to the built-in
+/// behaviour, not crash the process.
+class OptionsFromEnv {
+ public:
+  /// Raw string value, or nullopt when unset/empty.
+  static std::optional<std::string> String(const char* name);
+
+  /// Integer value; `default_value` when unset or not a valid integer.
+  static int Int(const char* name, int default_value);
+
+  /// Boolean flag. Accepts 1/true/on/yes (case-insensitive) as true and
+  /// 0/false/off/no as false; anything else yields `default_value`.
+  static bool Flag(const char* name, bool default_value);
+
+  /// Byte count with an optional k/m/g (or K/M/G) binary suffix, e.g.
+  /// "8388608", "8m", "512K". Returns `default_value` when unset or
+  /// malformed. A plain "0" (or "off"/"false") is a valid zero.
+  static uint64_t Bytes(const char* name, uint64_t default_value);
+
+  /// Comma-separated list; empty segments are dropped. Returns an empty
+  /// vector when unset.
+  static std::vector<std::string> Csv(const char* name);
+
+  /// Shared parsing core for Bytes(), exposed so tests can exercise the
+  /// suffix grammar without mutating the process environment.
+  static std::optional<uint64_t> ParseBytes(const std::string& text);
+};
+
+}  // namespace adcache::util
+
+#endif  // ADCACHE_UTIL_OPTIONS_ENV_H_

@@ -21,6 +21,7 @@ std::string PerfContext::ToString(bool exclude_zero_counters) const {
   emit("block_cache_hit_count", block_cache_hit_count);
   emit("block_cache_miss_count", block_cache_miss_count);
   emit("block_cache_contains_count", block_cache_contains_count);
+  emit("secondary_cache_hit_count", secondary_cache_hit_count);
   emit("block_read_count", block_read_count);
   emit("block_read_byte", block_read_byte);
   emit("bloom_sst_checked_count", bloom_sst_checked_count);

@@ -25,6 +25,7 @@ struct PerfContext {
   uint64_t block_cache_hit_count = 0;  // block-cache lookups that hit
   uint64_t block_cache_miss_count = 0; // block-cache lookups that missed
   uint64_t block_cache_contains_count = 0;  // advisory Contains() probes
+  uint64_t secondary_cache_hit_count = 0;  // flash-tier hits (DRAM misses)
   uint64_t block_read_count = 0;       // data blocks read from storage
   uint64_t block_read_byte = 0;        // bytes of those block reads
   uint64_t bloom_sst_checked_count = 0;   // per-table bloom filter probes

@@ -184,6 +184,53 @@ TEST_F(AdCacheStoreTest, StatsSnapshotExposesControlState) {
   EXPECT_LE(snap.scan_b, 1.0);
 }
 
+TEST(AdCacheSecondaryTest, SecondaryTierAbsorbsDramEvictions) {
+  SimClock clock;
+  std::unique_ptr<Env> env = NewMemEnv(&clock);
+  lsm::Options lsm_options;
+  lsm_options.env = env.get();
+  lsm_options.block_size = 512;
+  lsm_options.table_file_size = 16 * 1024;
+  lsm_options.memtable_size = 32 * 1024;
+  lsm_options.level1_size_base = 64 * 1024;
+
+  AdCacheOptions options;
+  options.cache_budget = 8 * 1024;        // DRAM holds ~16 blocks
+  options.initial_range_ratio = 0.0;      // all point traffic through blocks
+  options.controller.window_size = 1 << 20;  // no tuning mid-test
+  options.controller.agent.hidden_dim = 32;
+  options.secondary_cache_budget = 256 * 1024;
+
+  std::unique_ptr<AdCacheStore> store;
+  ASSERT_TRUE(
+      AdCacheStore::Open(options, lsm_options, "/adc-sec", &store).ok());
+
+  auto key = [](int i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%06d", i);
+    return std::string(buf);
+  };
+  const std::string filler(100, 'v');
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(store->Put(Slice(key(i)), Slice(filler)).ok());
+  }
+  ASSERT_TRUE(store->db()->FlushMemTable().ok());
+
+  // The block working set (~200KB) dwarfs DRAM: evictions demote blocks to
+  // the flash tier and the second pass finds them there instead of on disk.
+  std::string value;
+  for (int round = 0; round < 2; round++) {
+    for (int i = 0; i < 1000; i++) {
+      ASSERT_TRUE(store->Get(Slice(key(i)), &value).ok()) << key(i);
+    }
+  }
+  CacheStatsSnapshot snap = store->GetCacheStats();
+  EXPECT_EQ(snap.secondary_capacity, 256u * 1024);
+  EXPECT_GT(snap.secondary_demotions, 0u);
+  EXPECT_GT(snap.secondary_hits, 0u);
+  EXPECT_GT(snap.secondary_usage, 0u);
+}
+
 TEST(DynamicCacheTest, RatioSplitsBudget) {
   DynamicCacheComponent cache(1000, 0.3, NewLruPolicy());
   EXPECT_EQ(cache.block_cache()->GetCapacity(), 700u);

@@ -1,0 +1,159 @@
+#include "util/options_env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace adcache::util {
+namespace {
+
+/// Sets an env var for the duration of one scope, restoring the prior
+/// value (or unsetting) on exit so tests can't leak into each other.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* prev = std::getenv(name);
+    if (prev != nullptr) {
+      had_prev_ = true;
+      prev_ = prev;
+    }
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_prev_) {
+      setenv(name_.c_str(), prev_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+constexpr const char* kVar = "ADCACHE_OPTIONS_ENV_TEST_VAR";
+
+TEST(OptionsEnvTest, StringUnsetAndEmptyAreNullopt) {
+  ScopedEnv unset(kVar, nullptr);
+  EXPECT_FALSE(OptionsFromEnv::String(kVar).has_value());
+  ScopedEnv empty(kVar, "");
+  EXPECT_FALSE(OptionsFromEnv::String(kVar).has_value());
+}
+
+TEST(OptionsEnvTest, StringReturnsRawValue) {
+  ScopedEnv set(kVar, "clock");
+  auto v = OptionsFromEnv::String(kVar);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "clock");
+}
+
+TEST(OptionsEnvTest, IntParsesAndFallsBack) {
+  {
+    ScopedEnv set(kVar, "12");
+    EXPECT_EQ(OptionsFromEnv::Int(kVar, 4), 12);
+  }
+  {
+    ScopedEnv set(kVar, "-3");
+    EXPECT_EQ(OptionsFromEnv::Int(kVar, 4), -3);
+  }
+  {
+    ScopedEnv set(kVar, "twelve");
+    EXPECT_EQ(OptionsFromEnv::Int(kVar, 4), 4);
+  }
+  {
+    ScopedEnv unset(kVar, nullptr);
+    EXPECT_EQ(OptionsFromEnv::Int(kVar, 4), 4);
+  }
+}
+
+TEST(OptionsEnvTest, FlagAcceptsCommonSpellings) {
+  for (const char* t : {"1", "true", "TRUE", "on", "On", "yes"}) {
+    ScopedEnv set(kVar, t);
+    EXPECT_TRUE(OptionsFromEnv::Flag(kVar, false)) << t;
+  }
+  for (const char* f : {"0", "false", "off", "OFF", "no"}) {
+    ScopedEnv set(kVar, f);
+    EXPECT_FALSE(OptionsFromEnv::Flag(kVar, true)) << f;
+  }
+  {
+    ScopedEnv set(kVar, "maybe");
+    EXPECT_TRUE(OptionsFromEnv::Flag(kVar, true));
+    EXPECT_FALSE(OptionsFromEnv::Flag(kVar, false));
+  }
+}
+
+TEST(OptionsEnvTest, BytesParsesSuffixes) {
+  {
+    ScopedEnv set(kVar, "8388608");
+    EXPECT_EQ(OptionsFromEnv::Bytes(kVar, 1), 8388608u);
+  }
+  {
+    ScopedEnv set(kVar, "8m");
+    EXPECT_EQ(OptionsFromEnv::Bytes(kVar, 1), 8ull << 20);
+  }
+  {
+    ScopedEnv set(kVar, "512K");
+    EXPECT_EQ(OptionsFromEnv::Bytes(kVar, 1), 512ull << 10);
+  }
+  {
+    ScopedEnv set(kVar, "2g");
+    EXPECT_EQ(OptionsFromEnv::Bytes(kVar, 1), 2ull << 30);
+  }
+  {
+    ScopedEnv set(kVar, "0");
+    EXPECT_EQ(OptionsFromEnv::Bytes(kVar, 7), 0u);
+  }
+  {
+    ScopedEnv set(kVar, "garbage");
+    EXPECT_EQ(OptionsFromEnv::Bytes(kVar, 7), 7u);
+  }
+  {
+    ScopedEnv unset(kVar, nullptr);
+    EXPECT_EQ(OptionsFromEnv::Bytes(kVar, 7), 7u);
+  }
+}
+
+TEST(OptionsEnvTest, ParseBytesGrammar) {
+  EXPECT_EQ(OptionsFromEnv::ParseBytes("64"), std::optional<uint64_t>(64));
+  EXPECT_EQ(OptionsFromEnv::ParseBytes("4k"),
+            std::optional<uint64_t>(4ull << 10));
+  EXPECT_EQ(OptionsFromEnv::ParseBytes("32M"),
+            std::optional<uint64_t>(32ull << 20));
+  EXPECT_EQ(OptionsFromEnv::ParseBytes("1G"),
+            std::optional<uint64_t>(1ull << 30));
+  EXPECT_FALSE(OptionsFromEnv::ParseBytes("").has_value());
+  EXPECT_FALSE(OptionsFromEnv::ParseBytes("m").has_value());
+  EXPECT_FALSE(OptionsFromEnv::ParseBytes("12q").has_value());
+  EXPECT_FALSE(OptionsFromEnv::ParseBytes("-5").has_value());
+}
+
+TEST(OptionsEnvTest, CsvSplitsAndDropsEmptySegments) {
+  {
+    ScopedEnv set(kVar, "a,b,c");
+    auto v = OptionsFromEnv::Csv(kVar);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "c");
+  }
+  {
+    ScopedEnv set(kVar, ",key1,,key2,");
+    auto v = OptionsFromEnv::Csv(kVar);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], "key1");
+    EXPECT_EQ(v[1], "key2");
+  }
+  {
+    ScopedEnv unset(kVar, nullptr);
+    EXPECT_TRUE(OptionsFromEnv::Csv(kVar).empty());
+  }
+}
+
+}  // namespace
+}  // namespace adcache::util

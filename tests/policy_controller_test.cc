@@ -128,34 +128,69 @@ TEST_F(PolicyControllerTest, SaveLoadRoundTripPreservesPolicy) {
   EXPECT_FALSE(controller_->LoadModel(Slice(corrupt)).ok());
 }
 
+// 13-dim states: point, scan, write, scan_len, range_hit, h_est,
+// h_smoothed, range_ratio, occupancy, maintenance, levels, secondary_hit,
+// secondary_occupancy (PolicyController::kStateDim).
 TEST(TargetActionTest, PointHeavyPrefersRangeCache) {
-  //                     point scan write len  ...
-  std::vector<float> s = {0.95f, 0.02f, 0.03f, 0.25f, 0.5f, 0.5f,
-                          0.5f,  0.5f,  0.5f,  0.1f,  0.3f};
+  std::vector<float> s = {0.95f, 0.02f, 0.03f, 0.25f, 0.5f, 0.5f, 0.5f,
+                          0.5f,  0.5f,  0.1f,  0.3f,  0.0f, 0.2f};
   auto target = PolicyController::TargetActionFor(s);
   EXPECT_GT(target[0], 0.9f);
 }
 
 TEST(TargetActionTest, ShortScanReadMostlyPrefersBlockCache) {
-  std::vector<float> s = {0.05f, 0.9f, 0.05f, 0.25f, 0.5f, 0.5f,
-                          0.5f,  0.5f, 0.5f,  0.1f,  0.3f};
+  std::vector<float> s = {0.05f, 0.9f, 0.05f, 0.25f, 0.5f, 0.5f, 0.5f,
+                          0.5f,  0.5f, 0.1f,  0.3f,  0.0f, 0.2f};
   auto target = PolicyController::TargetActionFor(s);
   EXPECT_LT(target[0], 0.1f);
 }
 
 TEST(TargetActionTest, WriteHeavyPrefersRangeCache) {
-  std::vector<float> s = {0.25f, 0.25f, 0.5f, 0.25f, 0.5f, 0.5f,
-                          0.5f,  0.5f,  0.5f, 0.4f,  0.3f};
+  std::vector<float> s = {0.25f, 0.25f, 0.5f, 0.25f, 0.5f, 0.5f, 0.5f,
+                          0.5f,  0.5f,  0.4f, 0.3f,  0.0f, 0.2f};
   auto target = PolicyController::TargetActionFor(s);
   EXPECT_GT(target[0], 0.9f);
 }
 
 TEST(TargetActionTest, LongScanHeavyLeansBlockWithConservativeB) {
-  std::vector<float> s = {0.02f, 0.96f, 0.02f, 1.0f, 0.5f, 0.5f,
-                          0.5f,  0.5f,  0.5f,  0.1f, 0.3f};
+  std::vector<float> s = {0.02f, 0.96f, 0.02f, 1.0f, 0.5f, 0.5f, 0.5f,
+                          0.5f,  0.5f,  0.1f,  0.3f, 0.0f, 0.2f};
   auto target = PolicyController::TargetActionFor(s);
   EXPECT_LT(target[0], 0.3f);
   EXPECT_LT(target[3], 0.5f);  // smaller b for long scans
+}
+
+TEST(TargetActionTest, SecondaryTargetsSelectiveWhenTierFullOrWriteHeavy) {
+  // Read-mostly tier with headroom: keep the full flash budget online and
+  // demote permissively.
+  std::vector<float> roomy = {0.8f, 0.1f, 0.1f, 0.25f, 0.5f, 0.5f, 0.5f,
+                              0.5f, 0.5f, 0.1f, 0.3f,  0.4f, 0.2f};
+  auto target = PolicyController::TargetActionFor(roomy);
+  ASSERT_EQ(target.size(),
+            static_cast<size_t>(PolicyController::kActionDim));
+  EXPECT_FLOAT_EQ(target[4], 1.0f);
+  float permissive = target[5];
+
+  // Same mix with the tier running full: the demotion gate must tighten.
+  std::vector<float> full = roomy;
+  full[12] = 0.95f;
+  EXPECT_GT(PolicyController::TargetActionFor(full)[5], permissive);
+
+  // Write-heavy mix: compaction invalidates demoted blocks, gate tightens.
+  std::vector<float> writey = {0.2f, 0.2f, 0.6f, 0.25f, 0.5f, 0.5f, 0.5f,
+                               0.5f, 0.5f, 0.4f, 0.3f,  0.1f, 0.2f};
+  EXPECT_GT(PolicyController::TargetActionFor(writey)[5], permissive);
+}
+
+TEST(TargetActionTest, DemotionThresholdMapIsMonotoneFromZero) {
+  EXPECT_DOUBLE_EQ(PolicyController::ActionToDemotionThreshold(0.0f), 0.0);
+  double prev = 0.0;
+  for (float a = 0.1f; a <= 1.0f; a += 0.1f) {
+    double t = PolicyController::ActionToDemotionThreshold(a);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  EXPECT_LE(PolicyController::ActionToDemotionThreshold(1.0f), 0.25 + 1e-9);
 }
 
 TEST(TargetActionTest, PretrainedAgentReproducesRuleTable) {
@@ -169,9 +204,12 @@ TEST(TargetActionTest, PretrainedAgentReproducesRuleTable) {
 
   // The learned policy must map representative states near their targets.
   std::vector<std::vector<float>> states = {
-      {0.95f, 0.02f, 0.03f, 0.25f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.1f, 0.3f},
-      {0.05f, 0.9f, 0.05f, 0.25f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.1f, 0.3f},
-      {0.25f, 0.25f, 0.5f, 0.25f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.4f, 0.3f},
+      {0.95f, 0.02f, 0.03f, 0.25f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.1f, 0.3f,
+       0.2f, 0.4f},
+      {0.05f, 0.9f, 0.05f, 0.25f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.1f, 0.3f,
+       0.2f, 0.4f},
+      {0.25f, 0.25f, 0.5f, 0.25f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.4f, 0.3f,
+       0.2f, 0.4f},
   };
   for (const auto& s : states) {
     auto action = controller.agent()->Act(s, false);

@@ -1,0 +1,396 @@
+#include "cache/secondary_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/coding.h"
+#include "util/env.h"
+
+namespace adcache {
+namespace {
+
+class SecondaryCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_ = NewMemEnv(&clock_); }
+
+  /// Opens (or reopens) a slab cache under `dir` with small slabs so tests
+  /// can force sealing and GC with little data. Reopening over the same
+  /// directory exercises recovery; pass a fresh dir for a clean slate.
+  void Open(size_t capacity = 64 * 1024, size_t slab_size = 4 * 1024,
+            bool salvage = true, double admission_threshold = 0.0,
+            const std::string& dir = "/sec") {
+    SlabSecondaryCacheOptions options;
+    options.capacity = capacity;
+    options.slab_size = slab_size;
+    options.salvage_hot_entries = salvage;
+    options.admission_threshold = admission_threshold;
+    cache_.reset();
+    ASSERT_TRUE(
+        NewSlabSecondaryCache(env_.get(), dir, options, &cache_).ok());
+  }
+
+  static std::string Key(int i) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "block%05d", i);
+    return buf;
+  }
+
+  static std::string Value(int i, size_t len = 256) {
+    std::string v = "payload" + std::to_string(i) + ":";
+    while (v.size() < len) v.push_back(static_cast<char>('a' + i % 26));
+    return v;
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  std::shared_ptr<SecondaryCache> cache_;
+};
+
+TEST_F(SecondaryCacheTest, DemoteLookupRoundTrip) {
+  Open();
+  cache_->Demote(Slice(Key(1)), Slice(Value(1)));
+  std::string out;
+  ASSERT_TRUE(cache_->Lookup(Slice(Key(1)), &out));
+  EXPECT_EQ(out, Value(1));
+  EXPECT_FALSE(cache_->Lookup(Slice(Key(2)), &out));
+  EXPECT_EQ(cache_->hits(), 1u);
+  EXPECT_GE(cache_->misses(), 1u);
+  EXPECT_EQ(cache_->demotions(), 1u);
+}
+
+TEST_F(SecondaryCacheTest, SealedSlabsServeLookups) {
+  Open(/*capacity=*/1 << 20, /*slab_size=*/2 * 1024);
+  // ~300B records into 2KB slabs: entry i=0..19 spans several sealed slabs
+  // plus the active one.
+  for (int i = 0; i < 20; i++) {
+    cache_->Demote(Slice(Key(i)), Slice(Value(i)));
+  }
+  std::string out;
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(cache_->Lookup(Slice(Key(i)), &out)) << Key(i);
+    EXPECT_EQ(out, Value(i));
+  }
+}
+
+TEST_F(SecondaryCacheTest, ReadLatencySinkFiresForSealedReads) {
+  Open(/*capacity=*/1 << 20, /*slab_size=*/2 * 1024);
+  std::atomic<int> samples{0};
+  cache_->SetReadLatencySink([&samples](uint64_t) { samples++; });
+  for (int i = 0; i < 20; i++) {
+    cache_->Demote(Slice(Key(i)), Slice(Value(i)));
+  }
+  std::string out;
+  // Key(0) long since sealed: its lookup preads a slab file.
+  ASSERT_TRUE(cache_->Lookup(Slice(Key(0)), &out));
+  EXPECT_GE(samples.load(), 1);
+}
+
+TEST_F(SecondaryCacheTest, DuplicateDemoteIsNoop) {
+  Open();
+  cache_->Demote(Slice(Key(1)), Slice(Value(1)));
+  size_t usage = cache_->GetUsage();
+  cache_->Demote(Slice(Key(1)), Slice(Value(1)));
+  EXPECT_EQ(cache_->GetUsage(), usage);
+  EXPECT_EQ(cache_->demotions(), 1u);
+  EXPECT_EQ(cache_->demotion_rejects(), 0u);
+}
+
+TEST_F(SecondaryCacheTest, OversizeValueRejected) {
+  Open(/*capacity=*/64 * 1024, /*slab_size=*/1024);
+  cache_->Demote(Slice(Key(1)), Slice(std::string(2048, 'x')));
+  EXPECT_EQ(cache_->demotions(), 0u);
+  EXPECT_EQ(cache_->demotion_rejects(), 1u);
+  std::string out;
+  EXPECT_FALSE(cache_->Lookup(Slice(Key(1)), &out));
+}
+
+TEST_F(SecondaryCacheTest, EraseDropsEntry) {
+  Open();
+  cache_->Demote(Slice(Key(1)), Slice(Value(1)));
+  cache_->Erase(Slice(Key(1)));
+  std::string out;
+  EXPECT_FALSE(cache_->Lookup(Slice(Key(1)), &out));
+}
+
+TEST_F(SecondaryCacheTest, WatermarkGcReclaimsColdSlabs) {
+  // 16KB budget, 2KB slabs; high watermark at ~14.4KB. Salvage off so the
+  // GC drops victims wholesale.
+  Open(/*capacity=*/16 * 1024, /*slab_size=*/2 * 1024, /*salvage=*/false);
+  for (int i = 0; i < 200; i++) {
+    cache_->Demote(Slice(Key(i)), Slice(Value(i)));
+  }
+  EXPECT_GT(cache_->gc_runs(), 0u);
+  EXPECT_GT(cache_->gc_reclaimed_bytes(), 0u);
+  // Usage ends under the high watermark (GC drains to the low watermark,
+  // then refills until the next trigger).
+  EXPECT_LE(cache_->GetUsage(),
+            static_cast<size_t>(16 * 1024 * 0.90) + 2 * 1024);
+  // The earliest keys were in the coldest slabs and must be gone; the
+  // newest are still resident.
+  std::string out;
+  EXPECT_FALSE(cache_->Lookup(Slice(Key(0)), &out));
+  EXPECT_TRUE(cache_->Lookup(Slice(Key(199)), &out));
+}
+
+TEST_F(SecondaryCacheTest, SalvageKeepsHotEntriesAcrossGc) {
+  // ~278B records in 2KB slabs: 7 per slab. 30 demotes seal four slabs
+  // (keys 0-27) and leave 28-29 in the active buffer.
+  Open(/*capacity=*/64 * 1024, /*slab_size=*/2 * 1024, /*salvage=*/true);
+  for (int i = 0; i < 30; i++) {
+    cache_->Demote(Slice(Key(i)), Slice(Value(i)));
+  }
+  std::string out;
+  // Heat keys 0..2 (all in the oldest sealed slab).
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(cache_->Lookup(Slice(Key(i)), &out));
+  }
+  // Shrink far below usage: GC must victimize EVERY sealed slab, including
+  // the hot one — whose hit entries get salvaged into the active slab.
+  cache_->SetCapacity(2 * 1024);
+  EXPECT_GT(cache_->gc_runs(), 0u);
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(cache_->Lookup(Slice(Key(i)), &out)) << Key(i);
+    EXPECT_EQ(out, Value(i));
+  }
+  // Never-hit entries from the victim slabs died wholesale.
+  for (int i = 3; i < 28; i++) {
+    EXPECT_FALSE(cache_->Lookup(Slice(Key(i)), &out)) << Key(i);
+  }
+
+  // Same sequence with salvage off (fresh dir): hot entries die with their
+  // slab exactly like cold ones.
+  Open(/*capacity=*/64 * 1024, /*slab_size=*/2 * 1024, /*salvage=*/false,
+       /*admission_threshold=*/0.0, "/sec-nosalvage");
+  for (int i = 0; i < 30; i++) {
+    cache_->Demote(Slice(Key(i)), Slice(Value(i)));
+  }
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(cache_->Lookup(Slice(Key(i)), &out));
+  }
+  cache_->SetCapacity(2 * 1024);
+  for (int i = 0; i < 28; i++) {
+    EXPECT_FALSE(cache_->Lookup(Slice(Key(i)), &out)) << Key(i);
+  }
+}
+
+TEST_F(SecondaryCacheTest, SetCapacityShrinkTriggersGc) {
+  Open(/*capacity=*/64 * 1024, /*slab_size=*/2 * 1024, /*salvage=*/false);
+  for (int i = 0; i < 100; i++) {
+    cache_->Demote(Slice(Key(i)), Slice(Value(i)));
+  }
+  size_t usage_before = cache_->GetUsage();
+  ASSERT_GT(usage_before, static_cast<size_t>(8 * 1024));
+  cache_->SetCapacity(8 * 1024);
+  EXPECT_EQ(cache_->GetCapacity(), static_cast<size_t>(8 * 1024));
+  EXPECT_LT(cache_->GetUsage(), usage_before);
+  EXPECT_LE(cache_->GetUsage(), static_cast<size_t>(8 * 1024));
+  EXPECT_GT(cache_->gc_runs(), 0u);
+}
+
+TEST_F(SecondaryCacheTest, ZeroCapacityRejectsDemotions) {
+  Open(/*capacity=*/64 * 1024);
+  cache_->SetCapacity(0);
+  cache_->Demote(Slice(Key(1)), Slice(Value(1)));
+  EXPECT_EQ(cache_->demotions(), 0u);
+  EXPECT_EQ(cache_->demotion_rejects(), 1u);
+}
+
+TEST_F(SecondaryCacheTest, AdmissionThresholdGatesDemotions) {
+  // Threshold 0.5: only keys holding at least half the sketch's decayed
+  // total pass. A parade of one-off keys is absorbed by the doorkeeper
+  // (frequency 0) and rejected wholesale.
+  Open(/*capacity=*/64 * 1024, /*slab_size=*/4 * 1024, /*salvage=*/true,
+       /*admission_threshold=*/0.5);
+  for (int i = 0; i < 20; i++) {
+    cache_->Demote(Slice(Key(i)), Slice(Value(i)));
+  }
+  EXPECT_EQ(cache_->demotions(), 0u);
+  EXPECT_EQ(cache_->demotion_rejects(), 20u);
+
+  // A key repeatedly probed while absent accumulates frequency and earns
+  // its demotion (it dominates the sketch: every other key was doorkeeper-
+  // absorbed).
+  std::string out;
+  for (int probes = 0; probes < 4; probes++) {
+    EXPECT_FALSE(cache_->Lookup(Slice(Key(42)), &out));
+  }
+  cache_->Demote(Slice(Key(42)), Slice(Value(42)));
+  EXPECT_EQ(cache_->demotions(), 1u);
+  ASSERT_TRUE(cache_->Lookup(Slice(Key(42)), &out));
+  EXPECT_EQ(out, Value(42));
+
+  // Threshold 0 = demote-everything.
+  cache_->SetAdmissionThreshold(0.0);
+  cache_->Demote(Slice(Key(77)), Slice(Value(77)));
+  EXPECT_EQ(cache_->demotions(), 2u);
+}
+
+TEST_F(SecondaryCacheTest, ReopenRecoversSealedSlabs) {
+  Open(/*capacity=*/1 << 20, /*slab_size=*/2 * 1024);
+  for (int i = 0; i < 20; i++) {
+    cache_->Demote(Slice(Key(i)), Slice(Value(i)));
+  }
+  // Reopen over the same directory: sealed slabs rebuild the index. The
+  // active (in-memory) slab at close time is lost by design — only assert
+  // on keys old enough to have been sealed.
+  Open(/*capacity=*/1 << 20, /*slab_size=*/2 * 1024);
+  std::string out;
+  int recovered = 0;
+  for (int i = 0; i < 20; i++) {
+    if (cache_->Lookup(Slice(Key(i)), &out)) {
+      EXPECT_EQ(out, Value(i));
+      recovered++;
+    }
+  }
+  EXPECT_GE(recovered, 10);
+  EXPECT_GT(cache_->GetUsage(), static_cast<size_t>(0));
+}
+
+TEST_F(SecondaryCacheTest, NewerSlabWinsDuplicateKeysAtRecovery) {
+  Open(/*capacity=*/1 << 20, /*slab_size=*/2 * 1024);
+  // First-generation value sealed, then erase + re-demote a fresh value
+  // into a later slab, sealed too.
+  for (int i = 0; i < 10; i++) {
+    cache_->Demote(Slice(Key(i)), Slice(Value(i)));
+  }
+  cache_->Erase(Slice(Key(1)));
+  cache_->Demote(Slice(Key(1)), Slice(Value(1000)));
+  for (int i = 20; i < 30; i++) {
+    cache_->Demote(Slice(Key(i)), Slice(Value(i)));  // forces more seals
+  }
+  Open(/*capacity=*/1 << 20, /*slab_size=*/2 * 1024);
+  std::string out;
+  if (cache_->Lookup(Slice(Key(1)), &out)) {
+    EXPECT_EQ(out, Value(1000));  // ascending-seq replay: newest wins
+  }
+}
+
+TEST_F(SecondaryCacheTest, TornSlabFileDiscardedAtOpen) {
+  Open(/*capacity=*/1 << 20, /*slab_size=*/2 * 1024);
+  for (int i = 0; i < 20; i++) {
+    cache_->Demote(Slice(Key(i)), Slice(Value(i)));
+  }
+  cache_.reset();
+  // A torn slab: valid header for seq 500 followed by an entry whose
+  // declared lengths run past end-of-file (a crash mid-write).
+  std::string torn;
+  torn.append("ADC2SLAB", 8);
+  PutFixed32(&torn, 1);    // version
+  PutFixed64(&torn, 500);  // seq matches the file name
+  PutFixed32(&torn, 0xdeadbeefu);  // crc (never checked: lengths are torn)
+  PutFixed32(&torn, 8);            // key_len
+  PutFixed32(&torn, 4096);         // val_len, but the file ends here
+  torn.append("torn-key");
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env_->NewWritableFile("/sec/secondary.slab-500", &f).ok());
+    ASSERT_TRUE(f->Append(Slice(torn)).ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  // Full-garbage file under a well-formed slab name.
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env_->NewWritableFile("/sec/secondary.slab-501", &f).ok());
+    ASSERT_TRUE(f->Append(Slice(std::string(512, '\xa5'))).ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  // Garbage name sharing the slab prefix.
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env_->NewWritableFile("/sec/secondary.slab-junk", &f).ok());
+    ASSERT_TRUE(f->Append(Slice("noise")).ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+
+  Open(/*capacity=*/1 << 20, /*slab_size=*/2 * 1024);
+  // The corrupt files were deleted wholesale and never serve a byte...
+  EXPECT_FALSE(env_->FileExists("/sec/secondary.slab-500"));
+  EXPECT_FALSE(env_->FileExists("/sec/secondary.slab-501"));
+  EXPECT_FALSE(env_->FileExists("/sec/secondary.slab-junk"));
+  std::string out;
+  EXPECT_FALSE(cache_->Lookup(Slice("torn-key"), &out));
+  // ...while intact slabs from the first generation still serve hits.
+  int recovered = 0;
+  for (int i = 0; i < 20; i++) {
+    if (cache_->Lookup(Slice(Key(i)), &out)) recovered++;
+  }
+  EXPECT_GE(recovered, 10);
+}
+
+TEST_F(SecondaryCacheTest, BitFlippedEntryCaughtAtOpen) {
+  // A slab whose header is fine but whose single entry fails its crc must
+  // be discarded wholesale (open-time scan validates every record).
+  std::string slab;
+  slab.append("ADC2SLAB", 8);
+  PutFixed32(&slab, 1);
+  PutFixed64(&slab, 7);
+  std::string key = "somekey", value = "somevalue";
+  PutFixed32(&slab, 0x12345678u);  // wrong crc for the payload below
+  PutFixed32(&slab, static_cast<uint32_t>(key.size()));
+  PutFixed32(&slab, static_cast<uint32_t>(value.size()));
+  slab += key;
+  slab += value;
+  {
+    std::unique_ptr<WritableFile> f;
+    ASSERT_TRUE(env_->NewWritableFile("/sec/secondary.slab-7", &f).ok());
+    ASSERT_TRUE(f->Append(Slice(slab)).ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  Open();
+  EXPECT_FALSE(env_->FileExists("/sec/secondary.slab-7"));
+  std::string out;
+  EXPECT_FALSE(cache_->Lookup(Slice(key), &out));
+}
+
+TEST_F(SecondaryCacheTest, ConcurrentDemotePromoteGcStress) {
+  // Small budget + small slabs: GC churns constantly while demoters,
+  // readers and erasers race. Run under TSan/ASan via scripts/check.sh.
+  Open(/*capacity=*/32 * 1024, /*slab_size=*/2 * 1024, /*salvage=*/true);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([this, t, &failed] {
+      std::string out;
+      for (int i = 0; i < kOpsPerThread; i++) {
+        int k = (t * 131 + i * 7) % 512;
+        switch (i % 4) {
+          case 0:
+            cache_->Demote(Slice(Key(k)), Slice(Value(k)));
+            break;
+          case 1:
+          case 2:
+            if (cache_->Lookup(Slice(Key(k)), &out) && out != Value(k)) {
+              failed.store(true);  // stale or corrupt bytes served
+            }
+            break;
+          default:
+            if (i % 64 == 3) {
+              cache_->Erase(Slice(Key(k)));
+            } else if (i % 128 == 7) {
+              cache_->SetCapacity(16 * 1024 + (k % 3) * 8 * 1024);
+            } else {
+              cache_->Lookup(Slice(Key(k)), &out);
+            }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(cache_->gc_runs(), 0u);
+  // Usage must have tracked appends and reclaims consistently: it can sit
+  // above the smallest capacity transiently but never runs away.
+  EXPECT_LE(cache_->GetUsage(), static_cast<size_t>(64 * 1024));
+}
+
+}  // namespace
+}  // namespace adcache
