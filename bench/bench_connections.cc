@@ -1,0 +1,463 @@
+// bench_connections: closed-loop multi-connection client against the
+// in-process adcache_server front door. Sweeps connection counts from 64 to
+// 10k across read/write mixes, with the read coalescer on and off, and
+// reports per-cell throughput plus p50/p95/p99 request latency.
+//
+// Protocol per connection: one request in flight (closed loop) — build the
+// next GET/SET as an inline RESP command, send, wait for the complete reply,
+// record the latency, repeat. Client connections are distributed over a few
+// epoll-driven client threads so 10k sockets don't need 10k threads.
+//
+//   bench_connections            full sweep (table + JSON lines)
+//   bench_connections --smoke    tiny sweep, single JSON object on stdout
+//                                (asserted by scripts/check.sh --server)
+//
+// The store is the same simulated-environment BenchInstance every other
+// bench uses, so cells are deterministic apart from scheduling.
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "core/statistics.h"
+#include "server/server.h"
+#include "util/histogram.h"
+#include "util/random.h"
+
+namespace adcache {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal client-side RESP reply scanner
+// ---------------------------------------------------------------------------
+
+/// Returns true when [data, data+len) starts with one complete reply and
+/// sets *consumed to its length; false means read more. Understands the
+/// reply shapes the server produces for GET/SET (+OK, -ERR, :N, $N, $-1).
+bool ScanReply(const char* data, size_t len, size_t* consumed, bool* is_err) {
+  if (len == 0) return false;
+  const char* crlf = static_cast<const char*>(memchr(data, '\n', len));
+  if (crlf == nullptr) return false;
+  size_t line = static_cast<size_t>(crlf - data) + 1;
+  *is_err = data[0] == '-';
+  if (data[0] != '$') {
+    *consumed = line;
+    return true;
+  }
+  long n = atol(data + 1);
+  if (n < 0) {  // $-1 nil
+    *consumed = line;
+    return true;
+  }
+  size_t total = line + static_cast<size_t>(n) + 2;
+  if (len < total) return false;
+  *consumed = total;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop connection state
+// ---------------------------------------------------------------------------
+
+struct ClientConn {
+  int fd = -1;
+  uint64_t remaining = 0;
+  std::string out;     // unsent request bytes
+  size_t out_off = 0;
+  std::string in;      // partial reply bytes
+  std::chrono::steady_clock::time_point sent_at;
+  Random rng{0};
+  bool waiting = false;
+};
+
+struct CellSpec {
+  int conns = 64;
+  int read_pct = 95;
+  bool coalesce = true;
+  uint64_t ops_per_conn = 100;
+};
+
+struct CellResult {
+  CellSpec spec;
+  double seconds = 0;
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  core::HistogramSnapshot latency;  // microseconds
+  server::Server::CoalesceStats coalesce;
+};
+
+class ClientThread {
+ public:
+  ClientThread(int port, const workload::KeySpace* keys, int read_pct,
+               uint64_t ops_per_conn, uint64_t seed)
+      : port_(port), keys_(keys), read_pct_(read_pct),
+        ops_per_conn_(ops_per_conn), seed_(seed) {}
+
+  bool AddConn() {
+    int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port_));
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      close(fd);
+      return false;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    auto conn = std::make_unique<ClientConn>();
+    conn->fd = fd;
+    conn->remaining = ops_per_conn_;
+    conn->rng = Random(seed_ + static_cast<uint64_t>(fd) * 2654435761u);
+    conns_.push_back(std::move(conn));
+    return true;
+  }
+
+  void Run() {
+    epfd_ = epoll_create1(EPOLL_CLOEXEC);
+    for (auto& conn : conns_) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = conn.get();
+      epoll_ctl(epfd_, EPOLL_CTL_ADD, conn->fd, &ev);
+      IssueNext(conn.get());
+    }
+    std::vector<epoll_event> events(256);
+    while (live_ > 0) {
+      int n = epoll_wait(epfd_, events.data(),
+                         static_cast<int>(events.size()), 1000);
+      for (int i = 0; i < n; i++) {
+        ClientConn* conn = static_cast<ClientConn*>(events[i].data.ptr);
+        if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+          Finish(conn, /*error=*/true);
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) PumpSend(conn);
+        if (events[i].events & EPOLLIN) PumpRecv(conn);
+      }
+    }
+    close(epfd_);
+  }
+
+  const Histogram& latency() const { return latency_; }
+  uint64_t ops() const { return ops_; }
+  uint64_t errors() const { return errors_; }
+
+ private:
+  void IssueNext(ClientConn* conn) {
+    if (conn->remaining == 0) {
+      Finish(conn, /*error=*/false);
+      return;
+    }
+    conn->remaining--;
+    uint64_t index = conn->rng.Next() % keys_->num_keys;
+    bool is_read =
+        static_cast<int>(conn->rng.Next() % 100) < read_pct_;
+    conn->out.clear();
+    conn->out_off = 0;
+    if (is_read) {
+      conn->out = "GET " + keys_->KeyAt(index) + "\r\n";
+    } else {
+      conn->out = "SET " + keys_->KeyAt(index) + " " +
+                  keys_->ValueFor(index) + "\r\n";
+    }
+    conn->waiting = true;
+    conn->sent_at = std::chrono::steady_clock::now();
+    PumpSend(conn);
+  }
+
+  void PumpSend(ClientConn* conn) {
+    while (conn->out_off < conn->out.size()) {
+      ssize_t n = send(conn->fd, conn->out.data() + conn->out_off,
+                       conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        SetWritable(conn, true);
+        return;
+      }
+      Finish(conn, /*error=*/true);
+      return;
+    }
+    SetWritable(conn, false);
+  }
+
+  void PumpRecv(ClientConn* conn) {
+    char buf[16 * 1024];
+    while (true) {
+      ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->in.append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      Finish(conn, /*error=*/n != 0 || conn->waiting);
+      return;
+    }
+    size_t consumed = 0;
+    bool is_err = false;
+    if (conn->waiting &&
+        ScanReply(conn->in.data(), conn->in.size(), &consumed, &is_err)) {
+      auto now = std::chrono::steady_clock::now();
+      uint64_t micros = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - conn->sent_at)
+              .count());
+      latency_.Add(micros);
+      ops_++;
+      if (is_err) errors_++;
+      conn->in.erase(0, consumed);
+      conn->waiting = false;
+      IssueNext(conn);
+    }
+  }
+
+  void SetWritable(ClientConn* conn, bool on) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
+    ev.data.ptr = conn;
+    epoll_ctl(epfd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+
+  void Finish(ClientConn* conn, bool error) {
+    if (conn->fd < 0) return;
+    if (error) errors_++;
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    close(conn->fd);
+    conn->fd = -1;
+    live_--;
+  }
+
+  int port_;
+  const workload::KeySpace* keys_;
+  int read_pct_;
+  uint64_t ops_per_conn_;
+  uint64_t seed_;
+  int epfd_ = -1;
+  std::vector<std::unique_ptr<ClientConn>> conns_;
+  size_t live_ = 0;
+
+ public:
+  void SealConns() { live_ = conns_.size(); }
+
+ private:
+  Histogram latency_;
+  uint64_t ops_ = 0;
+  uint64_t errors_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Cell driver
+// ---------------------------------------------------------------------------
+
+/// Raises RLIMIT_NOFILE to the hard limit and returns the usable cap.
+size_t RaiseFdLimit() {
+  rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return 1024;
+  if (rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &rl);
+    getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  return static_cast<size_t>(rl.rlim_cur);
+}
+
+CellResult RunCell(core::KvStore* store, const workload::KeySpace& keys,
+                   const CellSpec& spec, int server_threads) {
+  CellResult result;
+  result.spec = spec;
+
+  server::ServerOptions options;
+  options.port = 0;
+  options.threads = server_threads;
+  options.coalesce = spec.coalesce;
+  std::unique_ptr<server::Server> srv;
+  Status status = server::Server::Start(store, options, &srv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+
+  int client_threads = static_cast<int>(
+      std::min<unsigned>(8, std::max(2u, std::thread::hardware_concurrency())));
+  if (spec.conns < client_threads) client_threads = spec.conns;
+  std::vector<std::unique_ptr<ClientThread>> clients;
+  for (int i = 0; i < client_threads; i++) {
+    clients.push_back(std::make_unique<ClientThread>(
+        srv->port(), &keys, spec.read_pct, spec.ops_per_conn,
+        0x9e3779b9u * static_cast<uint64_t>(i + 1)));
+  }
+  int connected = 0;
+  for (int i = 0; i < spec.conns; i++) {
+    if (!clients[static_cast<size_t>(i % client_threads)]->AddConn()) break;
+    connected++;
+  }
+  if (connected < spec.conns) {
+    std::fprintf(stderr, "only %d/%d connections established\n", connected,
+                 spec.conns);
+  }
+  for (auto& client : clients) client->SealConns();
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (auto& client : clients) {
+    threads.emplace_back([&client] { client->Run(); });
+  }
+  for (auto& thread : threads) thread.join();
+  auto end = std::chrono::steady_clock::now();
+
+  Histogram merged;
+  for (auto& client : clients) {
+    merged.Merge(client->latency());
+    result.ops += client->ops();
+    result.errors += client->errors();
+  }
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  result.latency = core::MakeHistogramSnapshot(merged);
+  srv->Stop();
+  result.coalesce = srv->GetCoalesceStats();
+  return result;
+}
+
+void PrintCellJson(std::string* out, const CellResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"conns\":%d,\"read_pct\":%d,\"coalesce\":%s,\"ops\":%llu,"
+      "\"errors\":%llu,\"seconds\":%.3f,\"throughput_ops_s\":%.0f,"
+      "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f,"
+      "\"coalesced_gets\":%llu,\"batches\":%llu,\"max_batch\":%llu,"
+      "\"immediate_gets\":%llu}",
+      r.spec.conns, r.spec.read_pct, r.spec.coalesce ? "true" : "false",
+      static_cast<unsigned long long>(r.ops),
+      static_cast<unsigned long long>(r.errors), r.seconds,
+      r.seconds > 0 ? static_cast<double>(r.ops) / r.seconds : 0.0,
+      r.latency.p50, r.latency.p95, r.latency.p99,
+      static_cast<unsigned long long>(r.coalesce.coalesced_gets),
+      static_cast<unsigned long long>(r.coalesce.batches),
+      static_cast<unsigned long long>(r.coalesce.max_batch),
+      static_cast<unsigned long long>(r.coalesce.immediate_gets));
+  out->append(buf);
+}
+
+int RunSweep(bool smoke) {
+  size_t fd_cap = RaiseFdLimit();
+
+  bench::BenchConfig config;
+  config.num_keys = smoke ? 2000 : 20000;
+  config.value_size = smoke ? 100 : 1000;
+  bench::BenchInstance instance("adcache", config);
+  Status s = instance.Load();
+  if (!s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<int> conn_counts =
+      smoke ? std::vector<int>{16, 64}
+            : std::vector<int>{64, 256, 1024, 4096, 10000};
+  std::vector<int> mixes = smoke ? std::vector<int>{95}
+                                 : std::vector<int>{100, 95, 50};
+  // Each side of the loopback pair plus epoll/wake fds needs headroom.
+  int conn_cap = static_cast<int>(fd_cap / 2) - 128;
+  int server_threads = smoke ? 2 : 4;
+
+  std::string json = "{\"cells\":[";
+  bool first = true;
+  if (!smoke) {
+    std::printf("%7s %8s %9s %12s %10s %10s %10s %9s\n", "conns", "read%",
+                "coalesce", "ops/s", "p50(us)", "p95(us)", "p99(us)",
+                "maxbatch");
+  }
+  // Interleaved best-of-N: trials alternate coalesce on/off so transient
+  // machine noise cannot land entirely in one column (the protocol
+  // bench_common.h prescribes; the per-trial server restart gives each leg
+  // an identical — empty — coalescer state).
+  const int trials = smoke ? 1 : 3;
+  for (int conns : conn_counts) {
+    if (conns > conn_cap) {
+      std::fprintf(stderr, "clamping %d connections to fd-limit cap %d\n",
+                   conns, conn_cap);
+      conns = conn_cap;
+    }
+    for (int read_pct : mixes) {
+      CellResult best[2];  // [coalesce]
+      for (int trial = 0; trial < trials; trial++) {
+        for (bool coalesce : {true, false}) {
+          CellSpec spec;
+          spec.conns = conns;
+          spec.read_pct = read_pct;
+          spec.coalesce = coalesce;
+          // Keep total work roughly constant so big-conn cells don't
+          // explode.
+          uint64_t total_ops = smoke ? 4000 : 120000;
+          spec.ops_per_conn =
+              std::max<uint64_t>(4, total_ops / static_cast<uint64_t>(conns));
+          CellResult r = RunCell(instance.store(), instance.keys(), spec,
+                                 server_threads);
+          CellResult& slot = best[coalesce ? 1 : 0];
+          if (trial == 0 || (r.seconds > 0 && slot.seconds > 0 &&
+                             static_cast<double>(r.ops) / r.seconds >
+                                 static_cast<double>(slot.ops) /
+                                     slot.seconds)) {
+            slot = r;
+          }
+        }
+      }
+      for (bool coalesce : {true, false}) {
+        const CellResult& r = best[coalesce ? 1 : 0];
+        if (!first) json.append(",");
+        first = false;
+        PrintCellJson(&json, r);
+        if (!smoke) {
+          std::printf("%7d %8d %9s %12.0f %10.1f %10.1f %10.1f %9llu\n",
+                      conns, read_pct, coalesce ? "on" : "off",
+                      r.seconds > 0
+                          ? static_cast<double>(r.ops) / r.seconds
+                          : 0.0,
+                      r.latency.p50, r.latency.p95, r.latency.p99,
+                      static_cast<unsigned long long>(r.coalesce.max_batch));
+          std::fflush(stdout);
+        }
+        if (r.errors != 0) {
+          std::fprintf(stderr, "cell conns=%d read=%d coalesce=%d: %llu "
+                       "errors\n", conns, read_pct, coalesce ? 1 : 0,
+                       static_cast<unsigned long long>(r.errors));
+        }
+      }
+    }
+  }
+  json.append("]}");
+  std::printf("%s\n", json.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace adcache
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return adcache::RunSweep(smoke);
+}

@@ -1,0 +1,112 @@
+// Minimal RESP client for the adcache_server front door: connects over
+// loopback, runs the README example session (SET/GET/MGET/SCAN/STATS) and
+// prints each raw reply. Start a server first:
+//
+//   ./build/src/server/adcache_server --port=6399 &
+//   ./build/examples/server_client 6399
+//
+// The point of the example is the wire protocol: commands can be sent as
+// plain inline lines (as here, telnet-style) or as RESP arrays — the reply
+// grammar is the same either way, and the tiny ReadReply scanner below is
+// all a client needs to speak it.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+/// Returns true when buffer[0, len) starts with one complete RESP reply,
+/// setting *consumed. Replies are lines (+ - :), bulk strings ($N payload,
+/// $-1 nil) or arrays (*N of nested replies).
+bool ScanReply(const char* data, size_t len, size_t* consumed) {
+  if (len == 0) return false;
+  const char* nl = static_cast<const char*>(memchr(data, '\n', len));
+  if (nl == nullptr) return false;
+  size_t line = static_cast<size_t>(nl - data) + 1;
+  if (data[0] == '$') {
+    long n = atol(data + 1);
+    if (n < 0) {
+      *consumed = line;
+      return true;
+    }
+    if (len < line + static_cast<size_t>(n) + 2) return false;
+    *consumed = line + static_cast<size_t>(n) + 2;
+    return true;
+  }
+  if (data[0] == '*') {
+    long n = atol(data + 1);
+    size_t pos = line;
+    for (long i = 0; i < n; i++) {
+      size_t sub = 0;
+      if (!ScanReply(data + pos, len - pos, &sub)) return false;
+      pos += sub;
+    }
+    *consumed = pos;
+    return true;
+  }
+  *consumed = line;  // +simple, -error, :integer
+  return true;
+}
+
+std::string ReadReply(int fd, std::string* buffer) {
+  while (true) {
+    size_t consumed = 0;
+    if (ScanReply(buffer->data(), buffer->size(), &consumed)) {
+      std::string reply = buffer->substr(0, consumed);
+      buffer->erase(0, consumed);
+      return reply;
+    }
+    char chunk[4096];
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return "";
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void Command(int fd, std::string* buffer, const std::string& line) {
+  std::string frame = line + "\r\n";
+  if (send(fd, frame.data(), frame.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(frame.size())) {
+    std::fprintf(stderr, "send failed\n");
+    std::exit(1);
+  }
+  std::string reply = ReadReply(fd, buffer);
+  std::printf("> %s\n%s", line.c_str(), reply.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = argc > 1 ? std::atoi(argv[1]) : 6399;
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::fprintf(stderr,
+                 "connect to 127.0.0.1:%d failed — start adcache_server "
+                 "first\n", port);
+    return 1;
+  }
+
+  std::string buffer;
+  Command(fd, &buffer, "PING");
+  Command(fd, &buffer, "SET user42 hello");
+  Command(fd, &buffer, "SET user43 world");
+  Command(fd, &buffer, "GET user42");
+  Command(fd, &buffer, "MGET user42 nosuch user43");
+  Command(fd, &buffer, "SCAN user4 2");
+  Command(fd, &buffer, "DEL user42");
+  Command(fd, &buffer, "GET user42");
+  Command(fd, &buffer, "STATS");
+  Command(fd, &buffer, "QUIT");
+  close(fd);
+  return 0;
+}

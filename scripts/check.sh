@@ -18,18 +18,20 @@ run_secondary=1
 run_tsan=1
 run_asan=1
 run_stats=1
+run_server=1
 nshards=4
 case "${1:-}" in
-  --tsan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_asan=0; run_stats=0 ;;
-  --asan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_stats=0 ;;
-  --tier1-only) run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0 ;;
-  --stats-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0 ;;
-  --cache-impl=clock) run_tier1=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0 ;;
-  --shards=*) run_tier1=0; run_clock=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0
+  --tsan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --asan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_stats=0; run_server=0 ;;
+  --tier1-only) run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --stats-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_server=0 ;;
+  --cache-impl=clock) run_tier1=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --shards=*) run_tier1=0; run_clock=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0
               nshards="${1#--shards=}" ;;
-  --secondary) run_tier1=0; run_clock=0; run_shards=0; run_tsan=0; run_asan=0; run_stats=0 ;;
+  --secondary) run_tier1=0; run_clock=0; run_shards=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --server) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N|--secondary]" >&2
+  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N|--secondary|--server]" >&2
      exit 2 ;;
 esac
 
@@ -97,7 +99,7 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake --build build-tsan -j --target \
         superversion_test background_maintenance_test multiget_test \
         statistics_test clock_cache_test sharded_store_test \
-        secondary_cache_test
+        secondary_cache_test server_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/secondary_cache_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/superversion_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/background_maintenance_test
@@ -105,6 +107,8 @@ if [[ $run_tsan -eq 1 ]]; then
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/statistics_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/clock_cache_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/sharded_store_test
+  # Front door: event loops, coalescer slots and shutdown under TSan.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/server_test
   # The batched read path drives MultiLookup/MultiRelease against whichever
   # backend the env selects; rerun it on the lock-free table.
   ADCACHE_BLOCK_CACHE_IMPL=clock TSAN_OPTIONS="halt_on_error=1" \
@@ -118,10 +122,10 @@ if [[ $run_asan -eq 1 ]]; then
   cmake --build build-asan -j --target \
         lru_cache_test range_cache_test kv_cache_test \
         multiget_test superversion_test clock_cache_test sharded_store_test \
-        secondary_cache_test
+        secondary_cache_test server_test
   for t in lru_cache_test range_cache_test kv_cache_test \
            multiget_test superversion_test clock_cache_test \
-           sharded_store_test secondary_cache_test; do
+           sharded_store_test secondary_cache_test server_test; do
     ASAN_OPTIONS="halt_on_error=1" "./build-asan/tests/$t"
   done
   ADCACHE_BLOCK_CACHE_IMPL=clock ASAN_OPTIONS="halt_on_error=1" \
@@ -179,6 +183,104 @@ print("stats smoke OK:",
       f"{t['adcache.rl.actions']} RL actions,",
       f"{d['stats_dumps']} dumps,",
       f"get p99 = {d['stats']['histograms']['adcache.get.micros']['p99']:.1f}us")
+EOF
+fi
+
+if [[ $run_server -eq 1 ]]; then
+  echo "== server: front-door loopback smoke + connection-sweep contract =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target adcache_server bench_connections
+  # Loopback smoke against both cache backends and a key-range-sharded
+  # store: the front door must serve identically whatever the env selects.
+  for cfg in "ADCACHE_BLOCK_CACHE_IMPL=lru" "ADCACHE_BLOCK_CACHE_IMPL=clock" \
+             "ADCACHE_SHARDS=4"; do
+    db="$(mktemp -d)"
+    log=/tmp/adcache_server_smoke.log
+    env "$cfg" ADCACHE_SERVER_THREADS=2 \
+        ./build/src/server/adcache_server --port=0 --db="$db/db" \
+        >"$log" 2>&1 &
+    server_pid=$!
+    port=""
+    for _ in $(seq 1 150); do
+      port=$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$log" | head -1)
+      [[ -n "$port" ]] && break
+      sleep 0.2
+    done
+    if [[ -z "$port" ]]; then
+      echo "adcache_server failed to start ($cfg):" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    python3 - "$port" "$cfg" <<'EOF'
+import socket, sys
+
+port, cfg = int(sys.argv[1]), sys.argv[2]
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+s.settimeout(10)
+
+def bulk(x):
+    b = x.encode()
+    return b"$%d\r\n%s\r\n" % (len(b), b)
+
+request = (
+    b"SET smoke1 one\r\n"
+    b"SET smoke2 two\r\n"
+    b"GET smoke1\r\n"
+    b"*4\r\n" + bulk("MGET") + bulk("smoke1") + bulk("absent") + bulk("smoke2") +
+    b"SCAN smoke1 2\r\n"
+    b"DEL smoke1\r\n"
+    b"GET smoke1\r\n"
+    b"PING\r\n"
+    b"STATS\r\n"
+    b"QUIT\r\n")
+s.sendall(request)
+data = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+
+expected_prefix = (
+    b"+OK\r\n+OK\r\n" + bulk("one") +
+    b"*3\r\n" + bulk("one") + b"$-1\r\n" + bulk("two") +
+    b"*4\r\n" + bulk("smoke1") + bulk("one") + bulk("smoke2") + bulk("two") +
+    b":1\r\n$-1\r\n+PONG\r\n$")
+assert data.startswith(expected_prefix), (cfg, data[:200])
+assert b"{" in data, (cfg, "STATS did not return JSON")
+assert data.endswith(b"+OK\r\n"), (cfg, data[-40:])
+print(f"server smoke OK ({cfg}): {len(data)} reply bytes")
+EOF
+    kill -INT "$server_pid"
+    wait "$server_pid"
+    rm -rf "$db"
+  done
+
+  # Connection-sweep smoke: the JSON contract bench_connections promises.
+  ./build/bench/bench_connections --smoke 2>/dev/null \
+      > /tmp/bench_connections_smoke.json
+  python3 - <<'EOF'
+import json
+
+with open("/tmp/bench_connections_smoke.json") as f:
+    d = json.load(f)
+
+cells = d["cells"]
+assert len(cells) == 4, f"expected 4 smoke cells, got {len(cells)}"
+for c in cells:
+    assert c["errors"] == 0, c
+    assert c["ops"] > 0 and c["throughput_ops_s"] > 0, c
+    assert 0 <= c["p50_us"] <= c["p95_us"] <= c["p99_us"], c
+    if c["coalesce"]:
+        assert c["coalesced_gets"] > 0 and c["batches"] >= 1, c
+        assert c["immediate_gets"] == 0, c
+    else:
+        assert c["batches"] == 0 and c["coalesced_gets"] == 0, c
+        assert c["immediate_gets"] > 0, c
+coalesced = [c for c in cells if c["coalesce"]]
+print("connection smoke OK:",
+      f"{len(cells)} cells,",
+      f"max batch = {max(c['max_batch'] for c in coalesced)}")
 EOF
 fi
 

@@ -183,7 +183,7 @@ StatsCollector::MaintenanceSample AdCacheStore::SampleMaintenance() const {
   return sample;
 }
 
-Status AdCacheStore::Put(const WriteOptions& options, const Slice& key,
+Status AdCacheStore::PutImpl(const WriteOptions& options, const Slice& key,
                          const Slice& value) {
   LatencyTimer timer(stats_.get(), kHistPutMicros);
   Status s = db_->Put(options, key, value);
@@ -194,7 +194,7 @@ Status AdCacheStore::Put(const WriteOptions& options, const Slice& key,
   return s;
 }
 
-Status AdCacheStore::Delete(const WriteOptions& options, const Slice& key) {
+Status AdCacheStore::DeleteImpl(const WriteOptions& options, const Slice& key) {
   LatencyTimer timer(stats_.get(), kHistPutMicros);
   Status s = db_->Delete(options, key);
   if (s.ok()) cache_->range_cache()->InvalidateDelete(key);
@@ -204,7 +204,7 @@ Status AdCacheStore::Delete(const WriteOptions& options, const Slice& key) {
   return s;
 }
 
-Status AdCacheStore::Get(const ReadOptions& options, const Slice& key,
+Status AdCacheStore::GetImpl(const ReadOptions& options, const Slice& key,
                          PinnableSlice* value) {
   LatencyTimer timer(stats_.get(), kHistGetMicros);
   stats_->RecordTick(kTickerPointLookups);
@@ -249,10 +249,13 @@ Status AdCacheStore::Get(const ReadOptions& options, const Slice& key,
   return s;
 }
 
-void AdCacheStore::MultiGet(const ReadOptions& options, size_t n,
-                            const Slice* keys, PinnableSlice* values,
-                            Status* statuses) {
+void AdCacheStore::MultiGetImpl(const ReadOptions& options,
+                                MultiGetBatch* batch) {
+  const size_t n = batch->size();
   if (n == 0) return;
+  const Slice* keys = batch->keys();
+  PinnableSlice* values = batch->values();
+  Status* statuses = batch->statuses();
   LatencyTimer timer(stats_.get(), kHistMultiGetMicros);
   stats_->RecordTick(kTickerMultiGetKeys, n);
   // Stage 1: range-cache probe per key; only misses go to the LSM.
@@ -333,7 +336,7 @@ void AdCacheStore::MultiGet(const ReadOptions& options, size_t n,
   MaybeEndWindow();
 }
 
-Status AdCacheStore::Scan(const ReadOptions& options, const Slice& start,
+Status AdCacheStore::ScanImpl(const ReadOptions& options, const Slice& start,
                           size_t n, std::vector<KvPair>* results) {
   LatencyTimer timer(stats_.get(), kHistScanMicros);
   stats_->RecordTick(kTickerScans);

@@ -68,24 +68,6 @@ class AdCacheStore : public KvStore {
                      const std::string& dbname,
                      std::unique_ptr<AdCacheStore>* store);
 
-  Status Put(const WriteOptions& options, const Slice& key,
-             const Slice& value) override;
-  Status Delete(const WriteOptions& options, const Slice& key) override;
-  Status Get(const ReadOptions& options, const Slice& key,
-             PinnableSlice* value) override;
-  Status Scan(const ReadOptions& options, const Slice& start, size_t n,
-              std::vector<KvPair>* results) override;
-  /// Query handling path per key batch: range-cache probe per key, one
-  /// lsm::DB::MultiGet for the misses, then ONE sketch lock for the batched
-  /// admission decisions and one sharded-counter add per stats counter.
-  void MultiGet(const ReadOptions& options, size_t n, const Slice* keys,
-                PinnableSlice* values, Status* statuses) override;
-  using KvStore::Delete;
-  using KvStore::Get;
-  using KvStore::MultiGet;
-  using KvStore::Put;
-  using KvStore::Scan;
-
   CacheStatsSnapshot GetCacheStats() const override;
   lsm::ShardedDB* db() override { return db_.get(); }
   const char* Name() const override { return "adcache"; }
@@ -98,6 +80,19 @@ class AdCacheStore : public KvStore {
   /// Immediately closes the current window and runs one tuning step
   /// (used by tests and the pretraining example).
   void ForceWindowEnd();
+
+ protected:
+  Status PutImpl(const WriteOptions& options, const Slice& key,
+                 const Slice& value) override;
+  Status DeleteImpl(const WriteOptions& options, const Slice& key) override;
+  Status GetImpl(const ReadOptions& options, const Slice& key,
+                 PinnableSlice* value) override;
+  Status ScanImpl(const ReadOptions& options, const Slice& start, size_t n,
+                  std::vector<KvPair>* results) override;
+  /// Query handling path per key batch: range-cache probe per key, one
+  /// lsm::DB::MultiGet for the misses, then ONE sketch lock for the batched
+  /// admission decisions and one sharded-counter add per stats counter.
+  void MultiGetImpl(const ReadOptions& options, MultiGetBatch* batch) override;
 
  private:
   /// `block_cache_impl` comes from lsm::Options at Open time (the dynamic

@@ -23,29 +23,29 @@ Status BlockOnlyStore::Open(size_t cache_budget,
   return Status::OK();
 }
 
-Status BlockOnlyStore::Put(const WriteOptions& options, const Slice& key,
+Status BlockOnlyStore::PutImpl(const WriteOptions& options, const Slice& key,
                            const Slice& value) {
   return db_->Put(options, key, value);
 }
 
-Status BlockOnlyStore::Delete(const WriteOptions& options, const Slice& key) {
+Status BlockOnlyStore::DeleteImpl(const WriteOptions& options, const Slice& key) {
   return db_->Delete(options, key);
 }
 
-Status BlockOnlyStore::Get(const ReadOptions& options, const Slice& key,
+Status BlockOnlyStore::GetImpl(const ReadOptions& options, const Slice& key,
                            PinnableSlice* value) {
   return db_->Get(options, key, value);
 }
 
-Status BlockOnlyStore::Scan(const ReadOptions& options, const Slice& start,
+Status BlockOnlyStore::ScanImpl(const ReadOptions& options, const Slice& start,
                             size_t n, std::vector<KvPair>* results) {
   return ScanThroughDb(db_.get(), options, start, n, results);
 }
 
-void BlockOnlyStore::MultiGet(const ReadOptions& options, size_t n,
-                              const Slice* keys, PinnableSlice* values,
-                              Status* statuses) {
-  db_->MultiGet(options, n, keys, values, statuses);
+void BlockOnlyStore::MultiGetImpl(const ReadOptions& options,
+                                  MultiGetBatch* batch) {
+  db_->MultiGet(options, batch->size(), batch->keys(), batch->values(),
+                batch->statuses());
 }
 
 CacheStatsSnapshot BlockOnlyStore::GetCacheStats() const {
@@ -75,20 +75,20 @@ Status KvCacheStore::Open(size_t cache_budget, const lsm::Options& lsm_options,
   return Status::OK();
 }
 
-Status KvCacheStore::Put(const WriteOptions& options, const Slice& key,
+Status KvCacheStore::PutImpl(const WriteOptions& options, const Slice& key,
                          const Slice& value) {
   Status s = db_->Put(options, key, value);
   if (s.ok()) kv_cache_.Erase(key);  // invalidate stale row
   return s;
 }
 
-Status KvCacheStore::Delete(const WriteOptions& options, const Slice& key) {
+Status KvCacheStore::DeleteImpl(const WriteOptions& options, const Slice& key) {
   Status s = db_->Delete(options, key);
   if (s.ok()) kv_cache_.Erase(key);
   return s;
 }
 
-Status KvCacheStore::Get(const ReadOptions& options, const Slice& key,
+Status KvCacheStore::GetImpl(const ReadOptions& options, const Slice& key,
                          PinnableSlice* value) {
   std::string cached;
   if (kv_cache_.Get(key, &cached)) {
@@ -100,15 +100,18 @@ Status KvCacheStore::Get(const ReadOptions& options, const Slice& key,
   return s;
 }
 
-Status KvCacheStore::Scan(const ReadOptions& options, const Slice& start,
+Status KvCacheStore::ScanImpl(const ReadOptions& options, const Slice& start,
                           size_t n, std::vector<KvPair>* results) {
   // Scans bypass the row cache entirely.
   return ScanThroughDb(db_.get(), options, start, n, results);
 }
 
-void KvCacheStore::MultiGet(const ReadOptions& options, size_t n,
-                            const Slice* keys, PinnableSlice* values,
-                            Status* statuses) {
+void KvCacheStore::MultiGetImpl(const ReadOptions& options,
+                                MultiGetBatch* batch) {
+  const size_t n = batch->size();
+  const Slice* keys = batch->keys();
+  PinnableSlice* values = batch->values();
+  Status* statuses = batch->statuses();
   std::vector<size_t> miss_idx;
   miss_idx.reserve(n);
   std::string cached;
@@ -169,20 +172,20 @@ Status RangeCacheStore::Open(size_t cache_budget,
   return Status::OK();
 }
 
-Status RangeCacheStore::Put(const WriteOptions& options, const Slice& key,
+Status RangeCacheStore::PutImpl(const WriteOptions& options, const Slice& key,
                             const Slice& value) {
   Status s = db_->Put(options, key, value);
   if (s.ok()) range_cache_.InvalidateWrite(key, value);
   return s;
 }
 
-Status RangeCacheStore::Delete(const WriteOptions& options, const Slice& key) {
+Status RangeCacheStore::DeleteImpl(const WriteOptions& options, const Slice& key) {
   Status s = db_->Delete(options, key);
   if (s.ok()) range_cache_.InvalidateDelete(key);
   return s;
 }
 
-Status RangeCacheStore::Get(const ReadOptions& options, const Slice& key,
+Status RangeCacheStore::GetImpl(const ReadOptions& options, const Slice& key,
                             PinnableSlice* value) {
   std::string cached;
   if (range_cache_.Get(key, &cached)) {
@@ -194,7 +197,7 @@ Status RangeCacheStore::Get(const ReadOptions& options, const Slice& key,
   return s;
 }
 
-Status RangeCacheStore::Scan(const ReadOptions& options, const Slice& start,
+Status RangeCacheStore::ScanImpl(const ReadOptions& options, const Slice& start,
                              size_t n, std::vector<KvPair>* results) {
   if (range_cache_.GetScan(start, n, results)) return Status::OK();
   Status s = ScanThroughDb(db_.get(), options, start, n, results);
@@ -204,9 +207,12 @@ Status RangeCacheStore::Scan(const ReadOptions& options, const Slice& start,
   return s;
 }
 
-void RangeCacheStore::MultiGet(const ReadOptions& options, size_t n,
-                               const Slice* keys, PinnableSlice* values,
-                               Status* statuses) {
+void RangeCacheStore::MultiGetImpl(const ReadOptions& options,
+                                   MultiGetBatch* batch) {
+  const size_t n = batch->size();
+  const Slice* keys = batch->keys();
+  PinnableSlice* values = batch->values();
+  Status* statuses = batch->statuses();
   std::vector<size_t> miss_idx;
   miss_idx.reserve(n);
   std::string cached;

@@ -21,23 +21,19 @@ class BlockOnlyStore : public KvStore {
                      std::unique_ptr<BlockOnlyStore>* store,
                      const char* name = "block");
 
-  Status Put(const WriteOptions& options, const Slice& key,
-             const Slice& value) override;
-  Status Delete(const WriteOptions& options, const Slice& key) override;
-  Status Get(const ReadOptions& options, const Slice& key,
-             PinnableSlice* value) override;
-  Status Scan(const ReadOptions& options, const Slice& start, size_t n,
-              std::vector<KvPair>* results) override;
-  void MultiGet(const ReadOptions& options, size_t n, const Slice* keys,
-                PinnableSlice* values, Status* statuses) override;
-  using KvStore::Delete;
-  using KvStore::Get;
-  using KvStore::MultiGet;
-  using KvStore::Put;
-  using KvStore::Scan;
   CacheStatsSnapshot GetCacheStats() const override;
   lsm::ShardedDB* db() override { return db_.get(); }
   const char* Name() const override { return name_; }
+
+ protected:
+  Status PutImpl(const WriteOptions& options, const Slice& key,
+                 const Slice& value) override;
+  Status DeleteImpl(const WriteOptions& options, const Slice& key) override;
+  Status GetImpl(const ReadOptions& options, const Slice& key,
+                 PinnableSlice* value) override;
+  Status ScanImpl(const ReadOptions& options, const Slice& start, size_t n,
+                  std::vector<KvPair>* results) override;
+  void MultiGetImpl(const ReadOptions& options, MultiGetBatch* batch) override;
 
  private:
   explicit BlockOnlyStore(const char* name) : name_(name) {}
@@ -56,23 +52,19 @@ class KvCacheStore : public KvStore {
                      const std::string& dbname,
                      std::unique_ptr<KvCacheStore>* store);
 
-  Status Put(const WriteOptions& options, const Slice& key,
-             const Slice& value) override;
-  Status Delete(const WriteOptions& options, const Slice& key) override;
-  Status Get(const ReadOptions& options, const Slice& key,
-             PinnableSlice* value) override;
-  Status Scan(const ReadOptions& options, const Slice& start, size_t n,
-              std::vector<KvPair>* results) override;
-  void MultiGet(const ReadOptions& options, size_t n, const Slice* keys,
-                PinnableSlice* values, Status* statuses) override;
-  using KvStore::Delete;
-  using KvStore::Get;
-  using KvStore::MultiGet;
-  using KvStore::Put;
-  using KvStore::Scan;
   CacheStatsSnapshot GetCacheStats() const override;
   lsm::ShardedDB* db() override { return db_.get(); }
   const char* Name() const override { return "kv"; }
+
+ protected:
+  Status PutImpl(const WriteOptions& options, const Slice& key,
+                 const Slice& value) override;
+  Status DeleteImpl(const WriteOptions& options, const Slice& key) override;
+  Status GetImpl(const ReadOptions& options, const Slice& key,
+                 PinnableSlice* value) override;
+  Status ScanImpl(const ReadOptions& options, const Slice& start, size_t n,
+                  std::vector<KvPair>* results) override;
+  void MultiGetImpl(const ReadOptions& options, MultiGetBatch* batch) override;
 
  private:
   explicit KvCacheStore(size_t cache_budget) : kv_cache_(cache_budget) {}
@@ -92,25 +84,21 @@ class RangeCacheStore : public KvStore {
                      const std::string& dbname,
                      std::unique_ptr<RangeCacheStore>* store);
 
-  Status Put(const WriteOptions& options, const Slice& key,
-             const Slice& value) override;
-  Status Delete(const WriteOptions& options, const Slice& key) override;
-  Status Get(const ReadOptions& options, const Slice& key,
-             PinnableSlice* value) override;
-  Status Scan(const ReadOptions& options, const Slice& start, size_t n,
-              std::vector<KvPair>* results) override;
-  void MultiGet(const ReadOptions& options, size_t n, const Slice* keys,
-                PinnableSlice* values, Status* statuses) override;
-  using KvStore::Delete;
-  using KvStore::Get;
-  using KvStore::MultiGet;
-  using KvStore::Put;
-  using KvStore::Scan;
   CacheStatsSnapshot GetCacheStats() const override;
   lsm::ShardedDB* db() override { return db_.get(); }
   const char* Name() const override { return name_; }
 
   RangeCache* range_cache() { return &range_cache_; }
+
+ protected:
+  Status PutImpl(const WriteOptions& options, const Slice& key,
+                 const Slice& value) override;
+  Status DeleteImpl(const WriteOptions& options, const Slice& key) override;
+  Status GetImpl(const ReadOptions& options, const Slice& key,
+                 PinnableSlice* value) override;
+  Status ScanImpl(const ReadOptions& options, const Slice& start, size_t n,
+                  std::vector<KvPair>* results) override;
+  void MultiGetImpl(const ReadOptions& options, MultiGetBatch* batch) override;
 
  private:
   RangeCacheStore(size_t cache_budget, std::unique_ptr<EvictionPolicy> policy,

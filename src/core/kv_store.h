@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cache/range_cache.h"
+#include "core/multiget_batch.h"
 #include "core/statistics.h"
 #include "lsm/sharded_db.h"
 #include "util/pinnable_slice.h"
@@ -77,9 +78,19 @@ inline uint64_t CounterDelta(uint64_t later, uint64_t earlier) {
 /// writes a WriteOptions (sync / disable_wal), both shared with the lsm
 /// layer, and reads return values through PinnableSlice, so a block-cache
 /// or memtable hit hands the caller a pinned pointer instead of a copy.
-/// Thin copying / default-options overloads are provided for convenience;
-/// implementations should add `using KvStore::Get;` (and Put/Delete/Scan/
-/// MultiGet) so the overloads stay visible on concrete store types.
+///
+/// The public surface is NON-virtual: one options-taking method per op plus
+/// thin copying / default-options convenience overloads, all defined here
+/// once. Implementations override the protected *Impl hooks and never worry
+/// about overload visibility (the old `using KvStore::Get;` re-export that
+/// every store had to repeat — and silently break reads when forgotten — is
+/// gone because derived classes no longer declare any public `Get`).
+///
+/// Batched point lookups go through MultiGetBatch (core/multiget_batch.h),
+/// the span-style request/response view that incremental builders — the
+/// server's read coalescer, the workload runner, benches — fill key by key.
+/// The raw parallel-array overload wraps its arguments in a view batch and
+/// delegates, so pre-batch call sites compile and behave unchanged.
 ///
 /// Every store owns a Statistics registry (statistics()): op tickers and
 /// latency histograms recorded at this API boundary, maintenance events fed
@@ -91,25 +102,41 @@ class KvStore {
 
   virtual ~KvStore() = default;
 
-  virtual Status Put(const WriteOptions& options, const Slice& key,
-                     const Slice& value) = 0;
-  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) {
+    return PutImpl(options, key, value);
+  }
+  Status Delete(const WriteOptions& options, const Slice& key) {
+    return DeleteImpl(options, key);
+  }
   /// NotFound if absent. On OK, `value` pins the bytes' owner (block-cache
   /// handle, memtable SuperVersion, or an internal copy).
-  virtual Status Get(const ReadOptions& options, const Slice& key,
-                     PinnableSlice* value) = 0;
+  Status Get(const ReadOptions& options, const Slice& key,
+             PinnableSlice* value) {
+    return GetImpl(options, key, value);
+  }
   /// Collects up to `n` consecutive entries starting at the first key
   /// >= start.
-  virtual Status Scan(const ReadOptions& options, const Slice& start,
-                      size_t n, std::vector<KvPair>* results) = 0;
-  /// Batched point lookups: for each keys[i] sets statuses[i] (OK /
-  /// NotFound) and fills values[i] on OK. One admission / telemetry /
-  /// window-accounting pass covers the whole batch, and the underlying
-  /// lsm::DB::MultiGet shares one SuperVersion acquisition and coalesces
-  /// per-file and per-block work (see DESIGN.md "Batched reads").
-  virtual void MultiGet(const ReadOptions& options, size_t n,
-                        const Slice* keys, PinnableSlice* values,
-                        Status* statuses) = 0;
+  Status Scan(const ReadOptions& options, const Slice& start, size_t n,
+              std::vector<KvPair>* results) {
+    return ScanImpl(options, start, n, results);
+  }
+  /// Batched point lookups — the primary batch entry point: for each
+  /// batch->key(i) sets batch->statuses()[i] (OK / NotFound) and fills
+  /// batch->values()[i] on OK. One admission / telemetry / window-accounting
+  /// pass covers the whole batch, and the underlying lsm::DB::MultiGet
+  /// shares one SuperVersion acquisition and coalesces per-file and
+  /// per-block work (see DESIGN.md "Batched reads").
+  void MultiGet(const ReadOptions& options, MultiGetBatch* batch) {
+    MultiGetImpl(options, batch);
+  }
+  /// Parallel-array compatibility form: wraps the arrays in a view batch
+  /// and delegates to the batch entry point above.
+  void MultiGet(const ReadOptions& options, size_t n, const Slice* keys,
+                PinnableSlice* values, Status* statuses) {
+    MultiGetBatch batch(n, keys, values, statuses);
+    MultiGetImpl(options, &batch);
+  }
 
   // ---- thin convenience overloads (copying / default options) ----
   Status Put(const Slice& key, const Slice& value) {
@@ -132,6 +159,7 @@ class KvStore {
   Status Scan(const Slice& start, size_t n, std::vector<KvPair>* results) {
     return Scan(ReadOptions(), start, n, results);
   }
+  void MultiGet(MultiGetBatch* batch) { MultiGet(ReadOptions(), batch); }
   void MultiGet(size_t n, const Slice* keys, PinnableSlice* values,
                 Status* statuses) {
     MultiGet(ReadOptions(), n, keys, values, statuses);
@@ -149,6 +177,17 @@ class KvStore {
   Statistics* statistics() const { return stats_.get(); }
 
  protected:
+  // ---- the virtual core: one hook per public op ----
+  virtual Status PutImpl(const WriteOptions& options, const Slice& key,
+                         const Slice& value) = 0;
+  virtual Status DeleteImpl(const WriteOptions& options, const Slice& key) = 0;
+  virtual Status GetImpl(const ReadOptions& options, const Slice& key,
+                         PinnableSlice* value) = 0;
+  virtual Status ScanImpl(const ReadOptions& options, const Slice& start,
+                          size_t n, std::vector<KvPair>* results) = 0;
+  virtual void MultiGetImpl(const ReadOptions& options,
+                            MultiGetBatch* batch) = 0;
+
   std::shared_ptr<Statistics> stats_ = std::make_shared<Statistics>();
 };
 

@@ -1,0 +1,124 @@
+#ifndef ADCACHE_CORE_MULTIGET_BATCH_H_
+#define ADCACHE_CORE_MULTIGET_BATCH_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "util/pinnable_slice.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace adcache::core {
+
+/// A batched point-lookup request/response: parallel `keys` / `values` /
+/// `statuses` arrays of length `size()`. This is the primary argument to
+/// KvStore::MultiGet — implementations read keys() and fill values() /
+/// statuses() by index.
+///
+/// Two modes, fixed at construction:
+///
+///  - **View** (pointer constructor): the batch borrows caller-owned arrays.
+///    Zero-copy adapter for callers that already hold parallel arrays — the
+///    raw-pointer KvStore::MultiGet overload wraps its arguments in one of
+///    these, so pre-batch call sites compile and behave unchanged.
+///
+///  - **Owned** (default constructor + Add): the batch grows its own
+///    storage. Incremental builders — the server's read coalescer stacking
+///    up in-flight GETs from independent connections, the workload runner
+///    buffering consecutive point ops, benches — Add() keys one at a time,
+///    hand the batch to MultiGet, then read results back by index. Clear()
+///    resets for reuse without releasing capacity (values are Reset so
+///    block-cache / memtable pins drop eagerly).
+///
+/// In both modes the batch holds Slices, not copies: every key must stay
+/// valid (and unmoved) until MultiGet returns. Incremental builders
+/// appending to a growable buffer between Add() and the call must either
+/// reserve up front or Add() only after the buffer has settled.
+class MultiGetBatch {
+ public:
+  /// Owned mode: an empty batch; build it up with Add().
+  MultiGetBatch() = default;
+
+  /// View mode: borrow caller-owned parallel arrays of length `n`. The
+  /// arrays must outlive every use of the batch; Add() is forbidden.
+  MultiGetBatch(size_t n, const Slice* keys, PinnableSlice* values,
+                Status* statuses)
+      : view_keys_(keys),
+        view_values_(values),
+        view_statuses_(statuses),
+        n_(n) {}
+
+  MultiGetBatch(const MultiGetBatch&) = delete;
+  MultiGetBatch& operator=(const MultiGetBatch&) = delete;
+
+  bool is_view() const { return view_keys_ != nullptr; }
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Owned mode only: appends a key slot (value defaulted, status OK) and
+  /// returns its index, stable across later Adds.
+  size_t Add(const Slice& key) {
+    assert(!is_view());
+    owned_keys_.push_back(key);
+    owned_values_.emplace_back();
+    owned_statuses_.emplace_back();
+    return n_++;
+  }
+
+  void Reserve(size_t n) {
+    assert(!is_view());
+    owned_keys_.reserve(n);
+    owned_values_.reserve(n);
+    owned_statuses_.reserve(n);
+  }
+
+  /// Owned mode only: empties the batch for reuse, dropping value pins
+  /// (capacity is kept).
+  void Clear() {
+    assert(!is_view());
+    owned_keys_.clear();
+    owned_values_.clear();  // ~PinnableSlice releases pins
+    owned_statuses_.clear();
+    n_ = 0;
+  }
+
+  const Slice* keys() const {
+    return is_view() ? view_keys_ : owned_keys_.data();
+  }
+  PinnableSlice* values() {
+    return is_view() ? view_values_ : owned_values_.data();
+  }
+  Status* statuses() {
+    return is_view() ? view_statuses_ : owned_statuses_.data();
+  }
+
+  const Slice& key(size_t i) const {
+    assert(i < n_);
+    return keys()[i];
+  }
+  PinnableSlice& value(size_t i) {
+    assert(i < n_);
+    return values()[i];
+  }
+  const Status& status(size_t i) const {
+    assert(i < n_);
+    return (is_view() ? view_statuses_ : owned_statuses_.data())[i];
+  }
+
+ private:
+  // View mode borrows these; owned mode leaves them null and uses the
+  // vectors below.
+  const Slice* view_keys_ = nullptr;
+  PinnableSlice* view_values_ = nullptr;
+  Status* view_statuses_ = nullptr;
+
+  std::vector<Slice> owned_keys_;
+  std::vector<PinnableSlice> owned_values_;
+  std::vector<Status> owned_statuses_;
+  size_t n_ = 0;
+};
+
+}  // namespace adcache::core
+
+#endif  // ADCACHE_CORE_MULTIGET_BATCH_H_

@@ -1,0 +1,30 @@
+#include "server/coalescer.h"
+
+#include <algorithm>
+
+namespace adcache::server {
+
+void ReadCoalescer::Flush(core::KvStore* store,
+                          const lsm::ReadOptions& options) {
+  if (slots_.empty()) return;
+  store->MultiGet(options, &batch_);
+  for (size_t i = 0; i < slots_.size(); i++) {
+    PendingReply* slot = slots_[i];
+    if (batch_.status(i).ok()) {
+      AppendBulkString(&slot->data, batch_.value(i).slice());
+    } else if (batch_.status(i).IsNotFound()) {
+      AppendNil(&slot->data);
+    } else {
+      AppendError(&slot->data, Slice("ERR " + batch_.status(i).ToString()));
+    }
+    slot->ready = true;
+  }
+  stats_.batches++;
+  stats_.coalesced_gets += slots_.size();
+  stats_.max_batch = std::max<uint64_t>(stats_.max_batch, slots_.size());
+  batch_.Clear();
+  slots_.clear();
+  epoch_++;
+}
+
+}  // namespace adcache::server

@@ -1,0 +1,74 @@
+#ifndef ADCACHE_SERVER_COALESCER_H_
+#define ADCACHE_SERVER_COALESCER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kv_store.h"
+#include "server/resp.h"
+
+namespace adcache::server {
+
+/// One reply slot in a connection's in-order response queue. A slot is
+/// reserved the moment its request is parsed (preserving pipelined response
+/// order) and filled either immediately (writes, scans, MGET) or by the
+/// coalescer at batch-flush time (deferred point GETs). Output is sent only
+/// up to the first unfilled slot.
+struct PendingReply {
+  std::string data;   // serialized RESP bytes
+  bool ready = false;
+};
+
+/// The server-side analogue of group commit, for reads: concurrent in-flight
+/// point GETs — across independent connections — accumulate here during one
+/// event-loop iteration and execute as ONE KvStore::MultiGet at the end of
+/// the iteration, so the whole wave shares a SuperVersion acquisition, one
+/// bloom pass and one index iterator per touched SST, batched cache lookups
+/// and batched admission (DESIGN.md "Batched reads"). Each worker event loop
+/// owns one coalescer; no locking anywhere.
+///
+/// Key lifetime: enqueued Slices point into connection input buffers, which
+/// the event loop keeps unmutated until after Flush() (buffers are compacted
+/// only when an iteration's replies are pumped out).
+class ReadCoalescer {
+ public:
+  struct Stats {
+    uint64_t batches = 0;         // MultiGet calls issued
+    uint64_t coalesced_gets = 0;  // GETs answered through those batches
+    uint64_t max_batch = 0;       // largest single batch
+  };
+
+  /// Defers one point GET: the looked-up value (bulk string, or nil on
+  /// NotFound) will be serialized into `slot` at the next Flush. The slot
+  /// pointer must stay valid until then (reply queues are deques, whose
+  /// element addresses are push-stable).
+  void Enqueue(const Slice& key, PendingReply* slot) {
+    batch_.Add(key);
+    slots_.push_back(slot);
+  }
+
+  bool empty() const { return slots_.empty(); }
+  size_t pending() const { return slots_.size(); }
+
+  /// Monotone flush counter. A connection that enqueued at epoch E has
+  /// un-executed reads exactly while epoch() == E; the event loop uses this
+  /// to flush before applying a write from the same connection, keeping
+  /// per-connection program order observable.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Executes every deferred GET through one KvStore::MultiGet and fills
+  /// the reply slots. No-op on an empty batch.
+  void Flush(core::KvStore* store, const lsm::ReadOptions& options);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  core::MultiGetBatch batch_;
+  std::vector<PendingReply*> slots_;
+  Stats stats_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace adcache::server
+
+#endif  // ADCACHE_SERVER_COALESCER_H_

@@ -1,0 +1,168 @@
+#include "server/resp.h"
+
+#include <cstdio>
+
+namespace adcache::server {
+
+namespace {
+
+/// Finds "\r\n" starting at `pos`; returns the index of '\r' or npos.
+size_t FindCrlf(const char* data, size_t len, size_t pos) {
+  for (size_t i = pos; i + 1 < len; i++) {
+    if (data[i] == '\r' && data[i + 1] == '\n') return i;
+  }
+  return std::string::npos;
+}
+
+/// Parses a non-negative decimal (or -1, RESP's nil length) from
+/// data[begin, end). Returns false on empty/garbage/overflow.
+bool ParseLength(const char* data, size_t begin, size_t end, long long* out) {
+  if (begin >= end) return false;
+  bool negative = false;
+  size_t i = begin;
+  if (data[i] == '-') {
+    negative = true;
+    i++;
+  }
+  if (i >= end) return false;
+  long long value = 0;
+  for (; i < end; i++) {
+    char c = data[i];
+    if (c < '0' || c > '9') return false;
+    if (value > (1LL << 40)) return false;  // absurd; avoid overflow
+    value = value * 10 + (c - '0');
+  }
+  *out = negative ? -value : value;
+  return true;
+}
+
+}  // namespace
+
+RespParse RespParser::Parse(const char* data, size_t len, size_t* consumed,
+                            RespCommand* cmd) {
+  *consumed = 0;
+  cmd->args.clear();
+  if (len == 0) return RespParse::kNeedMore;
+  if (data[0] == '*') return ParseArray(data, len, consumed, cmd);
+  return ParseInline(data, len, consumed, cmd);
+}
+
+RespParse RespParser::ParseArray(const char* data, size_t len,
+                                 size_t* consumed, RespCommand* cmd) {
+  size_t crlf = FindCrlf(data, len, 0);
+  if (crlf == std::string::npos) {
+    // The header alone can't legitimately exceed ~16 digits.
+    if (len > 32) return Fail("ERR Protocol error: invalid multibulk length");
+    return RespParse::kNeedMore;
+  }
+  long long count = 0;
+  if (!ParseLength(data, 1, crlf, &count) || count < 0) {
+    return Fail("ERR Protocol error: invalid multibulk length");
+  }
+  if (static_cast<size_t>(count) > limits_.max_array_elements) {
+    return Fail("ERR Protocol error: multibulk length exceeds limit");
+  }
+  size_t pos = crlf + 2;
+  cmd->args.reserve(static_cast<size_t>(count));
+  for (long long i = 0; i < count; i++) {
+    if (pos >= len) return RespParse::kNeedMore;
+    if (data[pos] != '$') {
+      return Fail("ERR Protocol error: expected '$', got '" +
+                  std::string(1, data[pos]) + "'");
+    }
+    size_t hdr_end = FindCrlf(data, len, pos);
+    if (hdr_end == std::string::npos) {
+      if (len - pos > 32) {
+        return Fail("ERR Protocol error: invalid bulk length");
+      }
+      return RespParse::kNeedMore;
+    }
+    long long bulk_len = 0;
+    if (!ParseLength(data, pos + 1, hdr_end, &bulk_len) || bulk_len < 0) {
+      return Fail("ERR Protocol error: invalid bulk length");
+    }
+    if (static_cast<size_t>(bulk_len) > limits_.max_bulk_bytes) {
+      return Fail("ERR Protocol error: bulk length exceeds limit");
+    }
+    size_t payload = hdr_end + 2;
+    size_t end = payload + static_cast<size_t>(bulk_len);
+    if (end + 2 > len) return RespParse::kNeedMore;
+    if (data[end] != '\r' || data[end + 1] != '\n') {
+      return Fail("ERR Protocol error: bulk string missing terminator");
+    }
+    cmd->args.emplace_back(data + payload, static_cast<size_t>(bulk_len));
+    pos = end + 2;
+  }
+  *consumed = pos;
+  return RespParse::kCommand;
+}
+
+RespParse RespParser::ParseInline(const char* data, size_t len,
+                                  size_t* consumed, RespCommand* cmd) {
+  // Inline commands terminate on '\n' (with an optional preceding '\r').
+  size_t newline = std::string::npos;
+  for (size_t i = 0; i < len; i++) {
+    if (data[i] == '\n') {
+      newline = i;
+      break;
+    }
+  }
+  if (newline == std::string::npos) {
+    if (len > limits_.max_inline_bytes) {
+      return Fail("ERR Protocol error: too big inline request");
+    }
+    return RespParse::kNeedMore;
+  }
+  size_t line_end = newline;
+  if (line_end > 0 && data[line_end - 1] == '\r') line_end--;
+  if (line_end > limits_.max_inline_bytes) {
+    return Fail("ERR Protocol error: too big inline request");
+  }
+  size_t i = 0;
+  while (i < line_end) {
+    while (i < line_end && (data[i] == ' ' || data[i] == '\t')) i++;
+    size_t start = i;
+    while (i < line_end && data[i] != ' ' && data[i] != '\t') i++;
+    if (i > start) cmd->args.emplace_back(data + start, i - start);
+  }
+  *consumed = newline + 1;
+  // An empty line is a no-op frame (redis-cli keepalive style): report it
+  // as a zero-arg command; the dispatcher ignores it.
+  return RespParse::kCommand;
+}
+
+void AppendSimpleString(std::string* out, const Slice& s) {
+  out->push_back('+');
+  out->append(s.data(), s.size());
+  out->append("\r\n");
+}
+
+void AppendError(std::string* out, const Slice& message) {
+  out->push_back('-');
+  out->append(message.data(), message.size());
+  out->append("\r\n");
+}
+
+void AppendInteger(std::string* out, long long value) {
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), ":%lld\r\n", value);
+  out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendBulkString(std::string* out, const Slice& s) {
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), "$%zu\r\n", s.size());
+  out->append(buf, static_cast<size_t>(n));
+  out->append(s.data(), s.size());
+  out->append("\r\n");
+}
+
+void AppendNil(std::string* out) { out->append("$-1\r\n"); }
+
+void AppendArrayHeader(std::string* out, size_t n) {
+  char buf[32];
+  int written = std::snprintf(buf, sizeof(buf), "*%zu\r\n", n);
+  out->append(buf, static_cast<size_t>(written));
+}
+
+}  // namespace adcache::server

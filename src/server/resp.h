@@ -1,0 +1,83 @@
+#ifndef ADCACHE_SERVER_RESP_H_
+#define ADCACHE_SERVER_RESP_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace adcache::server {
+
+/// Per-frame bounds. A frame exceeding any of them is a protocol error: the
+/// server replies -ERR and drops the connection rather than buffering an
+/// attacker-sized allocation.
+struct RespLimits {
+  /// Max elements in one *N array frame (also caps MGET fan-out).
+  size_t max_array_elements = 4096;
+  /// Max payload of one $N bulk string.
+  size_t max_bulk_bytes = 8 * 1024 * 1024;
+  /// Max length of one inline-command line (bytes before the newline).
+  size_t max_inline_bytes = 64 * 1024;
+};
+
+/// One parsed request: command name in args[0], arguments after. The slices
+/// point into the caller's parse buffer and stay valid only until that
+/// buffer is mutated or compacted.
+struct RespCommand {
+  std::vector<Slice> args;
+};
+
+enum class RespParse {
+  kCommand,   // one complete command extracted
+  kNeedMore,  // buffer holds only a frame prefix; read more bytes
+  kError,     // malformed / oversized frame; see RespParser::error()
+};
+
+/// Incremental parser for the RESP subset the server speaks: `*N\r\n` arrays
+/// of `$len\r\n<bytes>\r\n` bulk strings (what every client library sends),
+/// plus newline-terminated inline commands split on spaces (telnet / netcat
+/// friendliness). Stateless across frames: a torn frame is simply re-scanned
+/// from its start on the next feed, which keeps the state machine trivially
+/// restartable — frames are small, so the re-scan cost is noise.
+class RespParser {
+ public:
+  RespParser() = default;
+  explicit RespParser(const RespLimits& limits) : limits_(limits) {}
+
+  /// Tries to extract one complete command from data[0, len). On kCommand,
+  /// *consumed is the frame's byte length and cmd->args views into `data`.
+  /// On kNeedMore, *consumed is 0. On kError, error() describes the fault;
+  /// the connection should be failed (no resynchronisation is attempted).
+  RespParse Parse(const char* data, size_t len, size_t* consumed,
+                  RespCommand* cmd);
+
+  const std::string& error() const { return error_; }
+  const RespLimits& limits() const { return limits_; }
+
+ private:
+  RespParse Fail(const std::string& message) {
+    error_ = message;
+    return RespParse::kError;
+  }
+  RespParse ParseArray(const char* data, size_t len, size_t* consumed,
+                       RespCommand* cmd);
+  RespParse ParseInline(const char* data, size_t len, size_t* consumed,
+                        RespCommand* cmd);
+
+  RespLimits limits_;
+  std::string error_;
+};
+
+// ---- reply serialisation (appends RESP to an output buffer) ----
+
+void AppendSimpleString(std::string* out, const Slice& s);   // +s\r\n
+void AppendError(std::string* out, const Slice& message);    // -message\r\n
+void AppendInteger(std::string* out, long long value);       // :value\r\n
+void AppendBulkString(std::string* out, const Slice& s);     // $len\r\n..\r\n
+void AppendNil(std::string* out);                            // $-1\r\n
+void AppendArrayHeader(std::string* out, size_t n);          // *n\r\n
+
+}  // namespace adcache::server
+
+#endif  // ADCACHE_SERVER_RESP_H_

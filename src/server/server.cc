@@ -1,0 +1,608 @@
+#include "server/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "server/coalescer.h"
+#include "util/options_env.h"
+
+namespace adcache::server {
+
+namespace {
+
+/// Uppercases an ASCII command name into a stack buffer for dispatch.
+/// Returns false when the name is longer than any command we speak.
+bool CommandName(const Slice& arg, char out[8]) {
+  if (arg.size() >= 8) return false;
+  for (size_t i = 0; i < arg.size(); i++) {
+    char c = arg.data()[i];
+    out[i] = (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+  }
+  out[arg.size()] = '\0';
+  return true;
+}
+
+bool ParseCount(const Slice& arg, size_t* out) {
+  if (arg.empty() || arg.size() > 10) return false;
+  size_t value = 0;
+  for (size_t i = 0; i < arg.size(); i++) {
+    char c = arg.data()[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Connection / worker state
+// ---------------------------------------------------------------------------
+
+struct Server::Conn {
+  int fd = -1;
+  Worker* worker = nullptr;
+  /// Buffered input. [consumed, size) is unparsed; the consumed prefix is
+  /// erased only after the iteration's coalescer flush, because deferred
+  /// GET keys are slices into this buffer.
+  std::string in;
+  size_t consumed = 0;
+  /// Serialized responses awaiting write(2).
+  std::string out;
+  /// In-order reply slots (deque: element addresses are push-stable, which
+  /// the coalescer relies on).
+  std::deque<PendingReply> replies;
+  /// Coalescer epoch of this connection's most recent deferred GET; when it
+  /// equals the coalescer's current epoch, a write must flush first to stay
+  /// in per-connection program order.
+  uint64_t enqueue_epoch = ~0ULL;
+  bool want_write = false;  // EPOLLOUT currently registered
+  bool in_touched = false;  // already queued for this iteration's post-pass
+  bool closing = false;     // close once replies and output drain (QUIT/EOF)
+  bool dead = false;        // close as soon as the post-pass runs
+};
+
+struct Server::Worker {
+  int id = 0;
+  int epfd = -1;
+  int wakefd = -1;
+  std::thread thread;
+  ReadCoalescer coalescer;
+  RespParser parser;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  /// Accepted fds handed over by the acceptor (worker 0), drained on wake.
+  std::mutex mu;
+  std::vector<int> incoming;
+  /// Connections that produced work this iteration; replies are pumped and
+  /// buffers compacted for exactly these after the coalescer flush.
+  std::vector<Conn*> touched;
+};
+
+// ---------------------------------------------------------------------------
+// Options / lifecycle
+// ---------------------------------------------------------------------------
+
+ServerOptions ServerOptions::FromEnv() {
+  ServerOptions options;
+  options.port = util::OptionsFromEnv::Int("ADCACHE_SERVER_PORT", options.port);
+  options.threads =
+      util::OptionsFromEnv::Int("ADCACHE_SERVER_THREADS", options.threads);
+  options.coalesce =
+      util::OptionsFromEnv::Flag("ADCACHE_SERVER_COALESCE", options.coalesce);
+  return options;
+}
+
+Server::Server(core::KvStore* store, const ServerOptions& options)
+    : store_(store), options_(options) {
+  if (options_.threads < 1) options_.threads = 1;
+}
+
+Status Server::Start(core::KvStore* store, const ServerOptions& options,
+                     std::unique_ptr<Server>* server) {
+  auto s = std::unique_ptr<Server>(new Server(store, options));
+  Status st = s->Listen();
+  if (!st.ok()) return st;
+  for (int i = 0; i < s->options_.threads; i++) {
+    auto worker = std::make_unique<Worker>();
+    worker->id = i;
+    worker->parser = RespParser(s->options_.limits);
+    worker->epfd = epoll_create1(EPOLL_CLOEXEC);
+    worker->wakefd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (worker->epfd < 0 || worker->wakefd < 0) {
+      if (worker->epfd >= 0) close(worker->epfd);
+      if (worker->wakefd >= 0) close(worker->wakefd);
+      return Status::IOError("epoll_create1/eventfd failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = worker.get();  // wake tag: the worker itself
+    epoll_ctl(worker->epfd, EPOLL_CTL_ADD, worker->wakefd, &ev);
+    s->workers_.push_back(std::move(worker));
+  }
+  // The listener lives in worker 0's epoll, tagged with the Server pointer.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = s.get();
+  epoll_ctl(s->workers_[0]->epfd, EPOLL_CTL_ADD, s->listen_fd_, &ev);
+  for (auto& worker : s->workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([s_ptr = s.get(), w] { s_ptr->WorkerLoop(w); });
+  }
+  *server = std::move(s);
+  return Status::OK();
+}
+
+Status Server::Listen() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::IOError("socket() failed");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Status::IOError(std::string("bind failed: ") +
+                           std::strerror(errno));
+  }
+  if (listen(listen_fd_, options_.backlog) < 0) {
+    return Status::IOError(std::string("listen failed: ") +
+                           std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Already stopping; just make sure the joins completed.
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+    return;
+  }
+  uint64_t one = 1;
+  for (auto& worker : workers_) {
+    [[maybe_unused]] ssize_t r =
+        write(worker->wakefd, &one, sizeof(one));
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  for (auto& worker : workers_) {
+    if (worker->epfd >= 0) close(worker->epfd);
+    if (worker->wakefd >= 0) close(worker->wakefd);
+    worker->epfd = worker->wakefd = -1;
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+Server::CoalesceStats Server::GetCoalesceStats() const {
+  CoalesceStats total;
+  for (const auto& worker : workers_) {
+    const ReadCoalescer::Stats& s = worker->coalescer.stats();
+    total.batches += s.batches;
+    total.coalesced_gets += s.coalesced_gets;
+    if (s.max_batch > total.max_batch) total.max_batch = s.max_batch;
+  }
+  total.immediate_gets = immediate_gets_.load(std::memory_order_relaxed);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void Server::WorkerLoop(Worker* worker) {
+  // Sized to admit a full many-connection wave in one iteration: the
+  // coalescer's batch is bounded by how many ready connections one
+  // epoll_wait can report, so a small event buffer would silently cap the
+  // amortisation at high connection counts.
+  std::vector<epoll_event> events(4096);
+  auto touch = [worker](Conn* conn) {
+    if (!conn->in_touched) {
+      conn->in_touched = true;
+      worker->touched.push_back(conn);
+    }
+  };
+  for (;;) {
+    int n = epoll_wait(worker->epfd, events.data(),
+                       static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; i++) {
+      void* tag = events[i].data.ptr;
+      if (tag == this) {
+        AcceptNew(worker);
+        continue;
+      }
+      if (tag == worker) {
+        uint64_t drained;
+        while (read(worker->wakefd, &drained, sizeof(drained)) > 0) {
+        }
+        std::vector<int> incoming;
+        {
+          std::lock_guard<std::mutex> lock(worker->mu);
+          incoming.swap(worker->incoming);
+        }
+        for (int fd : incoming) {
+          auto conn = std::make_unique<Conn>();
+          conn->fd = fd;
+          conn->worker = worker;
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.ptr = conn.get();
+          if (epoll_ctl(worker->epfd, EPOLL_CTL_ADD, fd, &ev) == 0) {
+            worker->conns.emplace(fd, std::move(conn));
+          } else {
+            close(fd);
+          }
+        }
+        continue;
+      }
+      Conn* conn = static_cast<Conn*>(tag);
+      if (conn->dead) continue;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        conn->dead = true;
+        touch(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        HandleReadable(worker, conn);
+        touch(conn);
+      }
+      if ((events[i].events & EPOLLOUT) != 0 && !conn->dead) {
+        FlushOutput(worker, conn);
+        touch(conn);
+      }
+    }
+    // The headline mechanism: every point GET parsed this iteration — from
+    // however many connections — executes as ONE MultiGet batch.
+    worker->coalescer.Flush(store_, options_.read_options);
+    for (Conn* conn : worker->touched) {
+      conn->in_touched = false;
+      if (!conn->dead) {
+        PumpReplies(conn);
+        FlushOutput(worker, conn);
+        if (conn->closing && conn->out.empty() && conn->replies.empty()) {
+          conn->dead = true;
+        }
+      }
+      if (conn->dead) CloseConn(worker, conn);
+    }
+    worker->touched.clear();
+    if (stopping_.load(std::memory_order_acquire)) break;
+  }
+  // Shutdown: the iteration above already flushed the coalescer and wrote
+  // what the sockets would take; drop every remaining connection.
+  for (auto& entry : worker->conns) {
+    close(entry.second->fd);
+  }
+  worker->conns.clear();
+}
+
+void Server::AcceptNew(Worker* worker) {
+  for (;;) {
+    int fd = accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN (drained) or a transient accept error
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    size_t target =
+        next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+    Worker* dest = workers_[target].get();
+    if (dest == worker) {
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conn->worker = worker;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = conn.get();
+      if (epoll_ctl(worker->epfd, EPOLL_CTL_ADD, fd, &ev) == 0) {
+        worker->conns.emplace(fd, std::move(conn));
+      } else {
+        close(fd);
+      }
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(dest->mu);
+        dest->incoming.push_back(fd);
+      }
+      uint64_t one_wake = 1;
+      [[maybe_unused]] ssize_t r =
+          write(dest->wakefd, &one_wake, sizeof(one_wake));
+    }
+  }
+}
+
+void Server::HandleReadable(Worker* worker, Conn* conn) {
+  // Read everything the socket has (level-triggered, but draining now means
+  // this iteration's coalescer batch sees the whole burst), THEN parse: the
+  // buffer never reallocates between a key being enqueued and the flush.
+  for (;;) {
+    size_t old_size = conn->in.size();
+    conn->in.resize(old_size + 16384);
+    ssize_t r = read(conn->fd, conn->in.data() + old_size, 16384);
+    if (r > 0) {
+      conn->in.resize(old_size + static_cast<size_t>(r));
+      if (conn->in.size() > options_.max_input_buffer) {
+        AppendError(&conn->out, Slice("ERR input buffer exceeded"));
+        conn->dead = true;
+        return;
+      }
+      continue;
+    }
+    conn->in.resize(old_size);
+    if (r == 0) {
+      // Peer sent FIN: parse what arrived, answer it, then close.
+      conn->closing = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn->dead = true;
+    return;
+  }
+  const bool closing_at_entry = conn->closing;  // EOF: drain, then close
+  while (conn->consumed < conn->in.size()) {
+    RespCommand cmd;
+    size_t frame = 0;
+    RespParse result =
+        worker->parser.Parse(conn->in.data() + conn->consumed,
+                             conn->in.size() - conn->consumed, &frame, &cmd);
+    if (result == RespParse::kNeedMore) break;
+    if (result == RespParse::kError) {
+      // The error takes a reply slot like any response (slots already
+      // reserved — possibly awaiting the coalescer — drain first), then
+      // the connection closes: no resynchronisation inside a broken stream.
+      conn->replies.emplace_back();
+      PendingReply* slot = &conn->replies.back();
+      AppendError(&slot->data, Slice(worker->parser.error()));
+      slot->ready = true;
+      conn->closing = true;
+      break;
+    }
+    conn->consumed += frame;
+    DispatchCommand(worker, conn, cmd);
+    if (conn->dead) break;
+    if (conn->closing && !closing_at_entry) break;  // QUIT: drop the rest
+  }
+}
+
+void Server::DispatchCommand(Worker* worker, Conn* conn,
+                             const RespCommand& cmd) {
+  if (cmd.args.empty()) return;  // blank inline line: ignore
+  char name[8];
+  if (!CommandName(cmd.args[0], name)) {
+    conn->replies.emplace_back();
+    PendingReply* slot = &conn->replies.back();
+    AppendError(&slot->data, Slice("ERR unknown command"));
+    slot->ready = true;
+    return;
+  }
+  auto arity_error = [conn](const char* command) {
+    conn->replies.emplace_back();
+    PendingReply* slot = &conn->replies.back();
+    AppendError(&slot->data, Slice(std::string(
+                                 "ERR wrong number of arguments for '") +
+                             command + "' command"));
+    slot->ready = true;
+  };
+  // A write may not overtake this connection's own un-executed coalesced
+  // GETs; flushing the worker batch first preserves program order (reads
+  // from other connections in the batch are unaffected — cross-connection
+  // order was never promised).
+  auto order_writes = [worker, conn, this]() {
+    if (!worker->coalescer.empty() &&
+        conn->enqueue_epoch == worker->coalescer.epoch()) {
+      worker->coalescer.Flush(store_, options_.read_options);
+    }
+  };
+  if (std::strcmp(name, "GET") == 0) {
+    if (cmd.args.size() != 2) return arity_error("get");
+    conn->replies.emplace_back();
+    PendingReply* slot = &conn->replies.back();
+    if (options_.coalesce) {
+      worker->coalescer.Enqueue(cmd.args[1], slot);
+      conn->enqueue_epoch = worker->coalescer.epoch();
+    } else {
+      ExecuteGetNow(conn, cmd.args[1], slot);
+    }
+    return;
+  }
+  if (std::strcmp(name, "MGET") == 0) {
+    if (cmd.args.size() < 2) return arity_error("mget");
+    conn->replies.emplace_back();
+    PendingReply* slot = &conn->replies.back();
+    // A client-built batch is already the shape MultiGet wants: pass it
+    // through natively instead of splitting it into coalescer entries.
+    core::MultiGetBatch batch;
+    batch.Reserve(cmd.args.size() - 1);
+    for (size_t i = 1; i < cmd.args.size(); i++) batch.Add(cmd.args[i]);
+    store_->MultiGet(options_.read_options, &batch);
+    AppendArrayHeader(&slot->data, batch.size());
+    for (size_t i = 0; i < batch.size(); i++) {
+      if (batch.status(i).ok()) {
+        AppendBulkString(&slot->data, batch.value(i).slice());
+      } else {
+        AppendNil(&slot->data);
+      }
+    }
+    slot->ready = true;
+    return;
+  }
+  if (std::strcmp(name, "SET") == 0) {
+    if (cmd.args.size() != 3) return arity_error("set");
+    order_writes();
+    conn->replies.emplace_back();
+    PendingReply* slot = &conn->replies.back();
+    Status s = store_->Put(lsm::WriteOptions(), cmd.args[1], cmd.args[2]);
+    if (s.ok()) {
+      AppendSimpleString(&slot->data, Slice("OK"));
+    } else {
+      AppendError(&slot->data, Slice("ERR " + s.ToString()));
+    }
+    slot->ready = true;
+    return;
+  }
+  if (std::strcmp(name, "DEL") == 0) {
+    if (cmd.args.size() != 2) return arity_error("del");
+    order_writes();
+    conn->replies.emplace_back();
+    PendingReply* slot = &conn->replies.back();
+    Status s = store_->Delete(lsm::WriteOptions(), cmd.args[1]);
+    if (s.ok()) {
+      // The LSM write path doesn't report prior existence; DEL acknowledges
+      // the tombstone (always :1), documented in README.
+      AppendInteger(&slot->data, 1);
+    } else {
+      AppendError(&slot->data, Slice("ERR " + s.ToString()));
+    }
+    slot->ready = true;
+    return;
+  }
+  if (std::strcmp(name, "SCAN") == 0) {
+    if (cmd.args.size() != 3) return arity_error("scan");
+    size_t count = 0;
+    conn->replies.emplace_back();
+    PendingReply* slot = &conn->replies.back();
+    if (!ParseCount(cmd.args[2], &count) || count > 65536) {
+      AppendError(&slot->data, Slice("ERR invalid scan count"));
+      slot->ready = true;
+      return;
+    }
+    std::vector<KvPair> results;
+    Status s = store_->Scan(options_.read_options, cmd.args[1], count,
+                            &results);
+    if (s.ok()) {
+      AppendArrayHeader(&slot->data, results.size() * 2);
+      for (const KvPair& kv : results) {
+        AppendBulkString(&slot->data, Slice(kv.key));
+        AppendBulkString(&slot->data, Slice(kv.value));
+      }
+    } else {
+      AppendError(&slot->data, Slice("ERR " + s.ToString()));
+    }
+    slot->ready = true;
+    return;
+  }
+  if (std::strcmp(name, "PING") == 0) {
+    conn->replies.emplace_back();
+    PendingReply* slot = &conn->replies.back();
+    if (cmd.args.size() > 1) {
+      AppendBulkString(&slot->data, cmd.args[1]);
+    } else {
+      AppendSimpleString(&slot->data, Slice("PONG"));
+    }
+    slot->ready = true;
+    return;
+  }
+  if (std::strcmp(name, "STATS") == 0) {
+    conn->replies.emplace_back();
+    PendingReply* slot = &conn->replies.back();
+    AppendBulkString(&slot->data, Slice(store_->statistics()->ToJson()));
+    slot->ready = true;
+    return;
+  }
+  if (std::strcmp(name, "QUIT") == 0) {
+    conn->replies.emplace_back();
+    PendingReply* slot = &conn->replies.back();
+    AppendSimpleString(&slot->data, Slice("OK"));
+    slot->ready = true;
+    conn->closing = true;
+    return;
+  }
+  conn->replies.emplace_back();
+  PendingReply* slot = &conn->replies.back();
+  AppendError(&slot->data,
+              Slice("ERR unknown command '" + cmd.args[0].ToString() + "'"));
+  slot->ready = true;
+}
+
+void Server::ExecuteGetNow(Conn* conn, const Slice& key, PendingReply* slot) {
+  immediate_gets_.fetch_add(1, std::memory_order_relaxed);
+  PinnableSlice value;
+  Status s = store_->Get(options_.read_options, key, &value);
+  if (s.ok()) {
+    AppendBulkString(&slot->data, value.slice());
+  } else if (s.IsNotFound()) {
+    AppendNil(&slot->data);
+  } else {
+    AppendError(&slot->data, Slice("ERR " + s.ToString()));
+  }
+  slot->ready = true;
+  (void)conn;
+}
+
+void Server::PumpReplies(Conn* conn) {
+  // Responses leave strictly in request order: stop at the first slot still
+  // waiting on a later batch.
+  while (!conn->replies.empty() && conn->replies.front().ready) {
+    conn->out += conn->replies.front().data;
+    conn->replies.pop_front();
+  }
+  // All of this iteration's deferred keys are resolved; the parsed prefix
+  // of the input buffer can finally go.
+  if (conn->consumed > 0) {
+    conn->in.erase(0, conn->consumed);
+    conn->consumed = 0;
+  }
+}
+
+void Server::FlushOutput(Worker* worker, Conn* conn) {
+  size_t sent = 0;
+  while (sent < conn->out.size()) {
+    ssize_t r = send(conn->fd, conn->out.data() + sent,
+                     conn->out.size() - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn->dead = true;
+    return;
+  }
+  conn->out.erase(0, sent);
+  bool want_write = !conn->out.empty();
+  if (want_write != conn->want_write) {
+    conn->want_write = want_write;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.ptr = conn;
+    epoll_ctl(worker->epfd, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+}
+
+void Server::CloseConn(Worker* worker, Conn* conn) {
+  epoll_ctl(worker->epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  close(conn->fd);
+  worker->conns.erase(conn->fd);  // frees conn
+}
+
+}  // namespace adcache::server

@@ -1,0 +1,118 @@
+#ifndef ADCACHE_SERVER_SERVER_H_
+#define ADCACHE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/kv_store.h"
+#include "server/resp.h"
+#include "util/status.h"
+
+namespace adcache::server {
+
+struct PendingReply;  // coalescer.h
+
+/// Network front-door configuration. The environment knobs route through
+/// util::OptionsFromEnv (see FromEnv); programmatic options win when both
+/// are given, matching every other ADCACHE_* fallback in the tree.
+struct ServerOptions {
+  /// TCP listen port; 0 asks the OS for an ephemeral port (tests — read it
+  /// back via Server::port()).
+  int port = 6399;
+  /// Worker event loops. Each worker owns its own epoll set, connections
+  /// and read coalescer; accepted connections are dealt round-robin.
+  int threads = 4;
+  /// Batch concurrent in-flight point GETs into one KvStore::MultiGet per
+  /// event-loop iteration (the ablation knob bench_connections sweeps).
+  bool coalesce = true;
+  /// Listen backlog passed to listen(2).
+  int backlog = 1024;
+  /// Per-frame parser bounds (oversized frames fail the connection).
+  RespLimits limits;
+  /// Disconnect a connection whose unparsed input backlog exceeds this.
+  size_t max_input_buffer = 32 * 1024 * 1024;
+  /// ReadOptions applied to every server-side read.
+  lsm::ReadOptions read_options;
+
+  /// Applies ADCACHE_SERVER_PORT / ADCACHE_SERVER_THREADS /
+  /// ADCACHE_SERVER_COALESCE on top of the built-in defaults.
+  static ServerOptions FromEnv();
+};
+
+/// A single-listener, level-triggered epoll TCP server speaking the RESP
+/// subset GET / SET / DEL / MGET / SCAN / PING / STATS / QUIT over a
+/// KvStore. Worker 0's event loop also owns the listener; accepted
+/// connections are handed round-robin to all workers through wake-eventfd
+/// queues. Per-connection input is parsed incrementally (pipelining falls
+/// out naturally), point GETs are deferred to a per-worker ReadCoalescer
+/// and answered by one MultiGet per loop iteration, and responses are
+/// delivered strictly in per-connection request order via reply-slot
+/// queues.
+///
+/// Consistency contract: writes are shard-atomic only (they inherit
+/// ShardedDB's contract — a cross-shard batch is split per shard), and
+/// ordering is guaranteed per connection, never across connections:
+/// coalescing may execute a GET after a *different* connection's
+/// concurrently-in-flight SET, exactly as any interleaving of concurrent
+/// clients may. A GET never reorders past a write from its OWN connection
+/// (the loop flushes the coalescer first).
+class Server {
+ public:
+  /// Binds, listens and spawns the worker threads. The store must outlive
+  /// the server.
+  static Status Start(core::KvStore* store, const ServerOptions& options,
+                      std::unique_ptr<Server>* server);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves option port 0 to the OS-assigned one).
+  int port() const { return port_; }
+
+  /// Stops accepting, completes the in-flight iteration on every worker
+  /// (coalescer flushed, pending output written best-effort), closes all
+  /// connections and joins the workers. Idempotent.
+  void Stop();
+
+  /// Aggregated coalescer counters across workers (see ReadCoalescer).
+  struct CoalesceStats {
+    uint64_t batches = 0;
+    uint64_t coalesced_gets = 0;
+    uint64_t max_batch = 0;
+    uint64_t immediate_gets = 0;  // GETs answered outside the coalescer
+  };
+  CoalesceStats GetCoalesceStats() const;
+
+ private:
+  struct Worker;
+  struct Conn;
+
+  Server(core::KvStore* store, const ServerOptions& options);
+
+  Status Listen();
+  void WorkerLoop(Worker* worker);
+  void AcceptNew(Worker* worker);
+  void HandleReadable(Worker* worker, Conn* conn);
+  void DispatchCommand(Worker* worker, Conn* conn, const RespCommand& cmd);
+  void ExecuteGetNow(Conn* conn, const Slice& key, PendingReply* slot);
+  void PumpReplies(Conn* conn);
+  void FlushOutput(Worker* worker, Conn* conn);
+  void CloseConn(Worker* worker, Conn* conn);
+
+  core::KvStore* store_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> next_worker_{0};
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> immediate_gets_{0};
+};
+
+}  // namespace adcache::server
+
+#endif  // ADCACHE_SERVER_SERVER_H_

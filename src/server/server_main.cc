@@ -1,0 +1,116 @@
+// adcache_server: the network front door. Opens a store (any strategy from
+// core::CreateStore) and serves the RESP subset over loopback TCP:
+//
+//   adcache_server [--port=N] [--threads=N] [--coalesce=0|1]
+//                  [--strategy=adcache] [--db=/tmp/adcache_server_db]
+//                  [--cache-budget=BYTES[k|m|g]]
+//
+// Defaults come from ADCACHE_SERVER_PORT / ADCACHE_SERVER_THREADS /
+// ADCACHE_SERVER_COALESCE (see README "Environment variables"); flags win.
+// Try it with redis-cli -p 6399 or: printf 'SET k v\r\nGET k\r\n' | nc ...
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/strategy.h"
+#include "server/server.h"
+#include "util/options_env.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adcache;
+
+  server::ServerOptions server_options = server::ServerOptions::FromEnv();
+  std::string strategy = "adcache";
+  std::string dbname = "/tmp/adcache_server_db";
+  uint64_t cache_budget = 64 * 1024 * 1024;
+
+  for (int i = 1; i < argc; i++) {
+    const char* value = nullptr;
+    if (FlagValue(argv[i], "--port", &value)) {
+      server_options.port = std::atoi(value);
+    } else if (FlagValue(argv[i], "--threads", &value)) {
+      server_options.threads = std::atoi(value);
+    } else if (FlagValue(argv[i], "--coalesce", &value)) {
+      server_options.coalesce = std::atoi(value) != 0;
+    } else if (FlagValue(argv[i], "--strategy", &value)) {
+      strategy = value;
+    } else if (FlagValue(argv[i], "--db", &value)) {
+      dbname = value;
+    } else if (FlagValue(argv[i], "--cache-budget", &value)) {
+      auto parsed = util::OptionsFromEnv::ParseBytes(value);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "bad --cache-budget value '%s'\n", value);
+        return 2;
+      }
+      cache_budget = *parsed;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port=N] [--threads=N] [--coalesce=0|1]\n"
+                   "          [--strategy=NAME] [--db=PATH] "
+                   "[--cache-budget=BYTES]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  core::StoreConfig config;
+  config.dbname = dbname;
+  config.cache_budget = cache_budget;
+  Status status;
+  std::unique_ptr<core::KvStore> store =
+      core::CreateStore(strategy, config, &status);
+  if (store == nullptr) {
+    std::fprintf(stderr, "open %s store at %s failed: %s\n", strategy.c_str(),
+                 dbname.c_str(), status.ToString().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<server::Server> srv;
+  status = server::Server::Start(store.get(), server_options, &srv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("adcache_server: strategy=%s db=%s port=%d threads=%d "
+              "coalesce=%d\n",
+              strategy.c_str(), dbname.c_str(), srv->port(),
+              server_options.threads, server_options.coalesce ? 1 : 0);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  srv->Stop();
+  server::Server::CoalesceStats stats = srv->GetCoalesceStats();
+  std::printf("shutdown: %llu coalesced gets in %llu batches "
+              "(max batch %llu), %llu immediate gets\n",
+              static_cast<unsigned long long>(stats.coalesced_gets),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.max_batch),
+              static_cast<unsigned long long>(stats.immediate_gets));
+  return 0;
+}

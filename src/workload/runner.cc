@@ -60,14 +60,10 @@ PhaseResult Runner::RunPhase(const Phase& phase,
     const size_t batch_cap =
         options.multiget_batch > 1 ? options.multiget_batch : 1;
     std::vector<std::string> batch_keys;
-    std::vector<Slice> batch_slices;
-    std::vector<PinnableSlice> batch_values;
-    std::vector<Status> batch_statuses;
+    core::MultiGetBatch batch;
     if (batch_cap > 1) {
       batch_keys.reserve(batch_cap);
-      batch_slices.resize(batch_cap);
-      batch_values.resize(batch_cap);
-      batch_statuses.resize(batch_cap);
+      batch.Reserve(batch_cap);
     }
     ThreadLatencies* lat = options.record_latencies
                                ? &latencies[static_cast<size_t>(thread_id)]
@@ -84,17 +80,15 @@ PhaseResult Runner::RunPhase(const Phase& phase,
 
     auto flush_batch = [&]() {
       if (batch_keys.empty()) return;
-      for (size_t k = 0; k < batch_keys.size(); k++) {
-        batch_slices[k] = Slice(batch_keys[k]);
-      }
-      timed(lat != nullptr ? &lat->point : nullptr, [&] {
-        store_->MultiGet(batch_keys.size(), batch_slices.data(),
-                         batch_values.data(), batch_statuses.data());
-      });
-      point_ops.fetch_add(batch_keys.size(), std::memory_order_relaxed);
-      // Release block/memtable pins promptly; holding them across
+      // Keys are added once the buffered strings have settled (push_back
+      // above may move them); the batch borrows their bytes for one call.
+      for (const std::string& k : batch_keys) batch.Add(Slice(k));
+      timed(lat != nullptr ? &lat->point : nullptr,
+            [&] { store_->MultiGet(&batch); });
+      point_ops.fetch_add(batch.size(), std::memory_order_relaxed);
+      // Clear releases block/memtable pins promptly; holding them across
       // operations would keep cache entries unevictable.
-      for (size_t k = 0; k < batch_keys.size(); k++) batch_values[k].Reset();
+      batch.Clear();
       batch_keys.clear();
     };
 

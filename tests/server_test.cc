@@ -1,0 +1,575 @@
+// Network front-door coverage: RESP frame parsing (torn, pipelined and
+// oversized frames), loopback round trips for every verb against a real
+// store, read-coalescer batch assembly (replies must land on the right
+// connections in request order), the coalesce on/off ablation paths, and
+// clean shutdown with requests in flight. Run with -DADCACHE_SANITIZE=thread
+// or =address for the race/lifetime checks on the event loop.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+#include "server/coalescer.h"
+#include "server/resp.h"
+#include "server/server.h"
+#include "util/clock.h"
+#include "util/env.h"
+
+namespace adcache {
+namespace {
+
+using server::PendingReply;
+using server::ReadCoalescer;
+using server::RespCommand;
+using server::RespLimits;
+using server::RespParse;
+using server::RespParser;
+
+// ---------------------------------------------------------------------------
+// Frame parser
+// ---------------------------------------------------------------------------
+
+TEST(RespParserTest, ParsesInlineCommand) {
+  RespParser parser;
+  RespCommand cmd;
+  size_t consumed = 0;
+  const char* frame = "SET  key1\tvalue1\r\n";
+  ASSERT_EQ(RespParse::kCommand,
+            parser.Parse(frame, strlen(frame), &consumed, &cmd));
+  EXPECT_EQ(strlen(frame), consumed);
+  ASSERT_EQ(3u, cmd.args.size());
+  EXPECT_EQ("SET", cmd.args[0].ToString());
+  EXPECT_EQ("key1", cmd.args[1].ToString());
+  EXPECT_EQ("value1", cmd.args[2].ToString());
+}
+
+TEST(RespParserTest, ParsesArrayCommand) {
+  RespParser parser;
+  RespCommand cmd;
+  size_t consumed = 0;
+  std::string frame = "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n";
+  ASSERT_EQ(RespParse::kCommand,
+            parser.Parse(frame.data(), frame.size(), &consumed, &cmd));
+  EXPECT_EQ(frame.size(), consumed);
+  ASSERT_EQ(3u, cmd.args.size());
+  EXPECT_EQ("SET", cmd.args[0].ToString());
+  EXPECT_EQ("hello", cmd.args[2].ToString());
+}
+
+TEST(RespParserTest, TornFrameNeedsMoreAtEveryPrefix) {
+  RespParser parser;
+  std::string frame = "*2\r\n$3\r\nGET\r\n$4\r\nkey9\r\n";
+  for (size_t cut = 0; cut < frame.size(); cut++) {
+    RespCommand cmd;
+    size_t consumed = 123;
+    ASSERT_EQ(RespParse::kNeedMore,
+              parser.Parse(frame.data(), cut, &consumed, &cmd))
+        << "prefix length " << cut;
+    EXPECT_EQ(0u, consumed);
+  }
+  RespCommand cmd;
+  size_t consumed = 0;
+  ASSERT_EQ(RespParse::kCommand,
+            parser.Parse(frame.data(), frame.size(), &consumed, &cmd));
+  EXPECT_EQ(frame.size(), consumed);
+  EXPECT_EQ("key9", cmd.args[1].ToString());
+}
+
+TEST(RespParserTest, PipelinedFramesConsumeOneAtATime) {
+  RespParser parser;
+  std::string buffer =
+      "*2\r\n$3\r\nGET\r\n$1\r\na\r\n"
+      "SET b 2\r\n"
+      "*1\r\n$4\r\nPING\r\n";
+  std::vector<std::string> names;
+  size_t pos = 0;
+  while (pos < buffer.size()) {
+    RespCommand cmd;
+    size_t consumed = 0;
+    ASSERT_EQ(RespParse::kCommand,
+              parser.Parse(buffer.data() + pos, buffer.size() - pos,
+                           &consumed, &cmd));
+    ASSERT_GT(consumed, 0u);
+    names.push_back(cmd.args[0].ToString());
+    pos += consumed;
+  }
+  EXPECT_EQ(buffer.size(), pos);
+  ASSERT_EQ(3u, names.size());
+  EXPECT_EQ("GET", names[0]);
+  EXPECT_EQ("SET", names[1]);
+  EXPECT_EQ("PING", names[2]);
+}
+
+TEST(RespParserTest, RejectsOversizedArray) {
+  RespLimits limits;
+  limits.max_array_elements = 16;
+  RespParser parser(limits);
+  RespCommand cmd;
+  size_t consumed = 0;
+  std::string frame = "*17\r\n";
+  EXPECT_EQ(RespParse::kError,
+            parser.Parse(frame.data(), frame.size(), &consumed, &cmd));
+  EXPECT_NE(std::string::npos, parser.error().find("multibulk"));
+}
+
+TEST(RespParserTest, RejectsOversizedBulk) {
+  RespLimits limits;
+  limits.max_bulk_bytes = 1024;
+  RespParser parser(limits);
+  RespCommand cmd;
+  size_t consumed = 0;
+  std::string frame = "*1\r\n$2048\r\n";
+  EXPECT_EQ(RespParse::kError,
+            parser.Parse(frame.data(), frame.size(), &consumed, &cmd));
+  EXPECT_NE(std::string::npos, parser.error().find("bulk"));
+}
+
+TEST(RespParserTest, RejectsOversizedInlineLine) {
+  RespLimits limits;
+  limits.max_inline_bytes = 64;
+  RespParser parser(limits);
+  RespCommand cmd;
+  size_t consumed = 0;
+  // No newline yet, but already past the line limit: fail instead of
+  // buffering forever.
+  std::string frame(65, 'a');
+  EXPECT_EQ(RespParse::kError,
+            parser.Parse(frame.data(), frame.size(), &consumed, &cmd));
+  // Same line but terminated: still over the limit.
+  frame += "\r\n";
+  EXPECT_EQ(RespParse::kError,
+            parser.Parse(frame.data(), frame.size(), &consumed, &cmd));
+}
+
+TEST(RespParserTest, RejectsMalformedFrames) {
+  RespParser parser;
+  RespCommand cmd;
+  size_t consumed = 0;
+  std::string bad_count = "*abc\r\n";
+  EXPECT_EQ(RespParse::kError,
+            parser.Parse(bad_count.data(), bad_count.size(), &consumed, &cmd));
+  std::string bad_type = "*1\r\n+OK\r\n";
+  EXPECT_EQ(RespParse::kError,
+            parser.Parse(bad_type.data(), bad_type.size(), &consumed, &cmd));
+  std::string bad_term = "*1\r\n$2\r\nabXX";
+  EXPECT_EQ(RespParse::kError,
+            parser.Parse(bad_term.data(), bad_term.size(), &consumed, &cmd));
+  std::string neg_bulk = "*1\r\n$-1\r\n";
+  EXPECT_EQ(RespParse::kError,
+            parser.Parse(neg_bulk.data(), neg_bulk.size(), &consumed, &cmd));
+}
+
+TEST(RespParserTest, EmptyInlineLineIsZeroArgCommand) {
+  RespParser parser;
+  RespCommand cmd;
+  size_t consumed = 0;
+  std::string frame = "\r\n";
+  ASSERT_EQ(RespParse::kCommand,
+            parser.Parse(frame.data(), frame.size(), &consumed, &cmd));
+  EXPECT_EQ(2u, consumed);
+  EXPECT_TRUE(cmd.args.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Shared store fixture
+// ---------------------------------------------------------------------------
+
+class ServerTestBase : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    core::StoreConfig config;
+    config.lsm.env = env_.get();
+    config.lsm.enable_wal = false;
+    config.dbname = "/server_test";
+    config.cache_budget = 8 * 1024 * 1024;
+    // Tiny RL agent: the controller is incidental to network coverage.
+    config.adcache.controller.agent.hidden_dim = 32;
+    Status s;
+    store_ = core::CreateStore("adcache", config, &s);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  void StartServer(int threads, bool coalesce) {
+    server::ServerOptions options;
+    options.port = 0;
+    options.threads = threads;
+    options.coalesce = coalesce;
+    Status s = server::Server::Start(store_.get(), options, &server_);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<core::KvStore> store_;
+  std::unique_ptr<server::Server> server_;
+};
+
+// ---------------------------------------------------------------------------
+// Coalescer batch assembly (no sockets)
+// ---------------------------------------------------------------------------
+
+class CoalescerTest : public ServerTestBase {};
+
+TEST_F(CoalescerTest, FillsSlotsInOrderAcrossConnections) {
+  ASSERT_TRUE(store_->Put(Slice("ck1"), Slice("cv1")).ok());
+  ASSERT_TRUE(store_->Put(Slice("ck2"), Slice("cv2")).ok());
+
+  // Two simulated connections with interleaved enqueue order.
+  std::deque<PendingReply> conn_a;
+  std::deque<PendingReply> conn_b;
+  conn_a.emplace_back();
+  conn_b.emplace_back();
+  conn_a.emplace_back();
+
+  ReadCoalescer coalescer;
+  EXPECT_EQ(0u, coalescer.epoch());
+  coalescer.Enqueue(Slice("ck1"), &conn_a[0]);
+  coalescer.Enqueue(Slice("missing"), &conn_b[0]);
+  coalescer.Enqueue(Slice("ck2"), &conn_a[1]);
+  EXPECT_EQ(3u, coalescer.pending());
+
+  coalescer.Flush(store_.get(), lsm::ReadOptions());
+  EXPECT_TRUE(coalescer.empty());
+  EXPECT_EQ(1u, coalescer.epoch());
+
+  ASSERT_TRUE(conn_a[0].ready);
+  EXPECT_EQ("$3\r\ncv1\r\n", conn_a[0].data);
+  ASSERT_TRUE(conn_a[1].ready);
+  EXPECT_EQ("$3\r\ncv2\r\n", conn_a[1].data);
+  ASSERT_TRUE(conn_b[0].ready);
+  EXPECT_EQ("$-1\r\n", conn_b[0].data);
+
+  EXPECT_EQ(1u, coalescer.stats().batches);
+  EXPECT_EQ(3u, coalescer.stats().coalesced_gets);
+  EXPECT_EQ(3u, coalescer.stats().max_batch);
+
+  // An empty flush is a no-op and does not advance the epoch.
+  coalescer.Flush(store_.get(), lsm::ReadOptions());
+  EXPECT_EQ(1u, coalescer.epoch());
+  EXPECT_EQ(1u, coalescer.stats().batches);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback client helper
+// ---------------------------------------------------------------------------
+
+/// Blocking test client with a tiny RESP reply scanner (arrays included).
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ =
+        connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+    timeval tv{10, 0};
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~TestClient() {
+    if (fd_ >= 0) close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& bytes) {
+    ASSERT_EQ(static_cast<ssize_t>(bytes.size()),
+              send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL));
+  }
+
+  /// Reads exactly one complete reply (raw RESP bytes) or "" on EOF/timeout.
+  std::string ReadReply() {
+    while (true) {
+      size_t consumed = 0;
+      if (ScanReply(buffer_.data(), buffer_.size(), &consumed)) {
+        std::string reply = buffer_.substr(0, consumed);
+        buffer_.erase(0, consumed);
+        return reply;
+      }
+      char chunk[4096];
+      ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// True when the peer has closed the connection (after draining input).
+  bool ReadEof() {
+    char chunk[4096];
+    while (true) {
+      ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+  }
+
+ private:
+  /// Returns true when buffer[0, len) starts with one full reply.
+  static bool ScanReply(const char* data, size_t len, size_t* consumed) {
+    if (len == 0) return false;
+    const char* nl = static_cast<const char*>(memchr(data, '\n', len));
+    if (nl == nullptr) return false;
+    size_t line = static_cast<size_t>(nl - data) + 1;
+    switch (data[0]) {
+      case '+':
+      case '-':
+      case ':': {
+        *consumed = line;
+        return true;
+      }
+      case '$': {
+        long n = atol(data + 1);
+        if (n < 0) {
+          *consumed = line;
+          return true;
+        }
+        size_t total = line + static_cast<size_t>(n) + 2;
+        if (len < total) return false;
+        *consumed = total;
+        return true;
+      }
+      case '*': {
+        long n = atol(data + 1);
+        size_t pos = line;
+        for (long i = 0; i < n; i++) {
+          size_t sub = 0;
+          if (!ScanReply(data + pos, len - pos, &sub)) return false;
+          pos += sub;
+        }
+        *consumed = pos;
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+std::string Bulk(const std::string& s) {
+  return "$" + std::to_string(s.size()) + "\r\n" + s + "\r\n";
+}
+
+// ---------------------------------------------------------------------------
+// Loopback round trips
+// ---------------------------------------------------------------------------
+
+class ServerLoopbackTest : public ServerTestBase {};
+
+TEST_F(ServerLoopbackTest, RoundTripsEveryVerb) {
+  StartServer(/*threads=*/2, /*coalesce=*/true);
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+
+  client.Send("SET alpha one\r\n");
+  EXPECT_EQ("+OK\r\n", client.ReadReply());
+  client.Send("GET alpha\r\n");
+  EXPECT_EQ(Bulk("one"), client.ReadReply());
+  client.Send("GET nosuchkey\r\n");
+  EXPECT_EQ("$-1\r\n", client.ReadReply());
+  client.Send("DEL alpha\r\n");
+  EXPECT_EQ(":1\r\n", client.ReadReply());
+  client.Send("GET alpha\r\n");
+  EXPECT_EQ("$-1\r\n", client.ReadReply());
+  client.Send("PING\r\n");
+  EXPECT_EQ("+PONG\r\n", client.ReadReply());
+  client.Send("PING hello\r\n");
+  EXPECT_EQ(Bulk("hello"), client.ReadReply());
+  client.Send("NOSUCHCMD a b\r\n");
+  std::string reply = client.ReadReply();
+  EXPECT_EQ('-', reply[0]) << reply;
+
+  // STATS dumps the Statistics registry as JSON.
+  client.Send("STATS\r\n");
+  reply = client.ReadReply();
+  ASSERT_EQ('$', reply[0]) << reply;
+  EXPECT_NE(std::string::npos, reply.find('{'));
+
+  client.Send("QUIT\r\n");
+  EXPECT_EQ("+OK\r\n", client.ReadReply());
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(ServerLoopbackTest, MgetAndScanOverArrays) {
+  ASSERT_TRUE(store_->Put(Slice("mk1"), Slice("mv1")).ok());
+  ASSERT_TRUE(store_->Put(Slice("mk2"), Slice("mv2")).ok());
+  ASSERT_TRUE(store_->Put(Slice("mk3"), Slice("mv3")).ok());
+  StartServer(/*threads=*/2, /*coalesce=*/true);
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+
+  client.Send("*4\r\n" + Bulk("MGET") + Bulk("mk1") + Bulk("absent") +
+              Bulk("mk3"));
+  EXPECT_EQ("*3\r\n" + Bulk("mv1") + "$-1\r\n" + Bulk("mv3"),
+            client.ReadReply());
+
+  client.Send("SCAN mk1 2\r\n");
+  EXPECT_EQ("*4\r\n" + Bulk("mk1") + Bulk("mv1") + Bulk("mk2") + Bulk("mv2"),
+            client.ReadReply());
+}
+
+TEST_F(ServerLoopbackTest, PipelinedRepliesKeepProgramOrder) {
+  StartServer(/*threads=*/1, /*coalesce=*/true);
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+
+  // A read between two writes of the same key must observe the first write:
+  // the loop flushes the coalescer before applying a same-connection SET.
+  client.Send(
+      "SET seq 1\r\n"
+      "GET seq\r\n"
+      "SET seq 2\r\n"
+      "GET seq\r\n"
+      "GET seq\r\n");
+  EXPECT_EQ("+OK\r\n", client.ReadReply());
+  EXPECT_EQ(Bulk("1"), client.ReadReply());
+  EXPECT_EQ("+OK\r\n", client.ReadReply());
+  EXPECT_EQ(Bulk("2"), client.ReadReply());
+  EXPECT_EQ(Bulk("2"), client.ReadReply());
+}
+
+TEST_F(ServerLoopbackTest, ProtocolErrorRepliesThenCloses) {
+  StartServer(/*threads=*/1, /*coalesce=*/true);
+  {
+    TestClient client(server_->port());
+    ASSERT_TRUE(client.connected());
+    client.Send("*abc\r\n");
+    std::string reply = client.ReadReply();
+    ASSERT_FALSE(reply.empty());
+    EXPECT_EQ('-', reply[0]) << reply;
+    EXPECT_TRUE(client.ReadEof());
+  }
+  {
+    // Oversized frame: rejected before the payload is buffered.
+    TestClient client(server_->port());
+    ASSERT_TRUE(client.connected());
+    client.Send("*100000\r\n");
+    std::string reply = client.ReadReply();
+    ASSERT_FALSE(reply.empty());
+    EXPECT_EQ('-', reply[0]) << reply;
+    EXPECT_TRUE(client.ReadEof());
+  }
+  // The server survives both and keeps serving.
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("PING\r\n");
+  EXPECT_EQ("+PONG\r\n", client.ReadReply());
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing across connections
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerLoopbackTest, CoalescedRepliesLandOnTheRightConnections) {
+  const int kClients = 8;
+  const int kGetsPerClient = 16;
+  for (int c = 0; c < kClients; c++) {
+    for (int g = 0; g < kGetsPerClient; g++) {
+      std::string key = "ck" + std::to_string(c) + "_" + std::to_string(g);
+      std::string value = "cv" + std::to_string(c) + "_" + std::to_string(g);
+      ASSERT_TRUE(store_->Put(Slice(key), Slice(value)).ok());
+    }
+  }
+  // One worker so every connection shares one coalescer.
+  StartServer(/*threads=*/1, /*coalesce=*/true);
+
+  std::vector<std::unique_ptr<TestClient>> clients;
+  for (int c = 0; c < kClients; c++) {
+    clients.push_back(std::make_unique<TestClient>(server_->port()));
+    ASSERT_TRUE(clients.back()->connected());
+  }
+  // Burst all pipelines first so iterations see many connections at once.
+  for (int c = 0; c < kClients; c++) {
+    std::string burst;
+    for (int g = 0; g < kGetsPerClient; g++) {
+      burst += "GET ck" + std::to_string(c) + "_" + std::to_string(g) + "\r\n";
+    }
+    clients[static_cast<size_t>(c)]->Send(burst);
+  }
+  // Every reply must match its own connection's keys, in request order.
+  for (int c = 0; c < kClients; c++) {
+    for (int g = 0; g < kGetsPerClient; g++) {
+      std::string want = "cv" + std::to_string(c) + "_" + std::to_string(g);
+      EXPECT_EQ(Bulk(want), clients[static_cast<size_t>(c)]->ReadReply())
+          << "client " << c << " get " << g;
+    }
+  }
+
+  server::Server::CoalesceStats stats = server_->GetCoalesceStats();
+  EXPECT_EQ(static_cast<uint64_t>(kClients * kGetsPerClient),
+            stats.coalesced_gets);
+  EXPECT_EQ(0u, stats.immediate_gets);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GE(stats.max_batch, 1u);
+}
+
+TEST_F(ServerLoopbackTest, CoalesceOffAnswersImmediately) {
+  ASSERT_TRUE(store_->Put(Slice("ik"), Slice("iv")).ok());
+  StartServer(/*threads=*/1, /*coalesce=*/false);
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("GET ik\r\nGET absent\r\n");
+  EXPECT_EQ(Bulk("iv"), client.ReadReply());
+  EXPECT_EQ("$-1\r\n", client.ReadReply());
+
+  server::Server::CoalesceStats stats = server_->GetCoalesceStats();
+  EXPECT_EQ(0u, stats.coalesced_gets);
+  EXPECT_EQ(0u, stats.batches);
+  EXPECT_EQ(2u, stats.immediate_gets);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerLoopbackTest, StopsCleanlyWithRequestsInFlight) {
+  for (int i = 0; i < 64; i++) {
+    std::string key = "sk" + std::to_string(i);
+    ASSERT_TRUE(store_->Put(Slice(key), Slice("sv")).ok());
+  }
+  StartServer(/*threads=*/2, /*coalesce=*/true);
+  std::vector<std::unique_ptr<TestClient>> clients;
+  for (int c = 0; c < 6; c++) {
+    clients.push_back(std::make_unique<TestClient>(server_->port()));
+    ASSERT_TRUE(clients.back()->connected());
+    std::string burst;
+    for (int i = 0; i < 64; i++) {
+      burst += "GET sk" + std::to_string(i) + "\r\n";
+    }
+    clients.back()->Send(burst);
+  }
+  // Stop without reading anything: the workers must complete the in-flight
+  // iteration (coalescer flushed, no dangling slots) and join.
+  server_->Stop();
+  server_->Stop();  // idempotent
+  server_.reset();
+}
+
+TEST_F(ServerLoopbackTest, StartFailsOnBusyPort) {
+  StartServer(/*threads=*/1, /*coalesce=*/true);
+  server::ServerOptions options;
+  options.port = server_->port();
+  options.threads = 1;
+  std::unique_ptr<server::Server> second;
+  Status s = server::Server::Start(store_.get(), options, &second);
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace adcache
