@@ -46,6 +46,13 @@ struct BenchConfig {
   /// AdCacheOptions::secondary_cache_budget, so it applies to the adcache
   /// strategy only (baselines ignore it).
   size_t secondary_cache_bytes = 0;
+  /// Unified memory wall total (AdCacheOptions::memory.total_memory_budget;
+  /// adcache strategy only). 0 keeps the legacy cache-only budget above;
+  /// > 0 puts write buffers and bloom bits under one RL-carved wall.
+  size_t total_memory_budget = 0;
+  /// With a wall set: false freezes memtable/bloom at the initial carve
+  /// (static split baseline), true lets the controller move them.
+  bool memwall_adaptive = true;
   /// Statistics registry level for the store (core/statistics.h); kAll also
   /// records op-latency histograms.
   core::StatsLevel stats_level = core::StatsLevel::kExceptTimers;
@@ -79,6 +86,11 @@ class BenchInstance {
     store_config.seed = config.seed;
     store_config.adcache.controller.window_size = 1000;
     store_config.adcache.secondary_cache_budget = config.secondary_cache_bytes;
+    store_config.adcache.memory.total_memory_budget =
+        config.total_memory_budget;
+    store_config.adcache.memory.adaptive_write_buffer =
+        config.memwall_adaptive;
+    store_config.adcache.memory.adaptive_bloom = config.memwall_adaptive;
     store_config.adcache.stats_level = config.stats_level;
     store_config.adcache.listeners = config.listeners;
     Status s;

@@ -1,0 +1,188 @@
+// Unified memory wall experiment (DESIGN.md §12): the same DRAM total run
+// twice over a write-heavy <-> read-heavy phase-shift workload — once with
+// the memtable/bloom shares frozen at the initial carve (the static split
+// every engine ships), once with the RL controller re-carving the whole
+// wall every window (actions 6 and 7). Adaptive must win the shifts: grow
+// write buffers when stalls bite, shrink them back into cache when reads
+// dominate. A Table-3 pass (legacy cache-only budget vs the wall) guards
+// against regressions on the paper's original phases. Every cell is the
+// mean over kSeeds runs: RL trajectories are chaotic, so single-seed
+// deltas swing tens of percent run-to-run.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/statistics.h"
+
+namespace adcache::bench {
+namespace {
+
+constexpr uint64_t kSeeds[] = {42, 97, 1234};
+
+std::vector<workload::Phase> PhaseShift(uint64_t ops_per_phase) {
+  using workload::OpMix;
+  using workload::Phase;
+  // A diurnal pattern — short write bursts, long read periods — run for two
+  // full cycles so the second cycle shows the controller re-learning the
+  // carve, not riding first-cycle luck. Re-carving costs a transition
+  // (shrinking the memtable rotates its write-hot entries to L0), so the
+  // read phases must be long enough for the bigger cache to pay it back;
+  // symmetric 1:1 phases mostly measure transition churn.
+  return {
+      Phase{"W1", OpMix{10, 5, 0, 85}, ops_per_phase / 3, 0.9},
+      Phase{"R1", OpMix{90, 9, 0, 1}, ops_per_phase, 0.9},
+      Phase{"W2", OpMix{10, 5, 0, 85}, ops_per_phase / 3, 0.9},
+      Phase{"R2", OpMix{90, 9, 0, 1}, ops_per_phase, 0.9},
+  };
+}
+
+void PrintWall(BenchInstance* instance) {
+  core::Statistics* stats = instance->store()->statistics();
+  auto mb = [](double v) { return v / (1024.0 * 1024.0); };
+  std::printf("      wall: block %.2fM range %.2fM memtable %.2fM "
+              "bloom %.2fM (bits/key %.0f)\n",
+              mb(stats->GetGauge(core::kGaugeBlockCacheCapacityBytes)),
+              mb(stats->GetGauge(core::kGaugeRangeCacheCapacityBytes)),
+              mb(stats->GetGauge(core::kGaugeMemtableCapacityBytes)),
+              mb(stats->GetGauge(core::kGaugeBloomCapacityBytes)),
+              stats->GetGauge(core::kGaugeBloomBitsPerKey));
+}
+
+// Seed-averaged aggregate of one (phase, configuration) cell.
+struct Cell {
+  uint64_t ops = 0;
+  uint64_t sim_micros = 0;
+  double hit_sum = 0;
+  int runs = 0;
+
+  void Add(const workload::PhaseResult& r) {
+    ops += r.ops;
+    sim_micros += r.elapsed_sim_micros;
+    hit_sum += r.hit_rate;
+    runs++;
+  }
+  double qps() const {
+    return sim_micros == 0 ? 0
+                           : static_cast<double>(ops) * 1e6 /
+                                 static_cast<double>(sim_micros);
+  }
+  double hit() const { return runs == 0 ? 0 : hit_sum / runs; }
+};
+
+void Run() {
+  BenchConfig config;
+  config.num_keys = 8000;
+  config.value_size = 1000;
+  config.cache_fraction = 0.25;
+  const uint64_t ops_per_phase = 20000;
+  // One DRAM wall for both contestants: the legacy cache budget plus the
+  // bytes the engine would otherwise spend on its (static) 2 MiB write
+  // buffer. The carve decides how much of it each consumer gets.
+  const size_t wall = config.CacheBytes() + 2 * 1024 * 1024;
+
+  PrintBanner("Unified memory wall: adaptive vs static carve",
+              "DESIGN.md §12 (extends paper §3.3/§4.2)",
+              "adaptive re-carves memtable/bloom/cache per phase and beats "
+              "the frozen split on both sides of the shift");
+
+  std::printf("\n--- phase shift: write-heavy <-> read-heavy, wall = %.1f "
+              "MiB, %zu-seed mean ---\n",
+              static_cast<double>(wall) / (1024.0 * 1024.0),
+              std::size(kSeeds));
+  std::map<std::string, std::map<std::string, Cell>> cells;
+  workload::PrintResultHeader();
+  for (bool adaptive : {false, true}) {
+    const char* label = adaptive ? "adaptive" : "static";
+    for (uint64_t seed : kSeeds) {
+      BenchConfig c = config;
+      c.seed = seed;
+      c.total_memory_budget = wall;
+      c.memwall_adaptive = adaptive;
+      BenchInstance instance("adcache", c);
+      Status s = instance.Load();
+      if (!s.ok()) {
+        std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+        std::abort();
+      }
+      for (const auto& phase : PhaseShift(ops_per_phase)) {
+        workload::PhaseResult r = instance.Run(phase);
+        r.strategy = label;
+        cells[phase.name][label].Add(r);
+        if (seed == kSeeds[0]) {
+          workload::PrintResult(r);
+          PrintWall(&instance);
+          std::fflush(stdout);
+        }
+      }
+    }
+  }
+
+  std::printf("\n--- adaptive vs static per phase (%zu-seed mean) ---\n",
+              std::size(kSeeds));
+  std::printf("%-6s %12s %12s %9s %9s\n", "phase", "static_qps",
+              "adaptive_qps", "delta", "hit_delta");
+  Cell static_all, adaptive_all;
+  for (const auto& phase : PhaseShift(ops_per_phase)) {
+    const Cell& st = cells[phase.name]["static"];
+    const Cell& ad = cells[phase.name]["adaptive"];
+    static_all.ops += st.ops;
+    static_all.sim_micros += st.sim_micros;
+    adaptive_all.ops += ad.ops;
+    adaptive_all.sim_micros += ad.sim_micros;
+    std::printf("%-6s %12.0f %12.0f %+8.1f%% %+8.3f\n", phase.name.c_str(),
+                st.qps(), ad.qps(),
+                st.qps() == 0 ? 0 : (ad.qps() / st.qps() - 1) * 100,
+                ad.hit() - st.hit());
+  }
+  std::printf("%-6s %12.0f %12.0f %+8.1f%%\n", "ALL", static_all.qps(),
+              adaptive_all.qps(),
+              static_all.qps() == 0
+                  ? 0
+                  : (adaptive_all.qps() / static_all.qps() - 1) * 100);
+
+  // Guard: the wall must not cost anything on the paper's Table-3 phases.
+  // Legacy mode (cache-only budget, static 2 MiB memtable) against the
+  // unified wall holding the same total DRAM.
+  std::printf("\n--- Table-3 guard: legacy budget vs unified wall (same "
+              "DRAM, %zu-seed mean) ---\n",
+              std::size(kSeeds));
+  std::map<std::string, std::map<std::string, Cell>> guard;
+  for (bool unified : {false, true}) {
+    for (uint64_t seed : kSeeds) {
+      BenchConfig c = config;
+      c.seed = seed;
+      if (unified) c.total_memory_budget = wall;
+      BenchInstance instance("adcache", c);
+      Status s = instance.Load();
+      if (!s.ok()) {
+        std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+        std::abort();
+      }
+      for (const auto& phase : workload::Table3Phases(ops_per_phase)) {
+        guard[phase.name][unified ? "wall" : "legacy"].Add(
+            instance.Run(phase));
+      }
+    }
+  }
+  std::printf("%-6s %12s %12s %9s\n", "phase", "legacy_qps", "wall_qps",
+              "delta");
+  for (const auto& phase : workload::Table3Phases(ops_per_phase)) {
+    const Cell& legacy = guard[phase.name]["legacy"];
+    const Cell& wallr = guard[phase.name]["wall"];
+    std::printf("%-6s %12.0f %12.0f %+8.1f%%\n", phase.name.c_str(),
+                legacy.qps(), wallr.qps(),
+                legacy.qps() == 0 ? 0
+                                  : (wallr.qps() / legacy.qps() - 1) * 100);
+  }
+}
+
+}  // namespace
+}  // namespace adcache::bench
+
+int main() {
+  adcache::bench::Run();
+  return 0;
+}

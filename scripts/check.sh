@@ -6,7 +6,7 @@
 # the cache + MultiGet lifetime-heavy tests, and an observability smoke test
 # (bench_micro --stats-smoke JSON dump).
 #
-# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N|--secondary]
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N|--secondary|--memwall]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,23 +15,25 @@ run_tier1=1
 run_clock=1
 run_shards=1
 run_secondary=1
+run_memwall=1
 run_tsan=1
 run_asan=1
 run_stats=1
 run_server=1
 nshards=4
 case "${1:-}" in
-  --tsan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_asan=0; run_stats=0; run_server=0 ;;
-  --asan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_stats=0; run_server=0 ;;
-  --tier1-only) run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
-  --stats-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_server=0 ;;
-  --cache-impl=clock) run_tier1=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
-  --shards=*) run_tier1=0; run_clock=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0
+  --tsan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --asan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_tsan=0; run_stats=0; run_server=0 ;;
+  --tier1-only) run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --stats-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_tsan=0; run_asan=0; run_server=0 ;;
+  --cache-impl=clock) run_tier1=0; run_shards=0; run_secondary=0; run_memwall=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --shards=*) run_tier1=0; run_clock=0; run_secondary=0; run_memwall=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0
               nshards="${1#--shards=}" ;;
-  --secondary) run_tier1=0; run_clock=0; run_shards=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
-  --server) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0 ;;
+  --secondary) run_tier1=0; run_clock=0; run_shards=0; run_memwall=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --memwall) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --server) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_tsan=0; run_asan=0; run_stats=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N|--secondary|--server]" >&2
+  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N|--secondary|--memwall|--server]" >&2
      exit 2 ;;
 esac
 
@@ -92,6 +94,31 @@ if [[ $run_secondary -eq 1 ]]; then
   done
 fi
 
+if [[ $run_memwall -eq 1 ]]; then
+  echo "== memwall pass: unified memory wall active at a low total =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target \
+        memory_budget_test adcache_store_test multiget_test \
+        sharded_store_test store_consistency_test
+  ./build/tests/memory_budget_test
+  # ADCACHE_MEMORY_BUDGET switches every store open to the unified wall:
+  # the controller re-carves block/range/memtable/bloom inside one low
+  # total while the suites run. Tests pinning exact legacy capacities or
+  # forcing DRAM pressure through a tiny cache_budget are scoped out (the
+  # wall replaces those budgets by design); everything else must behave
+  # identically on both block-cache backends.
+  for impl in lru clock; do
+    ADCACHE_MEMORY_BUDGET=1m ADCACHE_BLOCK_CACHE_IMPL=$impl \
+        ./build/tests/adcache_store_test --gtest_filter=-AdCacheStoreTest.StatsSnapshotExposesControlState:AdCacheSecondaryTest.*
+    ADCACHE_MEMORY_BUDGET=1m ADCACHE_BLOCK_CACHE_IMPL=$impl \
+        ./build/tests/multiget_test
+    ADCACHE_MEMORY_BUDGET=1m ADCACHE_BLOCK_CACHE_IMPL=$impl \
+        ./build/tests/sharded_store_test
+    ADCACHE_MEMORY_BUDGET=2m ADCACHE_BLOCK_CACHE_IMPL=$impl \
+        ./build/tests/store_consistency_test
+  done
+fi
+
 if [[ $run_tsan -eq 1 ]]; then
   echo "== tsan: concurrency suite =="
   cmake -B build-tsan -S . -DADCACHE_SANITIZE=thread \
@@ -99,7 +126,8 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake --build build-tsan -j --target \
         superversion_test background_maintenance_test multiget_test \
         statistics_test clock_cache_test sharded_store_test \
-        secondary_cache_test server_test
+        secondary_cache_test server_test memory_budget_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/memory_budget_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/secondary_cache_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/superversion_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/background_maintenance_test
@@ -122,10 +150,11 @@ if [[ $run_asan -eq 1 ]]; then
   cmake --build build-asan -j --target \
         lru_cache_test range_cache_test kv_cache_test \
         multiget_test superversion_test clock_cache_test sharded_store_test \
-        secondary_cache_test server_test
+        secondary_cache_test server_test memory_budget_test
   for t in lru_cache_test range_cache_test kv_cache_test \
            multiget_test superversion_test clock_cache_test \
-           sharded_store_test secondary_cache_test server_test; do
+           sharded_store_test secondary_cache_test server_test \
+           memory_budget_test; do
     ASAN_OPTIONS="halt_on_error=1" "./build-asan/tests/$t"
   done
   ADCACHE_BLOCK_CACHE_IMPL=clock ASAN_OPTIONS="halt_on_error=1" \

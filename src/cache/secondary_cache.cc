@@ -226,6 +226,38 @@ class SlabSecondaryCache : public SecondaryCache {
     return capacity_.load(std::memory_order_relaxed);
   }
 
+  size_t IndexMemoryUsage() const override {
+    std::lock_guard<std::mutex> l(mu_);
+    return index_.size() * kIndexBytesPerEntry;
+  }
+
+  void SetIndexMemoryBudget(size_t bytes) override {
+    std::lock_guard<std::mutex> l(mu_);
+    index_budget_ = bytes;
+    if (bytes == 0) return;  // unbounded
+    // Shrink by dropping whole cold sealed slabs — index entries only exist
+    // per resident record, so the index shrinks with the slab. No hot-entry
+    // salvage here: salvage re-inserts index entries, which could leave the
+    // loop unable to make progress against a tight budget.
+    while (index_.size() * kIndexBytesPerEntry > index_budget_ &&
+           !sealed_.empty()) {
+      auto victim = sealed_.begin();
+      for (auto it = sealed_.begin(); it != sealed_.end(); ++it) {
+        if (it->second.last_access < victim->second.last_access) {
+          victim = it;
+        }
+      }
+      const uint64_t seq = victim->first;
+      SlabInfo info = std::move(victim->second);
+      sealed_.erase(victim);
+      DropSlabEntriesLocked(seq);
+      usage_.fetch_sub(info.bytes, std::memory_order_relaxed);
+      gc_reclaimed_.fetch_add(info.bytes, std::memory_order_relaxed);
+      gc_runs_.fetch_add(1, std::memory_order_relaxed);
+      info.file->remove_on_drop.store(true, std::memory_order_relaxed);
+    }
+  }
+
   size_t GetUsage() const override {
     return usage_.load(std::memory_order_relaxed);
   }
@@ -280,6 +312,12 @@ class SlabSecondaryCache : public SecondaryCache {
     size_t bytes = 0;
     uint32_t last_access = 0;  // max over entry hits since sealing
   };
+
+  /// Modeled DRAM cost of one index_ entry: the unordered_map node (key
+  /// string with its SSO buffer + EntryRef + bucket/next pointers) rounded
+  /// up to a conservative 96 bytes. Keys are 16-byte cache keys, so the
+  /// string never heap-allocates and the estimate is stable.
+  static constexpr size_t kIndexBytesPerEntry = 96;
 
   static CountMinSketch::Options MakeSketchOptions(
       const SlabSecondaryCacheOptions& options) {
@@ -533,6 +571,8 @@ class SlabSecondaryCache : public SecondaryCache {
   uint32_t access_clock_ = 0;                        // guarded by mu_
   CountMinSketch sketch_;                            // guarded by mu_
   Doorkeeper doorkeeper_;                            // guarded by mu_
+
+  size_t index_budget_ = 0;  // guarded by mu_; 0 = unbounded
 
   std::atomic<size_t> capacity_;
   std::atomic<size_t> usage_{0};

@@ -53,6 +53,16 @@ class SecondaryCache {
   virtual void SetAdmissionThreshold(double threshold) = 0;
   virtual double admission_threshold() const = 0;
 
+  /// DRAM bytes this tier spends on its in-memory index (key -> slab
+  /// location map). Under the unified memory wall this is a DRAM consumer
+  /// distinct from the flash bytes GetUsage reports; implementations
+  /// without an index report 0.
+  virtual size_t IndexMemoryUsage() const { return 0; }
+  /// Budget for the in-memory index. Implementations shrink it by dropping
+  /// the coldest entries (along with their flash bytes); 0 means unbounded.
+  /// The default ignores the budget.
+  virtual void SetIndexMemoryBudget(size_t bytes) { (void)bytes; }
+
   /// Installs (or replaces) the sink receiving the flash-read latency of
   /// every sealed-slab lookup, for implementations that measure one (the
   /// default ignores it). Install before traffic — not synchronised against

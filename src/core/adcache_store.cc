@@ -1,6 +1,8 @@
 #include "core/adcache_store.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <mutex>
 
 #include "util/perf_context.h"
 
@@ -33,9 +35,11 @@ AdCacheStore::AdCacheStore(const AdCacheOptions& options,
       point_admission_(options.point_admission),
       scan_admission_(options.scan_admission_max_a),
       next_window_at_(options.controller.window_size) {
+  unified_ = options.memory.total_memory_budget > 0;
   DynamicCacheOptions cache_options;
   cache_options.block_cache_impl = block_cache_impl;
   cache_options.range_shard_boundaries = options.range_shard_boundaries;
+  cache_options.total_memory_budget = options.memory.total_memory_budget;
   cache_ = std::make_unique<DynamicCacheComponent>(
       options.cache_budget, options.initial_range_ratio, NewLruPolicy(),
       std::move(cache_options));
@@ -61,6 +65,22 @@ Status AdCacheStore::Open(const AdCacheOptions& options,
                           const std::string& dbname,
                           std::unique_ptr<AdCacheStore>* store) {
   AdCacheOptions store_options = options;
+  store_options.memory = MemoryBudgetOptions::FromEnv(store_options.memory);
+  // Deprecated alias: a flash budget named only through the old knob
+  // forwards into the unified options (one-time warning).
+  if (store_options.secondary_cache_budget > 0 &&
+      store_options.memory.secondary_cache_budget == 0) {
+    static std::once_flag deprecation_warned;
+    std::call_once(deprecation_warned, [] {
+      std::fprintf(stderr,
+                   "adcache: AdCacheOptions::secondary_cache_budget is "
+                   "deprecated; set "
+                   "AdCacheOptions::memory.secondary_cache_budget\n");
+    });
+    store_options.memory.secondary_cache_budget =
+        store_options.secondary_cache_budget;
+  }
+  const size_t secondary_budget = store_options.memory.secondary_cache_budget;
   // Align the range cache's shards with the DB's key-range shards when the
   // engine is sharded and the caller didn't pick boundaries: per-shard
   // budget leases then physically repartition the range cache per DB shard,
@@ -69,8 +89,62 @@ Status AdCacheStore::Open(const AdCacheOptions& options,
     store_options.range_shard_boundaries =
         lsm::ShardedDB::ResolveBoundaries(lsm_options);
   }
+  // Unified wall: carve the total into an initial split — write buffers
+  // sized from the engine option (clamped to the memtable-fraction bounds),
+  // ~5% for bloom filters, a small slice for the secondary tier's DRAM
+  // index when a flash tier is budgeted — and hand the caches the rest.
+  // The controller re-carves all of it every window from here on.
+  const MemoryBudgetOptions& memory = store_options.memory;
+  const size_t total_wall = memory.total_memory_budget;
+  const size_t num_shards =
+      lsm::ShardedDB::ResolveBoundaries(lsm_options).size() + 1;
+  size_t write_buffer_total = 0;
+  if (total_wall > 0) {
+    write_buffer_total = memory.write_buffer_size > 0
+                             ? memory.write_buffer_size
+                             : lsm_options.memtable_size * num_shards;
+    write_buffer_total = std::clamp(
+        write_buffer_total,
+        static_cast<size_t>(memory.min_memtable_fraction *
+                            static_cast<double>(total_wall)),
+        static_cast<size_t>(memory.max_memtable_fraction *
+                            static_cast<double>(total_wall)));
+    size_t bloom_bytes =
+        std::min(total_wall / 20,
+                 static_cast<size_t>(memory.max_bloom_fraction *
+                                     static_cast<double>(total_wall)));
+    size_t index_bytes =
+        secondary_budget > 0
+            ? std::min(secondary_budget / 40, total_wall / 20)
+            : 0;
+    size_t fixed = write_buffer_total + bloom_bytes + index_bytes;
+    store_options.cache_budget =
+        total_wall > fixed ? total_wall - fixed : total_wall / 2;
+    store_options.controller.enable_memwall_control =
+        memory.adaptive_write_buffer || memory.adaptive_bloom;
+    store_options.controller.control_write_buffer =
+        memory.adaptive_write_buffer;
+    store_options.controller.control_bloom = memory.adaptive_bloom;
+    store_options.controller.min_memtable_fraction =
+        memory.min_memtable_fraction;
+    store_options.controller.max_memtable_fraction =
+        memory.max_memtable_fraction;
+    store_options.controller.max_bloom_fraction = memory.max_bloom_fraction;
+    // The agent must feel memtable/bloom decisions: give the window's
+    // flush/stall I/O weight in h_est unless the caller chose one.
+    if (store_options.controller.write_cost_weight == 0.0) {
+      store_options.controller.write_cost_weight = 0.5;
+    }
+  }
   auto s = std::unique_ptr<AdCacheStore>(
       new AdCacheStore(store_options, lsm_options.block_cache_impl));
+  if (total_wall > 0) {
+    size_t bloom_bytes =
+        std::min(total_wall / 20,
+                 static_cast<size_t>(memory.max_bloom_fraction *
+                                     static_cast<double>(total_wall)));
+    s->bloom_capacity_bytes_.store(bloom_bytes, std::memory_order_relaxed);
+  }
   if (!options.pretrained_model.empty()) {
     Status st = s->controller_->LoadModel(Slice(options.pretrained_model));
     if (!st.ok()) return st;
@@ -79,6 +153,16 @@ Status AdCacheStore::Open(const AdCacheOptions& options,
                                       options.controller.agent.seed + 77);
   }
   lsm::Options db_options = lsm_options;
+  // Under the unified wall the engine's write buffers start at the carve's
+  // share (split evenly across shards; the DB resizes them dynamically from
+  // then on) and the bloom threshold may be overridden by the unified knob.
+  if (total_wall > 0) {
+    db_options.memtable_size = std::max<size_t>(
+        64 << 10, write_buffer_total / num_shards);
+  }
+  if (memory.bloom_bits_per_key >= 0) {
+    db_options.bloom_bits_per_key = memory.bloom_bits_per_key;
+  }
   db_options.block_cache = s->cache_->block_cache();
   db_options.listeners.push_back(s->stats_bridge_);
   for (const auto& listener : options.listeners) {
@@ -88,14 +172,13 @@ Status AdCacheStore::Open(const AdCacheOptions& options,
   // nonzero budget builds a slab cache here. Either way ShardedDB::Open
   // sees a pre-set tier and skips its own ADCACHE_SECONDARY_CACHE fallback
   // (which still applies when neither is set — adopted below after Open).
-  if (db_options.secondary_cache == nullptr &&
-      store_options.secondary_cache_budget > 0) {
+  if (db_options.secondary_cache == nullptr && secondary_budget > 0) {
     Env* env =
         db_options.env != nullptr ? db_options.env : lsm::DefaultDbEnv();
     Status st = env->CreateDirIfMissing(dbname);
     if (!st.ok()) return st;
     SlabSecondaryCacheOptions secondary_options;
-    secondary_options.capacity = store_options.secondary_cache_budget;
+    secondary_options.capacity = secondary_budget;
     secondary_options.admission_threshold =
         store_options.secondary_admission_threshold;
     std::shared_ptr<SecondaryCache> secondary;
@@ -118,8 +201,7 @@ Status AdCacheStore::Open(const AdCacheOptions& options,
   if (const std::shared_ptr<SecondaryCache>& secondary =
           s->db_->options().secondary_cache;
       secondary != nullptr) {
-    size_t budget = std::max(store_options.secondary_cache_budget,
-                             secondary->GetCapacity());
+    size_t budget = std::max(secondary_budget, secondary->GetCapacity());
     s->cache_->SetSecondaryCache(secondary, budget);
     Statistics* stats = s->stats_.get();
     secondary->SetReadLatencySink([stats](uint64_t micros) {
@@ -130,8 +212,101 @@ Status AdCacheStore::Open(const AdCacheOptions& options,
     s->stats_->SetGauge(kGaugeSecondaryDemotionThreshold,
                         secondary->admission_threshold());
   }
+  s->RegisterWallConsumers();
   *store = std::move(s);
   return Status::OK();
+}
+
+void AdCacheStore::RegisterWallConsumers() {
+  MemoryBudget* budget = cache_->memory_budget();
+  lsm::ShardedDB* db = db_.get();
+  using Domain = MemoryBudget::Domain;
+  // Domain rule: under a unified wall every consumer is kDram so its bytes
+  // count against the wall even when its adaptive flag is off — the
+  // controller freezes a consumer by leaving it out of the DRAM plan (an
+  // untargeted kDram consumer keeps its capacity and shrinks the share the
+  // named ones split). kTracked is for legacy mode only, where the wall
+  // covers just the caches and everything else is snapshot telemetry.
+
+  // Write buffers: capacity is the aggregate write-buffer target across
+  // shards, usage the live memtable bytes; shrinking rotates oversized
+  // memtables early (lsm::DB::SetWriteBufferSize). Floor: one minimal
+  // memtable per shard.
+  budget->Register(
+      kBudgetMemtable,
+      std::make_shared<FunctionMemoryConsumer>(
+          [db] { return db->write_buffer_size(); },
+          [db] { return db->WriteBufferUsage(); },
+          [db](size_t bytes) { db->SetWriteBufferSize(bytes); },
+          /*min_capacity=*/static_cast<size_t>(64 << 10) *
+              static_cast<size_t>(db->shard_count())),
+      unified_ ? Domain::kDram : Domain::kTracked);
+
+  // Bloom filters: the registry speaks bytes, the engine bits/key. The
+  // consumer converts through the live tree (bits = bytes / entries) and
+  // retargets newly built tables; existing filters are only replaced as
+  // flush/compaction rewrites them, so usage converges on capacity.
+  budget->Register(
+      kBudgetBloom,
+      std::make_shared<FunctionMemoryConsumer>(
+          [this] {
+            return bloom_capacity_bytes_.load(std::memory_order_relaxed);
+          },
+          [db] {
+            return static_cast<size_t>(db->GetLsmShape().filter_bytes);
+          },
+          [this, db](size_t bytes) {
+            bloom_capacity_bytes_.store(bytes, std::memory_order_relaxed);
+            lsm::DB::LsmShape shape = db->GetLsmShape();
+            if (shape.live_entries == 0) return;  // no basis for bits yet
+            uint64_t bits = bytes * 8 / shape.live_entries;
+            db->SetBloomBitsPerKey(
+                static_cast<int>(std::min<uint64_t>(bits, 32)));
+          }),
+      unified_ ? Domain::kDram : Domain::kTracked);
+
+  // Secondary tier's DRAM index: budgeted bytes trigger slab drops in the
+  // tier when its key index outgrows them. Only meaningful with a tier.
+  if (SecondaryCache* secondary = cache_->secondary_cache();
+      secondary != nullptr) {
+    if (unified_) {
+      size_t index_bytes =
+          std::min(cache_->secondary_budget() / 40, budget->total() / 20);
+      secondary_index_capacity_.store(index_bytes, std::memory_order_relaxed);
+      secondary->SetIndexMemoryBudget(index_bytes);
+    }
+    budget->Register(
+        kBudgetSecondaryDramIndex,
+        std::make_shared<FunctionMemoryConsumer>(
+            [this] {
+              return secondary_index_capacity_.load(std::memory_order_relaxed);
+            },
+            [secondary] { return secondary->IndexMemoryUsage(); },
+            [this, secondary](size_t bytes) {
+              secondary_index_capacity_.store(bytes,
+                                              std::memory_order_relaxed);
+              secondary->SetIndexMemoryBudget(bytes);
+            }),
+        unified_ ? Domain::kDram : Domain::kTracked);
+  }
+
+  // Telemetry: the probe feeds the live bits/key into RlActionInfo and the
+  // gauges seed sane capacity readings before the first window closes.
+  controller_->SetBloomBitsProbe([db] { return db->bloom_bits_per_key(); });
+  stats_->SetGauge(kGaugeBlockCacheCapacityBytes,
+                   static_cast<double>(cache_->block_cache()->GetCapacity()));
+  stats_->SetGauge(kGaugeRangeCacheCapacityBytes,
+                   static_cast<double>(cache_->range_cache()->GetCapacity()));
+  stats_->SetGauge(kGaugeMemtableCapacityBytes,
+                   static_cast<double>(db->write_buffer_size()));
+  stats_->SetGauge(
+      kGaugeBloomCapacityBytes,
+      static_cast<double>(bloom_capacity_bytes_.load(std::memory_order_relaxed)));
+  stats_->SetGauge(kGaugeSecondaryIndexCapacityBytes,
+                   static_cast<double>(secondary_index_capacity_.load(
+                       std::memory_order_relaxed)));
+  stats_->SetGauge(kGaugeBloomBitsPerKey,
+                   static_cast<double>(db->bloom_bits_per_key()));
 }
 
 LsmShapeParams AdCacheStore::CurrentShape() const {
@@ -139,10 +314,17 @@ LsmShapeParams AdCacheStore::CurrentShape() const {
   LsmShapeParams shape;
   shape.num_levels = std::max(1, raw.num_levels_nonempty);
   shape.l0_max_runs = db_->options().l0_stop_trigger;
+  shape.l0_files = raw.l0_files;
+  shape.imm_memtables = raw.imm_memtables;
   shape.entries_per_block =
       raw.entries_per_block > 0 ? raw.entries_per_block : 4.0;
-  shape.bloom_fpr =
-      IoEstimator::BloomFprForBitsPerKey(db_->options().bloom_bits_per_key);
+  // Live filter telemetry: the tree mixes bits/key thresholds once the
+  // wall moves them, so the FPR comes from the entry-weighted average over
+  // live tables; the (dynamic) threshold only stands in for an empty tree.
+  double bits = raw.live_entries > 0
+                    ? raw.avg_bloom_bits_per_key
+                    : static_cast<double>(db_->bloom_bits_per_key());
+  shape.bloom_fpr = IoEstimator::BloomFprForBits(bits);
   return shape;
 }
 

@@ -10,6 +10,7 @@
 #include "core/admission.h"
 #include "core/dynamic_cache.h"
 #include "core/kv_store.h"
+#include "core/memory_budget.h"
 #include "core/policy_controller.h"
 #include "core/stats_collector.h"
 #include "lsm/sharded_db.h"
@@ -18,7 +19,18 @@ namespace adcache::core {
 
 /// Configuration for an AdCacheStore.
 struct AdCacheOptions {
-  /// Total memory budget shared by block + range cache.
+  /// The unified memory wall (core/memory_budget.h): one documented home
+  /// for every byte-budget knob. memory.total_memory_budget == 0 (the
+  /// default) keeps the legacy per-knob budgets below; > 0 switches the
+  /// store to one DRAM wall covering block cache, range cache, memtables,
+  /// bloom filters and the secondary tier's DRAM index, re-carved online
+  /// by the RL controller (actions 6 and 7). Open applies the
+  /// ADCACHE_MEMORY_BUDGET env override on top of this.
+  MemoryBudgetOptions memory;
+  /// DEPRECATED alias: budget shared by block + range cache only. Under
+  /// the unified wall (memory.total_memory_budget > 0) this knob is
+  /// ignored — the caches get the wall minus the memtable/bloom/index
+  /// carve.
   size_t cache_budget = 16 * 1024 * 1024;
   /// Where the boundary starts before the agent moves it.
   double initial_range_ratio = 0.5;
@@ -27,6 +39,8 @@ struct AdCacheOptions {
   /// Multi-client scan workloads set these to stop range-cache probes from
   /// serializing on one mutex; see ShardedRangeCache.
   std::vector<std::string> range_shard_boundaries;
+  /// DEPRECATED alias for memory.secondary_cache_budget (forwards with a
+  /// one-time warning when only the alias is set).
   /// Flash budget for the secondary (slab-log) cache tier below the block
   /// cache. When > 0 and the lsm::Options passed to Open carry no
   /// secondary_cache, Open builds a slab cache under `<dbname>/secondary`
@@ -74,6 +88,11 @@ class AdCacheStore : public KvStore {
 
   PolicyController* controller() { return controller_.get(); }
   DynamicCacheComponent* dynamic_cache() { return cache_.get(); }
+  /// The unified memory wall registry (owned by the dynamic component).
+  MemoryBudget* memory_budget() { return cache_->memory_budget(); }
+  const MemoryBudget* memory_budget() const { return cache_->memory_budget(); }
+  /// True when memory.total_memory_budget put the store in unified mode.
+  bool unified_memory_wall() const { return unified_; }
   ScanAdmissionController* scan_admission() { return &scan_admission_; }
   PointAdmissionController* point_admission() { return &point_admission_; }
 
@@ -100,6 +119,10 @@ class AdCacheStore : public KvStore {
   AdCacheStore(const AdCacheOptions& options, BlockCacheImpl block_cache_impl);
 
   void MaybeEndWindow();
+  /// Registers the memtable / bloom / secondary-DRAM-index consumers on the
+  /// wall after the DB is open (DRAM consumers in unified mode, tracked
+  /// telemetry entries in legacy mode) and seeds the capacity gauges.
+  void RegisterWallConsumers();
   LsmShapeParams CurrentShape() const;
   StatsCollector::MaintenanceSample SampleMaintenance() const;
   /// Folds the component-owned counters (block/range cache hit-miss, env
@@ -123,6 +146,13 @@ class AdCacheStore : public KvStore {
   std::shared_ptr<StatisticsEventListener> stats_bridge_;
   std::atomic<uint64_t> next_window_at_;
   std::mutex window_mu_;
+  /// Unified-wall mode flag plus the registry-facing capacities that have
+  /// no natural byte counter in their subsystem: the bloom consumer's
+  /// byte target (converted to bits/key on SetCapacity) and the secondary
+  /// tier's DRAM index budget. Written only under the registry mutex.
+  bool unified_ = false;
+  std::atomic<size_t> bloom_capacity_bytes_{0};
+  std::atomic<size_t> secondary_index_capacity_{0};
 
   /// Last component-counter values already folded into the registry
   /// (SyncComponentTickers); relaxed atomics, monotone.

@@ -8,38 +8,63 @@ namespace adcache::core {
 DynamicCacheComponent::DynamicCacheComponent(
     size_t total_budget_bytes, double initial_range_ratio,
     std::unique_ptr<EvictionPolicy> policy, DynamicCacheOptions options)
-    : total_budget_(total_budget_bytes),
-      range_ratio_(std::clamp(initial_range_ratio, 0.0, 1.0)) {
+    : range_ratio_(std::clamp(initial_range_ratio, 0.0, 1.0)) {
   double r = range_ratio_.load();
+  auto range_budget = static_cast<size_t>(r * total_budget_bytes);
   // The table hint is the whole budget: the boundary can later give the
   // block cache up to 100% of it, and the CLOCK slot table never resizes.
-  block_cache_ = NewBlockCache(
-      options.block_cache_impl,
-      static_cast<size_t>((1.0 - r) * total_budget_bytes),
-      /*table_capacity_hint=*/total_budget_bytes);
+  // Under a unified wall the hint covers the whole wall, since cache share
+  // can grow into freed memtable/bloom budget.
+  size_t table_hint =
+      std::max(options.total_memory_budget, total_budget_bytes);
+  block_cache_ =
+      NewBlockCache(options.block_cache_impl,
+                    total_budget_bytes - range_budget,
+                    /*table_capacity_hint=*/table_hint);
   std::vector<std::unique_ptr<EvictionPolicy>> policies;
   policies.push_back(std::move(policy));
   for (size_t i = 0; i < options.range_shard_boundaries.size(); i++) {
     policies.push_back(NewLruPolicy());
   }
   range_cache_ = std::make_unique<ShardedRangeCache>(
-      static_cast<size_t>(r * total_budget_bytes),
-      std::move(options.range_shard_boundaries), std::move(policies));
+      range_budget, std::move(options.range_shard_boundaries),
+      std::move(policies));
+
+  budget_ = std::make_unique<MemoryBudget>(
+      std::max(options.total_memory_budget, total_budget_bytes));
+  budget_->Register(
+      kBudgetRangeCache,
+      std::make_shared<FunctionMemoryConsumer>(
+          [this] { return range_cache_->GetCapacity(); },
+          [this] { return range_cache_->GetUsage(); },
+          [this](size_t bytes) { ApplyRangeBudget(bytes); }));
+  budget_->Register(
+      kBudgetBlockCache,
+      std::make_shared<FunctionMemoryConsumer>(
+          [this] { return block_cache_->GetCapacity(); },
+          [this] { return block_cache_->GetUsage(); },
+          [this](size_t bytes) { block_cache_->SetCapacity(bytes); }));
 }
 
 void DynamicCacheComponent::SetRangeRatio(double ratio) {
   ratio = std::clamp(ratio, 0.0, 1.0);
   range_ratio_.store(ratio, std::memory_order_relaxed);
-  auto range_budget = static_cast<size_t>(ratio * total_budget_);
-  auto block_budget = total_budget_ - range_budget;
-  // Shrink first, then grow, so transient total usage never exceeds budget.
-  if (range_budget < range_cache_->GetCapacity()) {
-    ApplyRangeBudget(range_budget);
-    block_cache_->SetCapacity(block_budget);
-  } else {
-    block_cache_->SetCapacity(block_budget);
-    ApplyRangeBudget(range_budget);
-  }
+  // The boundary splits the block+range share of the wall (== the whole
+  // wall in legacy mode). Submitting both targets as one plan keeps the
+  // registry invariant intact and preserves shrink-before-grow.
+  size_t share = total_budget();
+  auto range_budget = static_cast<size_t>(ratio * static_cast<double>(share));
+  budget_->ApplyDramPlan({{kBudgetRangeCache, range_budget},
+                          {kBudgetBlockCache, share - range_budget}});
+}
+
+void DynamicCacheComponent::SyncRangeRatioFromCapacities() {
+  size_t range = range_cache_->GetCapacity();
+  size_t share = range + block_cache_->GetCapacity();
+  if (share == 0) return;
+  range_ratio_.store(
+      static_cast<double>(range) / static_cast<double>(share),
+      std::memory_order_relaxed);
 }
 
 void DynamicCacheComponent::ApplyRangeBudget(size_t range_budget) {
@@ -94,13 +119,23 @@ void DynamicCacheComponent::SetSecondaryCache(
     secondary_ratio_.store(std::clamp(r, kMinSecondaryRatio, 1.0),
                            std::memory_order_relaxed);
   }
+  if (secondary_cache_ != nullptr) {
+    budget_->Register(
+        kBudgetSecondaryFlash,
+        std::make_shared<FunctionMemoryConsumer>(
+            [this] { return secondary_cache_->GetCapacity(); },
+            [this] { return secondary_cache_->GetUsage(); },
+            [this](size_t bytes) { secondary_cache_->SetCapacity(bytes); }),
+        MemoryBudget::Domain::kFlash);
+  }
 }
 
 void DynamicCacheComponent::SetSecondaryRatio(double ratio) {
   if (secondary_cache_ == nullptr || secondary_budget_ == 0) return;
   ratio = std::clamp(ratio, kMinSecondaryRatio, 1.0);
   secondary_ratio_.store(ratio, std::memory_order_relaxed);
-  secondary_cache_->SetCapacity(
+  budget_->SetConsumerCapacity(
+      kBudgetSecondaryFlash,
       static_cast<size_t>(ratio * static_cast<double>(secondary_budget_)));
 }
 

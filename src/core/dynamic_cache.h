@@ -10,6 +10,7 @@
 #include "cache/cache.h"
 #include "cache/range_cache.h"
 #include "cache/secondary_cache.h"
+#include "core/memory_budget.h"
 
 namespace adcache::core {
 
@@ -23,12 +24,19 @@ struct DynamicCacheOptions {
   /// key-range shards (empty = one shard, the paper's single skip list).
   /// Shard 0 uses the caller-supplied policy; extra shards get LRU.
   std::vector<std::string> range_shard_boundaries;
+  /// The whole unified memory wall the owned MemoryBudget registry
+  /// enforces. 0 (legacy) makes the wall exactly the block+range budget;
+  /// a larger value leaves headroom for the memtable/bloom/secondary-index
+  /// consumers AdCacheStore registers after the DB opens.
+  size_t total_memory_budget = 0;
 };
 
 /// The Dynamic Cache Component (paper §3.3): one memory budget shared by a
 /// physical block cache and a logical range cache, split by a movable
-/// boundary. SetRangeRatio retargets both capacities; each cache evicts
-/// lazily down to its new budget.
+/// boundary. The component owns the system-wide MemoryBudget registry; the
+/// block and range caches are its first two DRAM consumers, and every
+/// boundary move — whether through the legacy SetRangeRatio shim or a full
+/// controller DRAM plan — flows through the registry.
 class DynamicCacheComponent {
  public:
   /// `policy` seeds the range cache's eviction policy (LRU for AdCache).
@@ -39,14 +47,24 @@ class DynamicCacheComponent {
   DynamicCacheComponent(const DynamicCacheComponent&) = delete;
   DynamicCacheComponent& operator=(const DynamicCacheComponent&) = delete;
 
-  /// Moves the boundary: range cache gets `ratio` of the budget, block cache
-  /// the rest. Clamped to [0, 1]. With leases installed (SetRangeLeases)
-  /// the range share is apportioned across the range-cache shards by lease
-  /// weight instead of evenly.
+  /// The registry all budget mutations flow through. Consumers beyond
+  /// block/range (memtable, bloom, secondary DRAM index) are registered by
+  /// the store once the DB is open.
+  MemoryBudget* memory_budget() { return budget_.get(); }
+  const MemoryBudget* memory_budget() const { return budget_.get(); }
+
+  /// Legacy shim: moves the boundary by submitting a two-consumer DRAM plan
+  /// to the registry — range cache gets `ratio` of the block+range share,
+  /// block cache the rest. Clamped to [0, 1]. With leases installed
+  /// (SetRangeLeases) the range share is apportioned across the range-cache
+  /// shards by lease weight instead of evenly.
   void SetRangeRatio(double ratio);
   double range_ratio() const {
     return range_ratio_.load(std::memory_order_relaxed);
   }
+  /// Recomputes the cached ratio from the registry's current block/range
+  /// capacities (after a controller-submitted DRAM plan resized both).
+  void SyncRangeRatioFromCapacities();
 
   /// Installs per-shard budget lease weights for the range cache and
   /// immediately reapplies the current boundary so the new split takes
@@ -61,22 +79,29 @@ class DynamicCacheComponent {
   ShardedRangeCache* range_cache() { return range_cache_.get(); }
   const ShardedRangeCache* range_cache() const { return range_cache_.get(); }
 
-  size_t total_budget() const { return total_budget_; }
+  /// The block+range share of the wall. In legacy mode this is the
+  /// construction-time budget forever; under a unified wall it moves as the
+  /// controller re-carves cache share against memtable/bloom.
+  size_t total_budget() const {
+    return block_cache_->GetCapacity() + range_cache_->GetCapacity();
+  }
   size_t BlockUsage() const { return block_cache_->GetUsage(); }
   size_t RangeUsage() const { return range_cache_->GetUsage(); }
 
-  /// Attaches the flash-backed secondary tier under RL control. The tier's
-  /// *flash* budget is separate from the DRAM `total_budget` — the agent
-  /// scales the tier's capacity within [kMinSecondaryRatio, 1] of
-  /// `flash_budget_bytes` via SetSecondaryRatio. Call once, before traffic.
+  /// Attaches the flash-backed secondary tier under RL control, registering
+  /// it with the registry as the (sole) flash-domain consumer. The tier's
+  /// *flash* budget is separate from the DRAM wall — the agent scales the
+  /// tier's capacity within [kMinSecondaryRatio, 1] of `flash_budget_bytes`
+  /// via SetSecondaryRatio. Call once, before traffic.
   void SetSecondaryCache(std::shared_ptr<SecondaryCache> secondary,
                          size_t flash_budget_bytes);
   SecondaryCache* secondary_cache() const { return secondary_cache_.get(); }
   size_t secondary_budget() const { return secondary_budget_; }
 
-  /// Retargets the secondary tier's capacity to `ratio` of its flash budget
-  /// (clamped to [kMinSecondaryRatio, 1] so the tier never collapses to
-  /// zero and GC always has room to operate). No-op without a tier.
+  /// Legacy shim: retargets the secondary tier's capacity to `ratio` of its
+  /// flash budget (clamped to [kMinSecondaryRatio, 1] so the tier never
+  /// collapses to zero and GC always has room to operate) through the
+  /// registry's flash-domain entry. No-op without a tier.
   void SetSecondaryRatio(double ratio);
   double secondary_ratio() const {
     return secondary_ratio_.load(std::memory_order_relaxed);
@@ -89,10 +114,11 @@ class DynamicCacheComponent {
 
  private:
   /// Splits `range_budget` over the range-cache shards per the installed
-  /// leases (even when none). Cold path (window boundaries only).
+  /// leases (even when none). Cold path (window boundaries only); runs as
+  /// the range consumer's SetCapacity body under the registry mutex.
   void ApplyRangeBudget(size_t range_budget);
 
-  size_t total_budget_;
+  std::unique_ptr<MemoryBudget> budget_;
   std::atomic<double> range_ratio_;
   std::shared_ptr<Cache> block_cache_;
   std::unique_ptr<ShardedRangeCache> range_cache_;

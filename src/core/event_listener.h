@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace adcache::core {
 
@@ -51,10 +52,31 @@ struct CacheBoundaryMoveInfo {
   uint64_t new_block_capacity_bytes = 0;
 };
 
+/// One named consumer's before/after capacities across an RL step — the
+/// schema-v2 budget vector entry. Names are the core::MemoryBudget registry
+/// names (block_cache, range_cache, memtable, bloom, secondary_dram_index,
+/// secondary_flash); the string form keeps this header free of core
+/// includes and lets listeners survive future consumer additions.
+struct BudgetConsumerDelta {
+  std::string name;
+  uint64_t old_capacity_bytes = 0;
+  uint64_t new_capacity_bytes = 0;
+  uint64_t usage_bytes = 0;  // after the action was applied
+};
+
 /// Payload for one RL agent decision at a window boundary: the full
 /// old -> new control state plus the reward that drove it. One of these per
 /// PolicyController::OnWindowEnd makes the agent's trajectory inspectable.
+///
+/// Schema v2 adds `budget`, the full named capacity vector from the
+/// MemoryBudget registry, superseding the hand-listed per-consumer fields
+/// below (kept populated for old listeners). Check `schema_version` before
+/// relying on `budget` being filled.
 struct RlActionInfo {
+  int schema_version = 2;
+  /// Named budget vector (registry snapshot before/after ApplyAction),
+  /// DRAM consumers first. Empty on schema v1 producers.
+  std::vector<BudgetConsumerDelta> budget;
   uint64_t window_index = 0;      // how many windows the controller has seen
   double reward = 0.0;            // reward fed to the agent for this step
   double smoothed_hit_rate = 0.0; // EWMA h_est after this window
@@ -74,6 +96,12 @@ struct RlActionInfo {
   uint64_t new_secondary_capacity_bytes = 0;
   double old_demotion_threshold = 0.0;
   double new_demotion_threshold = 0.0;
+  /// Unified-wall dimensions (schema v2). Only meaningful when
+  /// `memwall_controlled` is true (memtable/bloom consumers are on the wall
+  /// and the controller's write-side action dimensions are enabled).
+  bool memwall_controlled = false;
+  int old_bloom_bits_per_key = 0;
+  int new_bloom_bits_per_key = 0;
 };
 
 /// Callback interface for store/DB lifecycle events, modeled on RocksDB's

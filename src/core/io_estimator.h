@@ -14,6 +14,8 @@ struct LsmShapeParams {
   int l0_max_runs = 8;        // r0^max (write-stop trigger)
   double entries_per_block = 4;  // B
   double bloom_fpr = 0.01;    // FPR
+  int l0_files = 0;           // current L0 run count (flush-debt signal)
+  int imm_memtables = 0;      // immutable memtables waiting to flush
 };
 
 /// Implements the paper's no-cache I/O model (§3.5):
@@ -28,9 +30,28 @@ struct LsmShapeParams {
 class IoEstimator {
  public:
   static double BloomFprForBitsPerKey(int bits_per_key) {
+    return BloomFprForBits(static_cast<double>(bits_per_key));
+  }
+
+  /// Fractional-bits overload for live per-table averages (the tree holds
+  /// tables built under different thresholds once bits become dynamic).
+  static double BloomFprForBits(double bits_per_key) {
     if (bits_per_key <= 0) return 1.0;
     // Standard bloom approximation with k = 0.69 * bits/key probes.
     return std::pow(0.6185, bits_per_key);
+  }
+
+  /// Write-side I/O charged to the window: every flush writes roughly one
+  /// table's worth of blocks and every compaction reads + rewrites one, and
+  /// time spent stalled behind L0 is converted at one block-read per 100us
+  /// (the model's storage-read latency unit). Used to extend h_est with a
+  /// write-cost term so the agent feels memtable/bloom decisions.
+  static double EstimateWriteIo(const WindowStats& w,
+                                double blocks_per_job = 64.0) {
+    double jobs = static_cast<double>(w.flushes) +
+                  2.0 * static_cast<double>(w.compactions);
+    return jobs * blocks_per_job +
+           static_cast<double>(w.stall_micros) / 100.0;
   }
 
   static double EstimateIo(const WindowStats& w, const LsmShapeParams& shape) {
@@ -53,15 +74,24 @@ class IoEstimator {
   /// block_reads + flash_read_cost * secondary_hits; with the default 0 (or
   /// no secondary tier, where secondary_hits == 0) this reduces to the
   /// paper's original h_estimate.
+  /// `write_cost_weight` further extends the model with the window's
+  /// write-side I/O (EstimateWriteIo): both the numerator (cost actually
+  /// paid) and the denominator (cost a cache cannot avoid) gain
+  /// weight * write_io, so h stays in [0, 1] and degrades as flush /
+  /// compaction traffic or write stalls grow. The default 0 reduces to the
+  /// read-only h_estimate.
   static double EstimateHitRate(const WindowStats& w,
                                 const LsmShapeParams& shape,
-                                double flash_read_cost = 0.0) {
+                                double flash_read_cost = 0.0,
+                                double write_cost_weight = 0.0) {
     double io_estimate = EstimateIo(w, shape);
-    if (io_estimate <= 0) return 0.0;
+    double write_io =
+        write_cost_weight > 0 ? write_cost_weight * EstimateWriteIo(w) : 0.0;
+    if (io_estimate + write_io <= 0) return 0.0;
     double effective_misses =
         static_cast<double>(w.block_reads) +
-        flash_read_cost * static_cast<double>(w.secondary_hits);
-    double h = 1.0 - effective_misses / io_estimate;
+        flash_read_cost * static_cast<double>(w.secondary_hits) + write_io;
+    double h = 1.0 - effective_misses / (io_estimate + write_io);
     if (h < 0) h = 0;
     if (h > 1) h = 1;
     return h;

@@ -1,0 +1,176 @@
+#include "core/memory_budget.h"
+
+#include <algorithm>
+
+#include "util/options_env.h"
+
+namespace adcache::core {
+
+void MemoryBudget::Register(const std::string& name,
+                            std::shared_ptr<MemoryConsumer> consumer,
+                            Domain domain) {
+  std::lock_guard<std::mutex> l(mu_);
+  int idx = FindLocked(name);
+  if (idx >= 0) {
+    slots_[static_cast<size_t>(idx)].consumer = std::move(consumer);
+    slots_[static_cast<size_t>(idx)].domain = domain;
+    return;
+  }
+  slots_.push_back(Slot{name, std::move(consumer), domain});
+}
+
+bool MemoryBudget::IsRegistered(const std::string& name) const {
+  std::lock_guard<std::mutex> l(mu_);
+  return FindLocked(name) >= 0;
+}
+
+void MemoryBudget::SetDomain(const std::string& name, Domain domain) {
+  std::lock_guard<std::mutex> l(mu_);
+  int idx = FindLocked(name);
+  if (idx >= 0) slots_[static_cast<size_t>(idx)].domain = domain;
+}
+
+size_t MemoryBudget::CapacityOf(const std::string& name) const {
+  std::lock_guard<std::mutex> l(mu_);
+  int idx = FindLocked(name);
+  return idx >= 0 ? slots_[static_cast<size_t>(idx)].consumer->capacity() : 0;
+}
+
+size_t MemoryBudget::UsageOf(const std::string& name) const {
+  std::lock_guard<std::mutex> l(mu_);
+  int idx = FindLocked(name);
+  return idx >= 0 ? slots_[static_cast<size_t>(idx)].consumer->usage() : 0;
+}
+
+int MemoryBudget::FindLocked(const std::string& name) const {
+  for (size_t i = 0; i < slots_.size(); i++) {
+    if (slots_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void MemoryBudget::ApplyDramPlan(
+    const std::vector<std::pair<std::string, size_t>>& targets) {
+  std::lock_guard<std::mutex> l(mu_);
+
+  // Resolve the named consumers and the share they must fit into: the wall
+  // minus whatever the untargeted DRAM consumers currently hold.
+  std::vector<MemoryConsumer*> named;
+  named.reserve(targets.size());
+  size_t untargeted = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.domain != Domain::kDram) continue;
+    bool is_named = false;
+    for (const auto& [name, bytes] : targets) {
+      if (slot.name == name) {
+        is_named = true;
+        break;
+      }
+    }
+    if (!is_named) untargeted += slot.consumer->capacity();
+  }
+  for (const auto& [name, bytes] : targets) {
+    int idx = FindLocked(name);
+    if (idx < 0 || slots_[static_cast<size_t>(idx)].domain != Domain::kDram) {
+      named.push_back(nullptr);
+      continue;
+    }
+    named.push_back(slots_[static_cast<size_t>(idx)].consumer.get());
+  }
+  size_t available = total_ > untargeted ? total_ - untargeted : 0;
+
+  // Normalise: scale the requested targets proportionally into the
+  // available share (a plan that already sums to it passes through
+  // unchanged), then clamp to floors and give the rounding remainder to
+  // the last named consumer so the DRAM domain sums to total() exactly.
+  uint64_t requested = 0;
+  size_t last = targets.size();
+  for (size_t i = 0; i < targets.size(); i++) {
+    if (named[i] == nullptr) continue;
+    requested += targets[i].second;
+    last = i;
+  }
+  if (last == targets.size()) return;  // nothing resolvable to move
+  std::vector<size_t> plan(targets.size(), 0);
+  double scale = requested == 0
+                     ? 0.0
+                     : static_cast<double>(available) /
+                           static_cast<double>(requested);
+  size_t assigned = 0;
+  for (size_t i = 0; i < targets.size(); i++) {
+    if (named[i] == nullptr) continue;
+    size_t want = requested == 0
+                      ? available / std::max<size_t>(1, targets.size())
+                      : static_cast<size_t>(
+                            static_cast<double>(targets[i].second) * scale);
+    if (i != last) {
+      want = std::max(want, named[i]->min_capacity());
+      want = std::min(want, available - std::min(available, assigned));
+      plan[i] = want;
+      assigned += want;
+    } else {
+      plan[i] = available > assigned ? available - assigned : 0;
+      plan[i] = std::max(plan[i], named[i]->min_capacity());
+    }
+  }
+
+  // Shrink-before-grow: transient DRAM usage never exceeds the wall.
+  for (size_t i = 0; i < targets.size(); i++) {
+    if (named[i] != nullptr && plan[i] < named[i]->capacity()) {
+      named[i]->SetCapacity(plan[i]);
+    }
+  }
+  for (size_t i = 0; i < targets.size(); i++) {
+    if (named[i] != nullptr && plan[i] >= named[i]->capacity()) {
+      named[i]->SetCapacity(plan[i]);
+    }
+  }
+}
+
+void MemoryBudget::SetConsumerCapacity(const std::string& name, size_t bytes) {
+  std::lock_guard<std::mutex> l(mu_);
+  int idx = FindLocked(name);
+  if (idx < 0) return;
+  MemoryConsumer* consumer = slots_[static_cast<size_t>(idx)].consumer.get();
+  consumer->SetCapacity(std::max(bytes, consumer->min_capacity()));
+}
+
+size_t MemoryBudget::DramCapacitySum() const {
+  std::lock_guard<std::mutex> l(mu_);
+  size_t sum = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.domain == Domain::kDram) sum += slot.consumer->capacity();
+  }
+  return sum;
+}
+
+std::vector<MemoryBudget::Entry> MemoryBudget::Snapshot() const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<Entry> entries;
+  entries.reserve(slots_.size());
+  for (int pass = 0; pass < 2; pass++) {
+    for (const Slot& slot : slots_) {
+      bool dram = slot.domain == Domain::kDram;
+      if ((pass == 0) != dram) continue;
+      Entry e;
+      e.name = slot.name;
+      e.domain = slot.domain;
+      e.capacity_bytes = slot.consumer->capacity();
+      e.usage_bytes = slot.consumer->usage();
+      entries.push_back(std::move(e));
+    }
+  }
+  return entries;
+}
+
+MemoryBudgetOptions MemoryBudgetOptions::FromEnv(MemoryBudgetOptions defaults) {
+  defaults.total_memory_budget = static_cast<size_t>(util::OptionsFromEnv::Bytes(
+      "ADCACHE_MEMORY_BUDGET", defaults.total_memory_budget));
+  return defaults;
+}
+
+MemoryBudgetOptions MemoryBudgetOptions::FromEnv() {
+  return FromEnv(MemoryBudgetOptions{});
+}
+
+}  // namespace adcache::core

@@ -1,0 +1,199 @@
+#ifndef ADCACHE_CORE_MEMORY_BUDGET_H_
+#define ADCACHE_CORE_MEMORY_BUDGET_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adcache::core {
+
+/// Canonical consumer names registered by the AdCache stack. Every budget
+/// mutation anywhere in the system targets one of these registry entries.
+inline constexpr const char* kBudgetBlockCache = "block_cache";
+inline constexpr const char* kBudgetRangeCache = "range_cache";
+inline constexpr const char* kBudgetMemtable = "memtable";
+inline constexpr const char* kBudgetBloom = "bloom";
+inline constexpr const char* kBudgetSecondaryDramIndex = "secondary_dram_index";
+/// Flash domain (not under the DRAM sum invariant): the slab tier's bytes
+/// on flash, still resized through the same registry interface.
+inline constexpr const char* kBudgetSecondaryFlash = "secondary_flash";
+
+/// One named, resizable memory consumer behind the MemoryBudget registry.
+/// Implementations translate SetCapacity into whatever their subsystem
+/// understands (cache eviction, memtable rotation, bloom bits/key).
+///
+/// Threading: capacity()/usage() may be called concurrently from any
+/// thread; SetCapacity is only invoked by the registry, which serialises
+/// all mutations under its own mutex.
+class MemoryConsumer {
+ public:
+  virtual ~MemoryConsumer() = default;
+
+  virtual size_t capacity() const = 0;
+  virtual size_t usage() const = 0;
+  virtual void SetCapacity(size_t bytes) = 0;
+  /// Floor the registry never shrinks this consumer below (e.g. one
+  /// minimal memtable per shard).
+  virtual size_t min_capacity() const { return 0; }
+};
+
+/// Lambda-backed consumer so call sites can register existing subsystems
+/// without defining a class each. Any of the functions may be null: null
+/// usage reads 0, null set is a no-op, null min is 0.
+class FunctionMemoryConsumer : public MemoryConsumer {
+ public:
+  FunctionMemoryConsumer(std::function<size_t()> capacity,
+                         std::function<size_t()> usage,
+                         std::function<void(size_t)> set_capacity,
+                         size_t min_capacity = 0)
+      : capacity_(std::move(capacity)),
+        usage_(std::move(usage)),
+        set_capacity_(std::move(set_capacity)),
+        min_capacity_(min_capacity) {}
+
+  size_t capacity() const override {
+    return capacity_ != nullptr ? capacity_() : 0;
+  }
+  size_t usage() const override { return usage_ != nullptr ? usage_() : 0; }
+  void SetCapacity(size_t bytes) override {
+    if (set_capacity_ != nullptr) set_capacity_(bytes);
+  }
+  size_t min_capacity() const override { return min_capacity_; }
+
+ private:
+  std::function<size_t()> capacity_;
+  std::function<size_t()> usage_;
+  std::function<void(size_t)> set_capacity_;
+  size_t min_capacity_;
+};
+
+/// The unified memory wall (paper §3.3 generalised): a single registry of
+/// named, resizable memory consumers. All budget mutations in the system
+/// flow through here — the RL controller retargets whole DRAM plans, legacy
+/// entry points (SetRangeRatio, SetSecondaryRatio) are thin shims over it.
+///
+/// Domains:
+///  - kDram consumers share the wall: the registry keeps their capacities
+///    summing to total() on every ApplyDramPlan.
+///  - kFlash consumers are resized individually (flash bytes are not DRAM).
+///  - kTracked consumers appear in snapshots but are exempt from the sum
+///    invariant (legacy mode: the memtable exists but is not on the wall).
+///
+/// Threading: Register before traffic (not synchronised against concurrent
+/// mutations); ApplyDramPlan/SetConsumerCapacity serialise under one mutex,
+/// so concurrent resizers see consistent shrink-before-grow ordering;
+/// Snapshot/DramCapacitySum take the same mutex.
+class MemoryBudget {
+ public:
+  enum class Domain { kDram, kFlash, kTracked };
+
+  struct Entry {
+    std::string name;
+    Domain domain = Domain::kDram;
+    uint64_t capacity_bytes = 0;
+    uint64_t usage_bytes = 0;
+  };
+
+  explicit MemoryBudget(size_t total_bytes) : total_(total_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// The DRAM wall every kDram consumer lives under.
+  size_t total() const { return total_; }
+
+  /// Registers `consumer` under `name`. Re-registering a name replaces the
+  /// entry (e.g. legacy->unified promotion re-registers with a new domain).
+  void Register(const std::string& name, std::shared_ptr<MemoryConsumer> consumer,
+                Domain domain = Domain::kDram);
+  bool IsRegistered(const std::string& name) const;
+  /// Moves an existing consumer to `domain`, keeping its capacity.
+  void SetDomain(const std::string& name, Domain domain);
+
+  /// Current capacity/usage of one named consumer (0 when unknown).
+  size_t CapacityOf(const std::string& name) const;
+  size_t UsageOf(const std::string& name) const;
+
+  /// Retargets the named DRAM consumers in one transaction. The targets are
+  /// normalised so that, together with the untargeted DRAM consumers'
+  /// current capacities, the DRAM domain sums exactly to total(): targets
+  /// are scaled proportionally into the available share, each consumer's
+  /// min_capacity() is respected, and the LAST named consumer absorbs the
+  /// rounding remainder. Shrinks are applied before grows so transient
+  /// total usage never exceeds the wall.
+  void ApplyDramPlan(
+      const std::vector<std::pair<std::string, size_t>>& targets);
+
+  /// Resizes one consumer directly (flash/tracked consumers, or a DRAM
+  /// consumer whose counterpart shim rebalances the rest itself). DRAM
+  /// callers should prefer ApplyDramPlan.
+  void SetConsumerCapacity(const std::string& name, size_t bytes);
+
+  /// Sum of the DRAM consumers' current capacities (== total() after any
+  /// ApplyDramPlan; may differ transiently before the first plan).
+  size_t DramCapacitySum() const;
+
+  /// Named capacity/usage vector in registration order, DRAM first.
+  std::vector<Entry> Snapshot() const;
+
+ private:
+  struct Slot {
+    std::string name;
+    std::shared_ptr<MemoryConsumer> consumer;
+    Domain domain;
+  };
+
+  /// Requires mu_. Index into slots_ or -1.
+  int FindLocked(const std::string& name) const;
+
+  size_t total_;
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;  // guarded by mu_
+};
+
+/// One documented home for every byte-budget knob, collapsing the formerly
+/// scattered AdCacheOptions::cache_budget / secondary_cache_budget and
+/// lsm::Options::memtable_size (the engine's write_buffer_size). With
+/// total_memory_budget == 0 (the default) the store runs in LEGACY mode:
+/// the wall covers only the block+range caches and the other consumers are
+/// tracked but frozen — byte-compatible with earlier releases. A nonzero
+/// total switches on the UNIFIED wall: one budget covering block cache,
+/// range cache, memtable(s), bloom filters and the secondary tier's DRAM
+/// index, carved up and re-carved online by the RL controller.
+struct MemoryBudgetOptions {
+  /// The whole DRAM wall in bytes; 0 keeps legacy per-knob budgets.
+  size_t total_memory_budget = 0;
+  /// Initial write-buffer target; 0 adopts lsm::Options::memtable_size.
+  size_t write_buffer_size = 0;
+  /// Initial bloom bits/key; < 0 adopts lsm::Options::bloom_bits_per_key.
+  int bloom_bits_per_key = -1;
+  /// Flash budget for the secondary tier (the deprecated
+  /// AdCacheOptions::secondary_cache_budget forwards here).
+  size_t secondary_cache_budget = 0;
+  /// Unified mode: let the controller move the memtable / bloom budgets
+  /// (actions 6 and 7). Off freezes them at their initial carve.
+  bool adaptive_write_buffer = true;
+  bool adaptive_bloom = true;
+  /// Bounds of the memtable's share of the wall (action 6 maps into
+  /// [min, max]); bloom's share maps into [0, max_bloom_fraction].
+  double min_memtable_fraction = 0.05;
+  double max_memtable_fraction = 0.5;
+  /// Bloom's ceiling is deliberately tight: filter bytes are a few bits per
+  /// live entry, so a sliver of the wall already buys the 32-bits/key clamp
+  /// and anything beyond sits as stranded capacity the caches can't use.
+  double max_bloom_fraction = 0.08;
+
+  /// Applies the ADCACHE_MEMORY_BUDGET env var (byte count, k/m/g
+  /// suffixes; util::OptionsFromEnv::Bytes grammar) on top of `defaults`
+  /// (default-constructed options for the argument-free overload).
+  static MemoryBudgetOptions FromEnv(MemoryBudgetOptions defaults);
+  static MemoryBudgetOptions FromEnv();
+};
+
+}  // namespace adcache::core
+
+#endif  // ADCACHE_CORE_MEMORY_BUDGET_H_

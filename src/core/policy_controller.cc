@@ -49,6 +49,16 @@ std::vector<float> PolicyController::BuildState(const WindowStats& w,
           ? 0.0
           : static_cast<double>(cache_->SecondaryUsage()) /
                 static_cast<double>(cache_->secondary_budget());
+  // Write-side features (unified wall): time writers spent stalled per op
+  // (normalised at 100us — one storage read — per op), how far the flush
+  // pipeline is backed up relative to the write-stop trigger, and the
+  // live tree's bloom FPR (x10 so the useful 0..10% range fills [0,1]).
+  uint64_t ops = w.ops();
+  double stall_rate = static_cast<double>(w.stall_micros) /
+                      (100.0 * static_cast<double>(std::max<uint64_t>(1, ops)));
+  double flush_debt =
+      static_cast<double>(shape.l0_files + shape.imm_memtables) /
+      static_cast<double>(std::max(1, shape.l0_max_runs));
   return {
       clamp01(w.PointRatio()),
       clamp01(w.ScanRatio()),
@@ -63,11 +73,83 @@ std::vector<float> PolicyController::BuildState(const WindowStats& w,
       clamp01(static_cast<double>(shape.num_levels) / 7.0),
       clamp01(secondary_hit_rate),
       clamp01(secondary_occupancy),
+      clamp01(stall_rate),
+      clamp01(flush_debt),
+      clamp01(shape.bloom_fpr * 10.0),
   };
 }
 
+bool PolicyController::MemwallControlled() const {
+  const MemoryBudget* budget = cache_->memory_budget();
+  return options_.enable_memwall_control && budget != nullptr &&
+         budget->IsRegistered(kBudgetMemtable);
+}
+
 void PolicyController::ApplyAction(const std::vector<float>& action) {
-  if (options_.enable_partitioning) {
+  if (MemwallControlled()) {
+    // Unified wall: one DRAM plan re-carving the whole budget. The write-
+    // side consumers take their action-mapped shares first; the block/range
+    // caches split what remains by action[0], with the block cache last so
+    // it absorbs the rounding remainder (keeping the sum invariant exact).
+    MemoryBudget* budget = cache_->memory_budget();
+    double total = static_cast<double>(budget->total());
+    std::vector<std::pair<std::string, size_t>> plan;
+    // A consumer with its control flag off is frozen by omission: left out
+    // of the plan it keeps its carve-time capacity, which the registry
+    // subtracts (as untargeted DRAM) from the share the plan distributes.
+    size_t frozen = 0;
+    size_t memtable = 0;
+    if (options_.control_write_buffer) {
+      double mem_frac =
+          options_.min_memtable_fraction +
+          std::clamp(static_cast<double>(action[6]), 0.0, 1.0) *
+              (options_.max_memtable_fraction -
+               options_.min_memtable_fraction);
+      // Halfway step from the current capacity, not a jump: a shrink
+      // force-rotates memtables into L0, so acting on every exploration
+      // dip churns flushes. The blend still converges on the action's
+      // target within a few windows but damps single-window noise.
+      memtable = static_cast<size_t>(
+          0.5 * (mem_frac * total +
+                 static_cast<double>(budget->CapacityOf(kBudgetMemtable))));
+      plan.emplace_back(kBudgetMemtable, memtable);
+    } else {
+      frozen += budget->CapacityOf(kBudgetMemtable);
+    }
+    size_t bloom = 0;
+    if (options_.control_bloom) {
+      bloom = static_cast<size_t>(
+          std::clamp(static_cast<double>(action[7]), 0.0, 1.0) *
+          options_.max_bloom_fraction * total);
+      plan.emplace_back(kBudgetBloom, bloom);
+    } else {
+      frozen += budget->CapacityOf(kBudgetBloom);
+    }
+    // The secondary tier's DRAM index scales with its flash target: slab
+    // records average a few KB, so the index runs ~2.5% of the flash bytes
+    // it maps (kIndexBytesPerEntry / typical record size).
+    size_t sec_index = 0;
+    if (budget->IsRegistered(kBudgetSecondaryDramIndex) &&
+        cache_->secondary_cache() != nullptr) {
+      double flash_target =
+          std::clamp(static_cast<double>(action[4]),
+                     DynamicCacheComponent::kMinSecondaryRatio, 1.0) *
+          static_cast<double>(cache_->secondary_budget());
+      sec_index = static_cast<size_t>(flash_target / 40.0);
+      plan.emplace_back(kBudgetSecondaryDramIndex, sec_index);
+    }
+    size_t fixed = memtable + bloom + sec_index + frozen;
+    size_t cache_share =
+        budget->total() > fixed ? budget->total() - fixed : 0;
+    double ratio = options_.enable_partitioning
+                       ? std::clamp(static_cast<double>(action[0]), 0.0, 1.0)
+                       : cache_->range_ratio();
+    auto range = static_cast<size_t>(ratio * static_cast<double>(cache_share));
+    plan.emplace_back(kBudgetRangeCache, range);
+    plan.emplace_back(kBudgetBlockCache, cache_share - range);
+    budget->ApplyDramPlan(plan);
+    cache_->SyncRangeRatioFromCapacities();
+  } else if (options_.enable_partitioning) {
     cache_->SetRangeRatio(action[0]);
   }
   if (options_.enable_admission) {
@@ -95,8 +177,9 @@ void PolicyController::OnWindowEnd(const WindowStats& window,
   std::lock_guard<std::mutex> l(mu_);
   windows_++;
 
-  double h_est = IoEstimator::EstimateHitRate(window, shape,
-                                              options_.secondary_flash_cost);
+  double h_est =
+      IoEstimator::EstimateHitRate(window, shape, options_.secondary_flash_cost,
+                                   options_.write_cost_weight);
   if (!h_initialised_) {
     h_smoothed_ = h_est;
     h_initialised_ = true;
@@ -139,8 +222,34 @@ void PolicyController::OnWindowEnd(const WindowStats& window,
     info.old_secondary_capacity_bytes = secondary->GetCapacity();
     info.old_demotion_threshold = secondary->admission_threshold();
   }
+  info.memwall_controlled = MemwallControlled();
+  if (bloom_bits_probe_ != nullptr) {
+    info.old_bloom_bits_per_key = bloom_bits_probe_();
+  }
+  // Schema v2: snapshot the registry before and after the action so the
+  // payload carries the full named budget vector.
+  std::vector<MemoryBudget::Entry> before;
+  if (cache_->memory_budget() != nullptr) {
+    before = cache_->memory_budget()->Snapshot();
+  }
 
   ApplyAction(action);
+
+  if (cache_->memory_budget() != nullptr) {
+    for (const MemoryBudget::Entry& e : cache_->memory_budget()->Snapshot()) {
+      BudgetConsumerDelta d;
+      d.name = e.name;
+      d.new_capacity_bytes = e.capacity_bytes;
+      d.usage_bytes = e.usage_bytes;
+      for (const MemoryBudget::Entry& b : before) {
+        if (b.name == e.name) {
+          d.old_capacity_bytes = b.capacity_bytes;
+          break;
+        }
+      }
+      info.budget.push_back(std::move(d));
+    }
+  }
 
   info.new_range_ratio = cache_->range_ratio();
   info.new_point_threshold = point_admission_->threshold();
@@ -149,6 +258,9 @@ void PolicyController::OnWindowEnd(const WindowStats& window,
   if (info.secondary_controlled) {
     info.new_secondary_capacity_bytes = secondary->GetCapacity();
     info.new_demotion_threshold = secondary->admission_threshold();
+  }
+  if (bloom_bits_probe_ != nullptr) {
+    info.new_bloom_bits_per_key = bloom_bits_probe_();
   }
 
   if (statistics_ != nullptr) {
@@ -164,6 +276,24 @@ void PolicyController::OnWindowEnd(const WindowStats& window,
           static_cast<double>(info.new_secondary_capacity_bytes));
       statistics_->SetGauge(kGaugeSecondaryDemotionThreshold,
                             info.new_demotion_threshold);
+    }
+    for (const BudgetConsumerDelta& d : info.budget) {
+      double cap = static_cast<double>(d.new_capacity_bytes);
+      if (d.name == kBudgetBlockCache) {
+        statistics_->SetGauge(kGaugeBlockCacheCapacityBytes, cap);
+      } else if (d.name == kBudgetRangeCache) {
+        statistics_->SetGauge(kGaugeRangeCacheCapacityBytes, cap);
+      } else if (d.name == kBudgetMemtable) {
+        statistics_->SetGauge(kGaugeMemtableCapacityBytes, cap);
+      } else if (d.name == kBudgetBloom) {
+        statistics_->SetGauge(kGaugeBloomCapacityBytes, cap);
+      } else if (d.name == kBudgetSecondaryDramIndex) {
+        statistics_->SetGauge(kGaugeSecondaryIndexCapacityBytes, cap);
+      }
+    }
+    if (info.memwall_controlled && bloom_bits_probe_ != nullptr) {
+      statistics_->SetGauge(kGaugeBloomBitsPerKey,
+                            info.new_bloom_bits_per_key);
     }
   }
   // Listeners run with mu_ held: the trace stays ordered by window and the
@@ -277,8 +407,38 @@ std::vector<float> PolicyController::TargetActionFor(
   float secondary_occupancy = state.size() > 12 ? state[12] : 0.0f;
   float demote_action =
       (secondary_occupancy >= 0.7f || write_ratio >= 0.4f) ? 0.4f : 0.15f;
-  return {range_ratio, threshold_action, a_action,
-          b_action,    secondary_frac,   demote_action};
+
+  // Unified-wall targets (actions 6 and 7), per "Breaking Down Memory
+  // Walls": a write-heavy or stalling workload buys flush relief with a
+  // bigger write buffer; read-dominant mixes shrink it back into cache.
+  // Bloom bits pay off for point lookups over a deep tree (every level
+  // skipped saves a read) and are wasted on scan-dominant mixes (scans
+  // can't use filters). Write-heavy mixes deliberately do NOT cut bloom:
+  // bits/key is sticky state — the tables built during a write burst carry
+  // their filters until compaction rewrites them, so starving bloom while
+  // writing poisons the next read phase for a ~5%-of-wall saving.
+  float stall_rate = state.size() > 13 ? state[13] : 0.0f;
+  float level_depth = state.size() > 10 ? state[10] : 0.0f;
+  // The read-phase shrink stays moderate (0.25, ~16% of the wall): cutting
+  // harder would force-rotate the memtable's write-hot entries to L0,
+  // trading free memtable hits for disk reads until the grown cache warms.
+  // Write bursts saturate the action: 1.0 maps to max_memtable_fraction,
+  // matching the biggest buffer a static carve could ship — anything less
+  // runs a smaller buffer than the baseline right at the stall boundary.
+  float memtable_action = 0.4f;
+  if (write_ratio >= 0.4f || stall_rate >= 0.3f) {
+    memtable_action = 1.0f;
+  } else if (write_ratio < 0.1f) {
+    memtable_action = 0.25f;
+  }
+  float bloom_action = 0.5f;
+  if (scan_ratio >= 0.6f && point_ratio < 0.2f) {
+    bloom_action = 0.1f;
+  } else if (point_ratio >= 0.6f && level_depth >= 0.4f) {
+    bloom_action = 0.8f;
+  }
+  return {range_ratio,   threshold_action, a_action,        b_action,
+          secondary_frac, demote_action,   memtable_action, bloom_action};
 }
 
 float PolicyController::PretrainHeuristic(int steps, uint64_t seed) {
@@ -310,6 +470,10 @@ float PolicyController::PretrainHeuristic(int steps, uint64_t seed) {
         static_cast<float>(rng.NextDouble()),       // level depth
         static_cast<float>(rng.NextDouble()),       // secondary hit rate
         static_cast<float>(rng.NextDouble()),       // secondary occupancy
+        // Write stalls track the write share of the mix.
+        write_ratio * static_cast<float>(rng.NextDouble()),
+        static_cast<float>(rng.NextDouble() * 0.5), // flush debt
+        static_cast<float>(rng.NextDouble() * 0.3), // bloom FPR estimate
     };
     loss = agent_->PretrainStep(state, TargetActionFor(state));
   }

@@ -2,6 +2,7 @@
 #define ADCACHE_CORE_POLICY_CONTROLLER_H_
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,6 +36,32 @@ struct ControllerOptions {
   /// the h_est reward: a secondary hit counts as this fraction of a miss
   /// (see IoEstimator::EstimateHitRate).
   double secondary_flash_cost = 0.2;
+  /// Unified memory wall: let the agent re-carve the whole DRAM budget —
+  /// memtable, bloom and secondary-index consumers alongside the block and
+  /// range caches — through one MemoryBudget DRAM plan per window (action
+  /// dims 6 and 7). Requires those consumers to be registered as DRAM
+  /// consumers on the component's registry (AdCacheStore does this when
+  /// MemoryBudgetOptions::total_memory_budget is set); off (the default,
+  /// legacy mode) the agent only moves the block/range boundary and the
+  /// extra action dims are computed but not applied.
+  bool enable_memwall_control = false;
+  /// With memwall control on, these pick which write-side consumers the
+  /// agent may move. A frozen consumer is left out of the DRAM plan: it
+  /// keeps its carve-time capacity, which still counts against the wall
+  /// (MemoryBudget subtracts untargeted DRAM capacities from the share the
+  /// plan distributes). Mirrors MemoryBudgetOptions::adaptive_*.
+  bool control_write_buffer = true;
+  bool control_bloom = true;
+  /// Bounds of the memtable's share of the wall (action 6 maps into
+  /// [min, max]); bloom's share maps into [0, max_bloom_fraction].
+  double min_memtable_fraction = 0.05;
+  double max_memtable_fraction = 0.5;
+  double max_bloom_fraction = 0.08;
+  /// Weight of the window's flush/compaction/stall I/O in the h_est reward
+  /// (IoEstimator::EstimateHitRate's write_cost_weight). 0 keeps the
+  /// paper's read-only reward; AdCacheStore raises it under the unified
+  /// wall so the agent feels memtable/bloom decisions.
+  double write_cost_weight = 0.0;
   /// When false the (pretrained) policy is applied without online updates.
   bool online_learning = true;
   /// Apportion the range-cache budget across its key-range shards by
@@ -58,11 +85,12 @@ struct ControllerOptions {
 class PolicyController {
  public:
   /// 11 workload/cache features + 2 secondary-tier features (hit rate and
-  /// occupancy; zero when no flash tier is attached).
-  static constexpr int kStateDim = 13;
+  /// occupancy; zero when no flash tier is attached) + 3 write-side
+  /// features (write-stall rate, flush debt, bloom FPR estimate).
+  static constexpr int kStateDim = 16;
   /// range ratio, point threshold, scan a/b, secondary capacity fraction,
-  /// demotion-admission threshold.
-  static constexpr int kActionDim = 6;
+  /// demotion-admission threshold, memtable share, bloom share.
+  static constexpr int kActionDim = 8;
 
   PolicyController(const ControllerOptions& options,
                    DynamicCacheComponent* cache,
@@ -85,6 +113,14 @@ class PolicyController {
   /// Registry receiving the control-state gauges and the RL-action ticker
   /// (in addition to any StatisticsEventListener bridge). May be null.
   void SetStatistics(Statistics* statistics) { statistics_ = statistics; }
+
+  /// Telemetry probe for the live bloom bits/key threshold (installed by
+  /// the store under the unified wall; the registry only carries bytes).
+  /// Feeds RlActionInfo::old/new_bloom_bits_per_key and the gauge. Install
+  /// before traffic — not synchronised against OnWindowEnd.
+  void SetBloomBitsProbe(std::function<int()> probe) {
+    bloom_bits_probe_ = std::move(probe);
+  }
 
   double smoothed_hit_rate() const { return h_smoothed_; }
   double last_reward() const { return last_reward_; }
@@ -121,6 +157,9 @@ class PolicyController {
                                 const LsmShapeParams& shape,
                                 double h_est) const;
   void ApplyAction(const std::vector<float>& action);
+  /// True when the unified-wall action path is live: memwall control is
+  /// enabled AND the memtable consumer is registered as a DRAM consumer.
+  bool MemwallControlled() const;
   /// Requires mu_. Differences the per-shard range-cache hit/miss tickers
   /// since the previous window, folds them into per-shard h_est EWMAs, and
   /// installs the resulting lease weights on the cache component.
@@ -133,6 +172,7 @@ class PolicyController {
   std::unique_ptr<rl::ActorCriticAgent> agent_;
   std::vector<std::shared_ptr<EventListener>> listeners_;
   Statistics* statistics_ = nullptr;
+  std::function<int()> bloom_bits_probe_;
 
   mutable std::mutex mu_;
   bool have_prev_ = false;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "core/memory_budget.h"
+
 namespace adcache::core {
 
 namespace {
@@ -56,6 +58,12 @@ const char* const kGaugeNames[kGaugeCount] = {
     "adcache.gauge.secondary_capacity_bytes",  // kGaugeSecondaryCapacityBytes
     "adcache.gauge.secondary_usage_bytes",     // kGaugeSecondaryUsageBytes
     "adcache.gauge.secondary_demotion_threshold",  // kGaugeSecondaryDemotionThreshold
+    "adcache.gauge.block_cache_capacity_bytes",  // kGaugeBlockCacheCapacityBytes
+    "adcache.gauge.range_cache_capacity_bytes",  // kGaugeRangeCacheCapacityBytes
+    "adcache.gauge.memtable_capacity_bytes",   // kGaugeMemtableCapacityBytes
+    "adcache.gauge.bloom_capacity_bytes",      // kGaugeBloomCapacityBytes
+    "adcache.gauge.secondary_index_capacity_bytes",  // kGaugeSecondaryIndexCapacityBytes
+    "adcache.gauge.bloom_bits_per_key",        // kGaugeBloomBitsPerKey
 };
 
 const char* const kShardTickerNames[kShardTickerCount] = {
@@ -193,6 +201,43 @@ std::string Statistics::ToJson() const {
   }
   out << "]}";
   return out.str();
+}
+
+void StatisticsEventListener::OnRlAction(const RlActionInfo& info) {
+  stats_->RecordTick(kTickerRlActions);
+  stats_->SetGauge(kGaugeRangeRatio, info.new_range_ratio);
+  stats_->SetGauge(kGaugePointThreshold, info.new_point_threshold);
+  stats_->SetGauge(kGaugeScanA, info.new_scan_a);
+  stats_->SetGauge(kGaugeScanB, info.new_scan_b);
+  stats_->SetGauge(kGaugeSmoothedHitRate, info.smoothed_hit_rate);
+  if (info.secondary_controlled) {
+    stats_->SetGauge(kGaugeSecondaryCapacityBytes,
+                     static_cast<double>(info.new_secondary_capacity_bytes));
+    stats_->SetGauge(kGaugeSecondaryDemotionThreshold,
+                     info.new_demotion_threshold);
+  }
+  if (info.memwall_controlled) {
+    stats_->SetGauge(kGaugeBloomBitsPerKey, info.new_bloom_bits_per_key);
+  }
+  // Schema v2: the named budget vector is authoritative for capacities.
+  for (const BudgetConsumerDelta& d : info.budget) {
+    double cap = static_cast<double>(d.new_capacity_bytes);
+    if (d.name == kBudgetBlockCache) {
+      stats_->SetGauge(kGaugeBlockCacheCapacityBytes, cap);
+    } else if (d.name == kBudgetRangeCache) {
+      stats_->SetGauge(kGaugeRangeCacheCapacityBytes, cap);
+    } else if (d.name == kBudgetMemtable) {
+      stats_->SetGauge(kGaugeMemtableCapacityBytes, cap);
+    } else if (d.name == kBudgetBloom) {
+      stats_->SetGauge(kGaugeBloomCapacityBytes, cap);
+    } else if (d.name == kBudgetSecondaryDramIndex) {
+      stats_->SetGauge(kGaugeSecondaryIndexCapacityBytes, cap);
+    } else if (d.name == kBudgetSecondaryFlash) {
+      stats_->SetGauge(kGaugeSecondaryCapacityBytes, cap);
+      stats_->SetGauge(kGaugeSecondaryUsageBytes,
+                       static_cast<double>(d.usage_bytes));
+    }
+  }
 }
 
 const char* Statistics::TickerName(Ticker ticker) {

@@ -79,6 +79,16 @@ enum Gauge : uint32_t {
   kGaugeSecondaryCapacityBytes,
   kGaugeSecondaryUsageBytes,
   kGaugeSecondaryDemotionThreshold,
+  /// Unified memory wall: per-consumer capacities from the MemoryBudget
+  /// registry, refreshed from the RlActionInfo budget vector on every
+  /// controller step (and seeded at store open).
+  kGaugeBlockCacheCapacityBytes,
+  kGaugeRangeCacheCapacityBytes,
+  kGaugeMemtableCapacityBytes,
+  kGaugeBloomCapacityBytes,
+  kGaugeSecondaryIndexCapacityBytes,
+  /// Live bloom bits/key threshold applied to newly built tables.
+  kGaugeBloomBitsPerKey,
   kGaugeCount
 };
 
@@ -299,20 +309,7 @@ class StatisticsEventListener : public EventListener {
     stats_->RecordTick(kTickerCacheBoundaryMoves);
     stats_->SetGauge(kGaugeRangeRatio, info.new_range_ratio);
   }
-  void OnRlAction(const RlActionInfo& info) override {
-    stats_->RecordTick(kTickerRlActions);
-    stats_->SetGauge(kGaugeRangeRatio, info.new_range_ratio);
-    stats_->SetGauge(kGaugePointThreshold, info.new_point_threshold);
-    stats_->SetGauge(kGaugeScanA, info.new_scan_a);
-    stats_->SetGauge(kGaugeScanB, info.new_scan_b);
-    stats_->SetGauge(kGaugeSmoothedHitRate, info.smoothed_hit_rate);
-    if (info.secondary_controlled) {
-      stats_->SetGauge(kGaugeSecondaryCapacityBytes,
-                       static_cast<double>(info.new_secondary_capacity_bytes));
-      stats_->SetGauge(kGaugeSecondaryDemotionThreshold,
-                       info.new_demotion_threshold);
-    }
-  }
+  void OnRlAction(const RlActionInfo& info) override;
 
  private:
   Statistics* stats_;

@@ -90,7 +90,11 @@ uint64_t WallMicros() {
 // ---------------------------------------------------------------------------
 
 DB::DB(const Options& options, std::string dbname, Env* env)
-    : options_(options), dbname_(std::move(dbname)), env_(env) {
+    : options_(options),
+      dbname_(std::move(dbname)),
+      env_(env),
+      write_buffer_size_(options.memtable_size),
+      bloom_bits_per_key_(options.bloom_bits_per_key) {
   compact_pointer_.assign(static_cast<size_t>(options_.num_levels), 0);
   local_sv_ =
       std::make_unique<util::ThreadLocalPtr>(&DB::SuperVersionUnrefHandler);
@@ -564,7 +568,8 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* l,
     }
     if (!force_switch &&
         (mem_->num_entries() == 0 ||  // arena pre-allocation is not "full"
-         mem_->ApproximateMemoryUsage() < options_.memtable_size)) {
+         mem_->ApproximateMemoryUsage() <
+             write_buffer_size_.load(std::memory_order_relaxed))) {
       SetStallConditionLocked(core::WriteStallCondition::kNormal);
       return Status::OK();  // room in the active memtable
     }
@@ -683,7 +688,8 @@ Status DB::FlushOldestImm(std::unique_lock<std::mutex>* l) {
     std::unique_ptr<WritableFile> file;
     s = env_->NewWritableFile(TableFileName(dbname_, file_number), &file);
     if (s.ok()) {
-      TableBuilder builder(options_, std::move(file));
+      TableBuilder builder(options_, std::move(file),
+                           bloom_bits_per_key_.load(std::memory_order_relaxed));
       std::unique_ptr<Iterator> iter(imm->NewIterator());
       for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
         if (meta->smallest.empty()) meta->smallest = iter->key().ToString();
@@ -930,7 +936,9 @@ bool DB::MaybeCompactOnce(Status* s) {
       std::unique_ptr<WritableFile> file;
       *s = env_->NewWritableFile(TableFileName(dbname_, out_number), &file);
       if (!s->ok()) return false;
-      builder = std::make_unique<TableBuilder>(options_, std::move(file));
+      builder = std::make_unique<TableBuilder>(
+          options_, std::move(file),
+          bloom_bits_per_key_.load(std::memory_order_relaxed));
       out_meta = std::make_shared<FileMetaData>();
       out_meta->number = out_number;
       out_meta->smallest = internal_key.ToString();
@@ -1135,7 +1143,9 @@ bool DB::UniversalCompactOnce(Status* s) {
       std::unique_ptr<WritableFile> file;
       *s = env_->NewWritableFile(TableFileName(dbname_, out_number), &file);
       if (!s->ok()) return false;
-      builder = std::make_unique<TableBuilder>(options_, std::move(file));
+      builder = std::make_unique<TableBuilder>(
+          options_, std::move(file),
+          bloom_bits_per_key_.load(std::memory_order_relaxed));
       out_meta = std::make_shared<FileMetaData>();
       out_meta->number = out_number;
       out_meta->smallest = internal_key.ToString();
@@ -1708,7 +1718,66 @@ DB::LsmShape DB::GetLsmShape() const {
       blocks == 0 ? 0
                   : static_cast<double>(total_table_entries_.load()) /
                         static_cast<double>(blocks);
+  // Entry-weighted bloom telemetry over the live tree (each table records
+  // the bits/key its filter was built with in its footer).
+  double weighted_bits = 0;
+  for (int lvl = 0; lvl < version->num_levels(); lvl++) {
+    for (const auto& meta : version->files(lvl)) {
+      if (meta == nullptr || meta->table == nullptr) continue;
+      uint64_t entries = meta->table->num_entries();
+      shape.live_entries += entries;
+      shape.filter_bytes += meta->table->filter_bytes();
+      weighted_bits += static_cast<double>(entries) *
+                       static_cast<double>(meta->table->bloom_bits_per_key());
+    }
+  }
+  shape.avg_bloom_bits_per_key =
+      shape.live_entries == 0
+          ? 0
+          : weighted_bits / static_cast<double>(shape.live_entries);
   return shape;
+}
+
+void DB::SetWriteBufferSize(size_t bytes) {
+  static constexpr size_t kMinWriteBuffer = 64 << 10;
+  bytes = std::max(bytes, kMinWriteBuffer);
+  size_t old = write_buffer_size_.exchange(bytes, std::memory_order_relaxed);
+  if (bytes >= old) return;
+  // Shrink: rotate early when the active memtable already exceeds the new
+  // target, so the freed bytes come back now. Pre-check under mutex_ that a
+  // switch is safe and non-blocking — a full immutable list would make the
+  // switch request stall in MakeRoomForWrite, and this is typically the
+  // controller thread.
+  {
+    std::lock_guard<std::mutex> l(mutex_);
+    size_t max_imm = options_.max_write_buffer_number > 1
+                         ? static_cast<size_t>(
+                               options_.max_write_buffer_number - 1)
+                         : 1;
+    if (shutting_down_ || closed_ || mem_ == nullptr ||
+        mem_->num_entries() == 0 ||
+        mem_->ApproximateMemoryUsage() <= bytes ||
+        imm_.size() >= max_imm) {
+      return;
+    }
+  }
+  // Route the switch through the writer queue (group-commit safe); see
+  // FlushMemTable. A concurrent fill-up racing us at worst switches twice.
+  WriteImpl(WriteOptions(), nullptr);
+}
+
+size_t DB::WriteBufferUsage() const {
+  std::lock_guard<std::mutex> l(mutex_);
+  size_t usage = mem_ != nullptr ? mem_->ApproximateMemoryUsage() : 0;
+  for (const MemTable* m : imm_) {
+    usage += m->ApproximateMemoryUsage();
+  }
+  return usage;
+}
+
+void DB::SetBloomBitsPerKey(int bits_per_key) {
+  bits_per_key = std::clamp(bits_per_key, 0, 32);
+  bloom_bits_per_key_.store(bits_per_key, std::memory_order_relaxed);
 }
 
 DB::MaintenanceStats DB::GetMaintenanceStats() const {

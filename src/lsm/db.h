@@ -72,6 +72,13 @@ class DB {
     std::vector<int> files_per_level;
     /// Average entries per data block (paper's B), from table metadata.
     double entries_per_block = 0;
+    /// Live-tree bloom telemetry, aggregated over the current version's
+    /// tables: total entries, total pinned filter bytes, and the
+    /// entry-weighted average bits/key the filters were built with (the
+    /// tree mixes thresholds once bits become dynamic). 0 when empty.
+    uint64_t live_entries = 0;
+    uint64_t filter_bytes = 0;
+    double avg_bloom_bits_per_key = 0;
   };
 
   /// Cumulative background-maintenance and write-path counters. All fields
@@ -136,6 +143,27 @@ class DB {
   MaintenanceStats GetMaintenanceStats() const;
   Env* env() const { return env_; }
   const Options& options() const { return options_; }
+
+  /// Retargets the write-buffer (memtable) budget at runtime. Shrinking
+  /// below the active memtable's current fill queues an early rotation
+  /// through the writer queue (group-commit safe) so the budget takes
+  /// effect now rather than at the next natural switch; the rotation is
+  /// skipped while the immutable list is full (it would stall the caller —
+  /// typically the RL controller thread). Floored at 64 KiB.
+  void SetWriteBufferSize(size_t bytes);
+  size_t write_buffer_size() const {
+    return write_buffer_size_.load(std::memory_order_relaxed);
+  }
+  /// Bytes currently held by the active + immutable memtables.
+  size_t WriteBufferUsage() const;
+
+  /// Retargets the bloom bits/key applied to tables built by future
+  /// flushes/compactions. Existing tables keep their filters (each table
+  /// records its own bits; see table_format.h). Clamped to [0, 32].
+  void SetBloomBitsPerKey(int bits_per_key);
+  int bloom_bits_per_key() const {
+    return bloom_bits_per_key_.load(std::memory_order_relaxed);
+  }
 
   /// Forces a memtable flush and waits for background maintenance
   /// (flushes + cascading compactions) to quiesce (testing / benchmarks).
@@ -324,6 +352,12 @@ class DB {
   // Aggregate table-format telemetry for entries_per_block.
   std::atomic<uint64_t> total_table_entries_{0};
   std::atomic<uint64_t> total_table_blocks_{0};
+
+  /// Dynamic budgets (unified memory wall). Seeded from options_ at open;
+  /// retargeted by SetWriteBufferSize / SetBloomBitsPerKey. Read with
+  /// relaxed loads on the write path / in flush+compaction jobs.
+  std::atomic<size_t> write_buffer_size_;
+  std::atomic<int> bloom_bits_per_key_;
 };
 
 }  // namespace adcache::lsm

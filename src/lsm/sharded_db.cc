@@ -396,10 +396,19 @@ DB::LsmShape ShardedDB::GetLsmShape() const {
       entries_per_block_sum += s.entries_per_block;
       ++shards_with_tables;
     }
+    out.live_entries += s.live_entries;
+    out.filter_bytes += s.filter_bytes;
+    out.avg_bloom_bits_per_key +=
+        s.avg_bloom_bits_per_key * static_cast<double>(s.live_entries);
   }
   if (shards_with_tables > 0) {
     out.entries_per_block = entries_per_block_sum / shards_with_tables;
   }
+  // Entry-weighted average over shards (accumulated as a weighted sum).
+  out.avg_bloom_bits_per_key =
+      out.live_entries == 0
+          ? 0
+          : out.avg_bloom_bits_per_key / static_cast<double>(out.live_entries);
   return out;
 }
 
@@ -416,6 +425,35 @@ DB::MaintenanceStats ShardedDB::GetMaintenanceStats() const {
     out.slowdown_writes += s.slowdown_writes;
   }
   return out;
+}
+
+void ShardedDB::SetWriteBufferSize(size_t total_bytes) {
+  size_t per_shard = total_bytes / shards_.size();
+  for (auto& shard : shards_) {
+    shard->SetWriteBufferSize(per_shard);
+  }
+}
+
+size_t ShardedDB::write_buffer_size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->write_buffer_size();
+  }
+  return total;
+}
+
+size_t ShardedDB::WriteBufferUsage() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->WriteBufferUsage();
+  }
+  return total;
+}
+
+void ShardedDB::SetBloomBitsPerKey(int bits_per_key) {
+  for (auto& shard : shards_) {
+    shard->SetBloomBitsPerKey(bits_per_key);
+  }
 }
 
 Status ShardedDB::FlushMemTable() {

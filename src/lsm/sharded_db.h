@@ -109,6 +109,18 @@ class ShardedDB {
   Status FlushMemTable();
   Status CompactAll();
 
+  /// Splits a facade-level write-buffer budget evenly across shards and
+  /// retargets each (DB::SetWriteBufferSize semantics per shard, including
+  /// early rotation on shrink).
+  void SetWriteBufferSize(size_t total_bytes);
+  /// Sum of the per-shard write-buffer targets.
+  size_t write_buffer_size() const;
+  /// Sum of the shards' active + immutable memtable bytes.
+  size_t WriteBufferUsage() const;
+  /// Applies one bloom bits/key threshold to every shard's future tables.
+  void SetBloomBitsPerKey(int bits_per_key);
+  int bloom_bits_per_key() const { return shards_[0]->bloom_bits_per_key(); }
+
   /// The shared maintenance pool every shard schedules on.
   util::ThreadPool* background_pool() const { return pool_.get(); }
 

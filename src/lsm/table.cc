@@ -83,13 +83,16 @@ Status Table::Open(const Options& options,
                    uint64_t file_number, Env* env,
                    std::unique_ptr<Table>* table) {
   uint64_t size = file->Size();
-  if (size < Footer::kEncodedLength) {
+  if (size < Footer::kLegacyEncodedLength) {
     return Status::Corruption("file too short to be an sstable");
   }
-  std::string footer_space(Footer::kEncodedLength, '\0');
+  // Read enough tail bytes for the larger (v2) footer; DecodeFrom picks the
+  // layout from the magic in the last 8 bytes, so short v1 files work too.
+  uint64_t footer_len = std::min<uint64_t>(size, Footer::kEncodedLength);
+  std::string footer_space(footer_len, '\0');
   Slice footer_input;
-  Status s = file->Read(size - Footer::kEncodedLength, Footer::kEncodedLength,
-                        &footer_input, footer_space.data());
+  Status s = file->Read(size - footer_len, footer_len, &footer_input,
+                        footer_space.data());
   if (!s.ok()) return s;
   env->io_stats()->meta_block_reads++;
 

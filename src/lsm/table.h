@@ -103,6 +103,13 @@ class Table {
 
   uint64_t num_entries() const { return footer_.num_entries; }
   uint64_t file_number() const { return file_number_; }
+  /// Bits/key this table's filter was built with (footer v2 telemetry;
+  /// 0 = no filter, legacy tables report 10 when a filter is present).
+  int bloom_bits_per_key() const {
+    return static_cast<int>(footer_.bloom_bits_per_key);
+  }
+  /// Pinned filter block size in bytes (0 without a filter).
+  uint64_t filter_bytes() const { return footer_.filter_handle.size; }
 
   /// The file-number half of this table's block-cache keys. SST numbers
   /// are assigned per-DB, so when several key-range shards share one block

@@ -7,13 +7,16 @@
 namespace adcache::lsm {
 
 TableBuilder::TableBuilder(const Options& options,
-                           std::unique_ptr<WritableFile> file)
+                           std::unique_ptr<WritableFile> file,
+                           int bloom_bits_per_key)
     : options_(options),
       file_(std::move(file)),
+      bloom_bits_per_key_(bloom_bits_per_key >= 0
+                              ? bloom_bits_per_key
+                              : options.bloom_bits_per_key),
       data_block_(options.block_restart_interval),
       index_block_(1),
-      filter_(options.bloom_bits_per_key > 0 ? options.bloom_bits_per_key
-                                             : 10) {}
+      filter_(bloom_bits_per_key_ > 0 ? bloom_bits_per_key_ : 10) {}
 
 void TableBuilder::Add(const Slice& internal_key, const Slice& value) {
   if (!status_.ok()) return;
@@ -28,7 +31,7 @@ void TableBuilder::Add(const Slice& internal_key, const Slice& value) {
     pending_index_entry_ = false;
   }
 
-  if (options_.bloom_bits_per_key > 0) {
+  if (bloom_bits_per_key_ > 0) {
     filter_.AddKey(ExtractUserKey(internal_key));
   }
   data_block_.Add(internal_key, value);
@@ -69,8 +72,10 @@ Status TableBuilder::Finish() {
 
   Footer footer;
   footer.num_entries = num_entries_;
+  footer.bloom_bits_per_key =
+      bloom_bits_per_key_ > 0 ? static_cast<uint64_t>(bloom_bits_per_key_) : 0;
 
-  if (options_.bloom_bits_per_key > 0) {
+  if (bloom_bits_per_key_ > 0) {
     std::string filter_contents = filter_.Finish();
     status_ = WriteBlock(Slice(filter_contents), &footer.filter_handle);
     if (!status_.ok()) return status_;

@@ -17,7 +17,12 @@ namespace adcache::lsm {
 /// and a fixed footer. Keys (internal) must be added in sorted order.
 class TableBuilder {
  public:
-  TableBuilder(const Options& options, std::unique_ptr<WritableFile> file);
+  /// `bloom_bits_per_key` overrides options.bloom_bits_per_key for this
+  /// table (the DB passes its live dynamic threshold at flush/compaction
+  /// time); < 0 adopts the static option. 0 disables the filter. The bits
+  /// actually used are recorded in the footer.
+  TableBuilder(const Options& options, std::unique_ptr<WritableFile> file,
+               int bloom_bits_per_key = -1);
 
   TableBuilder(const TableBuilder&) = delete;
   TableBuilder& operator=(const TableBuilder&) = delete;
@@ -28,6 +33,8 @@ class TableBuilder {
   Status Finish();
 
   uint64_t NumEntries() const { return num_entries_; }
+  /// Resolved bits/key this table's filter is being built with (0 = none).
+  int bloom_bits_per_key() const { return bloom_bits_per_key_; }
   /// Bytes written so far (approximate file size while building).
   uint64_t FileSize() const { return offset_ + data_block_.CurrentSizeEstimate(); }
   Status status() const { return status_; }
@@ -38,6 +45,7 @@ class TableBuilder {
 
   Options options_;
   std::unique_ptr<WritableFile> file_;
+  int bloom_bits_per_key_;
   BlockBuilder data_block_;
   BlockBuilder index_block_;
   BloomFilterBuilder filter_;

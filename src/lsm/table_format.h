@@ -28,16 +28,31 @@ struct BlockHandle {
   }
 };
 
-/// Fixed-size footer at the end of every SSTable:
+/// Fixed-size footer at the end of every SSTable.
+///
+/// v2 (current writer):
 ///   filter handle offset/size (fixed64 x2), index handle offset/size
-///   (fixed64 x2), entry count (fixed64), magic (fixed64).
+///   (fixed64 x2), entry count (fixed64), bloom bits/key (fixed64),
+///   magic v2 (fixed64).
+/// v1 (legacy, still readable):
+///   same without the bloom-bits field, terminated by the v1 magic.
+///
+/// The bloom filter block itself is self-describing (the probe count is
+/// encoded in the block), so the recorded bits/key is telemetry: it lets
+/// the store aggregate a live entry-weighted bloom-bits average across the
+/// tree once bits become a dynamic, per-table decision.
 struct Footer {
   BlockHandle filter_handle;
   BlockHandle index_handle;
   uint64_t num_entries = 0;
+  /// Bits/key threshold this table's filter was built with (0 = none).
+  /// Tables written before v2 report 10 when a filter is present.
+  uint64_t bloom_bits_per_key = 0;
 
-  static constexpr size_t kEncodedLength = 6 * 8;
+  static constexpr size_t kEncodedLength = 7 * 8;
+  static constexpr size_t kLegacyEncodedLength = 6 * 8;
   static constexpr uint64_t kMagic = 0xadcac4e5517ab1e5ULL;
+  static constexpr uint64_t kMagicV2 = 0xadcac4e5517ab1e6ULL;
 
   void EncodeTo(std::string* dst) const {
     PutFixed64(dst, filter_handle.offset);
@@ -45,22 +60,38 @@ struct Footer {
     PutFixed64(dst, index_handle.offset);
     PutFixed64(dst, index_handle.size);
     PutFixed64(dst, num_entries);
-    PutFixed64(dst, kMagic);
+    PutFixed64(dst, bloom_bits_per_key);
+    PutFixed64(dst, kMagicV2);
   }
 
+  /// Decodes from the *tail* of `input` (the magic in the last 8 bytes
+  /// selects the layout), so callers can pass the last kEncodedLength bytes
+  /// of any table regardless of which version wrote it.
   Status DecodeFrom(const Slice& input) {
-    if (input.size() < kEncodedLength) {
+    if (input.size() < kLegacyEncodedLength) {
       return Status::Corruption("footer too short");
     }
-    const char* p = input.data();
+    uint64_t magic = DecodeFixed64(input.data() + input.size() - 8);
+    size_t length = 0;
+    if (magic == kMagicV2) {
+      if (input.size() < kEncodedLength) {
+        return Status::Corruption("footer too short");
+      }
+      length = kEncodedLength;
+    } else if (magic == kMagic) {
+      length = kLegacyEncodedLength;
+    } else {
+      return Status::Corruption("bad table magic");
+    }
+    const char* p = input.data() + input.size() - length;
     filter_handle.offset = DecodeFixed64(p);
     filter_handle.size = DecodeFixed64(p + 8);
     index_handle.offset = DecodeFixed64(p + 16);
     index_handle.size = DecodeFixed64(p + 24);
     num_entries = DecodeFixed64(p + 32);
-    if (DecodeFixed64(p + 40) != kMagic) {
-      return Status::Corruption("bad table magic");
-    }
+    bloom_bits_per_key = magic == kMagicV2
+                             ? DecodeFixed64(p + 40)
+                             : (filter_handle.size > 0 ? 10 : 0);
     return Status::OK();
   }
 };

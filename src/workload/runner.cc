@@ -182,10 +182,17 @@ PhaseResult Runner::RunPhase(const Phase& phase,
   core::LsmShapeParams shape;
   shape.num_levels = raw.num_levels_nonempty > 0 ? raw.num_levels_nonempty : 1;
   shape.l0_max_runs = store_->db()->options().l0_stop_trigger;
+  shape.l0_files = raw.l0_files;
+  shape.imm_memtables = raw.imm_memtables;
   shape.entries_per_block =
       raw.entries_per_block > 0 ? raw.entries_per_block : 4.0;
-  shape.bloom_fpr = core::IoEstimator::BloomFprForBitsPerKey(
-      store_->db()->options().bloom_bits_per_key);
+  // Live per-table filter telemetry, not the static option: once the
+  // unified wall moves bits/key, the tree mixes thresholds and the static
+  // value goes stale. The (dynamic) threshold stands in for an empty tree.
+  shape.bloom_fpr = core::IoEstimator::BloomFprForBits(
+      raw.live_entries > 0
+          ? raw.avg_bloom_bits_per_key
+          : static_cast<double>(store_->db()->bloom_bits_per_key()));
   r.hit_rate = core::IoEstimator::EstimateHitRate(w, shape);
 
   uint64_t elapsed =

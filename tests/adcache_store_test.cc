@@ -84,12 +84,15 @@ TEST_F(AdCacheStoreTest, ScanReturnsOrderedResults) {
 
 TEST_F(AdCacheStoreTest, RepeatedScanEventuallyServedFromCache) {
   Fill(200);
+  // Fill closes tuning windows, so the controller may have moved the full-
+  // admission cutoff `a` off its default by now (it hovers near 16). A
+  // 12-entry scan stays comfortably under it and is admitted whole, making
+  // the repeat a cache hit regardless of the agent's exact trajectory.
   std::vector<KvPair> results;
-  // Default a=16: a 16-entry scan is fully admitted on the first pass.
-  ASSERT_TRUE(store_->Scan(Slice(Key(20)), 16, &results).ok());
+  ASSERT_TRUE(store_->Scan(Slice(Key(20)), 12, &results).ok());
   uint64_t hits_before = store_->GetCacheStats().range_hits;
-  ASSERT_TRUE(store_->Scan(Slice(Key(20)), 16, &results).ok());
-  EXPECT_EQ(results.size(), 16u);
+  ASSERT_TRUE(store_->Scan(Slice(Key(20)), 12, &results).ok());
+  EXPECT_EQ(results.size(), 12u);
   EXPECT_GT(store_->GetCacheStats().range_hits, hits_before);
 }
 

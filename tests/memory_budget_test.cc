@@ -1,0 +1,285 @@
+#include "core/memory_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/adcache_store.h"
+#include "core/event_listener.h"
+#include "util/clock.h"
+#include "util/env.h"
+
+namespace adcache::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry-level tests (no store).
+// ---------------------------------------------------------------------------
+
+// A self-counting DRAM consumer backed by one shared "transient sum" so a
+// test can observe the total DRAM footprint at every intermediate point of
+// a plan, not just after it completes.
+class CountingConsumer : public MemoryConsumer {
+ public:
+  CountingConsumer(size_t initial, std::atomic<size_t>* transient_sum,
+                   std::atomic<size_t>* transient_max, size_t min = 0)
+      : capacity_(initial),
+        min_(min),
+        transient_sum_(transient_sum),
+        transient_max_(transient_max) {
+    transient_sum_->fetch_add(initial);
+  }
+
+  size_t capacity() const override { return capacity_.load(); }
+  size_t usage() const override { return capacity_.load(); }
+  size_t min_capacity() const override { return min_; }
+  void SetCapacity(size_t bytes) override {
+    size_t old = capacity_.exchange(bytes);
+    size_t now;
+    if (bytes >= old) {
+      now = transient_sum_->fetch_add(bytes - old) + (bytes - old);
+    } else {
+      now = transient_sum_->fetch_sub(old - bytes) - (old - bytes);
+    }
+    size_t seen = transient_max_->load();
+    while (now > seen && !transient_max_->compare_exchange_weak(seen, now)) {
+    }
+  }
+
+ private:
+  std::atomic<size_t> capacity_;
+  size_t min_;
+  std::atomic<size_t>* transient_sum_;
+  std::atomic<size_t>* transient_max_;
+};
+
+TEST(MemoryBudgetTest, SumInvariantHoldsUnderConcurrentResize) {
+  constexpr size_t kTotal = 1 << 20;
+  MemoryBudget budget(kTotal);
+  std::atomic<size_t> sum{0}, peak{0};
+  const char* names[] = {kBudgetBlockCache, kBudgetRangeCache,
+                         kBudgetMemtable, kBudgetBloom,
+                         kBudgetSecondaryDramIndex};
+  for (const char* name : names) {
+    budget.Register(name, std::make_shared<CountingConsumer>(kTotal / 5,
+                                                             &sum, &peak));
+  }
+  // Hammer the registry with conflicting full-wall plans from 4 threads.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; i++) {
+        size_t a = static_cast<size_t>((t * 37 + i * 13) % 90 + 5);
+        budget.ApplyDramPlan({{names[(t + i) % 5], a * (kTotal / 100)},
+                              {names[(t + i + 1) % 5], kTotal / 10},
+                              {names[(t + i + 2) % 5], kTotal / 10},
+                              {names[(t + i + 3) % 5], kTotal / 10},
+                              {names[(t + i + 4) % 5], kTotal / 10}});
+        // Every plan leaves the DRAM domain summing exactly to the wall.
+        EXPECT_EQ(budget.DramCapacitySum(), kTotal);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(budget.DramCapacitySum(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal);
+}
+
+TEST(MemoryBudgetTest, ShrinksBeforeGrowsSoTransientSumStaysBounded) {
+  constexpr size_t kTotal = 1 << 20;
+  MemoryBudget budget(kTotal);
+  std::atomic<size_t> sum{0}, peak{0};
+  budget.Register("a", std::make_shared<CountingConsumer>(kTotal / 2, &sum,
+                                                          &peak));
+  budget.Register("b", std::make_shared<CountingConsumer>(kTotal / 2, &sum,
+                                                          &peak));
+  peak.store(sum.load());
+  // Swap the split back and forth; had grows run first, the transient sum
+  // would overshoot the wall by the moved amount.
+  for (int i = 0; i < 50; i++) {
+    bool flip = (i % 2) == 0;
+    budget.ApplyDramPlan({{"a", flip ? kTotal / 10 : kTotal * 9 / 10},
+                          {"b", flip ? kTotal * 9 / 10 : kTotal / 10}});
+    EXPECT_EQ(budget.DramCapacitySum(), kTotal);
+  }
+  EXPECT_LE(peak.load(), kTotal);
+}
+
+TEST(MemoryBudgetTest, PlanRespectsFloorsAndScalesOverbookedTargets) {
+  MemoryBudget budget(1000);
+  std::atomic<size_t> sum{0}, peak{0};
+  budget.Register(
+      "a", std::make_shared<CountingConsumer>(500, &sum, &peak, /*min=*/200));
+  budget.Register("b", std::make_shared<CountingConsumer>(500, &sum, &peak));
+  // A plan asking for 4x the wall is scaled into it, not applied verbatim.
+  budget.ApplyDramPlan({{"a", 1000}, {"b", 3000}});
+  EXPECT_EQ(budget.DramCapacitySum(), 1000u);
+  EXPECT_GE(budget.CapacityOf("a"), 200u);
+  // Untargeted consumers keep their bytes; the plan fits in what is left.
+  budget.ApplyDramPlan({{"b", 123}});
+  EXPECT_EQ(budget.CapacityOf("b"), 1000u - budget.CapacityOf("a"));
+}
+
+TEST(MemoryBudgetTest, FromEnvOverridesTotal) {
+  ::setenv("ADCACHE_MEMORY_BUDGET", "4m", 1);
+  MemoryBudgetOptions options = MemoryBudgetOptions::FromEnv();
+  EXPECT_EQ(options.total_memory_budget, 4u * 1024 * 1024);
+  ::unsetenv("ADCACHE_MEMORY_BUDGET");
+  MemoryBudgetOptions defaults;
+  defaults.total_memory_budget = 123;
+  EXPECT_EQ(MemoryBudgetOptions::FromEnv(defaults).total_memory_budget, 123u);
+}
+
+// ---------------------------------------------------------------------------
+// Store-level tests: the unified wall wired through AdCacheStore.
+// ---------------------------------------------------------------------------
+
+class MemoryWallStoreTest : public ::testing::Test {
+ protected:
+  void Open(size_t total_wall, size_t secondary_budget = 0) {
+    env_ = NewMemEnv(&clock_);
+    lsm_options_.env = env_.get();
+    lsm_options_.block_size = 512;
+    lsm_options_.table_file_size = 16 * 1024;
+    lsm_options_.memtable_size = 32 * 1024;
+    lsm_options_.level1_size_base = 64 * 1024;
+
+    AdCacheOptions options;
+    options.memory.total_memory_budget = total_wall;
+    options.memory.secondary_cache_budget = secondary_budget;
+    // Huge window so the controller never re-carves mid-test; steps run
+    // only where a test calls ForceWindowEnd.
+    options.controller.window_size = 1 << 30;
+    options.controller.agent.hidden_dim = 32;  // fast tests
+    options.listeners.push_back(listener_);
+    ASSERT_TRUE(
+        AdCacheStore::Open(options, lsm_options_, "/memwall", &store_).ok());
+  }
+
+  static std::string Key(int i) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%06d", i);
+    return buf;
+  }
+
+  void Fill(int begin, int end) {
+    for (int i = begin; i < end; i++) {
+      ASSERT_TRUE(
+          store_->Put(Slice(Key(i)), Slice(std::string(100, 'v'))).ok());
+    }
+  }
+
+  struct CaptureListener : public EventListener {
+    void OnRlAction(const RlActionInfo& info) override { last = info; }
+    RlActionInfo last;
+  };
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  lsm::Options lsm_options_;
+  std::shared_ptr<CaptureListener> listener_ =
+      std::make_shared<CaptureListener>();
+  std::unique_ptr<AdCacheStore> store_;
+};
+
+TEST_F(MemoryWallStoreTest, MemtableRotatesEarlyOnBudgetCut) {
+  Open(1 << 20);
+  ASSERT_TRUE(store_->unified_memory_wall());
+  Fill(0, 100);  // ~11 KB in the memtable, well under the 64 KB buffer
+  size_t used = store_->db()->WriteBufferUsage();
+  ASSERT_GT(used, 4u * 1024);
+  uint64_t flushes_before = store_->db()->GetMaintenanceStats().flushes;
+  // Cut the memtable budget below current usage: the store must rotate the
+  // oversized memtable out rather than wait for it to fill.
+  store_->memory_budget()->SetConsumerCapacity(kBudgetMemtable, 64 << 10);
+  ASSERT_TRUE(store_->db()->FlushMemTable().ok());  // drain the rotation
+  lsm::DB::LsmShape shape = store_->db()->GetLsmShape();
+  EXPECT_GT(store_->db()->GetMaintenanceStats().flushes + shape.imm_memtables,
+            flushes_before);
+  EXPECT_LT(store_->db()->WriteBufferUsage(), used);
+}
+
+TEST_F(MemoryWallStoreTest, BloomBudgetRetargetsBitsForNewTables) {
+  Open(1 << 20);
+  Fill(0, 500);
+  ASSERT_TRUE(store_->db()->FlushMemTable().ok());
+  lsm::DB::LsmShape shape = store_->db()->GetLsmShape();
+  ASSERT_GT(shape.live_entries, 0u);
+  ASSERT_NEAR(shape.avg_bloom_bits_per_key,
+              lsm_options_.bloom_bits_per_key, 0.5);
+  // Registry speaks bytes: entries * 2 bytes/key == 16 bits/key.
+  store_->memory_budget()->SetConsumerCapacity(
+      kBudgetBloom, static_cast<size_t>(shape.live_entries) * 2);
+  EXPECT_EQ(store_->db()->bloom_bits_per_key(), 16);
+  // Tables built before the change keep their filters; new ones pick up
+  // the new threshold, moving the live entry-weighted average.
+  Fill(500, 1000);
+  ASSERT_TRUE(store_->db()->FlushMemTable().ok());
+  shape = store_->db()->GetLsmShape();
+  EXPECT_GT(shape.avg_bloom_bits_per_key,
+            static_cast<double>(lsm_options_.bloom_bits_per_key) + 0.5);
+}
+
+TEST_F(MemoryWallStoreTest, ControllerStepRecarvesAllFiveConsumers) {
+  Open(1 << 20, /*secondary_budget=*/256 << 10);
+  MemoryBudget* budget = store_->memory_budget();
+  for (const char* name :
+       {kBudgetBlockCache, kBudgetRangeCache, kBudgetMemtable, kBudgetBloom,
+        kBudgetSecondaryDramIndex, kBudgetSecondaryFlash}) {
+    EXPECT_TRUE(budget->IsRegistered(name)) << name;
+  }
+  Fill(0, 200);
+  ASSERT_TRUE(store_->db()->FlushMemTable().ok());
+  std::string value;
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(store_->Get(Slice(Key(i % 200)), &value).ok());
+  }
+  store_->ForceWindowEnd();
+  // One controller step drives one full DRAM plan: every wall consumer is
+  // retargeted and the domain sums exactly to the wall again.
+  EXPECT_EQ(budget->DramCapacitySum(), budget->total());
+  EXPECT_EQ(budget->total(), static_cast<size_t>(1 << 20));
+  // The action payload reports the full named budget vector (schema v2)
+  // with every DRAM consumer present and capacities matching the registry.
+  EXPECT_EQ(listener_->last.schema_version, 2);
+  EXPECT_TRUE(listener_->last.memwall_controlled);
+  ASSERT_GE(listener_->last.budget.size(), 5u);
+  int seen = 0;
+  for (const auto& delta : listener_->last.budget) {
+    if (delta.name == kBudgetSecondaryFlash) continue;
+    EXPECT_EQ(delta.new_capacity_bytes, budget->CapacityOf(delta.name))
+        << delta.name;
+    seen++;
+  }
+  EXPECT_EQ(seen, 5);
+  EXPECT_GT(store_->db()->write_buffer_size(), 0u);
+  EXPECT_GT(budget->CapacityOf(kBudgetBlockCache), 0u);
+  EXPECT_GT(budget->CapacityOf(kBudgetRangeCache), 0u);
+}
+
+TEST_F(MemoryWallStoreTest, LegacyModeTracksConsumersWithoutMovingThem) {
+  Open(/*total_wall=*/0);
+  ASSERT_FALSE(store_->unified_memory_wall());
+  // Consumers appear in snapshots for telemetry but are exempt from the
+  // wall: a controller step may only move the block/range boundary.
+  size_t wb_before = store_->db()->write_buffer_size();
+  int bits_before = store_->db()->bloom_bits_per_key();
+  Fill(0, 100);
+  std::string value;
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(store_->Get(Slice(Key(i)), &value).ok());
+  }
+  store_->ForceWindowEnd();
+  EXPECT_FALSE(listener_->last.memwall_controlled);
+  EXPECT_EQ(store_->db()->write_buffer_size(), wb_before);
+  EXPECT_EQ(store_->db()->bloom_bits_per_key(), bits_before);
+  EXPECT_EQ(store_->memory_budget()->total(),
+            store_->dynamic_cache()->total_budget());
+}
+
+}  // namespace
+}  // namespace adcache::core

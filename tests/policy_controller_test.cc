@@ -128,33 +128,38 @@ TEST_F(PolicyControllerTest, SaveLoadRoundTripPreservesPolicy) {
   EXPECT_FALSE(controller_->LoadModel(Slice(corrupt)).ok());
 }
 
-// 13-dim states: point, scan, write, scan_len, range_hit, h_est,
+// 16-dim states: point, scan, write, scan_len, range_hit, h_est,
 // h_smoothed, range_ratio, occupancy, maintenance, levels, secondary_hit,
-// secondary_occupancy (PolicyController::kStateDim).
+// secondary_occupancy, stall_rate, flush_debt, bloom_fpr
+// (PolicyController::kStateDim).
 TEST(TargetActionTest, PointHeavyPrefersRangeCache) {
-  std::vector<float> s = {0.95f, 0.02f, 0.03f, 0.25f, 0.5f, 0.5f, 0.5f,
-                          0.5f,  0.5f,  0.1f,  0.3f,  0.0f, 0.2f};
+  std::vector<float> s = {0.95f, 0.02f, 0.03f, 0.25f, 0.5f, 0.5f,
+                          0.5f,  0.5f,  0.5f,  0.1f,  0.3f, 0.0f,
+                          0.2f,  0.0f,  0.1f,  0.1f};
   auto target = PolicyController::TargetActionFor(s);
   EXPECT_GT(target[0], 0.9f);
 }
 
 TEST(TargetActionTest, ShortScanReadMostlyPrefersBlockCache) {
-  std::vector<float> s = {0.05f, 0.9f, 0.05f, 0.25f, 0.5f, 0.5f, 0.5f,
-                          0.5f,  0.5f, 0.1f,  0.3f,  0.0f, 0.2f};
+  std::vector<float> s = {0.05f, 0.9f, 0.05f, 0.25f, 0.5f, 0.5f,
+                          0.5f,  0.5f, 0.5f,  0.1f,  0.3f, 0.0f,
+                          0.2f,  0.0f, 0.1f,  0.1f};
   auto target = PolicyController::TargetActionFor(s);
   EXPECT_LT(target[0], 0.1f);
 }
 
 TEST(TargetActionTest, WriteHeavyPrefersRangeCache) {
-  std::vector<float> s = {0.25f, 0.25f, 0.5f, 0.25f, 0.5f, 0.5f, 0.5f,
-                          0.5f,  0.5f,  0.4f, 0.3f,  0.0f, 0.2f};
+  std::vector<float> s = {0.25f, 0.25f, 0.5f, 0.25f, 0.5f, 0.5f,
+                          0.5f,  0.5f,  0.5f, 0.4f,  0.3f, 0.0f,
+                          0.2f,  0.2f,  0.3f, 0.1f};
   auto target = PolicyController::TargetActionFor(s);
   EXPECT_GT(target[0], 0.9f);
 }
 
 TEST(TargetActionTest, LongScanHeavyLeansBlockWithConservativeB) {
-  std::vector<float> s = {0.02f, 0.96f, 0.02f, 1.0f, 0.5f, 0.5f, 0.5f,
-                          0.5f,  0.5f,  0.1f,  0.3f, 0.0f, 0.2f};
+  std::vector<float> s = {0.02f, 0.96f, 0.02f, 1.0f, 0.5f, 0.5f,
+                          0.5f,  0.5f,  0.5f,  0.1f, 0.3f, 0.0f,
+                          0.2f,  0.0f,  0.1f,  0.1f};
   auto target = PolicyController::TargetActionFor(s);
   EXPECT_LT(target[0], 0.3f);
   EXPECT_LT(target[3], 0.5f);  // smaller b for long scans
@@ -163,8 +168,9 @@ TEST(TargetActionTest, LongScanHeavyLeansBlockWithConservativeB) {
 TEST(TargetActionTest, SecondaryTargetsSelectiveWhenTierFullOrWriteHeavy) {
   // Read-mostly tier with headroom: keep the full flash budget online and
   // demote permissively.
-  std::vector<float> roomy = {0.8f, 0.1f, 0.1f, 0.25f, 0.5f, 0.5f, 0.5f,
-                              0.5f, 0.5f, 0.1f, 0.3f,  0.4f, 0.2f};
+  std::vector<float> roomy = {0.8f, 0.1f, 0.1f, 0.25f, 0.5f, 0.5f,
+                              0.5f, 0.5f, 0.5f, 0.1f,  0.3f, 0.4f,
+                              0.2f, 0.0f, 0.1f, 0.1f};
   auto target = PolicyController::TargetActionFor(roomy);
   ASSERT_EQ(target.size(),
             static_cast<size_t>(PolicyController::kActionDim));
@@ -177,9 +183,41 @@ TEST(TargetActionTest, SecondaryTargetsSelectiveWhenTierFullOrWriteHeavy) {
   EXPECT_GT(PolicyController::TargetActionFor(full)[5], permissive);
 
   // Write-heavy mix: compaction invalidates demoted blocks, gate tightens.
-  std::vector<float> writey = {0.2f, 0.2f, 0.6f, 0.25f, 0.5f, 0.5f, 0.5f,
-                               0.5f, 0.5f, 0.4f, 0.3f,  0.1f, 0.2f};
+  std::vector<float> writey = {0.2f, 0.2f, 0.6f, 0.25f, 0.5f, 0.5f,
+                               0.5f, 0.5f, 0.5f, 0.4f,  0.3f, 0.1f,
+                               0.2f, 0.2f, 0.3f, 0.1f};
   EXPECT_GT(PolicyController::TargetActionFor(writey)[5], permissive);
+}
+
+TEST(TargetActionTest, MemwallTargetsFollowWorkloadShape) {
+  // Write-heavy (or stalling) windows grow the memtable share. Bloom stays
+  // moderate: bits/key is sticky per-table state, so cutting it while
+  // writing would poison the next read phase's lookups.
+  std::vector<float> writey = {0.1f, 0.1f, 0.7f, 0.25f, 0.5f, 0.5f,
+                               0.5f, 0.5f, 0.5f, 0.4f,  0.3f, 0.0f,
+                               0.2f, 0.3f, 0.5f, 0.1f};
+  auto write_target = PolicyController::TargetActionFor(writey);
+  ASSERT_EQ(write_target.size(),
+            static_cast<size_t>(PolicyController::kActionDim));
+  EXPECT_GT(write_target[6], 0.7f);
+  EXPECT_GE(write_target[7], 0.3f);
+
+  // Scan-dominant with few point lookups: filters can't serve scans, so
+  // the bloom share is the one place the rule does cut.
+  std::vector<float> scanny = {0.1f, 0.8f, 0.1f, 1.0f, 0.5f, 0.5f,
+                               0.5f, 0.5f, 0.5f, 0.2f, 0.4f, 0.0f,
+                               0.2f, 0.0f, 0.1f, 0.2f};
+  auto scan_target = PolicyController::TargetActionFor(scanny);
+  EXPECT_LT(scan_target[7], 0.2f);
+
+  // Point-read-heavy with a deep tree: shrink the write buffers, spend on
+  // bloom bits to cut per-level probe I/O.
+  std::vector<float> pointy = {0.9f, 0.05f, 0.05f, 0.25f, 0.5f, 0.5f,
+                               0.5f, 0.5f,  0.5f,  0.1f,  0.6f, 0.0f,
+                               0.2f, 0.0f,  0.0f,  0.3f};
+  auto point_target = PolicyController::TargetActionFor(pointy);
+  EXPECT_LT(point_target[6], 0.3f);
+  EXPECT_GT(point_target[7], 0.7f);
 }
 
 TEST(TargetActionTest, DemotionThresholdMapIsMonotoneFromZero) {
@@ -205,11 +243,11 @@ TEST(TargetActionTest, PretrainedAgentReproducesRuleTable) {
   // The learned policy must map representative states near their targets.
   std::vector<std::vector<float>> states = {
       {0.95f, 0.02f, 0.03f, 0.25f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.1f, 0.3f,
-       0.2f, 0.4f},
+       0.2f, 0.4f, 0.0f, 0.1f, 0.1f},
       {0.05f, 0.9f, 0.05f, 0.25f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.1f, 0.3f,
-       0.2f, 0.4f},
+       0.2f, 0.4f, 0.0f, 0.1f, 0.1f},
       {0.25f, 0.25f, 0.5f, 0.25f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.4f, 0.3f,
-       0.2f, 0.4f},
+       0.2f, 0.4f, 0.2f, 0.3f, 0.1f},
   };
   for (const auto& s : states) {
     auto action = controller.agent()->Act(s, false);
