@@ -6,7 +6,7 @@
 # the cache + MultiGet lifetime-heavy tests, and an observability smoke test
 # (bench_micro --stats-smoke JSON dump).
 #
-# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N|--secondary|--memwall]
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N|--secondary|--memwall|--subcompaction]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,24 +16,26 @@ run_clock=1
 run_shards=1
 run_secondary=1
 run_memwall=1
+run_subcompaction=1
 run_tsan=1
 run_asan=1
 run_stats=1
 run_server=1
 nshards=4
 case "${1:-}" in
-  --tsan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_asan=0; run_stats=0; run_server=0 ;;
-  --asan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_tsan=0; run_stats=0; run_server=0 ;;
-  --tier1-only) run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
-  --stats-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_tsan=0; run_asan=0; run_server=0 ;;
-  --cache-impl=clock) run_tier1=0; run_shards=0; run_secondary=0; run_memwall=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
-  --shards=*) run_tier1=0; run_clock=0; run_secondary=0; run_memwall=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0
+  --tsan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_subcompaction=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --asan-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_subcompaction=0; run_tsan=0; run_stats=0; run_server=0 ;;
+  --tier1-only) run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_subcompaction=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --stats-only) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_subcompaction=0; run_tsan=0; run_asan=0; run_server=0 ;;
+  --cache-impl=clock) run_tier1=0; run_shards=0; run_secondary=0; run_memwall=0; run_subcompaction=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --shards=*) run_tier1=0; run_clock=0; run_secondary=0; run_memwall=0; run_subcompaction=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0
               nshards="${1#--shards=}" ;;
-  --secondary) run_tier1=0; run_clock=0; run_shards=0; run_memwall=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
-  --memwall) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
-  --server) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_tsan=0; run_asan=0; run_stats=0 ;;
+  --secondary) run_tier1=0; run_clock=0; run_shards=0; run_memwall=0; run_subcompaction=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --memwall) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_subcompaction=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --subcompaction) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_tsan=0; run_asan=0; run_stats=0; run_server=0 ;;
+  --server) run_tier1=0; run_clock=0; run_shards=0; run_secondary=0; run_memwall=0; run_subcompaction=0; run_tsan=0; run_asan=0; run_stats=0 ;;
   "") ;;
-  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N|--secondary|--memwall|--server]" >&2
+  *) echo "usage: $0 [--tsan-only|--asan-only|--tier1-only|--stats-only|--cache-impl=clock|--shards=N|--secondary|--memwall|--subcompaction|--server]" >&2
      exit 2 ;;
 esac
 
@@ -119,6 +121,24 @@ if [[ $run_memwall -eq 1 ]]; then
   done
 fi
 
+if [[ $run_subcompaction -eq 1 ]]; then
+  echo "== subcompaction pass: parallel compaction forced on via ADCACHE_SUBCOMPACTIONS=4 =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target \
+        adcache_store_test multiget_test sharded_store_test subcompaction_test
+  ./build/tests/subcompaction_test
+  # Every compaction in these suites fans out to 4 subranges; behaviour must
+  # be identical on both block-cache backends, single-store and sharded.
+  for impl in lru clock; do
+    ADCACHE_SUBCOMPACTIONS=4 ADCACHE_BLOCK_CACHE_IMPL=$impl \
+        ./build/tests/adcache_store_test
+    ADCACHE_SUBCOMPACTIONS=4 ADCACHE_BLOCK_CACHE_IMPL=$impl \
+        ./build/tests/multiget_test
+    ADCACHE_SUBCOMPACTIONS=4 ADCACHE_BLOCK_CACHE_IMPL=$impl \
+        ./build/tests/sharded_store_test
+  done
+fi
+
 if [[ $run_tsan -eq 1 ]]; then
   echo "== tsan: concurrency suite =="
   cmake -B build-tsan -S . -DADCACHE_SANITIZE=thread \
@@ -126,11 +146,13 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake --build build-tsan -j --target \
         superversion_test background_maintenance_test multiget_test \
         statistics_test clock_cache_test sharded_store_test \
-        secondary_cache_test server_test memory_budget_test
+        secondary_cache_test server_test memory_budget_test \
+        subcompaction_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/memory_budget_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/secondary_cache_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/superversion_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/background_maintenance_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/subcompaction_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/multiget_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/statistics_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/clock_cache_test
@@ -150,11 +172,12 @@ if [[ $run_asan -eq 1 ]]; then
   cmake --build build-asan -j --target \
         lru_cache_test range_cache_test kv_cache_test \
         multiget_test superversion_test clock_cache_test sharded_store_test \
-        secondary_cache_test server_test memory_budget_test
+        secondary_cache_test server_test memory_budget_test \
+        subcompaction_test
   for t in lru_cache_test range_cache_test kv_cache_test \
            multiget_test superversion_test clock_cache_test \
            sharded_store_test secondary_cache_test server_test \
-           memory_budget_test; do
+           memory_budget_test subcompaction_test; do
     ASAN_OPTIONS="halt_on_error=1" "./build-asan/tests/$t"
   done
   ADCACHE_BLOCK_CACHE_IMPL=clock ASAN_OPTIONS="halt_on_error=1" \
@@ -177,6 +200,15 @@ for key in ("adcache.point.lookups", "adcache.scans", "adcache.writes",
             "adcache.block.reads", "adcache.flushes"):
     assert t[key] > 0, f"ticker {key} is zero"
 assert t["adcache.rl.actions"] >= 1, "no RL actions recorded"
+# Compaction bandwidth + write-stall observability (parallel subcompactions).
+assert t["adcache.compaction.bytes.read"] > 0, "no compaction read bytes"
+assert t["adcache.compaction.bytes.written"] > 0, "no compaction written bytes"
+assert t["adcache.write.stall.micros"] >= 0
+stall_hist = d["stats"]["histograms"]["adcache.write.stall.duration.micros"]
+assert stall_hist["count"] == t["adcache.write.stalls"], \
+    "stall histogram count disagrees with stall ticker"
+assert "adcache.gauge.compaction_parallelism" in d["stats"]["gauges"], \
+    "compaction parallelism gauge missing"
 # Secondary (flash) tier: the smoke config caps DRAM and enables an 8 MiB
 # slab tier, so demotions and flash probes must both fire and the RL
 # boundary gauges must be live.

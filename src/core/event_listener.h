@@ -27,6 +27,22 @@ struct CompactionJobInfo {
   uint64_t output_bytes = 0;    // 0 at begin time
   uint64_t duration_micros = 0;  // 0 at begin time
   int shard_id = 0;             // which key-range shard compacted
+  /// How many parallel subrange merges the job was split into (1 = serial).
+  int num_subcompactions = 1;
+};
+
+/// Payload for one subrange merge inside a parallel compaction — the
+/// per-subcompaction begin/end breadcrumb. `subcompaction_index` is the
+/// subrange's position in key order within its parent compaction.
+struct SubcompactionJobInfo {
+  int shard_id = 0;
+  int subcompaction_index = 0;
+  int num_subcompactions = 1;    // the parent job's subrange count
+  int output_level = 0;
+  int num_output_files = 0;      // 0 at begin time
+  uint64_t bytes_read = 0;       // input key+value bytes merged (0 at begin)
+  uint64_t bytes_written = 0;    // output file bytes (0 at begin time)
+  uint64_t duration_micros = 0;  // 0 at begin time
 };
 
 /// Write-throttling state of the DB write path.
@@ -40,6 +56,9 @@ struct WriteStallInfo {
   WriteStallCondition condition = WriteStallCondition::kNormal;
   WriteStallCondition prev_condition = WriteStallCondition::kNormal;
   int shard_id = 0;  // which key-range shard's write path throttled
+  /// OnWriteStalled only: wall microseconds one writer just spent delayed
+  /// (kDelayed) or blocked (kStopped). Always 0 for OnWriteStallChange.
+  uint64_t duration_micros = 0;
 };
 
 /// Payload for a block/range cache boundary move (paper §4.4: the dynamic
@@ -128,9 +147,22 @@ class EventListener {
   virtual void OnCompactionBegin(const CompactionJobInfo& /*info*/) {}
   virtual void OnCompactionCompleted(const CompactionJobInfo& /*info*/) {}
 
+  /// Per-subrange breadcrumbs inside one compaction. Fired from the thread
+  /// running that subrange's merge, so callbacks from sibling subcompactions
+  /// of the same job can arrive concurrently.
+  virtual void OnSubcompactionBegin(const SubcompactionJobInfo& /*info*/) {}
+  virtual void OnSubcompactionCompleted(const SubcompactionJobInfo& /*info*/) {
+  }
+
   /// Fired on every write-throttling state change (kNormal <-> kDelayed
   /// <-> kStopped). May be invoked with the DB mutex held.
   virtual void OnWriteStallChange(const WriteStallInfo& /*info*/) {}
+
+  /// Fired once per completed stall episode on the stalled writer's thread
+  /// — after each one-shot slowdown delay and after each wait on the stop
+  /// trigger — with `duration_micros` set. May be invoked with the DB mutex
+  /// held.
+  virtual void OnWriteStalled(const WriteStallInfo& /*info*/) {}
 
   /// Fired when the block/range cache boundary actually moves.
   virtual void OnCacheBoundaryMove(const CacheBoundaryMoveInfo& /*info*/) {}

@@ -35,6 +35,8 @@ const char* const kTickerNames[kTickerCount] = {
     "adcache.secondary.demotion.rejects",  // kTickerSecondaryDemotionRejects
     "adcache.secondary.gc.runs",    // kTickerSecondaryGcRuns
     "adcache.secondary.gc.reclaimed.bytes",  // kTickerSecondaryGcReclaimedBytes
+    "adcache.compaction.bytes.read",     // kTickerCompactionBytesRead
+    "adcache.compaction.bytes.written",  // kTickerCompactionBytesWritten
 };
 
 const char* const kHistogramNames[kHistCount] = {
@@ -45,6 +47,7 @@ const char* const kHistogramNames[kHistCount] = {
     "adcache.flush.micros",      // kHistFlushMicros
     "adcache.compaction.micros", // kHistCompactionMicros
     "adcache.secondary.read.micros",  // kHistSecondaryReadMicros
+    "adcache.write.stall.duration.micros",  // kHistWriteStallMicros
 };
 
 const char* const kGaugeNames[kGaugeCount] = {
@@ -64,6 +67,7 @@ const char* const kGaugeNames[kGaugeCount] = {
     "adcache.gauge.bloom_capacity_bytes",      // kGaugeBloomCapacityBytes
     "adcache.gauge.secondary_index_capacity_bytes",  // kGaugeSecondaryIndexCapacityBytes
     "adcache.gauge.bloom_bits_per_key",        // kGaugeBloomBitsPerKey
+    "adcache.gauge.compaction_parallelism",    // kGaugeCompactionParallelism
 };
 
 const char* const kShardTickerNames[kShardTickerCount] = {

@@ -45,6 +45,8 @@ enum Ticker : uint32_t {
   kTickerSecondaryDemotionRejects,  // demote offers refused by admission
   kTickerSecondaryGcRuns,      // watermark-triggered slab GC passes
   kTickerSecondaryGcReclaimedBytes, // slab bytes reclaimed by GC
+  kTickerCompactionBytesRead,  // input bytes consumed by compactions
+  kTickerCompactionBytesWritten, // output bytes produced by compactions
   kTickerCount
 };
 
@@ -57,6 +59,7 @@ enum HistogramKind : uint32_t {
   kHistFlushMicros,
   kHistCompactionMicros,
   kHistSecondaryReadMicros,  // flash (slab pread) latency on secondary hits
+  kHistWriteStallMicros,     // one sample per completed stall episode
   kHistCount
 };
 
@@ -89,6 +92,9 @@ enum Gauge : uint32_t {
   kGaugeSecondaryIndexCapacityBytes,
   /// Live bloom bits/key threshold applied to newly built tables.
   kGaugeBloomBitsPerKey,
+  /// Subcompaction merges currently running across all shards (last value
+  /// wins; a live snapshot of compaction parallelism, 0 when idle).
+  kGaugeCompactionParallelism,
   kGaugeCount
 };
 
@@ -296,14 +302,30 @@ class StatisticsEventListener : public EventListener {
   }
   void OnCompactionCompleted(const CompactionJobInfo& info) override {
     stats_->RecordTick(kTickerCompactions);
+    stats_->RecordTick(kTickerCompactionBytesRead, info.input_bytes);
+    stats_->RecordTick(kTickerCompactionBytesWritten, info.output_bytes);
     stats_->RecordShardTick(info.shard_id, kShardCompactions);
     stats_->RecordLatency(kHistCompactionMicros, info.duration_micros);
+  }
+  void OnSubcompactionBegin(const SubcompactionJobInfo& /*info*/) override {
+    int active =
+        active_subcompactions_.fetch_add(1, std::memory_order_relaxed) + 1;
+    stats_->SetGauge(kGaugeCompactionParallelism, active);
+  }
+  void OnSubcompactionCompleted(const SubcompactionJobInfo& /*info*/) override {
+    int active =
+        active_subcompactions_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    stats_->SetGauge(kGaugeCompactionParallelism, active < 0 ? 0 : active);
   }
   void OnWriteStallChange(const WriteStallInfo& info) override {
     if (info.condition != WriteStallCondition::kNormal) {
       stats_->RecordTick(kTickerWriteStalls);
       stats_->RecordShardTick(info.shard_id, kShardWriteStalls);
     }
+  }
+  void OnWriteStalled(const WriteStallInfo& info) override {
+    stats_->RecordTick(kTickerStallMicros, info.duration_micros);
+    stats_->RecordLatency(kHistWriteStallMicros, info.duration_micros);
   }
   void OnCacheBoundaryMove(const CacheBoundaryMoveInfo& info) override {
     stats_->RecordTick(kTickerCacheBoundaryMoves);
@@ -313,6 +335,9 @@ class StatisticsEventListener : public EventListener {
 
  private:
   Statistics* stats_;
+  /// Live subcompaction merges feeding kGaugeCompactionParallelism. Shared
+  /// across shards when one listener instance serves a ShardedDB.
+  std::atomic<int> active_subcompactions_{0};
 };
 
 /// Background thread that invokes `sink` with Statistics::ToJson() every

@@ -11,6 +11,7 @@
 #include "util/clock.h"
 #include "util/coding.h"
 #include "util/inline_buffer.h"
+#include "util/options_env.h"
 #include "util/perf_context.h"
 
 namespace adcache::lsm {
@@ -119,9 +120,12 @@ Status DB::Close() {
     std::unique_lock<std::mutex> l(mutex_);
     if (closed_) return bg_error_;
     shutting_down_ = true;
-    // Drain the in-flight maintenance job (it re-checks shutting_down_
-    // before starting another unit, so this wait is bounded by one unit).
-    while (bg_scheduled_) bg_work_done_cv_.wait(l);
+    // Drain the in-flight maintenance jobs (each re-checks shutting_down_
+    // before starting another unit, so this wait is bounded by one flush
+    // plus one compaction). Subcompaction helpers scheduled by an in-flight
+    // compaction finish with it; helpers still queued when the job closes
+    // exit without touching the DB (see RunCompactionMerge).
+    while (BackgroundWorkScheduled()) bg_work_done_cv_.wait(l);
     closed_ = true;
   }
   // Owned pool: the reset destroys it, joining the workers (this DB's jobs
@@ -153,12 +157,21 @@ Status DB::Open(const Options& options, const std::string& dbname,
   if (!s.ok()) return s;
 
   // Background maintenance starts only after recovery: everything above
-  // runs single-threaded. A facade-injected pool is shared across shards
-  // (the global max_background_jobs cap); otherwise build a private one.
+  // runs single-threaded. `max_background_jobs` is a hard thread cap —
+  // subcompactions never grow the pool; a K wider than the pool just means
+  // more ranges than threads, and the claim loop drains the excess on
+  // whatever threads exist (coordinator included). Auto fan-out (no
+  // option, no env) follows the pool size.
+  int subcompactions =
+      options.max_subcompactions > 0
+          ? options.max_subcompactions
+          : util::OptionsFromEnv::Int("ADCACHE_SUBCOMPACTIONS", 0);
   db->bg_pool_ = options.background_pool != nullptr
                      ? options.background_pool
                      : std::make_shared<util::ThreadPool>(
                            options.max_background_jobs);
+  if (subcompactions <= 0) subcompactions = db->bg_pool_->num_threads();
+  db->max_subcompactions_ = std::max(1, subcompactions);
   {
     std::lock_guard<std::mutex> l(db->mutex_);
     db->InstallSuperVersionLocked();  // publish the initial read state
@@ -233,11 +246,12 @@ Status DB::Recover() {
         }
         version->files_[level].push_back(std::move(meta));
       }
-      // L0 newest first; deeper levels by smallest key.
-      std::sort(version->files_[0].begin(), version->files_[0].end(),
-                [](const auto& a, const auto& b) {
-                  return a->number > b->number;
-                });
+      // L0 keeps the manifest's order verbatim: the manifest records the
+      // version's L0 in recency order (newest first), and with flushes
+      // overlapping compactions a compaction output can carry a HIGHER file
+      // number than a later-flushed (newer) run — re-sorting by number here
+      // would put stale data in front of fresh data. Deeper levels sort by
+      // smallest key.
       InternalKeyComparator icmp;
       for (int lvl = 1; lvl < options_.num_levels; lvl++) {
         auto& files = version->files_[static_cast<size_t>(lvl)];
@@ -348,8 +362,13 @@ Status DB::NewWalLocked() {
 
 Status DB::WriteManifestSnapshot() {
   // Gather a consistent state snapshot under the lock; build and write the
-  // record outside it. Only the (single-flight) background job and Open
-  // call this, so two manifest writes never interleave.
+  // record outside it. With flush and compaction overlapped, both finish by
+  // writing a snapshot; manifest_mutex_ serializes the whole
+  // gather-build-write so two rewrites of the manifest file never
+  // interleave (lock order: manifest_mutex_ -> mutex_). A snapshot gathered
+  // later always sees a superset of installs, so the last writer wins with
+  // a complete state.
+  std::lock_guard<std::mutex> manifest_lock(manifest_mutex_);
   std::shared_ptr<const Version> version;
   uint64_t next_file_number;
   uint64_t last_sequence;
@@ -564,6 +583,15 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* l,
       ADCACHE_PERF_COUNTER_ADD(write_delay_count, 1);
       ADCACHE_PERF_COUNTER_ADD(write_stall_micros,
                                options_.slowdown_delay_micros);
+      {
+        core::WriteStallInfo stalled;
+        stalled.shard_id = options_.shard_id;
+        stalled.condition = core::WriteStallCondition::kDelayed;
+        stalled.prev_condition = core::WriteStallCondition::kDelayed;
+        stalled.duration_micros = options_.slowdown_delay_micros;
+        NotifyListeners(
+            [&](core::EventListener* el) { el->OnWriteStalled(stalled); });
+      }
       continue;
     }
     if (!force_switch &&
@@ -583,7 +611,7 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* l,
     if (imm_full || l0_stopped) {
       // Hard backpressure: wait for background maintenance to make room.
       MaybeScheduleMaintenance();
-      if (bg_scheduled_ || !imm_.empty() ||
+      if (BackgroundWorkScheduled() || !imm_.empty() ||
           VersionNeedsCompaction(*current_)) {
         SetStallConditionLocked(core::WriteStallCondition::kStopped);
         uint64_t start = WallMicros();
@@ -592,6 +620,16 @@ Status DB::MakeRoomForWrite(std::unique_lock<std::mutex>* l,
         maint_.stall_micros.fetch_add(stalled, std::memory_order_relaxed);
         ADCACHE_PERF_COUNTER_ADD(write_stall_count, 1);
         ADCACHE_PERF_COUNTER_ADD(write_stall_micros, stalled);
+        {
+          core::WriteStallInfo stalled_info;
+          stalled_info.shard_id = options_.shard_id;
+          stalled_info.condition = core::WriteStallCondition::kStopped;
+          stalled_info.prev_condition = core::WriteStallCondition::kStopped;
+          stalled_info.duration_micros = stalled;
+          NotifyListeners([&](core::EventListener* el) {
+            el->OnWriteStalled(stalled_info);
+          });
+        }
         continue;
       }
       // No background work can make progress (misconfigured triggers or a
@@ -632,12 +670,32 @@ bool DB::VersionNeedsCompaction(const Version& v) const {
 }
 
 void DB::MaybeScheduleMaintenance() {
-  if (bg_scheduled_ || shutting_down_ || closed_) return;
+  if (shutting_down_ || closed_) return;
   if (!bg_error_.ok()) return;  // paused until the error is surfaced
   if (bg_pool_ == nullptr) return;  // still inside Open
-  if (imm_.empty() && !VersionNeedsCompaction(*current_)) return;
-  bg_scheduled_ = true;
-  bg_pool_->Schedule([this] { BackgroundCall(); });
+  if (!options_.overlap_flush_compaction) {
+    // Legacy single-flight: one job at a time runs flush OR compaction
+    // (bg_flush_scheduled_ doubles as the combined-job flag).
+    if (BackgroundWorkScheduled()) return;
+    if (imm_.empty() && !VersionNeedsCompaction(*current_)) return;
+    bg_flush_scheduled_ = true;
+    bg_pool_->Schedule([this] { BackgroundCall(); });
+    return;
+  }
+  // Overlapped mode: flush and compaction are scheduled independently and
+  // may run concurrently in this DB. Flushes ride the pool's high-priority
+  // queue so they never wait behind a long compaction (or its
+  // subcompaction helpers) from any shard — a stalled writer is waiting on
+  // exactly this flush.
+  if (!bg_flush_scheduled_ && !imm_.empty()) {
+    bg_flush_scheduled_ = true;
+    bg_pool_->Schedule([this] { BackgroundFlushCall(); },
+                       /*high_priority=*/true);
+  }
+  if (!bg_compact_scheduled_ && VersionNeedsCompaction(*current_)) {
+    bg_compact_scheduled_ = true;
+    bg_pool_->Schedule([this] { BackgroundCompactCall(); });
+  }
 }
 
 void DB::BackgroundCall() {
@@ -653,8 +711,36 @@ void DB::BackgroundCall() {
     }
     if (!s.ok() && bg_error_.ok()) bg_error_ = s;
   }
-  bg_scheduled_ = false;
+  bg_flush_scheduled_ = false;
   MaybeScheduleMaintenance();  // more work? chain another pass
+  bg_work_done_cv_.notify_all();
+}
+
+void DB::BackgroundFlushCall() {
+  std::unique_lock<std::mutex> l(mutex_);
+  if (!shutting_down_ && !imm_.empty()) {
+    Status s = FlushOldestImm(&l);
+    if (!s.ok() && bg_error_.ok()) bg_error_ = s;
+  }
+  bg_flush_scheduled_ = false;
+  MaybeScheduleMaintenance();  // more immutables (or a trigger)? chain
+  bg_work_done_cv_.notify_all();
+}
+
+void DB::BackgroundCompactCall() {
+  std::unique_lock<std::mutex> l(mutex_);
+  if (!shutting_down_ && VersionNeedsCompaction(*current_)) {
+    Status s;
+    l.unlock();
+    // Compaction inputs are pinned for the whole job: the picked
+    // FileMetaData shared_ptrs (and the base version) keep every input
+    // table open even as concurrent flushes install new versions.
+    MaybeCompactOnce(&s);
+    l.lock();
+    if (!s.ok() && bg_error_.ok()) bg_error_ = s;
+  }
+  bg_compact_scheduled_ = false;
+  MaybeScheduleMaintenance();  // still over threshold? chain another pass
   bg_work_done_cv_.notify_all();
 }
 
@@ -757,7 +843,7 @@ Status DB::FlushMemTable() {
   if (!s.ok()) return s;
   std::unique_lock<std::mutex> l(mutex_);
   while (bg_error_.ok() && !shutting_down_ &&
-         (bg_scheduled_ || !imm_.empty() ||
+         (BackgroundWorkScheduled() || !imm_.empty() ||
           VersionNeedsCompaction(*current_))) {
     MaybeScheduleMaintenance();
     bg_work_done_cv_.wait(l);
@@ -773,7 +859,7 @@ Status DB::FlushMemTable() {
 Status DB::CompactAll() {
   std::unique_lock<std::mutex> l(mutex_);
   while (bg_error_.ok() && !shutting_down_ &&
-         (bg_scheduled_ || !imm_.empty() ||
+         (BackgroundWorkScheduled() || !imm_.empty() ||
           VersionNeedsCompaction(*current_))) {
     MaybeScheduleMaintenance();
     bg_work_done_cv_.wait(l);
@@ -809,6 +895,248 @@ bool DB::IsBaseLevelForKey(const Version& v, int output_level,
     }
   }
   return true;
+}
+
+// Shared state for one leveled compaction split into K parallel
+// subcompactions. The coordinator (BackgroundCompactCall's thread) and any
+// pool helpers pull subrange indices from `next_range`; each subrange merges
+// independently into its own output files and the coordinator installs all
+// of them in one atomic version edit. Held in a shared_ptr so a helper that
+// dequeues after the coordinator finished (it found no unclaimed ranges)
+// can still observe `closed` and return without touching freed state.
+struct DB::CompactionMergeJob {
+  // Immutable once RunCompactionMerge starts; `base` and the FileMetaData
+  // shared_ptrs pin every input table for the whole job even as concurrent
+  // flushes install newer versions.
+  std::shared_ptr<const Version> base;
+  FileList inputs0;
+  FileList inputs1;
+  int input_level = 0;
+  int output_level = 0;
+  SequenceNumber smallest_snapshot = 0;
+  std::vector<std::string> boundaries;  // interior user-key split points
+
+  struct Result {
+    Status status;
+    FileList outputs;                     // key-ordered within the subrange
+    std::vector<uint64_t> created_files;  // every table file this slot made
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+  };
+  std::vector<Result> results;  // slot per subrange; threads touch only theirs
+
+  std::atomic<size_t> next_range{0};  // claim counter
+  std::atomic<bool> failed{false};    // any subrange failed: abort the rest
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int running_helpers = 0;  // helpers that registered and are processing
+  bool closed = false;      // coordinator done; late helpers must bail
+  Status error;             // first failure (set before `failed` is raised)
+
+  size_t num_ranges() const { return boundaries.size() + 1; }
+};
+
+Status DB::RunOneSubcompaction(CompactionMergeJob* job, size_t index) {
+  CompactionMergeJob::Result& result = job->results[index];
+  const bool has_start = index > 0;
+  const bool has_end = index < job->boundaries.size();
+
+  core::SubcompactionJobInfo info;
+  info.shard_id = options_.shard_id;
+  info.subcompaction_index = static_cast<int>(index);
+  info.num_subcompactions = static_cast<int>(job->num_ranges());
+  info.output_level = job->output_level;
+  const uint64_t sub_start = WallMicros();
+  NotifyListeners(
+      [&](core::EventListener* el) { el->OnSubcompactionBegin(info); });
+  maint_.subcompactions.fetch_add(1, std::memory_order_relaxed);
+
+  // Every subcompaction opens its own iterators over the shared pinned
+  // inputs (Table readers are thread-safe; iterator state is not).
+  ReadOptions compaction_reads;
+  compaction_reads.fill_block_cache = false;
+  compaction_reads.count_block_reads = false;
+  std::vector<Iterator*> children;
+  for (const auto& f : job->inputs0) {
+    children.push_back(f->table->NewIterator(compaction_reads));
+  }
+  for (const auto& f : job->inputs1) {
+    children.push_back(f->table->NewIterator(compaction_reads));
+  }
+  InternalKeyComparator icmp;
+  std::unique_ptr<Iterator> merged(
+      NewMergingIterator(&icmp, std::move(children)));
+
+  std::unique_ptr<TableBuilder> builder;
+  std::shared_ptr<FileMetaData> out_meta;
+  uint64_t out_number = 0;
+  std::string current_user_key;
+  bool has_current_user_key = false;
+  // Starting at kMaxSequenceNumber per subrange is safe: boundaries are
+  // whole user keys, so the first entry this subrange sees for any key is
+  // that key's newest version — exactly the serial loop's invariant.
+  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+
+  auto finish_output = [&]() -> Status {
+    if (builder == nullptr) return Status::OK();
+    Status fs = builder->Finish();
+    if (!fs.ok()) return fs;
+    fs = OpenTable(out_number, &out_meta->file_size, &out_meta->table);
+    if (!fs.ok()) return fs;
+    result.bytes_written += out_meta->file_size;
+    result.outputs.push_back(out_meta);
+    builder.reset();
+    out_meta.reset();
+    return Status::OK();
+  };
+
+  if (has_start) {
+    // Lands on the newest entry of the boundary key: kMaxSequenceNumber
+    // sorts before every real sequence of the same user key.
+    merged->Seek(Slice(MakeLookupKey(Slice(job->boundaries[index - 1]),
+                                     kMaxSequenceNumber)));
+  } else {
+    merged->SeekToFirst();
+  }
+  Status s;
+  for (; merged->Valid(); merged->Next()) {
+    if (job->failed.load(std::memory_order_acquire)) {
+      s = Status::IOError("subcompaction aborted: sibling failed");
+      break;
+    }
+    Slice internal_key = merged->key();
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(internal_key, &parsed)) {
+      s = Status::Corruption("bad key during compaction");
+      break;
+    }
+    if (has_end && parsed.user_key.compare(Slice(job->boundaries[index])) >= 0) {
+      break;  // the next subrange owns this key onward
+    }
+    result.bytes_read += internal_key.size() + merged->value().size();
+    if (!has_current_user_key ||
+        parsed.user_key != Slice(current_user_key)) {
+      current_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
+      has_current_user_key = true;
+      last_sequence_for_key = kMaxSequenceNumber;
+    }
+    bool drop = false;
+    if (last_sequence_for_key <= job->smallest_snapshot) {
+      // A newer entry for this key is itself visible to every live
+      // snapshot, so this one can never be read again.
+      drop = true;
+    } else if (parsed.type == kTypeDeletion &&
+               parsed.sequence <= job->smallest_snapshot &&
+               IsBaseLevelForKey(*job->base, job->output_level,
+                                 parsed.user_key)) {
+      drop = true;  // tombstone with nothing underneath
+    }
+    last_sequence_for_key = parsed.sequence;
+    if (drop) continue;
+
+    if (builder == nullptr) {
+      out_number = next_file_number_.fetch_add(1);
+      result.created_files.push_back(out_number);
+      std::unique_ptr<WritableFile> file;
+      s = env_->NewWritableFile(TableFileName(dbname_, out_number), &file);
+      if (!s.ok()) break;
+      builder = std::make_unique<TableBuilder>(
+          options_, std::move(file),
+          bloom_bits_per_key_.load(std::memory_order_relaxed));
+      out_meta = std::make_shared<FileMetaData>();
+      out_meta->number = out_number;
+      out_meta->smallest = internal_key.ToString();
+    }
+    out_meta->largest = internal_key.ToString();
+    builder->Add(internal_key, merged->value());
+    if (builder->FileSize() >= options_.table_file_size) {
+      s = finish_output();
+      if (!s.ok()) break;
+    }
+  }
+  if (s.ok()) s = merged->status();
+  if (s.ok()) s = finish_output();
+
+  info.num_output_files = static_cast<int>(result.outputs.size());
+  info.bytes_read = result.bytes_read;
+  info.bytes_written = result.bytes_written;
+  info.duration_micros = WallMicros() - sub_start;
+  NotifyListeners(
+      [&](core::EventListener* el) { el->OnSubcompactionCompleted(info); });
+  return s;
+}
+
+void DB::ProcessSubcompactions(CompactionMergeJob* job) {
+  const size_t n = job->num_ranges();
+  while (true) {
+    const size_t index =
+        job->next_range.fetch_add(1, std::memory_order_relaxed);
+    if (index >= n) return;
+    if (job->failed.load(std::memory_order_acquire)) {
+      job->results[index].status =
+          Status::IOError("subcompaction aborted: sibling failed");
+      continue;
+    }
+    Status s = RunOneSubcompaction(job, index);
+    job->results[index].status = s;
+    if (!s.ok()) {
+      {
+        // Record the root cause before raising the flag: threads that see
+        // `failed` (acquire) and abort are then guaranteed to find the
+        // real error, never an abort marker overwriting it.
+        std::lock_guard<std::mutex> l(job->mu);
+        if (job->error.ok()) job->error = s;
+      }
+      job->failed.store(true, std::memory_order_release);
+    }
+  }
+}
+
+Status DB::RunCompactionMerge(const std::shared_ptr<CompactionMergeJob>& job) {
+  job->results.resize(job->num_ranges());
+  // Helpers are pure accelerators: they claim unstarted subranges from the
+  // shared counter, so the job completes even if every helper sits queued
+  // behind other pool work — the coordinator claim-loops inline on this
+  // thread (no pool-capacity deadlock). A helper that dequeues after the
+  // coordinator closed the job returns without touching the DB.
+  const size_t helper_count = job->num_ranges() - 1;
+  if (bg_pool_ != nullptr) {
+    for (size_t i = 0; i < helper_count; i++) {
+      std::shared_ptr<CompactionMergeJob> shared = job;
+      bg_pool_->Schedule([this, shared] {
+        {
+          std::lock_guard<std::mutex> l(shared->mu);
+          if (shared->closed) return;  // job already finished without us
+          shared->running_helpers++;
+        }
+        ProcessSubcompactions(shared.get());
+        std::lock_guard<std::mutex> l(shared->mu);
+        shared->running_helpers--;
+        shared->cv.notify_all();
+      });
+    }
+  }
+  ProcessSubcompactions(job.get());
+  {
+    std::unique_lock<std::mutex> l(job->mu);
+    job->closed = true;
+    job->cv.wait(l, [&] { return job->running_helpers == 0; });
+  }
+
+  if (job->failed.load(std::memory_order_acquire)) {
+    // Abort atomically: delete every file any subrange created so a failed
+    // job leaves no partial outputs or orphaned temp SSTs behind.
+    for (const auto& result : job->results) {
+      for (uint64_t number : result.created_files) {
+        env_->RemoveFile(TableFileName(dbname_, number));  // best effort
+      }
+    }
+    std::lock_guard<std::mutex> l(job->mu);
+    return job->error.ok() ? Status::IOError("compaction failed")
+                           : job->error;
+  }
+  return Status::OK();
 }
 
 bool DB::MaybeCompactOnce(Status* s) {
@@ -858,100 +1186,40 @@ bool DB::MaybeCompactOnce(Status* s) {
   base->GetOverlappingInputs(output_level, Slice(smallest_user),
                              Slice(largest_user), &inputs1);
 
+  auto merge = std::make_shared<CompactionMergeJob>();
+  merge->base = base;
+  merge->inputs0 = inputs0;
+  merge->inputs1 = inputs1;
+  merge->input_level = input_level;
+  merge->output_level = output_level;
+  merge->smallest_snapshot = SmallestLiveSnapshot();
+  merge->boundaries =
+      PickSubcompactionBoundaries(inputs0, inputs1, max_subcompactions_);
+
   core::CompactionJobInfo job;
   job.shard_id = options_.shard_id;
   job.input_level = input_level;
   job.output_level = output_level;
   job.num_input_files = static_cast<int>(inputs0.size() + inputs1.size());
+  job.num_subcompactions = static_cast<int>(merge->num_ranges());
   for (const auto& f : inputs0) job.input_bytes += f->file_size;
   for (const auto& f : inputs1) job.input_bytes += f->file_size;
   const uint64_t compact_start = WallMicros();
   NotifyListeners([&](core::EventListener* el) { el->OnCompactionBegin(job); });
 
-  // Merge the inputs into new output-level files. Compaction reads bypass
-  // the block cache and are excluded from the SST-read metric.
-  ReadOptions compaction_reads;
-  compaction_reads.fill_block_cache = false;
-  compaction_reads.count_block_reads = false;
-  std::vector<Iterator*> children;
-  for (const auto& f : inputs0) {
-    children.push_back(f->table->NewIterator(compaction_reads));
-  }
-  for (const auto& f : inputs1) {
-    children.push_back(f->table->NewIterator(compaction_reads));
+  // Merge the inputs into new output-level files, one independent
+  // subcompaction per key subrange. Compaction reads bypass the block
+  // cache and are excluded from the SST-read metric.
+  *s = RunCompactionMerge(merge);
+  if (!s->ok()) return false;
+
+  // Subranges are disjoint and ascending, so concatenating their outputs
+  // in slot order yields the merged run already ordered by smallest key.
+  FileList outputs;
+  for (auto& result : merge->results) {
+    for (auto& f : result.outputs) outputs.push_back(std::move(f));
   }
   InternalKeyComparator icmp;
-  std::unique_ptr<Iterator> merged(
-      NewMergingIterator(&icmp, std::move(children)));
-
-  FileList outputs;
-  std::unique_ptr<TableBuilder> builder;
-  std::shared_ptr<FileMetaData> out_meta;
-  uint64_t out_number = 0;
-  std::string current_user_key;
-  bool has_current_user_key = false;
-  const SequenceNumber smallest_snapshot = SmallestLiveSnapshot();
-  SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
-
-  auto finish_output = [&]() -> Status {
-    if (builder == nullptr) return Status::OK();
-    Status fs = builder->Finish();
-    if (!fs.ok()) return fs;
-    fs = OpenTable(out_number, &out_meta->file_size, &out_meta->table);
-    if (!fs.ok()) return fs;
-    outputs.push_back(out_meta);
-    builder.reset();
-    out_meta.reset();
-    return Status::OK();
-  };
-
-  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
-    Slice internal_key = merged->key();
-    ParsedInternalKey parsed;
-    if (!ParseInternalKey(internal_key, &parsed)) {
-      *s = Status::Corruption("bad key during compaction");
-      return false;
-    }
-    if (!has_current_user_key ||
-        parsed.user_key != Slice(current_user_key)) {
-      current_user_key = parsed.user_key.ToString();
-      has_current_user_key = true;
-      last_sequence_for_key = kMaxSequenceNumber;
-    }
-    bool drop = false;
-    if (last_sequence_for_key <= smallest_snapshot) {
-      // A newer entry for this key is itself visible to every live
-      // snapshot, so this one can never be read again.
-      drop = true;
-    } else if (parsed.type == kTypeDeletion &&
-               parsed.sequence <= smallest_snapshot &&
-               IsBaseLevelForKey(*base, output_level, parsed.user_key)) {
-      drop = true;  // tombstone with nothing underneath
-    }
-    last_sequence_for_key = parsed.sequence;
-    if (drop) continue;
-
-    if (builder == nullptr) {
-      out_number = next_file_number_.fetch_add(1);
-      std::unique_ptr<WritableFile> file;
-      *s = env_->NewWritableFile(TableFileName(dbname_, out_number), &file);
-      if (!s->ok()) return false;
-      builder = std::make_unique<TableBuilder>(
-          options_, std::move(file),
-          bloom_bits_per_key_.load(std::memory_order_relaxed));
-      out_meta = std::make_shared<FileMetaData>();
-      out_meta->number = out_number;
-      out_meta->smallest = internal_key.ToString();
-    }
-    out_meta->largest = internal_key.ToString();
-    builder->Add(internal_key, merged->value());
-    if (builder->FileSize() >= options_.table_file_size) {
-      *s = finish_output();
-      if (!s->ok()) return false;
-    }
-  }
-  *s = finish_output();
-  if (!s->ok()) return false;
 
   // Leaper-style prefetch, step 1: note which key ranges of the retiring
   // input files were hot (their blocks resident in the block cache), and
@@ -1007,6 +1275,10 @@ bool DB::MaybeCompactOnce(Status* s) {
   maint_.compactions.fetch_add(1, std::memory_order_relaxed);
   job.num_output_files = static_cast<int>(outputs.size());
   for (const auto& f : outputs) job.output_bytes += f->file_size;
+  maint_.compact_read_bytes.fetch_add(job.input_bytes,
+                                      std::memory_order_relaxed);
+  maint_.compact_write_bytes.fetch_add(job.output_bytes,
+                                       std::memory_order_relaxed);
   job.duration_micros = WallMicros() - compact_start;
   NotifyListeners(
       [&](core::EventListener* el) { el->OnCompactionCompleted(job); });
@@ -1121,7 +1393,7 @@ bool DB::UniversalCompactOnce(Status* s) {
     }
     if (!has_current_user_key ||
         parsed.user_key != Slice(current_user_key)) {
-      current_user_key = parsed.user_key.ToString();
+      current_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
       has_current_user_key = true;
       last_sequence_for_key = kMaxSequenceNumber;
     }
@@ -1160,14 +1432,33 @@ bool DB::UniversalCompactOnce(Status* s) {
     if (!s->ok()) return false;
   }
 
-  // Install: the merged run replaces the picked (newest) runs at the front.
+  // Install: the merged run replaces the picked inputs at their position.
+  // Inputs are matched by file number and the output spliced in where the
+  // newest input sat — runs flushed while this compaction ran have been
+  // prepended in front of that position and must stay newer than the
+  // merged output.
   auto new_version = std::make_shared<Version>(options_.num_levels);
   {
     std::lock_guard<std::mutex> l(mutex_);
     new_version->files_ = current_->files_;
     auto& l0 = new_version->files_[0];
-    l0.erase(l0.begin(), l0.begin() + static_cast<long>(pick));
-    if (out_meta != nullptr) l0.insert(l0.begin(), out_meta);
+    auto is_input = [&](uint64_t number) {
+      for (const auto& in : inputs) {
+        if (in->number == number) return true;
+      }
+      return false;
+    };
+    FileList rebuilt;
+    bool replaced = false;
+    for (const auto& f : l0) {
+      if (is_input(f->number)) {
+        if (!replaced && out_meta != nullptr) rebuilt.push_back(out_meta);
+        replaced = true;
+        continue;
+      }
+      rebuilt.push_back(f);
+    }
+    l0 = std::move(rebuilt);
     current_ = new_version;
     InstallSuperVersionLocked();
   }
@@ -1176,6 +1467,10 @@ bool DB::UniversalCompactOnce(Status* s) {
     job.num_output_files = 1;
     job.output_bytes = out_meta->file_size;
   }
+  maint_.compact_read_bytes.fetch_add(job.input_bytes,
+                                      std::memory_order_relaxed);
+  maint_.compact_write_bytes.fetch_add(job.output_bytes,
+                                       std::memory_order_relaxed);
   job.duration_micros = WallMicros() - compact_start;
   NotifyListeners(
       [&](core::EventListener* el) { el->OnCompactionCompleted(job); });
@@ -1791,6 +2086,12 @@ DB::MaintenanceStats DB::GetMaintenanceStats() const {
   stats.stall_micros = maint_.stall_micros.load(std::memory_order_relaxed);
   stats.slowdown_writes =
       maint_.slowdown_writes.load(std::memory_order_relaxed);
+  stats.subcompactions =
+      maint_.subcompactions.load(std::memory_order_relaxed);
+  stats.compact_read_bytes =
+      maint_.compact_read_bytes.load(std::memory_order_relaxed);
+  stats.compact_write_bytes =
+      maint_.compact_write_bytes.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -95,6 +95,13 @@ class DB {
     uint64_t stall_micros = 0;
     /// Writes delayed once by the L0 slowdown trigger.
     uint64_t slowdown_writes = 0;
+    /// Subrange merge jobs run by compactions (== compactions when serial;
+    /// up to max_subcompactions times larger when parallel).
+    uint64_t subcompactions = 0;
+    /// Input bytes consumed / output bytes produced by compactions, for
+    /// drain-throughput accounting without a Statistics registry.
+    uint64_t compact_read_bytes = 0;
+    uint64_t compact_write_bytes = 0;
   };
 
   static Status Open(const Options& options, const std::string& dbname,
@@ -215,9 +222,23 @@ class DB {
   std::vector<Writer*> BuildWriteGroup(Writer* leader);
 
   // --- background maintenance ----------------------------------------------
-  /// Requires mutex_. Schedules one maintenance pass if work is pending.
+  /// Requires mutex_. Schedules flush and/or compaction jobs if work is
+  /// pending. With Options::overlap_flush_compaction, flush and compaction
+  /// are scheduled independently (flush on the pool's high-priority queue)
+  /// and may run concurrently in this DB; otherwise one legacy single-flight
+  /// job runs flush OR compaction.
   void MaybeScheduleMaintenance();
+  /// Legacy single-flight job: flush if possible, else one compaction.
   void BackgroundCall();
+  /// Overlapped-mode jobs: one drains the oldest immutable memtable, the
+  /// other runs one compaction; each re-schedules itself while work remains.
+  void BackgroundFlushCall();
+  void BackgroundCompactCall();
+  /// True while any background job (flush or compaction) is in flight.
+  /// Requires mutex_.
+  bool BackgroundWorkScheduled() const {
+    return bg_flush_scheduled_ || bg_compact_scheduled_;
+  }
   /// Flushes the oldest immutable memtable to a new L0 file. Called on the
   /// background thread with mutex_ held; drops it during I/O.
   Status FlushOldestImm(std::unique_lock<std::mutex>* l);
@@ -227,6 +248,24 @@ class DB {
   bool MaybeCompactOnce(Status* s);
   /// Universal-style merge of similar-sized L0 runs; true if ran.
   bool UniversalCompactOnce(Status* s);
+
+  // --- parallel subcompactions ---------------------------------------------
+  /// Shared state of one compaction's subrange merges (defined in db.cc).
+  struct CompactionMergeJob;
+  /// Merges `job`'s inputs into output files, splitting the key range into
+  /// job->ranges and running subranges concurrently on bg_pool_ (the calling
+  /// thread claims subranges too, so progress never depends on pool
+  /// capacity). On success fills job->results; on any failure deletes every
+  /// temp SST the job created and returns the first error with no version
+  /// edit performed.
+  Status RunCompactionMerge(const std::shared_ptr<CompactionMergeJob>& job);
+  /// Claims and runs subranges from `job` until none remain or a sibling
+  /// failed.
+  void ProcessSubcompactions(CompactionMergeJob* job);
+  /// Runs one subrange merge -> build, recording its outputs in
+  /// job->results[index].
+  Status RunOneSubcompaction(CompactionMergeJob* job, size_t index);
+
   /// Deletes WAL files strictly older than every live memtable's WAL.
   void RemoveObsoleteWals();
 
@@ -322,9 +361,21 @@ class DB {
   /// and joined by the reset in Close — otherwise.
   std::shared_ptr<util::ThreadPool> bg_pool_;
   std::condition_variable bg_work_done_cv_;
-  bool bg_scheduled_ = false;
+  /// Flush and compaction are scheduled (and tracked) independently so they
+  /// can overlap in one DB; each is individually single-flight. In legacy
+  /// (non-overlap) mode only bg_flush_scheduled_ is used, covering the
+  /// combined flush-or-compact job.
+  bool bg_flush_scheduled_ = false;
+  bool bg_compact_scheduled_ = false;
   bool shutting_down_ = false;
   bool closed_ = false;
+  /// Serializes manifest rewrites: with flush and compaction overlapped,
+  /// both install versions and then write a manifest snapshot. Lock order:
+  /// manifest_mutex_ before mutex_, never the reverse.
+  std::mutex manifest_mutex_;
+  /// Resolved subcompaction fan-out (>= 1) from Options::max_subcompactions
+  /// / ADCACHE_SUBCOMPACTIONS / pool size; fixed at Open.
+  int max_subcompactions_ = 1;
   /// First error from a background flush/compaction. Surfaced to (and
   /// cleared by) the next writer or manual flush so retries are possible.
   Status bg_error_;
@@ -337,6 +388,9 @@ class DB {
     std::atomic<uint64_t> wal_syncs{0};
     std::atomic<uint64_t> stall_micros{0};
     std::atomic<uint64_t> slowdown_writes{0};
+    std::atomic<uint64_t> subcompactions{0};
+    std::atomic<uint64_t> compact_read_bytes{0};
+    std::atomic<uint64_t> compact_write_bytes{0};
   };
   MaintenanceCounters maint_;
 
@@ -346,7 +400,8 @@ class DB {
 
   std::atomic<uint64_t> prefetched_blocks_{0};
   /// Round-robin pick per level; touched only by the (single-flight)
-  /// background maintenance job.
+  /// compaction job — compactions stay one-at-a-time per DB even when
+  /// overlapped with flushes and split into subcompactions.
   std::vector<size_t> compact_pointer_;
 
   // Aggregate table-format telemetry for entries_per_block.

@@ -93,8 +93,27 @@ struct Options {
   /// flushes/compactions here and never shuts the pool down on Close (the
   /// owner — typically ShardedDB — does, after every user has closed).
   /// When null, the DB builds a private pool of `max_background_jobs`
-  /// threads, preserving the single-instance behaviour.
+  /// threads (grown to `max_subcompactions` when that is set higher),
+  /// preserving the single-instance behaviour.
   std::shared_ptr<util::ThreadPool> background_pool;
+
+  /// Maximum subcompactions per compaction: the compaction's key range is
+  /// split into up to this many disjoint user-key subranges, each merged
+  /// and built concurrently on the background pool, with all outputs
+  /// installed in one atomic version edit. 0 (the default) resolves from
+  /// the ADCACHE_SUBCOMPACTIONS env var, else auto-sizes from the pool
+  /// (pool threads for a private DB, pool threads / shard count under
+  /// ShardedDB so N shards cannot oversubscribe the shared pool). 1
+  /// disables parallelism (the serial path). Universal compactions always
+  /// run serially: their output must stay a single sorted run so L0 run
+  /// accounting (triggers, NumSortedRuns) is preserved.
+  int max_subcompactions = 0;
+
+  /// Allow an immutable-memtable flush to run concurrently with a
+  /// compaction in the same DB (flushes take the pool's high-priority
+  /// queue). Disable to restore the legacy single-flight behaviour where
+  /// one background job runs flush OR compaction, never both.
+  bool overlap_flush_compaction = true;
 
   /// Sorted split points partitioning the key space into
   /// `shard_boundaries.size() + 1` key-range shards, each a full LSM

@@ -215,6 +215,14 @@ Status ShardedDB::Open(const Options& options, const std::string& dbname,
   db->boundaries_ = ResolveBoundaries(options);
   db->options_ = options;
   db->options_.shard_boundaries = db->boundaries_;
+  // `max_background_jobs` is the one global thread cap — N shards share ONE
+  // pool of exactly that many threads, and subcompactions never grow it: a
+  // K wider than the pool only adds ranges, which the claim loop drains on
+  // whatever threads are free (the coordinator included).
+  int subcompactions =
+      options.max_subcompactions > 0
+          ? options.max_subcompactions
+          : util::OptionsFromEnv::Int("ADCACHE_SUBCOMPACTIONS", 0);
   db->pool_ = options.background_pool != nullptr
                   ? options.background_pool
                   : std::make_shared<util::ThreadPool>(
@@ -240,6 +248,14 @@ Status ShardedDB::Open(const Options& options, const std::string& dbname,
     shard_options.background_pool = db->pool_;
     shard_options.shard_id = static_cast<int>(i);
     shard_options.shard_boundaries.clear();
+    // Auto subcompaction width splits the shared pool fairly across shards
+    // so N concurrent compactions cannot each claim the whole pool; an
+    // explicit setting is honoured as-is.
+    shard_options.max_subcompactions =
+        subcompactions > 0
+            ? subcompactions
+            : std::max<int>(1, static_cast<int>(db->pool_->num_threads() /
+                                                n));
     std::string shard_name = dbname;
     if (n > 1) {
       char suffix[16];
@@ -423,6 +439,9 @@ DB::MaintenanceStats ShardedDB::GetMaintenanceStats() const {
     out.wal_syncs += s.wal_syncs;
     out.stall_micros += s.stall_micros;
     out.slowdown_writes += s.slowdown_writes;
+    out.subcompactions += s.subcompactions;
+    out.compact_read_bytes += s.compact_read_bytes;
+    out.compact_write_bytes += s.compact_write_bytes;
   }
   return out;
 }

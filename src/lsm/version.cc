@@ -440,4 +440,69 @@ Iterator* NewMergingIterator(const InternalKeyComparator* cmp,
   return new MergingIterator(cmp, std::move(children));
 }
 
+std::vector<std::string> PickSubcompactionBoundaries(
+    const FileList& inputs0, const FileList& inputs1,
+    int max_subcompactions) {
+  std::vector<std::string> boundaries;
+  if (max_subcompactions <= 1) return boundaries;
+
+  // One anchor per data block (its last user key, weighted by the block's
+  // on-disk bytes) from every input table's pinned index, plus a zero-weight
+  // anchor at each file's smallest key so single-block files still
+  // contribute interior candidates.
+  struct Anchor {
+    std::string user_key;
+    uint64_t weight;
+  };
+  std::vector<Anchor> anchors;
+  uint64_t total_weight = 0;
+  auto collect = [&](const FileList& inputs) {
+    for (const auto& f : inputs) {
+      if (f == nullptr || f->table == nullptr) continue;
+      anchors.push_back(
+          Anchor{ExtractUserKey(Slice(f->smallest)).ToString(), 0});
+      for (const Table::BlockInfo& info : f->table->GetBlockInfos()) {
+        uint64_t w = std::max<uint64_t>(1, info.handle.size);
+        anchors.push_back(
+            Anchor{ExtractUserKey(Slice(info.last_internal_key)).ToString(),
+                   w});
+        total_weight += w;
+      }
+    }
+  };
+  collect(inputs0);
+  collect(inputs1);
+  if (anchors.size() < 2 || total_weight == 0) return boundaries;
+
+  std::sort(anchors.begin(), anchors.end(),
+            [](const Anchor& a, const Anchor& b) {
+              return a.user_key < b.user_key;
+            });
+  const std::string& first_key = anchors.front().user_key;
+  const std::string& last_key = anchors.back().user_key;
+
+  // Byte-weighted quantiles: a split lands where the cumulative input bytes
+  // cross the next 1/k fraction. Splits equal to the range's edges or to
+  // the previous split are dropped — they would produce empty subranges.
+  uint64_t cumulative = 0;
+  int next_split = 1;
+  for (const Anchor& anchor : anchors) {
+    cumulative += anchor.weight;
+    if (next_split >= max_subcompactions) break;
+    uint64_t threshold = total_weight *
+                         static_cast<uint64_t>(next_split) /
+                         static_cast<uint64_t>(max_subcompactions);
+    if (cumulative < threshold) continue;
+    if (anchor.user_key <= first_key || anchor.user_key >= last_key) {
+      continue;
+    }
+    if (!boundaries.empty() && anchor.user_key <= boundaries.back()) {
+      continue;
+    }
+    boundaries.push_back(anchor.user_key);
+    next_split++;
+  }
+  return boundaries;
+}
+
 }  // namespace adcache::lsm

@@ -88,6 +88,20 @@ class Version {
   std::vector<FileList> files_;
 };
 
+/// Picks user-key split points partitioning a compaction's input key range
+/// into at most `max_subcompactions` disjoint subranges of roughly equal
+/// input bytes, for parallel subcompactions. Anchors come from the inputs'
+/// pinned index blocks (one candidate per data block, weighted by the
+/// block's on-disk size) plus each file's smallest/largest bounds, so the
+/// selection reads no data blocks. Returns at most `max_subcompactions - 1`
+/// strictly increasing user keys; subrange i covers user keys in
+/// [result[i-1], result[i]) with open outer edges. Splitting on whole user
+/// keys guarantees no key's version chain is divided across subcompactions.
+/// Returns empty (serial merge) when `max_subcompactions <= 1` or the
+/// inputs are too small to yield distinct interior boundaries.
+std::vector<std::string> PickSubcompactionBoundaries(
+    const FileList& inputs0, const FileList& inputs1, int max_subcompactions);
+
 /// Concatenating iterator over the non-overlapping files of one level.
 Iterator* NewLevelIterator(const ReadOptions& read_options,
                            const FileList* files);

@@ -14,11 +14,11 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-bool ThreadPool::Schedule(std::function<void()> job) {
+bool ThreadPool::Schedule(std::function<void()> job, bool high_priority) {
   {
     std::lock_guard<std::mutex> l(mu_);
     if (shutting_down_) return false;
-    queue_.push_back(std::move(job));
+    (high_priority ? high_queue_ : queue_).push_back(std::move(job));
   }
   work_available_.notify_one();
   return true;
@@ -26,7 +26,9 @@ bool ThreadPool::Schedule(std::function<void()> job) {
 
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> l(mu_);
-  idle_.wait(l, [this] { return queue_.empty() && active_ == 0; });
+  idle_.wait(l, [this] {
+    return high_queue_.empty() && queue_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::Shutdown() {
@@ -46,26 +48,30 @@ void ThreadPool::Shutdown() {
 
 size_t ThreadPool::queued_jobs() const {
   std::lock_guard<std::mutex> l(mu_);
-  return queue_.size();
+  return high_queue_.size() + queue_.size();
 }
 
 void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> l(mu_);
   while (true) {
-    work_available_.wait(
-        l, [this] { return !queue_.empty() || shutting_down_; });
-    if (queue_.empty()) {
+    work_available_.wait(l, [this] {
+      return !high_queue_.empty() || !queue_.empty() || shutting_down_;
+    });
+    if (high_queue_.empty() && queue_.empty()) {
       if (shutting_down_) return;
       continue;
     }
-    std::function<void()> job = std::move(queue_.front());
-    queue_.pop_front();
+    auto& source = high_queue_.empty() ? queue_ : high_queue_;
+    std::function<void()> job = std::move(source.front());
+    source.pop_front();
     active_++;
     l.unlock();
     job();
     l.lock();
     active_--;
-    if (queue_.empty() && active_ == 0) idle_.notify_all();
+    if (high_queue_.empty() && queue_.empty() && active_ == 0) {
+      idle_.notify_all();
+    }
   }
 }
 

@@ -10,9 +10,10 @@
 
 namespace adcache::util {
 
-/// Fixed-size pool of background worker threads with a FIFO job queue, in
-/// the style of rocksdb's Env::Schedule. Used by lsm::DB for flushes and
-/// compactions; generic enough for any deferred work.
+/// Fixed-size pool of background worker threads with a two-level priority
+/// job queue, in the style of rocksdb's Env::Schedule. Used by lsm::DB for
+/// flushes (high priority) and compactions (normal priority); generic
+/// enough for any deferred work.
 ///
 /// Shutdown semantics: the destructor (and Shutdown) stops accepting new
 /// jobs, lets every already-queued job run to completion, and joins the
@@ -27,9 +28,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `job` for execution on some worker thread. Jobs scheduled
-  /// from the same thread run in FIFO order. Returns false (dropping the
-  /// job) after Shutdown has begun.
-  bool Schedule(std::function<void()> job);
+  /// from the same thread at the same priority run in FIFO order;
+  /// high-priority jobs always dispatch before queued normal-priority ones
+  /// (they do not preempt a job already running). Returns false (dropping
+  /// the job) after Shutdown has begun.
+  bool Schedule(std::function<void()> job, bool high_priority = false);
 
   /// Blocks until the queue is empty and every worker is idle.
   void WaitIdle();
@@ -48,6 +51,7 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
+  std::deque<std::function<void()>> high_queue_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   int active_ = 0;

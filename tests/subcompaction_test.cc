@@ -1,0 +1,383 @@
+// Tests for parallel subcompactions: output equivalence against the serial
+// path under live snapshots, atomic abort on mid-job failures, overlapped
+// flush/compaction with reopen recovery, and writer/CompactAll races.
+// Run with -DADCACHE_SANITIZE=thread to check the locking discipline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lsm/db.h"
+#include "util/clock.h"
+
+namespace adcache::lsm {
+namespace {
+
+std::string TestKey(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key-%06d", i);
+  return buf;
+}
+
+std::string TestValue(int i, int round) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "val-%06d-r%04d-%030d", i, round, 0);
+  return buf;
+}
+
+/// Full logical content of the DB as key -> value (via an iterator dump).
+std::map<std::string, std::string> Dump(DB* db) {
+  std::map<std::string, std::string> out;
+  std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    out[it->key().ToString()] = it->value().ToString();
+  }
+  return out;
+}
+
+std::set<std::string> ListSstFiles(Env* env, const std::string& dbname) {
+  std::vector<std::string> children;
+  EXPECT_TRUE(env->GetChildren(dbname, &children).ok());
+  std::set<std::string> ssts;
+  for (const auto& f : children) {
+    if (f.size() > 4 && f.compare(f.size() - 4, 4, ".sst") == 0) {
+      ssts.insert(f);
+    }
+  }
+  return ssts;
+}
+
+class SubcompactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv(&clock_);
+    options_.env = env_.get();
+    // Small sizes force flush/compaction churn and multi-block tables so
+    // the boundary picker has index anchors to split on.
+    options_.block_size = 512;
+    options_.table_file_size = 8 * 1024;
+    options_.memtable_size = 8 * 1024;
+    options_.level1_size_base = 32 * 1024;
+  }
+
+  SimClock clock_;
+  std::unique_ptr<Env> env_;
+  Options options_;
+};
+
+// The same deterministic workload (overwrites + deletes, one snapshot held
+// live across compactions) must produce identical logical content whether
+// compactions run serially or split into 4 subcompactions — both at the
+// latest sequence and through the live snapshot.
+TEST_F(SubcompactionTest, ParallelOutputMatchesSerialUnderLiveSnapshot) {
+  constexpr int kKeys = 120;
+  constexpr int kRounds = 8;
+  constexpr int kSnapshotRound = 3;
+
+  struct Run {
+    std::unique_ptr<DB> db;
+    const Snapshot* snap = nullptr;
+  };
+  auto run_workload = [&](const std::string& name, int subcompactions,
+                          Run* run) {
+    Options o = options_;
+    o.max_subcompactions = subcompactions;
+    ASSERT_TRUE(DB::Open(o, name, &run->db).ok());
+    for (int round = 0; round < kRounds; round++) {
+      for (int i = 0; i < kKeys; i++) {
+        if (round > 0 && (i + round) % 7 == 0) {
+          ASSERT_TRUE(
+              run->db->Delete(WriteOptions(), Slice(TestKey(i))).ok());
+        } else {
+          ASSERT_TRUE(run->db
+                          ->Put(WriteOptions(), Slice(TestKey(i)),
+                                Slice(TestValue(i, round)))
+                          .ok());
+        }
+      }
+      if (round == kSnapshotRound) run->snap = run->db->GetSnapshot();
+    }
+    ASSERT_TRUE(run->db->FlushMemTable().ok());
+    ASSERT_TRUE(run->db->CompactAll().ok());
+  };
+
+  Run serial, parallel;
+  run_workload("/db-serial", 1, &serial);
+  run_workload("/db-parallel", 4, &parallel);
+
+  // Identical write sequences allocate identical sequence numbers, so the
+  // two snapshots see the same point in time.
+  EXPECT_EQ(Dump(serial.db.get()), Dump(parallel.db.get()));
+  ReadOptions at_serial_snap, at_parallel_snap;
+  at_serial_snap.snapshot = serial.snap;
+  at_parallel_snap.snapshot = parallel.snap;
+  for (int i = 0; i < kKeys; i++) {
+    std::string sv = "<absent>", pv = "<absent>";
+    Status ss = serial.db->Get(at_serial_snap, Slice(TestKey(i)), &sv);
+    Status ps = parallel.db->Get(at_parallel_snap, Slice(TestKey(i)), &pv);
+    EXPECT_EQ(ss.ok(), ps.ok()) << TestKey(i);
+    EXPECT_EQ(sv, pv) << TestKey(i);
+  }
+
+  // The serial run must not fan out; the parallel run must have actually
+  // split at least one compaction.
+  DB::MaintenanceStats serial_stats = serial.db->GetMaintenanceStats();
+  DB::MaintenanceStats parallel_stats = parallel.db->GetMaintenanceStats();
+  ASSERT_GT(serial_stats.compactions, 0u);
+  EXPECT_EQ(serial_stats.subcompactions, serial_stats.compactions);
+  ASSERT_GT(parallel_stats.compactions, 0u);
+  EXPECT_GT(parallel_stats.subcompactions, parallel_stats.compactions);
+  EXPECT_GT(parallel_stats.compact_read_bytes, 0u);
+  EXPECT_GT(parallel_stats.compact_write_bytes, 0u);
+
+  serial.db->ReleaseSnapshot(serial.snap);
+  parallel.db->ReleaseSnapshot(parallel.snap);
+}
+
+/// Counts .sst creations after Arm(allow): the first `allow` succeed, the
+/// rest fail. Lets a flush through while compaction outputs fail mid-job.
+class SstFailEnv : public Env {
+ public:
+  explicit SstFailEnv(Env* base) : Env(base->clock()), base_(base) {}
+
+  void Arm(int allow) {
+    std::lock_guard<std::mutex> l(mu_);
+    armed_ = true;
+    allow_ = allow;
+  }
+  void Disarm() {
+    std::lock_guard<std::mutex> l(mu_);
+    armed_ = false;
+  }
+  int failures() {
+    std::lock_guard<std::mutex> l(mu_);
+    return failures_;
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    if (fname.size() > 4 && fname.compare(fname.size() - 4, 4, ".sst") == 0) {
+      std::lock_guard<std::mutex> l(mu_);
+      if (armed_ && allow_-- <= 0) {
+        failures_++;
+        return Status::IOError("injected sst creation failure");
+      }
+    }
+    return base_->NewWritableFile(fname, result);
+  }
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
+  }
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    return base_->NewRandomAccessFile(fname, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDirIfMissing(const std::string& dirname) override {
+    return base_->CreateDirIfMissing(dirname);
+  }
+  Status GetChildren(const std::string& dirname,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dirname, result);
+  }
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+
+ private:
+  Env* base_;
+  std::mutex mu_;
+  bool armed_ = false;
+  int allow_ = 0;
+  int failures_ = 0;
+};
+
+// A subcompaction that fails mid-job must abort the whole compaction
+// atomically: no partial outputs installed, no orphaned temp SSTs left on
+// disk, inputs untouched — and the job must succeed once the fault clears.
+TEST_F(SubcompactionTest, MidJobFailureAbortsWithoutPartialOutputs) {
+  SstFailEnv fail_env(env_.get());
+  options_.env = &fail_env;
+  options_.max_subcompactions = 4;
+  options_.l0_compaction_trigger = 6;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options_, "/db", &db).ok());
+
+  // Five L0 files: one short of the compaction trigger.
+  constexpr int kKeysPerFile = 30;
+  for (int file = 0; file < 5; file++) {
+    for (int i = 0; i < kKeysPerFile; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), Slice(TestKey(i)),
+                          Slice(TestValue(i, file)))
+                      .ok());
+    }
+    ASSERT_TRUE(db->FlushMemTable().ok());
+  }
+  ASSERT_EQ(db->GetLsmShape().l0_files, 5);
+  const std::set<std::string> before = ListSstFiles(&fail_env, "/db");
+
+  // Allow the sixth flush's SST plus one compaction output, then fail:
+  // the job dies with one subrange's partial output already on disk.
+  fail_env.Arm(/*allow=*/2);
+  for (int i = 0; i < kKeysPerFile; i++) {
+    ASSERT_TRUE(
+        db->Put(WriteOptions(), Slice(TestKey(i)), Slice(TestValue(i, 5)))
+            .ok());
+  }
+  Status s = db->FlushMemTable();  // drives flush + the failing compaction
+  EXPECT_FALSE(s.ok());
+  EXPECT_GT(fail_env.failures(), 0);
+
+  // The aborted job deleted everything it created: exactly the one new
+  // flush file appeared, all six inputs still in place.
+  const std::set<std::string> after = ListSstFiles(&fail_env, "/db");
+  EXPECT_EQ(after.size(), before.size() + 1);
+  for (const auto& f : before) EXPECT_TRUE(after.count(f)) << f;
+  EXPECT_EQ(db->GetLsmShape().l0_files, 6);
+
+  // Clearing the fault lets the retried compaction succeed with no loss.
+  fail_env.Disarm();
+  ASSERT_TRUE(db->CompactAll().ok());
+  for (int i = 0; i < kKeysPerFile; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), Slice(TestKey(i)), &value).ok())
+        << TestKey(i);
+    EXPECT_EQ(value, TestValue(i, 5));
+  }
+  db.reset();  // before the stack-allocated SstFailEnv
+}
+
+// Flushes landing while compactions are in flight (overlap on, the default)
+// must never lose recency: after heavy overwrite churn, Close, and a
+// reopen from the manifest + WALs, every key reads its last written value.
+TEST_F(SubcompactionTest, FlushDuringCompactionSurvivesReopen) {
+  options_.max_subcompactions = 4;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options_, "/db", &db).ok());
+
+  constexpr int kKeys = 50;
+  constexpr int kWrites = 2000;
+  std::vector<int> last_round(kKeys, -1);
+  for (int w = 0; w < kWrites; w++) {
+    int i = w % kKeys;
+    int round = w / kKeys;
+    ASSERT_TRUE(db->Put(WriteOptions(), Slice(TestKey(i)),
+                        Slice(TestValue(i, round)))
+                    .ok());
+    last_round[static_cast<size_t>(i)] = round;
+  }
+  DB::MaintenanceStats stats = db->GetMaintenanceStats();
+  EXPECT_GT(stats.flushes, 0u);
+  ASSERT_TRUE(db->Close().ok());
+
+  db.reset();
+  ASSERT_TRUE(DB::Open(options_, "/db", &db).ok());
+  for (int i = 0; i < kKeys; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), Slice(TestKey(i)), &value).ok())
+        << TestKey(i);
+    EXPECT_EQ(value, TestValue(i, last_round[static_cast<size_t>(i)]));
+  }
+}
+
+// Same reopen-recency check under universal compaction, whose install
+// splices the merged run back at the inputs' position: runs flushed while
+// the compaction ran must stay newer than the merged output.
+TEST_F(SubcompactionTest, UniversalOverlapSurvivesReopen) {
+  options_.compaction_style = CompactionStyle::kUniversal;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options_, "/db", &db).ok());
+
+  constexpr int kKeys = 50;
+  constexpr int kWrites = 2000;
+  for (int w = 0; w < kWrites; w++) {
+    int i = w % kKeys;
+    ASSERT_TRUE(db->Put(WriteOptions(), Slice(TestKey(i)),
+                        Slice(TestValue(i, w / kKeys)))
+                    .ok());
+  }
+  ASSERT_TRUE(db->Close().ok());
+
+  db.reset();
+  ASSERT_TRUE(DB::Open(options_, "/db", &db).ok());
+  const int final_round = kWrites / kKeys - 1;
+  for (int i = 0; i < kKeys; i++) {
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), Slice(TestKey(i)), &value).ok())
+        << TestKey(i);
+    EXPECT_EQ(value, TestValue(i, final_round));
+  }
+}
+
+// Eight writer threads racing repeated CompactAll calls: every acknowledged
+// write stays readable through constant parallel compaction, and the DB
+// settles into a compacted shape.
+TEST_F(SubcompactionTest, ConcurrentWritersRaceCompactAll) {
+  options_.max_subcompactions = 4;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options_, "/db", &db).ok());
+
+  constexpr int kWriters = 8;
+  constexpr int kKeysPerWriter = 250;
+  std::atomic<bool> writers_done{false};
+  std::atomic<int> errors{0};
+  auto writer_key = [](int t, int i) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "w%d-%05d", t, i);
+    return std::string(buf);
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kKeysPerWriter; i++) {
+        if (!db->Put(WriteOptions(), Slice(writer_key(t, i)),
+                     Slice(TestValue(i, t)))
+                 .ok()) {
+          errors.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  std::thread compactor([&] {
+    while (!writers_done.load(std::memory_order_acquire)) {
+      if (!db->CompactAll().ok()) errors.fetch_add(1);
+    }
+  });
+  for (auto& t : threads) t.join();
+  writers_done.store(true, std::memory_order_release);
+  compactor.join();
+  ASSERT_EQ(errors.load(), 0);
+
+  ASSERT_TRUE(db->FlushMemTable().ok());
+  ASSERT_TRUE(db->CompactAll().ok());
+  for (int t = 0; t < kWriters; t++) {
+    for (int i = 0; i < kKeysPerWriter; i++) {
+      std::string value;
+      ASSERT_TRUE(
+          db->Get(ReadOptions(), Slice(writer_key(t, i)), &value).ok())
+          << writer_key(t, i);
+      EXPECT_EQ(value, TestValue(i, t));
+    }
+  }
+  DB::MaintenanceStats stats = db->GetMaintenanceStats();
+  EXPECT_GT(stats.compactions, 0u);
+  EXPECT_GE(stats.subcompactions, stats.compactions);
+}
+
+}  // namespace
+}  // namespace adcache::lsm
